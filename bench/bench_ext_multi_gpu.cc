@@ -1,0 +1,84 @@
+// Extension (case-study domain: multi-GPU training architecture): weak
+// scaling of data-parallel training with gradient-bucket overlap. Layer
+// forward/backward times come from KW models trained on inference and
+// training campaigns; the ring all-reduce and bucket overlap come from
+// the event-driven simulator.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "dataset/builder.h"
+#include "dnn/flops.h"
+#include "exp_common.h"
+#include "models/kw_model.h"
+#include "simsys/data_parallel.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main() {
+  // Per-layer forward times (inference campaign) and forward+backward
+  // times (training campaign), both at BS 16 per replica on A100.
+  constexpr std::int64_t kBatch = 16;
+  dataset::BuildOptions options;
+  options.gpu_names = {"A100"};
+  options.batch = kBatch;
+  dataset::Dataset fwd_data = dataset::BuildDataset(zoo::SmallZoo(8), options);
+  options.workload = gpuexec::Workload::kTraining;
+  dataset::Dataset step_data =
+      dataset::BuildDataset(zoo::SmallZoo(8), options);
+  models::KwModel fwd_model, step_model;
+  fwd_model.Train(fwd_data,
+                  dataset::SplitByNetwork(fwd_data, 0.15, bench::kSplitSeed));
+  step_model.Train(
+      step_data, dataset::SplitByNetwork(step_data, 0.15, bench::kSplitSeed));
+
+  for (const char* name : {"resnet50", "bert_base"}) {
+    dnn::Network network = zoo::BuildByName(name);
+    std::vector<double> forward_us, backward_us;
+    std::vector<std::int64_t> gradient_bytes;
+    for (const dnn::Layer& layer : network.layers()) {
+      const double fwd = fwd_model.PredictLayerUs(layer, "A100", kBatch);
+      const double step = step_model.PredictLayerUs(layer, "A100", kBatch);
+      forward_us.push_back(fwd);
+      backward_us.push_back(std::max(0.0, step - fwd));
+      gradient_bytes.push_back(dnn::LayerWeightBytes(layer));
+    }
+
+    std::printf("=== %s, BS %ld per replica (weights %s)\n", name,
+                (long)kBatch,
+                Engineering(static_cast<double>(
+                                dnn::NetworkWeightBytes(network)))
+                    .c_str());
+    TextTable table;
+    table.SetHeader({"GPUs", "fabric (GB/s)", "step (ms)", "exposed comm",
+                     "scaling eff", "no-overlap eff"});
+    for (int gpus : {1, 2, 4, 8}) {
+      for (double fabric : {4.0, 16.0, 64.0}) {
+        if (gpus == 1 && fabric != 16.0) continue;
+        simsys::DataParallelConfig config;
+        config.num_gpus = gpus;
+        config.link_bandwidth_gbps = fabric;
+        simsys::DataParallelResult overlap = simsys::SimulateDataParallelStep(
+            forward_us, backward_us, gradient_bytes, config);
+        config.overlap = false;
+        simsys::DataParallelResult blocking =
+            simsys::SimulateDataParallelStep(forward_us, backward_us,
+                                             gradient_bytes, config);
+        table.AddRow({Format("%d", gpus), Format("%.0f", fabric),
+                      Format("%.1f", overlap.step_time_us / 1e3),
+                      Format("%.1f ms", overlap.exposed_comm_us / 1e3),
+                      Format("%.0f%%", 100 * overlap.scaling_efficiency),
+                      Format("%.0f%%", 100 * blocking.scaling_efficiency)});
+      }
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf("(bucketed overlap hides most gradient traffic on fast "
+              "fabrics; slow fabrics expose it — and the whole sweep runs "
+              "in milliseconds thanks to the performance model)\n");
+  return 0;
+}

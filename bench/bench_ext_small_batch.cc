@@ -1,0 +1,66 @@
+// Extension (paper limitation fix): small workloads. The KW model sums
+// GPU kernel times, so at tiny batch sizes — where the CPU launch
+// pipeline sets the pace — it misses the wall time badly. The CPU-aware
+// extension fits a per-GPU launch-pipeline law on a small-batch campaign
+// and predicts max(GPU time, CPU time).
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "dataset/builder.h"
+#include "exp_common.h"
+#include "models/cpu_aware_model.h"
+#include "models/kw_model.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main() {
+  // Base KW model from the standard BS 512 campaign.
+  const bench::Experiment& experiment = bench::Experiment::Full();
+  models::KwModel kw;
+  kw.Train(experiment.data(), experiment.split());
+
+  // Small-batch campaign exposing the launch pipeline (BS 2, A100).
+  std::vector<dnn::Network> networks = zoo::SmallZoo(4);
+  dataset::BuildOptions options;
+  options.gpu_names = {"A100"};
+  options.batch = 2;
+  dataset::Dataset small = dataset::BuildDataset(networks, options);
+  dataset::NetworkSplit split =
+      dataset::SplitByNetwork(small, bench::kTestFraction, bench::kSplitSeed);
+  models::CpuAwareModel cpu_aware;
+  cpu_aware.Train(kw, small, split);
+
+  const models::CpuPipelineFit& fit = cpu_aware.FitFor("A100");
+  std::printf("fitted CPU pipeline on A100: %.1f us overhead + %.2f us per "
+              "kernel (from %zu launch-bound runs)\n\n",
+              fit.overhead_us, fit.per_kernel_us, fit.samples);
+
+  // Evaluate both models on held-out networks across small batch sizes.
+  gpuexec::Profiler profiler(experiment.oracle());
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  TextTable table;
+  table.SetHeader({"batch", "KW error", "KW+CPU error", "test nets"});
+  for (std::int64_t batch : {1, 2, 4, 8, 64, 512}) {
+    std::vector<double> kw_pred, cpu_pred, measured;
+    for (const dnn::Network& network : networks) {
+      if (!split.IsTest(small.networks().Find(network.name()))) continue;
+      kw_pred.push_back(kw.PredictUs(network, a100, batch));
+      cpu_pred.push_back(cpu_aware.PredictUs(network, a100, batch));
+      measured.push_back(profiler.MeasureE2eUs(network, a100, batch));
+    }
+    table.AddRow({Format("%ld", (long)batch),
+                  Format("%.1f%%", 100 * Mape(kw_pred, measured)),
+                  Format("%.1f%%", 100 * Mape(cpu_pred, measured)),
+                  Format("%zu", measured.size())});
+  }
+  table.Print();
+  std::printf("\n(paper Limitations: 'when the batch size or the network is "
+              "small ... the CPU and the CPU-GPU communication can be the "
+              "major performance bottleneck'; the extension closes exactly "
+              "that gap while matching KW at large batch)\n");
+  return 0;
+}

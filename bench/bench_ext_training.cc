@@ -1,0 +1,68 @@
+// Extension (paper future work): training workloads. A training step is
+// lowered as forward + backward (data/weight gradients) + SGD updates; a
+// campaign of training steps trains the unchanged KW machinery, whose
+// mapping table simply learns the longer per-layer kernel lists.
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "dataset/builder.h"
+#include "exp_common.h"
+#include "models/kw_model.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main() {
+  // Training campaign at BS 128 on A100 (training batches are smaller
+  // than the inference BS 512, and backward roughly triples the work).
+  std::vector<dnn::Network> networks = zoo::SmallZoo(4);
+  dataset::BuildOptions options;
+  options.gpu_names = {"A100"};
+  options.batch = 128;
+  options.workload = gpuexec::Workload::kTraining;
+  dataset::Dataset data = dataset::BuildDataset(networks, options);
+  dataset::NetworkSplit split =
+      dataset::SplitByNetwork(data, bench::kTestFraction, bench::kSplitSeed);
+
+  models::KwModel kw;
+  kw.Train(data, split);
+  std::printf("training-step campaign: %zu kernel rows, %d distinct "
+              "kernels (inference had ~82)\n",
+              data.kernel_rows().size(), data.kernels().size());
+
+  gpuexec::HardwareOracle oracle{options.oracle};
+  gpuexec::Profiler profiler(oracle);
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+
+  std::vector<double> predicted, measured;
+  for (const dnn::Network& network : networks) {
+    if (!split.IsTest(data.networks().Find(network.name()))) continue;
+    predicted.push_back(kw.PredictUs(network, a100, 128));
+    measured.push_back(profiler.MeasureE2eUs(network, a100, 128,
+                                             gpuexec::Workload::kTraining));
+  }
+  std::printf("KW error on held-out training steps (A100): %.2f%% over %zu "
+              "networks\n\n",
+              100 * Mape(predicted, measured), predicted.size());
+
+  // Sanity: a training step costs roughly 3x the inference pass.
+  TextTable table;
+  table.SetHeader({"network", "inference (ms)", "training step (ms)",
+                   "ratio"});
+  for (const char* name : {"resnet50", "vgg16_bn", "mobilenet_v2"}) {
+    dnn::Network network = zoo::BuildByName(name);
+    const double infer = profiler.MeasureE2eUs(network, a100, 128);
+    const double train = profiler.MeasureE2eUs(
+        network, a100, 128, gpuexec::Workload::kTraining);
+    table.AddRow({name, Format("%.1f", infer / 1e3),
+                  Format("%.1f", train / 1e3),
+                  Format("%.2fx", train / infer)});
+  }
+  table.Print();
+  std::printf("(rule of thumb on real GPUs: an unfused SGD step costs "
+              "3-4.5x the forward pass)\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 2: the profiler's trace links layers on the CPU side to kernels
+// on the GPU stream. This bench prints the first few layers' spans the
+// way the paper's figure draws them, and exports the full trace as
+// Chrome-trace JSON (load it in chrome://tracing or ui.perfetto.dev).
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "gpuexec/profiler.h"
+#include "gpuexec/trace_export.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main() {
+  gpuexec::HardwareOracle oracle{gpuexec::OracleConfig()};
+  gpuexec::Profiler profiler(oracle);
+  dnn::Network network = zoo::BuildByName("resnet18");
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  gpuexec::NetworkProfile profile = profiler.Profile(network, a100, 64);
+
+  std::printf("Figure 2: layer <-> kernel trace (first 6 layers, "
+              "resnet18 @BS64 on A100)\n\n");
+  int layers_shown = 0;
+  int last_layer = -1;
+  for (const gpuexec::KernelRecord& record : profile.kernels) {
+    if (record.layer_index != last_layer) {
+      if (++layers_shown > 6) break;
+      last_layer = record.layer_index;
+      std::printf("CPU  %-12s\n",
+                  network.layers()[record.layer_index].name.c_str());
+    }
+    std::printf("  GPU  [%9.1f .. %9.1f us]  %s\n", record.start_us,
+                record.end_us, record.kernel_name.c_str());
+  }
+
+  const std::string path = "/tmp/gpuperf_resnet18_trace.json";
+  gpuexec::WriteChromeTrace(network, profile, path);
+  std::printf("\nfull trace (%zu kernels) written to %s — open it in "
+              "chrome://tracing\n",
+              profile.kernels.size(), path.c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 3: end-to-end execution time of all networks against their
+// theoretical FLOPs, batch size 4 and higher, on A100.
+//
+// The paper's two observations to reproduce: (1) the trend is linear,
+// (2) the band is constantly about 10x wide, and the linear trend breaks
+// down for small-FLOP workloads (CPU scheduling dominates).
+
+#include <cstdio>
+#include <vector>
+
+#include <cmath>
+
+#include "common/ascii_plot.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "dnn/flops.h"
+#include "exp_common.h"
+#include "gpuexec/profiler.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main() {
+  const gpuexec::HardwareOracle oracle{gpuexec::OracleConfig()};
+  const gpuexec::Profiler profiler(oracle);
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+
+  std::vector<dnn::Network> networks = zoo::SmallZoo(/*stride=*/4);
+  PlotSeries series;
+  series.label = "network execution";
+  std::vector<double> log_flops, log_time;
+  for (const dnn::Network& network : networks) {
+    for (std::int64_t batch : {4, 16, 64, 256}) {
+      const double gflops =
+          static_cast<double>(dnn::NetworkFlops(network, batch)) / 1e9;
+      const double ms = profiler.MeasureE2eUs(network, a100, batch) / 1e3;
+      series.x.push_back(gflops);
+      series.y.push_back(ms);
+      log_flops.push_back(std::log10(gflops));
+      log_time.push_back(std::log10(ms));
+    }
+  }
+
+  PlotOptions options;
+  options.title = "Figure 3: exec time vs FLOPs, all networks, BS >= 4 (A100)";
+  options.x_label = "GFLOPs";
+  options.y_label = "exec time (ms)";
+  options.log_x = true;
+  options.log_y = true;
+  std::fputs(AsciiPlot({series}, options).c_str(), stdout);
+
+  // Quantify the two claims.
+  std::printf("log-log correlation: %.4f (paper: 'the trend is linear')\n",
+              PearsonCorrelation(log_flops, log_time));
+  // Band width: spread of time at fixed work, i.e. of time/FLOPs.
+  std::vector<double> us_per_gflop;
+  for (std::size_t i = 0; i < series.x.size(); ++i) {
+    us_per_gflop.push_back(series.y[i] * 1e3 / series.x[i]);
+  }
+  const double band = Percentile(us_per_gflop, 97.5) /
+                      Percentile(us_per_gflop, 2.5);
+  std::printf("efficiency band (p97.5/p2.5 of time-per-FLOP): %.1fx "
+              "(paper: 'constantly about 10 times wide')\n",
+              band);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 4: execution time for ResNet and VGG networks (standard plus
+// block-added/removed variants) at batch size 512 on A100. The two
+// families fall on different lines: the GPU is more efficient on VGG.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/ascii_plot.h"
+#include "common/string_util.h"
+#include "dnn/flops.h"
+#include "exp_common.h"
+#include "gpuexec/profiler.h"
+#include "regression/linreg.h"
+#include "zoo/resnet.h"
+#include "zoo/vgg.h"
+
+using namespace gpuperf;
+
+int main() {
+  const gpuexec::HardwareOracle oracle{gpuexec::OracleConfig()};
+  const gpuexec::Profiler profiler(oracle);
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  constexpr std::int64_t kBatch = 512;
+
+  PlotSeries resnet_series{"ResNet", {}, {}};
+  PlotSeries vgg_series{"VGG", {}, {}};
+  std::vector<double> rx, ry, vx, vy;
+  for (int blocks = 6; blocks <= 36; blocks += 3) {
+    dnn::Network network = zoo::BuildResNetWithBlocks(blocks);
+    const double gflops =
+        static_cast<double>(dnn::NetworkFlops(network, kBatch)) / 1e9;
+    const double ms = profiler.MeasureE2eUs(network, a100, kBatch) / 1e3;
+    resnet_series.x.push_back(gflops);
+    resnet_series.y.push_back(ms);
+    rx.push_back(gflops);
+    ry.push_back(ms);
+  }
+  for (int convs = 6; convs <= 26; convs += 2) {
+    dnn::Network network = zoo::BuildVggWithConvs(convs);
+    const double gflops =
+        static_cast<double>(dnn::NetworkFlops(network, kBatch)) / 1e9;
+    const double ms = profiler.MeasureE2eUs(network, a100, kBatch) / 1e3;
+    vgg_series.x.push_back(gflops);
+    vgg_series.y.push_back(ms);
+    vx.push_back(gflops);
+    vy.push_back(ms);
+  }
+
+  PlotOptions options;
+  options.title =
+      "Figure 4: ResNet vs VGG variants, BS 512 (A100) - different lines";
+  options.x_label = "GFLOPs";
+  options.y_label = "exec time (ms)";
+  std::fputs(AsciiPlot({resnet_series, vgg_series}, options).c_str(),
+             stdout);
+
+  const regression::LinearFit resnet_fit = regression::FitLinear(rx, ry);
+  const regression::LinearFit vgg_fit = regression::FitLinear(vx, vy);
+  std::printf("ResNet line: %.4f ms/GFLOP (R2=%.4f)\n", resnet_fit.slope,
+              resnet_fit.r2);
+  std::printf("VGG line:    %.4f ms/GFLOP (R2=%.4f)\n", vgg_fit.slope,
+              vgg_fit.r2);
+  std::printf("GPU is %.2fx more efficient per FLOP on VGG "
+              "(paper: VGG more efficient due to structure)\n",
+              resnet_fit.slope / vgg_fit.slope);
+  return 0;
+}

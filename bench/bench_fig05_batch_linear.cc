@@ -1,0 +1,49 @@
+// Figure 5: execution time vs batch size for ResNet-50, MobileNetV2, and
+// VGG-16 on A100 — linear in batch size, with per-network slopes.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/ascii_plot.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "exp_common.h"
+#include "gpuexec/profiler.h"
+#include "regression/linreg.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main() {
+  const gpuexec::HardwareOracle oracle{gpuexec::OracleConfig()};
+  const gpuexec::Profiler profiler(oracle);
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+
+  std::vector<PlotSeries> series;
+  TextTable table;
+  table.SetHeader({"network", "slope (ms/image)", "R2 vs batch size"});
+  for (const char* name : {"resnet50", "mobilenet_v2", "vgg16_bn"}) {
+    dnn::Network network = zoo::BuildByName(name);
+    PlotSeries s{name, {}, {}};
+    std::vector<double> batches, times;
+    for (std::int64_t batch = 2; batch <= 82; batch += 8) {
+      const double ms = profiler.MeasureE2eUs(network, a100, batch) / 1e3;
+      s.x.push_back(static_cast<double>(batch));
+      s.y.push_back(ms);
+      batches.push_back(static_cast<double>(batch));
+      times.push_back(ms);
+    }
+    series.push_back(std::move(s));
+    const regression::LinearFit fit = regression::FitLinear(batches, times);
+    table.AddRow({name, Format("%.4f", fit.slope), Format("%.4f", fit.r2)});
+  }
+
+  PlotOptions options;
+  options.title = "Figure 5: exec time vs batch size (A100)";
+  options.x_label = "batch size";
+  options.y_label = "exec time (ms)";
+  std::fputs(AsciiPlot(series, options).c_str(), stdout);
+  table.Print();
+  std::printf("(paper: linear in batch size; slope differs per network)\n");
+  return 0;
+}

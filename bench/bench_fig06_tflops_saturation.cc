@@ -1,0 +1,56 @@
+// Figure 6: achieved TFLOPS vs batch size on A100 — throughput climbs
+// until the batch saturates the GPU, then plateaus.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/ascii_plot.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "dnn/flops.h"
+#include "exp_common.h"
+#include "gpuexec/profiler.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main() {
+  const gpuexec::HardwareOracle oracle{gpuexec::OracleConfig()};
+  const gpuexec::Profiler profiler(oracle);
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+
+  std::vector<PlotSeries> series;
+  TextTable table;
+  table.SetHeader({"network", "TFLOPS @BS8", "TFLOPS @BS64", "TFLOPS @BS512",
+                   "saturation"});
+  for (const char* name : {"resnet50", "mobilenet_v2", "vgg16_bn"}) {
+    dnn::Network network = zoo::BuildByName(name);
+    PlotSeries s{name, {}, {}};
+    double at8 = 0, at64 = 0, at512 = 0;
+    for (std::int64_t batch : {8, 16, 32, 64, 128, 192, 256, 320, 384, 448,
+                               512}) {
+      const double us = profiler.MeasureE2eUs(network, a100, batch);
+      const double tflops =
+          static_cast<double>(dnn::NetworkFlops(network, batch)) /
+          (us * 1e-6) / 1e12;
+      s.x.push_back(static_cast<double>(batch));
+      s.y.push_back(tflops);
+      if (batch == 8) at8 = tflops;
+      if (batch == 64) at64 = tflops;
+      if (batch == 512) at512 = tflops;
+    }
+    series.push_back(std::move(s));
+    table.AddRow({name, Format("%.2f", at8), Format("%.2f", at64),
+                  Format("%.2f", at512),
+                  Format("%.0f%% of peak by BS64", 100 * at64 / at512)});
+  }
+
+  PlotOptions options;
+  options.title = "Figure 6: achieved TFLOPS vs batch size (A100)";
+  options.x_label = "batch size";
+  options.y_label = "TFLOPS";
+  std::fputs(AsciiPlot(series, options).c_str(), stdout);
+  table.Print();
+  std::printf("(paper: steady throughput once batch size is large enough)\n");
+  return 0;
+}

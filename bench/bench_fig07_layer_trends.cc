@@ -1,0 +1,76 @@
+// Figure 7: layer execution time vs layer FLOPs by layer type on A100 —
+// each type falls on its own linear trend line; Pooling and BN are less
+// efficient (upper-left), FC and CONV more efficient; CONV is the least
+// perfectly linear (multiple cuDNN algorithms).
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/ascii_plot.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "exp_common.h"
+#include "regression/linreg.h"
+
+using namespace gpuperf;
+
+int main() {
+  const bench::Experiment& experiment = bench::Experiment::Full();
+  const dataset::Dataset& data = experiment.data();
+  const int a100 = data.gpus().Find("A100");
+
+  // Aggregate kernel times into layer times, bucketed by layer kind.
+  std::map<std::tuple<int, int>, std::pair<double, double>> layers;
+  std::map<std::tuple<int, int>, dnn::LayerKind> kinds;
+  for (const dataset::KernelRow& row : data.kernel_rows()) {
+    if (row.gpu_id != a100) continue;
+    auto key = std::make_tuple(row.network_id, row.layer_index);
+    layers[key].first += row.time_us;
+    layers[key].second = static_cast<double>(row.layer_flops);
+    kinds[key] = row.layer_kind;
+  }
+
+  std::map<dnn::LayerKind, std::pair<std::vector<double>,
+                                     std::vector<double>>> by_kind;
+  for (const auto& [key, time_flops] : layers) {
+    if (time_flops.second <= 0) continue;  // log axes need positive FLOPs
+    auto& [x, y] = by_kind[kinds[key]];
+    x.push_back(time_flops.second / 1e9);
+    y.push_back(time_flops.first / 1e3);
+  }
+
+  std::vector<PlotSeries> series;
+  TextTable table;
+  table.SetHeader({"layer type", "points", "us per GFLOP", "R2 (linear)"});
+  for (dnn::LayerKind kind :
+       {dnn::LayerKind::kBatchNorm, dnn::LayerKind::kConv2d,
+        dnn::LayerKind::kLinear, dnn::LayerKind::kMaxPool}) {
+    auto it = by_kind.find(kind);
+    if (it == by_kind.end()) continue;
+    auto& [x, y] = it->second;
+    PlotSeries s{dnn::LayerKindName(kind), {}, {}};
+    // Subsample for the plot; fit on everything.
+    for (std::size_t i = 0; i < x.size(); i += std::max<std::size_t>(
+             1, x.size() / 400)) {
+      s.x.push_back(x[i]);
+      s.y.push_back(y[i]);
+    }
+    series.push_back(std::move(s));
+    const regression::LinearFit fit = regression::FitLinear(x, y);
+    table.AddRow({dnn::LayerKindName(kind), Format("%zu", x.size()),
+                  Format("%.2f", fit.slope * 1e3), Format("%.4f", fit.r2)});
+  }
+
+  PlotOptions options;
+  options.title = "Figure 7: layer time vs layer FLOPs by type (A100)";
+  options.x_label = "layer GFLOPs";
+  options.y_label = "layer time (ms)";
+  options.log_x = true;
+  options.log_y = true;
+  std::fputs(AsciiPlot(series, options).c_str(), stdout);
+  table.Print();
+  std::printf("(paper: BN/Pooling upper-left and near-perfectly linear; "
+              "CONV efficient but least linear)\n");
+  return 0;
+}

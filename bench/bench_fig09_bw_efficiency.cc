@@ -1,0 +1,49 @@
+// Figure 9: memory-bandwidth efficiency vs compute efficiency of
+// ResNet-18 across GPUs. Bytes and FLOPs are estimated from layer shapes
+// (not measured), so the absolute numbers understate utilization; the
+// paper's point is that BANDWIDTH efficiency is stable across GPUs while
+// compute efficiency is not — which motivates the IGKW model (O6).
+
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "exp_common.h"
+#include "gpuexec/profiler.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main() {
+  const gpuexec::HardwareOracle oracle{gpuexec::OracleConfig()};
+  const gpuexec::Profiler profiler(oracle);
+  dnn::Network resnet18 = zoo::BuildByName("resnet18");
+
+  TextTable table;
+  table.SetHeader({"GPU", "BW efficiency", "Compute efficiency"});
+  std::vector<double> bw_eff, compute_eff;
+  for (const char* name :
+       {"A40", "A100", "GTX 1080 Ti", "TITAN RTX", "RTX A5000",
+        "Quadro P620"}) {
+    const gpuexec::GpuSpec& gpu = gpuexec::GpuByName(name);
+    gpuexec::NetworkProfile profile = profiler.Profile(resnet18, gpu, 256);
+    gpuexec::EfficiencyReport report =
+        gpuexec::ComputeEfficiency(resnet18, profile, gpu);
+    table.AddRow({name, Format("%.1f%%", 100 * report.bandwidth_efficiency),
+                  Format("%.1f%%", 100 * report.compute_efficiency)});
+    bw_eff.push_back(report.bandwidth_efficiency);
+    compute_eff.push_back(report.compute_efficiency);
+  }
+  table.Print();
+
+  const double bw_cv = StdDev(bw_eff) / Mean(bw_eff);
+  const double compute_cv = StdDev(compute_eff) / Mean(compute_eff);
+  std::printf("\ncoefficient of variation across GPUs: bandwidth %.2f, "
+              "compute %.2f\n",
+              bw_cv, compute_cv);
+  std::printf("(paper: BW efficiency relatively stable (~10%%) across GPUs; "
+              "compute efficiency is not)\n");
+  return 0;
+}

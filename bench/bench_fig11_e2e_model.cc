@@ -1,0 +1,26 @@
+// Figure 11: End-to-End model predictions on A100, normalized to measured
+// time and sorted ascending. Paper: average error 0.35.
+
+#include <cstdio>
+
+#include "exp_common.h"
+#include "models/e2e_model.h"
+
+using namespace gpuperf;
+
+int main() {
+  const bench::Experiment& experiment = bench::Experiment::Full();
+  models::E2eModel model;
+  model.Train(experiment.data(), experiment.split());
+
+  const auto& fit = model.FitFor("A100");
+  std::printf("E2E regression on A100: time_us = %.4g * FLOPs + %.4g "
+              "(R2=%.4f over %zu training networks)\n",
+              fit.slope, fit.intercept, fit.r2, fit.n);
+
+  bench::EvalResult result =
+      bench::EvaluateOnTestSet(experiment, model, "A100");
+  bench::PrintSCurve(result,
+                     "Figure 11: E2E model, A100 (paper: 35% avg error)");
+  return 0;
+}

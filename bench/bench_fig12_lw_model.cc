@@ -1,0 +1,38 @@
+// Figure 12: Layer-Wise model predictions on A100, normalized to measured
+// time and sorted ascending. Paper: average error 0.28.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/string_util.h"
+#include "exp_common.h"
+#include "models/lw_model.h"
+
+using namespace gpuperf;
+
+int main() {
+  const bench::Experiment& experiment = bench::Experiment::Full();
+  models::LwModel model;
+  model.Train(experiment.data(), experiment.split());
+
+  // The per-layer-type regressions the model learned for A100.
+  TextTable table;
+  table.SetHeader({"layer type", "slope (us/GFLOP)", "intercept (us)"});
+  for (dnn::LayerKind kind :
+       {dnn::LayerKind::kConv2d, dnn::LayerKind::kLinear,
+        dnn::LayerKind::kBatchNorm, dnn::LayerKind::kMaxPool,
+        dnn::LayerKind::kRelu, dnn::LayerKind::kAdd}) {
+    const regression::LinearFit* fit = model.FitFor("A100", kind);
+    if (fit == nullptr) continue;
+    table.AddRow({dnn::LayerKindName(kind), Format("%.4f", fit->slope * 1e9),
+                  Format("%.3f", fit->intercept)});
+  }
+  table.Print();
+  std::printf("\n");
+
+  bench::EvalResult result =
+      bench::EvaluateOnTestSet(experiment, model, "A100");
+  bench::PrintSCurve(result,
+                     "Figure 12: LW model, A100 (paper: 28% avg error)");
+  return 0;
+}

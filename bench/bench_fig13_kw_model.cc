@@ -1,0 +1,96 @@
+// Figure 13 (+ Section 5.4 text): Kernel-Wise model on A100 — S-curve,
+// per-GPU error table (paper: A40 6%, A100 7%, 1080 Ti 7.8%, TITAN 9.2%,
+// V100 9.4%), kernel/cluster counts (paper: 182 kernels -> 83 models),
+// and the transformer extension (paper: 4.76% on A100).
+
+#include <cstdio>
+#include <map>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "dataset/builder.h"
+#include "exp_common.h"
+#include "models/kw_model.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main() {
+  const bench::Experiment& experiment = bench::Experiment::Full();
+  models::KwModel model;
+  model.Train(experiment.data(), experiment.split());
+
+  std::printf("KW on A100: %d kernels -> %d regression models "
+              "(paper: 182 -> 83)\n\n",
+              model.KernelCount("A100"), model.ClusterCount("A100"));
+
+  bench::EvalResult result =
+      bench::EvaluateOnTestSet(experiment, model, "A100");
+  bench::PrintSCurve(result,
+                     "Figure 13: KW model, A100 (paper: 7% avg error)");
+
+  // Per-family error breakdown of the test set.
+  {
+    std::map<std::string, std::pair<std::vector<double>,
+                                    std::vector<double>>> by_family;
+    for (std::size_t i = 0; i < result.names.size(); ++i) {
+      const dnn::Network net = zoo::BuildByName(result.names[i]);
+      auto& [pred, meas] = by_family[net.family()];
+      pred.push_back(result.predicted[i]);
+      meas.push_back(result.measured[i]);
+    }
+    TextTable family_table;
+    family_table.SetHeader({"family", "test nets", "KW error"});
+    for (const auto& [family, pm] : by_family) {
+      family_table.AddRow({family, Format("%zu", pm.first.size()),
+                           Format("%.1f%%",
+                                  100 * Mape(pm.first, pm.second))});
+    }
+    family_table.Print();
+    std::printf("\n");
+  }
+
+  // Per-GPU validation (Section 5.4).
+  TextTable per_gpu;
+  per_gpu.SetHeader({"GPU", "KW error", "paper"});
+  const std::pair<const char*, const char*> kPaperErrors[] = {
+      {"A40", "6%"},     {"A100", "7%"},      {"GTX 1080 Ti", "7.8%"},
+      {"TITAN RTX", "9.2%"}, {"V100", "9.4%"},
+  };
+  for (const auto& [gpu, paper] : kPaperErrors) {
+    bench::EvalResult r = bench::EvaluateOnTestSet(experiment, model, gpu);
+    per_gpu.AddRow({gpu, Format("%.1f%%", 100 * r.mape), paper});
+  }
+  per_gpu.Print();
+
+  // Transformer extension: add the text-classification group, retrain,
+  // evaluate on held-out transformers only (paper: 4.76% on A100).
+  std::printf("\nKW model extension for Transformers:\n");
+  std::vector<dnn::Network> transformers = zoo::TransformerZoo();
+  dataset::Dataset data = experiment.data();  // copy, then extend
+  dataset::BuildOptions options;
+  options.gpu_names = {"A100"};
+  options.batch = 128;  // enough to saturate the GPU at seq len 64-256
+  dataset::AppendProfiles(transformers, options, &data);
+  // Cross-validate over three split seeds: the transformer group is small
+  // (28 networks), so a single 15% split would leave a noisy test set.
+  gpuexec::Profiler profiler(experiment.oracle());
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  std::vector<double> predicted, measured;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    dataset::NetworkSplit split =
+        dataset::SplitByNetwork(data, bench::kTestFraction, seed);
+    models::KwModel extended;
+    extended.Train(data, split);
+    for (const dnn::Network& network : transformers) {
+      if (!split.IsTest(data.networks().Find(network.name()))) continue;
+      predicted.push_back(extended.PredictUs(network, a100, 128));
+      measured.push_back(profiler.MeasureE2eUs(network, a100, 128));
+    }
+  }
+  std::printf("transformer test-set error on A100: %.2f%% over %zu "
+              "(network, fold) pairs (paper: 4.76%%)\n",
+              100 * Mape(predicted, measured), predicted.size());
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 14: Inter-GPU Kernel-Wise model predicting TITAN RTX from a
+// training set measured on A100, A40, and GTX 1080 Ti only.
+// Paper: average error 0.152, about half the networks within 10%.
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "exp_common.h"
+#include "models/igkw_model.h"
+
+using namespace gpuperf;
+
+int main() {
+  const bench::Experiment& experiment = bench::Experiment::Full();
+  models::IgkwModel model;
+  model.Train(experiment.data(), experiment.split(),
+              {"A100", "A40", "GTX 1080 Ti"});
+
+  bench::EvalResult result =
+      bench::EvaluateOnTestSet(experiment, model, "TITAN RTX");
+  bench::PrintSCurve(
+      result,
+      "Figure 14: IGKW model, TITAN RTX unseen (paper: 15.2% avg error)");
+  std::printf("networks within 10%% error: %.0f%% (paper: ~50%%)\n",
+              100 * FractionWithin(result.predicted, result.measured, 0.10));
+  return 0;
+}

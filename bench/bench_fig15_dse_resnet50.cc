@@ -1,0 +1,63 @@
+// Figure 15 (case study 1): predicted ResNet-50 execution time on a
+// TITAN RTX with modified memory bandwidth, swept 200..1400 GB/s with the
+// IGKW model. Paper: performance improves with bandwidth; the ideal range
+// is 600-800 GB/s and the stock TITAN RTX (672 GB/s) falls inside it.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/ascii_plot.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "exp_common.h"
+#include "models/igkw_model.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main() {
+  const bench::Experiment& experiment = bench::Experiment::Full();
+  models::IgkwModel igkw;
+  igkw.Train(experiment.data(), experiment.split(),
+             {"A100", "A40", "GTX 1080 Ti"});
+
+  const gpuexec::GpuSpec& titan = gpuexec::GpuByName("TITAN RTX");
+  dnn::Network resnet50 = zoo::BuildByName("resnet50");
+
+  PlotSeries series{"predicted time", {}, {}};
+  TextTable table;
+  table.SetHeader({"bandwidth (GB/s)", "predicted time (ms)",
+                   "vs stock TITAN"});
+  double stock = 0;
+  for (int bw = 200; bw <= 1400; bw += 100) {
+    const double ms =
+        igkw.PredictUs(resnet50, titan.WithBandwidth(bw), 512) / 1e3;
+    series.x.push_back(bw);
+    series.y.push_back(ms);
+    if (bw == 700) stock = ms;  // nearest sampled point to 672 GB/s
+  }
+  for (std::size_t i = 0; i < series.x.size(); ++i) {
+    table.AddRow({Format("%.0f", series.x[i]), Format("%.1f", series.y[i]),
+                  Format("%.2fx", series.y[i] / stock)});
+  }
+
+  PlotOptions options;
+  options.title =
+      "Figure 15: predicted ResNet-50 time vs TITAN RTX bandwidth";
+  options.x_label = "bandwidth (GB/s); stock TITAN RTX = 672";
+  options.y_label = "predicted time (ms)";
+  std::fputs(AsciiPlot({series}, options).c_str(), stdout);
+  table.Print();
+
+  // Knee analysis: where do returns diminish below 5% per +100 GB/s?
+  for (std::size_t i = 1; i < series.x.size(); ++i) {
+    const double gain = (series.y[i - 1] - series.y[i]) / series.y[i - 1];
+    if (gain < 0.05) {
+      std::printf("\nreturns diminish below 5%% per +100 GB/s beyond "
+                  "%.0f GB/s (paper: ideal range 600-800 GB/s)\n",
+                  series.x[i - 1]);
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 16 (case study 1): predicted DenseNet-169 execution time on a
+// TITAN RTX with modified memory bandwidth. Paper: DenseNet-169 is less
+// bandwidth-sensitive than ResNet-50; its optimal range is 500-700 GB/s,
+// so a customer could order a cheaper, lower-bandwidth part.
+
+#include <cstdio>
+
+#include "common/ascii_plot.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "exp_common.h"
+#include "models/igkw_model.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main() {
+  const bench::Experiment& experiment = bench::Experiment::Full();
+  models::IgkwModel igkw;
+  igkw.Train(experiment.data(), experiment.split(),
+             {"A100", "A40", "GTX 1080 Ti"});
+
+  const gpuexec::GpuSpec& titan = gpuexec::GpuByName("TITAN RTX");
+  dnn::Network densenet169 = zoo::BuildByName("densenet169");
+  dnn::Network resnet50 = zoo::BuildByName("resnet50");
+
+  PlotSeries series{"DenseNet-169 predicted time", {}, {}};
+  TextTable table;
+  table.SetHeader({"bandwidth (GB/s)", "predicted time (ms)",
+                   "gain per +100 GB/s"});
+  double previous = 0;
+  for (int bw = 200; bw <= 1400; bw += 100) {
+    const double ms =
+        igkw.PredictUs(densenet169, titan.WithBandwidth(bw), 512) / 1e3;
+    series.x.push_back(bw);
+    series.y.push_back(ms);
+    table.AddRow({Format("%d", bw), Format("%.1f", ms),
+                  previous > 0
+                      ? Format("%.1f%%", 100 * (previous - ms) / previous)
+                      : "-"});
+    previous = ms;
+  }
+
+  PlotOptions options;
+  options.title =
+      "Figure 16: predicted DenseNet-169 time vs TITAN RTX bandwidth";
+  options.x_label = "bandwidth (GB/s); stock TITAN RTX = 672";
+  options.y_label = "predicted time (ms)";
+  std::fputs(AsciiPlot({series}, options).c_str(), stdout);
+  table.Print();
+
+  // Bandwidth sensitivity comparison with ResNet-50 (Figure 15).
+  auto sensitivity = [&](const dnn::Network& network) {
+    const double low =
+        igkw.PredictUs(network, titan.WithBandwidth(500), 512);
+    const double high =
+        igkw.PredictUs(network, titan.WithBandwidth(1000), 512);
+    return low / high;
+  };
+  std::printf("\nspeedup from 500 -> 1000 GB/s: DenseNet-169 %.2fx, "
+              "ResNet-50 %.2fx\n",
+              sensitivity(densenet169), sensitivity(resnet50));
+  std::printf("(paper: DenseNet-169 is less sensitive to high bandwidth; "
+              "500 GB/s loses little)\n");
+  return 0;
+}

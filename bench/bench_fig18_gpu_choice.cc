@@ -1,0 +1,60 @@
+// Figure 18 (case study 3a): measured and predicted execution time for
+// six networks on A40 and TITAN RTX. The model must pick the faster GPU
+// for every network (the paper's yellow crosses).
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "exp_common.h"
+#include "gpuexec/profiler.h"
+#include "models/kw_model.h"
+#include "sched/scheduler.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main() {
+  const bench::Experiment& experiment = bench::Experiment::Full();
+  models::KwModel kw;
+  kw.Train(experiment.data(), experiment.split());
+
+  const gpuexec::GpuSpec& a40 = gpuexec::GpuByName("A40");
+  const gpuexec::GpuSpec& titan = gpuexec::GpuByName("TITAN RTX");
+  const gpuexec::Profiler profiler(experiment.oracle());
+
+  const char* kNetworks[] = {"resnet50",    "resnet77",    "densenet161",
+                             "densenet169", "densenet121", "shufflenet_v1"};
+  constexpr std::int64_t kBatch = 256;
+
+  TextTable table;
+  table.SetHeader({"network", "A40 meas (ms)", "A40 pred (ms)",
+                   "TITAN meas (ms)", "TITAN pred (ms)", "choice",
+                   "correct"});
+  int correct = 0, total = 0;
+  std::vector<std::vector<double>> predicted_times, measured_times;
+  for (const char* name : kNetworks) {
+    dnn::Network network = zoo::BuildByName(name);
+    const double a40_meas = profiler.MeasureE2eUs(network, a40, kBatch);
+    const double titan_meas = profiler.MeasureE2eUs(network, titan, kBatch);
+    const double a40_pred = kw.PredictUs(network, a40, kBatch);
+    const double titan_pred = kw.PredictUs(network, titan, kBatch);
+    predicted_times.push_back({a40_pred, titan_pred});
+    measured_times.push_back({a40_meas, titan_meas});
+    const bool choose_a40 = a40_pred < titan_pred;
+    const bool truth_a40 = a40_meas < titan_meas;
+    ++total;
+    if (choose_a40 == truth_a40) ++correct;
+    table.AddRow({name, Format("%.1f", a40_meas / 1e3),
+                  Format("%.1f", a40_pred / 1e3),
+                  Format("%.1f", titan_meas / 1e3),
+                  Format("%.1f", titan_pred / 1e3),
+                  choose_a40 ? "A40" : "TITAN",
+                  choose_a40 == truth_a40 ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf("\nmodel selects the faster GPU for %d/%d networks "
+              "(paper: all correct)\n",
+              correct, total);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 19 (case study 3b): scheduling a queue of nine networks on an
+// A40 + TITAN RTX pair to minimize the overall makespan, brute-forcing
+// the assignment with predicted times. Paper: the model's dispatching
+// scheme is identical to the oracle (measured-time) solution and gives a
+// near-perfect load balance.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "exp_common.h"
+#include "gpuexec/profiler.h"
+#include "models/kw_model.h"
+#include "sched/scheduler.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main() {
+  const bench::Experiment& experiment = bench::Experiment::Full();
+  models::KwModel kw;
+  kw.Train(experiment.data(), experiment.split());
+
+  const gpuexec::GpuSpec& a40 = gpuexec::GpuByName("A40");
+  const gpuexec::GpuSpec& titan = gpuexec::GpuByName("TITAN RTX");
+  const gpuexec::Profiler profiler(experiment.oracle());
+
+  const char* kQueue[] = {"resnet44",    "resnet50",    "resnet62",
+                          "resnet77",    "densenet121", "densenet161",
+                          "densenet169", "densenet201", "shufflenet_v1"};
+  constexpr std::int64_t kBatch = 256;
+
+  std::vector<std::vector<double>> predicted, measured;
+  for (const char* name : kQueue) {
+    dnn::Network network = zoo::BuildByName(name);
+    predicted.push_back({kw.PredictUs(network, a40, kBatch),
+                         kw.PredictUs(network, titan, kBatch)});
+    measured.push_back({profiler.MeasureE2eUs(network, a40, kBatch),
+                        profiler.MeasureE2eUs(network, titan, kBatch)});
+  }
+
+  const sched::Schedule model_schedule = sched::BruteForceSchedule(predicted);
+  const sched::Schedule oracle_schedule = sched::BruteForceSchedule(measured);
+
+  // The model's schedule, *executed* with real (measured) times.
+  const double model_real_makespan =
+      sched::Makespan(measured, model_schedule.assignment);
+
+  TextTable table;
+  table.SetHeader({"network", "model assigns", "oracle assigns",
+                   "time there (ms)"});
+  int agreements = 0;
+  for (std::size_t job = 0; job < std::size(kQueue); ++job) {
+    const int gpu = model_schedule.assignment[job];
+    if (gpu == oracle_schedule.assignment[job]) ++agreements;
+    table.AddRow({kQueue[job], gpu == 0 ? "A40" : "TITAN",
+                  oracle_schedule.assignment[job] == 0 ? "A40" : "TITAN",
+                  Format("%.1f", measured[job][gpu] / 1e3)});
+  }
+  table.Print();
+
+  std::printf("\nGantt (model schedule, measured times):\n");
+  for (int gpu = 0; gpu < 2; ++gpu) {
+    std::string lane = gpu == 0 ? "A40   |" : "TITAN |";
+    double load = 0;
+    for (std::size_t job = 0; job < std::size(kQueue); ++job) {
+      if (model_schedule.assignment[job] != gpu) continue;
+      lane += Format(" %s (%.0fms) |", kQueue[job],
+                     measured[job][gpu] / 1e3);
+      load += measured[job][gpu];
+    }
+    lane += Format("  total %.1f ms", load / 1e3);
+    std::printf("%s\n", lane.c_str());
+  }
+
+  std::printf("\nmakespan: model schedule %.1f ms, oracle schedule %.1f ms "
+              "(gap %.2f%%), per-job agreement %d/%zu\n",
+              model_real_makespan / 1e3, oracle_schedule.makespan_us / 1e3,
+              100 * (model_real_makespan - oracle_schedule.makespan_us) /
+                  oracle_schedule.makespan_us,
+              agreements, std::size(kQueue));
+  std::printf("(paper: the model's dispatching scheme is identical to the "
+              "oracle execution solution)\n");
+  return 0;
+}

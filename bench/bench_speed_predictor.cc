@@ -1,0 +1,103 @@
+// google-benchmark microbenchmarks of the prediction pipeline: the
+// paper's core speed claim is that a trained KW model predicts in
+// microseconds-to-milliseconds where simulators need hours.
+
+#include <benchmark/benchmark.h>
+
+#include "dataset/builder.h"
+#include "dnn/flops.h"
+#include "gpuexec/lowering.h"
+#include "gpuexec/profiler.h"
+#include "models/e2e_model.h"
+#include "models/kw_model.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+namespace {
+
+/** Small shared fixture: one dataset + trained models. */
+struct Fixture {
+  std::vector<dnn::Network> networks = zoo::SmallZoo(/*stride=*/16);
+  dataset::Dataset data;
+  dataset::NetworkSplit split;
+  models::KwModel kw;
+  models::E2eModel e2e;
+  dnn::Network resnet50 = zoo::BuildByName("resnet50");
+
+  Fixture() {
+    dataset::BuildOptions options;
+    options.gpu_names = {"A100"};
+    data = dataset::BuildDataset(networks, options);
+    split = dataset::SplitByNetwork(data, 0.15, 7);
+    kw.Train(data, split);
+    e2e.Train(data, split);
+  }
+
+  static const Fixture& Get() {
+    static const Fixture* const kFixture = new Fixture();
+    return *kFixture;
+  }
+};
+
+void BM_KwPredictResnet50(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.kw.PredictUs(fixture.resnet50, a100, 256));
+  }
+}
+BENCHMARK(BM_KwPredictResnet50);
+
+void BM_E2ePredictResnet50(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.e2e.PredictUs(fixture.resnet50, a100, 256));
+  }
+}
+BENCHMARK(BM_E2ePredictResnet50);
+
+void BM_KwTrain(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  for (auto _ : state) {
+    models::KwModel model;
+    model.Train(fixture.data, fixture.split);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_KwTrain)->Unit(benchmark::kMillisecond);
+
+void BM_LowerResnet50(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpuexec::LowerNetwork(fixture.resnet50, 256));
+  }
+}
+BENCHMARK(BM_LowerResnet50);
+
+void BM_ProfileResnet50(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  const gpuexec::HardwareOracle oracle{gpuexec::OracleConfig()};
+  const gpuexec::Profiler profiler(oracle);
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        profiler.MeasureE2eUs(fixture.resnet50, a100, 256));
+  }
+}
+BENCHMARK(BM_ProfileResnet50)->Unit(benchmark::kMillisecond);
+
+void BM_NetworkFlops(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dnn::NetworkFlops(fixture.resnet50, 256));
+  }
+}
+BENCHMARK(BM_NetworkFlops);
+
+}  // namespace
+
+BENCHMARK_MAIN();

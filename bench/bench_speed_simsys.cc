@@ -1,0 +1,90 @@
+// google-benchmark microbenchmarks of the simulation subsystem: the case
+// studies' value rests on whole design sweeps costing milliseconds, so
+// the event engine and system models must be fast.
+
+#include <benchmark/benchmark.h>
+
+#include "simsys/data_parallel.h"
+#include "simsys/disagg.h"
+#include "simsys/event_queue.h"
+#include "simsys/pipeline_parallel.h"
+#include "simsys/serving.h"
+
+using namespace gpuperf;
+
+namespace {
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    simsys::EventQueue queue;
+    int fired = 0;
+    for (int i = 0; i < events; ++i) {
+      queue.Schedule(static_cast<double>((i * 7919) % events),
+                     [&fired] { ++fired; });
+    }
+    queue.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+void BM_DisaggSweep(benchmark::State& state) {
+  // One full Figure 17 row: a 200-layer network across 6 bandwidths.
+  std::vector<double> compute(200, 50.0);
+  std::vector<std::int64_t> weights(200, 2'000'000);
+  for (auto _ : state) {
+    double total = 0;
+    for (double bw : {16.0, 32.0, 64.0, 128.0, 256.0, 512.0}) {
+      simsys::DisaggConfig config;
+      config.link_bandwidth_gbps = bw;
+      total += simsys::SimulateDisaggregated(compute, weights, config)
+                   .total_time_us;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_DisaggSweep)->Unit(benchmark::kMicrosecond);
+
+void BM_DataParallelStep(benchmark::State& state) {
+  std::vector<double> fwd(300, 30.0), bwd(300, 60.0);
+  std::vector<std::int64_t> grads(300, 1'500'000);
+  simsys::DataParallelConfig config;
+  config.num_gpus = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simsys::SimulateDataParallelStep(fwd, bwd, grads, config));
+  }
+}
+BENCHMARK(BM_DataParallelStep)->Unit(benchmark::kMicrosecond);
+
+void BM_PipelinePartitionAndStep(benchmark::State& state) {
+  std::vector<double> fwd(400, 20.0), bwd(400, 40.0);
+  std::vector<std::int64_t> acts(400, 4'000'000);
+  simsys::PipelineConfig config;
+  config.num_stages = 8;
+  config.micro_batches = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simsys::SimulatePipeline(fwd, bwd, acts, config));
+  }
+}
+BENCHMARK(BM_PipelinePartitionAndStep)->Unit(benchmark::kMillisecond);
+
+void BM_ServingSimulation(benchmark::State& state) {
+  std::vector<std::vector<double>> times{{1000, 4000}, {5000, 1200}};
+  std::vector<double> mix{1, 1};
+  simsys::ServingConfig config;
+  config.arrival_rate_per_s = 200;
+  config.duration_s = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simsys::SimulateServing(times, times, mix, config));
+  }
+}
+BENCHMARK(BM_ServingSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

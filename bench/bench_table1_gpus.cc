@@ -1,0 +1,21 @@
+// Table 1: the GPUs used in the experiments.
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "gpuexec/gpu_spec.h"
+
+using namespace gpuperf;
+
+int main() {
+  TextTable table;
+  table.SetHeader({"GPU", "Bandwidth (GB/s)", "Memory (GB)",
+                   "TFLOPS (FP32)", "Tensor Core", "SMs"});
+  for (const gpuexec::GpuSpec& gpu : gpuexec::AllGpus()) {
+    table.AddRow({gpu.name, Format("%.0f", gpu.bandwidth_gbps),
+                  Format("%.0f", gpu.memory_gb),
+                  Format("%.1f", gpu.fp32_tflops),
+                  Format("%d", gpu.tensor_cores), Format("%d", gpu.sm_count)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "exp_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/ascii_plot.h"
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "dataset/builder.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::bench {
+
+const Experiment& Experiment::Full() {
+  static const Experiment* const kExperiment = new Experiment();
+  return *kExperiment;
+}
+
+Experiment::Experiment()
+    : oracle_(gpuexec::OracleConfig()), profiler_(oracle_) {
+  const char* fast = std::getenv("GPUPERF_FAST");
+  networks_ = (fast != nullptr && fast[0] == '1') ? zoo::SmallZoo(8)
+                                                  : zoo::ImageClassificationZoo();
+  LogInfo(Format("profiling %zu networks on %zu GPUs at BS=%ld ...",
+                 networks_.size(), gpuexec::AllGpus().size(),
+                 (long)kTrainBatch));
+  dataset::BuildOptions options;
+  options.batch = kTrainBatch;
+  data_ = dataset::BuildDataset(networks_, options);
+  split_ = dataset::SplitByNetwork(data_, kTestFraction, kSplitSeed);
+  for (const dataset::NetworkRow& row : data_.network_rows()) {
+    measured_[{data_.gpus().Get(row.gpu_id),
+               data_.networks().Get(row.network_id)}] = row.e2e_us;
+  }
+  for (std::size_t i = 0; i < networks_.size(); ++i) {
+    id_to_index_[data_.networks().Find(networks_[i].name())] =
+        static_cast<int>(i);
+  }
+  LogInfo(Format("dataset ready: %zu kernel rows, %d distinct kernels, "
+                 "%zu/%zu train/test networks",
+                 data_.kernel_rows().size(), data_.kernels().size(),
+                 split_.train_ids.size(), split_.test_ids.size()));
+}
+
+const dnn::Network& Experiment::NetworkById(int network_id) const {
+  auto it = id_to_index_.find(network_id);
+  if (it == id_to_index_.end()) Fatal("unknown network id in experiment");
+  return networks_[it->second];
+}
+
+bool Experiment::HasMeasurement(const std::string& gpu_name,
+                                const std::string& network_name) const {
+  return measured_.count({gpu_name, network_name}) > 0;
+}
+
+double Experiment::MeasuredE2eUs(const std::string& gpu_name,
+                                 const std::string& network_name) const {
+  auto it = measured_.find({gpu_name, network_name});
+  if (it == measured_.end()) {
+    Fatal("no measurement for " + network_name + " on " + gpu_name);
+  }
+  return it->second;
+}
+
+EvalResult EvaluateOnTestSet(const Experiment& experiment,
+                             const models::Predictor& predictor,
+                             const std::string& gpu_name) {
+  EvalResult result;
+  const gpuexec::GpuSpec& gpu = gpuexec::GpuByName(gpu_name);
+  for (int network_id : experiment.split().test_ids) {
+    const dnn::Network& network = experiment.NetworkById(network_id);
+    if (!experiment.HasMeasurement(gpu_name, network.name())) {
+      continue;  // cleaned from the dataset (e.g. out-of-memory)
+    }
+    result.names.push_back(network.name());
+    result.predicted.push_back(
+        predictor.PredictUs(network, gpu, kTrainBatch));
+    result.measured.push_back(
+        experiment.MeasuredE2eUs(gpu_name, network.name()));
+  }
+  result.mape = Mape(result.predicted, result.measured);
+  return result;
+}
+
+void PrintSCurve(const EvalResult& result, const std::string& title) {
+  std::vector<SCurvePoint> curve = SCurve(result.predicted, result.measured);
+  PlotSeries series;
+  series.label = "pred/measured";
+  for (const SCurvePoint& point : curve) {
+    series.x.push_back(point.percent);
+    series.y.push_back(point.ratio);
+  }
+  PlotOptions options;
+  options.title = title;
+  options.x_label = "percentage of test set";
+  options.y_label = "predicted / measured";
+  options.log_y = true;
+  options.height = 16;
+  std::fputs(AsciiPlot({series}, options).c_str(), stdout);
+
+  TextTable table;
+  table.SetHeader({"percentile", "pred/measured"});
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0}) {
+    std::vector<double> ratios;
+    for (const SCurvePoint& point : curve) ratios.push_back(point.ratio);
+    table.AddRow({Format("%.0f%%", p),
+                  Format("%.3f", Percentile(ratios, p))});
+  }
+  table.Print();
+  std::printf("average error: %.3f (%zu test networks)\n\n", result.mape,
+              result.names.size());
+}
+
+}  // namespace gpuperf::bench

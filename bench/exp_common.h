@@ -1,0 +1,85 @@
+#ifndef GPUPERF_BENCH_EXP_COMMON_H_
+#define GPUPERF_BENCH_EXP_COMMON_H_
+
+/**
+ * @file
+ * Shared experiment plumbing for the bench binaries: one full measurement
+ * campaign (the 646-network zoo on all seven GPUs at BS = 512) built once
+ * per process, plus evaluation and S-curve rendering helpers shared by the
+ * Figure 11-14 reproductions.
+ *
+ * Set GPUPERF_FAST=1 to run on a 1/8 zoo (CI-speed smoke runs).
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dnn/network.h"
+#include "gpuexec/oracle.h"
+#include "gpuexec/profiler.h"
+#include "models/predictor.h"
+
+namespace gpuperf::bench {
+
+/** Split/measurement constants shared by every experiment. */
+inline constexpr std::uint64_t kSplitSeed = 0x5eedf00dULL;
+inline constexpr double kTestFraction = 0.15;
+inline constexpr std::int64_t kTrainBatch = 512;
+
+/** The full measurement campaign, built lazily once per process. */
+class Experiment {
+ public:
+  /** The singleton campaign (full zoo x all GPUs at BS 512). */
+  static const Experiment& Full();
+
+  const std::vector<dnn::Network>& networks() const { return networks_; }
+  const dataset::Dataset& data() const { return data_; }
+  const dataset::NetworkSplit& split() const { return split_; }
+  const gpuexec::HardwareOracle& oracle() const { return oracle_; }
+  const gpuexec::Profiler& profiler() const { return profiler_; }
+
+  /** The network object with dataset id `network_id`. */
+  const dnn::Network& NetworkById(int network_id) const;
+
+  /** Measured e2e time of (gpu, network) at BS 512 from the dataset. */
+  double MeasuredE2eUs(const std::string& gpu_name,
+                       const std::string& network_name) const;
+
+  /** False if the combo was skipped (e.g. out-of-memory cleaning). */
+  bool HasMeasurement(const std::string& gpu_name,
+                      const std::string& network_name) const;
+
+ private:
+  Experiment();
+
+  std::vector<dnn::Network> networks_;
+  dataset::Dataset data_;
+  dataset::NetworkSplit split_;
+  gpuexec::HardwareOracle oracle_;
+  gpuexec::Profiler profiler_;
+  std::map<std::pair<std::string, std::string>, double> measured_;
+  std::map<int, int> id_to_index_;
+};
+
+/** Predictions vs measurements over the held-out networks of one GPU. */
+struct EvalResult {
+  std::vector<std::string> names;
+  std::vector<double> predicted;
+  std::vector<double> measured;
+  double mape = 0;
+};
+
+/** Runs `predictor` on every test-set network for `gpu_name` at BS 512. */
+EvalResult EvaluateOnTestSet(const Experiment& experiment,
+                             const models::Predictor& predictor,
+                             const std::string& gpu_name);
+
+/** Prints the paper's S-curve (pred/measured sorted) plus summary rows. */
+void PrintSCurve(const EvalResult& result, const std::string& title);
+
+}  // namespace gpuperf::bench
+
+#endif  // GPUPERF_BENCH_EXP_COMMON_H_

@@ -1,0 +1,75 @@
+// Case study 1 as a library walkthrough: explore the memory-bandwidth
+// design space of a hypothetical GPU for a specific network.
+//
+// An accelerator vendor asks: "if we keep TITAN RTX's cores and clocks
+// but change the memory system, what bandwidth should we buy for this
+// customer's model?" The IGKW model answers without any hardware: it was
+// trained on three *other* GPUs and predicts from Table 1 specs alone.
+//
+// Usage: bandwidth_dse [network] [batch]
+//   e.g. bandwidth_dse resnet50 512
+//        bandwidth_dse densenet169 256
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/ascii_plot.h"
+#include "common/string_util.h"
+#include "dataset/builder.h"
+#include "models/igkw_model.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main(int argc, char** argv) {
+  const std::string network_name = argc > 1 ? argv[1] : "resnet50";
+  const std::int64_t batch = argc > 2 ? std::atoll(argv[2]) : 512;
+
+  // 1. Measurement campaign on the three training GPUs (TITAN RTX is
+  //    deliberately absent — the DSE target must be an unseen device).
+  std::printf("building training campaign (A100, A40, GTX 1080 Ti)...\n");
+  dataset::BuildOptions options;
+  options.gpu_names = {"A100", "A40", "GTX 1080 Ti"};
+  dataset::Dataset data = dataset::BuildDataset(zoo::SmallZoo(4), options);
+  dataset::NetworkSplit split = dataset::SplitByNetwork(data, 0.15, 1);
+
+  // 2. Train the Inter-GPU Kernel-Wise model.
+  models::IgkwModel igkw;
+  igkw.Train(data, split, options.gpu_names);
+
+  // 3. Sweep bandwidth on the hypothetical part.
+  dnn::Network network = zoo::BuildByName(network_name);
+  const gpuexec::GpuSpec& titan = gpuexec::GpuByName("TITAN RTX");
+  PlotSeries series{"predicted time", {}, {}};
+  std::printf("\n%-18s %-20s %s\n", "bandwidth (GB/s)", "predicted (ms)",
+              "marginal gain per +100 GB/s");
+  double previous = 0;
+  double knee = 0;
+  for (int bw = 200; bw <= 1400; bw += 100) {
+    const double ms =
+        igkw.PredictUs(network, titan.WithBandwidth(bw), batch) / 1e3;
+    series.x.push_back(bw);
+    series.y.push_back(ms);
+    const double gain =
+        previous > 0 ? (previous - ms) / previous : 0.0;
+    std::printf("%-18d %-20.1f %s\n", bw, ms,
+                previous > 0 ? Format("%.1f%%", 100 * gain).c_str() : "-");
+    if (previous > 0 && gain < 0.05 && knee == 0) knee = bw - 100;
+    previous = ms;
+  }
+
+  PlotOptions plot;
+  plot.title = Format("%s on a TITAN-RTX-class GPU with modified bandwidth",
+                      network_name.c_str());
+  plot.x_label = "bandwidth (GB/s)";
+  plot.y_label = "predicted time (ms)";
+  std::fputs(AsciiPlot({series}, plot).c_str(), stdout);
+
+  if (knee > 0) {
+    std::printf("recommendation: returns diminish beyond ~%.0f GB/s; the "
+                "stock TITAN RTX ships 672 GB/s.\n",
+                knee);
+  }
+  return 0;
+}

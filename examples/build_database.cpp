@@ -1,0 +1,60 @@
+// Builds and exports the open DNN performance database (the paper's
+// first contribution) plus a distributable trained KW model bundle:
+//
+//   <out>/database/networks.csv    one row per (GPU, network, batch)
+//   <out>/database/kernels.csv     one row per kernel execution
+//   <out>/model/kernel_models.csv  trained per-kernel regressions
+//   <out>/model/mapping_table.csv  layer -> kernel lookup table
+//   <out>/model/calibration.csv    per-GPU e2e calibration factors
+//   <out>/model/layer_fallback.csv layer-wise fallback fits
+//
+// A consumer can then predict without any measurement infrastructure:
+// load the model bundle, construct a network, call PredictUs.
+//
+// Usage: build_database [out_dir] [zoo_stride]
+//   zoo_stride 1 reproduces the full 646-network campaign (~1 min);
+//   the default 8 builds a 1/8 campaign in seconds.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "dataset/builder.h"
+#include "models/kw_model.h"
+#include "models/model_io.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "gpuperf_release";
+  const int stride = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  std::vector<dnn::Network> networks = zoo::SmallZoo(stride);
+  std::printf("profiling %zu networks on all %zu GPUs at BS 512...\n",
+              networks.size(), gpuexec::AllGpus().size());
+  dataset::BuildOptions options;  // all GPUs, BS 512, 30 measured batches
+  dataset::Dataset data = dataset::BuildDataset(networks, options);
+
+  std::filesystem::create_directories(out + "/database");
+  data.SaveCsv(out + "/database");
+  std::printf("database: %zu network rows, %zu kernel rows -> %s/database\n",
+              data.network_rows().size(), data.kernel_rows().size(),
+              out.c_str());
+
+  models::KwModel kw;
+  kw.Train(data, dataset::SplitByNetwork(data, 0.15, 42));
+  std::filesystem::create_directories(out + "/model");
+  models::ModelIo::SaveKw(kw, out + "/model");
+  std::printf("model: %d kernels -> %d regressions on A100 -> %s/model\n",
+              kw.KernelCount("A100"), kw.ClusterCount("A100"), out.c_str());
+
+  // Round-trip smoke test: a consumer-side prediction.
+  models::KwModel consumer = models::ModelIo::LoadKw(out + "/model");
+  dnn::Network resnet50 = zoo::BuildByName("resnet50");
+  std::printf("consumer-side prediction: resnet50 @BS256 on A100 = %.1f ms\n",
+              consumer.PredictUs(resnet50, gpuexec::GpuByName("A100"), 256) /
+                  1e3);
+  return 0;
+}

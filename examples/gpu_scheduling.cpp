@@ -1,0 +1,85 @@
+// Case study 3 as a library walkthrough: a machine-learning-as-a-service
+// vendor schedules a queue of inference jobs across a heterogeneous GPU
+// pool using predicted times. Because a KW prediction costs microseconds,
+// brute-force search over all assignments is affordable.
+//
+// Usage: gpu_scheduling [batch]
+//   e.g. gpu_scheduling 256
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "dataset/builder.h"
+#include "gpuexec/profiler.h"
+#include "models/kw_model.h"
+#include "sched/scheduler.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main(int argc, char** argv) {
+  const std::int64_t batch = argc > 1 ? std::atoll(argv[1]) : 256;
+  const char* kQueue[] = {"resnet44",    "resnet50",    "resnet62",
+                          "resnet77",    "densenet121", "densenet161",
+                          "densenet169", "densenet201", "shufflenet_v1"};
+  const char* kPool[] = {"A40", "TITAN RTX", "V100"};
+
+  // 1. Train the KW model on a campaign covering the pool.
+  std::printf("building campaign on %zu GPUs...\n", std::size(kPool));
+  dataset::BuildOptions options;
+  options.gpu_names.assign(std::begin(kPool), std::end(kPool));
+  dataset::Dataset data = dataset::BuildDataset(zoo::SmallZoo(4), options);
+  models::KwModel kw;
+  kw.Train(data, dataset::SplitByNetwork(data, 0.15, 1));
+
+  // 2. Predicted and (for validation) measured runtimes per job per GPU.
+  gpuexec::HardwareOracle oracle{gpuexec::OracleConfig()};
+  gpuexec::Profiler profiler(oracle);
+  std::vector<std::vector<double>> predicted, measured;
+  TextTable per_job;
+  std::vector<std::string> header{"job"};
+  for (const char* gpu : kPool) header.push_back(Format("%s (ms)", gpu));
+  header.push_back("fastest");
+  per_job.SetHeader(header);
+  for (const char* name : kQueue) {
+    dnn::Network network = zoo::BuildByName(name);
+    std::vector<double> job_pred, job_meas;
+    std::vector<std::string> row{name};
+    for (const char* gpu_name : kPool) {
+      const gpuexec::GpuSpec& gpu = gpuexec::GpuByName(gpu_name);
+      job_pred.push_back(kw.PredictUs(network, gpu, batch));
+      job_meas.push_back(profiler.MeasureE2eUs(network, gpu, batch));
+      row.push_back(Format("%.0f", job_pred.back() / 1e3));
+    }
+    row.push_back(kPool[sched::FastestGpuPerJob({job_pred})[0]]);
+    per_job.AddRow(row);
+    predicted.push_back(std::move(job_pred));
+    measured.push_back(std::move(job_meas));
+  }
+  per_job.Print();
+
+  // 3. Brute-force the queue assignment with predicted times and execute
+  //    it against measured times.
+  sched::Schedule plan = sched::BruteForceSchedule(predicted);
+  sched::Schedule oracle_plan = sched::BruteForceSchedule(measured);
+  std::printf("\nplanned schedule:\n");
+  for (std::size_t gpu = 0; gpu < std::size(kPool); ++gpu) {
+    std::string lane = Format("  %-10s|", kPool[gpu]);
+    for (std::size_t job = 0; job < std::size(kQueue); ++job) {
+      if (plan.assignment[job] == static_cast<int>(gpu)) {
+        lane += Format(" %s |", kQueue[job]);
+      }
+    }
+    std::printf("%s\n", lane.c_str());
+  }
+  const double planned = sched::Makespan(measured, plan.assignment);
+  std::printf("\nmakespan executing the plan: %.1f ms; perfect-knowledge "
+              "optimum: %.1f ms (gap %.2f%%)\n",
+              planned / 1e3, oracle_plan.makespan_us / 1e3,
+              100 * (planned - oracle_plan.makespan_us) /
+                  oracle_plan.makespan_us);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: build a dataset on the synthetic A100, train the four
+// performance models, and predict a held-out network's execution time.
+//
+// This walks the full Figure 10 workflow in about a minute:
+//   zoo -> profiler (hardware oracle) -> dataset -> train -> predict.
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "dataset/builder.h"
+#include "dataset/dataset.h"
+#include "dnn/flops.h"
+#include "gpuexec/gpu_spec.h"
+#include "gpuexec/profiler.h"
+#include "models/e2e_model.h"
+#include "models/igkw_model.h"
+#include "models/kw_model.h"
+#include "models/lw_model.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main() {
+  // 1. Collect a (small, for speed) model zoo.
+  std::vector<dnn::Network> networks = zoo::SmallZoo(/*stride=*/8);
+  std::printf("zoo: %zu networks\n", networks.size());
+
+  // 2. Measure them on A100, A40, GTX 1080 Ti, and TITAN RTX.
+  dataset::BuildOptions options;
+  options.gpu_names = {"A100", "A40", "GTX 1080 Ti", "TITAN RTX"};
+  dataset::Dataset data = dataset::BuildDataset(networks, options);
+  std::printf("dataset: %zu network rows, %zu kernel rows, %d kernels\n",
+              data.network_rows().size(), data.kernel_rows().size(),
+              data.kernels().size());
+
+  // 3. Split 85/15 by network and train the models.
+  dataset::NetworkSplit split = dataset::SplitByNetwork(data, 0.15, 42);
+  models::E2eModel e2e;
+  e2e.Train(data, split);
+  models::LwModel lw;
+  lw.Train(data, split);
+  models::KwModel kw;
+  kw.Train(data, split);
+  models::IgkwModel igkw;
+  igkw.Train(data, split, {"A100", "A40", "GTX 1080 Ti"});
+  std::printf("KW on A100: %d kernels -> %d regression models\n",
+              kw.KernelCount("A100"), kw.ClusterCount("A100"));
+
+  // 4. Evaluate on the held-out networks.
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  const gpuexec::GpuSpec& titan = gpuexec::GpuByName("TITAN RTX");
+  gpuexec::HardwareOracle oracle(options.oracle);
+  gpuexec::Profiler profiler(oracle);
+
+  std::vector<double> e2e_pred, lw_pred, kw_pred, igkw_pred, measured_a100,
+      measured_titan;
+  for (const dnn::Network& network : networks) {
+    const int id = data.networks().Find(network.name());
+    if (!split.IsTest(id)) continue;
+    const double on_a100 = profiler.MeasureE2eUs(network, a100, 512);
+    const double on_titan = profiler.MeasureE2eUs(network, titan, 512);
+    measured_a100.push_back(on_a100);
+    measured_titan.push_back(on_titan);
+    e2e_pred.push_back(e2e.PredictUs(network, a100, 512));
+    lw_pred.push_back(lw.PredictUs(network, a100, 512));
+    kw_pred.push_back(kw.PredictUs(network, a100, 512));
+    igkw_pred.push_back(igkw.PredictUs(network, titan, 512));
+  }
+  std::printf("test networks: %zu\n", measured_a100.size());
+  std::printf("E2E  error on A100:      %5.1f%%\n",
+              100 * Mape(e2e_pred, measured_a100));
+  std::printf("LW   error on A100:      %5.1f%%\n",
+              100 * Mape(lw_pred, measured_a100));
+  std::printf("KW   error on A100:      %5.1f%%\n",
+              100 * Mape(kw_pred, measured_a100));
+  std::printf("IGKW error on TITAN RTX: %5.1f%%  (TITAN not in training set)\n",
+              100 * Mape(igkw_pred, measured_titan));
+
+  // 5. Predict a brand-new network that is not in the zoo at all.
+  dnn::Network custom = zoo::BuildByName("resnet86");
+  std::printf("resnet86 (unseen): predicted %s ms on A100, measured %s ms\n",
+              Pretty(kw.PredictUs(custom, a100, 512) / 1000.0).c_str(),
+              Pretty(profiler.MeasureE2eUs(custom, a100, 512) / 1000.0)
+                  .c_str());
+  return 0;
+}

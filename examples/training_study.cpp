@@ -1,0 +1,108 @@
+// Walkthrough of the training-side extensions in one place: profile
+// training steps, train a training-mode KW model, and use it to size a
+// distributed-training deployment (data-parallel fabric and pipeline
+// configuration) — all from network structure and Table 1 specs.
+//
+// Usage: training_study [network] [micro_batch]
+//   e.g. training_study resnet50 16
+//        training_study bert_base 8
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "dataset/builder.h"
+#include "dnn/flops.h"
+#include "dnn/memory.h"
+#include "models/kw_model.h"
+#include "simsys/data_parallel.h"
+#include "simsys/pipeline_parallel.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "resnet50";
+  const std::int64_t micro = argc > 2 ? std::atoll(argv[2]) : 16;
+
+  // 1. Two campaigns on A100: forward-only and full training steps.
+  std::printf("building inference + training campaigns (A100, BS %ld)...\n",
+              (long)micro);
+  dataset::BuildOptions options;
+  options.gpu_names = {"A100"};
+  options.batch = micro;
+  dataset::Dataset fwd_data = dataset::BuildDataset(zoo::SmallZoo(8), options);
+  options.workload = gpuexec::Workload::kTraining;
+  dataset::Dataset step_data =
+      dataset::BuildDataset(zoo::SmallZoo(8), options);
+  models::KwModel fwd_model, step_model;
+  fwd_model.Train(fwd_data, dataset::SplitByNetwork(fwd_data, 0.15, 1));
+  step_model.Train(step_data, dataset::SplitByNetwork(step_data, 0.15, 1));
+
+  // 2. Per-layer forward/backward/gradient profile of the target network.
+  dnn::Network network = zoo::BuildByName(name);
+  std::vector<double> forward_us, backward_us;
+  std::vector<std::int64_t> gradient_bytes, activation_bytes;
+  double fwd_total = 0, bwd_total = 0;
+  for (const dnn::Layer& layer : network.layers()) {
+    const double fwd = fwd_model.PredictLayerUs(layer, "A100", micro);
+    const double step = step_model.PredictLayerUs(layer, "A100", micro);
+    forward_us.push_back(fwd);
+    backward_us.push_back(std::max(0.0, step - fwd));
+    gradient_bytes.push_back(dnn::LayerWeightBytes(layer));
+    activation_bytes.push_back(dnn::LayerOutputBytes(layer, micro));
+    fwd_total += forward_us.back();
+    bwd_total += backward_us.back();
+  }
+  std::printf("\n%s: predicted forward %.2f ms, backward %.2f ms per "
+              "micro-batch; training footprint %s (fits a 40 GB A100 up "
+              "to BS %ld)\n\n",
+              name.c_str(), fwd_total / 1e3, bwd_total / 1e3,
+              Engineering(static_cast<double>(
+                              dnn::TrainingFootprintBytes(network, micro)))
+                  .c_str(),
+              (long)dnn::LargestFittingBatch(network, 40.0));
+
+  // 3. Data parallelism: which fabric keeps scaling efficient?
+  std::printf("data-parallel weak scaling (gradient-bucket overlap):\n");
+  TextTable dp;
+  dp.SetHeader({"GPUs", "4 GB/s", "16 GB/s", "64 GB/s", "300 GB/s"});
+  for (int gpus : {2, 4, 8}) {
+    std::vector<std::string> row{Format("%d", gpus)};
+    for (double fabric : {4.0, 16.0, 64.0, 300.0}) {
+      simsys::DataParallelConfig config;
+      config.num_gpus = gpus;
+      config.link_bandwidth_gbps = fabric;
+      simsys::DataParallelResult result = simsys::SimulateDataParallelStep(
+          forward_us, backward_us, gradient_bytes, config);
+      row.push_back(Format("%.0f%%", 100 * result.scaling_efficiency));
+    }
+    dp.AddRow(row);
+  }
+  dp.Print();
+
+  // 4. Pipeline parallelism: stages x micro-batches.
+  std::printf("\npipeline-parallel bubble (300 GB/s stage links):\n");
+  TextTable pp;
+  pp.SetHeader({"stages", "M=4", "M=16", "M=64"});
+  for (int stages : {2, 4}) {
+    std::vector<std::string> row{Format("%d", stages)};
+    for (int m : {4, 16, 64}) {
+      simsys::PipelineConfig config;
+      config.num_stages = stages;
+      config.micro_batches = m;
+      config.link_bandwidth_gbps = 300;
+      simsys::PipelineResult result = simsys::SimulatePipeline(
+          forward_us, backward_us, activation_bytes, config);
+      row.push_back(Format("%.0f%%", 100 * result.bubble_fraction));
+    }
+    pp.AddRow(row);
+  }
+  pp.Print();
+  std::printf("\n(every number above comes from the trained models and the "
+              "event-driven simulators — no training run was executed)\n");
+  return 0;
+}

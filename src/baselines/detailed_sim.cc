@@ -1,0 +1,54 @@
+#include "baselines/detailed_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace gpuperf::baselines {
+
+DetailedSimulator::DetailedSimulator(const DetailedSimConfig& config)
+    : config_(config), oracle_(config.oracle) {}
+
+double DetailedSimulator::SimulateKernelUs(
+    const gpuexec::KernelLaunch& launch, const gpuexec::GpuSpec& gpu) const {
+  // The "true machine" duration this simulator is trying to model.
+  const double truth_us = oracle_.ExpectedKernelTimeUs(launch, gpu);
+
+  // Systematic mis-modeling: the simulator's pipeline/cache/NoC models
+  // differ from silicon per kernel family and per GPU.
+  const double bias = KeyedLogNormal(
+      config_.seed,
+      gpu.name + "/" + gpuexec::KernelFamilyName(launch.family),
+      config_.bias_sigma);
+
+  // Walk the grid wave by wave, charging per-block work. This is where the
+  // wall-clock cost of detailed simulation comes from.
+  const gpuexec::FamilyProfile& profile = gpuexec::ProfileFor(launch.family);
+  const std::int64_t capacity =
+      static_cast<std::int64_t>(gpu.sm_count) * profile.blocks_per_sm;
+  const std::int64_t blocks = std::max<std::int64_t>(1, launch.blocks);
+  const std::int64_t waves = (blocks + capacity - 1) / capacity;
+  const double per_wave_us = truth_us * bias / static_cast<double>(waves);
+
+  double accumulated_us = 0.0;
+  volatile double sink = 0.0;  // defeat optimization of the per-block work
+  for (std::int64_t wave = 0; wave < waves; ++wave) {
+    const std::int64_t wave_blocks =
+        std::min<std::int64_t>(capacity, blocks - wave * capacity);
+    for (std::int64_t block = 0; block < wave_blocks; ++block) {
+      // Per-block "microarchitectural" work: a short arithmetic chain.
+      double v = static_cast<double>(block + 1);
+      for (int i = 0; i < config_.work_per_block; ++i) {
+        v = v * 1.0000001 + 0.5;
+      }
+      sink = sink + v;
+    }
+    simulated_blocks_ += wave_blocks;
+    accumulated_us += per_wave_us;
+  }
+  (void)sink;
+  return accumulated_us;
+}
+
+}  // namespace gpuperf::baselines

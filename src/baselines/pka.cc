@@ -1,0 +1,131 @@
+#include "baselines/pka.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "gpuexec/lowering.h"
+#include "gpuexec/oracle.h"
+
+namespace gpuperf::baselines {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** One cluster of identical kernel launches. */
+struct LaunchCluster {
+  gpuexec::KernelLaunch representative;
+  std::int64_t count = 0;
+  double profiled_total_us = 0;  // PKS only
+};
+
+/** Groups launches by identical (name, configuration). */
+std::map<std::string, LaunchCluster> ClusterLaunches(
+    const std::vector<std::vector<gpuexec::KernelLaunch>>& lowered) {
+  std::map<std::string, LaunchCluster> clusters;
+  for (const auto& layer : lowered) {
+    for (const gpuexec::KernelLaunch& launch : layer) {
+      const std::string key =
+          launch.name + "/" + Format("%ld/%ld/%ld", (long)launch.flops,
+                                     (long)launch.TotalBytes(),
+                                     (long)launch.blocks);
+      LaunchCluster& cluster = clusters[key];
+      if (cluster.count == 0) cluster.representative = launch;
+      ++cluster.count;
+    }
+  }
+  return clusters;
+}
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+SampledSimResult RunPka(const dnn::Network& network,
+                        const gpuexec::GpuSpec& gpu, std::int64_t batch,
+                        const DetailedSimConfig& config) {
+  const auto start = Clock::now();
+  SampledSimResult result;
+
+  const auto lowered = gpuexec::LowerNetwork(network, batch);
+  std::map<std::string, LaunchCluster> clusters = ClusterLaunches(lowered);
+  for (const auto& layer : lowered) {
+    result.total_launches += static_cast<std::int64_t>(layer.size());
+  }
+
+  DetailedSimulator simulator(config);
+  for (const auto& [key, cluster] : clusters) {
+    const double kernel_us =
+        simulator.SimulateKernelUs(cluster.representative, gpu);
+    result.predicted_e2e_us += kernel_us * static_cast<double>(cluster.count);
+    ++result.simulated_clusters;
+  }
+  result.simulated_blocks = simulator.simulated_blocks();
+  result.wall_seconds = Seconds(start);
+  return result;
+}
+
+SampledSimResult RunPks(const dnn::Network& network,
+                        const gpuexec::GpuSpec& gpu, std::int64_t batch,
+                        double coverage, const DetailedSimConfig& config) {
+  const auto start = Clock::now();
+  SampledSimResult result;
+
+  const auto lowered = gpuexec::LowerNetwork(network, batch);
+  std::map<std::string, LaunchCluster> clusters = ClusterLaunches(lowered);
+
+  // Hardware profiling pass: one measured duration per launch.
+  const gpuexec::HardwareOracle oracle(config.oracle);
+  Rng rng(HashCombine(config.seed, StableHash(network.name() + gpu.name)));
+  for (auto& [key, cluster] : clusters) {
+    const double measured =
+        oracle.MeasureKernelTimeUs(cluster.representative, gpu, &rng);
+    cluster.profiled_total_us =
+        measured * static_cast<double>(cluster.count);
+    result.total_launches += cluster.count;
+  }
+
+  // Select principal clusters covering `coverage` of profiled time.
+  std::vector<const LaunchCluster*> order;
+  double profiled_total = 0;
+  for (const auto& [key, cluster] : clusters) {
+    order.push_back(&cluster);
+    profiled_total += cluster.profiled_total_us;
+  }
+  std::sort(order.begin(), order.end(),
+            [](const LaunchCluster* a, const LaunchCluster* b) {
+              return a->profiled_total_us > b->profiled_total_us;
+            });
+
+  // Principal kernels get high-fidelity (slow, well-calibrated)
+  // simulation; the tail is projected from the profile.
+  DetailedSimConfig high_fidelity = config;
+  high_fidelity.bias_sigma = config.bias_sigma * 0.5;
+  high_fidelity.work_per_block = config.work_per_block * 8;
+  high_fidelity.seed = HashCombine(config.seed, 0x9b51ULL);
+  DetailedSimulator simulator(high_fidelity);
+
+  double covered = 0;
+  for (const LaunchCluster* cluster : order) {
+    if (covered >= coverage * profiled_total) {
+      result.predicted_e2e_us += cluster->profiled_total_us;
+      continue;
+    }
+    const double kernel_us =
+        simulator.SimulateKernelUs(cluster->representative, gpu);
+    result.predicted_e2e_us +=
+        kernel_us * static_cast<double>(cluster->count);
+    covered += cluster->profiled_total_us;
+    ++result.simulated_clusters;
+  }
+  result.simulated_blocks = simulator.simulated_blocks();
+  result.wall_seconds = Seconds(start);
+  return result;
+}
+
+}  // namespace gpuperf::baselines

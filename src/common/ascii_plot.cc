@@ -1,0 +1,114 @@
+#include "common/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace gpuperf {
+namespace {
+
+constexpr char kGlyphs[] = "*+o#@%";
+
+double Transform(double v, bool log_scale) {
+  if (!log_scale) return v;
+  GP_CHECK_GT(v, 0.0) << "log axis requires positive values";
+  return std::log10(v);
+}
+
+}  // namespace
+
+std::string AsciiPlot(const std::vector<PlotSeries>& series,
+                      const PlotOptions& options) {
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series) {
+    GP_CHECK_EQ(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      double tx = Transform(s.x[i], options.log_x);
+      double ty = Transform(s.y[i], options.log_y);
+      min_x = std::min(min_x, tx);
+      max_x = std::max(max_x, tx);
+      min_y = std::min(min_y, ty);
+      max_y = std::max(max_y, ty);
+      any = true;
+    }
+  }
+  if (!any) return "(empty plot)\n";
+  if (max_x == min_x) max_x = min_x + 1.0;
+  if (max_y == min_y) max_y = min_y + 1.0;
+
+  const int width = options.width;
+  const int height = options.height;
+  std::vector<std::string> grid(height, std::string(width, ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      double tx = Transform(s.x[i], options.log_x);
+      double ty = Transform(s.y[i], options.log_y);
+      int col = static_cast<int>(
+          std::lround((tx - min_x) / (max_x - min_x) * (width - 1)));
+      int row = static_cast<int>(
+          std::lround((ty - min_y) / (max_y - min_y) * (height - 1)));
+      col = std::clamp(col, 0, width - 1);
+      row = std::clamp(row, 0, height - 1);
+      grid[height - 1 - row][col] = glyph;
+    }
+  }
+
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  auto axis_value = [&](double t, bool log_scale) {
+    return log_scale ? std::pow(10.0, t) : t;
+  };
+  for (int r = 0; r < height; ++r) {
+    double ty = max_y - (max_y - min_y) * r / (height - 1);
+    std::string label;
+    if (r == 0 || r == height - 1 || r == height / 2) {
+      label = Pretty(axis_value(ty, options.log_y), 3);
+    }
+    out += Format("%10s |", label.c_str());
+    out += grid[r];
+    out += '\n';
+  }
+  out += Format("%10s +", "");
+  out.append(options.width, '-');
+  out += '\n';
+  std::string x_axis(options.width + 12, ' ');
+  auto put_label = [&](int col, const std::string& text) {
+    int pos = 12 + col;
+    for (std::size_t i = 0; i < text.size() &&
+                            pos + static_cast<int>(i) <
+                                static_cast<int>(x_axis.size());
+         ++i) {
+      x_axis[pos + i] = text[i];
+    }
+  };
+  put_label(0, Pretty(axis_value(min_x, options.log_x), 3));
+  put_label(options.width / 2,
+            Pretty(axis_value((min_x + max_x) / 2, options.log_x), 3));
+  put_label(options.width - 6,
+            Pretty(axis_value(max_x, options.log_x), 3));
+  out += x_axis + '\n';
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    out += Format("%10s  x: %s   y: %s\n", "", options.x_label.c_str(),
+                  options.y_label.c_str());
+  }
+  std::string legend;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    if (series[si].label.empty()) continue;
+    legend += Format("  %c %s", kGlyphs[si % (sizeof(kGlyphs) - 1)],
+                     series[si].label.c_str());
+  }
+  if (!legend.empty()) out += "  legend:" + legend + "\n";
+  return out;
+}
+
+}  // namespace gpuperf

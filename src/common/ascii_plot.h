@@ -1,0 +1,44 @@
+#ifndef GPUPERF_COMMON_ASCII_PLOT_H_
+#define GPUPERF_COMMON_ASCII_PLOT_H_
+
+/**
+ * @file
+ * Terminal scatter/line plots so bench binaries can render the paper's
+ * figures directly in their stdout, alongside the numeric series.
+ */
+
+#include <string>
+#include <vector>
+
+namespace gpuperf {
+
+/** One named point series on a plot. Series are drawn with distinct glyphs. */
+struct PlotSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/** Axis scaling options for AsciiPlot. */
+struct PlotOptions {
+  int width = 72;        // plot area columns
+  int height = 20;       // plot area rows
+  bool log_x = false;    // log10 x axis (requires positive x)
+  bool log_y = false;    // log10 y axis (requires positive y)
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/**
+ * Renders a scatter plot of the series into a multi-line string.
+ *
+ * Points that fall on the same cell show the glyph of the last series
+ * drawn; glyphs cycle through "*+o#@%".
+ */
+std::string AsciiPlot(const std::vector<PlotSeries>& series,
+                      const PlotOptions& options);
+
+}  // namespace gpuperf
+
+#endif  // GPUPERF_COMMON_ASCII_PLOT_H_

@@ -1,0 +1,97 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+
+CsvWriter::CsvWriter(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) Fatal("cannot open CSV for writing: " + path);
+  file_ = f;
+}
+
+CsvWriter::~CsvWriter() { std::fclose(static_cast<std::FILE*>(file_)); }
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  std::FILE* f = static_cast<std::FILE*>(file_);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) std::fputc(',', f);
+    std::string escaped = CsvEscape(fields[i]);
+    std::fwrite(escaped.data(), 1, escaped.size(), f);
+  }
+  std::fputc('\n', f);
+}
+
+std::size_t CsvTable::ColumnIndex(const std::string& column) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == column) return i;
+  }
+  Fatal("CSV column not found: " + column);
+}
+
+CsvTable ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) Fatal("cannot open CSV for reading: " + path);
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && !first) continue;
+    std::vector<std::string> fields = CsvParseLine(line);
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  return table;
+}
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> CsvParseLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace gpuperf

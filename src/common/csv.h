@@ -1,0 +1,55 @@
+#ifndef GPUPERF_COMMON_CSV_H_
+#define GPUPERF_COMMON_CSV_H_
+
+/**
+ * @file
+ * Minimal CSV reader/writer used by the open performance database.
+ *
+ * Fields are comma-separated; a field containing a comma, quote, or newline
+ * is quoted and internal quotes doubled (RFC 4180 subset, no embedded
+ * newlines on read).
+ */
+
+#include <string>
+#include <vector>
+
+namespace gpuperf {
+
+/** Writes rows of string fields to a CSV file. */
+class CsvWriter {
+ public:
+  /** Opens `path` for writing; Fatal() on failure. */
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /** Writes one row. */
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  void* file_;  // std::FILE*, kept opaque to avoid <cstdio> in the header.
+};
+
+/** Parsed CSV contents: a header row plus data rows. */
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /** Index of `column` in the header; Fatal() if absent. */
+  std::size_t ColumnIndex(const std::string& column) const;
+};
+
+/** Reads an entire CSV file; Fatal() on open failure. */
+CsvTable ReadCsv(const std::string& path);
+
+/** Escapes a single field per the subset above. */
+std::string CsvEscape(const std::string& field);
+
+/** Splits one CSV line honoring quotes. */
+std::vector<std::string> CsvParseLine(const std::string& line);
+
+}  // namespace gpuperf
+
+#endif  // GPUPERF_COMMON_CSV_H_

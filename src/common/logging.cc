@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gpuperf {
+namespace internal {
+
+void LogMessage(LogLevel level, const std::string& msg) {
+  const char* tag = "INFO";
+  if (level == LogLevel::kWarn) tag = "WARN";
+  if (level == LogLevel::kError) tag = "ERROR";
+  std::fprintf(stderr, "[gpuperf %s] %s\n", tag, msg.c_str());
+}
+
+void PanicImpl(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[gpuperf PANIC] %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+void FatalImpl(const std::string& msg) {
+  LogMessage(LogLevel::kError, msg);
+  std::exit(1);
+}
+
+CheckMessage::CheckMessage(const char* file, int line, const char* condition)
+    : file_(file), line_(line) {
+  stream_ << "check failed: " << condition << " ";
+}
+
+void CheckMessage::Panic() { PanicImpl(file_, line_, stream_.str()); }
+
+}  // namespace internal
+
+void LogInfo(const std::string& msg) {
+  internal::LogMessage(LogLevel::kInfo, msg);
+}
+
+void LogWarn(const std::string& msg) {
+  internal::LogMessage(LogLevel::kWarn, msg);
+}
+
+void Fatal(const std::string& msg) { internal::FatalImpl(msg); }
+
+}  // namespace gpuperf

@@ -1,0 +1,97 @@
+#ifndef GPUPERF_COMMON_LOGGING_H_
+#define GPUPERF_COMMON_LOGGING_H_
+
+/**
+ * @file
+ * Minimal logging and contract-checking facility.
+ *
+ * Follows the gem5 fatal/panic split: `Fatal` is for user-level errors
+ * (bad configuration, missing files) and exits with status 1; the CHECK
+ * family is for programmer errors (broken invariants) and aborts so a
+ * debugger or core dump can capture the state.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace gpuperf {
+
+/** Severity of a log message. */
+enum class LogLevel { kInfo, kWarn, kError };
+
+namespace internal {
+
+/** Emits a formatted log line to stderr. */
+void LogMessage(LogLevel level, const std::string& msg);
+
+/** Prints `msg` with source location and aborts. Never returns. */
+[[noreturn]] void PanicImpl(const char* file, int line, const std::string& msg);
+
+/** Prints `msg` and exits with status 1. Never returns. */
+[[noreturn]] void FatalImpl(const std::string& msg);
+
+/**
+ * Stream-collecting helper behind the CHECK macros. The destructor of a
+ * live (failed-check) instance never runs; `Panic()` is called explicitly.
+ */
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* condition);
+
+  /** Appends user-supplied context to the failure message. */
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  /** Aborts with the accumulated message. */
+  [[noreturn]] void Panic();
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/** Logs an informational message. */
+void LogInfo(const std::string& msg);
+
+/** Logs a warning; the run continues. */
+void LogWarn(const std::string& msg);
+
+/** Reports an unrecoverable user-level error and exits(1). */
+[[noreturn]] void Fatal(const std::string& msg);
+
+}  // namespace gpuperf
+
+/**
+ * Aborts with a diagnostic when `condition` is false. Additional context can
+ * be streamed: `GP_CHECK(x > 0) << "x=" << x;`
+ */
+#define GP_CHECK(condition)                                                  \
+  if (condition) {                                                           \
+  } else                                                                     \
+    ::gpuperf::internal::CheckFailer{} &=                                    \
+        ::gpuperf::internal::CheckMessage(__FILE__, __LINE__, #condition)
+
+#define GP_CHECK_EQ(a, b) GP_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GP_CHECK_NE(a, b) GP_CHECK((a) != (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GP_CHECK_LT(a, b) GP_CHECK((a) < (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GP_CHECK_LE(a, b) GP_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GP_CHECK_GT(a, b) GP_CHECK((a) > (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GP_CHECK_GE(a, b) GP_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
+
+namespace gpuperf::internal {
+
+/** Triggers the panic once the streaming expression is fully evaluated. */
+struct CheckFailer {
+  [[noreturn]] void operator&=(CheckMessage& msg) { msg.Panic(); }
+  [[noreturn]] void operator&=(CheckMessage&& msg) { msg.Panic(); }
+};
+
+}  // namespace gpuperf::internal
+
+#endif  // GPUPERF_COMMON_LOGGING_H_

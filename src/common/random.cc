@@ -1,0 +1,75 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+
+std::uint64_t StableHash(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  // SplitMix64 finalizer over the xor-rotated pair.
+  std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t Rng::NextU64() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextRange(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t n) {
+  GP_CHECK_GT(n, 0u);
+  // Modulo bias is negligible for n << 2^64 (all our uses).
+  return NextU64() % n;
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; avoid log(0) by nudging u1 away from zero.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextLogNormal(double sigma) {
+  return std::exp(sigma * NextGaussian());
+}
+
+double KeyedLogNormal(std::uint64_t seed, std::string_view key, double sigma) {
+  Rng rng(HashCombine(seed, StableHash(key)));
+  return rng.NextLogNormal(sigma);
+}
+
+double KeyedUniform(std::uint64_t seed, std::string_view key, double lo,
+                    double hi) {
+  Rng rng(HashCombine(seed, StableHash(key)));
+  return rng.NextRange(lo, hi);
+}
+
+}  // namespace gpuperf

@@ -1,0 +1,72 @@
+#ifndef GPUPERF_COMMON_RANDOM_H_
+#define GPUPERF_COMMON_RANDOM_H_
+
+/**
+ * @file
+ * Deterministic randomness for the whole project.
+ *
+ * Every stochastic component (oracle quirk factors, measurement noise,
+ * train/test splits) derives its stream from named 64-bit seeds via
+ * SplitMix64 so that all experiments are reproducible bit-for-bit across
+ * runs and platforms, independent of the standard library's distributions.
+ */
+
+#include <cstdint>
+#include <string_view>
+
+namespace gpuperf {
+
+/** FNV-1a 64-bit hash of a string; stable across platforms. */
+std::uint64_t StableHash(std::string_view text);
+
+/** Combines two 64-bit values into one hash (order-sensitive). */
+std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b);
+
+/**
+ * SplitMix64 pseudo-random generator.
+ *
+ * Small state, excellent statistical quality for non-cryptographic use, and
+ * trivially seedable from hashes — ideal for keyed deterministic streams
+ * such as "noise for kernel K on GPU G".
+ */
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /** Next raw 64-bit value. */
+  std::uint64_t NextU64();
+
+  /** Uniform double in [0, 1). */
+  double NextDouble();
+
+  /** Uniform double in [lo, hi). */
+  double NextRange(double lo, double hi);
+
+  /** Uniform integer in [0, n). Requires n > 0. */
+  std::uint64_t NextBelow(std::uint64_t n);
+
+  /** Standard normal deviate (Box–Muller, one value per call). */
+  double NextGaussian();
+
+  /** Log-normal deviate with log-space mean 0 and std dev `sigma`. */
+  double NextLogNormal(double sigma);
+
+ private:
+  std::uint64_t state_;
+};
+
+/**
+ * Deterministic per-key factor in log-normal distribution around 1.0.
+ *
+ * Used for static "implementation quirk" multipliers: the same
+ * (seed, key) pair always yields the same factor.
+ */
+double KeyedLogNormal(std::uint64_t seed, std::string_view key, double sigma);
+
+/** Deterministic per-key uniform value in [lo, hi]. */
+double KeyedUniform(std::uint64_t seed, std::string_view key, double lo,
+                    double hi);
+
+}  // namespace gpuperf
+
+#endif  // GPUPERF_COMMON_RANDOM_H_

@@ -1,0 +1,113 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+double GeoMean(const std::vector<double>& values) {
+  GP_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    GP_CHECK_GT(v, 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  GP_CHECK(!values.empty());
+  GP_CHECK_GE(p, 0.0);
+  GP_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double RelativeError(double predicted, double actual) {
+  GP_CHECK_NE(actual, 0.0);
+  return std::fabs(predicted - actual) / std::fabs(actual);
+}
+
+double Mape(const std::vector<double>& predicted,
+            const std::vector<double>& actual) {
+  GP_CHECK_EQ(predicted.size(), actual.size());
+  GP_CHECK(!predicted.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    sum += RelativeError(predicted[i], actual[i]);
+  }
+  return sum / static_cast<double>(predicted.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  GP_CHECK_EQ(x.size(), y.size());
+  if (x.size() < 2) return 0.0;
+  double mx = Mean(x);
+  double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<SCurvePoint> SCurve(const std::vector<double>& predicted,
+                                const std::vector<double>& actual) {
+  GP_CHECK_EQ(predicted.size(), actual.size());
+  std::vector<double> ratios;
+  ratios.reserve(predicted.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    GP_CHECK_GT(actual[i], 0.0);
+    ratios.push_back(predicted[i] / actual[i]);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  std::vector<SCurvePoint> curve;
+  curve.reserve(ratios.size());
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    double percent =
+        ratios.size() == 1
+            ? 100.0
+            : 100.0 * static_cast<double>(i) /
+                  static_cast<double>(ratios.size() - 1);
+    curve.push_back({percent, ratios[i]});
+  }
+  return curve;
+}
+
+double FractionWithin(const std::vector<double>& predicted,
+                      const std::vector<double>& actual, double threshold) {
+  GP_CHECK_EQ(predicted.size(), actual.size());
+  if (predicted.empty()) return 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (RelativeError(predicted[i], actual[i]) < threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(predicted.size());
+}
+
+}  // namespace gpuperf

@@ -1,0 +1,60 @@
+#ifndef GPUPERF_COMMON_STATS_H_
+#define GPUPERF_COMMON_STATS_H_
+
+/**
+ * @file
+ * Summary statistics and the error metrics used throughout the paper.
+ *
+ * The paper reports "average error" as the mean absolute percentage error
+ * (MAPE) of predicted vs measured times, and visualizes model quality as an
+ * "S-curve": predicted/measured ratios sorted ascending (Figures 11-14).
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace gpuperf {
+
+/** Arithmetic mean; 0 for empty input. */
+double Mean(const std::vector<double>& values);
+
+/** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+double StdDev(const std::vector<double>& values);
+
+/** Geometric mean; requires strictly positive values. */
+double GeoMean(const std::vector<double>& values);
+
+/** Linear-interpolated percentile, p in [0, 100]. */
+double Percentile(std::vector<double> values, double p);
+
+/** |pred - actual| / actual for a single pair. Requires actual != 0. */
+double RelativeError(double predicted, double actual);
+
+/** Mean absolute percentage error over paired vectors. */
+double Mape(const std::vector<double>& predicted,
+            const std::vector<double>& actual);
+
+/** Pearson correlation coefficient; 0 if either side is constant. */
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/**
+ * One point of an S-curve (Figures 11-14): the percentage through the
+ * sorted test set and the predicted/measured ratio at that position.
+ */
+struct SCurvePoint {
+  double percent;  // 0..100 position within the sorted test set
+  double ratio;    // predicted / measured
+};
+
+/** Builds the sorted predicted/measured S-curve. */
+std::vector<SCurvePoint> SCurve(const std::vector<double>& predicted,
+                                const std::vector<double>& actual);
+
+/** Fraction of pairs whose relative error is below `threshold`. */
+double FractionWithin(const std::vector<double>& predicted,
+                      const std::vector<double>& actual, double threshold);
+
+}  // namespace gpuperf
+
+#endif  // GPUPERF_COMMON_STATS_H_

@@ -1,0 +1,82 @@
+#include "common/string_util.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace gpuperf {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+  if (needed > 0) {
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string Pretty(double value, int digits) {
+  std::string out = Format("%.*g", digits, value);
+  return out;
+}
+
+std::string Engineering(double value) {
+  const char* suffixes[] = {"", "k", "M", "G", "T", "P"};
+  double magnitude = std::fabs(value);
+  int tier = 0;
+  while (magnitude >= 1000.0 && tier < 5) {
+    magnitude /= 1000.0;
+    value /= 1000.0;
+    ++tier;
+  }
+  return Format("%.3g%s", value, suffixes[tier]);
+}
+
+}  // namespace gpuperf

@@ -1,0 +1,38 @@
+#ifndef GPUPERF_COMMON_STRING_UTIL_H_
+#define GPUPERF_COMMON_STRING_UTIL_H_
+
+/**
+ * @file
+ * Small string helpers shared across modules.
+ */
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpuperf {
+
+/** Splits `text` on `sep`, keeping empty fields. */
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/** Joins `parts` with `sep`. */
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/** Removes leading and trailing ASCII whitespace. */
+std::string_view Trim(std::string_view text);
+
+/** True if `text` begins with `prefix`. */
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/** printf-style formatting into a std::string. */
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Renders a double with `digits` significant digits, trimming zeros. */
+std::string Pretty(double value, int digits = 4);
+
+/** Human-readable engineering form, e.g. 1.23G, 45.6M, 789k. */
+std::string Engineering(double value);
+
+}  // namespace gpuperf
+
+#endif  // GPUPERF_COMMON_STRING_UTIL_H_

@@ -1,0 +1,76 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace gpuperf {
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (char c : cell) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'E' && c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void TextTable::SetHeader(const std::vector<std::string>& cells) {
+  header_ = cells;
+}
+
+void TextTable::AddRow(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+std::string TextTable::Render() const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<std::size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      bool right = LooksNumeric(cell);
+      std::size_t pad = widths[i] - cell.size();
+      if (i > 0) out += "  ";
+      if (right) out.append(pad, ' ');
+      out += cell;
+      if (!right) out.append(pad, ' ');
+    }
+    // Trim trailing spaces for clean diffs.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < columns; ++i) {
+      total += widths[i] + (i > 0 ? 2 : 0);
+    }
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void TextTable::Print() const {
+  std::string rendered = Render();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+}
+
+}  // namespace gpuperf

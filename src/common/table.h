@@ -1,0 +1,41 @@
+#ifndef GPUPERF_COMMON_TABLE_H_
+#define GPUPERF_COMMON_TABLE_H_
+
+/**
+ * @file
+ * Fixed-width text tables for bench output (paper-style rows).
+ */
+
+#include <string>
+#include <vector>
+
+namespace gpuperf {
+
+/**
+ * Accumulates rows of string cells and renders them with aligned columns.
+ *
+ * Numeric-looking cells are right-aligned, text cells left-aligned. A
+ * separator line is drawn under the header.
+ */
+class TextTable {
+ public:
+  /** Sets the header row. */
+  void SetHeader(const std::vector<std::string>& cells);
+
+  /** Appends a data row. */
+  void AddRow(const std::vector<std::string>& cells);
+
+  /** Renders the table to a string (trailing newline included). */
+  std::string Render() const;
+
+  /** Renders and writes to stdout. */
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpuperf
+
+#endif  // GPUPERF_COMMON_TABLE_H_

@@ -1,0 +1,79 @@
+#include "dataset/builder.h"
+
+#include "common/logging.h"
+#include "gpuexec/gpu_spec.h"
+#include "gpuexec/profiler.h"
+
+#include "dnn/memory.h"
+
+namespace gpuperf::dataset {
+
+void AppendProfiles(const std::vector<dnn::Network>& networks,
+                    const BuildOptions& options, Dataset* dataset) {
+  GP_CHECK(dataset != nullptr);
+  std::vector<gpuexec::GpuSpec> gpus;
+  if (options.gpu_names.empty()) {
+    gpus = gpuexec::AllGpus();
+  } else {
+    for (const std::string& name : options.gpu_names) {
+      gpus.push_back(gpuexec::GpuByName(name));
+    }
+  }
+
+  const gpuexec::HardwareOracle oracle(options.oracle);
+  const gpuexec::Profiler profiler(oracle, options.measured_batches);
+
+  for (const gpuexec::GpuSpec& gpu : gpus) {
+    const int gpu_id = dataset->gpus().Intern(gpu.name);
+    for (const dnn::Network& network : networks) {
+      if (options.skip_oom) {
+        const std::int64_t footprint =
+            options.workload == gpuexec::Workload::kTraining
+                ? dnn::TrainingFootprintBytes(network, options.batch)
+                : dnn::InferenceFootprintBytes(network, options.batch);
+        if (!dnn::FitsInMemory(footprint, gpu.memory_gb)) continue;
+      }
+      const int network_id = dataset->networks().Intern(network.name());
+      gpuexec::NetworkProfile profile =
+          profiler.Profile(network, gpu, options.batch, options.workload);
+
+      NetworkRow net_row;
+      net_row.gpu_id = gpu_id;
+      net_row.network_id = network_id;
+      net_row.family = network.family();
+      net_row.batch = options.batch;
+      net_row.e2e_us = profile.e2e_time_us;
+      net_row.gpu_busy_us = profile.gpu_busy_us;
+      net_row.total_flops = profile.total_flops;
+      dataset->network_rows().push_back(std::move(net_row));
+
+      for (const gpuexec::KernelRecord& record : profile.kernels) {
+        KernelRow row;
+        row.gpu_id = gpu_id;
+        row.network_id = network_id;
+        row.kernel_id = dataset->kernels().Intern(record.kernel_name);
+        row.signature_id = dataset->signatures().Intern(
+            dnn::LayerSignature(network.layers()[record.layer_index]));
+        row.layer_index = record.layer_index;
+        row.layer_kind = record.layer_kind;
+        row.true_driver = record.true_driver;
+        row.family = record.family;
+        row.batch = options.batch;
+        row.time_us = record.time_us;
+        row.layer_flops = record.layer_flops;
+        row.input_elems = record.input_elems;
+        row.output_elems = record.output_elems;
+        dataset->kernel_rows().push_back(std::move(row));
+      }
+    }
+  }
+}
+
+Dataset BuildDataset(const std::vector<dnn::Network>& networks,
+                     const BuildOptions& options) {
+  Dataset dataset;
+  AppendProfiles(networks, options, &dataset);
+  return dataset;
+}
+
+}  // namespace gpuperf::dataset

@@ -1,0 +1,48 @@
+#ifndef GPUPERF_DATASET_BUILDER_H_
+#define GPUPERF_DATASET_BUILDER_H_
+
+/**
+ * @file
+ * Builds the performance database by profiling a zoo on the hardware
+ * oracle — the equivalent of the paper's measurement campaign (646
+ * networks x 7 GPUs, ~240k kernel executions per GPU).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dnn/network.h"
+#include "gpuexec/oracle.h"
+#include "gpuexec/training.h"
+
+namespace gpuperf::dataset {
+
+/** Options of a measurement campaign. */
+struct BuildOptions {
+  std::vector<std::string> gpu_names;  // empty = all seven Table 1 GPUs
+  std::int64_t batch = 512;            // the paper trains at BS = 512
+  int measured_batches = 30;           // paper: average batches 21..50
+  // What each profiled run executes. Do not mix workloads in one dataset:
+  // the layer-to-kernel mapping table is keyed by layer signature, and a
+  // training step launches a different kernel list for the same layer.
+  gpuexec::Workload workload = gpuexec::Workload::kInference;
+  // The paper removes "fail-to-execute experiments (e.g., out-of-memory
+  // error)" from its dataset; when true, (network, GPU, batch) combos
+  // whose estimated footprint exceeds the device memory are skipped.
+  bool skip_oom = true;
+  gpuexec::OracleConfig oracle;
+};
+
+/** Profiles every network on every GPU and appends rows to `dataset`. */
+void AppendProfiles(const std::vector<dnn::Network>& networks,
+                    const BuildOptions& options, Dataset* dataset);
+
+/** Convenience: fresh dataset from a zoo. */
+Dataset BuildDataset(const std::vector<dnn::Network>& networks,
+                     const BuildOptions& options);
+
+}  // namespace gpuperf::dataset
+
+#endif  // GPUPERF_DATASET_BUILDER_H_

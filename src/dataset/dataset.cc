@@ -1,0 +1,175 @@
+#include "dataset/dataset.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace gpuperf::dataset {
+
+std::int64_t KernelRow::DriverValue(gpuexec::CostDriver driver) const {
+  switch (driver) {
+    case gpuexec::CostDriver::kInput: return input_elems;
+    case gpuexec::CostDriver::kOperation: return layer_flops;
+    case gpuexec::CostDriver::kOutput: return output_elems;
+  }
+  GP_CHECK(false) << "unhandled CostDriver";
+  return 0;
+}
+
+int StringPool::Intern(const std::string& text) {
+  auto [it, inserted] = index_.emplace(text, size());
+  if (inserted) strings_.push_back(text);
+  return it->second;
+}
+
+int StringPool::Find(const std::string& text) const {
+  auto it = index_.find(text);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& StringPool::Get(int id) const {
+  GP_CHECK_GE(id, 0);
+  GP_CHECK_LT(static_cast<std::size_t>(id), strings_.size());
+  return strings_[id];
+}
+
+void Dataset::SaveCsv(const std::string& directory) const {
+  {
+    CsvWriter writer(directory + "/networks.csv");
+    writer.WriteRow({"gpu", "network", "family", "batch", "e2e_us",
+                     "gpu_busy_us", "total_flops"});
+    for (const NetworkRow& row : network_rows_) {
+      writer.WriteRow({gpus_.Get(row.gpu_id), networks_.Get(row.network_id),
+                       row.family, Format("%ld", (long)row.batch),
+                       Format("%.6f", row.e2e_us),
+                       Format("%.6f", row.gpu_busy_us),
+                       Format("%ld", (long)row.total_flops)});
+    }
+  }
+  {
+    CsvWriter writer(directory + "/kernels.csv");
+    writer.WriteRow({"gpu", "network", "kernel", "signature", "layer_index",
+                     "layer_kind", "true_driver", "family", "batch",
+                     "time_us", "layer_flops", "input_elems",
+                     "output_elems"});
+    for (const KernelRow& row : kernel_rows_) {
+      writer.WriteRow(
+          {gpus_.Get(row.gpu_id), networks_.Get(row.network_id),
+           kernels_.Get(row.kernel_id), signatures_.Get(row.signature_id),
+           Format("%d", row.layer_index), dnn::LayerKindName(row.layer_kind),
+           gpuexec::CostDriverName(row.true_driver),
+           gpuexec::KernelFamilyName(row.family),
+           Format("%ld", (long)row.batch), Format("%.6f", row.time_us),
+           Format("%ld", (long)row.layer_flops),
+           Format("%ld", (long)row.input_elems),
+           Format("%ld", (long)row.output_elems)});
+    }
+  }
+}
+
+Dataset Dataset::LoadCsv(const std::string& directory) {
+  Dataset dataset;
+  {
+    CsvTable table = ReadCsv(directory + "/networks.csv");
+    const std::size_t gpu = table.ColumnIndex("gpu");
+    const std::size_t network = table.ColumnIndex("network");
+    const std::size_t family = table.ColumnIndex("family");
+    const std::size_t batch = table.ColumnIndex("batch");
+    const std::size_t e2e = table.ColumnIndex("e2e_us");
+    const std::size_t busy = table.ColumnIndex("gpu_busy_us");
+    const std::size_t flops = table.ColumnIndex("total_flops");
+    for (const auto& fields : table.rows) {
+      NetworkRow row;
+      row.gpu_id = dataset.gpus_.Intern(fields[gpu]);
+      row.network_id = dataset.networks_.Intern(fields[network]);
+      row.family = fields[family];
+      row.batch = std::stoll(fields[batch]);
+      row.e2e_us = std::stod(fields[e2e]);
+      row.gpu_busy_us = std::stod(fields[busy]);
+      row.total_flops = std::stoll(fields[flops]);
+      dataset.network_rows_.push_back(std::move(row));
+    }
+  }
+  {
+    CsvTable table = ReadCsv(directory + "/kernels.csv");
+    const std::size_t gpu = table.ColumnIndex("gpu");
+    const std::size_t network = table.ColumnIndex("network");
+    const std::size_t kernel = table.ColumnIndex("kernel");
+    const std::size_t signature = table.ColumnIndex("signature");
+    const std::size_t layer_index = table.ColumnIndex("layer_index");
+    const std::size_t layer_kind = table.ColumnIndex("layer_kind");
+    const std::size_t driver = table.ColumnIndex("true_driver");
+    const std::size_t family = table.ColumnIndex("family");
+    const std::size_t batch = table.ColumnIndex("batch");
+    const std::size_t time = table.ColumnIndex("time_us");
+    const std::size_t layer_flops = table.ColumnIndex("layer_flops");
+    const std::size_t input_elems = table.ColumnIndex("input_elems");
+    const std::size_t output_elems = table.ColumnIndex("output_elems");
+    for (const auto& fields : table.rows) {
+      KernelRow row;
+      row.gpu_id = dataset.gpus_.Intern(fields[gpu]);
+      row.network_id = dataset.networks_.Intern(fields[network]);
+      row.kernel_id = dataset.kernels_.Intern(fields[kernel]);
+      row.signature_id = dataset.signatures_.Intern(fields[signature]);
+      row.layer_index = std::stoi(fields[layer_index]);
+      row.layer_kind = dnn::LayerKindFromName(fields[layer_kind]);
+      if (fields[driver] == "input") {
+        row.true_driver = gpuexec::CostDriver::kInput;
+      } else if (fields[driver] == "operation") {
+        row.true_driver = gpuexec::CostDriver::kOperation;
+      } else {
+        row.true_driver = gpuexec::CostDriver::kOutput;
+      }
+      // Family is informational; match by name.
+      row.family = gpuexec::KernelFamily::kElementwise;
+      for (int f = 0; f <= static_cast<int>(gpuexec::KernelFamily::kGather);
+           ++f) {
+        if (gpuexec::KernelFamilyName(
+                static_cast<gpuexec::KernelFamily>(f)) == fields[family]) {
+          row.family = static_cast<gpuexec::KernelFamily>(f);
+          break;
+        }
+      }
+      row.batch = std::stoll(fields[batch]);
+      row.time_us = std::stod(fields[time]);
+      row.layer_flops = std::stoll(fields[layer_flops]);
+      row.input_elems = std::stoll(fields[input_elems]);
+      row.output_elems = std::stoll(fields[output_elems]);
+      dataset.kernel_rows_.push_back(std::move(row));
+    }
+  }
+  return dataset;
+}
+
+bool NetworkSplit::IsTest(int network_id) const {
+  // test_ids is kept sorted by SplitByNetwork.
+  return std::binary_search(test_ids.begin(), test_ids.end(), network_id);
+}
+
+NetworkSplit SplitByNetwork(const Dataset& dataset, double test_fraction,
+                            std::uint64_t seed) {
+  GP_CHECK_GT(test_fraction, 0.0);
+  GP_CHECK_LT(test_fraction, 1.0);
+  const int count = dataset.networks().size();
+  std::vector<int> ids(count);
+  for (int i = 0; i < count; ++i) ids[i] = i;
+  // Fisher-Yates with the project RNG for platform-stable shuffles.
+  Rng rng(seed);
+  for (int i = count - 1; i > 0; --i) {
+    const int j = static_cast<int>(rng.NextBelow(i + 1));
+    std::swap(ids[i], ids[j]);
+  }
+  const int test_count =
+      std::max(1, static_cast<int>(test_fraction * count));
+  NetworkSplit split;
+  split.test_ids.assign(ids.begin(), ids.begin() + test_count);
+  split.train_ids.assign(ids.begin() + test_count, ids.end());
+  std::sort(split.test_ids.begin(), split.test_ids.end());
+  std::sort(split.train_ids.begin(), split.train_ids.end());
+  return split;
+}
+
+}  // namespace gpuperf::dataset

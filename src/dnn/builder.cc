@@ -1,0 +1,212 @@
+#include "dnn/builder.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace gpuperf::dnn {
+
+NetworkBuilder::NetworkBuilder(std::string name, std::string family,
+                               TensorShape input)
+    : network_(std::move(name), std::move(family), input), current_(input) {
+  GP_CHECK_GT(input.c, 0);
+  GP_CHECK_GT(input.h, 0);
+  GP_CHECK_GT(input.w, 0);
+}
+
+void NetworkBuilder::Append(LayerKind kind, LayerParams params,
+                            std::vector<TensorShape> inputs,
+                            TensorShape output) {
+  GP_CHECK(!built_) << "builder reused after Build()";
+  Layer layer;
+  layer.kind = kind;
+  layer.name = Format("%s_%d", LayerKindName(kind).c_str(), counter_++);
+  layer.params = std::move(params);
+  layer.inputs = std::move(inputs);
+  layer.output = output;
+  network_.AppendLayer(std::move(layer));
+  current_ = output;
+}
+
+NetworkBuilder& NetworkBuilder::Conv(std::int64_t out_channels,
+                                     std::int64_t kernel, std::int64_t stride,
+                                     std::int64_t pad, std::int64_t groups,
+                                     bool bias) {
+  GP_CHECK_EQ(current_.c % groups, 0)
+      << "channels " << current_.c << " not divisible by groups " << groups;
+  GP_CHECK_EQ(out_channels % groups, 0);
+  ConvParams p;
+  p.in_channels = current_.c;
+  p.out_channels = out_channels;
+  p.kernel_h = p.kernel_w = kernel;
+  p.stride_h = p.stride_w = stride;
+  p.pad_h = p.pad_w = pad;
+  p.groups = groups;
+  p.has_bias = bias;
+  TensorShape out = Chw(out_channels, ConvOutDim(current_.h, kernel, stride, pad),
+                        ConvOutDim(current_.w, kernel, stride, pad));
+  Append(LayerKind::kConv2d, p, {current_}, out);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::ConvBnRelu(std::int64_t out_channels,
+                                           std::int64_t kernel,
+                                           std::int64_t stride,
+                                           std::int64_t pad,
+                                           std::int64_t groups) {
+  Conv(out_channels, kernel, stride, pad, groups);
+  BatchNorm();
+  Relu();
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::BatchNorm() {
+  Append(LayerKind::kBatchNorm, NoParams{}, {current_}, current_);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::LayerNorm() {
+  Append(LayerKind::kLayerNorm, NoParams{}, {current_}, current_);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::Relu() {
+  Append(LayerKind::kRelu, NoParams{}, {current_}, current_);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::Relu6() {
+  Append(LayerKind::kRelu6, NoParams{}, {current_}, current_);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::Gelu() {
+  Append(LayerKind::kGelu, NoParams{}, {current_}, current_);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::Sigmoid() {
+  Append(LayerKind::kSigmoid, NoParams{}, {current_}, current_);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::Softmax() {
+  Append(LayerKind::kSoftmax, NoParams{}, {current_}, current_);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::Dropout() {
+  Append(LayerKind::kDropout, NoParams{}, {current_}, current_);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::MaxPool(std::int64_t kernel,
+                                        std::int64_t stride,
+                                        std::int64_t pad) {
+  PoolParams p{kernel, stride, pad};
+  TensorShape out = Chw(current_.c, ConvOutDim(current_.h, kernel, stride, pad),
+                        ConvOutDim(current_.w, kernel, stride, pad));
+  Append(LayerKind::kMaxPool, p, {current_}, out);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::AvgPool(std::int64_t kernel,
+                                        std::int64_t stride,
+                                        std::int64_t pad) {
+  PoolParams p{kernel, stride, pad};
+  TensorShape out = Chw(current_.c, ConvOutDim(current_.h, kernel, stride, pad),
+                        ConvOutDim(current_.w, kernel, stride, pad));
+  Append(LayerKind::kAvgPool, p, {current_}, out);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::GlobalAvgPool() {
+  TensorShape out = Chw(current_.c, 1, 1);
+  Append(LayerKind::kGlobalAvgPool, NoParams{}, {current_}, out);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::Flatten() {
+  TensorShape out = Chw(current_.Elements(), 1, 1);
+  Append(LayerKind::kFlatten, NoParams{}, {current_}, out);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::Linear(std::int64_t out_features, bool bias) {
+  LinearParams p{current_.c, out_features, bias};
+  TensorShape out = Chw(out_features, current_.h, current_.w);
+  Append(LayerKind::kLinear, p, {current_}, out);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::Embedding(std::int64_t vocab,
+                                          std::int64_t hidden,
+                                          std::int64_t seq_len) {
+  EmbeddingParams p{vocab, hidden};
+  TensorShape out = Chw(hidden, seq_len, 1);
+  Append(LayerKind::kEmbedding, p, {current_}, out);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::MatMul(std::int64_t head_batch, std::int64_t m,
+                                       std::int64_t n, std::int64_t k,
+                                       TensorShape out) {
+  MatMulParams p{head_batch, m, n, k};
+  Append(LayerKind::kMatMul, p, {current_}, out);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::ChannelShuffle(std::int64_t groups) {
+  GP_CHECK_EQ(current_.c % groups, 0);
+  Append(LayerKind::kChannelShuffle, ChannelShuffleParams{groups}, {current_},
+         current_);
+  return *this;
+}
+
+int NetworkBuilder::Mark() {
+  marks_.push_back(current_);
+  return static_cast<int>(marks_.size()) - 1;
+}
+
+NetworkBuilder& NetworkBuilder::Restore(int mark) {
+  current_ = ShapeAt(mark);
+  return *this;
+}
+
+const TensorShape& NetworkBuilder::ShapeAt(int mark) const {
+  GP_CHECK_GE(mark, 0);
+  GP_CHECK_LT(static_cast<std::size_t>(mark), marks_.size());
+  return marks_[mark];
+}
+
+NetworkBuilder& NetworkBuilder::AddFrom(int mark) {
+  const TensorShape& other = ShapeAt(mark);
+  GP_CHECK(other == current_)
+      << "residual add shape mismatch: " << other.ToString() << " vs "
+      << current_.ToString();
+  Append(LayerKind::kAdd, NoParams{}, {current_, other}, current_);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::Concat(const std::vector<int>& marks) {
+  GP_CHECK_GE(marks.size(), 2u);
+  std::vector<TensorShape> inputs;
+  std::int64_t channels = 0;
+  for (int mark : marks) {
+    const TensorShape& shape = ShapeAt(mark);
+    GP_CHECK_EQ(shape.h, ShapeAt(marks[0]).h);
+    GP_CHECK_EQ(shape.w, ShapeAt(marks[0]).w);
+    channels += shape.c;
+    inputs.push_back(shape);
+  }
+  TensorShape out = Chw(channels, inputs[0].h, inputs[0].w);
+  Append(LayerKind::kConcat, NoParams{}, std::move(inputs), out);
+  return *this;
+}
+
+Network NetworkBuilder::Build() {
+  GP_CHECK(!built_);
+  built_ = true;
+  return std::move(network_);
+}
+
+}  // namespace gpuperf::dnn

@@ -1,0 +1,108 @@
+#ifndef GPUPERF_DNN_BUILDER_H_
+#define GPUPERF_DNN_BUILDER_H_
+
+/**
+ * @file
+ * Fluent construction of shaped networks.
+ *
+ * The builder tracks the "current" tensor shape and performs shape
+ * inference as ops are appended. Branching (residual adds, inception
+ * concats) uses marks: `Mark()` snapshots the current shape, `Restore()`
+ * rewinds the current shape to a snapshot so a parallel branch can be
+ * emitted, and `AddFrom()` / `Concat()` join branches. Layers are appended
+ * in call order, which is a valid topological order of the dataflow graph.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.h"
+#include "dnn/network.h"
+#include "dnn/tensor_shape.h"
+
+namespace gpuperf::dnn {
+
+/** Builds a Network layer by layer with automatic shape inference. */
+class NetworkBuilder {
+ public:
+  NetworkBuilder(std::string name, std::string family, TensorShape input);
+
+  /** Square-kernel 2-D convolution. groups==channels gives depthwise. */
+  NetworkBuilder& Conv(std::int64_t out_channels, std::int64_t kernel,
+                       std::int64_t stride, std::int64_t pad,
+                       std::int64_t groups = 1, bool bias = false);
+
+  /** Convolution followed by BatchNorm and ReLU — the CNN workhorse. */
+  NetworkBuilder& ConvBnRelu(std::int64_t out_channels, std::int64_t kernel,
+                             std::int64_t stride, std::int64_t pad,
+                             std::int64_t groups = 1);
+
+  NetworkBuilder& BatchNorm();
+  NetworkBuilder& LayerNorm();
+  NetworkBuilder& Relu();
+  NetworkBuilder& Relu6();
+  NetworkBuilder& Gelu();
+  NetworkBuilder& Sigmoid();
+  NetworkBuilder& Softmax();
+  NetworkBuilder& Dropout();
+
+  NetworkBuilder& MaxPool(std::int64_t kernel, std::int64_t stride,
+                          std::int64_t pad);
+  NetworkBuilder& AvgPool(std::int64_t kernel, std::int64_t stride,
+                          std::int64_t pad);
+  NetworkBuilder& GlobalAvgPool();
+
+  /** Collapses CxHxW to a flat (C*H*W)x1x1 vector. */
+  NetworkBuilder& Flatten();
+
+  /** Fully connected layer applied per spatial position (1x1 after Flatten,
+      per token for transformers). */
+  NetworkBuilder& Linear(std::int64_t out_features, bool bias = true);
+
+  /** Token embedding: replaces the current shape with hidden x seq x 1. */
+  NetworkBuilder& Embedding(std::int64_t vocab, std::int64_t hidden,
+                            std::int64_t seq_len);
+
+  /** Generic batched matmul with an explicit output shape. */
+  NetworkBuilder& MatMul(std::int64_t head_batch, std::int64_t m,
+                         std::int64_t n, std::int64_t k, TensorShape out);
+
+  NetworkBuilder& ChannelShuffle(std::int64_t groups);
+
+  /** Snapshots the current shape; returns a mark id. */
+  int Mark();
+
+  /** Rewinds the current shape to `mark` to emit a parallel branch. */
+  NetworkBuilder& Restore(int mark);
+
+  /** Elementwise residual add of the current tensor and `mark`'s tensor. */
+  NetworkBuilder& AddFrom(int mark);
+
+  /** Channel concatenation of all `marks` (current shape is replaced). */
+  NetworkBuilder& Concat(const std::vector<int>& marks);
+
+  /** Current (per-image) shape. */
+  const TensorShape& CurrentShape() const { return current_; }
+
+  /** Shape snapshotted at `mark`. */
+  const TensorShape& ShapeAt(int mark) const;
+
+  /** Finalizes and returns the network. The builder must not be reused. */
+  Network Build();
+
+ private:
+  /** Appends a layer with auto-generated name and advances the shape. */
+  void Append(LayerKind kind, LayerParams params,
+              std::vector<TensorShape> inputs, TensorShape output);
+
+  Network network_;
+  TensorShape current_;
+  std::vector<TensorShape> marks_;
+  int counter_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace gpuperf::dnn
+
+#endif  // GPUPERF_DNN_BUILDER_H_

@@ -1,0 +1,112 @@
+#include "dnn/flops.h"
+
+#include "common/logging.h"
+
+namespace gpuperf::dnn {
+
+std::int64_t LayerWeightCount(const Layer& layer) {
+  switch (layer.kind) {
+    case LayerKind::kConv2d: {
+      const ConvParams& p = layer.conv();
+      std::int64_t weights =
+          p.out_channels * (p.in_channels / p.groups) * p.kernel_h * p.kernel_w;
+      return weights + (p.has_bias ? p.out_channels : 0);
+    }
+    case LayerKind::kLinear: {
+      const LinearParams& p = layer.linear();
+      return p.in_features * p.out_features +
+             (p.has_bias ? p.out_features : 0);
+    }
+    case LayerKind::kBatchNorm:
+    case LayerKind::kLayerNorm:
+      // Scale and shift per channel.
+      return 2 * layer.output.c;
+    case LayerKind::kEmbedding: {
+      const EmbeddingParams& p = layer.embedding();
+      return p.vocab_size * p.hidden_size;
+    }
+    default:
+      return 0;
+  }
+}
+
+std::int64_t LayerFlops(const Layer& layer, std::int64_t batch) {
+  GP_CHECK_GT(batch, 0);
+  switch (layer.kind) {
+    case LayerKind::kConv2d: {
+      const ConvParams& p = layer.conv();
+      // thop convention: multiplications only.
+      return batch * p.out_channels * layer.output.h * layer.output.w *
+             (p.in_channels / p.groups) * p.kernel_h * p.kernel_w;
+    }
+    case LayerKind::kLinear: {
+      const LinearParams& p = layer.linear();
+      // FC can be applied per token (h positions) or on a flat vector.
+      std::int64_t positions = layer.inputs[0].h * layer.inputs[0].w;
+      return batch * positions * p.in_features * p.out_features;
+    }
+    case LayerKind::kMatMul: {
+      const MatMulParams& p = layer.matmul();
+      return batch * p.batch * p.m * p.n * p.k;
+    }
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool: {
+      const PoolParams& p = layer.pool();
+      return batch * layer.output.Elements() * p.kernel * p.kernel;
+    }
+    case LayerKind::kGlobalAvgPool:
+      return batch * layer.inputs[0].Elements();
+    case LayerKind::kBatchNorm:
+    case LayerKind::kLayerNorm:
+      // Normalize + scale + shift: ~2 ops per element; thop counts 2.
+      return batch * 2 * layer.output.Elements();
+    case LayerKind::kSoftmax:
+      // exp + sum + divide.
+      return batch * 3 * layer.output.Elements();
+    case LayerKind::kRelu:
+    case LayerKind::kRelu6:
+    case LayerKind::kSigmoid:
+    case LayerKind::kGelu:
+    case LayerKind::kAdd:
+      return batch * layer.output.Elements();
+    case LayerKind::kConcat:
+    case LayerKind::kFlatten:
+    case LayerKind::kChannelShuffle:
+    case LayerKind::kDropout:
+    case LayerKind::kEmbedding:
+      // Data movement only; thop assigns zero FLOPs.
+      return 0;
+  }
+  GP_CHECK(false) << "unhandled LayerKind";
+  return 0;
+}
+
+std::int64_t LayerInputBytes(const Layer& layer, std::int64_t batch) {
+  return batch * layer.InputElements() * kBytesPerElement;
+}
+
+std::int64_t LayerOutputBytes(const Layer& layer, std::int64_t batch) {
+  return batch * layer.output.Elements() * kBytesPerElement;
+}
+
+std::int64_t LayerWeightBytes(const Layer& layer) {
+  return LayerWeightCount(layer) * kBytesPerElement;
+}
+
+std::int64_t NetworkFlops(const Network& network, std::int64_t batch) {
+  std::int64_t total = 0;
+  for (const Layer& layer : network.layers()) {
+    total += LayerFlops(layer, batch);
+  }
+  return total;
+}
+
+std::int64_t NetworkWeightBytes(const Network& network) {
+  std::int64_t total = 0;
+  for (const Layer& layer : network.layers()) {
+    total += LayerWeightBytes(layer);
+  }
+  return total;
+}
+
+}  // namespace gpuperf::dnn

@@ -1,0 +1,48 @@
+#ifndef GPUPERF_DNN_FLOPS_H_
+#define GPUPERF_DNN_FLOPS_H_
+
+/**
+ * @file
+ * Theoretical FLOPs and byte counting — the PyTorch-OpCounter (thop)
+ * equivalent the paper uses as the models' independent variable.
+ *
+ * Convention (paper Section 2.2): only multiplications are counted, so a
+ * convolution contributes Cout * H' * W' * Cin/groups * Kh * Kw FLOPs per
+ * image. Elementwise/normalization/pooling layers count one operation per
+ * output element. All tensors are FP32 (4 bytes) as in the paper's setup.
+ */
+
+#include <cstdint>
+
+#include "dnn/layer.h"
+#include "dnn/network.h"
+
+namespace gpuperf::dnn {
+
+/** Bytes per element (FP32 everywhere, matching the paper's setup). */
+inline constexpr std::int64_t kBytesPerElement = 4;
+
+/** Trainable parameters of one layer (weights + biases). */
+std::int64_t LayerWeightCount(const Layer& layer);
+
+/** Theoretical FLOPs of one layer at batch size `batch`. */
+std::int64_t LayerFlops(const Layer& layer, std::int64_t batch);
+
+/** Bytes read for activations (all inputs) at batch size `batch`. */
+std::int64_t LayerInputBytes(const Layer& layer, std::int64_t batch);
+
+/** Bytes written for the output activation at batch size `batch`. */
+std::int64_t LayerOutputBytes(const Layer& layer, std::int64_t batch);
+
+/** Bytes of weights the layer must stream from memory (batch-independent). */
+std::int64_t LayerWeightBytes(const Layer& layer);
+
+/** Sum of LayerFlops over the whole network. */
+std::int64_t NetworkFlops(const Network& network, std::int64_t batch);
+
+/** Total parameter bytes of the network (case study 2's transfer volume). */
+std::int64_t NetworkWeightBytes(const Network& network);
+
+}  // namespace gpuperf::dnn
+
+#endif  // GPUPERF_DNN_FLOPS_H_

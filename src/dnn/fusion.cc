@@ -1,0 +1,58 @@
+#include "dnn/fusion.h"
+
+#include "common/logging.h"
+
+namespace gpuperf::dnn {
+
+Network FuseConvBnAct(const Network& network, FusionReport* report) {
+  FusionReport local;
+  Network fused(network.name(), network.family(), network.input());
+  const std::vector<Layer>& layers = network.layers();
+
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    Layer layer = layers[i];
+    if (layer.kind == LayerKind::kConv2d) {
+      ConvParams params = layer.conv();
+      std::size_t next = i + 1;
+      // Fold a BatchNorm that directly consumes the convolution output.
+      if (next < layers.size() &&
+          layers[next].kind == LayerKind::kBatchNorm &&
+          layers[next].inputs.size() == 1 &&
+          layers[next].inputs[0] == layer.output) {
+        params.has_bias = true;  // the folded shift becomes a bias
+        ++local.folded_batchnorms;
+        ++next;
+      }
+      // Fuse a following activation into the epilogue (only when a BN was
+      // folded or the conv already carries a bias epilogue path).
+      if (next > i + 1 && next < layers.size() &&
+          layers[next].inputs.size() == 1 &&
+          layers[next].inputs[0] == layer.output) {
+        if (layers[next].kind == LayerKind::kRelu) {
+          params.epilogue = ConvEpilogue::kRelu;
+          ++local.fused_activations;
+          ++next;
+        } else if (layers[next].kind == LayerKind::kRelu6) {
+          params.epilogue = ConvEpilogue::kRelu6;
+          ++local.fused_activations;
+          ++next;
+        }
+      }
+      if (next > i + 1 && params.epilogue == ConvEpilogue::kNone) {
+        // BN folded without an activation: the folded scale/shift still
+        // rides the main kernel's epilogue (no separate bias pass).
+        params.epilogue = ConvEpilogue::kBias;
+      }
+      layer.params = params;
+      fused.AppendLayer(std::move(layer));
+      i = next - 1;
+      continue;
+    }
+    fused.AppendLayer(std::move(layer));
+  }
+
+  if (report != nullptr) *report = local;
+  return fused;
+}
+
+}  // namespace gpuperf::dnn

@@ -1,0 +1,41 @@
+#ifndef GPUPERF_DNN_FUSION_H_
+#define GPUPERF_DNN_FUSION_H_
+
+/**
+ * @file
+ * Inference-time operator fusion.
+ *
+ * Deployment stacks (TensorRT, torch.compile, the fused cuDNN paths)
+ * fold BatchNorm into the preceding convolution's weights and fuse the
+ * following activation into the convolution's epilogue, eliminating two
+ * memory-bound passes over the activation tensor per block. The paper's
+ * related work (nn-Meter) shows such fusion is exactly what breaks naive
+ * per-operator latency models — the KW model handles it naturally because
+ * the mapping table is learned from traces of the fused executable.
+ *
+ * The pass rewrites consecutive CONV -> BN [-> ReLU/ReLU6] chains into a
+ * single convolution with a fused epilogue. It assumes the flat layer
+ * list is a linear chain between consecutive layers, which holds for all
+ * builder-generated networks (branch marks are only taken at block
+ * boundaries, never between a convolution and its normalization).
+ */
+
+#include "dnn/network.h"
+
+namespace gpuperf::dnn {
+
+/** Statistics of one fusion pass. */
+struct FusionReport {
+  int folded_batchnorms = 0;   // BN layers folded into conv weights
+  int fused_activations = 0;   // ReLU/ReLU6 fused into conv epilogues
+};
+
+/**
+ * Returns `network` with CONV+BN(+activation) chains fused. The fused
+ * network keeps the original name; pass `report` to receive statistics.
+ */
+Network FuseConvBnAct(const Network& network, FusionReport* report = nullptr);
+
+}  // namespace gpuperf::dnn
+
+#endif  // GPUPERF_DNN_FUSION_H_

@@ -1,0 +1,137 @@
+#include "dnn/layer.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace gpuperf::dnn {
+
+std::string LayerKindName(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv2d: return "CONV";
+    case LayerKind::kLinear: return "FC";
+    case LayerKind::kBatchNorm: return "BN";
+    case LayerKind::kLayerNorm: return "LN";
+    case LayerKind::kRelu: return "ReLU";
+    case LayerKind::kRelu6: return "ReLU6";
+    case LayerKind::kGelu: return "GELU";
+    case LayerKind::kSigmoid: return "Sigmoid";
+    case LayerKind::kAdd: return "Add";
+    case LayerKind::kConcat: return "Concat";
+    case LayerKind::kMaxPool: return "MaxPool";
+    case LayerKind::kAvgPool: return "AvgPool";
+    case LayerKind::kGlobalAvgPool: return "GlobalAvgPool";
+    case LayerKind::kSoftmax: return "Softmax";
+    case LayerKind::kFlatten: return "Flatten";
+    case LayerKind::kEmbedding: return "Embedding";
+    case LayerKind::kMatMul: return "MatMul";
+    case LayerKind::kChannelShuffle: return "ChannelShuffle";
+    case LayerKind::kDropout: return "Dropout";
+  }
+  GP_CHECK(false) << "unhandled LayerKind";
+  return "";
+}
+
+LayerKind LayerKindFromName(const std::string& name) {
+  static const std::pair<const char*, LayerKind> kTable[] = {
+      {"CONV", LayerKind::kConv2d},
+      {"FC", LayerKind::kLinear},
+      {"BN", LayerKind::kBatchNorm},
+      {"LN", LayerKind::kLayerNorm},
+      {"ReLU", LayerKind::kRelu},
+      {"ReLU6", LayerKind::kRelu6},
+      {"GELU", LayerKind::kGelu},
+      {"Sigmoid", LayerKind::kSigmoid},
+      {"Add", LayerKind::kAdd},
+      {"Concat", LayerKind::kConcat},
+      {"MaxPool", LayerKind::kMaxPool},
+      {"AvgPool", LayerKind::kAvgPool},
+      {"GlobalAvgPool", LayerKind::kGlobalAvgPool},
+      {"Softmax", LayerKind::kSoftmax},
+      {"Flatten", LayerKind::kFlatten},
+      {"Embedding", LayerKind::kEmbedding},
+      {"MatMul", LayerKind::kMatMul},
+      {"ChannelShuffle", LayerKind::kChannelShuffle},
+      {"Dropout", LayerKind::kDropout},
+  };
+  for (const auto& [text, kind] : kTable) {
+    if (name == text) return kind;
+  }
+  Fatal("unknown layer kind name: " + name);
+}
+
+std::int64_t Layer::InputElements() const {
+  std::int64_t total = 0;
+  for (const TensorShape& shape : inputs) total += shape.Elements();
+  return total;
+}
+
+const ConvParams& Layer::conv() const {
+  GP_CHECK(std::holds_alternative<ConvParams>(params)) << name;
+  return std::get<ConvParams>(params);
+}
+
+const LinearParams& Layer::linear() const {
+  GP_CHECK(std::holds_alternative<LinearParams>(params)) << name;
+  return std::get<LinearParams>(params);
+}
+
+const PoolParams& Layer::pool() const {
+  GP_CHECK(std::holds_alternative<PoolParams>(params)) << name;
+  return std::get<PoolParams>(params);
+}
+
+const EmbeddingParams& Layer::embedding() const {
+  GP_CHECK(std::holds_alternative<EmbeddingParams>(params)) << name;
+  return std::get<EmbeddingParams>(params);
+}
+
+const MatMulParams& Layer::matmul() const {
+  GP_CHECK(std::holds_alternative<MatMulParams>(params)) << name;
+  return std::get<MatMulParams>(params);
+}
+
+const ChannelShuffleParams& Layer::shuffle() const {
+  GP_CHECK(std::holds_alternative<ChannelShuffleParams>(params)) << name;
+  return std::get<ChannelShuffleParams>(params);
+}
+
+std::string LayerSignature(const Layer& layer) {
+  std::string sig = LayerKindName(layer.kind);
+  for (const TensorShape& in : layer.inputs) sig += "/i" + in.ToString();
+  sig += "/o" + layer.output.ToString();
+  switch (layer.kind) {
+    case LayerKind::kConv2d: {
+      const ConvParams& p = layer.conv();
+      sig += Format("/k%ldx%ld/s%ldx%ld/p%ldx%ld/g%ld",
+                    static_cast<long>(p.kernel_h),
+                    static_cast<long>(p.kernel_w),
+                    static_cast<long>(p.stride_h),
+                    static_cast<long>(p.stride_w),
+                    static_cast<long>(p.pad_h), static_cast<long>(p.pad_w),
+                    static_cast<long>(p.groups));
+      if (p.epilogue == ConvEpilogue::kBias) sig += "/ebias";
+      if (p.epilogue == ConvEpilogue::kRelu) sig += "/erelu";
+      if (p.epilogue == ConvEpilogue::kRelu6) sig += "/erelu6";
+      break;
+    }
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool: {
+      const PoolParams& p = layer.pool();
+      sig += Format("/k%ld/s%ld/p%ld", static_cast<long>(p.kernel),
+                    static_cast<long>(p.stride), static_cast<long>(p.pad));
+      break;
+    }
+    case LayerKind::kMatMul: {
+      const MatMulParams& p = layer.matmul();
+      sig += Format("/b%ld/m%ld/n%ld/k%ld", static_cast<long>(p.batch),
+                    static_cast<long>(p.m), static_cast<long>(p.n),
+                    static_cast<long>(p.k));
+      break;
+    }
+    default:
+      break;
+  }
+  return sig;
+}
+
+}  // namespace gpuperf::dnn

@@ -1,0 +1,64 @@
+#include "dnn/memory.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "dnn/flops.h"
+
+namespace gpuperf::dnn {
+namespace {
+
+/** Framework/cuDNN workspace reserve (im2col buffers, cuDNN scratch). */
+constexpr double kWorkspaceFraction = 0.10;   // of the activation peak
+constexpr std::int64_t kRuntimeReserveBytes = 512LL << 20;  // CUDA context
+
+}  // namespace
+
+std::int64_t InferenceFootprintBytes(const Network& network,
+                                     std::int64_t batch) {
+  GP_CHECK_GT(batch, 0);
+  std::int64_t weights = NetworkWeightBytes(network);
+  std::int64_t peak_pair = 0;
+  for (const Layer& layer : network.layers()) {
+    peak_pair = std::max(peak_pair, LayerInputBytes(layer, batch) +
+                                        LayerOutputBytes(layer, batch));
+  }
+  const std::int64_t workspace =
+      static_cast<std::int64_t>(kWorkspaceFraction *
+                                static_cast<double>(peak_pair));
+  return kRuntimeReserveBytes + weights + peak_pair + workspace;
+}
+
+std::int64_t TrainingFootprintBytes(const Network& network,
+                                    std::int64_t batch) {
+  GP_CHECK_GT(batch, 0);
+  // Weights + gradients + optimizer state.
+  const std::int64_t parameters = 3 * NetworkWeightBytes(network);
+  // Every activation is kept for the backward pass, plus one gradient
+  // buffer the size of the largest activation.
+  std::int64_t activations = 0;
+  std::int64_t largest = 0;
+  for (const Layer& layer : network.layers()) {
+    const std::int64_t out = LayerOutputBytes(layer, batch);
+    activations += out;
+    largest = std::max(largest, out);
+  }
+  return kRuntimeReserveBytes + parameters + activations + largest;
+}
+
+bool FitsInMemory(std::int64_t footprint_bytes, double memory_gb) {
+  return static_cast<double>(footprint_bytes) <= memory_gb * 1e9;
+}
+
+std::int64_t LargestFittingBatch(const Network& network, double memory_gb,
+                                 std::int64_t limit) {
+  std::int64_t best = 0;
+  for (std::int64_t batch = 1; batch <= limit; batch *= 2) {
+    if (FitsInMemory(InferenceFootprintBytes(network, batch), memory_gb)) {
+      best = batch;
+    }
+  }
+  return best;
+}
+
+}  // namespace gpuperf::dnn

@@ -1,0 +1,42 @@
+#ifndef GPUPERF_DNN_MEMORY_H_
+#define GPUPERF_DNN_MEMORY_H_
+
+/**
+ * @file
+ * Device-memory footprint estimation.
+ *
+ * The paper cleans "fail-to-execute experiments (e.g., out-of-memory
+ * error)" out of its dataset; this estimator lets the dataset builder do
+ * the same check before profiling a (network, GPU, batch) combination.
+ *
+ * Inference frameworks ping-pong activation buffers, so the inference
+ * footprint is weights + workspace + the largest (input + output) pair of
+ * any single layer. Training must keep every layer's output for the
+ * backward pass and three copies of the parameters (weights, gradients,
+ * optimizer state).
+ */
+
+#include <cstdint>
+
+#include "dnn/network.h"
+
+namespace gpuperf::dnn {
+
+/** Estimated device bytes for one inference pass at `batch`. */
+std::int64_t InferenceFootprintBytes(const Network& network,
+                                     std::int64_t batch);
+
+/** Estimated device bytes for one SGD training step at `batch`. */
+std::int64_t TrainingFootprintBytes(const Network& network,
+                                    std::int64_t batch);
+
+/** True if the footprint fits a device with `memory_gb` of memory. */
+bool FitsInMemory(std::int64_t footprint_bytes, double memory_gb);
+
+/** Largest batch (power of two up to `limit`) that fits for inference. */
+std::int64_t LargestFittingBatch(const Network& network, double memory_gb,
+                                 std::int64_t limit = 1024);
+
+}  // namespace gpuperf::dnn
+
+#endif  // GPUPERF_DNN_MEMORY_H_

@@ -1,0 +1,60 @@
+#ifndef GPUPERF_DNN_NETWORK_H_
+#define GPUPERF_DNN_NETWORK_H_
+
+/**
+ * @file
+ * A network is the unit the predictor consumes: an ordered list of layers
+ * with resolved shapes.
+ *
+ * Execution order is a topological serialization of the dataflow graph,
+ * which matches how PyTorch launches work on a single CUDA stream; the
+ * branch structure only matters for shape inference, which NetworkBuilder
+ * resolves while constructing the list.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.h"
+#include "dnn/tensor_shape.h"
+
+namespace gpuperf::dnn {
+
+/** A fully shaped DNN ready for lowering, profiling, and prediction. */
+class Network {
+ public:
+  Network(std::string name, std::string family, TensorShape input)
+      : name_(std::move(name)), family_(std::move(family)), input_(input) {}
+
+  /** Unique model name, e.g. "resnet50". */
+  const std::string& name() const { return name_; }
+
+  /** Model family, e.g. "ResNet" — used to color Figure 4's series. */
+  const std::string& family() const { return family_; }
+
+  /** Per-image input shape (e.g. 3x224x224). */
+  const TensorShape& input() const { return input_; }
+
+  /** Execution-ordered layers. */
+  const std::vector<Layer>& layers() const { return layers_; }
+
+  /** Appends a layer (used by NetworkBuilder). */
+  void AppendLayer(Layer layer) { layers_.push_back(std::move(layer)); }
+
+  /** Number of trainable parameters (weights + biases). */
+  std::int64_t ParameterCount() const;
+
+  /** Renders a layer-by-layer summary for debugging and examples. */
+  std::string Summary() const;
+
+ private:
+  std::string name_;
+  std::string family_;
+  TensorShape input_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace gpuperf::dnn
+
+#endif  // GPUPERF_DNN_NETWORK_H_

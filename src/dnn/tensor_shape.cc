@@ -1,0 +1,21 @@
+#include "dnn/tensor_shape.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace gpuperf::dnn {
+
+std::string TensorShape::ToString() const {
+  return Format("%ldx%ldx%ld", static_cast<long>(c), static_cast<long>(h),
+                static_cast<long>(w));
+}
+
+std::int64_t ConvOutDim(std::int64_t in, std::int64_t kernel,
+                        std::int64_t stride, std::int64_t pad) {
+  GP_CHECK_GT(stride, 0);
+  std::int64_t out = (in + 2 * pad - kernel) / stride + 1;
+  GP_CHECK_GT(out, 0) << "window larger than padded input";
+  return out;
+}
+
+}  // namespace gpuperf::dnn

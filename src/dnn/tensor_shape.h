@@ -1,0 +1,51 @@
+#ifndef GPUPERF_DNN_TENSOR_SHAPE_H_
+#define GPUPERF_DNN_TENSOR_SHAPE_H_
+
+/**
+ * @file
+ * Per-image tensor shapes.
+ *
+ * Shapes are stored batch-agnostic (the batch dimension N is always a
+ * separate parameter), because the paper's models treat batch size as a pure
+ * multiplier on the amount of work (Observation O3). A CNN feature map is
+ * C x H x W; transformer activations reuse the same struct as
+ * hidden x seq_len x 1.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace gpuperf::dnn {
+
+/** A per-image (batch-agnostic) tensor shape in CHW layout. */
+struct TensorShape {
+  std::int64_t c = 0;  // channels (or hidden size for transformers)
+  std::int64_t h = 0;  // height (or sequence length)
+  std::int64_t w = 0;  // width (1 for transformer activations)
+
+  /** Elements per image. */
+  std::int64_t Elements() const { return c * h * w; }
+
+  /** Elements for a batch of `n` images (the NCHW product of O5). */
+  std::int64_t ElementsForBatch(std::int64_t n) const {
+    return n * Elements();
+  }
+
+  /** Renders as "CxHxW". */
+  std::string ToString() const;
+
+  bool operator==(const TensorShape&) const = default;
+};
+
+/** Convenience constructor. */
+inline TensorShape Chw(std::int64_t c, std::int64_t h, std::int64_t w) {
+  return TensorShape{c, h, w};
+}
+
+/** Output spatial size of a convolution/pooling window along one axis. */
+std::int64_t ConvOutDim(std::int64_t in, std::int64_t kernel,
+                        std::int64_t stride, std::int64_t pad);
+
+}  // namespace gpuperf::dnn
+
+#endif  // GPUPERF_DNN_TENSOR_SHAPE_H_

@@ -1,0 +1,53 @@
+#include "gpuexec/gpu_spec.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gpuperf::gpuexec {
+
+GpuSpec GpuSpec::WithBandwidth(double gbps) const {
+  GpuSpec copy = *this;
+  copy.bandwidth_gbps = gbps;
+  return copy;
+}
+
+GpuSpec GpuSpec::MigSlice(int slices, int total) const {
+  GP_CHECK_GT(slices, 0);
+  GP_CHECK_LE(slices, total);
+  const double fraction =
+      static_cast<double>(slices) / static_cast<double>(total);
+  GpuSpec slice = *this;
+  slice.name = name + "-" + std::to_string(slices) + "g";
+  slice.bandwidth_gbps *= fraction;
+  slice.memory_gb *= fraction;
+  slice.fp32_tflops *= fraction;
+  slice.tensor_cores = static_cast<int>(tensor_cores * fraction);
+  slice.sm_count = std::max(1, static_cast<int>(sm_count * fraction));
+  return slice;
+}
+
+const std::vector<GpuSpec>& AllGpus() {
+  // Table 1 of the paper; SM counts are from public NVIDIA
+  // documentation; launch intervals reflect typical PyTorch eager-mode
+  // per-op dispatch costs (10-30 us).
+  static const std::vector<GpuSpec>* const kGpus = new std::vector<GpuSpec>{
+      {"A100", 1555, 40, 19.5, 432, 108, 12.0},
+      {"A40", 696, 48, 37.4, 336, 84, 12.0},
+      {"GTX 1080 Ti", 484, 11, 11.3, 0, 28, 14.0},
+      {"Quadro P620", 80, 2, 1.4, 0, 4, 16.0},
+      {"RTX A5000", 768, 24, 27.8, 256, 64, 12.0},
+      {"TITAN RTX", 672, 24, 16.3, 576, 72, 13.0},
+      {"V100", 900, 16, 14.1, 640, 80, 13.0},
+  };
+  return *kGpus;
+}
+
+const GpuSpec& GpuByName(const std::string& name) {
+  for (const GpuSpec& gpu : AllGpus()) {
+    if (gpu.name == name) return gpu;
+  }
+  Fatal("unknown GPU: " + name);
+}
+
+}  // namespace gpuperf::gpuexec

@@ -1,0 +1,51 @@
+#include "gpuexec/kernel.h"
+
+#include "common/logging.h"
+
+namespace gpuperf::gpuexec {
+
+std::string KernelFamilyName(KernelFamily family) {
+  switch (family) {
+    case KernelFamily::kGemm: return "gemm";
+    case KernelFamily::kImplicitGemm: return "implicit_gemm";
+    case KernelFamily::kWinogradTransform: return "winograd_transform";
+    case KernelFamily::kWinogradGemm: return "winograd_gemm";
+    case KernelFamily::kFftTransform: return "fft_transform";
+    case KernelFamily::kFftGemm: return "fft_gemm";
+    case KernelFamily::kDirectConv: return "direct_conv";
+    case KernelFamily::kDepthwiseConv: return "depthwise_conv";
+    case KernelFamily::kIm2col: return "im2col";
+    case KernelFamily::kElementwise: return "elementwise";
+    case KernelFamily::kBatchNorm: return "batch_norm";
+    case KernelFamily::kLayerNorm: return "layer_norm";
+    case KernelFamily::kPooling: return "pooling";
+    case KernelFamily::kReduce: return "reduce";
+    case KernelFamily::kSoftmax: return "softmax";
+    case KernelFamily::kCopy: return "copy";
+    case KernelFamily::kGather: return "gather";
+  }
+  GP_CHECK(false) << "unhandled KernelFamily";
+  return "";
+}
+
+std::string CostDriverName(CostDriver driver) {
+  switch (driver) {
+    case CostDriver::kInput: return "input";
+    case CostDriver::kOperation: return "operation";
+    case CostDriver::kOutput: return "output";
+  }
+  GP_CHECK(false) << "unhandled CostDriver";
+  return "";
+}
+
+std::int64_t KernelLaunch::DriverValue(CostDriver which) const {
+  switch (which) {
+    case CostDriver::kInput: return input_elems;
+    case CostDriver::kOperation: return layer_flops;
+    case CostDriver::kOutput: return output_elems;
+  }
+  GP_CHECK(false) << "unhandled CostDriver";
+  return 0;
+}
+
+}  // namespace gpuperf::gpuexec

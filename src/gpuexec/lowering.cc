@@ -1,0 +1,475 @@
+#include "gpuexec/lowering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "dnn/flops.h"
+
+namespace gpuperf::gpuexec {
+
+using dnn::ConvParams;
+using dnn::kBytesPerElement;
+using dnn::Layer;
+using dnn::LayerKind;
+using dnn::TensorShape;
+
+namespace {
+
+/** GEMM tile shapes, largest first; chosen by problem size. */
+struct GemmTile {
+  std::int64_t m, n;
+};
+constexpr GemmTile kTiles[] = {
+    {256, 128}, {128, 128}, {128, 64}, {64, 64}, {64, 32}, {32, 32},
+};
+
+/** Picks the largest tile that still yields a multi-block grid. */
+GemmTile PickTile(std::int64_t m, std::int64_t n) {
+  for (const GemmTile& tile : kTiles) {
+    if (m >= tile.m * 2 && n >= tile.n * 2) return tile;
+  }
+  return kTiles[std::size(kTiles) - 1];
+}
+
+std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/** Fills in the layer-feature fields shared by all kernels of a layer. */
+void AttachLayerFeatures(const Layer& layer, std::int64_t batch,
+                         KernelLaunch* launch) {
+  launch->layer_kind = layer.kind;
+  launch->batch = batch;
+  launch->layer_flops = dnn::LayerFlops(layer, batch);
+  launch->input_elems = batch * layer.InputElements();
+  launch->output_elems = batch * layer.output.Elements();
+}
+
+/** Reduction-depth specialization bucket, part of the kernel identity. */
+long KBucket(std::int64_t k) {
+  long bucket = 32;
+  while (bucket < k && bucket < 4096) bucket *= 2;
+  return bucket;
+}
+
+/** A GEMM kernel launch for an [m x k] * [k x n] product (per `batches`). */
+KernelLaunch MakeGemm(const std::string& name_prefix, KernelFamily family,
+                      std::int64_t batches, std::int64_t m, std::int64_t n,
+                      std::int64_t k) {
+  GemmTile tile = PickTile(m, n);
+  KernelLaunch launch;
+  launch.name = Format("%s_%ldx%ld_k%ld", name_prefix.c_str(),
+                       static_cast<long>(tile.m), static_cast<long>(tile.n),
+                       KBucket(k));
+  launch.family = family;
+  launch.driver = CostDriver::kOperation;
+  launch.flops = 2 * batches * m * n * k;
+  launch.bytes_in = batches * (m * k + k * n) * kBytesPerElement;
+  launch.bytes_out = batches * m * n * kBytesPerElement;
+  launch.blocks = batches * CeilDiv(m, tile.m) * CeilDiv(n, tile.n);
+  return launch;
+}
+
+/** An elementwise kernel over `elems` elements reading `read_factor`x. */
+KernelLaunch MakeElementwise(const std::string& op, std::int64_t elems,
+                             double read_factor) {
+  KernelLaunch launch;
+  // Vectorization width depends on alignment and problem size.
+  const char* variant = "plain";
+  if (elems % 4 == 0 && elems >= 1 << 14) {
+    variant = "vec4";
+  } else if (elems % 2 == 0 && elems >= 1 << 10) {
+    variant = "vec2";
+  }
+  launch.name = Format("elementwise_%s_%s", op.c_str(), variant);
+  launch.family = KernelFamily::kElementwise;
+  launch.driver = CostDriver::kOutput;
+  launch.flops = elems;
+  launch.bytes_in = static_cast<std::int64_t>(
+      read_factor * static_cast<double>(elems) * kBytesPerElement);
+  launch.bytes_out = elems * kBytesPerElement;
+  launch.blocks = CeilDiv(elems, 1024);
+  return launch;
+}
+
+/** Lowers a convolution with the selected algorithm. */
+void LowerConv(const Layer& layer, std::int64_t batch,
+               std::vector<KernelLaunch>* out) {
+  const ConvParams& p = layer.conv();
+  const TensorShape& in = layer.inputs[0];
+  const TensorShape& output = layer.output;
+  const std::int64_t in_bytes = batch * in.Elements() * kBytesPerElement;
+  const std::int64_t out_bytes = batch * output.Elements() * kBytesPerElement;
+  const std::int64_t weight_bytes = dnn::LayerWeightBytes(layer);
+  const std::int64_t macs = dnn::LayerFlops(layer, batch);  // thop MACs
+  const std::int64_t out_pixels = batch * output.h * output.w;
+
+  switch (SelectConvAlgorithm(p, in, output)) {
+    case ConvAlgorithm::kDepthwise: {
+      KernelLaunch launch;
+      launch.name = Format("dw_conv_%ldx%ld_s%ld",
+                           static_cast<long>(p.kernel_h),
+                           static_cast<long>(p.kernel_w),
+                           static_cast<long>(p.stride_h));
+      launch.family = KernelFamily::kDepthwiseConv;
+      launch.driver = CostDriver::kOutput;
+      launch.flops = 2 * macs;
+      launch.bytes_in = in_bytes + weight_bytes;
+      launch.bytes_out = out_bytes;
+      launch.blocks = CeilDiv(batch * output.Elements(), 512);
+      out->push_back(launch);
+      break;
+    }
+    case ConvAlgorithm::kWinograd: {
+      // F(2x2, 3x3): 16 transformed values per 4 outputs -> 2.25x tiles,
+      // and a 2.25x reduction in multiplications.
+      const std::int64_t tiled_in = static_cast<std::int64_t>(
+          2.25 * static_cast<double>(in_bytes));
+      const std::int64_t tiled_out = static_cast<std::int64_t>(
+          2.25 * static_cast<double>(out_bytes));
+      // Transform kernels specialize on channel depth.
+      const char* depth_variant = p.in_channels >= 128 ? "deep" : "shallow";
+      KernelLaunch in_t;
+      in_t.name = Format("winograd_3x3_in_transform_%s", depth_variant);
+      in_t.family = KernelFamily::kWinogradTransform;
+      in_t.driver = CostDriver::kInput;
+      in_t.flops = 8 * batch * in.Elements();
+      in_t.bytes_in = in_bytes;
+      in_t.bytes_out = tiled_in;
+      in_t.blocks = CeilDiv(batch * in.Elements(), 256);
+      out->push_back(in_t);
+
+      // Batched pointwise GEMM across the 16 tile positions.
+      std::int64_t tiles = CeilDiv(out_pixels, 4);
+      KernelLaunch gemm = MakeGemm("winograd_3x3_gemm",
+                                   KernelFamily::kWinogradGemm,
+                                   /*batches=*/16, p.out_channels,
+                                   tiles, p.in_channels / p.groups);
+      // True executed FLOPs benefit from the 2.25x multiply reduction.
+      gemm.flops = static_cast<std::int64_t>(2.0 * macs / 2.25);
+      gemm.bytes_in = tiled_in + 4 * weight_bytes;
+      gemm.bytes_out = tiled_out;
+      out->push_back(gemm);
+
+      KernelLaunch out_t;
+      out_t.name = Format("winograd_3x3_out_transform_%s",
+                          p.out_channels >= 128 ? "deep" : "shallow");
+      out_t.family = KernelFamily::kWinogradTransform;
+      out_t.driver = CostDriver::kOutput;
+      out_t.flops = 8 * batch * output.Elements();
+      out_t.bytes_in = tiled_out;
+      out_t.bytes_out = out_bytes;
+      out_t.blocks = CeilDiv(batch * output.Elements(), 256);
+      out->push_back(out_t);
+      break;
+    }
+    case ConvAlgorithm::kFft: {
+      const double log_hw =
+          std::log2(static_cast<double>(std::max<std::int64_t>(4, in.h * in.w)));
+      KernelLaunch fwd;
+      fwd.name = "fft2d_r2c_forward";
+      fwd.family = KernelFamily::kFftTransform;
+      fwd.driver = CostDriver::kInput;
+      fwd.flops = static_cast<std::int64_t>(
+          5.0 * static_cast<double>(batch * in.Elements()) * log_hw);
+      fwd.bytes_in = in_bytes;
+      fwd.bytes_out = 2 * in_bytes;  // complex spectrum
+      fwd.blocks = CeilDiv(batch * in.Elements(), 256);
+      out->push_back(fwd);
+
+      KernelLaunch cgemm = MakeGemm("fft_cgemm", KernelFamily::kFftGemm,
+                                    /*batches=*/1, p.out_channels,
+                                    batch * in.h * in.w, p.in_channels);
+      cgemm.flops = static_cast<std::int64_t>(
+          8.0 * static_cast<double>(batch * in.h * in.w) *
+          static_cast<double>(p.out_channels * p.in_channels));
+      cgemm.bytes_in = 2 * in_bytes + 2 * weight_bytes;
+      cgemm.bytes_out = 2 * out_bytes;
+      out->push_back(cgemm);
+
+      KernelLaunch inv;
+      inv.name = "fft2d_c2r_inverse";
+      inv.family = KernelFamily::kFftTransform;
+      inv.driver = CostDriver::kOutput;
+      inv.flops = static_cast<std::int64_t>(
+          5.0 * static_cast<double>(batch * output.Elements()) * log_hw);
+      inv.bytes_in = 2 * out_bytes;
+      inv.bytes_out = out_bytes;
+      inv.blocks = CeilDiv(batch * output.Elements(), 256);
+      out->push_back(inv);
+      break;
+    }
+    case ConvAlgorithm::kDirect: {
+      KernelLaunch launch;
+      launch.name = Format("direct_conv_%ldx%ld",
+                           static_cast<long>(p.kernel_h),
+                           static_cast<long>(p.kernel_w));
+      launch.family = KernelFamily::kDirectConv;
+      launch.driver = CostDriver::kOperation;
+      launch.flops = 2 * macs;
+      launch.bytes_in = in_bytes + weight_bytes;
+      launch.bytes_out = out_bytes;
+      launch.blocks = CeilDiv(batch * output.Elements(), 256);
+      out->push_back(launch);
+      break;
+    }
+    case ConvAlgorithm::kIm2colGemm: {
+      const std::int64_t k_dim =
+          (p.in_channels / p.groups) * p.kernel_h * p.kernel_w;
+      const std::int64_t expanded_bytes =
+          out_pixels * k_dim * kBytesPerElement;
+      KernelLaunch im2col;
+      im2col.name = Format("im2col_%ldx%ld", static_cast<long>(p.kernel_h),
+                           static_cast<long>(p.kernel_w));
+      im2col.family = KernelFamily::kIm2col;
+      im2col.driver = CostDriver::kInput;
+      im2col.flops = 0;
+      im2col.bytes_in = in_bytes;
+      im2col.bytes_out = expanded_bytes;
+      im2col.blocks = CeilDiv(out_pixels * k_dim, 1024);
+      out->push_back(im2col);
+
+      KernelLaunch gemm = MakeGemm("gemm_conv", KernelFamily::kGemm,
+                                   p.groups, p.out_channels / p.groups,
+                                   out_pixels, k_dim);
+      gemm.flops = 2 * macs;
+      gemm.bytes_in = expanded_bytes + weight_bytes;
+      gemm.bytes_out = out_bytes;
+      out->push_back(gemm);
+      break;
+    }
+    case ConvAlgorithm::kImplicitGemm: {
+      const std::int64_t k_dim =
+          (p.in_channels / p.groups) * p.kernel_h * p.kernel_w;
+      GemmTile tile = PickTile(p.out_channels / p.groups, out_pixels);
+      KernelLaunch launch;
+      launch.name = Format("implicit_gemm_%ldx%ld_%ldx%ld_k%ld",
+                           static_cast<long>(p.kernel_h),
+                           static_cast<long>(p.kernel_w),
+                           static_cast<long>(tile.m),
+                           static_cast<long>(tile.n), KBucket(k_dim));
+      launch.family = KernelFamily::kImplicitGemm;
+      launch.driver = CostDriver::kOperation;
+      launch.flops = 2 * macs;
+      launch.bytes_in = in_bytes + weight_bytes;
+      launch.bytes_out = out_bytes;
+      launch.blocks = p.groups * CeilDiv(p.out_channels / p.groups, tile.m) *
+                      CeilDiv(out_pixels, tile.n);
+      out->push_back(launch);
+      break;
+    }
+  }
+
+  if (p.epilogue != dnn::ConvEpilogue::kNone) {
+    // Fused bias + activation ride on the main kernel's epilogue: the
+    // last kernel of the pipeline gains a variant suffix and the
+    // epilogue's (register-level) FLOPs; no extra memory pass happens.
+    GP_CHECK(!out->empty());
+    KernelLaunch& tail = out->back();
+    switch (p.epilogue) {
+      case dnn::ConvEpilogue::kBias: tail.name += "_epi_bias"; break;
+      case dnn::ConvEpilogue::kRelu: tail.name += "_epi_relu"; break;
+      case dnn::ConvEpilogue::kRelu6: tail.name += "_epi_relu6"; break;
+      case dnn::ConvEpilogue::kNone: break;
+    }
+    tail.flops += 2 * batch * output.Elements();
+  } else if (p.has_bias) {
+    out->push_back(MakeElementwise("bias", batch * output.Elements(), 1.0));
+  }
+}
+
+}  // namespace
+
+ConvAlgorithm SelectConvAlgorithm(const ConvParams& p, const TensorShape& in,
+                                  const TensorShape& output) {
+  (void)in;
+  if (p.IsDepthwise()) return ConvAlgorithm::kDepthwise;
+  if (p.kernel_h == 1 && p.kernel_w == 1) return ConvAlgorithm::kImplicitGemm;
+  if (p.kernel_h == 3 && p.kernel_w == 3 && p.stride_h == 1 &&
+      p.groups == 1 && p.in_channels >= 16 && p.out_channels >= 16 &&
+      output.h * output.w >= 64) {
+    return ConvAlgorithm::kWinograd;
+  }
+  if (p.kernel_h >= 7 && output.h >= 16 && p.in_channels >= 8 &&
+      p.stride_h == 1) {
+    return ConvAlgorithm::kFft;
+  }
+  if (p.kernel_h >= 5) return ConvAlgorithm::kIm2colGemm;
+  if (p.in_channels < 16 || p.out_channels < 16) return ConvAlgorithm::kDirect;
+  return ConvAlgorithm::kImplicitGemm;
+}
+
+std::vector<KernelLaunch> LowerLayer(const Layer& layer, std::int64_t batch) {
+  GP_CHECK_GT(batch, 0);
+  std::vector<KernelLaunch> launches;
+  const std::int64_t out_elems = batch * layer.output.Elements();
+  const std::int64_t in_elems = batch * layer.InputElements();
+
+  switch (layer.kind) {
+    case LayerKind::kConv2d:
+      LowerConv(layer, batch, &launches);
+      break;
+    case LayerKind::kLinear: {
+      const dnn::LinearParams& p = layer.linear();
+      const std::int64_t positions = batch * layer.inputs[0].h *
+                                     layer.inputs[0].w;
+      launches.push_back(MakeGemm("gemm_f32", KernelFamily::kGemm, 1,
+                                  p.out_features, positions, p.in_features));
+      launches.back().flops = 2 * dnn::LayerFlops(layer, batch);
+      if (p.has_bias) {
+        launches.push_back(MakeElementwise("bias", out_elems, 1.0));
+      }
+      break;
+    }
+    case LayerKind::kMatMul: {
+      const dnn::MatMulParams& p = layer.matmul();
+      launches.push_back(MakeGemm("batched_gemm", KernelFamily::kGemm,
+                                  batch * p.batch, p.m, p.n, p.k));
+      break;
+    }
+    case LayerKind::kBatchNorm: {
+      KernelLaunch launch;
+      const bool spatial = layer.output.h * layer.output.w >= 256;
+      launch.name = spatial ? "bn_fwd_inference_spatial"
+                            : "bn_fwd_inference_block";
+      launch.family = KernelFamily::kBatchNorm;
+      launch.driver = CostDriver::kInput;
+      launch.flops = 2 * in_elems;
+      launch.bytes_in = in_elems * kBytesPerElement;
+      launch.bytes_out = out_elems * kBytesPerElement;
+      launch.blocks = CeilDiv(in_elems, 512);
+      launches.push_back(launch);
+      break;
+    }
+    case LayerKind::kLayerNorm: {
+      KernelLaunch launch;
+      launch.name = "layer_norm_fwd";
+      launch.family = KernelFamily::kLayerNorm;
+      launch.driver = CostDriver::kInput;
+      launch.flops = 4 * in_elems;
+      launch.bytes_in = in_elems * kBytesPerElement;
+      launch.bytes_out = out_elems * kBytesPerElement;
+      launch.blocks = CeilDiv(in_elems, 512);
+      launches.push_back(launch);
+      break;
+    }
+    case LayerKind::kRelu:
+      launches.push_back(MakeElementwise("relu", out_elems, 1.0));
+      break;
+    case LayerKind::kRelu6:
+      launches.push_back(MakeElementwise("relu6", out_elems, 1.0));
+      break;
+    case LayerKind::kSigmoid:
+      launches.push_back(MakeElementwise("sigmoid", out_elems, 1.0));
+      break;
+    case LayerKind::kGelu:
+      launches.push_back(MakeElementwise("gelu", out_elems, 1.0));
+      break;
+    case LayerKind::kAdd:
+      launches.push_back(MakeElementwise("add", out_elems, 2.0));
+      break;
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool: {
+      const dnn::PoolParams& p = layer.pool();
+      KernelLaunch launch;
+      launch.name = Format("pooling_%s_k%ld",
+                           layer.kind == LayerKind::kMaxPool ? "max" : "avg",
+                           static_cast<long>(p.kernel));
+      launch.family = KernelFamily::kPooling;
+      launch.driver = CostDriver::kInput;
+      launch.flops = out_elems * p.kernel * p.kernel;
+      launch.bytes_in = in_elems * kBytesPerElement;
+      launch.bytes_out = out_elems * kBytesPerElement;
+      launch.blocks = CeilDiv(out_elems, 256);
+      launches.push_back(launch);
+      break;
+    }
+    case LayerKind::kGlobalAvgPool: {
+      KernelLaunch launch;
+      launch.name = "reduce_mean_spatial";
+      launch.family = KernelFamily::kReduce;
+      launch.driver = CostDriver::kInput;
+      launch.flops = in_elems;
+      launch.bytes_in = in_elems * kBytesPerElement;
+      launch.bytes_out = out_elems * kBytesPerElement;
+      launch.blocks = CeilDiv(in_elems, 1024);
+      launches.push_back(launch);
+      break;
+    }
+    case LayerKind::kSoftmax: {
+      KernelLaunch launch;
+      // Row length decides warp- vs block-level reduction, as in cuDNN.
+      const std::int64_t row = std::max<std::int64_t>(1, layer.output.w > 1
+                                                             ? layer.output.w
+                                                             : layer.output.c);
+      launch.name = row <= 1024 ? "softmax_fwd_warp" : "softmax_fwd_block";
+      launch.family = KernelFamily::kSoftmax;
+      launch.driver = CostDriver::kOutput;
+      launch.flops = 3 * out_elems;
+      launch.bytes_in = in_elems * kBytesPerElement;
+      launch.bytes_out = out_elems * kBytesPerElement;
+      launch.blocks = CeilDiv(out_elems, 512);
+      launches.push_back(launch);
+      break;
+    }
+    case LayerKind::kConcat: {
+      KernelLaunch launch;
+      launch.name = "concat_channel_copy";
+      launch.family = KernelFamily::kCopy;
+      launch.driver = CostDriver::kOutput;
+      launch.flops = 0;
+      launch.bytes_in = in_elems * kBytesPerElement;
+      launch.bytes_out = out_elems * kBytesPerElement;
+      launch.blocks = CeilDiv(out_elems, 1024);
+      launches.push_back(launch);
+      break;
+    }
+    case LayerKind::kChannelShuffle: {
+      KernelLaunch launch;
+      launch.name = "channel_shuffle_transpose";
+      launch.family = KernelFamily::kCopy;
+      launch.driver = CostDriver::kInput;
+      launch.flops = 0;
+      launch.bytes_in = in_elems * kBytesPerElement;
+      launch.bytes_out = out_elems * kBytesPerElement;
+      launch.blocks = CeilDiv(out_elems, 1024);
+      launches.push_back(launch);
+      break;
+    }
+    case LayerKind::kEmbedding: {
+      KernelLaunch launch;
+      launch.name = "embedding_gather";
+      launch.family = KernelFamily::kGather;
+      launch.driver = CostDriver::kOutput;
+      launch.flops = 0;
+      launch.bytes_in = out_elems * kBytesPerElement;  // table rows touched
+      launch.bytes_out = out_elems * kBytesPerElement;
+      launch.blocks = CeilDiv(out_elems, 1024);
+      launches.push_back(launch);
+      break;
+    }
+    case LayerKind::kFlatten:
+    case LayerKind::kDropout:
+      // Views / inference no-ops: no kernel is launched.
+      break;
+  }
+
+  for (KernelLaunch& launch : launches) {
+    AttachLayerFeatures(layer, batch, &launch);
+  }
+  return launches;
+}
+
+std::vector<std::vector<KernelLaunch>> LowerNetwork(
+    const dnn::Network& network, std::int64_t batch) {
+  std::vector<std::vector<KernelLaunch>> lowered;
+  lowered.reserve(network.layers().size());
+  for (const Layer& layer : network.layers()) {
+    lowered.push_back(LowerLayer(layer, batch));
+  }
+  return lowered;
+}
+
+}  // namespace gpuperf::gpuexec

@@ -1,0 +1,50 @@
+#ifndef GPUPERF_GPUEXEC_LOWERING_H_
+#define GPUPERF_GPUEXEC_LOWERING_H_
+
+/**
+ * @file
+ * cuDNN-style lowering of layers to kernel launch sequences.
+ *
+ * Reproduces the structural behaviour the paper observes in Section 2.2 and
+ * O5: the library picks a convolution algorithm (implicit GEMM, Winograd,
+ * FFT, direct, depthwise, or explicit im2col + GEMM) from the layer's
+ * problem size, each algorithm expands into pre-process / compute /
+ * post-process kernels, and tile variants make the same operation map to
+ * different kernel identities at different sizes.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/layer.h"
+#include "dnn/network.h"
+#include "gpuexec/kernel.h"
+
+namespace gpuperf::gpuexec {
+
+/** Convolution algorithms the lowering can select. */
+enum class ConvAlgorithm {
+  kImplicitGemm,
+  kWinograd,
+  kFft,
+  kDirect,
+  kDepthwise,
+  kIm2colGemm,
+};
+
+/** The algorithm the lowering would pick for a CONV layer. */
+ConvAlgorithm SelectConvAlgorithm(const dnn::ConvParams& params,
+                                  const dnn::TensorShape& input,
+                                  const dnn::TensorShape& output);
+
+/** Lowers one layer at batch size `batch` to its kernel launches. */
+std::vector<KernelLaunch> LowerLayer(const dnn::Layer& layer,
+                                     std::int64_t batch);
+
+/** Lowers a whole network; the i-th entry is layer i's launch list. */
+std::vector<std::vector<KernelLaunch>> LowerNetwork(
+    const dnn::Network& network, std::int64_t batch);
+
+}  // namespace gpuperf::gpuexec
+
+#endif  // GPUPERF_GPUEXEC_LOWERING_H_

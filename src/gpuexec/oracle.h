@@ -1,0 +1,100 @@
+#ifndef GPUPERF_GPUEXEC_ORACLE_H_
+#define GPUPERF_GPUEXEC_ORACLE_H_
+
+/**
+ * @file
+ * The synthetic hardware oracle — this repository's stand-in for the real
+ * GPUs the paper measures.
+ *
+ * For every kernel launch the oracle computes a roofline-style time:
+ *
+ *   t = overhead + max(flops / (peak * ce), bytes / (bw * me)) * occupancy
+ *
+ * where `ce`/`me` are per-family efficiencies modulated by (a) a per-GPU
+ * per-family architecture factor (wide spread for compute, narrow for
+ * memory — producing Observation O6: bandwidth efficiency is stable across
+ * GPUs while compute efficiency is not), (b) a static per-(GPU, kernel
+ * name) "implementation quirk" factor, and (c) an occupancy model with
+ * wave quantization and small-grid underutilization. Measurements add
+ * multiplicative log-normal noise.
+ *
+ * The oracle is deliberately richer than any of the paper's regression
+ * models (roofline max() switching, occupancy sawtooth, quirks), so the
+ * models exhibit genuine residual error, ordered E2E > LW > KW as in the
+ * paper. The models never see oracle internals — only profiler output.
+ */
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "gpuexec/gpu_spec.h"
+#include "gpuexec/kernel.h"
+
+namespace gpuperf::gpuexec {
+
+/** Tunable constants of the synthetic hardware. */
+struct OracleConfig {
+  std::uint64_t seed = 0x9f7e5eedULL;
+  double measurement_sigma = 0.03;    // per-run log-normal noise
+  double kernel_quirk_sigma = 0.15;   // per (GPU, kernel name) static factor
+  double layer_quirk_sigma = 0.08;    // per (GPU, kernel, layer config)
+  double wall_overhead_sigma = 0.02;  // per (GPU, network) e2e wall factor
+  double compute_arch_sigma = 0.22;   // per (GPU, family) compute spread
+  double memory_arch_sigma = 0.07;    // per (GPU, family) memory spread
+  double kernel_overhead_us = 1.8;    // fixed GPU-side cost per kernel
+  double tensor_core_boost = 1.10;    // GEMM-family boost on TC-bearing GPUs
+  // Sustained-FLOPS ceiling partially coupled to the memory system:
+  // ceiling = base + per_gbps * bandwidth, capped by the theoretical
+  // peak. Marketing peaks (e.g. dual-issue FP32) are not sustainable when
+  // the cache/DRAM system cannot feed them. This is the physical root of
+  // O6 — achieved compute tracks bandwidth much more than the theoretical
+  // TFLOPS column — while the bandwidth-independent base keeps
+  // compute-bound kernels from scaling with bandwidth forever (the knee
+  // in case study 1's DSE curves).
+  double compute_balance_base_tflops = 8.0;
+  double compute_balance_tflops_per_gbps = 0.006;
+};
+
+/** Per-family efficiency profile (fractions of theoretical peaks). */
+struct FamilyProfile {
+  double compute_eff;    // attainable fraction of peak FLOPS
+  double memory_eff;     // attainable fraction of peak bandwidth
+  int blocks_per_sm;     // max concurrently resident blocks per SM
+};
+
+/** Profile table lookup. */
+const FamilyProfile& ProfileFor(KernelFamily family);
+
+/** The synthetic GPU. Copyable; all state is configuration. */
+class HardwareOracle {
+ public:
+  explicit HardwareOracle(const OracleConfig& config = OracleConfig());
+
+  /** Noise-free expected duration of `launch` on `gpu`, microseconds. */
+  double ExpectedKernelTimeUs(const KernelLaunch& launch,
+                              const GpuSpec& gpu) const;
+
+  /** One noisy measurement; `rng` supplies the measurement noise stream. */
+  double MeasureKernelTimeUs(const KernelLaunch& launch, const GpuSpec& gpu,
+                             Rng* rng) const;
+
+  /**
+   * One noisy measurement from a pre-computed expected duration. Lets
+   * callers that replay the same kernel many times pay the deterministic
+   * model cost once.
+   */
+  double NoisyFromExpected(double expected_us, Rng* rng) const;
+
+  const OracleConfig& config() const { return config_; }
+
+ private:
+  /** Grid-size slowdown: wave quantization + small-grid underutilization. */
+  double OccupancySlowdown(std::int64_t blocks, int sm_count,
+                           int blocks_per_sm) const;
+
+  OracleConfig config_;
+};
+
+}  // namespace gpuperf::gpuexec
+
+#endif  // GPUPERF_GPUEXEC_ORACLE_H_

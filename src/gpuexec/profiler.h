@@ -1,0 +1,94 @@
+#ifndef GPUPERF_GPUEXEC_PROFILER_H_
+#define GPUPERF_GPUEXEC_PROFILER_H_
+
+/**
+ * @file
+ * The profiler — this repository's stand-in for the PyTorch Profiler.
+ *
+ * It runs a network on the hardware oracle with the paper's measurement
+ * protocol (20 warm-up batches, then average over 30 measured batches),
+ * and produces a trace that links layers to their kernels with per-kernel
+ * durations, exactly the information Figure 2 shows the PyTorch Profiler
+ * providing. End-to-end wall time follows a two-timeline model: the CPU
+ * issues kernels at a fixed per-kernel interval, the GPU executes them in
+ * order; small batches are therefore launch-bound (Figures 3 and 6).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/network.h"
+#include "gpuexec/gpu_spec.h"
+#include "gpuexec/kernel.h"
+#include "gpuexec/oracle.h"
+#include "gpuexec/training.h"
+
+namespace gpuperf::gpuexec {
+
+/** One averaged kernel execution within a profile. */
+struct KernelRecord {
+  std::string kernel_name;
+  KernelFamily family = KernelFamily::kElementwise;
+  CostDriver true_driver = CostDriver::kOutput;  // ground truth (validation)
+  int layer_index = 0;
+  dnn::LayerKind layer_kind = dnn::LayerKind::kRelu;
+  double time_us = 0;            // averaged duration
+  double start_us = 0;           // timeline of the first measured batch
+  double end_us = 0;
+  std::int64_t kernel_flops = 0;
+  std::int64_t kernel_bytes = 0;
+  std::int64_t layer_flops = 0;  // regression features
+  std::int64_t input_elems = 0;
+  std::int64_t output_elems = 0;
+};
+
+/** A profiled (network, GPU, batch) run. */
+struct NetworkProfile {
+  std::string network_name;
+  std::string network_family;
+  std::string gpu_name;
+  std::int64_t batch = 0;
+  double e2e_time_us = 0;       // wall time per batch, averaged
+  double gpu_busy_us = 0;       // sum of kernel durations
+  std::int64_t total_flops = 0; // theoretical FLOPs at this batch
+  std::vector<KernelRecord> kernels;
+
+  /** Sums kernel durations per layer index (layer-wise times, O4). */
+  std::vector<double> LayerTimesUs(std::size_t layer_count) const;
+};
+
+/** Profiles networks against a HardwareOracle. */
+class Profiler {
+ public:
+  explicit Profiler(const HardwareOracle& oracle, int measured_batches = 30);
+
+  /** Full kernel-level profile of one (network, GPU, batch) run. */
+  NetworkProfile Profile(const dnn::Network& network, const GpuSpec& gpu,
+                         std::int64_t batch,
+                         Workload workload = Workload::kInference) const;
+
+  /** e2e wall time only (torch.cuda.Event equivalent), microseconds. */
+  double MeasureE2eUs(const dnn::Network& network, const GpuSpec& gpu,
+                      std::int64_t batch,
+                      Workload workload = Workload::kInference) const;
+
+ private:
+  HardwareOracle oracle_;
+  int measured_batches_;
+};
+
+/** Achieved-vs-theoretical efficiency estimated from layer shapes (Fig 9). */
+struct EfficiencyReport {
+  double bandwidth_efficiency = 0;  // achieved/theoretical bandwidth
+  double compute_efficiency = 0;    // achieved/theoretical FLOPS
+};
+
+/** Computes Figure 9's efficiencies for one profiled run. */
+EfficiencyReport ComputeEfficiency(const dnn::Network& network,
+                                   const NetworkProfile& profile,
+                                   const GpuSpec& gpu);
+
+}  // namespace gpuperf::gpuexec
+
+#endif  // GPUPERF_GPUEXEC_PROFILER_H_

@@ -1,0 +1,56 @@
+#include "gpuexec/roofline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "gpuexec/lowering.h"
+
+namespace gpuperf::gpuexec {
+
+RooflineReport AnalyzeRoofline(const dnn::Network& network,
+                               const GpuSpec& gpu, std::int64_t batch) {
+  GP_CHECK_GT(batch, 0);
+  RooflineReport report;
+  report.ridge_intensity = gpu.PeakFlops() / gpu.BandwidthBytesPerSec();
+
+  const auto lowered = LowerNetwork(network, batch);
+  double total_time = 0;
+  std::vector<double> layer_times;
+  for (std::size_t i = 0; i < lowered.size(); ++i) {
+    if (lowered[i].empty()) continue;  // view layers launch nothing
+    LayerRoofline layer;
+    layer.layer_index = static_cast<int>(i);
+    layer.kind = network.layers()[i].kind;
+    for (const KernelLaunch& launch : lowered[i]) {
+      layer.flops += static_cast<double>(launch.flops);
+      layer.bytes += static_cast<double>(launch.TotalBytes());
+    }
+    GP_CHECK_GT(layer.bytes, 0.0);
+    layer.operational_intensity = layer.flops / layer.bytes;
+    layer.memory_bound =
+        layer.operational_intensity < report.ridge_intensity;
+    layer.attainable_gflops =
+        std::min(gpu.PeakFlops(),
+                 layer.operational_intensity * gpu.BandwidthBytesPerSec()) /
+        1e9;
+    // Roofline time estimate: work at the attainable rate (for zero-FLOP
+    // copy layers, fall back to pure bandwidth time).
+    const double layer_time =
+        layer.flops > 0
+            ? layer.flops / (layer.attainable_gflops * 1e9)
+            : layer.bytes / gpu.BandwidthBytesPerSec();
+    layer_times.push_back(layer_time);
+    total_time += layer_time;
+    if (layer.memory_bound) {
+      ++report.memory_bound_layers;
+      report.memory_bound_time_share += layer_time;
+    } else {
+      ++report.compute_bound_layers;
+    }
+    report.layers.push_back(layer);
+  }
+  if (total_time > 0) report.memory_bound_time_share /= total_time;
+  return report;
+}
+
+}  // namespace gpuperf::gpuexec

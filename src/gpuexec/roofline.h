@@ -1,0 +1,55 @@
+#ifndef GPUPERF_GPUEXEC_ROOFLINE_H_
+#define GPUPERF_GPUEXEC_ROOFLINE_H_
+
+/**
+ * @file
+ * Roofline analysis of a network on a GPU specification.
+ *
+ * The paper's Discussion section argues that FLOPs work as the single
+ * inter-workload feature *because* kernels cluster by arithmetic
+ * intensity, and that "most of the evaluated workloads are actually
+ * memory intensive" (which is why bandwidth is the right inter-GPU
+ * feature). This module makes that analysis a first-class API: per-layer
+ * operational intensity from the lowering's kernel-level FLOPs/bytes,
+ * bound-ness against the Table 1 ridge point, and the memory-bound share
+ * of the total work.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/network.h"
+#include "gpuexec/gpu_spec.h"
+
+namespace gpuperf::gpuexec {
+
+/** Roofline position of one layer. */
+struct LayerRoofline {
+  int layer_index = 0;
+  dnn::LayerKind kind = dnn::LayerKind::kRelu;
+  double flops = 0;                 // executed FLOPs across its kernels
+  double bytes = 0;                 // device traffic across its kernels
+  double operational_intensity = 0;  // flops / bytes
+  bool memory_bound = false;        // intensity below the ridge point
+  double attainable_gflops = 0;     // min(peak, intensity * bandwidth)
+};
+
+/** Whole-network roofline summary. */
+struct RooflineReport {
+  std::vector<LayerRoofline> layers;
+  double ridge_intensity = 0;       // peak FLOPS / bandwidth (FLOP/byte)
+  int memory_bound_layers = 0;
+  int compute_bound_layers = 0;
+  // Fraction of the roofline-estimated time spent in memory-bound layers
+  // ("most of the evaluated workloads are actually memory intensive").
+  double memory_bound_time_share = 0;
+};
+
+/** Analyzes `network` at `batch` against `gpu`'s Table 1 specification. */
+RooflineReport AnalyzeRoofline(const dnn::Network& network,
+                               const GpuSpec& gpu, std::int64_t batch);
+
+}  // namespace gpuperf::gpuexec
+
+#endif  // GPUPERF_GPUEXEC_ROOFLINE_H_

@@ -1,0 +1,236 @@
+#include "gpuexec/training.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "dnn/flops.h"
+#include "gpuexec/lowering.h"
+
+namespace gpuperf::gpuexec {
+
+using dnn::kBytesPerElement;
+using dnn::Layer;
+using dnn::LayerKind;
+
+namespace {
+
+std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/** Reduction-depth bucket (mirrors the forward lowering's identity rule). */
+long KBucket(std::int64_t k) {
+  long bucket = 32;
+  while (bucket < k && bucket < 4096) bucket *= 2;
+  return bucket;
+}
+
+void Attach(const Layer& layer, std::int64_t batch, KernelLaunch* launch) {
+  launch->layer_kind = layer.kind;
+  launch->batch = batch;
+  launch->layer_flops = dnn::LayerFlops(layer, batch);
+  launch->input_elems = batch * layer.InputElements();
+  launch->output_elems = batch * layer.output.Elements();
+}
+
+/** A gradient GEMM ([m x k] * [k x n] per `batches`), operation-driven. */
+KernelLaunch GradGemm(const std::string& role, std::int64_t batches,
+                      std::int64_t m, std::int64_t n, std::int64_t k) {
+  KernelLaunch launch;
+  launch.name = Format("gemm_%s_k%ld_n%ld", role.c_str(), KBucket(k),
+                       KBucket(n));
+  launch.family = KernelFamily::kGemm;
+  launch.driver = CostDriver::kOperation;
+  launch.flops = 2 * batches * m * n * k;
+  launch.bytes_in = batches * (m * k + k * n) * kBytesPerElement;
+  launch.bytes_out = batches * m * n * kBytesPerElement;
+  launch.blocks = batches * CeilDiv(m, 128) * CeilDiv(n, 128);
+  return launch;
+}
+
+/** Streaming backward kernel over `elems` with `read_factor`x reads. */
+KernelLaunch StreamBackward(const std::string& name, KernelFamily family,
+                            CostDriver driver, std::int64_t elems,
+                            double read_factor) {
+  KernelLaunch launch;
+  launch.name = name;
+  launch.family = family;
+  launch.driver = driver;
+  launch.flops = elems;
+  launch.bytes_in = static_cast<std::int64_t>(
+      read_factor * static_cast<double>(elems) * kBytesPerElement);
+  launch.bytes_out = elems * kBytesPerElement;
+  launch.blocks = CeilDiv(elems, 1024);
+  return launch;
+}
+
+/** SGD parameter update: read weight + gradient, write weight. */
+KernelLaunch SgdUpdate(std::int64_t weights) {
+  KernelLaunch launch;
+  launch.name = "sgd_update_vec";
+  launch.family = KernelFamily::kElementwise;
+  launch.driver = CostDriver::kOperation;
+  launch.flops = 2 * weights;
+  launch.bytes_in = 2 * weights * kBytesPerElement;
+  launch.bytes_out = weights * kBytesPerElement;
+  launch.blocks = CeilDiv(weights, 1024);
+  return launch;
+}
+
+}  // namespace
+
+std::vector<KernelLaunch> LowerLayerBackward(const Layer& layer,
+                                             std::int64_t batch) {
+  GP_CHECK_GT(batch, 0);
+  std::vector<KernelLaunch> launches;
+  const std::int64_t in_elems = batch * layer.InputElements();
+  const std::int64_t out_elems = batch * layer.output.Elements();
+  const std::int64_t weights = dnn::LayerWeightCount(layer);
+
+  switch (layer.kind) {
+    case LayerKind::kConv2d: {
+      const dnn::ConvParams& p = layer.conv();
+      const std::int64_t k_dim =
+          (p.in_channels / p.groups) * p.kernel_h * p.kernel_w;
+      const std::int64_t out_pixels = batch * layer.output.h * layer.output.w;
+      // Data gradient: dX = dY (*) W^T.
+      launches.push_back(GradGemm("conv_dgrad", p.groups,
+                                  p.in_channels / p.groups, out_pixels,
+                                  (p.out_channels / p.groups) * p.kernel_h *
+                                      p.kernel_w));
+      // Weight gradient: dW = dY (*) X, reduced over the batch.
+      launches.push_back(GradGemm("conv_wgrad", p.groups,
+                                  p.out_channels / p.groups, k_dim,
+                                  out_pixels));
+      launches.push_back(SgdUpdate(weights));
+      break;
+    }
+    case LayerKind::kLinear: {
+      const dnn::LinearParams& p = layer.linear();
+      const std::int64_t positions =
+          batch * layer.inputs[0].h * layer.inputs[0].w;
+      launches.push_back(GradGemm("fc_dgrad", 1, p.in_features, positions,
+                                  p.out_features));
+      launches.push_back(GradGemm("fc_wgrad", 1, p.out_features,
+                                  p.in_features, positions));
+      launches.push_back(SgdUpdate(weights));
+      break;
+    }
+    case LayerKind::kMatMul: {
+      const dnn::MatMulParams& p = layer.matmul();
+      launches.push_back(
+          GradGemm("bmm_dgrad_a", batch * p.batch, p.m, p.k, p.n));
+      launches.push_back(
+          GradGemm("bmm_dgrad_b", batch * p.batch, p.k, p.n, p.m));
+      break;
+    }
+    case LayerKind::kBatchNorm:
+      launches.push_back(StreamBackward("bn_bwd", KernelFamily::kBatchNorm,
+                                        CostDriver::kInput, in_elems, 2.5));
+      launches.push_back(SgdUpdate(weights));
+      break;
+    case LayerKind::kLayerNorm:
+      launches.push_back(StreamBackward("layer_norm_bwd",
+                                        KernelFamily::kLayerNorm,
+                                        CostDriver::kInput, in_elems, 2.5));
+      launches.push_back(SgdUpdate(weights));
+      break;
+    case LayerKind::kRelu:
+    case LayerKind::kRelu6:
+      launches.push_back(StreamBackward("elementwise_relu_bwd",
+                                        KernelFamily::kElementwise,
+                                        CostDriver::kOutput, out_elems, 2.0));
+      break;
+    case LayerKind::kSigmoid:
+    case LayerKind::kGelu:
+      launches.push_back(StreamBackward("elementwise_act_bwd",
+                                        KernelFamily::kElementwise,
+                                        CostDriver::kOutput, out_elems, 2.0));
+      break;
+    case LayerKind::kAdd:
+      // Gradient fan-out accumulates into the shortcut branch.
+      launches.push_back(StreamBackward("elementwise_grad_accum",
+                                        KernelFamily::kElementwise,
+                                        CostDriver::kOutput, out_elems, 2.0));
+      break;
+    case LayerKind::kMaxPool:
+      launches.push_back(StreamBackward("pooling_max_bwd_scatter",
+                                        KernelFamily::kPooling,
+                                        CostDriver::kInput, in_elems, 1.5));
+      break;
+    case LayerKind::kAvgPool:
+    case LayerKind::kGlobalAvgPool:
+      launches.push_back(StreamBackward("pooling_avg_bwd_broadcast",
+                                        KernelFamily::kPooling,
+                                        CostDriver::kInput, in_elems, 1.2));
+      break;
+    case LayerKind::kSoftmax:
+      launches.push_back(StreamBackward("softmax_bwd",
+                                        KernelFamily::kSoftmax,
+                                        CostDriver::kOutput, out_elems, 2.0));
+      break;
+    case LayerKind::kConcat:
+      launches.push_back(StreamBackward("concat_bwd_slice",
+                                        KernelFamily::kCopy,
+                                        CostDriver::kOutput, out_elems, 1.0));
+      break;
+    case LayerKind::kChannelShuffle:
+      launches.push_back(StreamBackward("channel_shuffle_bwd",
+                                        KernelFamily::kCopy,
+                                        CostDriver::kInput, in_elems, 1.0));
+      break;
+    case LayerKind::kEmbedding:
+      launches.push_back(StreamBackward("embedding_bwd_scatter_add",
+                                        KernelFamily::kGather,
+                                        CostDriver::kOutput, out_elems, 2.0));
+      launches.push_back(SgdUpdate(weights));
+      break;
+    case LayerKind::kFlatten:
+    case LayerKind::kDropout:
+      break;  // views / no-ops backward too
+  }
+
+  for (KernelLaunch& launch : launches) Attach(layer, batch, &launch);
+  return launches;
+}
+
+std::vector<std::vector<KernelLaunch>> LowerNetworkWorkload(
+    const dnn::Network& network, std::int64_t batch, Workload workload) {
+  std::vector<std::vector<KernelLaunch>> lowered =
+      LowerNetwork(network, batch);
+  if (workload == Workload::kTraining) {
+    for (std::size_t i = 0; i < lowered.size(); ++i) {
+      std::vector<KernelLaunch> backward =
+          LowerLayerBackward(network.layers()[i], batch);
+      lowered[i].insert(lowered[i].end(), backward.begin(), backward.end());
+    }
+  }
+  return lowered;
+}
+
+std::vector<std::pair<int, int>> TrainingExecutionOrder(
+    const dnn::Network& network,
+    const std::vector<std::vector<KernelLaunch>>& lowered) {
+  GP_CHECK_EQ(lowered.size(), network.layers().size());
+  std::vector<std::pair<int, int>> order;
+  std::vector<int> forward_counts(lowered.size());
+  for (std::size_t i = 0; i < lowered.size(); ++i) {
+    forward_counts[i] = static_cast<int>(
+        LowerLayer(network.layers()[i],
+                   lowered[i].empty() ? 1 : lowered[i][0].batch)
+            .size());
+    for (int k = 0; k < forward_counts[i]; ++k) {
+      order.push_back({static_cast<int>(i), k});
+    }
+  }
+  for (int i = static_cast<int>(lowered.size()) - 1; i >= 0; --i) {
+    for (int k = forward_counts[i];
+         k < static_cast<int>(lowered[i].size()); ++k) {
+      order.push_back({i, k});
+    }
+  }
+  return order;
+}
+
+}  // namespace gpuperf::gpuexec

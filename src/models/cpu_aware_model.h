@@ -1,0 +1,75 @@
+#ifndef GPUPERF_MODELS_CPU_AWARE_MODEL_H_
+#define GPUPERF_MODELS_CPU_AWARE_MODEL_H_
+
+/**
+ * @file
+ * The CPU-aware extension — the paper's stated limitation fix ("in the
+ * future, we plan to include a CPU and a communication model so that we
+ * can also accurately predict performance for small workloads").
+ *
+ * When the batch (or the network) is small, the GPU drains kernels faster
+ * than the CPU can launch them and wall time is set by the launch
+ * pipeline, not the GPU. This model combines a trained KW model with a
+ * per-GPU CPU-pipeline law
+ *
+ *   cpu_us(n) = overhead + per_kernel * n_kernels
+ *
+ * fitted on the launch-bound runs of a small-batch campaign, and predicts
+ *
+ *   e2e = max(KW prediction, cpu_us(n_kernels)).
+ *
+ * The kernel count of an unseen network comes from the KW mapping table,
+ * so prediction still needs nothing but the network structure.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "dataset/dataset.h"
+#include "models/kw_model.h"
+#include "models/predictor.h"
+
+namespace gpuperf::models {
+
+/** The fitted CPU launch-pipeline law of one GPU. */
+struct CpuPipelineFit {
+  double overhead_us = 0;    // per-run fixed cost (framework dispatch)
+  double per_kernel_us = 0;  // cost of issuing one kernel
+  std::size_t samples = 0;   // launch-bound runs used for the fit
+};
+
+/** KW + CPU launch pipeline. */
+class CpuAwareModel : public Predictor {
+ public:
+  /**
+   * Wraps a copy of `kw` (already trained, typically at BS 512) and fits
+   * the CPU law from `data` — a campaign at a SMALL batch size where the
+   * launch pipeline is visible. Runs whose wall time exceeds GPU busy
+   * time by `launch_bound_threshold` are treated as launch-bound.
+   */
+  void Train(const KwModel& kw, const dataset::Dataset& data,
+             const dataset::NetworkSplit& split,
+             double launch_bound_threshold = 1.10);
+
+  std::string Name() const override { return "KW+CPU"; }
+
+  double PredictUs(const dnn::Network& network, const gpuexec::GpuSpec& gpu,
+                   std::int64_t batch) const override;
+
+  /** Predicted kernel-launch count of `network` from the mapping table. */
+  std::int64_t PredictKernelCount(const dnn::Network& network) const;
+
+  /** The CPU law for `gpu_name` (zeros if no launch-bound runs existed). */
+  const CpuPipelineFit& FitFor(const std::string& gpu_name) const;
+
+  const KwModel& kw_model() const { return kw_; }
+
+ private:
+  KwModel kw_;
+  std::map<std::string, CpuPipelineFit> fits_;
+};
+
+}  // namespace gpuperf::models
+
+#endif  // GPUPERF_MODELS_CPU_AWARE_MODEL_H_

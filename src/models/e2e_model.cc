@@ -1,0 +1,42 @@
+#include "models/e2e_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "dnn/flops.h"
+
+namespace gpuperf::models {
+
+void E2eModel::Train(const dataset::Dataset& data,
+                     const dataset::NetworkSplit& split) {
+  fits_.clear();
+  std::map<std::string, std::pair<std::vector<double>, std::vector<double>>>
+      samples;
+  for (const dataset::NetworkRow& row : data.network_rows()) {
+    if (split.IsTest(row.network_id)) continue;
+    auto& [x, y] = samples[data.gpus().Get(row.gpu_id)];
+    x.push_back(static_cast<double>(row.total_flops));
+    y.push_back(row.e2e_us);
+  }
+  for (auto& [gpu, xy] : samples) {
+    fits_[gpu] = regression::FitLinear(xy.first, xy.second);
+  }
+}
+
+double E2eModel::PredictUs(const dnn::Network& network,
+                           const gpuexec::GpuSpec& gpu,
+                           std::int64_t batch) const {
+  const regression::LinearFit& fit = FitFor(gpu.name);
+  const double flops =
+      static_cast<double>(dnn::NetworkFlops(network, batch));
+  return std::max(0.0, fit.Predict(flops));
+}
+
+const regression::LinearFit& E2eModel::FitFor(
+    const std::string& gpu_name) const {
+  auto it = fits_.find(gpu_name);
+  if (it == fits_.end()) Fatal("E2E model not trained for GPU " + gpu_name);
+  return it->second;
+}
+
+}  // namespace gpuperf::models

@@ -1,0 +1,41 @@
+#ifndef GPUPERF_MODELS_E2E_MODEL_H_
+#define GPUPERF_MODELS_E2E_MODEL_H_
+
+/**
+ * @file
+ * The End-to-End model (Section 5.2): one linear regression per GPU from
+ * total theoretical network FLOPs to end-to-end execution time. The
+ * simplest, least accurate model (paper: 35% error on A100).
+ */
+
+#include <map>
+#include <string>
+
+#include "dataset/dataset.h"
+#include "models/predictor.h"
+#include "regression/linreg.h"
+
+namespace gpuperf::models {
+
+/** FLOPs -> e2e time, one line per GPU. */
+class E2eModel : public Predictor {
+ public:
+  /** Trains on the training-network rows of `data` for every GPU in it. */
+  void Train(const dataset::Dataset& data,
+             const dataset::NetworkSplit& split);
+
+  std::string Name() const override { return "E2E"; }
+
+  double PredictUs(const dnn::Network& network, const gpuexec::GpuSpec& gpu,
+                   std::int64_t batch) const override;
+
+  /** The fitted line for `gpu_name`; Fatal() if untrained. */
+  const regression::LinearFit& FitFor(const std::string& gpu_name) const;
+
+ private:
+  std::map<std::string, regression::LinearFit> fits_;
+};
+
+}  // namespace gpuperf::models
+
+#endif  // GPUPERF_MODELS_E2E_MODEL_H_

@@ -1,0 +1,174 @@
+#include "models/igkw_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "dnn/flops.h"
+#include "gpuexec/gpu_spec.h"
+#include "regression/linreg.h"
+
+namespace gpuperf::models {
+
+using gpuexec::CostDriver;
+
+std::vector<double> IgkwModel::Features(const gpuexec::GpuSpec& gpu) const {
+  GP_CHECK_GT(gpu.bandwidth_gbps, 0.0);
+  GP_CHECK_GT(gpu.fp32_tflops, 0.0);
+  switch (feature_) {
+    case ScalingFeature::kBandwidth:
+      return {1.0 / gpu.bandwidth_gbps};
+    case ScalingFeature::kTflops:
+      return {1.0 / gpu.fp32_tflops};
+    case ScalingFeature::kBoth:
+      return {1.0 / gpu.bandwidth_gbps, 1.0 / gpu.fp32_tflops};
+  }
+  GP_CHECK(false);
+  return {};
+}
+
+regression::LinearFit IgkwModel::KernelFitAt(
+    const InterGpuKernelModel& law, const gpuexec::GpuSpec& gpu) const {
+  const std::vector<double> features = Features(gpu);
+  auto evaluate = [&](const std::vector<double>& beta) {
+    GP_CHECK_EQ(beta.size(), features.size() + 1);
+    double value = beta[0];
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      value += beta[i + 1] * features[i];
+    }
+    return value;
+  };
+  regression::LinearFit fit;
+  fit.slope = std::max(0.0, evaluate(law.slope_beta));
+  fit.intercept = std::max(0.0, evaluate(law.intercept_beta));
+  return fit;
+}
+
+void IgkwModel::Train(const dataset::Dataset& data,
+                      const dataset::NetworkSplit& split,
+                      const std::vector<std::string>& training_gpus,
+                      ScalingFeature feature, const KwOptions& options) {
+  GP_CHECK_GE(training_gpus.size(), 2u)
+      << "spec scaling needs at least two training GPUs";
+  kw_ = KwModel(options);
+  kw_.Train(data, split);
+  training_gpus_ = training_gpus;
+  feature_ = feature;
+  laws_.clear();
+  mean_calibration_ = 0;
+  for (const std::string& gpu : training_gpus) {
+    mean_calibration_ += kw_.CalibrationFor(gpu);
+  }
+  mean_calibration_ /= static_cast<double>(training_gpus.size());
+
+  const std::size_t feature_count = Features(
+      gpuexec::GpuByName(training_gpus.front())).size();
+
+  // Kernel universe: names seen on the first training GPU.
+  for (const auto& [name, first_model] :
+       kw_.KernelModels(training_gpus.front())) {
+    (void)first_model;
+    // Majority driver across training GPUs.
+    int votes[3] = {0, 0, 0};
+    for (const std::string& gpu : training_gpus) {
+      const auto& kernels = kw_.KernelModels(gpu);
+      auto it = kernels.find(name);
+      if (it != kernels.end()) ++votes[static_cast<int>(it->second.driver)];
+    }
+    int majority = 0;
+    for (int d = 1; d < 3; ++d) {
+      if (votes[d] > votes[majority]) majority = d;
+    }
+    InterGpuKernelModel law;
+    law.driver = static_cast<CostDriver>(majority);
+
+    // Gather (features, slope/intercept) over driver-consistent training
+    // GPUs; inconsistent drivers would mix incomparable x units.
+    std::vector<std::vector<double>> rows;
+    std::vector<double> slopes, intercepts;
+    for (const std::string& gpu : training_gpus) {
+      const auto& kernels = kw_.KernelModels(gpu);
+      auto it = kernels.find(name);
+      if (it == kernels.end() || it->second.driver != law.driver) continue;
+      rows.push_back(Features(gpuexec::GpuByName(gpu)));
+      slopes.push_back(it->second.fit.slope);
+      intercepts.push_back(it->second.fit.intercept);
+    }
+    if (rows.empty()) continue;
+    if (rows.size() <= feature_count) {
+      // Too few GPUs for a full fit: constant law from the mean.
+      law.slope_beta.assign(feature_count + 1, 0.0);
+      law.intercept_beta.assign(feature_count + 1, 0.0);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        law.slope_beta[0] += slopes[i] / static_cast<double>(rows.size());
+        law.intercept_beta[0] +=
+            intercepts[i] / static_cast<double>(rows.size());
+      }
+    } else {
+      law.slope_beta = regression::FitMulti(rows, slopes).beta;
+      law.intercept_beta = regression::FitMulti(rows, intercepts).beta;
+    }
+    laws_[name] = law;
+  }
+}
+
+double IgkwModel::PredictLayerUs(const dnn::Layer& layer,
+                                 const gpuexec::GpuSpec& gpu,
+                                 std::int64_t batch) const {
+  const std::vector<std::string> names = kw_.KernelsForLayer(layer);
+  // Fallbacks route through the nearest-bandwidth training GPU's KW
+  // estimate, scaled by the bandwidth ratio (memory-bound default).
+  auto fallback = [&]() {
+    std::string nearest = training_gpus_.front();
+    double best = 1e300;
+    for (const std::string& name : training_gpus_) {
+      const double gap = std::fabs(
+          gpuexec::GpuByName(name).bandwidth_gbps - gpu.bandwidth_gbps);
+      if (gap < best) {
+        best = gap;
+        nearest = name;
+      }
+    }
+    const double near_bw = gpuexec::GpuByName(nearest).bandwidth_gbps;
+    return kw_.PredictLayerUs(layer, nearest, batch) *
+           (near_bw / gpu.bandwidth_gbps);
+  };
+  if (names.empty()) return fallback();
+
+  const double x_input = static_cast<double>(batch * layer.InputElements());
+  const double x_operation =
+      static_cast<double>(dnn::LayerFlops(layer, batch));
+  const double x_output =
+      static_cast<double>(batch * layer.output.Elements());
+
+  double total = 0;
+  for (const std::string& name : names) {
+    auto it = laws_.find(name);
+    if (it == laws_.end()) return fallback();
+    const InterGpuKernelModel& law = it->second;
+    const regression::LinearFit fit = KernelFitAt(law, gpu);
+    double x = x_operation;
+    if (law.driver == CostDriver::kInput) x = x_input;
+    if (law.driver == CostDriver::kOutput) x = x_output;
+    total += std::max(0.0, fit.Predict(x));
+  }
+  return total * mean_calibration_;
+}
+
+double IgkwModel::PredictUs(const dnn::Network& network,
+                            const gpuexec::GpuSpec& gpu,
+                            std::int64_t batch) const {
+  double total = 0;
+  for (const dnn::Layer& layer : network.layers()) {
+    total += PredictLayerUs(layer, gpu, batch);
+  }
+  return total;
+}
+
+const InterGpuKernelModel* IgkwModel::KernelLaw(
+    const std::string& kernel_name) const {
+  auto it = laws_.find(kernel_name);
+  return it == laws_.end() ? nullptr : &it->second;
+}
+
+}  // namespace gpuperf::models

@@ -1,0 +1,94 @@
+#ifndef GPUPERF_MODELS_IGKW_MODEL_H_
+#define GPUPERF_MODELS_IGKW_MODEL_H_
+
+/**
+ * @file
+ * The Inter-GPU Kernel-Wise model (Section 5.5): predicts a GPU that is
+ * not in the training set by regressing each kernel's KW parameters
+ * against GPU theoretical specifications (O6).
+ *
+ * The paper selects memory bandwidth as the scaling feature; for every
+ * kernel the KW slope on the training GPUs is fit as
+ * slope = a + b / bandwidth (memory-bound kernels are pure b/bandwidth,
+ * compute-bound kernels pure a), and likewise for the intercept.
+ * Prediction needs only the target GPU's Table 1 numbers — hypothetical
+ * GPUs (case study 1) are supported by construction. The feature choice
+ * is parameterized to support the paper's discussion-section ablation
+ * (bandwidth vs TFLOPS vs both).
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dnn/layer.h"
+#include "gpuexec/kernel.h"
+#include "models/kw_model.h"
+#include "models/predictor.h"
+
+namespace gpuperf::models {
+
+/** Which Table 1 column(s) drive the inter-GPU parameter scaling. */
+enum class ScalingFeature {
+  kBandwidth,  // the paper's choice (O6)
+  kTflops,     // ablation: theoretical FP32 throughput
+  kBoth,       // ablation: both reciprocals
+};
+
+/** Spec-parameterized regression of one kernel. */
+struct InterGpuKernelModel {
+  gpuexec::CostDriver driver = gpuexec::CostDriver::kOperation;
+  // slope(gpu) = slope_beta[0] + sum_i slope_beta[i+1] * feature_i(gpu)
+  std::vector<double> slope_beta;
+  std::vector<double> intercept_beta;
+};
+
+/** The Inter-GPU Kernel-Wise predictor. */
+class IgkwModel : public Predictor {
+ public:
+  /**
+   * Trains per-kernel KW models on `training_gpus` (which must all be in
+   * `data`), then fits the spec scaling laws. The driver of a kernel is
+   * the majority vote across training GPUs.
+   */
+  void Train(const dataset::Dataset& data, const dataset::NetworkSplit& split,
+             const std::vector<std::string>& training_gpus,
+             ScalingFeature feature = ScalingFeature::kBandwidth,
+             const KwOptions& options = KwOptions());
+
+  std::string Name() const override { return "IGKW"; }
+
+  /** Predicts from `gpu`'s Table 1 numbers only; `gpu.name` is ignored. */
+  double PredictUs(const dnn::Network& network, const gpuexec::GpuSpec& gpu,
+                   std::int64_t batch) const override;
+
+  /** Per-layer prediction for a (possibly hypothetical) GPU spec. */
+  double PredictLayerUs(const dnn::Layer& layer, const gpuexec::GpuSpec& gpu,
+                        std::int64_t batch) const;
+
+  /** The kernel's fitted line on a (possibly hypothetical) GPU spec. */
+  regression::LinearFit KernelFitAt(const InterGpuKernelModel& law,
+                                    const gpuexec::GpuSpec& gpu) const;
+
+  /** The underlying per-GPU KW model (for inspection). */
+  const KwModel& kw_model() const { return kw_; }
+
+  /** Scaling law for `kernel_name`, or nullptr if unknown. */
+  const InterGpuKernelModel* KernelLaw(const std::string& kernel_name) const;
+
+ private:
+  /** Feature vector of a GPU spec under the configured ScalingFeature. */
+  std::vector<double> Features(const gpuexec::GpuSpec& gpu) const;
+
+  KwModel kw_;
+  double mean_calibration_ = 1.0;  // mean of the training GPUs' factors
+  ScalingFeature feature_ = ScalingFeature::kBandwidth;
+  std::map<std::string, InterGpuKernelModel> laws_;
+  std::vector<std::string> training_gpus_;
+};
+
+}  // namespace gpuperf::models
+
+#endif  // GPUPERF_MODELS_IGKW_MODEL_H_

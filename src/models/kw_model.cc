@@ -1,0 +1,378 @@
+#include "models/kw_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "dnn/flops.h"
+
+namespace gpuperf::models {
+namespace {
+
+using gpuexec::CostDriver;
+
+constexpr CostDriver kDrivers[] = {CostDriver::kInput, CostDriver::kOperation,
+                                   CostDriver::kOutput};
+
+/** Per-kernel training sample set (one point per execution). */
+struct KernelSamples {
+  std::vector<double> x_input;
+  std::vector<double> x_operation;
+  std::vector<double> x_output;
+  std::vector<double> y;
+
+  const std::vector<double>& XFor(CostDriver driver) const {
+    switch (driver) {
+      case CostDriver::kInput: return x_input;
+      case CostDriver::kOperation: return x_operation;
+      case CostDriver::kOutput: return x_output;
+    }
+    GP_CHECK(false);
+    return x_input;
+  }
+};
+
+/** Longest common prefix length of two strings. */
+std::size_t CommonPrefix(const std::string& a, const std::string& b) {
+  std::size_t i = 0;
+  while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
+  return i;
+}
+
+/**
+ * OLS fit with the intercept clamped to [0, min(min(y), cap)]: a
+ * kernel's fixed cost cannot be negative, cannot exceed its fastest
+ * observed execution, and physically cannot exceed a few microseconds
+ * of launch/ramp-up overhead (the configurable cap). Unclamped OLS can
+ * push the intercept far outside this range when the sampled sizes
+ * cluster, which wrecks extrapolation to small batch sizes; the clamp
+ * costs almost nothing in-range.
+ */
+regression::LinearFit ClampedFit(const std::vector<double>& x,
+                                 const std::vector<double>& y,
+                                 double max_intercept_us) {
+  regression::LinearFit fit = regression::FitLinear(x, y);
+  if (y.empty()) return fit;
+  double min_y = y[0];
+  for (double v : y) min_y = std::min(min_y, v);
+  const double clamped =
+      std::clamp(fit.intercept, 0.0, std::min(min_y, max_intercept_us));
+  if (clamped == fit.intercept) return fit;
+  // Refit the slope with the intercept fixed.
+  double sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += x[i] * x[i];
+    sxy += x[i] * (y[i] - clamped);
+  }
+  fit.intercept = clamped;
+  fit.slope = sxx > 0 ? sxy / sxx : 0.0;
+  // Recompute R² for reporting.
+  double my = 0;
+  for (double v : y) my += v;
+  my /= static_cast<double>(y.size());
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - fit.Predict(x[i]);
+    ss_res += r * r;
+    ss_tot += (y[i] - my) * (y[i] - my);
+  }
+  fit.r2 = ss_tot <= 0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace
+
+std::string ReducedSignature(const std::string& signature) {
+  std::vector<std::string> parts = Split(signature, '/');
+  std::vector<std::string> kept;
+  for (const std::string& part : parts) {
+    // Shape components are "i<CxHxW>" and "o<CxHxW>".
+    if (part.size() > 1 && (part[0] == 'i' || part[0] == 'o') &&
+        part.find('x') != std::string::npos &&
+        std::isdigit(static_cast<unsigned char>(part[1]))) {
+      continue;
+    }
+    kept.push_back(part);
+  }
+  return Join(kept, "/");
+}
+
+KwModel::KwModel(const KwOptions& options) : options_(options) {}
+
+void KwModel::Train(const dataset::Dataset& data,
+                    const dataset::NetworkSplit& split) {
+  per_gpu_.clear();
+  mapping_.clear();
+  reduced_mapping_.clear();
+
+  // --- 1. Mapping table from all traces (library behaviour, not timing).
+  // Rows are trace-ordered, so kernels of one layer instance are
+  // consecutive; commit each instance's list on boundary change.
+  {
+    std::tuple<int, int, int> current{-1, -1, -1};
+    int current_signature = -1;
+    std::vector<std::string> names;
+    auto commit = [&]() {
+      if (current_signature < 0 || names.empty()) return;
+      mapping_.emplace(data.signatures().Get(current_signature), names);
+    };
+    for (const dataset::KernelRow& row : data.kernel_rows()) {
+      std::tuple<int, int, int> key{row.gpu_id, row.network_id,
+                                    row.layer_index};
+      if (key != current) {
+        commit();
+        current = key;
+        current_signature = row.signature_id;
+        names.clear();
+      }
+      names.push_back(data.kernels().Get(row.kernel_id));
+    }
+    commit();
+    // Derive the reduced-signature fallback table from the (sorted) full
+    // table, so its contents do not depend on trace order and the save/
+    // load round trip reproduces it exactly.
+    for (const auto& [signature, kernel_names] : mapping_) {
+      reduced_mapping_.emplace(ReducedSignature(signature), kernel_names);
+    }
+  }
+
+  // --- 2. Per-(GPU, kernel) samples from training networks only.
+  std::map<std::pair<int, int>, KernelSamples> samples;
+  for (const dataset::KernelRow& row : data.kernel_rows()) {
+    if (split.IsTest(row.network_id)) continue;
+    KernelSamples& s = samples[{row.gpu_id, row.kernel_id}];
+    s.x_input.push_back(static_cast<double>(row.input_elems));
+    s.x_operation.push_back(static_cast<double>(row.layer_flops));
+    s.x_output.push_back(static_cast<double>(row.output_elems));
+    s.y.push_back(row.time_us);
+  }
+
+  // Classification: the driver whose regression has the best R² (O5).
+  for (auto& [key, s] : samples) {
+    const std::string& gpu = data.gpus().Get(key.first);
+    const std::string& kernel = data.kernels().Get(key.second);
+    KernelModel model;
+    if (options_.classify_drivers) {
+      double best_r2 = -1e300;
+      for (CostDriver driver : kDrivers) {
+        regression::LinearFit fit =
+            ClampedFit(s.XFor(driver), s.y, options_.max_intercept_us);
+        if (fit.r2 > best_r2) {
+          best_r2 = fit.r2;
+          model.driver = driver;
+          model.fit = fit;
+        }
+      }
+    } else {
+      model.driver = CostDriver::kOperation;
+      model.fit =
+          ClampedFit(s.x_operation, s.y, options_.max_intercept_us);
+    }
+    model.solo_r2 = model.fit.r2;
+    per_gpu_[gpu][kernel] = model;
+  }
+
+  // --- 3. Clustering: merge kernels with similar lines (Section 5.4).
+  if (options_.cluster) {
+    for (auto& [gpu, kernels] : per_gpu_) {
+      const int gpu_id = data.gpus().Find(gpu);
+      for (CostDriver driver : kDrivers) {
+        // Kernels of this driver sorted by slope.
+        std::vector<std::string> names;
+        for (const auto& [name, model] : kernels) {
+          if (model.driver == driver) names.push_back(name);
+        }
+        std::sort(names.begin(), names.end(),
+                  [&](const std::string& a, const std::string& b) {
+                    return kernels.at(a).fit.slope < kernels.at(b).fit.slope;
+                  });
+        std::vector<std::vector<std::string>> clusters;
+        for (const std::string& name : names) {
+          const regression::LinearFit& fit = kernels.at(name).fit;
+          bool merged = false;
+          if (!clusters.empty()) {
+            const regression::LinearFit& head =
+                kernels.at(clusters.back().front()).fit;
+            const double base = std::max(std::abs(head.slope), 1e-12);
+            if (std::abs(fit.slope - head.slope) / base <=
+                    options_.cluster_slope_tol &&
+                std::abs(fit.intercept - head.intercept) <=
+                    options_.cluster_intercept_tol_us) {
+              clusters.back().push_back(name);
+              merged = true;
+            }
+          }
+          if (!merged) clusters.push_back({name});
+        }
+        // Refit each multi-kernel cluster on the union of its samples.
+        for (std::size_t c = 0; c < clusters.size(); ++c) {
+          const int cluster_id =
+              static_cast<int>(driver) * 100000 + static_cast<int>(c);
+          if (clusters[c].size() == 1) {
+            kernels[clusters[c][0]].cluster_id = cluster_id;
+            continue;
+          }
+          std::vector<double> x, y;
+          for (const std::string& name : clusters[c]) {
+            const KernelSamples& s =
+                samples.at({gpu_id, data.kernels().Find(name)});
+            const std::vector<double>& xs = s.XFor(driver);
+            x.insert(x.end(), xs.begin(), xs.end());
+            y.insert(y.end(), s.y.begin(), s.y.end());
+          }
+          regression::LinearFit fit =
+              ClampedFit(x, y, options_.max_intercept_us);
+          for (const std::string& name : clusters[c]) {
+            kernels[name].fit = fit;
+            kernels[name].cluster_id = cluster_id;
+          }
+        }
+      }
+    }
+  } else {
+    for (auto& [gpu, kernels] : per_gpu_) {
+      int next = 0;
+      for (auto& [name, model] : kernels) model.cluster_id = next++;
+    }
+  }
+
+  // --- 4. Last-resort fallback for layers with unknown kernels.
+  lw_fallback_.Train(data, split);
+
+  // --- 5. Per-GPU end-to-end calibration: the ratio of measured wall
+  // time to summed kernel predictions over the training networks.
+  calibration_.clear();
+  if (options_.calibrate_e2e) {
+    std::map<std::pair<int, int>, double> predicted_sums;
+    for (const dataset::KernelRow& row : data.kernel_rows()) {
+      if (split.IsTest(row.network_id)) continue;
+      const auto& kernels = per_gpu_.at(data.gpus().Get(row.gpu_id));
+      auto it = kernels.find(data.kernels().Get(row.kernel_id));
+      if (it == kernels.end()) continue;
+      const double x =
+          static_cast<double>(row.DriverValue(it->second.driver));
+      predicted_sums[{row.gpu_id, row.network_id}] +=
+          std::max(0.0, it->second.fit.Predict(x));
+    }
+    std::map<int, std::pair<double, double>> totals;  // gpu -> (e2e, pred)
+    for (const dataset::NetworkRow& row : data.network_rows()) {
+      if (split.IsTest(row.network_id)) continue;
+      auto it = predicted_sums.find({row.gpu_id, row.network_id});
+      if (it == predicted_sums.end() || it->second <= 0) continue;
+      totals[row.gpu_id].first += row.e2e_us;
+      totals[row.gpu_id].second += it->second;
+    }
+    for (const auto& [gpu_id, sums] : totals) {
+      if (sums.second > 0) {
+        calibration_[data.gpus().Get(gpu_id)] = sums.first / sums.second;
+      }
+    }
+  }
+}
+
+double KwModel::CalibrationFor(const std::string& gpu_name) const {
+  auto it = calibration_.find(gpu_name);
+  return it == calibration_.end() ? 1.0 : it->second;
+}
+
+std::vector<std::string> KwModel::KernelsForLayer(
+    const dnn::Layer& layer) const {
+  const std::string signature = dnn::LayerSignature(layer);
+  auto it = mapping_.find(signature);
+  if (it != mapping_.end()) return it->second;
+  auto reduced = reduced_mapping_.find(ReducedSignature(signature));
+  if (reduced != reduced_mapping_.end()) return reduced->second;
+  return {};
+}
+
+double KwModel::PredictLayerUs(const dnn::Layer& layer,
+                               const std::string& gpu_name,
+                               std::int64_t batch) const {
+  auto gpu_it = per_gpu_.find(gpu_name);
+  if (gpu_it == per_gpu_.end()) {
+    Fatal("KW model not trained for GPU " + gpu_name);
+  }
+  const std::map<std::string, KernelModel>& kernels = gpu_it->second;
+
+  const std::vector<std::string> names = KernelsForLayer(layer);
+  if (names.empty()) {
+    // Unknown layer configuration: layer-wise estimate.
+    return lw_fallback_.PredictLayerUs(layer, gpu_name, batch);
+  }
+
+  const double x_input =
+      static_cast<double>(batch * layer.InputElements());
+  const double x_operation =
+      static_cast<double>(dnn::LayerFlops(layer, batch));
+  const double x_output =
+      static_cast<double>(batch * layer.output.Elements());
+
+  double total = 0;
+  for (const std::string& name : names) {
+    const KernelModel* model = nullptr;
+    auto kernel_it = kernels.find(name);
+    if (kernel_it != kernels.end()) {
+      model = &kernel_it->second;
+    } else {
+      // Tile-variant mismatch (e.g. another batch size picked a different
+      // tile): use the kernel with the longest common name prefix.
+      std::size_t best_prefix = 0;
+      for (const auto& [candidate, candidate_model] : kernels) {
+        const std::size_t prefix = CommonPrefix(candidate, name);
+        if (prefix > best_prefix) {
+          best_prefix = prefix;
+          model = &candidate_model;
+        }
+      }
+      if (model == nullptr || best_prefix < name.size() / 2) {
+        return lw_fallback_.PredictLayerUs(layer, gpu_name, batch);
+      }
+    }
+    double x = x_operation;
+    if (model->driver == CostDriver::kInput) x = x_input;
+    if (model->driver == CostDriver::kOutput) x = x_output;
+    total += std::max(0.0, model->fit.Predict(x));
+  }
+  return total * CalibrationFor(gpu_name);
+}
+
+double KwModel::PredictUs(const dnn::Network& network,
+                          const gpuexec::GpuSpec& gpu,
+                          std::int64_t batch) const {
+  double total = 0;
+  for (const dnn::Layer& layer : network.layers()) {
+    total += PredictLayerUs(layer, gpu.name, batch);
+  }
+  return total;
+}
+
+const std::map<std::string, KernelModel>& KwModel::KernelModels(
+    const std::string& gpu_name) const {
+  auto it = per_gpu_.find(gpu_name);
+  if (it == per_gpu_.end()) {
+    Fatal("KW model not trained for GPU " + gpu_name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> KwModel::TrainedGpus() const {
+  std::vector<std::string> gpus;
+  for (const auto& [gpu, kernels] : per_gpu_) gpus.push_back(gpu);
+  return gpus;
+}
+
+int KwModel::KernelCount(const std::string& gpu_name) const {
+  return static_cast<int>(KernelModels(gpu_name).size());
+}
+
+int KwModel::ClusterCount(const std::string& gpu_name) const {
+  std::vector<int> ids;
+  for (const auto& [name, model] : KernelModels(gpu_name)) {
+    ids.push_back(model.cluster_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return static_cast<int>(ids.size());
+}
+
+}  // namespace gpuperf::models

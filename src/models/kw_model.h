@@ -1,0 +1,134 @@
+#ifndef GPUPERF_MODELS_KW_MODEL_H_
+#define GPUPERF_MODELS_KW_MODEL_H_
+
+/**
+ * @file
+ * The Kernel-Wise model (Section 5.4) — the paper's flagship (7% error on
+ * A100, 6-9.4% across GPUs, 4.76% on transformers).
+ *
+ * Training:
+ *  1. Build the layer-to-kernel mapping table from the profiled traces
+ *     (keyed by layer signature, batch-agnostic).
+ *  2. For every (GPU, kernel name), fit three candidate regressions —
+ *     time vs input NCHW, vs layer FLOPs, vs output NCHW — and classify
+ *     the kernel by the driver with the highest R² (O5, Figure 8).
+ *  3. Merge kernels with similar (driver, slope, intercept) into shared
+ *     cluster regressions (paper: 182 kernels -> 83 models on A100).
+ *
+ * Prediction sums per-kernel regression outputs over the kernel lists of
+ * all layers; unseen layer signatures fall back to a reduced
+ * (type + filter parameters) key, and unseen kernels to a layer-wise fit.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dnn/layer.h"
+#include "gpuexec/kernel.h"
+#include "models/lw_model.h"
+#include "models/predictor.h"
+#include "regression/linreg.h"
+
+namespace gpuperf::models {
+
+/** Training knobs; defaults reproduce the paper's configuration. */
+struct KwOptions {
+  bool classify_drivers = true;   // ablation: false forces FLOPs everywhere
+  bool cluster = true;            // ablation: false keeps per-kernel fits
+  double cluster_slope_tol = 0.05;        // relative slope match
+  double cluster_intercept_tol_us = 3.0;  // absolute intercept match
+  // Upper bound on a kernel's fitted fixed cost. GPU kernel launch /
+  // ramp-up overheads are single-digit microseconds; without this cap,
+  // kernels observed only at large sizes can absorb hundreds of
+  // microseconds of heteroscedastic scatter into the intercept, which
+  // wrecks extrapolation to small batch sizes.
+  double max_intercept_us = 20.0;
+  // Apply a per-GPU end-to-end calibration factor (the ratio of measured
+  // wall time to summed kernel predictions over the training networks).
+  // Kernel sums systematically miss launch gaps and framework wall
+  // overheads; one fitted constant per GPU absorbs the mean of that bias.
+  bool calibrate_e2e = true;
+};
+
+/** The trained regression of one kernel on one GPU. */
+struct KernelModel {
+  gpuexec::CostDriver driver = gpuexec::CostDriver::kOperation;
+  regression::LinearFit fit;  // the (possibly cluster-shared) line
+  int cluster_id = -1;
+  double solo_r2 = 0;         // per-kernel fit quality before clustering
+};
+
+/** The Kernel-Wise predictor. */
+class KwModel : public Predictor {
+ public:
+  explicit KwModel(const KwOptions& options = KwOptions());
+
+  /**
+   * Trains for every GPU in `data`. The mapping table uses all traces
+   * (it encodes library behaviour, not timings); regressions use only
+   * training-network rows.
+   */
+  void Train(const dataset::Dataset& data,
+             const dataset::NetworkSplit& split);
+
+  std::string Name() const override { return "KW"; }
+
+  double PredictUs(const dnn::Network& network, const gpuexec::GpuSpec& gpu,
+                   std::int64_t batch) const override;
+
+  /** Predicted time of one layer (case studies 2 and 3 schedule layers). */
+  double PredictLayerUs(const dnn::Layer& layer, const std::string& gpu_name,
+                        std::int64_t batch) const;
+
+  /** Kernel names the mapping table yields for `layer` (may be empty). */
+  std::vector<std::string> KernelsForLayer(const dnn::Layer& layer) const;
+
+  /** Trained per-kernel models of one GPU (IGKW consumes these). */
+  const std::map<std::string, KernelModel>& KernelModels(
+      const std::string& gpu_name) const;
+
+  /** GPUs the model was trained for. */
+  std::vector<std::string> TrainedGpus() const;
+
+  /** Distinct kernels recorded for `gpu_name`. */
+  int KernelCount(const std::string& gpu_name) const;
+
+  /** Regression models after clustering for `gpu_name`. */
+  int ClusterCount(const std::string& gpu_name) const;
+
+  /** The fitted e2e calibration factor for `gpu_name` (1.0 if disabled). */
+  double CalibrationFor(const std::string& gpu_name) const;
+
+  /** The signature -> kernel-list mapping table. */
+  const std::map<std::string, std::vector<std::string>>& MappingTable()
+      const {
+    return mapping_;
+  }
+
+  const KwOptions& options() const { return options_; }
+
+ private:
+  friend class ModelIo;
+
+  KwOptions options_;
+  // gpu name -> kernel name -> trained model.
+  std::map<std::string, std::map<std::string, KernelModel>> per_gpu_;
+  // layer signature -> ordered kernel names.
+  std::map<std::string, std::vector<std::string>> mapping_;
+  // reduced signature (kind + filter params) -> ordered kernel names.
+  std::map<std::string, std::vector<std::string>> reduced_mapping_;
+  // Per-GPU end-to-end calibration factors.
+  std::map<std::string, double> calibration_;
+  // Last-resort per-layer-kind fallback.
+  LwModel lw_fallback_;
+};
+
+/** Drops the shape components of a layer signature (fallback table key). */
+std::string ReducedSignature(const std::string& signature);
+
+}  // namespace gpuperf::models
+
+#endif  // GPUPERF_MODELS_KW_MODEL_H_

@@ -1,0 +1,59 @@
+#ifndef GPUPERF_MODELS_LW_MODEL_H_
+#define GPUPERF_MODELS_LW_MODEL_H_
+
+/**
+ * @file
+ * The Layer-Wise model (Section 5.3): one linear regression per
+ * (GPU, layer type) from layer theoretical FLOPs to layer time; the
+ * network prediction is the sum over layers (paper: 28% error on A100).
+ */
+
+#include <map>
+#include <string>
+
+#include "dataset/dataset.h"
+#include "dnn/layer.h"
+#include "models/predictor.h"
+#include "regression/linreg.h"
+
+namespace gpuperf::models {
+
+/** Per-layer-type FLOPs -> time regressions. */
+class LwModel : public Predictor {
+ public:
+  /** Trains on the training-network kernel rows (summed per layer). */
+  void Train(const dataset::Dataset& data,
+             const dataset::NetworkSplit& split);
+
+  std::string Name() const override { return "LW"; }
+
+  double PredictUs(const dnn::Network& network, const gpuexec::GpuSpec& gpu,
+                   std::int64_t batch) const override;
+
+  /** Predicted time of one layer (used by schedulers and case studies). */
+  double PredictLayerUs(const dnn::Layer& layer, const std::string& gpu_name,
+                        std::int64_t batch) const;
+
+  /** The fit for (gpu, layer kind), or nullptr if that pair was unseen. */
+  const regression::LinearFit* FitFor(const std::string& gpu_name,
+                                      dnn::LayerKind kind) const;
+
+  /** Installs a fit directly (deserialization path of ModelIo). */
+  void SetFit(const std::string& gpu_name, dnn::LayerKind kind,
+              const regression::LinearFit& fit);
+
+  /** All (gpu, kind) fits (serialization path of ModelIo). */
+  const std::map<std::pair<std::string, dnn::LayerKind>,
+                 regression::LinearFit>&
+  fits() const {
+    return fits_;
+  }
+
+ private:
+  std::map<std::pair<std::string, dnn::LayerKind>, regression::LinearFit>
+      fits_;
+};
+
+}  // namespace gpuperf::models
+
+#endif  // GPUPERF_MODELS_LW_MODEL_H_

@@ -1,0 +1,113 @@
+#include "models/model_io.h"
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace gpuperf::models {
+
+void ModelIo::SaveKw(const KwModel& model, const std::string& directory) {
+  {
+    CsvWriter writer(directory + "/kernel_models.csv");
+    writer.WriteRow({"gpu", "kernel", "driver", "slope", "intercept",
+                     "cluster_id", "solo_r2"});
+    for (const auto& [gpu, kernels] : model.per_gpu_) {
+      for (const auto& [name, km] : kernels) {
+        writer.WriteRow({gpu, name, gpuexec::CostDriverName(km.driver),
+                         Format("%.12g", km.fit.slope),
+                         Format("%.12g", km.fit.intercept),
+                         Format("%d", km.cluster_id),
+                         Format("%.8g", km.solo_r2)});
+      }
+    }
+  }
+  {
+    CsvWriter writer(directory + "/mapping_table.csv");
+    writer.WriteRow({"signature", "kernels"});
+    for (const auto& [signature, names] : model.mapping_) {
+      writer.WriteRow({signature, Join(names, ";")});
+    }
+  }
+  {
+    CsvWriter writer(directory + "/calibration.csv");
+    writer.WriteRow({"gpu", "factor"});
+    for (const auto& [gpu, factor] : model.calibration_) {
+      writer.WriteRow({gpu, Format("%.12g", factor)});
+    }
+  }
+  {
+    CsvWriter writer(directory + "/layer_fallback.csv");
+    writer.WriteRow({"gpu", "layer_kind", "slope", "intercept"});
+    for (const auto& [key, fit] : model.lw_fallback_.fits()) {
+      writer.WriteRow({key.first, dnn::LayerKindName(key.second),
+                       Format("%.12g", fit.slope),
+                       Format("%.12g", fit.intercept)});
+    }
+  }
+}
+
+KwModel ModelIo::LoadKw(const std::string& directory) {
+  KwModel model;
+  {
+    CsvTable table = ReadCsv(directory + "/kernel_models.csv");
+    const std::size_t gpu = table.ColumnIndex("gpu");
+    const std::size_t kernel = table.ColumnIndex("kernel");
+    const std::size_t driver = table.ColumnIndex("driver");
+    const std::size_t slope = table.ColumnIndex("slope");
+    const std::size_t intercept = table.ColumnIndex("intercept");
+    const std::size_t cluster = table.ColumnIndex("cluster_id");
+    const std::size_t solo_r2 = table.ColumnIndex("solo_r2");
+    for (const auto& fields : table.rows) {
+      KernelModel km;
+      if (fields[driver] == "input") {
+        km.driver = gpuexec::CostDriver::kInput;
+      } else if (fields[driver] == "operation") {
+        km.driver = gpuexec::CostDriver::kOperation;
+      } else {
+        km.driver = gpuexec::CostDriver::kOutput;
+      }
+      km.fit.slope = std::stod(fields[slope]);
+      km.fit.intercept = std::stod(fields[intercept]);
+      km.cluster_id = std::stoi(fields[cluster]);
+      km.solo_r2 = std::stod(fields[solo_r2]);
+      model.per_gpu_[fields[gpu]][fields[kernel]] = km;
+    }
+  }
+  {
+    CsvTable table = ReadCsv(directory + "/mapping_table.csv");
+    const std::size_t signature = table.ColumnIndex("signature");
+    const std::size_t kernels = table.ColumnIndex("kernels");
+    for (const auto& fields : table.rows) {
+      model.mapping_[fields[signature]] = Split(fields[kernels], ';');
+    }
+    // Same derivation order as KwModel::Train (sorted full table).
+    for (const auto& [sig, names] : model.mapping_) {
+      model.reduced_mapping_.emplace(ReducedSignature(sig), names);
+    }
+  }
+  {
+    CsvTable table = ReadCsv(directory + "/calibration.csv");
+    const std::size_t gpu = table.ColumnIndex("gpu");
+    const std::size_t factor = table.ColumnIndex("factor");
+    for (const auto& fields : table.rows) {
+      model.calibration_[fields[gpu]] = std::stod(fields[factor]);
+    }
+  }
+  {
+    CsvTable table = ReadCsv(directory + "/layer_fallback.csv");
+    const std::size_t gpu = table.ColumnIndex("gpu");
+    const std::size_t kind = table.ColumnIndex("layer_kind");
+    const std::size_t slope = table.ColumnIndex("slope");
+    const std::size_t intercept = table.ColumnIndex("intercept");
+    for (const auto& fields : table.rows) {
+      regression::LinearFit fit;
+      fit.slope = std::stod(fields[slope]);
+      fit.intercept = std::stod(fields[intercept]);
+      model.lw_fallback_.SetFit(fields[gpu],
+                                dnn::LayerKindFromName(fields[kind]), fit);
+    }
+  }
+  return model;
+}
+
+}  // namespace gpuperf::models

@@ -1,0 +1,32 @@
+#ifndef GPUPERF_MODELS_MODEL_IO_H_
+#define GPUPERF_MODELS_MODEL_IO_H_
+
+/**
+ * @file
+ * Serialization of trained KW models.
+ *
+ * Figure 10's workflow distributes the trained analytical model (linear
+ * functions + kernel mapping table) to users who never touch the training
+ * dataset; this is the ship-it format: three CSV files in a directory
+ * (kernel_models.csv, mapping_table.csv, layer_fallback.csv).
+ */
+
+#include <string>
+
+#include "models/kw_model.h"
+
+namespace gpuperf::models {
+
+/** Saves/loads trained KW models as CSV bundles. */
+class ModelIo {
+ public:
+  /** Writes `model` into `directory` (must exist). */
+  static void SaveKw(const KwModel& model, const std::string& directory);
+
+  /** Reads a model bundle written by SaveKw(). */
+  static KwModel LoadKw(const std::string& directory);
+};
+
+}  // namespace gpuperf::models
+
+#endif  // GPUPERF_MODELS_MODEL_IO_H_

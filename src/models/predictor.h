@@ -1,0 +1,39 @@
+#ifndef GPUPERF_MODELS_PREDICTOR_H_
+#define GPUPERF_MODELS_PREDICTOR_H_
+
+/**
+ * @file
+ * The common interface of the paper's performance models (Figure 10):
+ * after training on the performance database, a predictor maps a network
+ * structure (never an execution) to a predicted end-to-end time.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "dnn/network.h"
+#include "gpuexec/gpu_spec.h"
+
+namespace gpuperf::models {
+
+/** A trained execution-time predictor. */
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /** Model name for reports, e.g. "E2E", "KW". */
+  virtual std::string Name() const = 0;
+
+  /**
+   * Predicted end-to-end execution time in microseconds for one batch of
+   * size `batch` of `network` on `gpu`. Only the network structure and the
+   * GPU's Table 1 specification may be consulted.
+   */
+  virtual double PredictUs(const dnn::Network& network,
+                           const gpuexec::GpuSpec& gpu,
+                           std::int64_t batch) const = 0;
+};
+
+}  // namespace gpuperf::models
+
+#endif  // GPUPERF_MODELS_PREDICTOR_H_

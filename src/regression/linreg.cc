@@ -1,0 +1,131 @@
+#include "regression/linreg.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gpuperf::regression {
+
+LinearFit FitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  GP_CHECK_EQ(x.size(), y.size());
+  LinearFit fit;
+  fit.n = x.size();
+  if (x.empty()) {
+    fit.r2 = 1.0;
+    return fit;
+  }
+  if (x.size() == 1) {
+    fit.intercept = y[0];
+    fit.r2 = 1.0;
+    return fit;
+  }
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double n = static_cast<double>(x.size());
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0) {
+    // Constant x: the best linear predictor is the mean.
+    fit.intercept = my;
+    fit.r2 = syy <= 0.0 ? 1.0 : 0.0;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy <= 0.0) {
+    fit.r2 = 1.0;  // constant y, perfectly explained
+  } else {
+    double ss_res = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double r = y[i] - fit.Predict(x[i]);
+      ss_res += r * r;
+    }
+    fit.r2 = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+double MultiFit::Predict(const std::vector<double>& features) const {
+  GP_CHECK_EQ(features.size() + 1, beta.size());
+  double value = beta[0];
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    value += beta[i + 1] * features[i];
+  }
+  return value;
+}
+
+MultiFit FitMulti(const std::vector<std::vector<double>>& rows,
+                  const std::vector<double>& y) {
+  GP_CHECK_EQ(rows.size(), y.size());
+  GP_CHECK(!rows.empty());
+  const std::size_t k = rows[0].size() + 1;  // features + intercept
+  for (const auto& row : rows) GP_CHECK_EQ(row.size() + 1, k);
+
+  // Normal equations: (X^T X) beta = X^T y.
+  std::vector<std::vector<double>> a(k, std::vector<double>(k, 0.0));
+  std::vector<double> b(k, 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::vector<double> xi(k, 1.0);
+    for (std::size_t j = 1; j < k; ++j) xi[j] = rows[r][j - 1];
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) a[i][j] += xi[i] * xi[j];
+      b[i] += xi[i] * y[r];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting; near-singular pivots zero
+  // out their column (feature dropped).
+  std::vector<double> beta(k, 0.0);
+  std::vector<int> order(k);
+  for (std::size_t i = 0; i < k; ++i) order[i] = static_cast<int>(i);
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < k; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    if (std::fabs(a[col][col]) < 1e-12) {
+      a[col][col] = 1.0;  // drop this direction
+      b[col] = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j != col) a[col][j] = 0.0;
+      }
+      continue;
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col] / a[col][col];
+      for (std::size_t j = 0; j < k; ++j) a[r][j] -= factor * a[col][j];
+      b[r] -= factor * b[col];
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) beta[i] = b[i] / a[i][i];
+
+  MultiFit fit;
+  fit.beta = beta;
+  fit.n = rows.size();
+  double my = 0;
+  for (double v : y) my += v;
+  my /= static_cast<double>(y.size());
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const double pred = fit.Predict(rows[r]);
+    ss_res += (y[r] - pred) * (y[r] - pred);
+    ss_tot += (y[r] - my) * (y[r] - my);
+  }
+  fit.r2 = ss_tot <= 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace gpuperf::regression

@@ -1,0 +1,59 @@
+#ifndef GPUPERF_REGRESSION_LINREG_H_
+#define GPUPERF_REGRESSION_LINREG_H_
+
+/**
+ * @file
+ * Ordinary least squares — the paper's entire model machinery. Simple
+ * y = a + b*x fits power the E2E/LW/KW models; the small multivariate
+ * solver supports the inter-GPU parameter regressions and the feature
+ * ablations.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace gpuperf::regression {
+
+/** A fitted y = intercept + slope * x line. */
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;       // coefficient of determination on the fit data
+  std::size_t n = 0;   // points used
+
+  /** Evaluates the line. */
+  double Predict(double x) const { return intercept + slope * x; }
+};
+
+/**
+ * Fits y = a + b*x by OLS.
+ *
+ * Degenerate inputs are handled the way the performance models need:
+ * a constant x yields slope 0 / intercept mean(y); fewer than two points
+ * yield intercept y[0] (or 0 if empty) and r2 = 1.
+ */
+LinearFit FitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y);
+
+/** A fitted multivariate linear model y = beta0 + sum_i beta[i] * x[i]. */
+struct MultiFit {
+  std::vector<double> beta;  // beta[0] is the intercept
+  double r2 = 0;
+  std::size_t n = 0;
+
+  /** Evaluates the model on a feature vector (without leading 1). */
+  double Predict(const std::vector<double>& features) const;
+};
+
+/**
+ * Fits y = beta0 + beta . x by OLS via normal equations with Gaussian
+ * elimination and partial pivoting. `rows[i]` is the i-th feature vector
+ * (without the leading 1). Near-singular systems fall back to dropping
+ * the offending columns (their betas become 0).
+ */
+MultiFit FitMulti(const std::vector<std::vector<double>>& rows,
+                  const std::vector<double>& y);
+
+}  // namespace gpuperf::regression
+
+#endif  // GPUPERF_REGRESSION_LINREG_H_

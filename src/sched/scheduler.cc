@@ -1,0 +1,105 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gpuperf::sched {
+namespace {
+
+std::vector<double> GpuLoads(const std::vector<std::vector<double>>& times,
+                             const std::vector<int>& assignment) {
+  std::size_t gpus = times.empty() ? 0 : times[0].size();
+  std::vector<double> loads(gpus, 0.0);
+  for (std::size_t job = 0; job < assignment.size(); ++job) {
+    loads[assignment[job]] += times[job][assignment[job]];
+  }
+  return loads;
+}
+
+}  // namespace
+
+double Makespan(const std::vector<std::vector<double>>& times,
+                const std::vector<int>& assignment) {
+  GP_CHECK_EQ(times.size(), assignment.size());
+  std::vector<double> loads = GpuLoads(times, assignment);
+  return loads.empty() ? 0.0 : *std::max_element(loads.begin(), loads.end());
+}
+
+Schedule BruteForceSchedule(const std::vector<std::vector<double>>& times) {
+  GP_CHECK(!times.empty());
+  const std::size_t jobs = times.size();
+  const std::size_t gpus = times[0].size();
+  GP_CHECK_GT(gpus, 0u);
+  double combos = std::pow(static_cast<double>(gpus),
+                           static_cast<double>(jobs));
+  GP_CHECK_LE(combos, 1e8) << "brute force space too large";
+
+  std::vector<int> current(jobs, 0);
+  Schedule best;
+  best.makespan_us = 1e300;
+  while (true) {
+    const double makespan = Makespan(times, current);
+    if (makespan < best.makespan_us) {
+      best.makespan_us = makespan;
+      best.assignment = current;
+    }
+    // Odometer increment over base `gpus`.
+    std::size_t digit = 0;
+    while (digit < jobs) {
+      if (++current[digit] < static_cast<int>(gpus)) break;
+      current[digit] = 0;
+      ++digit;
+    }
+    if (digit == jobs) break;
+  }
+  best.gpu_loads = GpuLoads(times, best.assignment);
+  return best;
+}
+
+Schedule GreedySchedule(const std::vector<std::vector<double>>& times) {
+  GP_CHECK(!times.empty());
+  const std::size_t jobs = times.size();
+  const std::size_t gpus = times[0].size();
+  // Longest (by minimum runtime) first.
+  std::vector<std::size_t> order(jobs);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return *std::min_element(times[a].begin(), times[a].end()) >
+           *std::min_element(times[b].begin(), times[b].end());
+  });
+  Schedule schedule;
+  schedule.assignment.assign(jobs, 0);
+  schedule.gpu_loads.assign(gpus, 0.0);
+  for (std::size_t job : order) {
+    std::size_t best_gpu = 0;
+    double best_finish = 1e300;
+    for (std::size_t gpu = 0; gpu < gpus; ++gpu) {
+      const double finish = schedule.gpu_loads[gpu] + times[job][gpu];
+      if (finish < best_finish) {
+        best_finish = finish;
+        best_gpu = gpu;
+      }
+    }
+    schedule.assignment[job] = static_cast<int>(best_gpu);
+    schedule.gpu_loads[best_gpu] += times[job][best_gpu];
+  }
+  schedule.makespan_us = *std::max_element(schedule.gpu_loads.begin(),
+                                           schedule.gpu_loads.end());
+  return schedule;
+}
+
+std::vector<int> FastestGpuPerJob(
+    const std::vector<std::vector<double>>& times) {
+  std::vector<int> fastest;
+  fastest.reserve(times.size());
+  for (const auto& row : times) {
+    fastest.push_back(static_cast<int>(
+        std::min_element(row.begin(), row.end()) - row.begin()));
+  }
+  return fastest;
+}
+
+}  // namespace gpuperf::sched

@@ -1,0 +1,46 @@
+#ifndef GPUPERF_SCHED_SCHEDULER_H_
+#define GPUPERF_SCHED_SCHEDULER_H_
+
+/**
+ * @file
+ * Case study 3: multi-GPU task placement.
+ *
+ * Jobs (networks) must be assigned to GPUs so the overall makespan is
+ * minimal. Times come from a performance model; the paper shows brute
+ * force is affordable because predictions cost microseconds. A greedy
+ * longest-processing-time heuristic is included for larger queues.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpuperf::sched {
+
+/** An assignment of each job to a GPU index, with its makespan. */
+struct Schedule {
+  std::vector<int> assignment;   // job -> gpu index
+  double makespan_us = 0;
+  std::vector<double> gpu_loads; // per-gpu total time
+};
+
+/** Makespan of `assignment` under `times[job][gpu]`. */
+double Makespan(const std::vector<std::vector<double>>& times,
+                const std::vector<int>& assignment);
+
+/**
+ * Exhaustive search over all gpu^jobs assignments (the paper's brute
+ * force); practical for the case study's 9 jobs x 2 GPUs.
+ */
+Schedule BruteForceSchedule(const std::vector<std::vector<double>>& times);
+
+/** Greedy LPT: longest job first onto the GPU minimizing its finish time. */
+Schedule GreedySchedule(const std::vector<std::vector<double>>& times);
+
+/** Index of the fastest GPU for each job (Figure 18's yellow crosses). */
+std::vector<int> FastestGpuPerJob(
+    const std::vector<std::vector<double>>& times);
+
+}  // namespace gpuperf::sched
+
+#endif  // GPUPERF_SCHED_SCHEDULER_H_

@@ -1,0 +1,61 @@
+#ifndef GPUPERF_SIMSYS_DATA_PARALLEL_H_
+#define GPUPERF_SIMSYS_DATA_PARALLEL_H_
+
+/**
+ * @file
+ * Data-parallel training-step simulation — the multi-GPU research domain
+ * the paper's case-study section calls out ("researchers who work in
+ * domains such as multi-GPU training architecture").
+ *
+ * N replicas execute the same training step; each layer's weight
+ * gradients are ring-all-reduced across the replicas as soon as that
+ * layer's backward pass finishes (gradient bucketing with
+ * computation/communication overlap, as in PyTorch DDP), serialized on
+ * one inter-GPU link per replica. The step ends when both the backward
+ * pass and the last all-reduce have finished. Per-layer compute times
+ * come from a performance model, so sweeping cluster sizes and fabrics
+ * costs milliseconds.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace gpuperf::simsys {
+
+/** Configuration of the replica group. */
+struct DataParallelConfig {
+  int num_gpus = 4;
+  double link_bandwidth_gbps = 64;  // per-GPU fabric bandwidth
+  double link_latency_us = 3.0;     // per all-reduce ring step
+  bool overlap = true;              // all-reduce during backward (DDP)
+};
+
+/** Outcome of one simulated training step. */
+struct DataParallelResult {
+  double step_time_us = 0;      // wall time of the step
+  double compute_us = 0;        // forward + backward on one replica
+  double comm_us = 0;           // total all-reduce link occupancy
+  double exposed_comm_us = 0;   // communication not hidden by compute
+  double scaling_efficiency = 0;  // compute / step time
+};
+
+/**
+ * Simulates one data-parallel step.
+ *
+ * @param forward_us Per-layer forward time on one replica.
+ * @param backward_us Per-layer backward time (same indexing; the
+ *        backward pass executes these in reverse layer order).
+ * @param gradient_bytes Per-layer gradient volume to all-reduce.
+ */
+DataParallelResult SimulateDataParallelStep(
+    const std::vector<double>& forward_us,
+    const std::vector<double>& backward_us,
+    const std::vector<std::int64_t>& gradient_bytes,
+    const DataParallelConfig& config);
+
+/** Ring all-reduce time for `bytes` over `num_gpus` replicas. */
+double RingAllReduceUs(std::int64_t bytes, const DataParallelConfig& config);
+
+}  // namespace gpuperf::simsys
+
+#endif  // GPUPERF_SIMSYS_DATA_PARALLEL_H_

@@ -1,0 +1,49 @@
+#ifndef GPUPERF_SIMSYS_DISAGG_H_
+#define GPUPERF_SIMSYS_DISAGG_H_
+
+/**
+ * @file
+ * Case study 2: a memory-disaggregated GPU system.
+ *
+ * The GPU has a small local memory; layer weights live in a
+ * network-attached pool. A prefetcher streams upcoming layers' weights
+ * over the link while the GPU computes, up to a bounded look-ahead
+ * window; a layer cannot start until its weights have landed. Layer
+ * compute times come from a performance model (the paper plugs in the KW
+ * model), so the whole experiment runs in milliseconds.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace gpuperf::simsys {
+
+/** Configuration of the disaggregated system. */
+struct DisaggConfig {
+  double link_bandwidth_gbps = 16;
+  double link_latency_us = 2.0;
+  int prefetch_window = 8;  // layers the prefetcher may run ahead
+};
+
+/** Outcome of one simulated inference pass. */
+struct DisaggResult {
+  double total_time_us = 0;   // makespan
+  double compute_us = 0;      // sum of layer compute times
+  double stall_us = 0;        // time the GPU waited on weights
+  std::int64_t events = 0;    // events fired (engine statistic)
+};
+
+/**
+ * Simulates one inference pass.
+ *
+ * @param layer_compute_us Predicted compute time per layer.
+ * @param layer_weight_bytes Weight bytes each layer must receive first.
+ */
+DisaggResult SimulateDisaggregated(
+    const std::vector<double>& layer_compute_us,
+    const std::vector<std::int64_t>& layer_weight_bytes,
+    const DisaggConfig& config);
+
+}  // namespace gpuperf::simsys
+
+#endif  // GPUPERF_SIMSYS_DISAGG_H_

@@ -1,0 +1,35 @@
+#include "simsys/event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gpuperf::simsys {
+
+void EventQueue::Schedule(double time_us, Callback callback) {
+  GP_CHECK_GE(time_us, now_us_) << "cannot schedule into the past";
+  queue_.push({time_us, next_sequence_++, std::move(callback)});
+}
+
+void EventQueue::ScheduleAfter(double delay_us, Callback callback) {
+  GP_CHECK_GE(delay_us, 0.0);
+  Schedule(now_us_ + delay_us, std::move(callback));
+}
+
+bool EventQueue::RunOne() {
+  if (queue_.empty()) return false;
+  // The callback is moved out before firing so it may schedule new events.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_us_ = entry.time_us;
+  ++fired_count_;
+  entry.callback();
+  return true;
+}
+
+void EventQueue::Run() {
+  while (RunOne()) {
+  }
+}
+
+}  // namespace gpuperf::simsys

@@ -1,0 +1,62 @@
+#ifndef GPUPERF_SIMSYS_EVENT_QUEUE_H_
+#define GPUPERF_SIMSYS_EVENT_QUEUE_H_
+
+/**
+ * @file
+ * A pure event-driven simulation kernel in the MGPUSim style the paper's
+ * case study 2 uses: no cycle loop, time advances from event to event, so
+ * whole networks simulate in microseconds of wall time.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace gpuperf::simsys {
+
+/** A discrete-event scheduler with microsecond timestamps. */
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /** Schedules `callback` at absolute simulated time `time_us`. */
+  void Schedule(double time_us, Callback callback);
+
+  /** Schedules `callback` `delay_us` after the current time. */
+  void ScheduleAfter(double delay_us, Callback callback);
+
+  /** Current simulated time (the timestamp of the last fired event). */
+  double NowUs() const { return now_us_; }
+
+  /** Fires the next event; returns false if the queue is empty. */
+  bool RunOne();
+
+  /** Runs until no events remain. */
+  void Run();
+
+  /** Events fired so far (statistics). */
+  std::int64_t fired_count() const { return fired_count_; }
+
+ private:
+  struct Entry {
+    double time_us;
+    std::int64_t sequence;  // FIFO tie-break for simultaneous events
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time_us != b.time_us) return a.time_us > b.time_us;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  double now_us_ = 0;
+  std::int64_t next_sequence_ = 0;
+  std::int64_t fired_count_ = 0;
+};
+
+}  // namespace gpuperf::simsys
+
+#endif  // GPUPERF_SIMSYS_EVENT_QUEUE_H_

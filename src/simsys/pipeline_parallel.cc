@@ -1,0 +1,131 @@
+#include "simsys/pipeline_parallel.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace gpuperf::simsys {
+
+std::vector<int> BalancedPartition(const std::vector<double>& weights,
+                                   int stages) {
+  GP_CHECK_GT(stages, 0);
+  const int n = static_cast<int>(weights.size());
+  GP_CHECK_GE(n, stages);
+
+  // prefix[i] = sum of weights[0..i).
+  std::vector<double> prefix(n + 1, 0.0);
+  for (int i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + weights[i];
+  auto segment = [&](int begin, int end) {
+    return prefix[end] - prefix[begin];
+  };
+
+  // best[s][i]: minimal max-segment-sum splitting weights[0..i) into s
+  // segments; cut[s][i] records the last boundary.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> best(
+      stages + 1, std::vector<double>(n + 1, kInf));
+  std::vector<std::vector<int>> cut(stages + 1, std::vector<int>(n + 1, 0));
+  best[0][0] = 0.0;
+  for (int s = 1; s <= stages; ++s) {
+    for (int i = s; i <= n; ++i) {
+      for (int j = s - 1; j < i; ++j) {
+        if (best[s - 1][j] == kInf) continue;
+        const double candidate =
+            std::max(best[s - 1][j], segment(j, i));
+        if (candidate < best[s][i]) {
+          best[s][i] = candidate;
+          cut[s][i] = j;
+        }
+      }
+    }
+  }
+
+  std::vector<int> boundaries(stages);
+  int position = n;
+  for (int s = stages; s >= 1; --s) {
+    boundaries[s - 1] = cut[s][position];
+    position = cut[s][position];
+  }
+  return boundaries;
+}
+
+PipelineResult SimulatePipeline(
+    const std::vector<double>& forward_us,
+    const std::vector<double>& backward_us,
+    const std::vector<std::int64_t>& activation_bytes,
+    const PipelineConfig& config) {
+  GP_CHECK_EQ(forward_us.size(), backward_us.size());
+  GP_CHECK_EQ(forward_us.size(), activation_bytes.size());
+  GP_CHECK_GT(config.micro_batches, 0);
+  const int stages = config.num_stages;
+  const int micro = config.micro_batches;
+
+  PipelineResult result;
+  // Partition by total per-layer compute (forward + backward).
+  std::vector<double> weights(forward_us.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = forward_us[i] + backward_us[i];
+  }
+  result.stage_first_layer = BalancedPartition(weights, stages);
+
+  // Aggregate per-stage costs and boundary transfer times.
+  result.stage_forward_us.assign(stages, 0.0);
+  result.stage_backward_us.assign(stages, 0.0);
+  std::vector<double> transfer_us(stages, 0.0);  // into stage s+1
+  for (int s = 0; s < stages; ++s) {
+    const int begin = result.stage_first_layer[s];
+    const int end = s + 1 < stages ? result.stage_first_layer[s + 1]
+                                   : static_cast<int>(forward_us.size());
+    for (int i = begin; i < end; ++i) {
+      result.stage_forward_us[s] += forward_us[i];
+      result.stage_backward_us[s] += backward_us[i];
+    }
+    if (s + 1 < stages && end > 0) {
+      transfer_us[s] = static_cast<double>(activation_bytes[end - 1]) /
+                           (config.link_bandwidth_gbps * 1e9) * 1e6 +
+                       config.link_latency_us;
+    }
+  }
+
+  // GPipe schedule: forwards wavefront, then backwards in reverse.
+  // done_f[m][s] = completion of micro-batch m's forward on stage s.
+  std::vector<std::vector<double>> done_f(
+      micro, std::vector<double>(stages, 0.0));
+  for (int m = 0; m < micro; ++m) {
+    for (int s = 0; s < stages; ++s) {
+      const double stage_free = m > 0 ? done_f[m - 1][s] : 0.0;
+      const double input_ready =
+          s > 0 ? done_f[m][s - 1] + transfer_us[s - 1] : 0.0;
+      done_f[m][s] =
+          std::max(stage_free, input_ready) + result.stage_forward_us[s];
+    }
+  }
+  // Backward: micro-batches in reverse order, stages from last to first.
+  const double flush = done_f[micro - 1][stages - 1];
+  std::vector<std::vector<double>> done_b(
+      micro, std::vector<double>(stages, 0.0));
+  for (int mi = 0; mi < micro; ++mi) {
+    const int m = micro - 1 - mi;
+    for (int s = stages - 1; s >= 0; --s) {
+      const double stage_free =
+          mi > 0 ? done_b[micro - mi][s] : flush;
+      const double grad_ready =
+          s + 1 < stages ? done_b[m][s + 1] + transfer_us[s] : flush;
+      done_b[m][s] =
+          std::max(stage_free, grad_ready) + result.stage_backward_us[s];
+    }
+  }
+  result.step_time_us = done_b[0][0];
+
+  double busy = 0;
+  for (int s = 0; s < stages; ++s) {
+    busy += micro * (result.stage_forward_us[s] +
+                     result.stage_backward_us[s]);
+  }
+  result.bubble_fraction =
+      1.0 - busy / (static_cast<double>(stages) * result.step_time_us);
+  return result;
+}
+
+}  // namespace gpuperf::simsys

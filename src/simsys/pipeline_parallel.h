@@ -1,0 +1,63 @@
+#ifndef GPUPERF_SIMSYS_PIPELINE_PARALLEL_H_
+#define GPUPERF_SIMSYS_PIPELINE_PARALLEL_H_
+
+/**
+ * @file
+ * Pipeline-parallel training simulation (GPipe-style).
+ *
+ * The network's layers are partitioned into contiguous stages, one stage
+ * per GPU, balanced by *predicted* per-layer times — one more scheduling
+ * problem the paper's microsecond-latency models make cheap to solve. A
+ * training step pushes M micro-batches forward through the stages, then
+ * flushes the backward passes in reverse; the classic pipeline bubble
+ * (S-1)/(M+S-1) emerges, modulated by stage imbalance and inter-stage
+ * activation transfers.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace gpuperf::simsys {
+
+/** Configuration of the pipeline. */
+struct PipelineConfig {
+  int num_stages = 4;
+  int micro_batches = 8;
+  double link_bandwidth_gbps = 64;  // stage-to-stage activation link
+  double link_latency_us = 3.0;
+};
+
+/** Outcome of one pipelined training step. */
+struct PipelineResult {
+  double step_time_us = 0;
+  double bubble_fraction = 0;         // pipeline idle share
+  std::vector<int> stage_first_layer; // partition boundaries
+  std::vector<double> stage_forward_us;   // per stage, per micro-batch
+  std::vector<double> stage_backward_us;
+};
+
+/**
+ * Minimizes the maximum contiguous-segment sum: the optimal balanced
+ * partition of `weights` into `stages` segments (dynamic programming).
+ * Returns the first index of each segment.
+ */
+std::vector<int> BalancedPartition(const std::vector<double>& weights,
+                                   int stages);
+
+/**
+ * Simulates one GPipe step.
+ *
+ * @param forward_us Per-layer forward time for ONE micro-batch.
+ * @param backward_us Per-layer backward time for one micro-batch.
+ * @param activation_bytes Per-layer output activation size for one
+ *        micro-batch (the boundary layer's output crosses the link).
+ */
+PipelineResult SimulatePipeline(
+    const std::vector<double>& forward_us,
+    const std::vector<double>& backward_us,
+    const std::vector<std::int64_t>& activation_bytes,
+    const PipelineConfig& config);
+
+}  // namespace gpuperf::simsys
+
+#endif  // GPUPERF_SIMSYS_PIPELINE_PARALLEL_H_

@@ -1,0 +1,128 @@
+#include "simsys/serving.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "simsys/event_queue.h"
+
+namespace gpuperf::simsys {
+
+std::string DispatchPolicyName(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kRoundRobin: return "round-robin";
+    case DispatchPolicy::kLeastOutstanding: return "least-outstanding";
+    case DispatchPolicy::kPredictedLeastLoad: return "predicted-least-load";
+  }
+  GP_CHECK(false);
+  return "";
+}
+
+ServingResult SimulateServing(
+    const std::vector<std::vector<double>>& true_service_us,
+    const std::vector<std::vector<double>>& predicted_service_us,
+    const std::vector<double>& job_mix, const ServingConfig& config) {
+  GP_CHECK(!true_service_us.empty());
+  GP_CHECK_EQ(true_service_us.size(), predicted_service_us.size());
+  GP_CHECK_EQ(true_service_us.size(), job_mix.size());
+  const std::size_t gpus = true_service_us[0].size();
+  GP_CHECK_GT(gpus, 0u);
+  for (const auto& row : true_service_us) GP_CHECK_EQ(row.size(), gpus);
+  GP_CHECK_GT(config.arrival_rate_per_s, 0.0);
+
+  double mix_total = 0;
+  for (double w : job_mix) {
+    GP_CHECK_GE(w, 0.0);
+    mix_total += w;
+  }
+  GP_CHECK_GT(mix_total, 0.0);
+
+  Rng rng(config.seed);
+  EventQueue queue;
+  // Per-GPU FIFO: when the GPU frees up (true time) and its predicted
+  // free-up time (what the model-driven dispatcher believes).
+  std::vector<double> gpu_free(gpus, 0.0);
+  std::vector<double> gpu_predicted_free(gpus, 0.0);
+  std::vector<int> gpu_outstanding(gpus, 0);
+  std::vector<double> gpu_busy(gpus, 0.0);
+  std::vector<double> latencies_ms;
+  int round_robin_next = 0;
+
+  const double horizon_us = config.duration_s * 1e6;
+  double next_arrival = 0;
+  while (true) {
+    // Exponential inter-arrival times.
+    next_arrival +=
+        -std::log(1.0 - rng.NextDouble()) / config.arrival_rate_per_s * 1e6;
+    if (next_arrival > horizon_us) break;
+
+    // Sample the job type from the mix.
+    double pick = rng.NextDouble() * mix_total;
+    std::size_t job = 0;
+    for (; job + 1 < job_mix.size(); ++job) {
+      if (pick < job_mix[job]) break;
+      pick -= job_mix[job];
+    }
+
+    const double arrival = next_arrival;
+    queue.Schedule(arrival, [&, job, arrival] {
+      // Dispatch decision.
+      std::size_t target = 0;
+      switch (config.policy) {
+        case DispatchPolicy::kRoundRobin:
+          target = round_robin_next++ % gpus;
+          break;
+        case DispatchPolicy::kLeastOutstanding: {
+          target = std::min_element(gpu_outstanding.begin(),
+                                    gpu_outstanding.end()) -
+                   gpu_outstanding.begin();
+          break;
+        }
+        case DispatchPolicy::kPredictedLeastLoad: {
+          double best = 1e300;
+          for (std::size_t g = 0; g < gpus; ++g) {
+            const double finish =
+                std::max(gpu_predicted_free[g], queue.NowUs()) +
+                predicted_service_us[job][g];
+            if (finish < best) {
+              best = finish;
+              target = g;
+            }
+          }
+          break;
+        }
+      }
+      const double service = true_service_us[job][target];
+      const double start = std::max(gpu_free[target], queue.NowUs());
+      gpu_free[target] = start + service;
+      gpu_predicted_free[target] =
+          std::max(gpu_predicted_free[target], queue.NowUs()) +
+          predicted_service_us[job][target];
+      gpu_busy[target] += service;
+      ++gpu_outstanding[target];
+      queue.Schedule(gpu_free[target], [&, arrival, target] {
+        latencies_ms.push_back((queue.NowUs() - arrival) / 1e3);
+        --gpu_outstanding[target];
+      });
+    });
+  }
+  queue.Run();
+
+  ServingResult result;
+  result.completed = static_cast<int>(latencies_ms.size());
+  if (!latencies_ms.empty()) {
+    result.p50_ms = Percentile(latencies_ms, 50);
+    result.p95_ms = Percentile(latencies_ms, 95);
+    result.p99_ms = Percentile(latencies_ms, 99);
+    result.mean_ms = Mean(latencies_ms);
+  }
+  const double end = std::max(queue.NowUs(), 1.0);
+  for (std::size_t g = 0; g < gpus; ++g) {
+    result.gpu_utilization.push_back(gpu_busy[g] / end);
+  }
+  return result;
+}
+
+}  // namespace gpuperf::simsys

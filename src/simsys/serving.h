@@ -1,0 +1,63 @@
+#ifndef GPUPERF_SIMSYS_SERVING_H_
+#define GPUPERF_SIMSYS_SERVING_H_
+
+/**
+ * @file
+ * Online inference serving — case study 3 taken online. A
+ * machine-learning-as-a-service pool receives a Poisson stream of
+ * inference jobs of mixed network types; a dispatcher assigns each
+ * arrival to a GPU. The paper's premise is that a microsecond-latency
+ * performance model makes *predicted-time-aware* dispatch practical; this
+ * simulator quantifies it against model-free policies.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpuperf::simsys {
+
+/** How arrivals are assigned to GPUs. */
+enum class DispatchPolicy {
+  kRoundRobin,          // model-free baseline
+  kLeastOutstanding,    // fewest queued jobs (model-free)
+  kPredictedLeastLoad,  // earliest predicted finish (needs a model)
+};
+
+/** Human-readable policy name. */
+std::string DispatchPolicyName(DispatchPolicy policy);
+
+/** Configuration of a serving simulation. */
+struct ServingConfig {
+  double arrival_rate_per_s = 50;  // Poisson arrival rate
+  double duration_s = 10;          // simulated horizon
+  std::uint64_t seed = 1;
+  DispatchPolicy policy = DispatchPolicy::kPredictedLeastLoad;
+};
+
+/** Latency statistics of one simulation. */
+struct ServingResult {
+  int completed = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double mean_ms = 0;
+  std::vector<double> gpu_utilization;  // busy fraction per GPU
+};
+
+/**
+ * Simulates the pool.
+ *
+ * @param true_service_us [job_type][gpu] actual execution time.
+ * @param predicted_service_us [job_type][gpu] model-predicted time (used
+ *        only by kPredictedLeastLoad).
+ * @param job_mix relative arrival weight per job type.
+ */
+ServingResult SimulateServing(
+    const std::vector<std::vector<double>>& true_service_us,
+    const std::vector<std::vector<double>>& predicted_service_us,
+    const std::vector<double>& job_mix, const ServingConfig& config);
+
+}  // namespace gpuperf::simsys
+
+#endif  // GPUPERF_SIMSYS_SERVING_H_

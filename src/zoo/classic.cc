@@ -1,0 +1,126 @@
+#include "zoo/classic.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "dnn/builder.h"
+
+namespace gpuperf::zoo {
+
+using dnn::Chw;
+using dnn::Network;
+using dnn::NetworkBuilder;
+
+Network BuildAlexNet(std::int64_t num_classes) {
+  NetworkBuilder b("alexnet", "AlexNet", Chw(3, 224, 224));
+  b.Conv(64, 11, 4, 2, 1, /*bias=*/true).Relu().MaxPool(3, 2, 0);
+  b.Conv(192, 5, 1, 2, 1, true).Relu().MaxPool(3, 2, 0);
+  b.Conv(384, 3, 1, 1, 1, true).Relu();
+  b.Conv(256, 3, 1, 1, 1, true).Relu();
+  b.Conv(256, 3, 1, 1, 1, true).Relu().MaxPool(3, 2, 0);
+  b.Flatten();
+  b.Dropout().Linear(4096).Relu();
+  b.Dropout().Linear(4096).Relu();
+  b.Linear(num_classes);
+  return b.Build();
+}
+
+namespace {
+
+/** SqueezeNet fire module: squeeze 1x1, then parallel expand 1x1 and 3x3. */
+void FireModule(dnn::NetworkBuilder& b, std::int64_t squeeze,
+                std::int64_t expand) {
+  b.Conv(squeeze, 1, 1, 0, 1, true).Relu();
+  int squeezed = b.Mark();
+  b.Conv(expand, 1, 1, 0, 1, true).Relu();
+  int e1 = b.Mark();
+  b.Restore(squeezed);
+  b.Conv(expand, 3, 1, 1, 1, true).Relu();
+  int e3 = b.Mark();
+  b.Concat({e1, e3});
+}
+
+}  // namespace
+
+Network BuildSqueezeNet(int version, std::int64_t num_classes) {
+  GP_CHECK(version == 0 || version == 1);
+  NetworkBuilder b(Format("squeezenet1_%d", version), "SqueezeNet",
+                   Chw(3, 224, 224));
+  if (version == 0) {
+    b.Conv(96, 7, 2, 0, 1, true).Relu().MaxPool(3, 2, 0);
+    FireModule(b, 16, 64);
+    FireModule(b, 16, 64);
+    FireModule(b, 32, 128);
+    b.MaxPool(3, 2, 0);
+    FireModule(b, 32, 128);
+    FireModule(b, 48, 192);
+    FireModule(b, 48, 192);
+    FireModule(b, 64, 256);
+    b.MaxPool(3, 2, 0);
+    FireModule(b, 64, 256);
+  } else {
+    b.Conv(64, 3, 2, 0, 1, true).Relu().MaxPool(3, 2, 0);
+    FireModule(b, 16, 64);
+    FireModule(b, 16, 64);
+    b.MaxPool(3, 2, 0);
+    FireModule(b, 32, 128);
+    FireModule(b, 32, 128);
+    b.MaxPool(3, 2, 0);
+    FireModule(b, 48, 192);
+    FireModule(b, 48, 192);
+    FireModule(b, 64, 256);
+    FireModule(b, 64, 256);
+  }
+  b.Dropout();
+  b.Conv(num_classes, 1, 1, 0, 1, true).Relu();
+  b.GlobalAvgPool().Flatten();
+  return b.Build();
+}
+
+namespace {
+
+/** Inception module with the four classic branches. */
+void InceptionModule(dnn::NetworkBuilder& b, std::int64_t c1,
+                     std::int64_t c3_reduce, std::int64_t c3,
+                     std::int64_t c5_reduce, std::int64_t c5,
+                     std::int64_t pool_proj) {
+  int module_in = b.Mark();
+  b.Conv(c1, 1, 1, 0).BatchNorm().Relu();
+  int branch1 = b.Mark();
+  b.Restore(module_in);
+  b.Conv(c3_reduce, 1, 1, 0).BatchNorm().Relu();
+  b.Conv(c3, 3, 1, 1).BatchNorm().Relu();
+  int branch2 = b.Mark();
+  b.Restore(module_in);
+  b.Conv(c5_reduce, 1, 1, 0).BatchNorm().Relu();
+  b.Conv(c5, 3, 1, 1).BatchNorm().Relu();  // torchvision uses 3x3 here
+  int branch3 = b.Mark();
+  b.Restore(module_in);
+  b.MaxPool(3, 1, 1);
+  b.Conv(pool_proj, 1, 1, 0).BatchNorm().Relu();
+  int branch4 = b.Mark();
+  b.Concat({branch1, branch2, branch3, branch4});
+}
+
+}  // namespace
+
+Network BuildGoogLeNet(std::int64_t num_classes) {
+  NetworkBuilder b("googlenet", "GoogLeNet", Chw(3, 224, 224));
+  b.Conv(64, 7, 2, 3).BatchNorm().Relu().MaxPool(3, 2, 1);
+  b.Conv(64, 1, 1, 0).BatchNorm().Relu();
+  b.Conv(192, 3, 1, 1).BatchNorm().Relu().MaxPool(3, 2, 1);
+  InceptionModule(b, 64, 96, 128, 16, 32, 32);
+  InceptionModule(b, 128, 128, 192, 32, 96, 64);
+  b.MaxPool(3, 2, 1);
+  InceptionModule(b, 192, 96, 208, 16, 48, 64);
+  InceptionModule(b, 160, 112, 224, 24, 64, 64);
+  InceptionModule(b, 128, 128, 256, 24, 64, 64);
+  InceptionModule(b, 112, 144, 288, 32, 64, 64);
+  InceptionModule(b, 256, 160, 320, 32, 128, 128);
+  b.MaxPool(3, 2, 1);
+  InceptionModule(b, 256, 160, 320, 32, 128, 128);
+  InceptionModule(b, 384, 192, 384, 48, 128, 128);
+  b.GlobalAvgPool().Flatten().Dropout().Linear(num_classes);
+  return b.Build();
+}
+
+}  // namespace gpuperf::zoo

@@ -1,0 +1,28 @@
+#ifndef GPUPERF_ZOO_CLASSIC_H_
+#define GPUPERF_ZOO_CLASSIC_H_
+
+/**
+ * @file
+ * Classic torchvision networks that round out the zoo's structural
+ * diversity: AlexNet, SqueezeNet (fire modules), and GoogLeNet (inception
+ * modules with four parallel branches).
+ */
+
+#include <cstdint>
+
+#include "dnn/network.h"
+
+namespace gpuperf::zoo {
+
+/** AlexNet (Krizhevsky et al., 2012), torchvision layout. */
+dnn::Network BuildAlexNet(std::int64_t num_classes = 1000);
+
+/** SqueezeNet; version is 0 for 1.0 or 1 for 1.1. */
+dnn::Network BuildSqueezeNet(int version, std::int64_t num_classes = 1000);
+
+/** GoogLeNet / Inception v1 (Szegedy et al., CVPR'15), without aux heads. */
+dnn::Network BuildGoogLeNet(std::int64_t num_classes = 1000);
+
+}  // namespace gpuperf::zoo
+
+#endif  // GPUPERF_ZOO_CLASSIC_H_

@@ -1,0 +1,68 @@
+#include "zoo/mobilenet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "dnn/builder.h"
+
+namespace gpuperf::zoo {
+
+using dnn::Chw;
+using dnn::Network;
+using dnn::NetworkBuilder;
+
+namespace {
+
+/** Rounds channel counts to multiples of 8 as MobileNetV2 does. */
+std::int64_t MakeDivisible(double channels, std::int64_t divisor = 8) {
+  auto rounded = static_cast<std::int64_t>(
+      std::max<double>(divisor, std::round(channels / divisor) * divisor));
+  if (rounded < static_cast<std::int64_t>(0.9 * channels)) rounded += divisor;
+  return rounded;
+}
+
+/** Inverted residual: 1x1 expand, 3x3 depthwise, 1x1 project (+ skip). */
+void InvertedResidual(NetworkBuilder& b, std::int64_t out_channels,
+                      std::int64_t stride, std::int64_t expand_ratio) {
+  const std::int64_t in_channels = b.CurrentShape().c;
+  const std::int64_t hidden = in_channels * expand_ratio;
+  const bool use_skip = stride == 1 && in_channels == out_channels;
+  int block_in = b.Mark();
+  if (expand_ratio != 1) {
+    b.Conv(hidden, 1, 1, 0).BatchNorm().Relu6();
+  }
+  b.Conv(hidden, 3, stride, 1, /*groups=*/hidden).BatchNorm().Relu6();
+  b.Conv(out_channels, 1, 1, 0).BatchNorm();
+  if (use_skip) b.AddFrom(block_in);
+}
+
+}  // namespace
+
+Network BuildMobileNetV2(const MobileNetV2Config& config) {
+  // (expand ratio, channels, repeats, stride) per the MobileNetV2 paper.
+  struct StageSpec {
+    std::int64_t t, c, n, s;
+  };
+  static const StageSpec kStages[] = {
+      {1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},  {6, 64, 4, 2},
+      {6, 96, 3, 1},  {6, 160, 3, 2}, {6, 320, 1, 1},
+  };
+  NetworkBuilder b(config.name, "MobileNetV2",
+                   Chw(3, config.input_resolution, config.input_resolution));
+  std::int64_t stem = MakeDivisible(32 * config.width_mult);
+  b.Conv(stem, 3, 2, 1).BatchNorm().Relu6();
+  for (const StageSpec& stage : kStages) {
+    std::int64_t out = MakeDivisible(stage.c * config.width_mult);
+    for (std::int64_t i = 0; i < stage.n; ++i) {
+      InvertedResidual(b, out, i == 0 ? stage.s : 1, stage.t);
+    }
+  }
+  std::int64_t head = MakeDivisible(
+      std::max(1280.0, 1280 * config.width_mult));
+  b.Conv(head, 1, 1, 0).BatchNorm().Relu6();
+  b.GlobalAvgPool().Flatten().Dropout().Linear(config.num_classes);
+  return b.Build();
+}
+
+}  // namespace gpuperf::zoo

@@ -1,0 +1,32 @@
+#ifndef GPUPERF_ZOO_MOBILENET_H_
+#define GPUPERF_ZOO_MOBILENET_H_
+
+/**
+ * @file
+ * MobileNetV2 builder (Sandler et al., CVPR'18) with the width-multiplier
+ * and input-resolution knobs the original paper exposes, used here to
+ * populate the zoo with many efficiency-diverse variants (Figure 5 uses
+ * MobileNetV2 as one of its three example networks).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "dnn/network.h"
+
+namespace gpuperf::zoo {
+
+/** Configuration of a MobileNetV2. */
+struct MobileNetV2Config {
+  std::string name = "mobilenet_v2";
+  double width_mult = 1.0;
+  std::int64_t input_resolution = 224;
+  std::int64_t num_classes = 1000;
+};
+
+/** Builds a MobileNetV2. */
+dnn::Network BuildMobileNetV2(const MobileNetV2Config& config);
+
+}  // namespace gpuperf::zoo
+
+#endif  // GPUPERF_ZOO_MOBILENET_H_

@@ -1,0 +1,87 @@
+#include "zoo/shufflenet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "dnn/builder.h"
+
+namespace gpuperf::zoo {
+
+using dnn::Chw;
+using dnn::Network;
+using dnn::NetworkBuilder;
+
+namespace {
+
+/** Rounds `value` up to a positive multiple of `divisor`. */
+std::int64_t RoundToMultiple(double value, std::int64_t divisor) {
+  auto units = static_cast<std::int64_t>(std::round(value / divisor));
+  return std::max<std::int64_t>(1, units) * divisor;
+}
+
+/** Stage-2 output channels per group count (ShuffleNet v1 Table 1). */
+std::int64_t Stage2Channels(std::int64_t groups) {
+  switch (groups) {
+    case 1: return 144;
+    case 2: return 200;
+    case 3: return 240;
+    case 4: return 272;
+    case 8: return 384;
+    default:
+      Fatal("ShuffleNet v1 supports groups in {1,2,3,4,8}");
+  }
+}
+
+/** One ShuffleNet unit; stride-2 units concat an avg-pooled shortcut. */
+void ShuffleUnit(NetworkBuilder& b, std::int64_t out_channels,
+                 std::int64_t stride, std::int64_t groups) {
+  const std::int64_t in_channels = b.CurrentShape().c;
+  // Stride-2 units concatenate, so the residual branch produces the
+  // difference; stride-1 units add, so it produces the full width.
+  const std::int64_t branch_out =
+      stride == 2 ? out_channels - in_channels : out_channels;
+  std::int64_t mid = RoundToMultiple(out_channels / 4.0, groups);
+  // The first grouped conv of the network sees too few channels to group.
+  const std::int64_t g1 = in_channels % groups == 0 && in_channels >= 24 * groups
+                              ? groups
+                              : 1;
+  int block_in = b.Mark();
+  b.Conv(mid, 1, 1, 0, g1).BatchNorm().Relu();
+  if (groups > 1) b.ChannelShuffle(groups);
+  b.Conv(mid, 3, stride, 1, /*groups=*/mid).BatchNorm();
+  b.Conv(branch_out, 1, 1, 0, groups).BatchNorm();
+  int main_out = b.Mark();
+  if (stride == 2) {
+    b.Restore(block_in);
+    b.AvgPool(3, 2, 1);
+    int shortcut = b.Mark();
+    b.Concat({shortcut, main_out});
+  } else {
+    b.Restore(block_in);
+    b.AddFrom(main_out);
+  }
+  b.Relu();
+}
+
+}  // namespace
+
+Network BuildShuffleNetV1(const ShuffleNetV1Config& config) {
+  NetworkBuilder b(config.name, "ShuffleNetV1",
+                   Chw(3, config.input_resolution, config.input_resolution));
+  b.Conv(24, 3, 2, 1).BatchNorm().Relu();
+  b.MaxPool(3, 2, 1);
+  const std::int64_t base = Stage2Channels(config.groups);
+  static const int kRepeats[3] = {4, 8, 4};
+  for (int stage = 0; stage < 3; ++stage) {
+    std::int64_t out = RoundToMultiple(
+        static_cast<double>(base << stage) * config.scale, config.groups);
+    for (int unit = 0; unit < kRepeats[stage]; ++unit) {
+      ShuffleUnit(b, out, unit == 0 ? 2 : 1, config.groups);
+    }
+  }
+  b.GlobalAvgPool().Flatten().Linear(config.num_classes);
+  return b.Build();
+}
+
+}  // namespace gpuperf::zoo

@@ -1,0 +1,31 @@
+#ifndef GPUPERF_ZOO_SHUFFLENET_H_
+#define GPUPERF_ZOO_SHUFFLENET_H_
+
+/**
+ * @file
+ * ShuffleNet v1 builder (Zhang et al., CVPR'18), used by the paper's case
+ * studies 2 and 3 ("ShuffleNet v1").
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "dnn/network.h"
+
+namespace gpuperf::zoo {
+
+/** Configuration of a ShuffleNet v1. */
+struct ShuffleNetV1Config {
+  std::string name = "shufflenet_v1";
+  std::int64_t groups = 3;        // group count of the grouped 1x1 convs
+  double scale = 1.0;             // channel scale factor
+  std::int64_t input_resolution = 224;
+  std::int64_t num_classes = 1000;
+};
+
+/** Builds a ShuffleNet v1. */
+dnn::Network BuildShuffleNetV1(const ShuffleNetV1Config& config);
+
+}  // namespace gpuperf::zoo
+
+#endif  // GPUPERF_ZOO_SHUFFLENET_H_

@@ -1,0 +1,305 @@
+#include "zoo/zoo.h"
+
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "dnn/builder.h"
+#include "zoo/classic.h"
+#include "zoo/densenet.h"
+#include "zoo/mobilenet.h"
+#include "zoo/resnet.h"
+#include "zoo/shufflenet.h"
+#include "zoo/transformer.h"
+#include "zoo/vgg.h"
+
+namespace gpuperf::zoo {
+
+using dnn::Chw;
+using dnn::Network;
+using dnn::NetworkBuilder;
+
+namespace {
+
+/** Parses a positive integer suffix, e.g. ("resnet50", "resnet") -> 50. */
+bool ParseIntSuffix(const std::string& name, const std::string& prefix,
+                    int* value) {
+  if (!StartsWith(name, prefix)) return false;
+  const std::string digits = name.substr(prefix.size());
+  if (digits.empty()) return false;
+  int parsed = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + (c - '0');
+  }
+  *value = parsed;
+  return true;
+}
+
+/**
+ * Deterministically samples a structurally diverse plain/residual CNN,
+ * standing in for the long tail of community models in the paper's zoo.
+ */
+Network BuildMixNet(int index) {
+  Rng rng(HashCombine(0x6d69786eULL /* "mixn" */, index));
+  const std::int64_t resolutions[] = {160, 192, 224, 256};
+  std::int64_t resolution = resolutions[rng.NextBelow(4)];
+  std::int64_t width = 32 + 8 * static_cast<std::int64_t>(rng.NextBelow(9));
+  int num_stages = 3 + static_cast<int>(rng.NextBelow(3));
+  int style = static_cast<int>(rng.NextBelow(4));
+
+  NetworkBuilder b(Format("mixnet-%03d", index), "MixNet",
+                   Chw(3, resolution, resolution));
+  b.Conv(width, 3, 2, 1).BatchNorm().Relu();
+  for (int stage = 0; stage < num_stages; ++stage) {
+    int blocks = 1 + static_cast<int>(rng.NextBelow(5));
+    for (int block = 0; block < blocks; ++block) {
+      std::int64_t stride = (block == 0 && stage > 0) ? 2 : 1;
+      switch (style) {
+        case 0:  // plain VGG-ish stack
+          b.Conv(width, 3, stride, 1).BatchNorm().Relu();
+          break;
+        case 1: {  // residual basic block
+          int in = b.Mark();
+          b.Conv(width, 3, stride, 1).BatchNorm().Relu();
+          b.Conv(width, 3, 1, 1).BatchNorm();
+          int out = b.Mark();
+          if (stride != 1 || b.ShapeAt(in).c != width) {
+            b.Restore(in).Conv(width, 1, stride, 0).BatchNorm();
+          } else {
+            b.Restore(in);
+          }
+          b.AddFrom(out).Relu();
+          break;
+        }
+        case 2: {  // depthwise separable
+          std::int64_t c = b.CurrentShape().c;
+          b.Conv(c, 3, stride, 1, /*groups=*/c).BatchNorm().Relu6();
+          b.Conv(width, 1, 1, 0).BatchNorm().Relu6();
+          break;
+        }
+        default: {  // bottleneck
+          int in = b.Mark();
+          b.Conv(width / 2, 1, 1, 0).BatchNorm().Relu();
+          b.Conv(width / 2, 3, stride, 1).BatchNorm().Relu();
+          b.Conv(width, 1, 1, 0).BatchNorm();
+          int out = b.Mark();
+          if (stride != 1 || b.ShapeAt(in).c != width) {
+            b.Restore(in).Conv(width, 1, stride, 0).BatchNorm();
+          } else {
+            b.Restore(in);
+          }
+          b.AddFrom(out).Relu();
+          break;
+        }
+      }
+    }
+    width = std::min<std::int64_t>(width * 2, 1024);
+  }
+  b.GlobalAvgPool().Flatten().Linear(1000);
+  return b.Build();
+}
+
+/** Basic-block ResNet with a custom block count (depth = 2*blocks + 2). */
+Network BuildBasicResNetWithBlocks(int total_blocks) {
+  std::vector<int> stage_blocks(4, 1);
+  int assigned = 4;
+  int stage = 0;
+  while (assigned < total_blocks) {
+    ++stage_blocks[stage];
+    ++assigned;
+    stage = (stage + 1) % 4;
+  }
+  ResNetConfig config;
+  config.name = Format("resnet%d-basic", 2 * total_blocks + 2);
+  config.bottleneck = false;
+  config.stage_blocks = stage_blocks;
+  return BuildResNet(config);
+}
+
+}  // namespace
+
+Network BuildByName(const std::string& name) {
+  int depth = 0;
+  if (name == "alexnet") return BuildAlexNet();
+  if (name == "googlenet") return BuildGoogLeNet();
+  if (name == "squeezenet1_0") return BuildSqueezeNet(0);
+  if (name == "squeezenet1_1") return BuildSqueezeNet(1);
+  if (name == "mobilenet_v2") return BuildMobileNetV2({});
+  if (name == "shufflenet_v1") return BuildShuffleNetV1({});
+  if (StartsWith(name, "bert_") || name == "distilbert") {
+    return BuildStandardTransformer(name);
+  }
+  if (StartsWith(name, "gpt2")) return BuildGpt2(name);
+  if (name == "resnext50_32x4d") return BuildResNeXt(50);
+  if (name == "resnext101_32x8d") return BuildResNeXt(101, 32, 8);
+  if (name == "wide_resnet50_2") return BuildWideResNet(50);
+  if (name == "wide_resnet101_2") return BuildWideResNet(101);
+  if (ParseIntSuffix(name, "resnet", &depth)) {
+    if (depth == 18 || depth == 34 || depth == 50 || depth == 101 ||
+        depth == 152) {
+      return BuildStandardResNet(depth);
+    }
+    if ((depth - 2) % 3 == 0 && depth >= 14) {
+      return BuildResNetWithBlocks((depth - 2) / 3);
+    }
+    Fatal("cannot construct " + name + ": depth must be 3*blocks+2");
+  }
+  if (ParseIntSuffix(name, "densenet", &depth)) {
+    return BuildStandardDenseNet(depth);
+  }
+  if (ParseIntSuffix(name, "vgg", &depth)) {
+    return BuildStandardVgg(depth, /*batch_norm=*/false);
+  }
+  if (name.size() > 3 && name.substr(name.size() - 3) == "_bn") {
+    if (ParseIntSuffix(name.substr(0, name.size() - 3), "vgg", &depth)) {
+      return BuildStandardVgg(depth, /*batch_norm=*/true);
+    }
+  }
+  // Fall back to the zoo registry for sweep-variant names such as
+  // "vgg-c18-w96" or "mixnet-042".
+  static const std::map<std::string, Network>* const kRegistry = [] {
+    auto* registry = new std::map<std::string, Network>;
+    for (Network& net : ImageClassificationZoo()) {
+      registry->emplace(net.name(), std::move(net));
+    }
+    for (Network& net : TransformerZoo()) {
+      registry->emplace(net.name(), std::move(net));
+    }
+    return registry;
+  }();
+  auto it = kRegistry->find(name);
+  if (it != kRegistry->end()) return it->second;
+  Fatal("unknown network name: " + name);
+}
+
+std::vector<Network> ImageClassificationZoo() {
+  std::vector<Network> networks;
+  std::set<std::string> seen;
+  auto add = [&](Network net) {
+    if (seen.insert(net.name()).second) {
+      networks.push_back(std::move(net));
+    }
+  };
+
+  // Standard torchvision models.
+  for (int depth : {18, 34, 50, 101, 152}) add(BuildStandardResNet(depth));
+  for (int depth : {11, 13, 16, 19}) {
+    add(BuildStandardVgg(depth, true));
+    add(BuildStandardVgg(depth, false));
+  }
+  for (int depth : {121, 161, 169, 201}) add(BuildStandardDenseNet(depth));
+  add(BuildResNeXt(50));
+  add(BuildResNeXt(101, 32, 8));
+  add(BuildWideResNet(50));
+  add(BuildWideResNet(101));
+  add(BuildAlexNet());
+  add(BuildGoogLeNet());
+  add(BuildSqueezeNet(0));
+  add(BuildSqueezeNet(1));
+  add(BuildMobileNetV2({}));
+  add(BuildShuffleNetV1({}));
+
+  // Bottleneck ResNet depth x width sweep (Figure 4's "non-standard
+  // ResNet" family).
+  for (int blocks = 4; blocks <= 43; ++blocks) {
+    for (std::int64_t width : {32, 48, 64, 96}) {
+      add(BuildResNetWithBlocks(blocks, width));
+    }
+  }
+  // ResNet resolution variants.
+  for (int blocks : {8, 16, 24, 32, 40}) {
+    for (std::int64_t resolution : {160, 192, 256}) {
+      add(BuildResNetWithBlocks(blocks, 64, resolution));
+    }
+  }
+  // Basic-block ResNets.
+  for (int blocks = 4; blocks <= 25; ++blocks) {
+    add(BuildBasicResNetWithBlocks(blocks));
+  }
+  // VGG conv-count x width sweep (Figure 4's "non-standard VGG" family).
+  for (int convs = 6; convs <= 30; ++convs) {
+    for (std::int64_t width : {48, 64, 96}) {
+      add(BuildVggWithConvs(convs, width));
+    }
+  }
+  for (int convs : {8, 11, 13, 16, 19, 24}) {
+    for (std::int64_t resolution : {160, 192, 256}) {
+      add(BuildVggWithConvs(convs, 64, resolution));
+    }
+  }
+  // DenseNet growth x depth sweep.
+  {
+    const std::vector<std::vector<int>> block_configs = {
+        {2, 4, 8, 6},   {3, 6, 12, 8},  {4, 8, 16, 12},
+        {6, 12, 24, 16}, {6, 12, 32, 32}, {6, 12, 48, 32},
+    };
+    for (std::int64_t growth : {12, 16, 24, 32, 40, 48}) {
+      for (std::size_t cfg = 0; cfg < block_configs.size(); ++cfg) {
+        DenseNetConfig config;
+        config.name = Format("densenet-g%ld-c%zu",
+                             static_cast<long>(growth), cfg);
+        config.block_layers = block_configs[cfg];
+        config.growth_rate = growth;
+        add(BuildDenseNet(config));
+      }
+    }
+  }
+  // MobileNetV2 width x resolution sweep.
+  for (double width : {0.5, 0.75, 1.0, 1.25, 1.4}) {
+    for (std::int64_t resolution : {160, 192, 224, 256}) {
+      MobileNetV2Config config;
+      config.name = Format("mobilenet_v2-%03d-r%ld",
+                           static_cast<int>(width * 100),
+                           static_cast<long>(resolution));
+      config.width_mult = width;
+      config.input_resolution = resolution;
+      add(BuildMobileNetV2(config));
+    }
+  }
+  // ShuffleNet v1 groups x scale sweep.
+  for (std::int64_t groups : {1, 2, 3, 4, 8}) {
+    for (double scale : {0.75, 1.0, 1.5, 2.0}) {
+      ShuffleNetV1Config config;
+      config.name = Format("shufflenet_v1-g%ld-s%03d",
+                           static_cast<long>(groups),
+                           static_cast<int>(scale * 100));
+      config.groups = groups;
+      config.scale = scale;
+      add(BuildShuffleNetV1(config));
+    }
+  }
+  // Top up with deterministic mixnets to the paper's 646.
+  int mix_index = 0;
+  while (networks.size() < static_cast<std::size_t>(kImageZooSize)) {
+    add(BuildMixNet(mix_index++));
+  }
+  GP_CHECK_EQ(networks.size(), static_cast<std::size_t>(kImageZooSize));
+  return networks;
+}
+
+std::vector<Network> SmallZoo(int stride) {
+  GP_CHECK_GT(stride, 0);
+  std::vector<Network> all = ImageClassificationZoo();
+  std::vector<Network> subset;
+  for (std::size_t i = 0; i < all.size(); i += stride) {
+    subset.push_back(std::move(all[i]));
+  }
+  return subset;
+}
+
+std::vector<Network> TransformerZoo() {
+  std::vector<Network> networks;
+  for (const char* preset :
+       {"bert_tiny", "bert_mini", "bert_small", "bert_medium", "bert_base",
+        "bert_large", "distilbert"}) {
+    for (std::int64_t seq_len : {64, 96, 128, 192, 256}) {
+      networks.push_back(BuildStandardTransformer(preset, seq_len));
+    }
+  }
+  return networks;
+}
+
+}  // namespace gpuperf::zoo

@@ -1,0 +1,49 @@
+#ifndef GPUPERF_ZOO_ZOO_H_
+#define GPUPERF_ZOO_ZOO_H_
+
+/**
+ * @file
+ * The model-zoo registry.
+ *
+ * The paper collects 646 networks from TorchVision and HuggingFace; this
+ * registry reproduces that scale with deterministic parametric sweeps over
+ * the implemented families plus a structurally diverse "mixnet" sampler
+ * standing in for the long tail of community models.
+ */
+
+#include <string>
+#include <vector>
+
+#include "dnn/network.h"
+
+namespace gpuperf::zoo {
+
+/** Number of image-classification networks in the full zoo (paper: 646). */
+inline constexpr int kImageZooSize = 646;
+
+/**
+ * Builds a network by its canonical name.
+ *
+ * Supports the names used throughout the paper's figures: resnet{depth}
+ * (standard depths and the non-standard 44/62/77 pattern), vgg{depth}_bn,
+ * densenet{121,161,169,201}, mobilenet_v2, shufflenet_v1, alexnet,
+ * googlenet, squeezenet1_{0,1}, and the transformer presets. Fatal() on an
+ * unknown name.
+ */
+dnn::Network BuildByName(const std::string& name);
+
+/**
+ * The full 646-network image-classification zoo, deduplicated by name.
+ * Deterministic: the same list on every call.
+ */
+std::vector<dnn::Network> ImageClassificationZoo();
+
+/** A smaller zoo (every `stride`-th network) for fast tests. */
+std::vector<dnn::Network> SmallZoo(int stride = 16);
+
+/** Text-classification transformer group (Section 5.4 extension). */
+std::vector<dnn::Network> TransformerZoo();
+
+}  // namespace gpuperf::zoo
+
+#endif  // GPUPERF_ZOO_ZOO_H_

@@ -1,0 +1,73 @@
+#include "common/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+namespace gpuperf {
+namespace {
+
+TEST(AsciiPlotTest, EmptySeriesProducesPlaceholder) {
+  EXPECT_EQ(AsciiPlot({}, PlotOptions{}), "(empty plot)\n");
+}
+
+TEST(AsciiPlotTest, RendersTitleAxesAndLegend) {
+  PlotSeries series{"mine", {1, 2, 3}, {1, 4, 9}};
+  PlotOptions options;
+  options.title = "The Title";
+  options.x_label = "xs";
+  options.y_label = "ys";
+  const std::string out = AsciiPlot({series}, options);
+  EXPECT_NE(out.find("The Title"), std::string::npos);
+  EXPECT_NE(out.find("xs"), std::string::npos);
+  EXPECT_NE(out.find("mine"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, MultipleSeriesGetDistinctGlyphs) {
+  PlotSeries a{"a", {1, 2}, {1, 2}};
+  PlotSeries b{"b", {1, 2}, {2, 1}};
+  const std::string out = AsciiPlot({a, b}, PlotOptions{});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, SinglePointDoesNotDivideByZero) {
+  PlotSeries series{"p", {5}, {7}};
+  EXPECT_NO_FATAL_FAILURE(AsciiPlot({series}, PlotOptions{}));
+}
+
+TEST(AsciiPlotTest, LogAxesAcceptPositiveData) {
+  PlotSeries series{"log", {0.001, 1, 1000}, {0.01, 10, 10000}};
+  PlotOptions options;
+  options.log_x = true;
+  options.log_y = true;
+  EXPECT_NO_FATAL_FAILURE(AsciiPlot({series}, options));
+}
+
+TEST(AsciiPlotDeathTest, LogAxisRejectsNonPositive) {
+  PlotSeries series{"bad", {0.0, 1.0}, {1.0, 2.0}};
+  PlotOptions options;
+  options.log_x = true;
+  EXPECT_DEATH(AsciiPlot({series}, options), "positive");
+}
+
+TEST(AsciiPlotDeathTest, MismatchedXyIsError) {
+  PlotSeries series{"bad", {1.0, 2.0}, {1.0}};
+  EXPECT_DEATH(AsciiPlot({series}, PlotOptions{}), "check failed");
+}
+
+TEST(AsciiPlotTest, RespectsRequestedDimensions) {
+  PlotSeries series{"dim", {0, 1}, {0, 1}};
+  PlotOptions options;
+  options.width = 30;
+  options.height = 5;
+  const std::string out = AsciiPlot({series}, options);
+  int plot_rows = 0;
+  for (std::size_t pos = out.find('|'); pos != std::string::npos;
+       pos = out.find('|', pos + 1)) {
+    ++plot_rows;
+  }
+  EXPECT_EQ(plot_rows, 5);
+}
+
+}  // namespace
+}  // namespace gpuperf

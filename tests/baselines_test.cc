@@ -1,0 +1,114 @@
+#include "baselines/pka.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/detailed_sim.h"
+#include "common/stats.h"
+#include "gpuexec/lowering.h"
+#include "gpuexec/profiler.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::baselines {
+namespace {
+
+TEST(DetailedSimTest, PredictionWithinBiasBandOfTruth) {
+  DetailedSimConfig config;
+  DetailedSimulator simulator(config);
+  gpuexec::HardwareOracle oracle(config.oracle);
+  const gpuexec::GpuSpec& v100 = gpuexec::GpuByName("V100");
+  dnn::Network net = zoo::BuildByName("resnet18");
+  for (const auto& launches : gpuexec::LowerNetwork(net, 64)) {
+    for (const gpuexec::KernelLaunch& launch : launches) {
+      const double truth = oracle.ExpectedKernelTimeUs(launch, v100);
+      const double sim = simulator.SimulateKernelUs(launch, v100);
+      EXPECT_GT(sim, truth * 0.3) << launch.name;
+      EXPECT_LT(sim, truth * 3.0) << launch.name;
+    }
+  }
+}
+
+TEST(DetailedSimTest, SimulatedBlocksAccumulate) {
+  DetailedSimulator simulator;
+  gpuexec::KernelLaunch launch;
+  launch.name = "k";
+  launch.family = gpuexec::KernelFamily::kElementwise;
+  launch.flops = 1000;
+  launch.bytes_in = launch.bytes_out = 1'000'000;
+  launch.blocks = 5000;
+  launch.batch = 1;
+  launch.layer_flops = 1000;
+  launch.input_elems = launch.output_elems = 250'000;
+  simulator.SimulateKernelUs(launch, gpuexec::GpuByName("A100"));
+  EXPECT_EQ(simulator.simulated_blocks(), 5000);
+}
+
+TEST(DetailedSimTest, BiasIsSystematicPerFamily) {
+  // Same-family kernels share the bias; two calls agree exactly.
+  DetailedSimulator simulator;
+  gpuexec::KernelLaunch launch;
+  launch.name = "k";
+  launch.family = gpuexec::KernelFamily::kGemm;
+  launch.flops = 1e10;
+  launch.bytes_in = launch.bytes_out = 1e7;
+  launch.blocks = 2000;
+  launch.batch = 1;
+  launch.layer_flops = 5e9;
+  launch.input_elems = launch.output_elems = 1e6;
+  const gpuexec::GpuSpec& gpu = gpuexec::GpuByName("A40");
+  EXPECT_DOUBLE_EQ(simulator.SimulateKernelUs(launch, gpu),
+                   simulator.SimulateKernelUs(launch, gpu));
+}
+
+class SampledSimTest : public ::testing::Test {
+ protected:
+  dnn::Network net_ = zoo::BuildByName("resnet50");
+  const gpuexec::GpuSpec& v100_ = gpuexec::GpuByName("V100");
+  gpuexec::HardwareOracle oracle_;
+  gpuexec::Profiler profiler_{oracle_};
+};
+
+TEST_F(SampledSimTest, PkaCountsAndPredicts) {
+  SampledSimResult result = RunPka(net_, v100_, 64);
+  EXPECT_GT(result.total_launches, 100);
+  EXPECT_GT(result.simulated_clusters, 10);
+  EXPECT_LE(result.simulated_clusters, result.total_launches);
+  const double measured = profiler_.MeasureE2eUs(net_, v100_, 64);
+  EXPECT_LT(RelativeError(result.predicted_e2e_us, measured), 0.6);
+}
+
+TEST_F(SampledSimTest, PksIsMoreAccurateThanPkaOnAverage) {
+  std::vector<double> pka_errors, pks_errors;
+  for (const char* name : {"resnet18", "resnet50", "vgg16_bn",
+                           "densenet121", "mobilenet_v2"}) {
+    dnn::Network net = zoo::BuildByName(name);
+    const double measured = profiler_.MeasureE2eUs(net, v100_, 64);
+    pka_errors.push_back(
+        RelativeError(RunPka(net, v100_, 64).predicted_e2e_us, measured));
+    pks_errors.push_back(
+        RelativeError(RunPks(net, v100_, 64).predicted_e2e_us, measured));
+  }
+  EXPECT_LT(Mean(pks_errors), Mean(pka_errors));
+}
+
+TEST_F(SampledSimTest, PksSimulatesFewerClustersButMoreBlocksEach) {
+  SampledSimResult pka = RunPka(net_, v100_, 64);
+  SampledSimResult pks = RunPks(net_, v100_, 64, 0.9);
+  EXPECT_LT(pks.simulated_clusters, pka.simulated_clusters);
+}
+
+TEST_F(SampledSimTest, PksIsSlowerThanPka) {
+  // The paper's Table 2 cost ordering: PKS hours vs PKA ~1.5 h; here the
+  // high-fidelity per-block work makes PKS wall time larger.
+  SampledSimResult pka = RunPka(net_, v100_, 128);
+  SampledSimResult pks = RunPks(net_, v100_, 128);
+  EXPECT_GT(pks.wall_seconds, pka.wall_seconds);
+}
+
+TEST_F(SampledSimTest, CoverageKnobChangesSelection) {
+  SampledSimResult narrow = RunPks(net_, v100_, 64, 0.5);
+  SampledSimResult wide = RunPks(net_, v100_, 64, 0.99);
+  EXPECT_LT(narrow.simulated_clusters, wide.simulated_clusters);
+}
+
+}  // namespace
+}  // namespace gpuperf::baselines

@@ -1,0 +1,151 @@
+#include "dnn/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace gpuperf::dnn {
+namespace {
+
+TEST(BuilderTest, ConvInfersOutputShape) {
+  NetworkBuilder b("t", "Test", Chw(3, 224, 224));
+  b.Conv(64, 7, 2, 3);
+  EXPECT_EQ(b.CurrentShape(), Chw(64, 112, 112));
+}
+
+TEST(BuilderTest, PoolingShapes) {
+  NetworkBuilder b("t", "Test", Chw(64, 112, 112));
+  b.MaxPool(3, 2, 1);
+  EXPECT_EQ(b.CurrentShape(), Chw(64, 56, 56));
+  b.AvgPool(2, 2, 0);
+  EXPECT_EQ(b.CurrentShape(), Chw(64, 28, 28));
+  b.GlobalAvgPool();
+  EXPECT_EQ(b.CurrentShape(), Chw(64, 1, 1));
+}
+
+TEST(BuilderTest, ElementwiseOpsPreserveShape) {
+  NetworkBuilder b("t", "Test", Chw(8, 4, 4));
+  b.BatchNorm().Relu().Relu6().Gelu().Sigmoid().Softmax().Dropout();
+  EXPECT_EQ(b.CurrentShape(), Chw(8, 4, 4));
+  Network net = b.Build();
+  EXPECT_EQ(net.layers().size(), 7u);
+}
+
+TEST(BuilderTest, FlattenAndLinear) {
+  NetworkBuilder b("t", "Test", Chw(512, 7, 7));
+  b.Flatten();
+  EXPECT_EQ(b.CurrentShape(), Chw(512 * 49, 1, 1));
+  b.Linear(1000);
+  EXPECT_EQ(b.CurrentShape(), Chw(1000, 1, 1));
+}
+
+TEST(BuilderTest, LinearAppliesPerToken) {
+  NetworkBuilder b("t", "Test", Chw(768, 128, 1));
+  b.Linear(3072);
+  EXPECT_EQ(b.CurrentShape(), Chw(3072, 128, 1));
+}
+
+TEST(BuilderTest, ResidualAddJoinsBranches) {
+  NetworkBuilder b("t", "Test", Chw(64, 56, 56));
+  int block_in = b.Mark();
+  b.Conv(64, 3, 1, 1).BatchNorm();
+  b.AddFrom(block_in);
+  Network net = b.Build();
+  const Layer& add = net.layers().back();
+  EXPECT_EQ(add.kind, LayerKind::kAdd);
+  ASSERT_EQ(add.inputs.size(), 2u);
+  EXPECT_EQ(add.inputs[0], add.inputs[1]);
+}
+
+TEST(BuilderDeathTest, AddShapeMismatchAborts) {
+  NetworkBuilder b("t", "Test", Chw(64, 56, 56));
+  int block_in = b.Mark();
+  b.Conv(128, 3, 2, 1);
+  EXPECT_DEATH(b.AddFrom(block_in), "shape mismatch");
+}
+
+TEST(BuilderTest, ConcatSumsChannels) {
+  NetworkBuilder b("t", "Test", Chw(32, 28, 28));
+  int trunk = b.Mark();
+  b.Conv(16, 1, 1, 0);
+  int branch1 = b.Mark();
+  b.Restore(trunk);
+  b.Conv(48, 3, 1, 1);
+  int branch2 = b.Mark();
+  b.Concat({branch1, branch2});
+  EXPECT_EQ(b.CurrentShape(), Chw(64, 28, 28));
+}
+
+TEST(BuilderDeathTest, ConcatSpatialMismatchAborts) {
+  NetworkBuilder b("t", "Test", Chw(32, 28, 28));
+  int a = b.Mark();
+  b.MaxPool(2, 2, 0);
+  int c = b.Mark();
+  EXPECT_DEATH(b.Concat({a, c}), "check failed");
+}
+
+TEST(BuilderTest, RestoreRewindsShape) {
+  NetworkBuilder b("t", "Test", Chw(3, 32, 32));
+  int start = b.Mark();
+  b.Conv(16, 3, 2, 1);
+  EXPECT_EQ(b.CurrentShape().c, 16);
+  b.Restore(start);
+  EXPECT_EQ(b.CurrentShape(), Chw(3, 32, 32));
+}
+
+TEST(BuilderTest, DepthwiseConvViaGroups) {
+  NetworkBuilder b("t", "Test", Chw(32, 16, 16));
+  b.Conv(32, 3, 1, 1, /*groups=*/32);
+  Network net = b.Build();
+  EXPECT_TRUE(net.layers()[0].conv().IsDepthwise());
+}
+
+TEST(BuilderDeathTest, GroupsMustDivideChannels) {
+  NetworkBuilder b("t", "Test", Chw(30, 16, 16));
+  EXPECT_DEATH(b.Conv(32, 3, 1, 1, /*groups=*/4), "not divisible");
+}
+
+TEST(BuilderTest, EmbeddingReplacesShape) {
+  NetworkBuilder b("t", "Test", Chw(1, 128, 1));
+  b.Embedding(30522, 768, 128);
+  EXPECT_EQ(b.CurrentShape(), Chw(768, 128, 1));
+}
+
+TEST(BuilderTest, MatMulUsesExplicitOutput) {
+  NetworkBuilder b("t", "Test", Chw(768, 128, 1));
+  b.MatMul(12, 128, 128, 64, Chw(12, 128, 128));
+  EXPECT_EQ(b.CurrentShape(), Chw(12, 128, 128));
+}
+
+TEST(BuilderTest, LayerNamesAreUniqueAndTyped) {
+  NetworkBuilder b("t", "Test", Chw(3, 8, 8));
+  b.Conv(4, 3, 1, 1).Relu().Relu();
+  Network net = b.Build();
+  EXPECT_EQ(net.layers()[0].name, "CONV_0");
+  EXPECT_EQ(net.layers()[1].name, "ReLU_1");
+  EXPECT_EQ(net.layers()[2].name, "ReLU_2");
+}
+
+TEST(BuilderDeathTest, BuildTwiceAborts) {
+  NetworkBuilder b("t", "Test", Chw(3, 8, 8));
+  b.Relu();
+  Network net = b.Build();
+  EXPECT_DEATH(b.Build(), "check failed");
+}
+
+TEST(BuilderTest, ConvBnReluEmitsThreeLayers) {
+  NetworkBuilder b("t", "Test", Chw(3, 8, 8));
+  b.ConvBnRelu(8, 3, 1, 1);
+  Network net = b.Build();
+  ASSERT_EQ(net.layers().size(), 3u);
+  EXPECT_EQ(net.layers()[0].kind, LayerKind::kConv2d);
+  EXPECT_EQ(net.layers()[1].kind, LayerKind::kBatchNorm);
+  EXPECT_EQ(net.layers()[2].kind, LayerKind::kRelu);
+}
+
+TEST(BuilderTest, ChannelShuffleRequiresDivisibility) {
+  NetworkBuilder b("t", "Test", Chw(24, 8, 8));
+  b.ChannelShuffle(3);
+  EXPECT_EQ(b.CurrentShape(), Chw(24, 8, 8));
+}
+
+}  // namespace
+}  // namespace gpuperf::dnn

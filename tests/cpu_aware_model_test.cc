@@ -1,0 +1,125 @@
+#include "models/cpu_aware_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "dataset/builder.h"
+#include "gpuexec/profiler.h"
+#include "test_support.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::models {
+namespace {
+
+using testing::SmallCampaign;
+
+class CpuAwareModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto& campaign = SmallCampaign::Get();
+    kw_ = new KwModel();
+    kw_->Train(campaign.data(), campaign.split());
+
+    // A tiny-batch campaign exposing the launch pipeline.
+    dataset::BuildOptions options;
+    options.gpu_names = {"A100"};
+    options.batch = 2;
+    small_data_ = new dataset::Dataset(
+        dataset::BuildDataset(zoo::SmallZoo(16), options));
+    small_split_ = new dataset::NetworkSplit(
+        dataset::SplitByNetwork(*small_data_, 0.15, 99));
+    model_ = new CpuAwareModel();
+    model_->Train(*kw_, *small_data_, *small_split_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete small_split_;
+    delete small_data_;
+    delete kw_;
+  }
+
+  static KwModel* kw_;
+  static dataset::Dataset* small_data_;
+  static dataset::NetworkSplit* small_split_;
+  static CpuAwareModel* model_;
+};
+
+KwModel* CpuAwareModelTest::kw_ = nullptr;
+dataset::Dataset* CpuAwareModelTest::small_data_ = nullptr;
+dataset::NetworkSplit* CpuAwareModelTest::small_split_ = nullptr;
+CpuAwareModel* CpuAwareModelTest::model_ = nullptr;
+
+TEST_F(CpuAwareModelTest, FitsAPlausibleLaunchPipeline) {
+  const CpuPipelineFit& fit = model_->FitFor("A100");
+  EXPECT_GT(fit.samples, 5u);
+  // The fitted per-kernel cost should be near the true issue gap (12 us).
+  EXPECT_GT(fit.per_kernel_us, 5.0);
+  EXPECT_LT(fit.per_kernel_us, 25.0);
+}
+
+TEST_F(CpuAwareModelTest, PredictKernelCountMatchesMappingTable) {
+  const dnn::Network& net = SmallCampaign::Get().networks()[0];
+  std::int64_t expected = 0;
+  for (const dnn::Layer& layer : net.layers()) {
+    expected += static_cast<std::int64_t>(
+        kw_->KernelsForLayer(layer).size());
+  }
+  EXPECT_EQ(model_->PredictKernelCount(net), expected);
+}
+
+TEST_F(CpuAwareModelTest, MatchesKwAtLargeBatch) {
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  const dnn::Network& net = SmallCampaign::Get().networks()[1];
+  EXPECT_DOUBLE_EQ(model_->PredictUs(net, a100, 512),
+                   kw_->PredictUs(net, a100, 512));
+}
+
+TEST_F(CpuAwareModelTest, RaisesPredictionsAtTinyBatch) {
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  int raised = 0, total = 0;
+  for (const dnn::Network& net : SmallCampaign::Get().networks()) {
+    ++total;
+    if (model_->PredictUs(net, a100, 1) > kw_->PredictUs(net, a100, 1)) {
+      ++raised;
+    }
+  }
+  EXPECT_GT(raised, total / 3);
+}
+
+TEST_F(CpuAwareModelTest, ImprovesSmallBatchAccuracy) {
+  const auto& campaign = SmallCampaign::Get();
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  gpuexec::Profiler profiler(campaign.oracle());
+  std::vector<double> kw_pred, cpu_pred, measured;
+  for (const dnn::Network* net : campaign.TestNetworks()) {
+    kw_pred.push_back(kw_->PredictUs(*net, a100, 1));
+    cpu_pred.push_back(model_->PredictUs(*net, a100, 1));
+    measured.push_back(profiler.MeasureE2eUs(*net, a100, 1));
+  }
+  EXPECT_LE(Mape(cpu_pred, measured), Mape(kw_pred, measured) + 0.01);
+}
+
+TEST_F(CpuAwareModelTest, UntrainedGpuFallsBackToKw) {
+  const gpuexec::GpuSpec& titan = gpuexec::GpuByName("TITAN RTX");
+  const dnn::Network& net = SmallCampaign::Get().networks()[0];
+  // The CPU law was only fit for A100; TITAN predictions must be pure KW.
+  EXPECT_DOUBLE_EQ(model_->PredictUs(net, titan, 1),
+                   kw_->PredictUs(net, titan, 1));
+}
+
+TEST_F(CpuAwareModelTest, NameIsStable) {
+  EXPECT_EQ(model_->Name(), "KW+CPU");
+}
+
+TEST(CpuAwareModelDeathTest, ThresholdMustExceedOne) {
+  const auto& campaign = SmallCampaign::Get();
+  KwModel kw;
+  kw.Train(campaign.data(), campaign.split());
+  CpuAwareModel model;
+  EXPECT_DEATH(
+      model.Train(kw, campaign.data(), campaign.split(), 0.9),
+      "check failed");
+}
+
+}  // namespace
+}  // namespace gpuperf::models

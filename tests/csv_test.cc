@@ -1,0 +1,83 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace gpuperf {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CsvEscapeTest, PlainFieldUnchanged) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+}
+
+TEST(CsvEscapeTest, CommaTriggersQuoting) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuotesAreDoubled) {
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvParseLineTest, SplitsSimpleFields) {
+  EXPECT_EQ(CsvParseLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvParseLineTest, KeepsEmptyFields) {
+  EXPECT_EQ(CsvParseLine("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(CsvParseLine(",,"), (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvParseLineTest, HandlesQuotedCommasAndQuotes) {
+  EXPECT_EQ(CsvParseLine("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(CsvParseLine("\"say \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(CsvRoundTripTest, WriteThenReadPreservesContent) {
+  const std::string path = TempPath("gpuperf_csv_roundtrip.csv");
+  {
+    CsvWriter writer(path);
+    writer.WriteRow({"name", "value", "note"});
+    writer.WriteRow({"conv,1", "3.14", "has \"quote\""});
+    writer.WriteRow({"", "-7", "plain"});
+  }
+  CsvTable table = ReadCsv(path);
+  ASSERT_EQ(table.header.size(), 3u);
+  EXPECT_EQ(table.header[0], "name");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][0], "conv,1");
+  EXPECT_EQ(table.rows[0][2], "has \"quote\"");
+  EXPECT_EQ(table.rows[1][0], "");
+  EXPECT_EQ(table.rows[1][1], "-7");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTableTest, ColumnIndexFindsColumns) {
+  CsvTable table;
+  table.header = {"a", "b", "c"};
+  EXPECT_EQ(table.ColumnIndex("a"), 0u);
+  EXPECT_EQ(table.ColumnIndex("c"), 2u);
+}
+
+TEST(CsvTableDeathTest, MissingColumnIsFatal) {
+  CsvTable table;
+  table.header = {"a"};
+  EXPECT_EXIT(table.ColumnIndex("zz"), ::testing::ExitedWithCode(1),
+              "column not found");
+}
+
+TEST(CsvDeathTest, MissingFileIsFatal) {
+  EXPECT_EXIT(ReadCsv("/nonexistent/dir/file.csv"),
+              ::testing::ExitedWithCode(1), "cannot open");
+}
+
+}  // namespace
+}  // namespace gpuperf

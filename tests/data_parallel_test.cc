@@ -1,0 +1,114 @@
+#include "simsys/data_parallel.h"
+
+#include <gtest/gtest.h>
+
+namespace gpuperf::simsys {
+namespace {
+
+DataParallelConfig Config(int gpus, double fabric, bool overlap = true) {
+  DataParallelConfig config;
+  config.num_gpus = gpus;
+  config.link_bandwidth_gbps = fabric;
+  config.link_latency_us = 1.0;
+  config.overlap = overlap;
+  return config;
+}
+
+TEST(RingAllReduceTest, SingleGpuIsFree) {
+  EXPECT_DOUBLE_EQ(RingAllReduceUs(1'000'000, Config(1, 16)), 0.0);
+}
+
+TEST(RingAllReduceTest, MatchesClosedForm) {
+  // 2(N-1)/N * B / bw + 2(N-1) * latency.
+  const DataParallelConfig config = Config(4, 10);
+  const double volume =
+      2.0 * 3.0 / 4.0 * 1'000'000 / (10e9) * 1e6;  // us
+  EXPECT_NEAR(RingAllReduceUs(1'000'000, config), volume + 6.0, 1e-9);
+}
+
+TEST(RingAllReduceTest, VolumeTermSaturatesWithGpuCount) {
+  // The per-link volume factor 2(N-1)/N approaches 2 as N grows.
+  const double at_2 = RingAllReduceUs(100'000'000, Config(2, 10));
+  const double at_64 = RingAllReduceUs(100'000'000, Config(64, 10));
+  EXPECT_LT(at_64, 2.1 * at_2);
+}
+
+TEST(DataParallelTest, SingleGpuStepIsPureCompute) {
+  DataParallelResult result = SimulateDataParallelStep(
+      {100, 200}, {200, 400}, {1'000'000, 2'000'000}, Config(1, 16));
+  EXPECT_DOUBLE_EQ(result.step_time_us, 900.0);
+  EXPECT_DOUBLE_EQ(result.scaling_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(result.comm_us, 0.0);
+}
+
+TEST(DataParallelTest, NoOverlapAddsFullCommunication) {
+  DataParallelResult result = SimulateDataParallelStep(
+      {100}, {200}, {10'000'000}, Config(4, 10, /*overlap=*/false));
+  EXPECT_NEAR(result.step_time_us, 300.0 + result.comm_us, 1e-9);
+  EXPECT_DOUBLE_EQ(result.exposed_comm_us, result.comm_us);
+}
+
+TEST(DataParallelTest, OverlapNeverSlowerThanBlocking) {
+  const std::vector<double> fwd(20, 50.0), bwd(20, 100.0);
+  const std::vector<std::int64_t> grads(20, 4'000'000);
+  for (int gpus : {2, 4, 8}) {
+    for (double fabric : {4.0, 32.0, 256.0}) {
+      DataParallelResult overlap = SimulateDataParallelStep(
+          fwd, bwd, grads, Config(gpus, fabric, true));
+      DataParallelResult blocking = SimulateDataParallelStep(
+          fwd, bwd, grads, Config(gpus, fabric, false));
+      EXPECT_LE(overlap.step_time_us, blocking.step_time_us + 1e-6)
+          << gpus << " gpus @ " << fabric;
+    }
+  }
+}
+
+TEST(DataParallelTest, StepBoundedBelowByComputeAndComm) {
+  const std::vector<double> fwd(10, 100.0), bwd(10, 150.0);
+  const std::vector<std::int64_t> grads(10, 8'000'000);
+  DataParallelResult result =
+      SimulateDataParallelStep(fwd, bwd, grads, Config(4, 8));
+  EXPECT_GE(result.step_time_us, result.compute_us - 1e-9);
+  // The serialized fabric cannot finish before its total occupancy.
+  double volume_us = 0;
+  for (std::int64_t g : grads) {
+    volume_us += 2.0 * 3.0 / 4.0 * static_cast<double>(g) / 8e9 * 1e6;
+  }
+  EXPECT_GE(result.step_time_us, volume_us - 1e-9);
+}
+
+TEST(DataParallelTest, FastFabricHidesCommunication) {
+  const std::vector<double> fwd(10, 100.0), bwd(10, 300.0);
+  const std::vector<std::int64_t> grads(10, 1'000'000);
+  DataParallelResult result =
+      SimulateDataParallelStep(fwd, bwd, grads, Config(4, 300));
+  EXPECT_LT(result.exposed_comm_us, 0.05 * result.compute_us);
+  EXPECT_GT(result.scaling_efficiency, 0.95);
+}
+
+TEST(DataParallelTest, SlowFabricExposesCommunication) {
+  const std::vector<double> fwd(10, 10.0), bwd(10, 20.0);
+  const std::vector<std::int64_t> grads(10, 50'000'000);
+  DataParallelResult result =
+      SimulateDataParallelStep(fwd, bwd, grads, Config(8, 2));
+  EXPECT_GT(result.exposed_comm_us, result.compute_us);
+  EXPECT_LT(result.scaling_efficiency, 0.5);
+}
+
+TEST(DataParallelTest, ZeroGradientLayersDoNotCommunicate) {
+  DataParallelResult result = SimulateDataParallelStep(
+      {100, 100}, {50, 50}, {0, 0}, Config(4, 1));
+  EXPECT_DOUBLE_EQ(result.comm_us, 0.0);
+  EXPECT_NEAR(result.step_time_us, 300.0, 1e-9);
+}
+
+TEST(DataParallelDeathTest, MismatchedVectorsAbort) {
+  std::vector<double> fwd{1.0};
+  std::vector<double> bwd{1.0, 2.0};
+  std::vector<std::int64_t> grads{1};
+  EXPECT_DEATH(SimulateDataParallelStep(fwd, bwd, grads, Config(2, 16)),
+               "check failed");
+}
+
+}  // namespace
+}  // namespace gpuperf::simsys

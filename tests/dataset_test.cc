@@ -1,0 +1,183 @@
+#include "dataset/dataset.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataset/builder.h"
+#include "test_support.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::dataset {
+namespace {
+
+TEST(StringPoolTest, InternsAndFinds) {
+  StringPool pool;
+  const int a = pool.Intern("alpha");
+  const int b = pool.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Intern("alpha"), a);
+  EXPECT_EQ(pool.Find("beta"), b);
+  EXPECT_EQ(pool.Find("gamma"), -1);
+  EXPECT_EQ(pool.Get(a), "alpha");
+  EXPECT_EQ(pool.size(), 2);
+}
+
+TEST(StringPoolDeathTest, OutOfRangeGetAborts) {
+  StringPool pool;
+  EXPECT_DEATH(pool.Get(0), "check failed");
+}
+
+TEST(BuilderTest, RowCountsMatchCampaign) {
+  const auto& campaign = testing::SmallCampaign::Get();
+  // 4 GPUs x N networks, minus the combos cleaned for exceeding device
+  // memory (the paper's out-of-memory data cleaning).
+  EXPECT_LE(campaign.data().network_rows().size(),
+            4 * campaign.networks().size());
+  EXPECT_GE(campaign.data().network_rows().size(),
+            3 * campaign.networks().size());
+  EXPECT_GT(campaign.data().kernel_rows().size(), 10000u);
+  EXPECT_EQ(campaign.data().gpus().size(), 4);
+}
+
+TEST(BuilderTest, OomCombosAreCleaned) {
+  // An 11 GB GTX 1080 Ti cannot hold the biggest BS-512 networks; the
+  // builder must skip them, and must keep everything when the check is
+  // disabled.
+  const auto& campaign = testing::SmallCampaign::Get();
+  const int gtx = campaign.data().gpus().Find("GTX 1080 Ti");
+  const int a100 = campaign.data().gpus().Find("A100");
+  ASSERT_GE(gtx, 0);
+  std::size_t gtx_rows = 0, a100_rows = 0;
+  for (const NetworkRow& row : campaign.data().network_rows()) {
+    if (row.gpu_id == gtx) ++gtx_rows;
+    if (row.gpu_id == a100) ++a100_rows;
+  }
+  EXPECT_LT(gtx_rows, a100_rows);
+
+  BuildOptions keep_all;
+  keep_all.gpu_names = {"GTX 1080 Ti"};
+  keep_all.skip_oom = false;
+  Dataset full = BuildDataset(zoo::SmallZoo(64), keep_all);
+  EXPECT_EQ(full.network_rows().size(), zoo::SmallZoo(64).size());
+}
+
+TEST(BuilderTest, KernelRowFeaturesArePopulated) {
+  const auto& campaign = testing::SmallCampaign::Get();
+  for (const KernelRow& row : campaign.data().kernel_rows()) {
+    EXPECT_GT(row.time_us, 0.0);
+    EXPECT_GT(row.input_elems, 0);
+    EXPECT_GT(row.output_elems, 0);
+    EXPECT_EQ(row.batch, 512);
+    EXPECT_GE(row.layer_flops, 0);
+  }
+}
+
+TEST(KernelRowTest, DriverValueSelectsFeature) {
+  KernelRow row;
+  row.input_elems = 10;
+  row.layer_flops = 20;
+  row.output_elems = 30;
+  EXPECT_EQ(row.DriverValue(gpuexec::CostDriver::kInput), 10);
+  EXPECT_EQ(row.DriverValue(gpuexec::CostDriver::kOperation), 20);
+  EXPECT_EQ(row.DriverValue(gpuexec::CostDriver::kOutput), 30);
+}
+
+TEST(CsvRoundTripTest, SaveLoadPreservesEverything) {
+  // A small fresh dataset for speed.
+  BuildOptions options;
+  options.gpu_names = {"V100"};
+  options.batch = 64;
+  Dataset original = BuildDataset(zoo::SmallZoo(64), options);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gpuperf_ds_test").string();
+  std::filesystem::create_directories(dir);
+  original.SaveCsv(dir);
+  Dataset loaded = Dataset::LoadCsv(dir);
+
+  ASSERT_EQ(loaded.network_rows().size(), original.network_rows().size());
+  ASSERT_EQ(loaded.kernel_rows().size(), original.kernel_rows().size());
+  for (std::size_t i = 0; i < original.kernel_rows().size(); ++i) {
+    const KernelRow& a = original.kernel_rows()[i];
+    const KernelRow& b = loaded.kernel_rows()[i];
+    EXPECT_EQ(original.kernels().Get(a.kernel_id),
+              loaded.kernels().Get(b.kernel_id));
+    EXPECT_EQ(original.signatures().Get(a.signature_id),
+              loaded.signatures().Get(b.signature_id));
+    EXPECT_EQ(a.layer_kind, b.layer_kind);
+    EXPECT_EQ(a.true_driver, b.true_driver);
+    EXPECT_EQ(a.family, b.family);
+    EXPECT_NEAR(a.time_us, b.time_us, 1e-5);
+    EXPECT_EQ(a.layer_flops, b.layer_flops);
+  }
+  for (std::size_t i = 0; i < original.network_rows().size(); ++i) {
+    const NetworkRow& a = original.network_rows()[i];
+    const NetworkRow& b = loaded.network_rows()[i];
+    EXPECT_EQ(original.networks().Get(a.network_id),
+              loaded.networks().Get(b.network_id));
+    EXPECT_NEAR(a.e2e_us, b.e2e_us, 1e-5);
+    EXPECT_EQ(a.total_flops, b.total_flops);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+class SplitFractionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitFractionTest, PartitionIsCleanAndSized) {
+  const double fraction = GetParam();
+  const auto& campaign = testing::SmallCampaign::Get();
+  NetworkSplit split = SplitByNetwork(campaign.data(), fraction, 7);
+  const int total = campaign.data().networks().size();
+  EXPECT_EQ(split.train_ids.size() + split.test_ids.size(),
+            static_cast<std::size_t>(total));
+  // No overlap.
+  std::set<int> test_set(split.test_ids.begin(), split.test_ids.end());
+  for (int id : split.train_ids) EXPECT_FALSE(test_set.count(id));
+  // Expected size within one.
+  EXPECT_NEAR(static_cast<double>(split.test_ids.size()),
+              std::max(1.0, fraction * total), 1.0);
+  // IsTest agrees with membership.
+  for (int id : split.test_ids) EXPECT_TRUE(split.IsTest(id));
+  for (int id : split.train_ids) EXPECT_FALSE(split.IsTest(id));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitFractionTest,
+                         ::testing::Values(0.05, 0.15, 0.3, 0.5));
+
+TEST(SplitTest, DeterministicPerSeedAndVariesAcrossSeeds) {
+  const auto& campaign = testing::SmallCampaign::Get();
+  NetworkSplit a = SplitByNetwork(campaign.data(), 0.15, 1);
+  NetworkSplit b = SplitByNetwork(campaign.data(), 0.15, 1);
+  NetworkSplit c = SplitByNetwork(campaign.data(), 0.15, 2);
+  EXPECT_EQ(a.test_ids, b.test_ids);
+  EXPECT_NE(a.test_ids, c.test_ids);
+}
+
+TEST(SplitDeathTest, BadFractionAborts) {
+  const auto& campaign = testing::SmallCampaign::Get();
+  EXPECT_DEATH(SplitByNetwork(campaign.data(), 0.0, 1), "check failed");
+  EXPECT_DEATH(SplitByNetwork(campaign.data(), 1.0, 1), "check failed");
+}
+
+TEST(BuilderTest, TraceOrderGroupsLayerKernels) {
+  // Mapping-table construction relies on consecutive rows per layer.
+  const auto& campaign = testing::SmallCampaign::Get();
+  const auto& rows = campaign.data().kernel_rows();
+  std::set<std::tuple<int, int, int>> closed;
+  std::tuple<int, int, int> current{-1, -1, -1};
+  for (const KernelRow& row : rows) {
+    std::tuple<int, int, int> key{row.gpu_id, row.network_id,
+                                  row.layer_index};
+    if (key != current) {
+      EXPECT_FALSE(closed.count(key)) << "layer group re-opened";
+      closed.insert(current);
+      current = key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpuperf::dataset

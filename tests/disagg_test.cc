@@ -1,0 +1,111 @@
+#include "simsys/disagg.h"
+
+#include <gtest/gtest.h>
+
+namespace gpuperf::simsys {
+namespace {
+
+DisaggConfig Config(double bw, int window = 8) {
+  DisaggConfig config;
+  config.link_bandwidth_gbps = bw;
+  config.link_latency_us = 1.0;
+  config.prefetch_window = window;
+  return config;
+}
+
+TEST(DisaggTest, InfiniteBandwidthMatchesComputeSum) {
+  std::vector<double> compute{100, 200, 300};
+  std::vector<std::int64_t> weights{1'000'000, 1'000'000, 1'000'000};
+  DisaggResult result =
+      SimulateDisaggregated(compute, weights, Config(1e9));
+  EXPECT_NEAR(result.total_time_us, 600.0, 1.5);  // + tiny first fetch
+  EXPECT_NEAR(result.compute_us, 600.0, 1e-9);
+  EXPECT_LT(result.stall_us, 2.0);
+}
+
+TEST(DisaggTest, SlowLinkIsTransferBound) {
+  std::vector<double> compute{10, 10, 10};
+  // 100 MB total at 1 GB/s = 100 ms.
+  std::vector<std::int64_t> weights(3, 33'333'333);
+  DisaggResult result = SimulateDisaggregated(compute, weights, Config(1));
+  EXPECT_GT(result.total_time_us, 99'000.0);
+  EXPECT_GT(result.stall_us, 0.9 * result.total_time_us);
+}
+
+TEST(DisaggTest, MonotoneInBandwidth) {
+  std::vector<double> compute(50, 100.0);
+  std::vector<std::int64_t> weights(50, 4'000'000);
+  double previous = 1e300;
+  for (double bw : {8.0, 16.0, 32.0, 64.0, 128.0, 256.0}) {
+    DisaggResult result =
+        SimulateDisaggregated(compute, weights, Config(bw));
+    EXPECT_LE(result.total_time_us, previous + 1e-9) << bw;
+    previous = result.total_time_us;
+  }
+}
+
+TEST(DisaggTest, TotalAtLeastMaxOfComputeAndTransfer) {
+  std::vector<double> compute{50, 80, 20, 90};
+  std::vector<std::int64_t> weights{8'000'000, 2'000'000, 4'000'000,
+                                    1'000'000};
+  const double bw = 32;
+  DisaggResult result = SimulateDisaggregated(compute, weights, Config(bw));
+  double compute_sum = 0;
+  std::int64_t byte_sum = 0;
+  for (double c : compute) compute_sum += c;
+  for (std::int64_t w : weights) byte_sum += w;
+  const double transfer_us = static_cast<double>(byte_sum) / (bw * 1e9) * 1e6;
+  EXPECT_GE(result.total_time_us, compute_sum - 1e-9);
+  EXPECT_GE(result.total_time_us, transfer_us - 1e-9);
+  EXPECT_NEAR(result.compute_us + result.stall_us, result.total_time_us,
+              1e-6);
+}
+
+TEST(DisaggTest, WindowOneSerializesFetchAndCompute) {
+  // With a single-layer window, fetch i+1 cannot overlap compute i+0's
+  // predecessors fully; total must exceed the windowed pipeline of a
+  // larger window.
+  std::vector<double> compute(20, 100.0);
+  std::vector<std::int64_t> weights(20, 3'200'000);  // 100 us at 32 GB/s
+  DisaggResult narrow =
+      SimulateDisaggregated(compute, weights, Config(32, 1));
+  DisaggResult wide = SimulateDisaggregated(compute, weights, Config(32, 8));
+  EXPECT_GT(narrow.total_time_us, wide.total_time_us);
+}
+
+TEST(DisaggTest, ZeroWeightLayersNeverStall) {
+  std::vector<double> compute{10, 10, 10};
+  std::vector<std::int64_t> weights{0, 0, 0};
+  DisaggResult result = SimulateDisaggregated(compute, weights, Config(1));
+  EXPECT_NEAR(result.total_time_us, 30.0, 1e-9);
+  EXPECT_NEAR(result.stall_us, 0.0, 1e-9);
+}
+
+TEST(DisaggTest, EmptyNetworkIsZero) {
+  DisaggResult result = SimulateDisaggregated({}, {}, Config(16));
+  EXPECT_DOUBLE_EQ(result.total_time_us, 0.0);
+}
+
+TEST(DisaggTest, EventCountIsReported) {
+  std::vector<double> compute{10, 10};
+  std::vector<std::int64_t> weights{1000, 1000};
+  DisaggResult result = SimulateDisaggregated(compute, weights, Config(16));
+  EXPECT_GT(result.events, 3);
+}
+
+TEST(DisaggDeathTest, MismatchedVectorsAbort) {
+  std::vector<double> compute{10};
+  std::vector<std::int64_t> weights{1, 2};
+  EXPECT_DEATH(SimulateDisaggregated(compute, weights, Config(16)),
+               "check failed");
+}
+
+TEST(DisaggDeathTest, ZeroWindowAborts) {
+  std::vector<double> compute{10};
+  std::vector<std::int64_t> weights{1};
+  EXPECT_DEATH(SimulateDisaggregated(compute, weights, Config(16, 0)),
+               "check failed");
+}
+
+}  // namespace
+}  // namespace gpuperf::simsys

@@ -1,0 +1,82 @@
+#include "models/e2e_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "dnn/flops.h"
+#include "gpuexec/profiler.h"
+#include "test_support.h"
+
+namespace gpuperf::models {
+namespace {
+
+using testing::SmallCampaign;
+
+class E2eModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_.Train(SmallCampaign::Get().data(), SmallCampaign::Get().split());
+  }
+  E2eModel model_;
+};
+
+TEST_F(E2eModelTest, TrainsOneFitPerGpu) {
+  for (const char* gpu : {"A100", "A40", "GTX 1080 Ti", "TITAN RTX"}) {
+    const regression::LinearFit& fit = model_.FitFor(gpu);
+    EXPECT_GT(fit.slope, 0.0) << gpu;
+    EXPECT_GT(fit.n, 10u) << gpu;
+    EXPECT_GT(fit.r2, 0.75) << gpu;  // O1: the trend is linear
+  }
+}
+
+TEST_F(E2eModelTest, PredictionIsLinearInFlops) {
+  const auto& campaign = SmallCampaign::Get();
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  const dnn::Network& net = campaign.networks()[0];
+  const regression::LinearFit& fit = model_.FitFor("A100");
+  const double flops = static_cast<double>(dnn::NetworkFlops(net, 512));
+  EXPECT_NEAR(model_.PredictUs(net, a100, 512), fit.Predict(flops), 1e-6);
+}
+
+TEST_F(E2eModelTest, HeldOutErrorWithinPaperBallpark) {
+  const auto& campaign = SmallCampaign::Get();
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  gpuexec::Profiler profiler(campaign.oracle());
+  std::vector<double> predicted, measured;
+  for (const dnn::Network* net : campaign.TestNetworks()) {
+    predicted.push_back(model_.PredictUs(*net, a100, 512));
+    measured.push_back(profiler.MeasureE2eUs(*net, a100, 512));
+  }
+  const double mape = Mape(predicted, measured);
+  // Paper: 35% on the full campaign; allow a wide band for the small one.
+  EXPECT_LT(mape, 0.9);
+  EXPECT_GT(mape, 0.05);  // E2E must NOT be suspiciously accurate
+}
+
+TEST_F(E2eModelTest, PredictionsAreNonNegative) {
+  const auto& campaign = SmallCampaign::Get();
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  for (const dnn::Network& net : campaign.networks()) {
+    EXPECT_GE(model_.PredictUs(net, a100, 1), 0.0);
+  }
+}
+
+TEST_F(E2eModelTest, FasterGpuGetsSteeperSlopeInverse) {
+  // A100 processes FLOPs faster than GTX 1080 Ti: smaller us-per-FLOP.
+  EXPECT_LT(model_.FitFor("A100").slope,
+            model_.FitFor("GTX 1080 Ti").slope);
+}
+
+TEST(E2eModelDeathTest, UntrainedGpuIsFatal) {
+  E2eModel model;
+  model.Train(SmallCampaign::Get().data(), SmallCampaign::Get().split());
+  EXPECT_EXIT(model.FitFor("Quadro P620"), ::testing::ExitedWithCode(1),
+              "not trained");
+}
+
+TEST(E2eModelBasics, NameIsStable) {
+  EXPECT_EQ(E2eModel().Name(), "E2E");
+}
+
+}  // namespace
+}  // namespace gpuperf::models

@@ -1,0 +1,90 @@
+#include "simsys/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace gpuperf::simsys {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(3.0, [&] { order.push_back(3); });
+  queue.Schedule(1.0, [&] { order.push_back(1); });
+  queue.Schedule(2.0, [&] { order.push_back(2); });
+  queue.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SimultaneousEventsAreFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NowAdvancesToFiredEvent) {
+  EventQueue queue;
+  double seen = -1;
+  queue.Schedule(7.5, [&] { seen = queue.NowUs(); });
+  queue.Run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+  EXPECT_DOUBLE_EQ(queue.NowUs(), 7.5);
+}
+
+TEST(EventQueueTest, CallbacksCanScheduleMoreEvents) {
+  EventQueue queue;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 10) queue.ScheduleAfter(1.0, step);
+  };
+  queue.Schedule(0.0, step);
+  queue.Run();
+  EXPECT_EQ(chain, 10);
+  EXPECT_DOUBLE_EQ(queue.NowUs(), 9.0);
+  EXPECT_EQ(queue.fired_count(), 10);
+}
+
+TEST(EventQueueTest, RunOneReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.RunOne());
+  queue.Schedule(1.0, [] {});
+  EXPECT_TRUE(queue.RunOne());
+  EXPECT_FALSE(queue.RunOne());
+}
+
+TEST(EventQueueDeathTest, SchedulingIntoThePastAborts) {
+  EventQueue queue;
+  queue.Schedule(5.0, [] {});
+  queue.Run();
+  EXPECT_DEATH(queue.Schedule(4.0, [] {}), "past");
+}
+
+TEST(EventQueueDeathTest, NegativeDelayAborts) {
+  EventQueue queue;
+  EXPECT_DEATH(queue.ScheduleAfter(-1.0, [] {}), "check failed");
+}
+
+TEST(EventQueueTest, StressRandomEventsStayOrdered) {
+  EventQueue queue;
+  Rng rng(77);
+  double last_fired = -1;
+  bool ordered = true;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = rng.NextRange(0, 1000);
+    queue.Schedule(t, [&queue, &last_fired, &ordered] {
+      if (queue.NowUs() < last_fired) ordered = false;
+      last_fired = queue.NowUs();
+    });
+  }
+  queue.Run();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(queue.fired_count(), 2000);
+}
+
+}  // namespace
+}  // namespace gpuperf::simsys

@@ -1,0 +1,137 @@
+#include "dnn/flops.h"
+
+#include <gtest/gtest.h>
+
+#include "dnn/builder.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::dnn {
+namespace {
+
+Layer MakeConvLayer() {
+  NetworkBuilder b("t", "Test", Chw(3, 224, 224));
+  b.Conv(64, 7, 2, 3);
+  return b.Build().layers()[0];
+}
+
+TEST(LayerFlopsTest, ConvFollowsThopFormula) {
+  // Cout * H' * W' * (Cin/groups) * Kh * Kw per image (multiplications).
+  Layer conv = MakeConvLayer();
+  EXPECT_EQ(LayerFlops(conv, 1),
+            64LL * 112 * 112 * 3 * 7 * 7);
+}
+
+TEST(LayerFlopsTest, GroupedConvDividesReduction) {
+  NetworkBuilder b("t", "Test", Chw(32, 16, 16));
+  b.Conv(64, 3, 1, 1, /*groups=*/4);
+  Layer conv = b.Build().layers()[0];
+  EXPECT_EQ(LayerFlops(conv, 1), 64LL * 16 * 16 * (32 / 4) * 3 * 3);
+}
+
+TEST(LayerFlopsTest, LinearIsInTimesOut) {
+  NetworkBuilder b("t", "Test", Chw(2048, 1, 1));
+  b.Linear(1000);
+  EXPECT_EQ(LayerFlops(b.Build().layers()[0], 1), 2048LL * 1000);
+}
+
+TEST(LayerFlopsTest, LinearPerTokenMultiplies) {
+  NetworkBuilder b("t", "Test", Chw(768, 128, 1));
+  b.Linear(3072);
+  EXPECT_EQ(LayerFlops(b.Build().layers()[0], 1), 128LL * 768 * 3072);
+}
+
+TEST(LayerFlopsTest, ZeroFlopKinds) {
+  NetworkBuilder b("t", "Test", Chw(16, 8, 8));
+  int a = b.Mark();
+  b.Conv(16, 1, 1, 0);
+  int c = b.Mark();
+  b.Concat({a, c});
+  b.Flatten();
+  b.Dropout();
+  Network net = b.Build();
+  for (const Layer& layer : net.layers()) {
+    if (layer.kind == LayerKind::kConcat ||
+        layer.kind == LayerKind::kFlatten ||
+        layer.kind == LayerKind::kDropout) {
+      EXPECT_EQ(LayerFlops(layer, 4), 0) << layer.name;
+    }
+  }
+}
+
+// O3 property: FLOPs are exactly linear in batch size for every layer of
+// a real network.
+class BatchLinearityTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BatchLinearityTest, FlopsScaleWithBatch) {
+  const std::int64_t batch = GetParam();
+  Network net = zoo::BuildByName("resnet18");
+  for (const Layer& layer : net.layers()) {
+    EXPECT_EQ(LayerFlops(layer, batch), batch * LayerFlops(layer, 1))
+        << layer.name;
+  }
+  EXPECT_EQ(NetworkFlops(net, batch), batch * NetworkFlops(net, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchLinearityTest,
+                         ::testing::Values(2, 7, 64, 512));
+
+TEST(NetworkFlopsTest, ResNet50MatchesPublishedMacs) {
+  // torchvision/thop reports ~4.1 GMACs for ResNet-50 at 224x224.
+  Network net = zoo::BuildByName("resnet50");
+  const double gmacs = static_cast<double>(NetworkFlops(net, 1)) / 1e9;
+  EXPECT_GT(gmacs, 3.7);
+  EXPECT_LT(gmacs, 4.5);
+}
+
+TEST(NetworkFlopsTest, Vgg16MatchesPublishedMacs) {
+  // thop reports ~15.5 GMACs for VGG-16.
+  Network net = zoo::BuildByName("vgg16");
+  const double gmacs = static_cast<double>(NetworkFlops(net, 1)) / 1e9;
+  EXPECT_GT(gmacs, 14.5);
+  EXPECT_LT(gmacs, 16.5);
+}
+
+TEST(ParameterCountTest, MatchesPublishedCounts) {
+  // torchvision: resnet50 25.6M, vgg16 138.4M, mobilenet_v2 3.5M,
+  // densenet121 8.0M, alexnet 61.1M (within a small tolerance; our
+  // builders omit a few negligible buffers).
+  struct Expectation {
+    const char* name;
+    double millions;
+    double tolerance;
+  };
+  const Expectation kExpectations[] = {
+      {"resnet50", 25.6, 0.5},   {"vgg16", 138.4, 1.0},
+      {"mobilenet_v2", 3.5, 0.2}, {"densenet121", 8.0, 0.3},
+      {"alexnet", 61.1, 0.5},    {"resnet18", 11.7, 0.3},
+  };
+  for (const Expectation& expectation : kExpectations) {
+    Network net = zoo::BuildByName(expectation.name);
+    const double millions =
+        static_cast<double>(net.ParameterCount()) / 1e6;
+    EXPECT_NEAR(millions, expectation.millions, expectation.tolerance)
+        << expectation.name;
+  }
+}
+
+TEST(BytesTest, InputOutputWeightAccounting) {
+  Layer conv = MakeConvLayer();
+  EXPECT_EQ(LayerInputBytes(conv, 2), 2LL * 3 * 224 * 224 * 4);
+  EXPECT_EQ(LayerOutputBytes(conv, 2), 2LL * 64 * 112 * 112 * 4);
+  EXPECT_EQ(LayerWeightBytes(conv), 64LL * 3 * 7 * 7 * 4);
+}
+
+TEST(WeightBytesTest, NetworkWeightBytesIsFourBytesPerParam) {
+  Network net = zoo::BuildByName("resnet18");
+  EXPECT_EQ(NetworkWeightBytes(net), net.ParameterCount() * 4);
+}
+
+TEST(NetworkTest, SummaryMentionsLayersAndName) {
+  Network net = zoo::BuildByName("alexnet");
+  const std::string summary = net.Summary();
+  EXPECT_NE(summary.find("alexnet"), std::string::npos);
+  EXPECT_NE(summary.find("CONV_0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpuperf::dnn

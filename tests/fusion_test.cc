@@ -1,0 +1,103 @@
+#include "dnn/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "dnn/builder.h"
+#include "dnn/flops.h"
+#include "gpuexec/lowering.h"
+#include "gpuexec/profiler.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::dnn {
+namespace {
+
+TEST(FusionTest, FusesConvBnReluTriple) {
+  NetworkBuilder b("t", "Test", Chw(3, 32, 32));
+  b.ConvBnRelu(16, 3, 1, 1);
+  FusionReport report;
+  Network fused = FuseConvBnAct(b.Build(), &report);
+  ASSERT_EQ(fused.layers().size(), 1u);
+  const ConvParams& params = fused.layers()[0].conv();
+  EXPECT_TRUE(params.has_bias);
+  EXPECT_EQ(params.epilogue, ConvEpilogue::kRelu);
+  EXPECT_EQ(report.folded_batchnorms, 1);
+  EXPECT_EQ(report.fused_activations, 1);
+}
+
+TEST(FusionTest, FusesConvBnPairWithoutActivation) {
+  NetworkBuilder b("t", "Test", Chw(3, 32, 32));
+  b.Conv(16, 3, 1, 1).BatchNorm().Sigmoid();  // sigmoid is not fusable
+  Network fused = FuseConvBnAct(b.Build());
+  ASSERT_EQ(fused.layers().size(), 2u);
+  EXPECT_EQ(fused.layers()[0].conv().epilogue, ConvEpilogue::kBias);
+  EXPECT_EQ(fused.layers()[1].kind, LayerKind::kSigmoid);
+}
+
+TEST(FusionTest, LeavesBareConvAndLoneReluAlone) {
+  NetworkBuilder b("t", "Test", Chw(3, 32, 32));
+  b.Conv(16, 3, 1, 1).MaxPool(2, 2, 0).Relu();
+  Network fused = FuseConvBnAct(b.Build());
+  EXPECT_EQ(fused.layers().size(), 3u);
+  EXPECT_EQ(fused.layers()[0].conv().epilogue, ConvEpilogue::kNone);
+}
+
+TEST(FusionTest, PreservesShapesAndEndpoints) {
+  Network original = zoo::BuildByName("resnet18");
+  Network fused = FuseConvBnAct(original);
+  EXPECT_LT(fused.layers().size(), original.layers().size());
+  EXPECT_EQ(fused.input(), original.input());
+  EXPECT_EQ(fused.layers().back().output, original.layers().back().output);
+  EXPECT_EQ(fused.name(), original.name());
+}
+
+TEST(FusionTest, ResNetLosesAboutATthirdOfItsLayers) {
+  Network original = zoo::BuildByName("resnet50");
+  FusionReport report;
+  Network fused = FuseConvBnAct(original, &report);
+  // Every conv in ResNet-50 is followed by a BN.
+  EXPECT_EQ(report.folded_batchnorms, 53);
+  EXPECT_LE(fused.layers().size(), original.layers().size() - 53);
+}
+
+TEST(FusionTest, FusedConvLowersWithoutSeparatePasses) {
+  NetworkBuilder b("t", "Test", Chw(64, 56, 56));
+  b.ConvBnRelu(64, 1, 1, 0);
+  Network fused = FuseConvBnAct(b.Build());
+  auto launches = gpuexec::LowerLayer(fused.layers()[0], 32);
+  ASSERT_EQ(launches.size(), 1u);  // one kernel, epilogue fused
+  EXPECT_NE(launches[0].name.find("_epi_relu"), std::string::npos);
+}
+
+TEST(FusionTest, SignatureDistinguishesFusedConvs) {
+  NetworkBuilder b("t", "Test", Chw(64, 56, 56));
+  b.Conv(64, 1, 1, 0);
+  Network plain_net = b.Build();
+  NetworkBuilder b2("t", "Test", Chw(64, 56, 56));
+  b2.ConvBnRelu(64, 1, 1, 0);
+  Network fused = FuseConvBnAct(b2.Build());
+  EXPECT_NE(LayerSignature(plain_net.layers()[0]),
+            LayerSignature(fused.layers()[0]));
+}
+
+TEST(FusionTest, FusedNetworkIsFasterOnTheOracle) {
+  gpuexec::HardwareOracle oracle;
+  gpuexec::Profiler profiler(oracle);
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  Network original = zoo::BuildByName("resnet18");
+  Network fused = FuseConvBnAct(original);
+  const double before = profiler.MeasureE2eUs(original, a100, 128);
+  const double after = profiler.MeasureE2eUs(fused, a100, 128);
+  EXPECT_LT(after, before);
+  EXPECT_GT(after, 0.5 * before);  // fusion helps, but not magically
+}
+
+TEST(FusionTest, IdempotentOnAlreadyFusedNetwork) {
+  Network once = FuseConvBnAct(zoo::BuildByName("resnet18"));
+  FusionReport report;
+  Network twice = FuseConvBnAct(once, &report);
+  EXPECT_EQ(report.folded_batchnorms, 0);
+  EXPECT_EQ(twice.layers().size(), once.layers().size());
+}
+
+}  // namespace
+}  // namespace gpuperf::dnn

@@ -1,0 +1,91 @@
+#include "gpuexec/gpu_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace gpuperf::gpuexec {
+namespace {
+
+TEST(GpuSpecTest, AllSevenTable1GpusPresent) {
+  EXPECT_EQ(AllGpus().size(), 7u);
+}
+
+struct SpecCase {
+  const char* name;
+  double bandwidth;
+  double memory;
+  double tflops;
+  int tensor_cores;
+};
+
+class Table1Test : public ::testing::TestWithParam<SpecCase> {};
+
+TEST_P(Table1Test, MatchesPaperTable1) {
+  const SpecCase c = GetParam();
+  const GpuSpec& gpu = GpuByName(c.name);
+  EXPECT_DOUBLE_EQ(gpu.bandwidth_gbps, c.bandwidth);
+  EXPECT_DOUBLE_EQ(gpu.memory_gb, c.memory);
+  EXPECT_DOUBLE_EQ(gpu.fp32_tflops, c.tflops);
+  EXPECT_EQ(gpu.tensor_cores, c.tensor_cores);
+  EXPECT_GT(gpu.sm_count, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, Table1Test,
+    ::testing::Values(SpecCase{"A100", 1555, 40, 19.5, 432},
+                      SpecCase{"A40", 696, 48, 37.4, 336},
+                      SpecCase{"GTX 1080 Ti", 484, 11, 11.3, 0},
+                      SpecCase{"Quadro P620", 80, 2, 1.4, 0},
+                      SpecCase{"RTX A5000", 768, 24, 27.8, 256},
+                      SpecCase{"TITAN RTX", 672, 24, 16.3, 576},
+                      SpecCase{"V100", 900, 16, 14.1, 640}));
+
+TEST(GpuSpecTest, DerivedUnits) {
+  const GpuSpec& a100 = GpuByName("A100");
+  EXPECT_DOUBLE_EQ(a100.PeakFlops(), 19.5e12);
+  EXPECT_DOUBLE_EQ(a100.BandwidthBytesPerSec(), 1555e9);
+}
+
+TEST(GpuSpecTest, WithBandwidthOnlyChangesBandwidth) {
+  const GpuSpec& titan = GpuByName("TITAN RTX");
+  GpuSpec modified = titan.WithBandwidth(900);
+  EXPECT_DOUBLE_EQ(modified.bandwidth_gbps, 900);
+  EXPECT_EQ(modified.name, titan.name);
+  EXPECT_DOUBLE_EQ(modified.fp32_tflops, titan.fp32_tflops);
+  EXPECT_EQ(modified.sm_count, titan.sm_count);
+}
+
+TEST(MigSliceTest, ScalesResourcesProportionally) {
+  const GpuSpec& a100 = GpuByName("A100");
+  GpuSpec half = a100.MigSlice(3, 6);
+  EXPECT_NEAR(half.bandwidth_gbps, a100.bandwidth_gbps / 2, 1e-9);
+  EXPECT_NEAR(half.fp32_tflops, a100.fp32_tflops / 2, 1e-9);
+  EXPECT_NEAR(half.memory_gb, a100.memory_gb / 2, 1e-9);
+  EXPECT_EQ(half.sm_count, a100.sm_count / 2);
+  EXPECT_EQ(half.name, "A100-3g");
+}
+
+TEST(MigSliceTest, FullSliceKeepsSpecs) {
+  const GpuSpec& a100 = GpuByName("A100");
+  GpuSpec full = a100.MigSlice(7, 7);
+  EXPECT_DOUBLE_EQ(full.bandwidth_gbps, a100.bandwidth_gbps);
+  EXPECT_EQ(full.sm_count, a100.sm_count);
+}
+
+TEST(MigSliceTest, TinySliceKeepsAtLeastOneSm) {
+  const GpuSpec& p620 = GpuByName("Quadro P620");
+  EXPECT_GE(p620.MigSlice(1, 7).sm_count, 1);
+}
+
+TEST(MigSliceDeathTest, InvalidSliceCountsAbort) {
+  const GpuSpec& a100 = GpuByName("A100");
+  EXPECT_DEATH(a100.MigSlice(0), "check failed");
+  EXPECT_DEATH(a100.MigSlice(8, 7), "check failed");
+}
+
+TEST(GpuSpecDeathTest, UnknownGpuIsFatal) {
+  EXPECT_EXIT(GpuByName("H100"), ::testing::ExitedWithCode(1),
+              "unknown GPU");
+}
+
+}  // namespace
+}  // namespace gpuperf::gpuexec

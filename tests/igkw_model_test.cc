@@ -1,0 +1,126 @@
+#include "models/igkw_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "gpuexec/profiler.h"
+#include "test_support.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::models {
+namespace {
+
+using testing::SmallCampaign;
+
+class IgkwModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new IgkwModel();
+    // TITAN RTX is deliberately excluded from the training GPUs.
+    model_->Train(SmallCampaign::Get().data(), SmallCampaign::Get().split(),
+                  {"A100", "A40", "GTX 1080 Ti"});
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+  static IgkwModel* model_;
+};
+
+IgkwModel* IgkwModelTest::model_ = nullptr;
+
+TEST_F(IgkwModelTest, PredictsUnseenGpuWithinPaperBallpark) {
+  const auto& campaign = SmallCampaign::Get();
+  const gpuexec::GpuSpec& titan = gpuexec::GpuByName("TITAN RTX");
+  gpuexec::Profiler profiler(campaign.oracle());
+  std::vector<double> predicted, measured;
+  for (const dnn::Network* net : campaign.TestNetworks()) {
+    predicted.push_back(model_->PredictUs(*net, titan, 512));
+    measured.push_back(profiler.MeasureE2eUs(*net, titan, 512));
+  }
+  // Paper: 15.2%; allow margin on the small campaign but demand that the
+  // model is clearly usable on a GPU it never saw.
+  EXPECT_LT(Mape(predicted, measured), 0.35);
+}
+
+TEST_F(IgkwModelTest, HigherBandwidthNeverSlower) {
+  dnn::Network net = zoo::BuildByName("resnet50");
+  const gpuexec::GpuSpec& titan = gpuexec::GpuByName("TITAN RTX");
+  double previous = 1e300;
+  for (double bw = 200; bw <= 1600; bw += 100) {
+    const double t = model_->PredictUs(net, titan.WithBandwidth(bw), 512);
+    EXPECT_LE(t, previous * 1.0001) << "bw " << bw;
+    previous = t;
+  }
+}
+
+TEST_F(IgkwModelTest, BandwidthReturnsDiminish) {
+  // Compute-bound components put a floor under the predicted time: going
+  // 800 -> 1600 GB/s helps less than 200 -> 400 GB/s (case study 1 knee).
+  dnn::Network net = zoo::BuildByName("resnet50");
+  const gpuexec::GpuSpec& titan = gpuexec::GpuByName("TITAN RTX");
+  auto at = [&](double bw) {
+    return model_->PredictUs(net, titan.WithBandwidth(bw), 512);
+  };
+  const double low_gain = at(200) / at(400);
+  const double high_gain = at(800) / at(1600);
+  EXPECT_GT(low_gain, high_gain);
+}
+
+TEST_F(IgkwModelTest, KernelLawsExistForTrainedKernels) {
+  int with_laws = 0;
+  for (const auto& [name, km] :
+       model_->kw_model().KernelModels("A100")) {
+    if (model_->KernelLaw(name) != nullptr) ++with_laws;
+  }
+  EXPECT_GT(with_laws, 30);
+  EXPECT_EQ(model_->KernelLaw("no_such_kernel"), nullptr);
+}
+
+TEST_F(IgkwModelTest, LawFitsAreNonNegativeEverywhere) {
+  const gpuexec::GpuSpec& titan = gpuexec::GpuByName("TITAN RTX");
+  for (const auto& [name, km] :
+       model_->kw_model().KernelModels("A100")) {
+    const InterGpuKernelModel* law = model_->KernelLaw(name);
+    if (law == nullptr) continue;
+    for (double bw : {100.0, 500.0, 2000.0}) {
+      regression::LinearFit fit =
+          model_->KernelFitAt(*law, titan.WithBandwidth(bw));
+      EXPECT_GE(fit.slope, 0.0) << name;
+      EXPECT_GE(fit.intercept, 0.0) << name;
+    }
+  }
+}
+
+class ScalingFeatureTest
+    : public ::testing::TestWithParam<ScalingFeature> {};
+
+TEST_P(ScalingFeatureTest, EveryFeatureChoiceTrainsAndPredicts) {
+  IgkwModel model;
+  model.Train(SmallCampaign::Get().data(), SmallCampaign::Get().split(),
+              {"A100", "A40", "GTX 1080 Ti"}, GetParam());
+  dnn::Network net = zoo::BuildByName("resnet18");
+  const double t =
+      model.PredictUs(net, gpuexec::GpuByName("TITAN RTX"), 256);
+  EXPECT_GT(t, 0.0);
+  EXPECT_TRUE(std::isfinite(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Features, ScalingFeatureTest,
+                         ::testing::Values(ScalingFeature::kBandwidth,
+                                           ScalingFeature::kTflops,
+                                           ScalingFeature::kBoth));
+
+TEST(IgkwModelDeathTest, NeedsAtLeastTwoTrainingGpus) {
+  IgkwModel model;
+  EXPECT_DEATH(model.Train(SmallCampaign::Get().data(),
+                           SmallCampaign::Get().split(), {"A100"}),
+               "at least two");
+}
+
+TEST(IgkwModelBasics, NameIsStable) { EXPECT_EQ(IgkwModel().Name(), "IGKW"); }
+
+}  // namespace
+}  // namespace gpuperf::models

@@ -1,0 +1,141 @@
+// End-to-end pipeline tests: the paper's headline results must reproduce
+// in miniature on the shared small campaign — error ordering E2E > LW >
+// KW, a usable IGKW on an unseen GPU, and the observations O1/O3.
+
+#include <chrono>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "dnn/flops.h"
+#include "gpuexec/profiler.h"
+#include "models/e2e_model.h"
+#include "models/igkw_model.h"
+#include "models/kw_model.h"
+#include "models/lw_model.h"
+#include "test_support.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf {
+namespace {
+
+using testing::SmallCampaign;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto& campaign = SmallCampaign::Get();
+    e2e_ = new models::E2eModel();
+    lw_ = new models::LwModel();
+    kw_ = new models::KwModel();
+    igkw_ = new models::IgkwModel();
+    e2e_->Train(campaign.data(), campaign.split());
+    lw_->Train(campaign.data(), campaign.split());
+    kw_->Train(campaign.data(), campaign.split());
+    igkw_->Train(campaign.data(), campaign.split(),
+                 {"A100", "A40", "GTX 1080 Ti"});
+  }
+
+  static double EvalMape(const models::Predictor& predictor,
+                         const std::string& gpu_name) {
+    const auto& campaign = SmallCampaign::Get();
+    const gpuexec::GpuSpec& gpu = gpuexec::GpuByName(gpu_name);
+    gpuexec::Profiler profiler(campaign.oracle());
+    std::vector<double> predicted, measured;
+    for (const dnn::Network* net : campaign.TestNetworks()) {
+      predicted.push_back(predictor.PredictUs(*net, gpu, 512));
+      measured.push_back(profiler.MeasureE2eUs(*net, gpu, 512));
+    }
+    return Mape(predicted, measured);
+  }
+
+  static models::E2eModel* e2e_;
+  static models::LwModel* lw_;
+  static models::KwModel* kw_;
+  static models::IgkwModel* igkw_;
+};
+
+models::E2eModel* IntegrationTest::e2e_ = nullptr;
+models::LwModel* IntegrationTest::lw_ = nullptr;
+models::KwModel* IntegrationTest::kw_ = nullptr;
+models::IgkwModel* IntegrationTest::igkw_ = nullptr;
+
+TEST_F(IntegrationTest, PaperErrorOrderingHolds) {
+  const double e2e = EvalMape(*e2e_, "A100");
+  const double lw = EvalMape(*lw_, "A100");
+  const double kw = EvalMape(*kw_, "A100");
+  EXPECT_GT(e2e, lw);
+  EXPECT_GT(lw, kw);
+  EXPECT_LT(kw, 0.15);
+}
+
+TEST_F(IntegrationTest, IgkwUnseenGpuWorseThanKwButUsable) {
+  const double kw = EvalMape(*kw_, "TITAN RTX");
+  const double igkw = EvalMape(*igkw_, "TITAN RTX");
+  EXPECT_GT(igkw, kw);
+  EXPECT_LT(igkw, 0.35);
+}
+
+TEST_F(IntegrationTest, ObservationO1TimeCorrelatesWithFlops) {
+  const auto& campaign = SmallCampaign::Get();
+  std::vector<double> log_flops, log_time;
+  for (const dataset::NetworkRow& row :
+       campaign.data().network_rows()) {
+    if (campaign.data().gpus().Get(row.gpu_id) != "A100") continue;
+    log_flops.push_back(std::log10(static_cast<double>(row.total_flops)));
+    log_time.push_back(std::log10(row.e2e_us));
+  }
+  EXPECT_GT(PearsonCorrelation(log_flops, log_time), 0.9);
+}
+
+TEST_F(IntegrationTest, ObservationO3TimeLinearInBatch) {
+  const auto& campaign = SmallCampaign::Get();
+  gpuexec::Profiler profiler(campaign.oracle());
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  dnn::Network net = zoo::BuildByName("resnet50");
+  std::vector<double> batches, times;
+  for (std::int64_t batch = 32; batch <= 512; batch += 48) {
+    batches.push_back(static_cast<double>(batch));
+    times.push_back(profiler.MeasureE2eUs(net, a100, batch));
+  }
+  regression::LinearFit fit = regression::FitLinear(batches, times);
+  EXPECT_GT(fit.r2, 0.98);
+}
+
+TEST_F(IntegrationTest, KwPicksTheFasterGpu) {
+  // Figure 18's property on the campaign GPUs.
+  const auto& campaign = SmallCampaign::Get();
+  gpuexec::Profiler profiler(campaign.oracle());
+  const gpuexec::GpuSpec& a40 = gpuexec::GpuByName("A40");
+  const gpuexec::GpuSpec& titan = gpuexec::GpuByName("TITAN RTX");
+  int correct = 0, total = 0;
+  for (const dnn::Network* net : campaign.TestNetworks()) {
+    const bool predicted_a40 = kw_->PredictUs(*net, a40, 256) <
+                               kw_->PredictUs(*net, titan, 256);
+    const bool actual_a40 = profiler.MeasureE2eUs(*net, a40, 256) <
+                            profiler.MeasureE2eUs(*net, titan, 256);
+    ++total;
+    if (predicted_a40 == actual_a40) ++correct;
+  }
+  EXPECT_GE(correct, total * 2 / 3);
+}
+
+TEST_F(IntegrationTest, PredictionIsFastComparedToProfiling) {
+  // The paper's speed claim in miniature: one KW prediction must be at
+  // clearly cheaper than one profiled measurement.
+  const auto& campaign = SmallCampaign::Get();
+  gpuexec::Profiler profiler(campaign.oracle());
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  const dnn::Network& net = *campaign.TestNetworks()[0];
+
+  const auto p0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) kw_->PredictUs(net, a100, 256);
+  const auto p1 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) profiler.Profile(net, a100, 256);
+  const auto p2 = std::chrono::steady_clock::now();
+  EXPECT_LT((p1 - p0).count() * 2, (p2 - p1).count());
+}
+
+}  // namespace
+}  // namespace gpuperf

@@ -1,0 +1,102 @@
+#include "dnn/layer.h"
+
+#include <gtest/gtest.h>
+
+namespace gpuperf::dnn {
+namespace {
+
+constexpr LayerKind kAllKinds[] = {
+    LayerKind::kConv2d,   LayerKind::kLinear,       LayerKind::kBatchNorm,
+    LayerKind::kLayerNorm, LayerKind::kRelu,        LayerKind::kRelu6,
+    LayerKind::kGelu,     LayerKind::kSigmoid,      LayerKind::kAdd,
+    LayerKind::kConcat,   LayerKind::kMaxPool,      LayerKind::kAvgPool,
+    LayerKind::kGlobalAvgPool, LayerKind::kSoftmax, LayerKind::kFlatten,
+    LayerKind::kEmbedding, LayerKind::kMatMul,
+    LayerKind::kChannelShuffle, LayerKind::kDropout,
+};
+
+class LayerKindRoundTripTest : public ::testing::TestWithParam<LayerKind> {};
+
+TEST_P(LayerKindRoundTripTest, NameRoundTrips) {
+  const LayerKind kind = GetParam();
+  EXPECT_EQ(LayerKindFromName(LayerKindName(kind)), kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, LayerKindRoundTripTest,
+                         ::testing::ValuesIn(kAllKinds));
+
+TEST(LayerKindDeathTest, UnknownNameIsFatal) {
+  EXPECT_EXIT(LayerKindFromName("Bogus"), ::testing::ExitedWithCode(1),
+              "unknown layer kind");
+}
+
+TEST(LayerTest, InputElementsSumsAllInputs) {
+  Layer layer;
+  layer.kind = LayerKind::kAdd;
+  layer.inputs = {Chw(4, 8, 8), Chw(4, 8, 8)};
+  layer.output = Chw(4, 8, 8);
+  EXPECT_EQ(layer.InputElements(), 2 * 4 * 8 * 8);
+}
+
+TEST(LayerTest, TypedParamAccessors) {
+  Layer layer;
+  layer.kind = LayerKind::kConv2d;
+  ConvParams params;
+  params.in_channels = 3;
+  params.out_channels = 64;
+  params.kernel_h = params.kernel_w = 7;
+  layer.params = params;
+  EXPECT_EQ(layer.conv().out_channels, 64);
+}
+
+TEST(LayerDeathTest, WrongParamAccessorAborts) {
+  Layer layer;
+  layer.kind = LayerKind::kRelu;
+  layer.params = NoParams{};
+  EXPECT_DEATH(layer.conv(), "check failed");
+}
+
+TEST(ConvParamsTest, DepthwiseDetection) {
+  ConvParams params;
+  params.in_channels = params.out_channels = params.groups = 32;
+  EXPECT_TRUE(params.IsDepthwise());
+  params.groups = 4;
+  EXPECT_FALSE(params.IsDepthwise());
+}
+
+TEST(LayerSignatureTest, EncodesShapesAndConvParams) {
+  Layer layer;
+  layer.kind = LayerKind::kConv2d;
+  ConvParams params;
+  params.in_channels = 3;
+  params.out_channels = 64;
+  params.kernel_h = params.kernel_w = 7;
+  params.stride_h = params.stride_w = 2;
+  params.pad_h = params.pad_w = 3;
+  layer.params = params;
+  layer.inputs = {Chw(3, 224, 224)};
+  layer.output = Chw(64, 112, 112);
+  const std::string signature = LayerSignature(layer);
+  EXPECT_NE(signature.find("CONV"), std::string::npos);
+  EXPECT_NE(signature.find("i3x224x224"), std::string::npos);
+  EXPECT_NE(signature.find("o64x112x112"), std::string::npos);
+  EXPECT_NE(signature.find("k7x7"), std::string::npos);
+  EXPECT_NE(signature.find("s2x2"), std::string::npos);
+  EXPECT_NE(signature.find("g1"), std::string::npos);
+}
+
+TEST(LayerSignatureTest, DistinguishesConfigurations) {
+  Layer a;
+  a.kind = LayerKind::kRelu;
+  a.inputs = {Chw(64, 56, 56)};
+  a.output = Chw(64, 56, 56);
+  Layer b = a;
+  b.inputs = {Chw(64, 28, 28)};
+  b.output = Chw(64, 28, 28);
+  EXPECT_NE(LayerSignature(a), LayerSignature(b));
+  Layer c = a;
+  EXPECT_EQ(LayerSignature(a), LayerSignature(c));
+}
+
+}  // namespace
+}  // namespace gpuperf::dnn

@@ -1,0 +1,88 @@
+#include "simsys/link.h"
+
+#include <gtest/gtest.h>
+
+namespace gpuperf::simsys {
+namespace {
+
+TEST(LinkTest, SingleTransferTiming) {
+  EventQueue queue;
+  NetworkLink link(&queue, /*bandwidth_gbps=*/10, /*latency_us=*/5);
+  double done_at = -1;
+  // 1 MB at 10 GB/s = 100 us occupancy, plus 5 us latency.
+  link.Transfer(1'000'000, [&] { done_at = queue.NowUs(); });
+  queue.Run();
+  EXPECT_NEAR(done_at, 105.0, 1e-9);
+}
+
+TEST(LinkTest, TransfersSerializeOnBandwidth) {
+  EventQueue queue;
+  NetworkLink link(&queue, 10, 0);
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    link.Transfer(1'000'000, [&] { completions.push_back(queue.NowUs()); });
+  }
+  queue.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_NEAR(completions[0], 100.0, 1e-9);
+  EXPECT_NEAR(completions[1], 200.0, 1e-9);
+  EXPECT_NEAR(completions[2], 300.0, 1e-9);
+}
+
+TEST(LinkTest, LatencyPipelinesAcrossTransfers) {
+  EventQueue queue;
+  NetworkLink link(&queue, 10, 50);
+  std::vector<double> completions;
+  link.Transfer(1'000'000, [&] { completions.push_back(queue.NowUs()); });
+  link.Transfer(1'000'000, [&] { completions.push_back(queue.NowUs()); });
+  queue.Run();
+  // Occupancy serializes (100 us each) but latency overlaps.
+  EXPECT_NEAR(completions[0], 150.0, 1e-9);
+  EXPECT_NEAR(completions[1], 250.0, 1e-9);
+}
+
+TEST(LinkTest, StatisticsAccumulate) {
+  EventQueue queue;
+  NetworkLink link(&queue, 10, 0);
+  link.Transfer(2'000'000, [] {});
+  link.Transfer(3'000'000, [] {});
+  queue.Run();
+  EXPECT_EQ(link.transferred_bytes(), 5'000'000);
+  EXPECT_NEAR(link.busy_us(), 500.0, 1e-9);
+}
+
+TEST(LinkTest, ZeroByteTransferCompletesAfterLatency) {
+  EventQueue queue;
+  NetworkLink link(&queue, 10, 7);
+  double done_at = -1;
+  link.Transfer(0, [&] { done_at = queue.NowUs(); });
+  queue.Run();
+  EXPECT_NEAR(done_at, 7.0, 1e-9);
+}
+
+TEST(LinkTest, FasterLinkFinishesSooner) {
+  EventQueue q1, q2;
+  NetworkLink slow(&q1, 16, 2), fast(&q2, 256, 2);
+  double slow_done = 0, fast_done = 0;
+  slow.Transfer(100'000'000, [&] { slow_done = q1.NowUs(); });
+  fast.Transfer(100'000'000, [&] { fast_done = q2.NowUs(); });
+  q1.Run();
+  q2.Run();
+  EXPECT_NEAR(slow_done / fast_done, 16.0, 0.5);
+}
+
+TEST(LinkDeathTest, InvalidConfigurationAborts) {
+  EventQueue queue;
+  EXPECT_DEATH(NetworkLink(&queue, 0, 1), "check failed");
+  EXPECT_DEATH(NetworkLink(&queue, 10, -1), "check failed");
+  EXPECT_DEATH(NetworkLink(nullptr, 10, 1), "check failed");
+}
+
+TEST(LinkDeathTest, NegativeBytesAborts) {
+  EventQueue queue;
+  NetworkLink link(&queue, 10, 1);
+  EXPECT_DEATH(link.Transfer(-5, [] {}), "check failed");
+}
+
+}  // namespace
+}  // namespace gpuperf::simsys

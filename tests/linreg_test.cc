@@ -1,0 +1,147 @@
+#include "regression/linreg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace gpuperf::regression {
+namespace {
+
+TEST(FitLinearTest, ExactLineRecovered) {
+  LinearFit fit = FitLinear({1, 2, 3, 4}, {5, 7, 9, 11});
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 4u);
+}
+
+TEST(FitLinearTest, PredictEvaluatesLine) {
+  LinearFit fit;
+  fit.slope = 2.0;
+  fit.intercept = 1.0;
+  EXPECT_DOUBLE_EQ(fit.Predict(10.0), 21.0);
+}
+
+TEST(FitLinearTest, EmptyAndSinglePoint) {
+  LinearFit empty = FitLinear({}, {});
+  EXPECT_DOUBLE_EQ(empty.slope, 0.0);
+  LinearFit single = FitLinear({5}, {42});
+  EXPECT_DOUBLE_EQ(single.intercept, 42.0);
+  EXPECT_DOUBLE_EQ(single.slope, 0.0);
+}
+
+TEST(FitLinearTest, ConstantXGivesMeanIntercept) {
+  LinearFit fit = FitLinear({3, 3, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+  EXPECT_DOUBLE_EQ(fit.r2, 0.0);
+}
+
+TEST(FitLinearTest, ConstantYIsPerfectlyExplained) {
+  LinearFit fit = FitLinear({1, 2, 3}, {7, 7, 7});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 7.0);
+  EXPECT_DOUBLE_EQ(fit.r2, 1.0);
+}
+
+TEST(FitLinearTest, R2ReflectsNoise) {
+  Rng rng(3);
+  std::vector<double> x, y_clean, y_noisy;
+  for (int i = 0; i < 500; ++i) {
+    double xi = rng.NextRange(0, 100);
+    x.push_back(xi);
+    y_clean.push_back(3 * xi + 10);
+    y_noisy.push_back(3 * xi + 10 + 40 * rng.NextGaussian());
+  }
+  EXPECT_GT(FitLinear(x, y_clean).r2, 0.9999);
+  const double noisy_r2 = FitLinear(x, y_noisy).r2;
+  EXPECT_GT(noisy_r2, 0.7);
+  EXPECT_LT(noisy_r2, 0.999);
+}
+
+TEST(FitLinearTest, NoiseRobustSlopeRecovery) {
+  Rng rng(4);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    double xi = rng.NextRange(0, 1000);
+    x.push_back(xi);
+    y.push_back(0.5 * xi + 20 + 5 * rng.NextGaussian());
+  }
+  LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 20, 1.0);
+}
+
+TEST(FitLinearDeathTest, SizeMismatchAborts) {
+  std::vector<double> x{1.0};
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_DEATH(FitLinear(x, y), "check failed");
+}
+
+// Multivariate: recover planted coefficients for several dimensions.
+class FitMultiDimsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FitMultiDimsTest, RecoversPlantedBetas) {
+  const int dims = GetParam();
+  Rng rng(100 + dims);
+  std::vector<double> beta(dims + 1);
+  for (int d = 0; d <= dims; ++d) beta[d] = rng.NextRange(-3, 3);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 200 * dims; ++i) {
+    std::vector<double> row(dims);
+    double value = beta[0];
+    for (int d = 0; d < dims; ++d) {
+      row[d] = rng.NextRange(-10, 10);
+      value += beta[d + 1] * row[d];
+    }
+    rows.push_back(std::move(row));
+    y.push_back(value);
+  }
+  MultiFit fit = FitMulti(rows, y);
+  ASSERT_EQ(fit.beta.size(), static_cast<std::size_t>(dims + 1));
+  for (int d = 0; d <= dims; ++d) {
+    EXPECT_NEAR(fit.beta[d], beta[d], 1e-8) << "beta " << d;
+  }
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, FitMultiDimsTest, ::testing::Values(1, 2, 3, 5));
+
+TEST(FitMultiTest, MatchesFitLinearInOneDimension) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{3, 4.5, 7, 8, 11};
+  LinearFit simple = FitLinear(x, y);
+  std::vector<std::vector<double>> rows;
+  for (double xi : x) rows.push_back({xi});
+  MultiFit multi = FitMulti(rows, y);
+  EXPECT_NEAR(multi.beta[0], simple.intercept, 1e-9);
+  EXPECT_NEAR(multi.beta[1], simple.slope, 1e-9);
+  EXPECT_NEAR(multi.r2, simple.r2, 1e-9);
+}
+
+TEST(FitMultiTest, CollinearFeatureDropped) {
+  // Second feature identical to the first: system is singular; the fit
+  // must not produce NaNs and must still predict well.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 1; i <= 20; ++i) {
+    rows.push_back({static_cast<double>(i), static_cast<double>(i)});
+    y.push_back(2.0 * i + 1.0);
+  }
+  MultiFit fit = FitMulti(rows, y);
+  for (double b : fit.beta) EXPECT_TRUE(std::isfinite(b));
+  EXPECT_NEAR(fit.Predict({10, 10}), 21.0, 1e-6);
+}
+
+TEST(MultiFitDeathTest, WrongFeatureCountAborts) {
+  MultiFit fit;
+  fit.beta = {1.0, 2.0};
+  std::vector<double> two_features{1.0, 2.0};
+  EXPECT_DEATH(fit.Predict(two_features), "check failed");
+}
+
+}  // namespace
+}  // namespace gpuperf::regression

@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace gpuperf {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  GP_CHECK(true);
+  GP_CHECK_EQ(1, 1);
+  GP_CHECK_NE(1, 2);
+  GP_CHECK_LT(1, 2);
+  GP_CHECK_LE(2, 2);
+  GP_CHECK_GT(2, 1);
+  GP_CHECK_GE(2, 2);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(GP_CHECK(false), "check failed: false");
+}
+
+TEST(CheckDeathTest, FailingCheckEqReportsValues) {
+  int a = 3, b = 4;
+  EXPECT_DEATH(GP_CHECK_EQ(a, b), "3 vs 4");
+}
+
+TEST(CheckDeathTest, StreamedContextAppears) {
+  EXPECT_DEATH(GP_CHECK(1 > 2) << "custom context 42", "custom context 42");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosAbortOnViolation) {
+  EXPECT_DEATH(GP_CHECK_LT(5, 5), "check failed");
+  EXPECT_DEATH(GP_CHECK_GT(5, 5), "check failed");
+  EXPECT_DEATH(GP_CHECK_LE(6, 5), "check failed");
+  EXPECT_DEATH(GP_CHECK_GE(4, 5), "check failed");
+  EXPECT_DEATH(GP_CHECK_NE(5, 5), "check failed");
+}
+
+TEST(FatalDeathTest, FatalExitsWithStatusOne) {
+  EXPECT_EXIT(Fatal("bad config"), ::testing::ExitedWithCode(1),
+              "bad config");
+}
+
+TEST(LoggingTest, InfoAndWarnDoNotTerminate) {
+  LogInfo("informational");
+  LogWarn("warning");
+}
+
+// CHECK must work inside unbraced if/else (the operator&= trick).
+TEST(CheckTest, ComposesWithUnbracedElse) {
+  bool flag = true;
+  if (flag)
+    GP_CHECK(true) << "then-branch";
+  else
+    GP_CHECK(true) << "else-branch";
+}
+
+}  // namespace
+}  // namespace gpuperf

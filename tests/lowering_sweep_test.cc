@@ -1,0 +1,138 @@
+// Property sweep over the convolution configuration space: for every
+// (channels, kernel, stride, resolution) combination the lowering must
+// produce a consistent, well-formed kernel pipeline.
+
+#include <gtest/gtest.h>
+
+#include "dnn/builder.h"
+#include "dnn/flops.h"
+#include "gpuexec/lowering.h"
+
+namespace gpuperf::gpuexec {
+namespace {
+
+using dnn::Chw;
+using dnn::NetworkBuilder;
+
+struct ConvCase {
+  std::int64_t in_channels;
+  std::int64_t out_channels;
+  std::int64_t kernel;
+  std::int64_t stride;
+  std::int64_t resolution;
+  std::int64_t groups;
+};
+
+std::vector<ConvCase> ConvGrid() {
+  std::vector<ConvCase> cases;
+  for (std::int64_t channels : {3, 8, 32, 64, 256}) {
+    for (std::int64_t kernel : {1, 3, 5, 7}) {
+      for (std::int64_t stride : {1, 2}) {
+        for (std::int64_t resolution : {14, 56, 224}) {
+          if (kernel > resolution) continue;
+          cases.push_back({channels, std::max<std::int64_t>(channels, 16),
+                           kernel, stride, resolution, 1});
+        }
+      }
+    }
+  }
+  // Depthwise and grouped variants.
+  cases.push_back({32, 32, 3, 1, 56, 32});
+  cases.push_back({32, 32, 3, 2, 56, 32});
+  cases.push_back({64, 128, 3, 1, 28, 4});
+  cases.push_back({240, 60, 1, 1, 28, 3});  // ShuffleNet-style grouped 1x1
+  return cases;
+}
+
+class ConvSweepTest : public ::testing::TestWithParam<ConvCase> {
+ protected:
+  dnn::Layer MakeLayer() const {
+    const ConvCase& c = GetParam();
+    NetworkBuilder b("t", "Test", Chw(c.in_channels, c.resolution,
+                                      c.resolution));
+    b.Conv(c.out_channels, c.kernel, c.stride, c.kernel / 2, c.groups);
+    return b.Build().layers()[0];
+  }
+};
+
+TEST_P(ConvSweepTest, PipelineIsWellFormed) {
+  const dnn::Layer layer = MakeLayer();
+  const std::vector<KernelLaunch> launches = LowerLayer(layer, 32);
+  ASSERT_FALSE(launches.empty());
+  ASSERT_LE(launches.size(), 3u);
+  for (const KernelLaunch& launch : launches) {
+    EXPECT_FALSE(launch.name.empty());
+    EXPECT_GT(launch.bytes_in, 0) << launch.name;
+    EXPECT_GT(launch.bytes_out, 0) << launch.name;
+    EXPECT_GT(launch.blocks, 0) << launch.name;
+    EXPECT_GE(launch.flops, 0) << launch.name;
+  }
+}
+
+TEST_P(ConvSweepTest, ComputeKernelCarriesTheMacs) {
+  // At least one kernel of the pipeline must perform work on the order
+  // of the layer's theoretical MACs. Fast algorithms legitimately save
+  // arithmetic: Winograd shaves 2.25x, FFT turns K*K spatial MACs into
+  // per-frequency pointwise products (large-kernel savings).
+  const dnn::Layer layer = MakeLayer();
+  const std::int64_t macs = dnn::LayerFlops(layer, 32);
+  std::int64_t max_flops = 0;
+  bool fft = false;
+  for (const KernelLaunch& launch : LowerLayer(layer, 32)) {
+    max_flops = std::max(max_flops, launch.flops);
+    if (launch.family == KernelFamily::kFftGemm) fft = true;
+  }
+  const double lower = fft ? 0.02 : 0.8;
+  EXPECT_GE(max_flops, static_cast<std::int64_t>(lower * macs));
+  EXPECT_LE(max_flops, 10 * macs + 1000);
+}
+
+TEST_P(ConvSweepTest, MultiKernelPipelinesAreInOpOutOrdered) {
+  const std::vector<KernelLaunch> launches = LowerLayer(MakeLayer(), 32);
+  if (launches.size() == 3) {
+    EXPECT_EQ(launches[0].driver, CostDriver::kInput);
+    EXPECT_EQ(launches[1].driver, CostDriver::kOperation);
+    EXPECT_EQ(launches[2].driver, CostDriver::kOutput);
+  }
+  if (launches.size() == 2) {
+    EXPECT_EQ(launches[0].driver, CostDriver::kInput);
+    EXPECT_EQ(launches[1].driver, CostDriver::kOperation);
+  }
+}
+
+TEST_P(ConvSweepTest, FeaturesScaleExactlyWithBatch) {
+  const dnn::Layer layer = MakeLayer();
+  const auto at_8 = LowerLayer(layer, 8);
+  const auto at_64 = LowerLayer(layer, 64);
+  ASSERT_EQ(at_8.size(), at_64.size());
+  for (std::size_t i = 0; i < at_8.size(); ++i) {
+    EXPECT_EQ(at_64[i].input_elems, 8 * at_8[i].input_elems);
+    EXPECT_EQ(at_64[i].output_elems, 8 * at_8[i].output_elems);
+    EXPECT_EQ(at_64[i].layer_flops, 8 * at_8[i].layer_flops);
+  }
+}
+
+TEST_P(ConvSweepTest, AlgorithmSelectionIsDeterministic) {
+  const dnn::Layer layer = MakeLayer();
+  const ConvAlgorithm first =
+      SelectConvAlgorithm(layer.conv(), layer.inputs[0], layer.output);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(SelectConvAlgorithm(layer.conv(), layer.inputs[0],
+                                  layer.output),
+              first);
+  }
+}
+
+TEST_P(ConvSweepTest, DepthwiseAlwaysUsesDepthwiseKernels) {
+  const dnn::Layer layer = MakeLayer();
+  if (!layer.conv().IsDepthwise()) return;
+  const auto launches = LowerLayer(layer, 16);
+  ASSERT_EQ(launches.size(), 1u);
+  EXPECT_EQ(launches[0].family, KernelFamily::kDepthwiseConv);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ConvSweepTest,
+                         ::testing::ValuesIn(ConvGrid()));
+
+}  // namespace
+}  // namespace gpuperf::gpuexec

@@ -1,0 +1,187 @@
+#include "gpuexec/lowering.h"
+
+#include <gtest/gtest.h>
+
+#include "dnn/builder.h"
+#include "dnn/flops.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::gpuexec {
+namespace {
+
+using dnn::Chw;
+using dnn::LayerKind;
+using dnn::NetworkBuilder;
+
+dnn::Layer MakeConv(std::int64_t in_c, std::int64_t resolution,
+                    std::int64_t out_c, std::int64_t kernel,
+                    std::int64_t stride, std::int64_t pad,
+                    std::int64_t groups = 1) {
+  NetworkBuilder b("t", "Test", Chw(in_c, resolution, resolution));
+  b.Conv(out_c, kernel, stride, pad, groups);
+  return b.Build().layers()[0];
+}
+
+TEST(AlgorithmSelectionTest, DepthwiseWins) {
+  dnn::Layer conv = MakeConv(32, 56, 32, 3, 1, 1, /*groups=*/32);
+  EXPECT_EQ(SelectConvAlgorithm(conv.conv(), conv.inputs[0], conv.output),
+            ConvAlgorithm::kDepthwise);
+}
+
+TEST(AlgorithmSelectionTest, OneByOneIsImplicitGemm) {
+  dnn::Layer conv = MakeConv(64, 56, 256, 1, 1, 0);
+  EXPECT_EQ(SelectConvAlgorithm(conv.conv(), conv.inputs[0], conv.output),
+            ConvAlgorithm::kImplicitGemm);
+}
+
+TEST(AlgorithmSelectionTest, Stride1Deep3x3IsWinograd) {
+  dnn::Layer conv = MakeConv(64, 56, 64, 3, 1, 1);
+  EXPECT_EQ(SelectConvAlgorithm(conv.conv(), conv.inputs[0], conv.output),
+            ConvAlgorithm::kWinograd);
+}
+
+TEST(AlgorithmSelectionTest, LargeKernelStride1IsFft) {
+  dnn::Layer conv = MakeConv(64, 56, 64, 7, 1, 3);
+  EXPECT_EQ(SelectConvAlgorithm(conv.conv(), conv.inputs[0], conv.output),
+            ConvAlgorithm::kFft);
+}
+
+TEST(AlgorithmSelectionTest, StemConvIsIm2colGemm) {
+  // 3-channel 7x7 stride-2 stem: too shallow for FFT, kernel >= 5.
+  dnn::Layer conv = MakeConv(3, 224, 64, 7, 2, 3);
+  EXPECT_EQ(SelectConvAlgorithm(conv.conv(), conv.inputs[0], conv.output),
+            ConvAlgorithm::kIm2colGemm);
+}
+
+TEST(AlgorithmSelectionTest, ShallowChannelsGoDirect) {
+  dnn::Layer conv = MakeConv(8, 56, 8, 3, 2, 1);
+  EXPECT_EQ(SelectConvAlgorithm(conv.conv(), conv.inputs[0], conv.output),
+            ConvAlgorithm::kDirect);
+}
+
+TEST(LoweringTest, WinogradEmitsThreeKernelPipeline) {
+  dnn::Layer conv = MakeConv(64, 56, 64, 3, 1, 1);
+  std::vector<KernelLaunch> launches = LowerLayer(conv, 16);
+  ASSERT_EQ(launches.size(), 3u);
+  EXPECT_EQ(launches[0].driver, CostDriver::kInput);
+  EXPECT_EQ(launches[1].driver, CostDriver::kOperation);
+  EXPECT_EQ(launches[2].driver, CostDriver::kOutput);
+  EXPECT_EQ(launches[0].family, KernelFamily::kWinogradTransform);
+  EXPECT_EQ(launches[1].family, KernelFamily::kWinogradGemm);
+}
+
+TEST(LoweringTest, Im2colGemmEmitsTwoKernels) {
+  dnn::Layer conv = MakeConv(3, 224, 64, 7, 2, 3);
+  std::vector<KernelLaunch> launches = LowerLayer(conv, 8);
+  ASSERT_EQ(launches.size(), 2u);
+  EXPECT_EQ(launches[0].family, KernelFamily::kIm2col);
+  EXPECT_EQ(launches[0].driver, CostDriver::kInput);
+  EXPECT_EQ(launches[1].family, KernelFamily::kGemm);
+}
+
+TEST(LoweringTest, ConvBiasAddsElementwiseKernel) {
+  NetworkBuilder b("t", "Test", Chw(64, 28, 28));
+  b.Conv(64, 1, 1, 0, 1, /*bias=*/true);
+  std::vector<KernelLaunch> launches =
+      LowerLayer(b.Build().layers()[0], 4);
+  ASSERT_EQ(launches.size(), 2u);
+  EXPECT_EQ(launches[1].family, KernelFamily::kElementwise);
+  EXPECT_EQ(launches[1].driver, CostDriver::kOutput);
+}
+
+TEST(LoweringTest, FlattenAndDropoutLowerToNothing) {
+  NetworkBuilder b("t", "Test", Chw(16, 4, 4));
+  b.Flatten().Dropout();
+  dnn::Network net = b.Build();
+  EXPECT_TRUE(LowerLayer(net.layers()[0], 4).empty());
+  EXPECT_TRUE(LowerLayer(net.layers()[1], 4).empty());
+}
+
+TEST(LoweringTest, GemmFlopsAreTwiceTheoreticalMacs) {
+  // Executed FLOPs count multiply+add; thop counts multiplications only.
+  dnn::Layer conv = MakeConv(64, 56, 256, 1, 1, 0);
+  std::vector<KernelLaunch> launches = LowerLayer(conv, 32);
+  ASSERT_EQ(launches.size(), 1u);
+  EXPECT_EQ(launches[0].flops, 2 * dnn::LayerFlops(conv, 32));
+}
+
+TEST(LoweringTest, WinogradGemmSavesMultiplications) {
+  dnn::Layer conv = MakeConv(64, 56, 64, 3, 1, 1);
+  std::vector<KernelLaunch> launches = LowerLayer(conv, 32);
+  const double theoretical = 2.0 * dnn::LayerFlops(conv, 32);
+  EXPECT_LT(launches[1].flops, theoretical * 0.5);
+  EXPECT_GT(launches[1].flops, theoretical * 0.35);  // ~1/2.25
+}
+
+TEST(LoweringTest, LayerFeaturesAttachedToEveryKernel) {
+  dnn::Layer conv = MakeConv(64, 56, 64, 3, 1, 1);
+  for (const KernelLaunch& launch : LowerLayer(conv, 32)) {
+    EXPECT_EQ(launch.layer_kind, LayerKind::kConv2d);
+    EXPECT_EQ(launch.batch, 32);
+    EXPECT_EQ(launch.layer_flops, dnn::LayerFlops(conv, 32));
+    EXPECT_EQ(launch.input_elems, 32 * conv.InputElements());
+    EXPECT_EQ(launch.output_elems, 32 * conv.output.Elements());
+  }
+}
+
+TEST(LoweringTest, KernelNamesEncodeTileAndDepth) {
+  dnn::Layer conv = MakeConv(512, 14, 512, 1, 1, 0);
+  std::vector<KernelLaunch> launches = LowerLayer(conv, 64);
+  EXPECT_NE(launches[0].name.find("implicit_gemm_1x1_"),
+            std::string::npos);
+  EXPECT_NE(launches[0].name.find("_k512"), std::string::npos);
+}
+
+TEST(LoweringTest, ElementwiseVariantByProblemSize) {
+  NetworkBuilder b("t", "Test", Chw(64, 112, 112));
+  b.Relu();
+  dnn::Network big = b.Build();
+  EXPECT_NE(LowerLayer(big.layers()[0], 64)[0].name.find("vec4"),
+            std::string::npos);
+  NetworkBuilder b2("t", "Test", Chw(3, 5, 5));
+  b2.Relu();
+  dnn::Network small = b2.Build();
+  EXPECT_NE(LowerLayer(small.layers()[0], 1)[0].name.find("plain"),
+            std::string::npos);
+}
+
+TEST(LoweringTest, BytesAccountingIsConsistent) {
+  // Every kernel moves at least its layer's output bytes and a positive
+  // number of blocks.
+  dnn::Network net = zoo::BuildByName("resnet18");
+  for (const auto& launches : LowerNetwork(net, 16)) {
+    for (const KernelLaunch& launch : launches) {
+      EXPECT_GT(launch.bytes_out, 0) << launch.name;
+      EXPECT_GT(launch.bytes_in, 0) << launch.name;
+      EXPECT_GT(launch.blocks, 0) << launch.name;
+    }
+  }
+}
+
+TEST(LoweringTest, LowerNetworkAlignsWithLayers) {
+  dnn::Network net = zoo::BuildByName("alexnet");
+  auto lowered = LowerNetwork(net, 8);
+  ASSERT_EQ(lowered.size(), net.layers().size());
+  // AlexNet has no BN: every conv carries a bias kernel.
+  ASSERT_EQ(lowered[0].size(), 3u);  // im2col + gemm + bias (11x11 stem)
+}
+
+TEST(LoweringTest, DepthwiseKernelNameEncodesStride) {
+  dnn::Layer conv = MakeConv(32, 56, 32, 3, 2, 1, /*groups=*/32);
+  std::vector<KernelLaunch> launches = LowerLayer(conv, 4);
+  ASSERT_EQ(launches.size(), 1u);
+  EXPECT_EQ(launches[0].name, "dw_conv_3x3_s2");
+}
+
+TEST(LoweringTest, MatMulLowersToBatchedGemm) {
+  NetworkBuilder b("t", "Test", Chw(768, 128, 1));
+  b.MatMul(12, 128, 128, 64, Chw(12, 128, 128));
+  std::vector<KernelLaunch> launches =
+      LowerLayer(b.Build().layers()[0], 8);
+  ASSERT_EQ(launches.size(), 1u);
+  EXPECT_NE(launches[0].name.find("batched_gemm"), std::string::npos);
+  EXPECT_EQ(launches[0].flops, 2LL * 8 * 12 * 128 * 128 * 64);
+}
+
+}  // namespace
+}  // namespace gpuperf::gpuexec

@@ -1,0 +1,98 @@
+#include "models/lw_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "gpuexec/profiler.h"
+#include "test_support.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::models {
+namespace {
+
+using testing::SmallCampaign;
+
+class LwModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_.Train(SmallCampaign::Get().data(), SmallCampaign::Get().split());
+  }
+  LwModel model_;
+};
+
+TEST_F(LwModelTest, TrainsFitsForCommonLayerTypes) {
+  for (dnn::LayerKind kind :
+       {dnn::LayerKind::kConv2d, dnn::LayerKind::kBatchNorm,
+        dnn::LayerKind::kRelu, dnn::LayerKind::kLinear,
+        dnn::LayerKind::kMaxPool, dnn::LayerKind::kAdd}) {
+    EXPECT_NE(model_.FitFor("A100", kind), nullptr)
+        << dnn::LayerKindName(kind);
+  }
+}
+
+TEST_F(LwModelTest, NetworkPredictionIsSumOfLayerPredictions) {
+  dnn::Network net = zoo::BuildByName("resnet18");
+  double sum = 0;
+  for (const dnn::Layer& layer : net.layers()) {
+    sum += model_.PredictLayerUs(layer, "A100", 128);
+  }
+  EXPECT_NEAR(model_.PredictUs(net, gpuexec::GpuByName("A100"), 128), sum,
+              1e-6 * sum);
+}
+
+TEST_F(LwModelTest, UnseenLayerKindPredictsZero) {
+  dnn::Layer layer;
+  layer.kind = dnn::LayerKind::kEmbedding;  // absent from the CNN campaign
+  layer.params = dnn::EmbeddingParams{1000, 64};
+  layer.inputs = {dnn::Chw(1, 16, 1)};
+  layer.output = dnn::Chw(64, 16, 1);
+  EXPECT_DOUBLE_EQ(model_.PredictLayerUs(layer, "A100", 4), 0.0);
+}
+
+TEST_F(LwModelTest, LayerPredictionsAreNonNegative) {
+  dnn::Network net = zoo::BuildByName("mobilenet_v2");
+  for (const dnn::Layer& layer : net.layers()) {
+    EXPECT_GE(model_.PredictLayerUs(layer, "A100", 512), 0.0)
+        << layer.name;
+  }
+}
+
+TEST_F(LwModelTest, HeldOutErrorBetweenE2eAndKw) {
+  const auto& campaign = SmallCampaign::Get();
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  gpuexec::Profiler profiler(campaign.oracle());
+  std::vector<double> predicted, measured;
+  for (const dnn::Network* net : campaign.TestNetworks()) {
+    predicted.push_back(model_.PredictUs(*net, a100, 512));
+    measured.push_back(profiler.MeasureE2eUs(*net, a100, 512));
+  }
+  const double mape = Mape(predicted, measured);
+  EXPECT_LT(mape, 0.6);   // better than a broken model
+  EXPECT_GT(mape, 0.02);  // but not kernel-level accurate
+}
+
+TEST_F(LwModelTest, ConvSlopeReflectsGpuSpeed) {
+  const regression::LinearFit* a100 =
+      model_.FitFor("A100", dnn::LayerKind::kConv2d);
+  const regression::LinearFit* gtx =
+      model_.FitFor("GTX 1080 Ti", dnn::LayerKind::kConv2d);
+  ASSERT_NE(a100, nullptr);
+  ASSERT_NE(gtx, nullptr);
+  EXPECT_LT(a100->slope, gtx->slope);
+}
+
+TEST(LwModelBasics, SetFitInstallsFit) {
+  LwModel model;
+  regression::LinearFit fit;
+  fit.slope = 1e-6;
+  fit.intercept = 2.0;
+  model.SetFit("X", dnn::LayerKind::kRelu, fit);
+  const regression::LinearFit* got = model.FitFor("X", dnn::LayerKind::kRelu);
+  ASSERT_NE(got, nullptr);
+  EXPECT_DOUBLE_EQ(got->intercept, 2.0);
+}
+
+TEST(LwModelBasics, NameIsStable) { EXPECT_EQ(LwModel().Name(), "LW"); }
+
+}  // namespace
+}  // namespace gpuperf::models

@@ -1,0 +1,75 @@
+#include "dnn/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "dnn/flops.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::dnn {
+namespace {
+
+TEST(MemoryTest, FootprintGrowsWithBatch) {
+  Network net = zoo::BuildByName("resnet50");
+  std::int64_t previous = 0;
+  for (std::int64_t batch : {1, 8, 64, 512}) {
+    const std::int64_t footprint = InferenceFootprintBytes(net, batch);
+    EXPECT_GT(footprint, previous);
+    previous = footprint;
+  }
+}
+
+TEST(MemoryTest, FootprintIncludesWeights) {
+  Network net = zoo::BuildByName("vgg16");  // 138M params = 553 MB
+  EXPECT_GT(InferenceFootprintBytes(net, 1), NetworkWeightBytes(net));
+}
+
+TEST(MemoryTest, TrainingCostsMoreThanInference) {
+  Network net = zoo::BuildByName("resnet50");
+  EXPECT_GT(TrainingFootprintBytes(net, 64),
+            2 * InferenceFootprintBytes(net, 64));
+}
+
+TEST(MemoryTest, RealisticMagnitudes) {
+  // ResNet-50 inference at BS 256 runs comfortably on a 16 GB V100 but
+  // a 2 GB Quadro P620 cannot hold that batch.
+  Network net = zoo::BuildByName("resnet50");
+  EXPECT_TRUE(FitsInMemory(InferenceFootprintBytes(net, 256), 16));
+  EXPECT_FALSE(FitsInMemory(InferenceFootprintBytes(net, 256), 2));
+}
+
+TEST(MemoryTest, BigVggAtBs512DoesNotFitElevenGb) {
+  // The motivating case for the paper's out-of-memory data cleaning.
+  Network net = zoo::BuildByName("vgg19_bn");
+  EXPECT_FALSE(FitsInMemory(InferenceFootprintBytes(net, 512), 11));
+  EXPECT_TRUE(FitsInMemory(InferenceFootprintBytes(net, 512), 40));
+}
+
+TEST(MemoryTest, LargestFittingBatchIsMonotoneInMemory) {
+  Network net = zoo::BuildByName("resnet18");
+  std::int64_t previous = 0;
+  for (double memory_gb : {2.0, 11.0, 24.0, 40.0}) {
+    const std::int64_t batch = LargestFittingBatch(net, memory_gb);
+    EXPECT_GE(batch, previous);
+    previous = batch;
+  }
+  EXPECT_GE(previous, 256);
+}
+
+TEST(MemoryTest, LargestFittingBatchRespectsLimit) {
+  Network net = zoo::BuildByName("mobilenet_v2");
+  EXPECT_LE(LargestFittingBatch(net, 1000.0, 64), 64);
+}
+
+TEST(MemoryTest, ZeroForImpossiblyTinyDevice) {
+  Network net = zoo::BuildByName("vgg19");
+  EXPECT_EQ(LargestFittingBatch(net, 0.1), 0);
+}
+
+TEST(MemoryDeathTest, NonPositiveBatchAborts) {
+  Network net = zoo::BuildByName("alexnet");
+  EXPECT_DEATH(InferenceFootprintBytes(net, 0), "check failed");
+  EXPECT_DEATH(TrainingFootprintBytes(net, -1), "check failed");
+}
+
+}  // namespace
+}  // namespace gpuperf::dnn

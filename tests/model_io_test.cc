@@ -1,0 +1,69 @@
+#include "models/model_io.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::models {
+namespace {
+
+using testing::SmallCampaign;
+
+TEST(ModelIoTest, SaveLoadRoundTripPreservesPredictions) {
+  KwModel original;
+  original.Train(SmallCampaign::Get().data(), SmallCampaign::Get().split());
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gpuperf_model_io").string();
+  std::filesystem::create_directories(dir);
+  ModelIo::SaveKw(original, dir);
+  KwModel loaded = ModelIo::LoadKw(dir);
+
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  for (const char* name : {"resnet50", "vgg16_bn", "mobilenet_v2",
+                           "densenet121", "googlenet"}) {
+    dnn::Network net = zoo::BuildByName(name);
+    EXPECT_NEAR(loaded.PredictUs(net, a100, 256),
+                original.PredictUs(net, a100, 256),
+                1e-6 * original.PredictUs(net, a100, 256))
+        << name;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelIoTest, RoundTripPreservesKernelModels) {
+  KwModel original;
+  original.Train(SmallCampaign::Get().data(), SmallCampaign::Get().split());
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gpuperf_model_io2")
+          .string();
+  std::filesystem::create_directories(dir);
+  ModelIo::SaveKw(original, dir);
+  KwModel loaded = ModelIo::LoadKw(dir);
+
+  const auto& original_kernels = original.KernelModels("A40");
+  const auto& loaded_kernels = loaded.KernelModels("A40");
+  ASSERT_EQ(loaded_kernels.size(), original_kernels.size());
+  for (const auto& [name, km] : original_kernels) {
+    auto it = loaded_kernels.find(name);
+    ASSERT_NE(it, loaded_kernels.end()) << name;
+    EXPECT_EQ(it->second.driver, km.driver) << name;
+    EXPECT_NEAR(it->second.fit.slope, km.fit.slope,
+                1e-9 * std::abs(km.fit.slope) + 1e-18);
+    EXPECT_NEAR(it->second.fit.intercept, km.fit.intercept, 1e-6);
+    EXPECT_EQ(it->second.cluster_id, km.cluster_id);
+  }
+  EXPECT_EQ(loaded.MappingTable().size(), original.MappingTable().size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelIoDeathTest, LoadFromMissingDirectoryIsFatal) {
+  EXPECT_EXIT(ModelIo::LoadKw("/nonexistent/model/dir"),
+              ::testing::ExitedWithCode(1), "cannot open");
+}
+
+}  // namespace
+}  // namespace gpuperf::models

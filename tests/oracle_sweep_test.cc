@@ -1,0 +1,110 @@
+// Property sweep of the hardware oracle over every (GPU, kernel family)
+// pair: timing invariants that must hold regardless of the quirk draws.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gpuexec/oracle.h"
+
+namespace gpuperf::gpuexec {
+namespace {
+
+constexpr KernelFamily kFamilies[] = {
+    KernelFamily::kGemm,        KernelFamily::kImplicitGemm,
+    KernelFamily::kWinogradGemm, KernelFamily::kDepthwiseConv,
+    KernelFamily::kElementwise, KernelFamily::kBatchNorm,
+    KernelFamily::kPooling,     KernelFamily::kCopy,
+};
+
+struct SweepCase {
+  std::string gpu;
+  KernelFamily family;
+};
+
+std::vector<SweepCase> Sweep() {
+  std::vector<SweepCase> cases;
+  for (const GpuSpec& gpu : AllGpus()) {
+    for (KernelFamily family : kFamilies) {
+      cases.push_back({gpu.name, family});
+    }
+  }
+  return cases;
+}
+
+class OracleSweepTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  KernelLaunch Launch(std::int64_t scale) const {
+    KernelLaunch launch;
+    launch.name = "sweep_kernel";
+    launch.family = GetParam().family;
+    launch.flops = 1'000'000 * scale;
+    launch.bytes_in = 400'000 * scale;
+    launch.bytes_out = 400'000 * scale;
+    launch.blocks = 100 * scale;
+    launch.batch = 1;
+    launch.layer_flops = launch.flops;
+    launch.input_elems = 100'000 * scale;
+    launch.output_elems = 100'000 * scale;
+    return launch;
+  }
+  const GpuSpec& Gpu() const { return GpuByName(GetParam().gpu); }
+  HardwareOracle oracle_;
+};
+
+TEST_P(OracleSweepTest, TimePositiveAndFinite) {
+  for (std::int64_t scale : {1, 10, 1000}) {
+    const double t = oracle_.ExpectedKernelTimeUs(Launch(scale), Gpu());
+    EXPECT_GT(t, 0.0);
+    EXPECT_TRUE(std::isfinite(t));
+  }
+}
+
+TEST_P(OracleSweepTest, WeaklyMonotoneInScale) {
+  double previous = 0;
+  for (std::int64_t scale : {1, 4, 16, 64, 256}) {
+    const double t = oracle_.ExpectedKernelTimeUs(Launch(scale), Gpu());
+    EXPECT_GE(t, previous * 0.999) << "scale " << scale;
+    previous = t;
+  }
+}
+
+TEST_P(OracleSweepTest, AsymptoticallyLinearInScale) {
+  // Once the grid saturates, 4x work must take ~4x time (within the
+  // occupancy sawtooth).
+  const double at_256 = oracle_.ExpectedKernelTimeUs(Launch(256), Gpu());
+  const double at_1024 = oracle_.ExpectedKernelTimeUs(Launch(1024), Gpu());
+  EXPECT_NEAR(at_1024 / at_256, 4.0, 1.0);
+}
+
+TEST_P(OracleSweepTest, NoiseIsBoundedAroundExpectation) {
+  const KernelLaunch launch = Launch(64);
+  const double expected = oracle_.ExpectedKernelTimeUs(launch, Gpu());
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const double sample = oracle_.MeasureKernelTimeUs(launch, Gpu(), &rng);
+    EXPECT_GT(sample, expected * 0.8);
+    EXPECT_LT(sample, expected * 1.25);
+  }
+}
+
+TEST_P(OracleSweepTest, SameLaunchSameTimeAcrossOracleInstances) {
+  HardwareOracle other;  // same default config/seed
+  const KernelLaunch launch = Launch(32);
+  EXPECT_DOUBLE_EQ(oracle_.ExpectedKernelTimeUs(launch, Gpu()),
+                   other.ExpectedKernelTimeUs(launch, Gpu()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGpusAllFamilies, OracleSweepTest, ::testing::ValuesIn(Sweep()),
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      std::string name = param_info.param.gpu + "_" +
+                         KernelFamilyName(param_info.param.family);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace gpuperf::gpuexec

@@ -1,0 +1,191 @@
+#include "gpuexec/oracle.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "dnn/builder.h"
+#include "gpuexec/lowering.h"
+
+namespace gpuperf::gpuexec {
+namespace {
+
+using dnn::Chw;
+
+KernelLaunch MakeLaunch(KernelFamily family, std::int64_t flops,
+                        std::int64_t bytes, std::int64_t blocks) {
+  KernelLaunch launch;
+  launch.name = "test_kernel";
+  launch.family = family;
+  launch.flops = flops;
+  launch.bytes_in = bytes / 2;
+  launch.bytes_out = bytes - bytes / 2;
+  launch.blocks = blocks;
+  launch.batch = 1;
+  launch.layer_flops = flops;
+  launch.input_elems = bytes / 8;
+  launch.output_elems = bytes / 8;
+  return launch;
+}
+
+TEST(OracleTest, ExpectedTimeIsDeterministic) {
+  HardwareOracle oracle;
+  KernelLaunch launch =
+      MakeLaunch(KernelFamily::kGemm, 1'000'000'000, 10'000'000, 5000);
+  const GpuSpec& a100 = GpuByName("A100");
+  EXPECT_DOUBLE_EQ(oracle.ExpectedKernelTimeUs(launch, a100),
+                   oracle.ExpectedKernelTimeUs(launch, a100));
+}
+
+TEST(OracleTest, TimeIncludesFixedOverhead) {
+  HardwareOracle oracle;
+  KernelLaunch tiny = MakeLaunch(KernelFamily::kElementwise, 100, 800, 1);
+  EXPECT_GE(oracle.ExpectedKernelTimeUs(tiny, GpuByName("A100")),
+            oracle.config().kernel_overhead_us);
+}
+
+TEST(OracleTest, MoreWorkTakesLonger) {
+  HardwareOracle oracle;
+  const GpuSpec& gpu = GpuByName("V100");
+  KernelLaunch small =
+      MakeLaunch(KernelFamily::kGemm, 1e9, 1e7, 10000);
+  KernelLaunch large = small;
+  large.flops *= 8;
+  large.bytes_in *= 8;
+  large.bytes_out *= 8;
+  large.blocks *= 8;
+  EXPECT_GT(oracle.ExpectedKernelTimeUs(large, gpu),
+            oracle.ExpectedKernelTimeUs(small, gpu));
+}
+
+TEST(OracleTest, MemoryBoundKernelScalesWithBandwidth) {
+  HardwareOracle oracle;
+  KernelLaunch launch =
+      MakeLaunch(KernelFamily::kElementwise, 1'000'000, 400'000'000, 100000);
+  const GpuSpec& titan = GpuByName("TITAN RTX");
+  const double at_stock = oracle.ExpectedKernelTimeUs(launch, titan);
+  const double at_double =
+      oracle.ExpectedKernelTimeUs(launch, titan.WithBandwidth(1344));
+  // Doubling bandwidth should nearly halve a memory-bound kernel's time.
+  EXPECT_NEAR(at_stock / at_double, 2.0, 0.15);
+}
+
+TEST(OracleTest, ComputeBoundKernelInsensitiveToSmallBwChange) {
+  HardwareOracle oracle;
+  // Very high arithmetic intensity.
+  KernelLaunch launch =
+      MakeLaunch(KernelFamily::kGemm, 4e12, 1e7, 100000);
+  const GpuSpec& titan = GpuByName("TITAN RTX");
+  const double at_stock = oracle.ExpectedKernelTimeUs(launch, titan);
+  const double at_higher =
+      oracle.ExpectedKernelTimeUs(launch, titan.WithBandwidth(742));
+  // +10% bandwidth moves a compute-bound kernel far less than 10%.
+  EXPECT_LT(at_stock / at_higher, 1.08);
+}
+
+TEST(OracleTest, OccupancyPenalizesTinyGrids) {
+  HardwareOracle oracle;
+  const GpuSpec& a100 = GpuByName("A100");
+  KernelLaunch wide =
+      MakeLaunch(KernelFamily::kElementwise, 1e6, 8e6, 100000);
+  KernelLaunch narrow = wide;
+  narrow.blocks = 4;  // same work crammed into 4 blocks
+  EXPECT_GT(oracle.ExpectedKernelTimeUs(narrow, a100),
+            oracle.ExpectedKernelTimeUs(wide, a100));
+}
+
+TEST(OracleTest, MeasurementNoiseMatchesConfiguredSigma) {
+  OracleConfig config;
+  config.measurement_sigma = 0.05;
+  HardwareOracle oracle(config);
+  KernelLaunch launch =
+      MakeLaunch(KernelFamily::kGemm, 1e10, 1e8, 10000);
+  const GpuSpec& gpu = GpuByName("A40");
+  const double expected = oracle.ExpectedKernelTimeUs(launch, gpu);
+  Rng rng(123);
+  std::vector<double> log_ratio;
+  for (int i = 0; i < 20000; ++i) {
+    log_ratio.push_back(
+        std::log(oracle.MeasureKernelTimeUs(launch, gpu, &rng) / expected));
+  }
+  EXPECT_NEAR(Mean(log_ratio), 0.0, 0.003);
+  EXPECT_NEAR(StdDev(log_ratio), 0.05, 0.005);
+}
+
+TEST(OracleTest, DifferentSeedsChangeQuirks) {
+  OracleConfig a, b;
+  b.seed = a.seed + 1;
+  HardwareOracle oracle_a(a), oracle_b(b);
+  KernelLaunch launch =
+      MakeLaunch(KernelFamily::kImplicitGemm, 1e10, 1e8, 10000);
+  const GpuSpec& gpu = GpuByName("V100");
+  EXPECT_NE(oracle_a.ExpectedKernelTimeUs(launch, gpu),
+            oracle_b.ExpectedKernelTimeUs(launch, gpu));
+}
+
+// O3 foundation: doubling the batch doubles the expected time of a
+// saturated kernel (same per-image quirk key).
+class BatchScalingTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BatchScalingTest, TimeScalesWithBatchWhenSaturated) {
+  const std::int64_t factor = GetParam();
+  HardwareOracle oracle;
+  const GpuSpec& gpu = GpuByName("A100");
+  dnn::NetworkBuilder b("t", "Test", Chw(64, 56, 56));
+  b.Conv(64, 3, 1, 1);
+  dnn::Network net = b.Build();
+  auto at_batch = [&](std::int64_t batch) {
+    double total = 0;
+    for (const KernelLaunch& launch :
+         LowerLayer(net.layers()[0], batch)) {
+      total += oracle.ExpectedKernelTimeUs(launch, gpu);
+    }
+    return total;
+  };
+  const double base = at_batch(64);
+  const double scaled = at_batch(64 * factor);
+  EXPECT_NEAR(scaled / base, static_cast<double>(factor),
+              0.15 * static_cast<double>(factor));
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, BatchScalingTest,
+                         ::testing::Values(2, 4, 8));
+
+TEST(OracleTest, SustainedPeakCapsMarketingTflops) {
+  // The A40's dual-issue 37.4 TFLOPS must not be reachable: a giant
+  // compute-bound GEMM on A40 (696 GB/s) must run at a lower achieved
+  // rate than on A100 despite the A40's higher theoretical peak.
+  HardwareOracle oracle;
+  KernelLaunch launch =
+      MakeLaunch(KernelFamily::kGemm, 1e13, 1e8, 200000);
+  const double on_a40 =
+      oracle.ExpectedKernelTimeUs(launch, GpuByName("A40"));
+  const double on_a100 =
+      oracle.ExpectedKernelTimeUs(launch, GpuByName("A100"));
+  EXPECT_GT(on_a40, on_a100);
+}
+
+TEST(OracleTest, ProfileTableCoversAllFamilies) {
+  for (int f = 0; f <= static_cast<int>(KernelFamily::kGather); ++f) {
+    const FamilyProfile& profile =
+        ProfileFor(static_cast<KernelFamily>(f));
+    EXPECT_GT(profile.compute_eff, 0.0);
+    EXPECT_LE(profile.compute_eff, 1.0);
+    EXPECT_GT(profile.memory_eff, 0.0);
+    EXPECT_LE(profile.memory_eff, 1.0);
+    EXPECT_GT(profile.blocks_per_sm, 0);
+  }
+}
+
+TEST(OracleDeathTest, NullRngIsError) {
+  HardwareOracle oracle;
+  KernelLaunch launch = MakeLaunch(KernelFamily::kGemm, 1e9, 1e7, 100);
+  EXPECT_DEATH(
+      oracle.MeasureKernelTimeUs(launch, GpuByName("A100"), nullptr),
+      "check failed");
+}
+
+}  // namespace
+}  // namespace gpuperf::gpuexec

@@ -1,0 +1,144 @@
+#include "simsys/pipeline_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace gpuperf::simsys {
+namespace {
+
+TEST(BalancedPartitionTest, SingleStageTakesEverything) {
+  EXPECT_EQ(BalancedPartition({1, 2, 3}, 1), (std::vector<int>{0}));
+}
+
+TEST(BalancedPartitionTest, UniformWeightsSplitEvenly) {
+  std::vector<double> weights(8, 1.0);
+  EXPECT_EQ(BalancedPartition(weights, 4), (std::vector<int>{0, 2, 4, 6}));
+}
+
+TEST(BalancedPartitionTest, HeavyLayerGetsItsOwnStage) {
+  // One layer dominates: the optimum isolates it.
+  std::vector<double> weights{1, 1, 100, 1, 1};
+  std::vector<int> boundaries = BalancedPartition(weights, 3);
+  // The heavy layer (index 2) must be alone or nearly alone.
+  double heavy_stage_sum = 0;
+  for (std::size_t s = 0; s < boundaries.size(); ++s) {
+    const int begin = boundaries[s];
+    const int end = s + 1 < boundaries.size()
+                        ? boundaries[s + 1]
+                        : static_cast<int>(weights.size());
+    if (begin <= 2 && 2 < end) {
+      for (int i = begin; i < end; ++i) heavy_stage_sum += weights[i];
+    }
+  }
+  EXPECT_LE(heavy_stage_sum, 102.0);
+}
+
+TEST(BalancedPartitionTest, OptimalMaxSegmentOnRandomInstances) {
+  // Cross-check the DP against brute force on small instances.
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 5 + static_cast<int>(rng.NextBelow(4));
+    const int stages = 2 + static_cast<int>(rng.NextBelow(2));
+    std::vector<double> weights(n);
+    for (double& w : weights) w = rng.NextRange(1, 10);
+
+    auto max_segment = [&](const std::vector<int>& bounds) {
+      double worst = 0;
+      for (std::size_t s = 0; s < bounds.size(); ++s) {
+        const int begin = bounds[s];
+        const int end = s + 1 < bounds.size() ? bounds[s + 1] : n;
+        double sum = 0;
+        for (int i = begin; i < end; ++i) sum += weights[i];
+        worst = std::max(worst, sum);
+      }
+      return worst;
+    };
+
+    const double dp_value = max_segment(BalancedPartition(weights, stages));
+    // Brute force over all boundary placements (3 stages max).
+    double best = 1e300;
+    if (stages == 2) {
+      for (int c = 1; c < n; ++c) best = std::min(best, max_segment({0, c}));
+    } else {
+      for (int c1 = 1; c1 < n - 1; ++c1) {
+        for (int c2 = c1 + 1; c2 < n; ++c2) {
+          best = std::min(best, max_segment({0, c1, c2}));
+        }
+      }
+    }
+    EXPECT_NEAR(dp_value, best, 1e-9) << "trial " << trial;
+  }
+}
+
+PipelineConfig Config(int stages, int micro) {
+  PipelineConfig config;
+  config.num_stages = stages;
+  config.micro_batches = micro;
+  config.link_bandwidth_gbps = 1e6;  // effectively free links
+  config.link_latency_us = 0;
+  return config;
+}
+
+TEST(PipelineTest, SingleStageMatchesSequentialExecution) {
+  std::vector<double> fwd{10, 20}, bwd{20, 40};
+  std::vector<std::int64_t> acts{100, 100};
+  PipelineResult result = SimulatePipeline(fwd, bwd, acts, Config(1, 4));
+  EXPECT_NEAR(result.step_time_us, 4 * (30 + 60), 1e-9);
+  EXPECT_NEAR(result.bubble_fraction, 0.0, 1e-9);
+}
+
+TEST(PipelineTest, BubbleMatchesGpipeFormulaForBalancedStages) {
+  // 4 identical layers over 4 stages: bubble = (S-1)/(M+S-1).
+  std::vector<double> fwd(4, 10.0), bwd(4, 20.0);
+  std::vector<std::int64_t> acts(4, 0);
+  for (int micro : {1, 2, 8, 32}) {
+    PipelineResult result =
+        SimulatePipeline(fwd, bwd, acts, Config(4, micro));
+    const double expected = 3.0 / (micro + 3.0);
+    EXPECT_NEAR(result.bubble_fraction, expected, 0.02) << micro;
+  }
+}
+
+TEST(PipelineTest, MoreMicroBatchesShrinkTheBubble) {
+  std::vector<double> fwd(16, 5.0), bwd(16, 10.0);
+  std::vector<std::int64_t> acts(16, 1'000'000);
+  PipelineConfig config = Config(4, 2);
+  config.link_bandwidth_gbps = 64;
+  double previous = 1.0;
+  for (int micro : {2, 4, 16, 64}) {
+    config.micro_batches = micro;
+    PipelineResult result = SimulatePipeline(fwd, bwd, acts, config);
+    EXPECT_LT(result.bubble_fraction, previous);
+    previous = result.bubble_fraction;
+  }
+}
+
+TEST(PipelineTest, StepBoundedBelowByBusiestStage) {
+  std::vector<double> fwd{5, 50, 5}, bwd{10, 100, 10};
+  std::vector<std::int64_t> acts(3, 0);
+  PipelineResult result = SimulatePipeline(fwd, bwd, acts, Config(3, 8));
+  EXPECT_GE(result.step_time_us, 8 * 150.0 - 1e-9);  // the heavy stage
+}
+
+TEST(PipelineTest, SlowLinksIncreaseStepTime) {
+  std::vector<double> fwd(8, 10.0), bwd(8, 20.0);
+  std::vector<std::int64_t> acts(8, 50'000'000);
+  PipelineConfig fast = Config(4, 8);
+  fast.link_bandwidth_gbps = 300;
+  PipelineConfig slow = Config(4, 8);
+  slow.link_bandwidth_gbps = 4;
+  EXPECT_GT(SimulatePipeline(fwd, bwd, acts, slow).step_time_us,
+            SimulatePipeline(fwd, bwd, acts, fast).step_time_us);
+}
+
+TEST(PipelineDeathTest, MoreStagesThanLayersAborts) {
+  std::vector<double> fwd{1, 1};
+  std::vector<double> bwd{1, 1};
+  std::vector<std::int64_t> acts{1, 1};
+  EXPECT_DEATH(SimulatePipeline(fwd, bwd, acts, Config(3, 2)),
+               "check failed");
+}
+
+}  // namespace
+}  // namespace gpuperf::simsys

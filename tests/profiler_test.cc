@@ -1,0 +1,142 @@
+#include "gpuexec/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "dnn/flops.h"
+#include "gpuexec/lowering.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::gpuexec {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  HardwareOracle oracle_;
+  Profiler profiler_{oracle_};
+  dnn::Network net_ = zoo::BuildByName("resnet18");
+  const GpuSpec& a100_ = GpuByName("A100");
+};
+
+TEST_F(ProfilerTest, TraceMatchesLowering) {
+  NetworkProfile profile = profiler_.Profile(net_, a100_, 32);
+  auto lowered = LowerNetwork(net_, 32);
+  std::size_t launches = 0;
+  for (const auto& layer : lowered) launches += layer.size();
+  EXPECT_EQ(profile.kernels.size(), launches);
+  // Kernel names and layer indices line up one-to-one with the lowering.
+  std::size_t i = 0;
+  for (std::size_t layer = 0; layer < lowered.size(); ++layer) {
+    for (const KernelLaunch& launch : lowered[layer]) {
+      EXPECT_EQ(profile.kernels[i].kernel_name, launch.name);
+      EXPECT_EQ(profile.kernels[i].layer_index, static_cast<int>(layer));
+      ++i;
+    }
+  }
+}
+
+TEST_F(ProfilerTest, MetadataIsFilledIn) {
+  NetworkProfile profile = profiler_.Profile(net_, a100_, 16);
+  EXPECT_EQ(profile.network_name, "resnet18");
+  EXPECT_EQ(profile.network_family, "ResNet");
+  EXPECT_EQ(profile.gpu_name, "A100");
+  EXPECT_EQ(profile.batch, 16);
+  EXPECT_EQ(profile.total_flops, dnn::NetworkFlops(net_, 16));
+}
+
+TEST_F(ProfilerTest, BusyTimeIsSumOfKernelTimes) {
+  NetworkProfile profile = profiler_.Profile(net_, a100_, 32);
+  double sum = 0;
+  for (const KernelRecord& record : profile.kernels) sum += record.time_us;
+  EXPECT_NEAR(profile.gpu_busy_us, sum, 1e-6 * sum);
+}
+
+TEST_F(ProfilerTest, LayerTimesSumToBusy) {
+  NetworkProfile profile = profiler_.Profile(net_, a100_, 32);
+  std::vector<double> layer_times =
+      profile.LayerTimesUs(net_.layers().size());
+  double sum = 0;
+  for (double t : layer_times) sum += t;
+  EXPECT_NEAR(sum, profile.gpu_busy_us, 1e-6 * sum);
+}
+
+TEST_F(ProfilerTest, E2eWithinWallJitterOfBusy) {
+  // e2e = timeline end (>= busy) times a small wall factor; it can be a
+  // few percent either side of busy but never wildly below it.
+  NetworkProfile profile = profiler_.Profile(net_, a100_, 256);
+  EXPECT_GT(profile.e2e_time_us, 0.75 * profile.gpu_busy_us);
+  EXPECT_LT(profile.e2e_time_us, 1.5 * profile.gpu_busy_us);
+}
+
+TEST_F(ProfilerTest, ProfileIsDeterministic) {
+  NetworkProfile a = profiler_.Profile(net_, a100_, 32);
+  NetworkProfile b = profiler_.Profile(net_, a100_, 32);
+  EXPECT_DOUBLE_EQ(a.e2e_time_us, b.e2e_time_us);
+  for (std::size_t i = 0; i < a.kernels.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.kernels[i].time_us, b.kernels[i].time_us);
+  }
+}
+
+TEST_F(ProfilerTest, MeasureE2eAgreesWithProfile) {
+  NetworkProfile profile = profiler_.Profile(net_, a100_, 64);
+  EXPECT_DOUBLE_EQ(profiler_.MeasureE2eUs(net_, a100_, 64),
+                   profile.e2e_time_us);
+}
+
+TEST_F(ProfilerTest, SmallBatchIsLaunchBound) {
+  // At batch 1 the CPU issue rate dominates: e2e must clearly exceed
+  // what linear scaling from a saturated batch would give (O1's
+  // small-FLOPs deviation in Figure 3).
+  const double at_1 = profiler_.MeasureE2eUs(net_, a100_, 1);
+  const double at_256 = profiler_.MeasureE2eUs(net_, a100_, 256);
+  EXPECT_GT(at_1, at_256 / 256 * 2);
+}
+
+TEST_F(ProfilerTest, MoreMeasuredBatchesReducesKernelVariance) {
+  // Averaging over more batches tightens each kernel's time estimate
+  // (the paper measures batches 21..50 for this reason).
+  OracleConfig noisy;
+  noisy.measurement_sigma = 0.2;
+  HardwareOracle oracle(noisy);
+  auto mean_abs_error = [&](int reps) {
+    Profiler profiler(oracle, reps);
+    NetworkProfile profile = profiler.Profile(net_, a100_, 64);
+    auto lowered = LowerNetwork(net_, 64);
+    double total = 0;
+    int count = 0;
+    std::size_t i = 0;
+    for (const auto& layer : lowered) {
+      for (const KernelLaunch& launch : layer) {
+        const double expected = oracle.ExpectedKernelTimeUs(launch, a100_);
+        total += std::abs(profile.kernels[i].time_us - expected) / expected;
+        ++count;
+        ++i;
+      }
+    }
+    return total / count;
+  };
+  EXPECT_LT(mean_abs_error(100), mean_abs_error(2));
+}
+
+TEST_F(ProfilerTest, EfficiencyReportIsPositiveAndBelowOne) {
+  NetworkProfile profile = profiler_.Profile(net_, a100_, 256);
+  EfficiencyReport report = ComputeEfficiency(net_, profile, a100_);
+  EXPECT_GT(report.bandwidth_efficiency, 0.0);
+  EXPECT_LT(report.bandwidth_efficiency, 1.0);
+  EXPECT_GT(report.compute_efficiency, 0.0);
+  EXPECT_LT(report.compute_efficiency, 1.0);
+}
+
+TEST_F(ProfilerTest, FasterGpuRunsFaster) {
+  const double on_a100 = profiler_.MeasureE2eUs(net_, a100_, 256);
+  const double on_p620 =
+      profiler_.MeasureE2eUs(net_, GpuByName("Quadro P620"), 256);
+  EXPECT_GT(on_p620, 3 * on_a100);
+}
+
+TEST(ProfilerDeathTest, ZeroMeasuredBatchesIsError) {
+  HardwareOracle oracle;
+  EXPECT_DEATH(Profiler(oracle, 0), "check failed");
+}
+
+}  // namespace
+}  // namespace gpuperf::gpuexec

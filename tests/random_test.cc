@@ -1,0 +1,124 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace gpuperf {
+namespace {
+
+TEST(StableHashTest, IsDeterministic) {
+  EXPECT_EQ(StableHash("kernel_a"), StableHash("kernel_a"));
+  EXPECT_NE(StableHash("kernel_a"), StableHash("kernel_b"));
+}
+
+TEST(StableHashTest, EmptyStringHashesToFnvOffset) {
+  EXPECT_EQ(StableHash(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextRange(-3.5, 12.25);
+    EXPECT_GE(v, -3.5);
+    EXPECT_LT(v, 12.25);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.NextBelow(8);
+    EXPECT_LT(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngDeathTest, NextBelowZeroIsError) {
+  Rng rng(10);
+  EXPECT_DEATH(rng.NextBelow(0), "check failed");
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0, sum_sq = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+class LogNormalSigmaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LogNormalSigmaTest, LogMomentsMatchSigma) {
+  const double sigma = GetParam();
+  Rng rng(12);
+  double log_sum = 0, log_sum_sq = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.NextLogNormal(sigma);
+    EXPECT_GT(v, 0.0);
+    const double lv = std::log(v);
+    log_sum += lv;
+    log_sum_sq += lv * lv;
+  }
+  EXPECT_NEAR(log_sum / kN, 0.0, 4 * sigma / std::sqrt(kN) + 1e-12);
+  EXPECT_NEAR(std::sqrt(log_sum_sq / kN), sigma, 0.05 * sigma + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, LogNormalSigmaTest,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.25, 0.5));
+
+TEST(KeyedTest, KeyedLogNormalDeterministicPerKey) {
+  EXPECT_DOUBLE_EQ(KeyedLogNormal(5, "gpu/kernel", 0.1),
+                   KeyedLogNormal(5, "gpu/kernel", 0.1));
+  EXPECT_NE(KeyedLogNormal(5, "gpu/kernel", 0.1),
+            KeyedLogNormal(5, "gpu/other", 0.1));
+  EXPECT_NE(KeyedLogNormal(5, "gpu/kernel", 0.1),
+            KeyedLogNormal(6, "gpu/kernel", 0.1));
+}
+
+TEST(KeyedTest, KeyedUniformWithinBounds) {
+  for (int i = 0; i < 200; ++i) {
+    double v = KeyedUniform(3, "key" + std::to_string(i), 2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace gpuperf

@@ -1,0 +1,94 @@
+#include "gpuexec/roofline.h"
+
+#include <gtest/gtest.h>
+
+#include "dnn/builder.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::gpuexec {
+namespace {
+
+TEST(RooflineTest, RidgePointFromTable1) {
+  RooflineReport report =
+      AnalyzeRoofline(zoo::BuildByName("alexnet"), GpuByName("A100"), 64);
+  EXPECT_NEAR(report.ridge_intensity, 19.5e12 / 1555e9, 1e-9);
+}
+
+TEST(RooflineTest, SkipsViewLayers) {
+  dnn::Network net = zoo::BuildByName("alexnet");
+  RooflineReport report = AnalyzeRoofline(net, GpuByName("V100"), 64);
+  // Flatten/Dropout launch nothing and must not appear.
+  for (const LayerRoofline& layer : report.layers) {
+    EXPECT_NE(layer.kind, dnn::LayerKind::kFlatten);
+    EXPECT_NE(layer.kind, dnn::LayerKind::kDropout);
+  }
+  EXPECT_LT(report.layers.size(), net.layers().size());
+}
+
+TEST(RooflineTest, ElementwiseLayersAreMemoryBound) {
+  dnn::NetworkBuilder b("t", "Test", dnn::Chw(64, 56, 56));
+  b.Relu().BatchNorm();
+  RooflineReport report =
+      AnalyzeRoofline(b.Build(), GpuByName("A100"), 64);
+  ASSERT_EQ(report.layers.size(), 2u);
+  for (const LayerRoofline& layer : report.layers) {
+    EXPECT_TRUE(layer.memory_bound) << dnn::LayerKindName(layer.kind);
+    EXPECT_LT(layer.operational_intensity, 2.0);
+  }
+}
+
+TEST(RooflineTest, WideConvIsComputeBoundOnA100) {
+  dnn::NetworkBuilder b("t", "Test", dnn::Chw(256, 28, 28));
+  b.Conv(256, 3, 1, 1);
+  RooflineReport report =
+      AnalyzeRoofline(b.Build(), GpuByName("A100"), 256);
+  ASSERT_FALSE(report.layers.empty());
+  // The winograd gemm dominates; aggregate intensity exceeds the ridge.
+  EXPECT_FALSE(report.layers[0].memory_bound);
+}
+
+TEST(RooflineTest, AttainablePerformanceIsCapped) {
+  const GpuSpec& a100 = GpuByName("A100");
+  RooflineReport report =
+      AnalyzeRoofline(zoo::BuildByName("resnet50"), a100, 256);
+  for (const LayerRoofline& layer : report.layers) {
+    EXPECT_LE(layer.attainable_gflops, a100.PeakFlops() / 1e9 + 1e-6);
+    EXPECT_GT(layer.attainable_gflops, 0.0);
+    if (layer.memory_bound) {
+      EXPECT_NEAR(layer.attainable_gflops,
+                  layer.operational_intensity *
+                      a100.BandwidthBytesPerSec() / 1e9,
+                  1e-6 * layer.attainable_gflops);
+    }
+  }
+}
+
+TEST(RooflineTest, LowerBandwidthMakesMoreLayersComputeBound) {
+  dnn::Network net = zoo::BuildByName("resnet50");
+  const GpuSpec& titan = GpuByName("TITAN RTX");
+  RooflineReport stock = AnalyzeRoofline(net, titan, 256);
+  RooflineReport throttled =
+      AnalyzeRoofline(net, titan.WithBandwidth(100), 256);
+  // Lower bandwidth raises the ridge point: more layers memory-bound.
+  EXPECT_GE(throttled.memory_bound_layers, stock.memory_bound_layers);
+  EXPECT_GT(throttled.ridge_intensity, stock.ridge_intensity);
+}
+
+TEST(RooflineTest, MemoryBoundShareIsAFraction) {
+  RooflineReport report = AnalyzeRoofline(
+      zoo::BuildByName("mobilenet_v2"), GpuByName("A40"), 128);
+  EXPECT_GE(report.memory_bound_time_share, 0.0);
+  EXPECT_LE(report.memory_bound_time_share, 1.0);
+  // MobileNet's depthwise/pointwise mix is memory-heavy (the paper's
+  // "most of the evaluated workloads are actually memory intensive").
+  EXPECT_GT(report.memory_bound_time_share, 0.3);
+}
+
+TEST(RooflineDeathTest, NonPositiveBatchAborts) {
+  EXPECT_DEATH(
+      AnalyzeRoofline(zoo::BuildByName("alexnet"), GpuByName("A100"), 0),
+      "check failed");
+}
+
+}  // namespace
+}  // namespace gpuperf::gpuexec

@@ -1,0 +1,95 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace gpuperf::sched {
+namespace {
+
+TEST(MakespanTest, ComputesMaxGpuLoad) {
+  // jobs x gpus
+  std::vector<std::vector<double>> times{{10, 20}, {30, 5}, {10, 10}};
+  EXPECT_DOUBLE_EQ(Makespan(times, {0, 1, 0}), 20.0);  // loads 20, 5
+  EXPECT_DOUBLE_EQ(Makespan(times, {0, 0, 0}), 50.0);
+}
+
+TEST(BruteForceTest, FindsObviousOptimum) {
+  std::vector<std::vector<double>> times{{10, 100}, {100, 10}};
+  Schedule schedule = BruteForceSchedule(times);
+  EXPECT_EQ(schedule.assignment, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(schedule.makespan_us, 10.0);
+}
+
+TEST(BruteForceTest, BalancesEqualJobs) {
+  std::vector<std::vector<double>> times(4, std::vector<double>{10, 10});
+  Schedule schedule = BruteForceSchedule(times);
+  EXPECT_DOUBLE_EQ(schedule.makespan_us, 20.0);
+  EXPECT_DOUBLE_EQ(schedule.gpu_loads[0], 20.0);
+  EXPECT_DOUBLE_EQ(schedule.gpu_loads[1], 20.0);
+}
+
+TEST(BruteForceTest, SingleGpuSumsEverything) {
+  std::vector<std::vector<double>> times{{5}, {7}, {9}};
+  Schedule schedule = BruteForceSchedule(times);
+  EXPECT_DOUBLE_EQ(schedule.makespan_us, 21.0);
+}
+
+TEST(BruteForceDeathTest, ExplosiveSpaceAborts) {
+  // 40 jobs x 4 gpus = 4^40 assignments.
+  std::vector<std::vector<double>> times(40,
+                                         std::vector<double>{1, 1, 1, 1});
+  EXPECT_DEATH(BruteForceSchedule(times), "too large");
+}
+
+TEST(GreedyTest, MatchesOptimumOnEasyInstances) {
+  std::vector<std::vector<double>> times{{8, 8}, {6, 6}, {4, 4}, {2, 2}};
+  Schedule greedy = GreedySchedule(times);
+  Schedule optimal = BruteForceSchedule(times);
+  EXPECT_DOUBLE_EQ(greedy.makespan_us, optimal.makespan_us);
+}
+
+class RandomInstanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomInstanceTest, BruteForceIsNeverWorseThanGreedy) {
+  Rng rng(GetParam());
+  const int jobs = 2 + static_cast<int>(rng.NextBelow(7));
+  const int gpus = 2 + static_cast<int>(rng.NextBelow(2));
+  std::vector<std::vector<double>> times(jobs,
+                                         std::vector<double>(gpus, 0.0));
+  for (auto& row : times) {
+    for (double& t : row) t = rng.NextRange(1, 100);
+  }
+  Schedule greedy = GreedySchedule(times);
+  Schedule optimal = BruteForceSchedule(times);
+  EXPECT_LE(optimal.makespan_us, greedy.makespan_us + 1e-9);
+  // The optimal makespan can never beat the trivial lower bound.
+  double lower_bound = 0;
+  for (const auto& row : times) {
+    lower_bound =
+        std::max(lower_bound, *std::min_element(row.begin(), row.end()));
+  }
+  EXPECT_GE(optimal.makespan_us, lower_bound - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceTest,
+                         ::testing::Range(1, 21));
+
+TEST(FastestGpuTest, PicksRowMinima) {
+  std::vector<std::vector<double>> times{{10, 20}, {30, 5}, {7, 7}};
+  EXPECT_EQ(FastestGpuPerJob(times), (std::vector<int>{0, 1, 0}));
+}
+
+TEST(GreedyTest, LoadsAreConsistentWithAssignment) {
+  Rng rng(5);
+  std::vector<std::vector<double>> times(10, std::vector<double>(3, 0.0));
+  for (auto& row : times) {
+    for (double& t : row) t = rng.NextRange(1, 50);
+  }
+  Schedule schedule = GreedySchedule(times);
+  EXPECT_DOUBLE_EQ(schedule.makespan_us,
+                   Makespan(times, schedule.assignment));
+}
+
+}  // namespace
+}  // namespace gpuperf::sched

@@ -1,0 +1,117 @@
+#include "simsys/serving.h"
+
+#include <gtest/gtest.h>
+
+namespace gpuperf::simsys {
+namespace {
+
+// Two job types on two GPUs; gpu 0 is fast for job 0, gpu 1 for job 1.
+std::vector<std::vector<double>> AffinityTimes() {
+  return {{1'000.0, 8'000.0}, {8'000.0, 1'000.0}};
+}
+
+ServingConfig Config(DispatchPolicy policy, double rate = 100,
+                     double duration = 20) {
+  ServingConfig config;
+  config.policy = policy;
+  config.arrival_rate_per_s = rate;
+  config.duration_s = duration;
+  config.seed = 7;
+  return config;
+}
+
+TEST(ServingTest, CompletesAllArrivalsEventually) {
+  ServingResult result = SimulateServing(
+      AffinityTimes(), AffinityTimes(), {1, 1},
+      Config(DispatchPolicy::kRoundRobin, 50, 10));
+  // ~50/s for 10s with some Poisson variance.
+  EXPECT_GT(result.completed, 350);
+  EXPECT_LT(result.completed, 650);
+}
+
+TEST(ServingTest, LatencyPercentilesAreOrdered) {
+  ServingResult result = SimulateServing(
+      AffinityTimes(), AffinityTimes(), {1, 1},
+      Config(DispatchPolicy::kLeastOutstanding));
+  EXPECT_LE(result.p50_ms, result.p95_ms);
+  EXPECT_LE(result.p95_ms, result.p99_ms);
+  EXPECT_GT(result.p50_ms, 0.0);
+}
+
+TEST(ServingTest, PredictionAwareDispatchExploitsAffinity) {
+  // With strong per-job GPU affinity, the model-driven policy must
+  // clearly beat round-robin on tail latency.
+  ServingResult blind = SimulateServing(
+      AffinityTimes(), AffinityTimes(), {1, 1},
+      Config(DispatchPolicy::kRoundRobin, 300));
+  ServingResult aware = SimulateServing(
+      AffinityTimes(), AffinityTimes(), {1, 1},
+      Config(DispatchPolicy::kPredictedLeastLoad, 300));
+  EXPECT_LT(aware.p99_ms, blind.p99_ms);
+  EXPECT_LT(aware.mean_ms, blind.mean_ms);
+}
+
+TEST(ServingTest, ImperfectPredictionsStillWork) {
+  // Predictions off by a constant factor preserve the ordering, so the
+  // policy should not collapse.
+  auto predicted = AffinityTimes();
+  for (auto& row : predicted) {
+    for (double& v : row) v *= 1.3;
+  }
+  ServingResult result = SimulateServing(
+      AffinityTimes(), predicted, {1, 1},
+      Config(DispatchPolicy::kPredictedLeastLoad, 300));
+  ServingResult blind = SimulateServing(
+      AffinityTimes(), AffinityTimes(), {1, 1},
+      Config(DispatchPolicy::kRoundRobin, 300));
+  EXPECT_LT(result.p99_ms, blind.p99_ms);
+}
+
+TEST(ServingTest, UtilizationIsSane) {
+  ServingResult result = SimulateServing(
+      AffinityTimes(), AffinityTimes(), {1, 1},
+      Config(DispatchPolicy::kPredictedLeastLoad, 100));
+  ASSERT_EQ(result.gpu_utilization.size(), 2u);
+  for (double u : result.gpu_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(ServingTest, DeterministicPerSeed) {
+  ServingResult a = SimulateServing(AffinityTimes(), AffinityTimes(),
+                                    {1, 1},
+                                    Config(DispatchPolicy::kRoundRobin));
+  ServingResult b = SimulateServing(AffinityTimes(), AffinityTimes(),
+                                    {1, 1},
+                                    Config(DispatchPolicy::kRoundRobin));
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
+}
+
+TEST(ServingTest, JobMixWeightsAreRespected) {
+  // Job 1 never arrives; only gpu-0-friendly jobs exist, so with the
+  // aware policy gpu 0 should absorb nearly all the work.
+  ServingResult result = SimulateServing(
+      AffinityTimes(), AffinityTimes(), {1, 0},
+      Config(DispatchPolicy::kPredictedLeastLoad, 50));
+  EXPECT_GT(result.gpu_utilization[0], result.gpu_utilization[1]);
+}
+
+TEST(ServingTest, PolicyNamesAreStable) {
+  EXPECT_EQ(DispatchPolicyName(DispatchPolicy::kRoundRobin), "round-robin");
+  EXPECT_EQ(DispatchPolicyName(DispatchPolicy::kPredictedLeastLoad),
+            "predicted-least-load");
+}
+
+TEST(ServingDeathTest, BadInputsAbort) {
+  EXPECT_DEATH(SimulateServing({}, {}, {},
+                               Config(DispatchPolicy::kRoundRobin)),
+               "check failed");
+  EXPECT_DEATH(SimulateServing(AffinityTimes(), AffinityTimes(), {0, 0},
+                               Config(DispatchPolicy::kRoundRobin)),
+               "check failed");
+}
+
+}  // namespace
+}  // namespace gpuperf::simsys

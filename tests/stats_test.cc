@@ -1,0 +1,112 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace gpuperf {
+namespace {
+
+TEST(MeanTest, BasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(StdDevTest, KnownValue) {
+  // Sample std dev of {2, 4, 4, 4, 5, 5, 7, 9} is sqrt(32/7).
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0.0);
+}
+
+TEST(GeoMeanTest, KnownValue) {
+  EXPECT_NEAR(GeoMean({1, 4, 16}), 4.0, 1e-12);
+}
+
+TEST(GeoMeanDeathTest, NonPositiveIsError) {
+  EXPECT_DEATH(GeoMean({1.0, 0.0}), "check failed");
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25);
+  EXPECT_NEAR(Percentile(v, 25), 17.5, 1e-12);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(Percentile({30, 10, 20}, 50), 20);
+}
+
+TEST(RelativeErrorTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(RelativeError(110, 100), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90, 100), 0.1);
+}
+
+TEST(MapeTest, KnownValue) {
+  EXPECT_NEAR(Mape({110, 80}, {100, 100}), 0.15, 1e-12);
+}
+
+TEST(MapeDeathTest, SizeMismatchIsError) {
+  std::vector<double> a{1.0};
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_DEATH(Mape(a, b), "check failed");
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSideYieldsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(SCurveTest, SortedAscendingWithPercentEndpoints) {
+  auto curve = SCurve({50, 200, 100}, {100, 100, 100});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].ratio, 0.5);
+  EXPECT_DOUBLE_EQ(curve[1].ratio, 1.0);
+  EXPECT_DOUBLE_EQ(curve[2].ratio, 2.0);
+  EXPECT_DOUBLE_EQ(curve.front().percent, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().percent, 100.0);
+}
+
+TEST(FractionWithinTest, CountsBelowThreshold) {
+  EXPECT_DOUBLE_EQ(
+      FractionWithin({105, 90, 200}, {100, 100, 100}, 0.15), 2.0 / 3.0);
+}
+
+// Property: MAPE is invariant under common positive scaling.
+class MapeScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MapeScaleTest, ScaleInvariant) {
+  const double k = GetParam();
+  std::vector<double> pred{110, 85, 130}, meas{100, 100, 120};
+  std::vector<double> pred_k, meas_k;
+  for (double v : pred) pred_k.push_back(v * k);
+  for (double v : meas) meas_k.push_back(v * k);
+  EXPECT_NEAR(Mape(pred, meas), Mape(pred_k, meas_k), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, MapeScaleTest,
+                         ::testing::Values(0.001, 0.5, 3.0, 1e6));
+
+// Property: percentile is monotone in p.
+TEST(PercentileTest, MonotoneInP) {
+  Rng rng(4);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(rng.NextRange(-5, 5));
+  double previous = Percentile(values, 0);
+  for (double p = 5; p <= 100; p += 5) {
+    double current = Percentile(values, p);
+    EXPECT_GE(current, previous);
+    previous = current;
+  }
+}
+
+}  // namespace
+}  // namespace gpuperf

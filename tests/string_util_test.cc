@@ -1,0 +1,63 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace gpuperf {
+namespace {
+
+TEST(SplitTest, BasicSplitting) {
+  EXPECT_EQ(Split("a/b/c", '/'), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyParts) {
+  EXPECT_EQ(Split("/a/", '/'), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", '/'), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Split(Join(parts, ";"), ';'), parts);
+}
+
+TEST(JoinTest, EmptyAndSingle) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("resnet50", "resnet"));
+  EXPECT_FALSE(StartsWith("res", "resnet"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(FormatTest, PrintfSemantics) {
+  EXPECT_EQ(Format("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(Format("no args"), "no args");
+}
+
+TEST(FormatTest, LongOutputNotTruncated) {
+  std::string long_text(500, 'a');
+  EXPECT_EQ(Format("%s", long_text.c_str()).size(), 500u);
+}
+
+TEST(PrettyTest, SignificantDigits) {
+  EXPECT_EQ(Pretty(3.14159, 3), "3.14");
+  EXPECT_EQ(Pretty(1000.0, 4), "1000");
+}
+
+TEST(EngineeringTest, PicksSuffix) {
+  EXPECT_EQ(Engineering(1500.0), "1.5k");
+  EXPECT_EQ(Engineering(2.5e9), "2.5G");
+  EXPECT_EQ(Engineering(42.0), "42");
+  EXPECT_EQ(Engineering(3.2e12), "3.2T");
+}
+
+}  // namespace
+}  // namespace gpuperf

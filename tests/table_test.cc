@@ -1,0 +1,57 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace gpuperf {
+namespace {
+
+TEST(TextTableTest, RendersHeaderSeparatorAndRows) {
+  TextTable table;
+  table.SetHeader({"name", "value"});
+  table.AddRow({"alpha", "1.5"});
+  table.AddRow({"b", "20"});
+  const std::string out = table.Render();
+  const std::vector<std::string> lines = Split(out, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("name"), std::string::npos);
+  EXPECT_NE(lines[1].find("---"), std::string::npos);
+  EXPECT_NE(lines[2].find("alpha"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericCellsRightAligned) {
+  TextTable table;
+  table.SetHeader({"col"});
+  table.AddRow({"1234"});
+  table.AddRow({"5"});
+  const std::vector<std::string> lines = Split(table.Render(), '\n');
+  // "5" should be padded from the left to align with "1234".
+  EXPECT_EQ(lines[3], "   5");
+}
+
+TEST(TextTableTest, TextCellsLeftAligned) {
+  TextTable table;
+  table.SetHeader({"col", "x"});
+  table.AddRow({"long-name", "1"});
+  table.AddRow({"s", "2"});
+  const std::vector<std::string> lines = Split(table.Render(), '\n');
+  EXPECT_EQ(lines[3].rfind("s", 0), 0u);  // starts at column 0
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NO_FATAL_FAILURE(table.Render());
+}
+
+TEST(TextTableTest, NoHeaderNoSeparator) {
+  TextTable table;
+  table.AddRow({"x", "y"});
+  const std::string out = table.Render();
+  EXPECT_EQ(out.find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpuperf

@@ -1,0 +1,65 @@
+#include "dnn/tensor_shape.h"
+
+#include <gtest/gtest.h>
+
+namespace gpuperf::dnn {
+namespace {
+
+TEST(TensorShapeTest, ElementCounts) {
+  TensorShape shape = Chw(3, 224, 224);
+  EXPECT_EQ(shape.Elements(), 3 * 224 * 224);
+  EXPECT_EQ(shape.ElementsForBatch(8), 8 * 3 * 224 * 224);
+}
+
+TEST(TensorShapeTest, ToStringFormat) {
+  EXPECT_EQ(Chw(64, 56, 56).ToString(), "64x56x56");
+}
+
+TEST(TensorShapeTest, Equality) {
+  EXPECT_EQ(Chw(1, 2, 3), Chw(1, 2, 3));
+  EXPECT_NE(Chw(1, 2, 3), Chw(1, 2, 4));
+}
+
+TEST(ConvOutDimTest, KnownConfigurations) {
+  EXPECT_EQ(ConvOutDim(224, 7, 2, 3), 112);  // ResNet stem
+  EXPECT_EQ(ConvOutDim(112, 3, 2, 1), 56);   // ResNet maxpool
+  EXPECT_EQ(ConvOutDim(56, 3, 1, 1), 56);    // same-padding 3x3
+  EXPECT_EQ(ConvOutDim(56, 1, 1, 0), 56);    // 1x1
+  EXPECT_EQ(ConvOutDim(224, 11, 4, 2), 55);  // AlexNet conv1
+}
+
+struct ConvDimCase {
+  std::int64_t in, kernel, stride, pad;
+};
+
+class ConvOutDimPropertyTest : public ::testing::TestWithParam<ConvDimCase> {
+};
+
+// Property: output positions tile the padded input without overrun.
+TEST_P(ConvOutDimPropertyTest, WindowsStayInsidePaddedInput) {
+  const ConvDimCase c = GetParam();
+  const std::int64_t out = ConvOutDim(c.in, c.kernel, c.stride, c.pad);
+  EXPECT_GT(out, 0);
+  const std::int64_t last_start = (out - 1) * c.stride;
+  EXPECT_LE(last_start + c.kernel, c.in + 2 * c.pad);
+  // One more output would overrun.
+  EXPECT_GT(out * c.stride + c.kernel, c.in + 2 * c.pad);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvOutDimPropertyTest,
+    ::testing::Values(ConvDimCase{224, 3, 1, 1}, ConvDimCase{224, 3, 2, 1},
+                      ConvDimCase{224, 5, 1, 2}, ConvDimCase{224, 7, 2, 3},
+                      ConvDimCase{32, 3, 2, 1}, ConvDimCase{7, 7, 1, 0},
+                      ConvDimCase{96, 11, 4, 2}, ConvDimCase{17, 2, 2, 0}));
+
+TEST(ConvOutDimDeathTest, OversizedWindowIsError) {
+  EXPECT_DEATH(ConvOutDim(4, 7, 1, 0), "window larger");
+}
+
+TEST(ConvOutDimDeathTest, ZeroStrideIsError) {
+  EXPECT_DEATH(ConvOutDim(8, 3, 0, 1), "check failed");
+}
+
+}  // namespace
+}  // namespace gpuperf::dnn

@@ -1,0 +1,36 @@
+#include "test_support.h"
+
+#include "common/logging.h"
+#include "dataset/builder.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::testing {
+
+const SmallCampaign& SmallCampaign::Get() {
+  static const SmallCampaign* const kCampaign = new SmallCampaign();
+  return *kCampaign;
+}
+
+SmallCampaign::SmallCampaign() : oracle_(gpuexec::OracleConfig()) {
+  networks_ = zoo::SmallZoo(/*stride=*/16);
+  dataset::BuildOptions options;
+  options.gpu_names = {"A100", "A40", "GTX 1080 Ti", "TITAN RTX"};
+  data_ = dataset::BuildDataset(networks_, options);
+  split_ = dataset::SplitByNetwork(data_, 0.15, /*seed=*/99);
+}
+
+const dnn::Network& SmallCampaign::NetworkById(int network_id) const {
+  const std::string& name = data_.networks().Get(network_id);
+  for (const dnn::Network& network : networks_) {
+    if (network.name() == name) return network;
+  }
+  Fatal("network id not in campaign: " + name);
+}
+
+std::vector<const dnn::Network*> SmallCampaign::TestNetworks() const {
+  std::vector<const dnn::Network*> test;
+  for (int id : split_.test_ids) test.push_back(&NetworkById(id));
+  return test;
+}
+
+}  // namespace gpuperf::testing

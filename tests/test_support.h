@@ -1,0 +1,47 @@
+#ifndef GPUPERF_TESTS_TEST_SUPPORT_H_
+#define GPUPERF_TESTS_TEST_SUPPORT_H_
+
+/**
+ * @file
+ * Shared fixtures: a small measurement campaign (41-network zoo on two
+ * GPUs) built once per test binary, so model tests do not pay the full
+ * 646-network cost.
+ */
+
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dnn/network.h"
+#include "gpuexec/oracle.h"
+#include "gpuexec/profiler.h"
+
+namespace gpuperf::testing {
+
+/** Lazily built small campaign shared by the tests of one binary. */
+class SmallCampaign {
+ public:
+  static const SmallCampaign& Get();
+
+  const std::vector<dnn::Network>& networks() const { return networks_; }
+  const dataset::Dataset& data() const { return data_; }
+  const dataset::NetworkSplit& split() const { return split_; }
+  const gpuexec::HardwareOracle& oracle() const { return oracle_; }
+
+  /** The network object for a dataset network id. */
+  const dnn::Network& NetworkById(int network_id) const;
+
+  /** Test-set networks only. */
+  std::vector<const dnn::Network*> TestNetworks() const;
+
+ private:
+  SmallCampaign();
+
+  std::vector<dnn::Network> networks_;
+  dataset::Dataset data_;
+  dataset::NetworkSplit split_;
+  gpuexec::HardwareOracle oracle_;
+};
+
+}  // namespace gpuperf::testing
+
+#endif  // GPUPERF_TESTS_TEST_SUPPORT_H_

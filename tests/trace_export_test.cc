@@ -1,0 +1,97 @@
+#include "gpuexec/trace_export.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "gpuexec/lowering.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::gpuexec {
+namespace {
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  HardwareOracle oracle_;
+  Profiler profiler_{oracle_};
+  dnn::Network net_ = zoo::BuildByName("alexnet");
+  NetworkProfile profile_ =
+      profiler_.Profile(net_, GpuByName("A100"), 32);
+};
+
+TEST_F(TraceExportTest, TimelineIsPopulatedAndOrdered) {
+  double previous_end = 0;
+  for (const KernelRecord& record : profile_.kernels) {
+    EXPECT_GT(record.end_us, record.start_us) << record.kernel_name;
+    // Inference kernels execute in record order on one stream.
+    EXPECT_GE(record.start_us, previous_end - 1e-9);
+    previous_end = record.end_us;
+  }
+}
+
+TEST_F(TraceExportTest, JsonContainsBothTracksAndAllKernels) {
+  const std::string json = ChromeTraceJson(net_, profile_);
+  EXPECT_NE(json.find("CPU (layers)"), std::string::npos);
+  EXPECT_NE(json.find("GPU (kernels)"), std::string::npos);
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  // Every kernel appears by name at least once.
+  for (const KernelRecord& record : profile_.kernels) {
+    EXPECT_NE(json.find(record.kernel_name), std::string::npos)
+        << record.kernel_name;
+  }
+  // Layer spans appear too.
+  EXPECT_NE(json.find("CONV_0"), std::string::npos);
+}
+
+TEST_F(TraceExportTest, JsonIsStructurallyBalanced) {
+  const std::string json = ChromeTraceJson(net_, profile_);
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST_F(TraceExportTest, WriteCreatesAReadableFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gpuperf_trace_test.json")
+          .string();
+  WriteChromeTrace(net_, profile_, path);
+  EXPECT_GT(std::filesystem::file_size(path), 1000u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceExportTest, LayerSpansCoverTheirKernels) {
+  const std::string json = ChromeTraceJson(net_, profile_);
+  // Structural sanity delegated to the profile: each layer's span is the
+  // min/max of its kernels, so the trace must mention every layer that
+  // launched kernels.
+  std::set<int> layers;
+  for (const KernelRecord& record : profile_.kernels) {
+    layers.insert(record.layer_index);
+  }
+  for (int layer : layers) {
+    EXPECT_NE(json.find(net_.layers()[layer].name), std::string::npos);
+  }
+}
+
+TEST(TraceExportDeathTest, UnwritablePathIsFatal) {
+  HardwareOracle oracle;
+  Profiler profiler(oracle);
+  dnn::Network net = zoo::BuildByName("squeezenet1_1");
+  NetworkProfile profile = profiler.Profile(net, GpuByName("V100"), 8);
+  EXPECT_EXIT(WriteChromeTrace(net, profile, "/nonexistent/dir/trace.json"),
+              ::testing::ExitedWithCode(1), "cannot open");
+}
+
+}  // namespace
+}  // namespace gpuperf::gpuexec

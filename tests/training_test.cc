@@ -1,0 +1,148 @@
+#include "gpuexec/training.h"
+
+#include <gtest/gtest.h>
+
+#include "dnn/builder.h"
+#include "dnn/flops.h"
+#include "gpuexec/lowering.h"
+#include "gpuexec/profiler.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::gpuexec {
+namespace {
+
+using dnn::Chw;
+using dnn::NetworkBuilder;
+
+dnn::Layer MakeLayer(void (*build)(NetworkBuilder&)) {
+  NetworkBuilder b("t", "Test", Chw(64, 28, 28));
+  build(b);
+  return b.Build().layers()[0];
+}
+
+TEST(BackwardLoweringTest, ConvHasDgradWgradAndOptimizer) {
+  dnn::Layer conv =
+      MakeLayer([](NetworkBuilder& b) { b.Conv(128, 3, 1, 1); });
+  std::vector<KernelLaunch> launches = LowerLayerBackward(conv, 16);
+  ASSERT_EQ(launches.size(), 3u);
+  EXPECT_NE(launches[0].name.find("conv_dgrad"), std::string::npos);
+  EXPECT_NE(launches[1].name.find("conv_wgrad"), std::string::npos);
+  EXPECT_EQ(launches[2].name, "sgd_update_vec");
+}
+
+TEST(BackwardLoweringTest, BackwardComputeIsTwiceForward) {
+  // dgrad + wgrad each redo the forward MACs.
+  dnn::Layer conv =
+      MakeLayer([](NetworkBuilder& b) { b.Conv(128, 3, 1, 1); });
+  std::vector<KernelLaunch> launches = LowerLayerBackward(conv, 16);
+  const std::int64_t forward_flops = 2 * dnn::LayerFlops(conv, 16);
+  EXPECT_NEAR(static_cast<double>(launches[0].flops), forward_flops,
+              0.05 * forward_flops);
+  EXPECT_NEAR(static_cast<double>(launches[1].flops), forward_flops,
+              0.05 * forward_flops);
+}
+
+TEST(BackwardLoweringTest, SgdUpdateCostIsBatchIndependent) {
+  dnn::Layer conv =
+      MakeLayer([](NetworkBuilder& b) { b.Conv(128, 3, 1, 1); });
+  const KernelLaunch at_8 = LowerLayerBackward(conv, 8).back();
+  const KernelLaunch at_64 = LowerLayerBackward(conv, 64).back();
+  EXPECT_EQ(at_8.TotalBytes(), at_64.TotalBytes());
+}
+
+TEST(BackwardLoweringTest, ViewLayersHaveNoBackwardKernels) {
+  dnn::Layer flatten = MakeLayer([](NetworkBuilder& b) { b.Flatten(); });
+  EXPECT_TRUE(LowerLayerBackward(flatten, 8).empty());
+  dnn::Layer dropout = MakeLayer([](NetworkBuilder& b) { b.Dropout(); });
+  EXPECT_TRUE(LowerLayerBackward(dropout, 8).empty());
+}
+
+TEST(BackwardLoweringTest, ActivationBackwardIsElementwise) {
+  dnn::Layer relu = MakeLayer([](NetworkBuilder& b) { b.Relu(); });
+  std::vector<KernelLaunch> launches = LowerLayerBackward(relu, 8);
+  ASSERT_EQ(launches.size(), 1u);
+  EXPECT_EQ(launches[0].family, KernelFamily::kElementwise);
+  EXPECT_EQ(launches[0].name, "elementwise_relu_bwd");
+}
+
+TEST(WorkloadLoweringTest, TrainingExtendsEveryParameterizedLayer) {
+  dnn::Network net = zoo::BuildByName("resnet18");
+  auto inference = LowerNetworkWorkload(net, 8, Workload::kInference);
+  auto training = LowerNetworkWorkload(net, 8, Workload::kTraining);
+  ASSERT_EQ(inference.size(), training.size());
+  std::size_t inference_total = 0, training_total = 0;
+  for (std::size_t i = 0; i < inference.size(); ++i) {
+    EXPECT_GE(training[i].size(), inference[i].size()) << i;
+    inference_total += inference[i].size();
+    training_total += training[i].size();
+  }
+  EXPECT_GT(training_total, 2 * inference_total);
+}
+
+TEST(WorkloadLoweringTest, ExecutionOrderIsForwardThenReverseBackward) {
+  dnn::Network net = zoo::BuildByName("alexnet");
+  auto lowered = LowerNetworkWorkload(net, 8, Workload::kTraining);
+  auto order = TrainingExecutionOrder(net, lowered);
+  // Total coverage: every (layer, kernel) exactly once.
+  std::size_t total = 0;
+  for (const auto& layer : lowered) total += layer.size();
+  EXPECT_EQ(order.size(), total);
+  // The forward phase visits layers in nondecreasing order; the backward
+  // phase in nonincreasing order.
+  std::size_t flip = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i].first < order[i - 1].first) {
+      flip = i;
+      break;
+    }
+  }
+  ASSERT_GT(flip, 0u);
+  for (std::size_t i = flip + 1; i < order.size(); ++i) {
+    EXPECT_LE(order[i].first, order[i - 1].first) << i;
+  }
+}
+
+TEST(TrainingProfileTest, TrainingStepCostsSeveralForwardPasses) {
+  HardwareOracle oracle;
+  Profiler profiler(oracle);
+  dnn::Network net = zoo::BuildByName("resnet18");
+  const GpuSpec& a100 = GpuByName("A100");
+  const double inference = profiler.MeasureE2eUs(net, a100, 64);
+  const double training =
+      profiler.MeasureE2eUs(net, a100, 64, Workload::kTraining);
+  EXPECT_GT(training, 2.0 * inference);
+  EXPECT_LT(training, 8.0 * inference);
+}
+
+TEST(TrainingProfileTest, TraceStaysGroupedPerLayer) {
+  // The dataset's mapping-table construction requires records grouped by
+  // layer even though execution interleaves forward and backward.
+  HardwareOracle oracle;
+  Profiler profiler(oracle);
+  dnn::Network net = zoo::BuildByName("alexnet");
+  NetworkProfile profile = profiler.Profile(net, GpuByName("V100"), 16,
+                                            Workload::kTraining);
+  int last_layer = -1;
+  std::set<int> closed;
+  for (const KernelRecord& record : profile.kernels) {
+    if (record.layer_index != last_layer) {
+      EXPECT_FALSE(closed.count(record.layer_index));
+      closed.insert(last_layer);
+      last_layer = record.layer_index;
+    }
+  }
+}
+
+TEST(TrainingProfileTest, EveryKernelGetsNonZeroTime) {
+  HardwareOracle oracle;
+  Profiler profiler(oracle);
+  dnn::Network net = zoo::BuildByName("mobilenet_v2");
+  NetworkProfile profile = profiler.Profile(net, GpuByName("A40"), 8,
+                                            Workload::kTraining);
+  for (const KernelRecord& record : profile.kernels) {
+    EXPECT_GT(record.time_us, 0.0) << record.kernel_name;
+  }
+}
+
+}  // namespace
+}  // namespace gpuperf::gpuexec

@@ -1,0 +1,194 @@
+// Structural invariants of each zoo family: layer composition, shape
+// plumbing, and kind statistics that characterize the architecture.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dnn/flops.h"
+#include "zoo/resnet.h"
+#include "zoo/transformer.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::zoo {
+namespace {
+
+std::map<dnn::LayerKind, int> KindCounts(const dnn::Network& net) {
+  std::map<dnn::LayerKind, int> counts;
+  for (const dnn::Layer& layer : net.layers()) ++counts[layer.kind];
+  return counts;
+}
+
+class FamilyStructureTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FamilyStructureTest, ShapesChainThroughTheNetwork) {
+  dnn::Network net = BuildByName(GetParam());
+  // Every layer's first input must equal some earlier output (or the
+  // network input): a weak but effective dataflow sanity check.
+  std::set<std::string> live{net.input().ToString()};
+  for (const dnn::Layer& layer : net.layers()) {
+    for (const dnn::TensorShape& input : layer.inputs) {
+      EXPECT_TRUE(live.count(input.ToString()))
+          << layer.name << " consumes unseen shape " << input.ToString();
+    }
+    live.insert(layer.output.ToString());
+  }
+}
+
+TEST_P(FamilyStructureTest, EndsWithClassifierShape) {
+  dnn::Network net = BuildByName(GetParam());
+  const dnn::TensorShape& out = net.layers().back().output;
+  // All presets classify into 1000 (ImageNet) or 2 (text) classes.
+  EXPECT_TRUE(out.c == 1000 || out.c == 2) << out.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, FamilyStructureTest,
+                         ::testing::Values("resnet18", "resnet50",
+                                           "resnet152", "vgg16_bn",
+                                           "densenet121", "densenet201",
+                                           "mobilenet_v2", "shufflenet_v1",
+                                           "alexnet", "googlenet",
+                                           "squeezenet1_0", "bert_base"));
+
+TEST(FamilyStatsTest, DenseNetIsConcatHeavy) {
+  auto counts = KindCounts(BuildByName("densenet121"));
+  // 58 dense layers concatenate (6+12+24+16).
+  EXPECT_EQ(counts[dnn::LayerKind::kConcat], 58);
+  EXPECT_EQ(counts[dnn::LayerKind::kAdd], 0);
+}
+
+TEST(FamilyStatsTest, ResNetIsAddHeavy) {
+  auto counts = KindCounts(BuildByName("resnet50"));
+  EXPECT_EQ(counts[dnn::LayerKind::kAdd], 16);  // one per bottleneck block
+  EXPECT_EQ(counts[dnn::LayerKind::kConcat], 0);
+}
+
+TEST(FamilyStatsTest, MobileNetHasDepthwiseConvEveryBlock) {
+  dnn::Network net = BuildByName("mobilenet_v2");
+  int depthwise = 0;
+  for (const dnn::Layer& layer : net.layers()) {
+    if (layer.kind == dnn::LayerKind::kConv2d &&
+        layer.conv().IsDepthwise()) {
+      ++depthwise;
+    }
+  }
+  EXPECT_EQ(depthwise, 17);  // one per inverted residual block
+}
+
+TEST(FamilyStatsTest, ShuffleNetShufflesChannels) {
+  auto counts = KindCounts(BuildByName("shufflenet_v1"));
+  EXPECT_EQ(counts[dnn::LayerKind::kChannelShuffle], 16);  // one per unit
+}
+
+TEST(FamilyStatsTest, GoogLeNetConcatsPerInceptionModule) {
+  auto counts = KindCounts(BuildByName("googlenet"));
+  EXPECT_EQ(counts[dnn::LayerKind::kConcat], 9);  // nine inception modules
+}
+
+TEST(FamilyStatsTest, BertHasTwoMatMulsPerLayer) {
+  auto counts = KindCounts(BuildByName("bert_base"));
+  EXPECT_EQ(counts[dnn::LayerKind::kMatMul], 24);      // 12 layers x 2
+  EXPECT_EQ(counts[dnn::LayerKind::kLayerNorm], 25);   // 2 per layer + emb
+  EXPECT_EQ(counts[dnn::LayerKind::kGelu], 12);
+  EXPECT_EQ(counts[dnn::LayerKind::kEmbedding], 1);
+}
+
+TEST(FamilyStatsTest, VggBnAlternatesConvBnRelu) {
+  dnn::Network net = BuildByName("vgg16_bn");
+  const auto& layers = net.layers();
+  for (std::size_t i = 0; i + 2 < layers.size(); ++i) {
+    if (layers[i].kind == dnn::LayerKind::kConv2d) {
+      EXPECT_EQ(layers[i + 1].kind, dnn::LayerKind::kBatchNorm);
+      EXPECT_EQ(layers[i + 2].kind, dnn::LayerKind::kRelu);
+    }
+  }
+}
+
+TEST(FamilyStatsTest, FlopsOrderingAcrossFamilies) {
+  // Published MAC ordering at 224x224: mobilenet < resnet18 < resnet50
+  // < vgg16.
+  const std::int64_t mobilenet =
+      dnn::NetworkFlops(BuildByName("mobilenet_v2"), 1);
+  const std::int64_t resnet18 =
+      dnn::NetworkFlops(BuildByName("resnet18"), 1);
+  const std::int64_t resnet50 =
+      dnn::NetworkFlops(BuildByName("resnet50"), 1);
+  const std::int64_t vgg16 = dnn::NetworkFlops(BuildByName("vgg16"), 1);
+  EXPECT_LT(mobilenet, resnet18);
+  EXPECT_LT(resnet18, resnet50);
+  EXPECT_LT(resnet50, vgg16);
+}
+
+TEST(FamilyStatsTest, ResolutionVariantsScaleSpatially) {
+  // A 256-res ResNet does (256/224)^2 the conv work of the 224 one.
+  dnn::Network base = zoo::BuildResNetWithBlocks(16, 64, 224);
+  dnn::Network large = zoo::BuildResNetWithBlocks(16, 64, 256);
+  const double ratio =
+      static_cast<double>(dnn::NetworkFlops(large, 1)) /
+      static_cast<double>(dnn::NetworkFlops(base, 1));
+  EXPECT_NEAR(ratio, (256.0 * 256.0) / (224.0 * 224.0), 0.1);
+}
+
+TEST(FamilyStatsTest, ResNextMatchesTorchvisionParamCount) {
+  // torchvision resnext50_32x4d: 25.0M params; wide_resnet50_2: 68.9M.
+  EXPECT_NEAR(static_cast<double>(
+                  BuildByName("resnext50_32x4d").ParameterCount()) / 1e6,
+              25.0, 0.8);
+  EXPECT_NEAR(static_cast<double>(
+                  BuildByName("wide_resnet50_2").ParameterCount()) / 1e6,
+              68.9, 1.5);
+}
+
+TEST(FamilyStatsTest, ResNextUsesGroupedMiddleConvs) {
+  dnn::Network net = BuildByName("resnext50_32x4d");
+  int grouped = 0;
+  for (const dnn::Layer& layer : net.layers()) {
+    if (layer.kind == dnn::LayerKind::kConv2d &&
+        layer.conv().groups == 32) {
+      ++grouped;
+    }
+  }
+  EXPECT_EQ(grouped, 16);  // one grouped 3x3 per bottleneck block
+}
+
+TEST(FamilyStatsTest, WideResNetHasWiderMiddleThanPlain) {
+  // Wide ResNet doubles the bottleneck 3x3 width but keeps the expansion.
+  const std::int64_t wide =
+      dnn::NetworkFlops(BuildByName("wide_resnet50_2"), 1);
+  const std::int64_t plain = dnn::NetworkFlops(BuildByName("resnet50"), 1);
+  EXPECT_GT(wide, 2 * plain);
+  EXPECT_LT(wide, 4 * plain);
+}
+
+TEST(FamilyStatsTest, Gpt2ParameterCounts) {
+  // GPT-2 small: 124M body + ~39M (untied) vocabulary head.
+  const double millions =
+      static_cast<double>(BuildByName("gpt2").ParameterCount()) / 1e6;
+  EXPECT_NEAR(millions, 163.0, 8.0);
+  EXPECT_GT(BuildByName("gpt2_medium").ParameterCount(),
+            2 * BuildByName("gpt2").ParameterCount());
+}
+
+TEST(FamilyStatsTest, Gpt2AttentionIsQuadraticInContext) {
+  dnn::Network short_ctx = BuildGpt2("gpt2", 256);
+  dnn::Network long_ctx = BuildGpt2("gpt2", 1024);
+  std::int64_t short_matmul = 0, long_matmul = 0;
+  for (const dnn::Layer& layer : short_ctx.layers()) {
+    if (layer.kind == dnn::LayerKind::kMatMul) {
+      short_matmul += dnn::LayerFlops(layer, 1);
+    }
+  }
+  for (const dnn::Layer& layer : long_ctx.layers()) {
+    if (layer.kind == dnn::LayerKind::kMatMul) {
+      long_matmul += dnn::LayerFlops(layer, 1);
+    }
+  }
+  // 4x the context -> 16x the attention matmul work.
+  EXPECT_NEAR(static_cast<double>(long_matmul) /
+                  static_cast<double>(short_matmul),
+              16.0, 0.5);
+}
+
+}  // namespace
+}  // namespace gpuperf::zoo

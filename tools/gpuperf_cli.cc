@@ -1,0 +1,298 @@
+// gpuperf — command-line front end for the library.
+//
+//   gpuperf gpus                          list the supported GPUs (Table 1)
+//   gpuperf zoo [--family F]              list zoo networks
+//   gpuperf show <network>                layer-by-layer network summary
+//   gpuperf dataset --out DIR [options]   run a measurement campaign
+//   gpuperf train --dataset DIR --out DIR train + save a KW model bundle
+//   gpuperf eval --dataset DIR            train E2E/LW/KW and report errors
+//   gpuperf predict --model DIR <network> <gpu> <batch>
+//
+// dataset options: --gpus A100,V100  --batch N  --stride N  --training
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "dataset/builder.h"
+#include "dnn/flops.h"
+#include "dnn/memory.h"
+#include "gpuexec/profiler.h"
+#include "gpuexec/roofline.h"
+#include "models/e2e_model.h"
+#include "models/kw_model.h"
+#include "models/lw_model.h"
+#include "models/model_io.h"
+#include "zoo/zoo.h"
+
+using namespace gpuperf;
+
+namespace {
+
+/** Minimal --flag[=value] parser: positionals plus a flag map. */
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args Parse(int argc, char** argv, int first) {
+    Args args;
+    for (int i = first; i < argc; ++i) {
+      std::string token = argv[i];
+      if (StartsWith(token, "--")) {
+        std::string key = token.substr(2);
+        std::string value = "1";
+        const std::size_t eq = key.find('=');
+        if (eq != std::string::npos) {
+          value = key.substr(eq + 1);
+          key = key.substr(0, eq);
+        } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+          value = argv[++i];
+        }
+        args.flags[key] = value;
+      } else {
+        args.positional.push_back(token);
+      }
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+int CmdGpus() {
+  TextTable table;
+  table.SetHeader({"GPU", "BW (GB/s)", "Memory (GB)", "TFLOPS", "SMs"});
+  for (const gpuexec::GpuSpec& gpu : gpuexec::AllGpus()) {
+    table.AddRow({gpu.name, Format("%.0f", gpu.bandwidth_gbps),
+                  Format("%.0f", gpu.memory_gb),
+                  Format("%.1f", gpu.fp32_tflops),
+                  Format("%d", gpu.sm_count)});
+  }
+  table.Print();
+  return 0;
+}
+
+int CmdZoo(const Args& args) {
+  const std::string family = args.Get("family", "");
+  TextTable table;
+  table.SetHeader({"network", "family", "layers", "GFLOPs", "params"});
+  int shown = 0;
+  for (const dnn::Network& net : zoo::ImageClassificationZoo()) {
+    if (!family.empty() && net.family() != family) continue;
+    table.AddRow({net.name(), net.family(),
+                  Format("%zu", net.layers().size()),
+                  Format("%.2f",
+                         static_cast<double>(dnn::NetworkFlops(net, 1)) / 1e9),
+                  Engineering(static_cast<double>(net.ParameterCount()))});
+    ++shown;
+  }
+  table.Print();
+  std::printf("%d networks\n", shown);
+  return 0;
+}
+
+int CmdShow(const Args& args) {
+  if (args.positional.empty()) Fatal("usage: gpuperf show <network>");
+  dnn::Network net = zoo::BuildByName(args.positional[0]);
+  std::fputs(net.Summary().c_str(), stdout);
+  return 0;
+}
+
+int CmdDataset(const Args& args) {
+  const std::string out = args.Get("out", "");
+  if (out.empty()) Fatal("usage: gpuperf dataset --out DIR [options]");
+  dataset::BuildOptions options;
+  const std::string gpus = args.Get("gpus", "");
+  if (!gpus.empty()) options.gpu_names = Split(gpus, ',');
+  options.batch = std::stoll(args.Get("batch", "512"));
+  if (args.Get("training", "0") == "1") {
+    options.workload = gpuexec::Workload::kTraining;
+  }
+  const int stride = std::stoi(args.Get("stride", "1"));
+  std::vector<dnn::Network> networks = zoo::SmallZoo(stride);
+  std::printf("profiling %zu networks...\n", networks.size());
+  dataset::Dataset data = dataset::BuildDataset(networks, options);
+  std::filesystem::create_directories(out);
+  data.SaveCsv(out);
+  std::printf("wrote %zu network rows, %zu kernel rows to %s\n",
+              data.network_rows().size(), data.kernel_rows().size(),
+              out.c_str());
+  return 0;
+}
+
+int CmdTrain(const Args& args) {
+  const std::string dataset_dir = args.Get("dataset", "");
+  const std::string out = args.Get("out", "");
+  if (dataset_dir.empty() || out.empty()) {
+    Fatal("usage: gpuperf train --dataset DIR --out DIR");
+  }
+  dataset::Dataset data = dataset::Dataset::LoadCsv(dataset_dir);
+  dataset::NetworkSplit split = dataset::SplitByNetwork(
+      data, std::stod(args.Get("test-fraction", "0.15")),
+      std::stoull(args.Get("seed", "42")));
+  models::KwModel kw;
+  kw.Train(data, split);
+  std::filesystem::create_directories(out);
+  models::ModelIo::SaveKw(kw, out);
+  for (const std::string& gpu : kw.TrainedGpus()) {
+    std::printf("%s: %d kernels -> %d models (calibration %.3f)\n",
+                gpu.c_str(), kw.KernelCount(gpu), kw.ClusterCount(gpu),
+                kw.CalibrationFor(gpu));
+  }
+  std::printf("model bundle written to %s\n", out.c_str());
+  return 0;
+}
+
+int CmdEval(const Args& args) {
+  const std::string dataset_dir = args.Get("dataset", "");
+  if (dataset_dir.empty()) Fatal("usage: gpuperf eval --dataset DIR");
+  dataset::Dataset data = dataset::Dataset::LoadCsv(dataset_dir);
+  dataset::NetworkSplit split = dataset::SplitByNetwork(
+      data, std::stod(args.Get("test-fraction", "0.15")),
+      std::stoull(args.Get("seed", "42")));
+  models::E2eModel e2e;
+  models::LwModel lw;
+  models::KwModel kw;
+  e2e.Train(data, split);
+  lw.Train(data, split);
+  kw.Train(data, split);
+
+  // Evaluate against the held-out e2e rows of the dataset itself.
+  TextTable table;
+  table.SetHeader({"GPU", "E2E error", "LW error", "KW error", "test nets"});
+  for (const std::string& gpu_name : kw.TrainedGpus()) {
+    const gpuexec::GpuSpec& gpu = gpuexec::GpuByName(gpu_name);
+    std::vector<double> e2e_pred, lw_pred, kw_pred, measured;
+    for (const dataset::NetworkRow& row : data.network_rows()) {
+      if (!split.IsTest(row.network_id)) continue;
+      if (data.gpus().Get(row.gpu_id) != gpu_name) continue;
+      dnn::Network net =
+          zoo::BuildByName(data.networks().Get(row.network_id));
+      e2e_pred.push_back(e2e.PredictUs(net, gpu, row.batch));
+      lw_pred.push_back(lw.PredictUs(net, gpu, row.batch));
+      kw_pred.push_back(kw.PredictUs(net, gpu, row.batch));
+      measured.push_back(row.e2e_us);
+    }
+    if (measured.empty()) continue;
+    table.AddRow({gpu_name, Format("%.1f%%", 100 * Mape(e2e_pred, measured)),
+                  Format("%.1f%%", 100 * Mape(lw_pred, measured)),
+                  Format("%.1f%%", 100 * Mape(kw_pred, measured)),
+                  Format("%zu", measured.size())});
+  }
+  table.Print();
+  return 0;
+}
+
+int CmdRoofline(const Args& args) {
+  if (args.positional.size() < 2) {
+    Fatal("usage: gpuperf roofline <network> <gpu> [batch]");
+  }
+  dnn::Network net = zoo::BuildByName(args.positional[0]);
+  const gpuexec::GpuSpec& gpu = gpuexec::GpuByName(args.positional[1]);
+  const std::int64_t batch =
+      args.positional.size() > 2 ? std::stoll(args.positional[2]) : 256;
+  gpuexec::RooflineReport report =
+      gpuexec::AnalyzeRoofline(net, gpu, batch);
+  TextTable table;
+  table.SetHeader({"layer", "type", "FLOP/byte", "bound", "attainable"});
+  for (const gpuexec::LayerRoofline& layer : report.layers) {
+    table.AddRow({net.layers()[layer.layer_index].name,
+                  dnn::LayerKindName(layer.kind),
+                  Format("%.1f", layer.operational_intensity),
+                  layer.memory_bound ? "memory" : "compute",
+                  Format("%.0f GF/s", layer.attainable_gflops)});
+  }
+  table.Print();
+  std::printf("\nridge point of %s: %.1f FLOP/byte\n", gpu.name.c_str(),
+              report.ridge_intensity);
+  std::printf("%d memory-bound / %d compute-bound layers; %.0f%% of the "
+              "roofline time is memory-bound\n",
+              report.memory_bound_layers, report.compute_bound_layers,
+              100 * report.memory_bound_time_share);
+  return 0;
+}
+
+int CmdBatch(const Args& args) {
+  if (args.positional.size() < 2) {
+    Fatal("usage: gpuperf batch <network> <gpu>");
+  }
+  dnn::Network net = zoo::BuildByName(args.positional[0]);
+  const gpuexec::GpuSpec& gpu = gpuexec::GpuByName(args.positional[1]);
+  const std::int64_t inference =
+      dnn::LargestFittingBatch(net, gpu.memory_gb);
+  std::printf("%s on %s (%.0f GB): largest inference batch %ld "
+              "(footprint %s); BS-64 training footprint %s\n",
+              net.name().c_str(), gpu.name.c_str(), gpu.memory_gb,
+              (long)inference,
+              Engineering(static_cast<double>(dnn::InferenceFootprintBytes(
+                              net, std::max<std::int64_t>(1, inference))))
+                  .c_str(),
+              Engineering(static_cast<double>(
+                              dnn::TrainingFootprintBytes(net, 64)))
+                  .c_str());
+  return 0;
+}
+
+int CmdPredict(const Args& args) {
+  const std::string model_dir = args.Get("model", "");
+  if (model_dir.empty() || args.positional.size() < 3) {
+    Fatal("usage: gpuperf predict --model DIR <network> <gpu> <batch>");
+  }
+  models::KwModel kw = models::ModelIo::LoadKw(model_dir);
+  dnn::Network net = zoo::BuildByName(args.positional[0]);
+  const gpuexec::GpuSpec& gpu = gpuexec::GpuByName(args.positional[1]);
+  const std::int64_t batch = std::stoll(args.positional[2]);
+  const double us = kw.PredictUs(net, gpu, batch);
+  std::printf("%s @BS%ld on %s: %.3f ms (%.1f images/s)\n",
+              net.name().c_str(), (long)batch, gpu.name.c_str(), us / 1e3,
+              static_cast<double>(batch) / (us * 1e-6));
+  return 0;
+}
+
+void Usage() {
+  std::fputs(
+      "usage: gpuperf <command> [options]\n"
+      "  gpus                                  list supported GPUs\n"
+      "  zoo [--family F]                      list zoo networks\n"
+      "  show <network>                        network summary\n"
+      "  dataset --out DIR [--gpus A,B] [--batch N] [--stride N]\n"
+      "          [--training]                  run a measurement campaign\n"
+      "  train --dataset DIR --out DIR         train + save a KW model\n"
+      "  eval --dataset DIR                    train and report errors\n"
+      "  predict --model DIR <net> <gpu> <bs>  predict execution time\n"
+      "  roofline <network> <gpu> [batch]      per-layer roofline analysis\n"
+      "  batch <network> <gpu>                 largest batch that fits\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const Args args = Args::Parse(argc, argv, 2);
+  if (command == "gpus") return CmdGpus();
+  if (command == "zoo") return CmdZoo(args);
+  if (command == "show") return CmdShow(args);
+  if (command == "dataset") return CmdDataset(args);
+  if (command == "train") return CmdTrain(args);
+  if (command == "eval") return CmdEval(args);
+  if (command == "predict") return CmdPredict(args);
+  if (command == "roofline") return CmdRoofline(args);
+  if (command == "batch") return CmdBatch(args);
+  Usage();
+  return 1;
+}
