@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_classification.dir/bench_ablation_classification.cc.o"
+  "CMakeFiles/bench_ablation_classification.dir/bench_ablation_classification.cc.o.d"
+  "bench_ablation_classification"
+  "bench_ablation_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

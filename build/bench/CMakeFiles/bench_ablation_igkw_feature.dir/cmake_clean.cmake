@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_igkw_feature.dir/bench_ablation_igkw_feature.cc.o"
+  "CMakeFiles/bench_ablation_igkw_feature.dir/bench_ablation_igkw_feature.cc.o.d"
+  "bench_ablation_igkw_feature"
+  "bench_ablation_igkw_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_igkw_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fusion.dir/bench_ext_fusion.cc.o"
+  "CMakeFiles/bench_ext_fusion.dir/bench_ext_fusion.cc.o.d"
+  "bench_ext_fusion"
+  "bench_ext_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mig.dir/bench_ext_mig.cc.o"
+  "CMakeFiles/bench_ext_mig.dir/bench_ext_mig.cc.o.d"
+  "bench_ext_mig"
+  "bench_ext_mig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

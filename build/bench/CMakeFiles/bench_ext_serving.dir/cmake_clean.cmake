@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_serving.dir/bench_ext_serving.cc.o"
+  "CMakeFiles/bench_ext_serving.dir/bench_ext_serving.cc.o.d"
+  "bench_ext_serving"
+  "bench_ext_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

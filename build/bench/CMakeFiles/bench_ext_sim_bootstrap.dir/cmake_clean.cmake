@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sim_bootstrap.dir/bench_ext_sim_bootstrap.cc.o"
+  "CMakeFiles/bench_ext_sim_bootstrap.dir/bench_ext_sim_bootstrap.cc.o.d"
+  "bench_ext_sim_bootstrap"
+  "bench_ext_sim_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sim_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

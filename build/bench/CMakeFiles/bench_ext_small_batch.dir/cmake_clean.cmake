@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_small_batch.dir/bench_ext_small_batch.cc.o"
+  "CMakeFiles/bench_ext_small_batch.dir/bench_ext_small_batch.cc.o.d"
+  "bench_ext_small_batch"
+  "bench_ext_small_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_small_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

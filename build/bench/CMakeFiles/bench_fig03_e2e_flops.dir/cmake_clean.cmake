@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_e2e_flops.dir/bench_fig03_e2e_flops.cc.o"
+  "CMakeFiles/bench_fig03_e2e_flops.dir/bench_fig03_e2e_flops.cc.o.d"
+  "bench_fig03_e2e_flops"
+  "bench_fig03_e2e_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_e2e_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_resnet_vgg.dir/bench_fig04_resnet_vgg.cc.o"
+  "CMakeFiles/bench_fig04_resnet_vgg.dir/bench_fig04_resnet_vgg.cc.o.d"
+  "bench_fig04_resnet_vgg"
+  "bench_fig04_resnet_vgg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_resnet_vgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_dse_densenet.dir/bench_fig16_dse_densenet.cc.o"
+  "CMakeFiles/bench_fig16_dse_densenet.dir/bench_fig16_dse_densenet.cc.o.d"
+  "bench_fig16_dse_densenet"
+  "bench_fig16_dse_densenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_dse_densenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

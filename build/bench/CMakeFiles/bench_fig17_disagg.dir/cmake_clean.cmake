@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_disagg.dir/bench_fig17_disagg.cc.o"
+  "CMakeFiles/bench_fig17_disagg.dir/bench_fig17_disagg.cc.o.d"
+  "bench_fig17_disagg"
+  "bench_fig17_disagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_disagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_gpu_choice.dir/bench_fig18_gpu_choice.cc.o"
+  "CMakeFiles/bench_fig18_gpu_choice.dir/bench_fig18_gpu_choice.cc.o.d"
+  "bench_fig18_gpu_choice"
+  "bench_fig18_gpu_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_gpu_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

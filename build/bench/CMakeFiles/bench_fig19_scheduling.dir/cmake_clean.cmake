@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_scheduling.dir/bench_fig19_scheduling.cc.o"
+  "CMakeFiles/bench_fig19_scheduling.dir/bench_fig19_scheduling.cc.o.d"
+  "bench_fig19_scheduling"
+  "bench_fig19_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speed_predictor.dir/bench_speed_predictor.cc.o"
+  "CMakeFiles/bench_speed_predictor.dir/bench_speed_predictor.cc.o.d"
+  "bench_speed_predictor"
+  "bench_speed_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speed_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speed_simsys.dir/bench_speed_simsys.cc.o"
+  "CMakeFiles/bench_speed_simsys.dir/bench_speed_simsys.cc.o.d"
+  "bench_speed_simsys"
+  "bench_speed_simsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speed_simsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

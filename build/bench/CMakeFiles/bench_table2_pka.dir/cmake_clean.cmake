@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_pka.dir/bench_table2_pka.cc.o"
+  "CMakeFiles/bench_table2_pka.dir/bench_table2_pka.cc.o.d"
+  "bench_table2_pka"
+  "bench_table2_pka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

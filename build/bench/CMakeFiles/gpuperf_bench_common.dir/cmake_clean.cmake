@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libgpuperf_bench_common.a"
+  "../lib/libgpuperf_bench_common.pdb"
+  "CMakeFiles/gpuperf_bench_common.dir/exp_common.cc.o"
+  "CMakeFiles/gpuperf_bench_common.dir/exp_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libgpuperf_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_dse.dir/bandwidth_dse.cpp.o"
+  "CMakeFiles/bandwidth_dse.dir/bandwidth_dse.cpp.o.d"
+  "bandwidth_dse"
+  "bandwidth_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

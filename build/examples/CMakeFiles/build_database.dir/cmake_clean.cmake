@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_database.dir/build_database.cpp.o"
+  "CMakeFiles/build_database.dir/build_database.cpp.o.d"
+  "build_database"
+  "build_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_scheduling.dir/gpu_scheduling.cpp.o"
+  "CMakeFiles/gpu_scheduling.dir/gpu_scheduling.cpp.o.d"
+  "gpu_scheduling"
+  "gpu_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/detailed_sim.cc" "src/baselines/CMakeFiles/gpuperf_baselines.dir/detailed_sim.cc.o" "gcc" "src/baselines/CMakeFiles/gpuperf_baselines.dir/detailed_sim.cc.o.d"
+  "/root/repo/src/baselines/pka.cc" "src/baselines/CMakeFiles/gpuperf_baselines.dir/pka.cc.o" "gcc" "src/baselines/CMakeFiles/gpuperf_baselines.dir/pka.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/gpuperf_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_baselines.dir/detailed_sim.cc.o"
+  "CMakeFiles/gpuperf_baselines.dir/detailed_sim.cc.o.d"
+  "CMakeFiles/gpuperf_baselines.dir/pka.cc.o"
+  "CMakeFiles/gpuperf_baselines.dir/pka.cc.o.d"
+  "libgpuperf_baselines.a"
+  "libgpuperf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_common.dir/ascii_plot.cc.o"
+  "CMakeFiles/gpuperf_common.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/gpuperf_common.dir/csv.cc.o"
+  "CMakeFiles/gpuperf_common.dir/csv.cc.o.d"
+  "CMakeFiles/gpuperf_common.dir/logging.cc.o"
+  "CMakeFiles/gpuperf_common.dir/logging.cc.o.d"
+  "CMakeFiles/gpuperf_common.dir/random.cc.o"
+  "CMakeFiles/gpuperf_common.dir/random.cc.o.d"
+  "CMakeFiles/gpuperf_common.dir/stats.cc.o"
+  "CMakeFiles/gpuperf_common.dir/stats.cc.o.d"
+  "CMakeFiles/gpuperf_common.dir/string_util.cc.o"
+  "CMakeFiles/gpuperf_common.dir/string_util.cc.o.d"
+  "CMakeFiles/gpuperf_common.dir/table.cc.o"
+  "CMakeFiles/gpuperf_common.dir/table.cc.o.d"
+  "libgpuperf_common.a"
+  "libgpuperf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_dataset.dir/builder.cc.o"
+  "CMakeFiles/gpuperf_dataset.dir/builder.cc.o.d"
+  "CMakeFiles/gpuperf_dataset.dir/dataset.cc.o"
+  "CMakeFiles/gpuperf_dataset.dir/dataset.cc.o.d"
+  "libgpuperf_dataset.a"
+  "libgpuperf_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/builder.cc" "src/dnn/CMakeFiles/gpuperf_dnn.dir/builder.cc.o" "gcc" "src/dnn/CMakeFiles/gpuperf_dnn.dir/builder.cc.o.d"
+  "/root/repo/src/dnn/flops.cc" "src/dnn/CMakeFiles/gpuperf_dnn.dir/flops.cc.o" "gcc" "src/dnn/CMakeFiles/gpuperf_dnn.dir/flops.cc.o.d"
+  "/root/repo/src/dnn/fusion.cc" "src/dnn/CMakeFiles/gpuperf_dnn.dir/fusion.cc.o" "gcc" "src/dnn/CMakeFiles/gpuperf_dnn.dir/fusion.cc.o.d"
+  "/root/repo/src/dnn/layer.cc" "src/dnn/CMakeFiles/gpuperf_dnn.dir/layer.cc.o" "gcc" "src/dnn/CMakeFiles/gpuperf_dnn.dir/layer.cc.o.d"
+  "/root/repo/src/dnn/memory.cc" "src/dnn/CMakeFiles/gpuperf_dnn.dir/memory.cc.o" "gcc" "src/dnn/CMakeFiles/gpuperf_dnn.dir/memory.cc.o.d"
+  "/root/repo/src/dnn/network.cc" "src/dnn/CMakeFiles/gpuperf_dnn.dir/network.cc.o" "gcc" "src/dnn/CMakeFiles/gpuperf_dnn.dir/network.cc.o.d"
+  "/root/repo/src/dnn/tensor_shape.cc" "src/dnn/CMakeFiles/gpuperf_dnn.dir/tensor_shape.cc.o" "gcc" "src/dnn/CMakeFiles/gpuperf_dnn.dir/tensor_shape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

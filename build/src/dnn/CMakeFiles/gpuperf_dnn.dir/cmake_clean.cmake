@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_dnn.dir/builder.cc.o"
+  "CMakeFiles/gpuperf_dnn.dir/builder.cc.o.d"
+  "CMakeFiles/gpuperf_dnn.dir/flops.cc.o"
+  "CMakeFiles/gpuperf_dnn.dir/flops.cc.o.d"
+  "CMakeFiles/gpuperf_dnn.dir/fusion.cc.o"
+  "CMakeFiles/gpuperf_dnn.dir/fusion.cc.o.d"
+  "CMakeFiles/gpuperf_dnn.dir/layer.cc.o"
+  "CMakeFiles/gpuperf_dnn.dir/layer.cc.o.d"
+  "CMakeFiles/gpuperf_dnn.dir/memory.cc.o"
+  "CMakeFiles/gpuperf_dnn.dir/memory.cc.o.d"
+  "CMakeFiles/gpuperf_dnn.dir/network.cc.o"
+  "CMakeFiles/gpuperf_dnn.dir/network.cc.o.d"
+  "CMakeFiles/gpuperf_dnn.dir/tensor_shape.cc.o"
+  "CMakeFiles/gpuperf_dnn.dir/tensor_shape.cc.o.d"
+  "libgpuperf_dnn.a"
+  "libgpuperf_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

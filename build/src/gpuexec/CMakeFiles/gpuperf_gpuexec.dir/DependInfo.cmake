@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpuexec/gpu_spec.cc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/gpu_spec.cc.o" "gcc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/gpu_spec.cc.o.d"
+  "/root/repo/src/gpuexec/kernel.cc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/kernel.cc.o" "gcc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/kernel.cc.o.d"
+  "/root/repo/src/gpuexec/lowering.cc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/lowering.cc.o" "gcc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/lowering.cc.o.d"
+  "/root/repo/src/gpuexec/oracle.cc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/oracle.cc.o" "gcc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/oracle.cc.o.d"
+  "/root/repo/src/gpuexec/profiler.cc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/profiler.cc.o" "gcc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/profiler.cc.o.d"
+  "/root/repo/src/gpuexec/roofline.cc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/roofline.cc.o" "gcc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/roofline.cc.o.d"
+  "/root/repo/src/gpuexec/trace_export.cc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/trace_export.cc.o" "gcc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/trace_export.cc.o.d"
+  "/root/repo/src/gpuexec/training.cc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/training.cc.o" "gcc" "src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/gpuperf_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_gpuexec.dir/gpu_spec.cc.o"
+  "CMakeFiles/gpuperf_gpuexec.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/gpuperf_gpuexec.dir/kernel.cc.o"
+  "CMakeFiles/gpuperf_gpuexec.dir/kernel.cc.o.d"
+  "CMakeFiles/gpuperf_gpuexec.dir/lowering.cc.o"
+  "CMakeFiles/gpuperf_gpuexec.dir/lowering.cc.o.d"
+  "CMakeFiles/gpuperf_gpuexec.dir/oracle.cc.o"
+  "CMakeFiles/gpuperf_gpuexec.dir/oracle.cc.o.d"
+  "CMakeFiles/gpuperf_gpuexec.dir/profiler.cc.o"
+  "CMakeFiles/gpuperf_gpuexec.dir/profiler.cc.o.d"
+  "CMakeFiles/gpuperf_gpuexec.dir/roofline.cc.o"
+  "CMakeFiles/gpuperf_gpuexec.dir/roofline.cc.o.d"
+  "CMakeFiles/gpuperf_gpuexec.dir/trace_export.cc.o"
+  "CMakeFiles/gpuperf_gpuexec.dir/trace_export.cc.o.d"
+  "CMakeFiles/gpuperf_gpuexec.dir/training.cc.o"
+  "CMakeFiles/gpuperf_gpuexec.dir/training.cc.o.d"
+  "libgpuperf_gpuexec.a"
+  "libgpuperf_gpuexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_gpuexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/cpu_aware_model.cc" "src/models/CMakeFiles/gpuperf_models.dir/cpu_aware_model.cc.o" "gcc" "src/models/CMakeFiles/gpuperf_models.dir/cpu_aware_model.cc.o.d"
+  "/root/repo/src/models/e2e_model.cc" "src/models/CMakeFiles/gpuperf_models.dir/e2e_model.cc.o" "gcc" "src/models/CMakeFiles/gpuperf_models.dir/e2e_model.cc.o.d"
+  "/root/repo/src/models/igkw_model.cc" "src/models/CMakeFiles/gpuperf_models.dir/igkw_model.cc.o" "gcc" "src/models/CMakeFiles/gpuperf_models.dir/igkw_model.cc.o.d"
+  "/root/repo/src/models/kw_model.cc" "src/models/CMakeFiles/gpuperf_models.dir/kw_model.cc.o" "gcc" "src/models/CMakeFiles/gpuperf_models.dir/kw_model.cc.o.d"
+  "/root/repo/src/models/lw_model.cc" "src/models/CMakeFiles/gpuperf_models.dir/lw_model.cc.o" "gcc" "src/models/CMakeFiles/gpuperf_models.dir/lw_model.cc.o.d"
+  "/root/repo/src/models/model_io.cc" "src/models/CMakeFiles/gpuperf_models.dir/model_io.cc.o" "gcc" "src/models/CMakeFiles/gpuperf_models.dir/model_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataset/CMakeFiles/gpuperf_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/regression/CMakeFiles/gpuperf_regression.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/zoo/CMakeFiles/gpuperf_zoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/gpuperf_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

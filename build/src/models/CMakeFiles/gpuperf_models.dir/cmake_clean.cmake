@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_models.dir/cpu_aware_model.cc.o"
+  "CMakeFiles/gpuperf_models.dir/cpu_aware_model.cc.o.d"
+  "CMakeFiles/gpuperf_models.dir/e2e_model.cc.o"
+  "CMakeFiles/gpuperf_models.dir/e2e_model.cc.o.d"
+  "CMakeFiles/gpuperf_models.dir/igkw_model.cc.o"
+  "CMakeFiles/gpuperf_models.dir/igkw_model.cc.o.d"
+  "CMakeFiles/gpuperf_models.dir/kw_model.cc.o"
+  "CMakeFiles/gpuperf_models.dir/kw_model.cc.o.d"
+  "CMakeFiles/gpuperf_models.dir/lw_model.cc.o"
+  "CMakeFiles/gpuperf_models.dir/lw_model.cc.o.d"
+  "CMakeFiles/gpuperf_models.dir/model_io.cc.o"
+  "CMakeFiles/gpuperf_models.dir/model_io.cc.o.d"
+  "libgpuperf_models.a"
+  "libgpuperf_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

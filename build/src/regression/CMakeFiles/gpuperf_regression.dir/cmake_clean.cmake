@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_regression.dir/linreg.cc.o"
+  "CMakeFiles/gpuperf_regression.dir/linreg.cc.o.d"
+  "libgpuperf_regression.a"
+  "libgpuperf_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

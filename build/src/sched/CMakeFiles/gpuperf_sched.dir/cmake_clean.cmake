@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_sched.dir/scheduler.cc.o"
+  "CMakeFiles/gpuperf_sched.dir/scheduler.cc.o.d"
+  "libgpuperf_sched.a"
+  "libgpuperf_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simsys/data_parallel.cc" "src/simsys/CMakeFiles/gpuperf_simsys.dir/data_parallel.cc.o" "gcc" "src/simsys/CMakeFiles/gpuperf_simsys.dir/data_parallel.cc.o.d"
+  "/root/repo/src/simsys/disagg.cc" "src/simsys/CMakeFiles/gpuperf_simsys.dir/disagg.cc.o" "gcc" "src/simsys/CMakeFiles/gpuperf_simsys.dir/disagg.cc.o.d"
+  "/root/repo/src/simsys/event_queue.cc" "src/simsys/CMakeFiles/gpuperf_simsys.dir/event_queue.cc.o" "gcc" "src/simsys/CMakeFiles/gpuperf_simsys.dir/event_queue.cc.o.d"
+  "/root/repo/src/simsys/link.cc" "src/simsys/CMakeFiles/gpuperf_simsys.dir/link.cc.o" "gcc" "src/simsys/CMakeFiles/gpuperf_simsys.dir/link.cc.o.d"
+  "/root/repo/src/simsys/pipeline_parallel.cc" "src/simsys/CMakeFiles/gpuperf_simsys.dir/pipeline_parallel.cc.o" "gcc" "src/simsys/CMakeFiles/gpuperf_simsys.dir/pipeline_parallel.cc.o.d"
+  "/root/repo/src/simsys/serving.cc" "src/simsys/CMakeFiles/gpuperf_simsys.dir/serving.cc.o" "gcc" "src/simsys/CMakeFiles/gpuperf_simsys.dir/serving.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/gpuperf_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

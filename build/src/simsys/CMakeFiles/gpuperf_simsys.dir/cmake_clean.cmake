@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_simsys.dir/data_parallel.cc.o"
+  "CMakeFiles/gpuperf_simsys.dir/data_parallel.cc.o.d"
+  "CMakeFiles/gpuperf_simsys.dir/disagg.cc.o"
+  "CMakeFiles/gpuperf_simsys.dir/disagg.cc.o.d"
+  "CMakeFiles/gpuperf_simsys.dir/event_queue.cc.o"
+  "CMakeFiles/gpuperf_simsys.dir/event_queue.cc.o.d"
+  "CMakeFiles/gpuperf_simsys.dir/link.cc.o"
+  "CMakeFiles/gpuperf_simsys.dir/link.cc.o.d"
+  "CMakeFiles/gpuperf_simsys.dir/pipeline_parallel.cc.o"
+  "CMakeFiles/gpuperf_simsys.dir/pipeline_parallel.cc.o.d"
+  "CMakeFiles/gpuperf_simsys.dir/serving.cc.o"
+  "CMakeFiles/gpuperf_simsys.dir/serving.cc.o.d"
+  "libgpuperf_simsys.a"
+  "libgpuperf_simsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_simsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpuperf_simsys.a"
+)

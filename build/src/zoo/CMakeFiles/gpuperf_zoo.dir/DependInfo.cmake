@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zoo/classic.cc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/classic.cc.o" "gcc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/classic.cc.o.d"
+  "/root/repo/src/zoo/densenet.cc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/densenet.cc.o" "gcc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/densenet.cc.o.d"
+  "/root/repo/src/zoo/mobilenet.cc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/mobilenet.cc.o" "gcc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/mobilenet.cc.o.d"
+  "/root/repo/src/zoo/resnet.cc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/resnet.cc.o" "gcc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/resnet.cc.o.d"
+  "/root/repo/src/zoo/shufflenet.cc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/shufflenet.cc.o" "gcc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/shufflenet.cc.o.d"
+  "/root/repo/src/zoo/transformer.cc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/transformer.cc.o" "gcc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/transformer.cc.o.d"
+  "/root/repo/src/zoo/vgg.cc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/vgg.cc.o" "gcc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/vgg.cc.o.d"
+  "/root/repo/src/zoo/zoo.cc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/zoo.cc.o" "gcc" "src/zoo/CMakeFiles/gpuperf_zoo.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/gpuperf_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

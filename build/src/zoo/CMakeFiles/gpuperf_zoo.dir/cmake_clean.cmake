@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_zoo.dir/classic.cc.o"
+  "CMakeFiles/gpuperf_zoo.dir/classic.cc.o.d"
+  "CMakeFiles/gpuperf_zoo.dir/densenet.cc.o"
+  "CMakeFiles/gpuperf_zoo.dir/densenet.cc.o.d"
+  "CMakeFiles/gpuperf_zoo.dir/mobilenet.cc.o"
+  "CMakeFiles/gpuperf_zoo.dir/mobilenet.cc.o.d"
+  "CMakeFiles/gpuperf_zoo.dir/resnet.cc.o"
+  "CMakeFiles/gpuperf_zoo.dir/resnet.cc.o.d"
+  "CMakeFiles/gpuperf_zoo.dir/shufflenet.cc.o"
+  "CMakeFiles/gpuperf_zoo.dir/shufflenet.cc.o.d"
+  "CMakeFiles/gpuperf_zoo.dir/transformer.cc.o"
+  "CMakeFiles/gpuperf_zoo.dir/transformer.cc.o.d"
+  "CMakeFiles/gpuperf_zoo.dir/vgg.cc.o"
+  "CMakeFiles/gpuperf_zoo.dir/vgg.cc.o.d"
+  "CMakeFiles/gpuperf_zoo.dir/zoo.cc.o"
+  "CMakeFiles/gpuperf_zoo.dir/zoo.cc.o.d"
+  "libgpuperf_zoo.a"
+  "libgpuperf_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

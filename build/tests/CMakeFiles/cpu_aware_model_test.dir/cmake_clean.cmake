@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_aware_model_test.dir/cpu_aware_model_test.cc.o"
+  "CMakeFiles/cpu_aware_model_test.dir/cpu_aware_model_test.cc.o.d"
+  "cpu_aware_model_test"
+  "cpu_aware_model_test.pdb"
+  "cpu_aware_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_aware_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_parallel_test.dir/data_parallel_test.cc.o"
+  "CMakeFiles/data_parallel_test.dir/data_parallel_test.cc.o.d"
+  "data_parallel_test"
+  "data_parallel_test.pdb"
+  "data_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_spec_test.dir/gpu_spec_test.cc.o"
+  "CMakeFiles/gpu_spec_test.dir/gpu_spec_test.cc.o.d"
+  "gpu_spec_test"
+  "gpu_spec_test.pdb"
+  "gpu_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_test_support.dir/test_support.cc.o"
+  "CMakeFiles/gpuperf_test_support.dir/test_support.cc.o.d"
+  "libgpuperf_test_support.a"
+  "libgpuperf_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

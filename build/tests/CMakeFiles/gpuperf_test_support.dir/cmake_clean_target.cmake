@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpuperf_test_support.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igkw_model_test.dir/igkw_model_test.cc.o"
+  "CMakeFiles/igkw_model_test.dir/igkw_model_test.cc.o.d"
+  "igkw_model_test"
+  "igkw_model_test.pdb"
+  "igkw_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igkw_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kw_model_test.dir/kw_model_test.cc.o"
+  "CMakeFiles/kw_model_test.dir/kw_model_test.cc.o.d"
+  "kw_model_test"
+  "kw_model_test.pdb"
+  "kw_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kw_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

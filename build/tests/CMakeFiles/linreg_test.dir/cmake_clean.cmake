@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linreg_test.dir/linreg_test.cc.o"
+  "CMakeFiles/linreg_test.dir/linreg_test.cc.o.d"
+  "linreg_test"
+  "linreg_test.pdb"
+  "linreg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linreg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowering_sweep_test.dir/lowering_sweep_test.cc.o"
+  "CMakeFiles/lowering_sweep_test.dir/lowering_sweep_test.cc.o.d"
+  "lowering_sweep_test"
+  "lowering_sweep_test.pdb"
+  "lowering_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowering_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/oracle_sweep_test.cc" "tests/CMakeFiles/oracle_sweep_test.dir/oracle_sweep_test.cc.o" "gcc" "tests/CMakeFiles/oracle_sweep_test.dir/oracle_sweep_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/gpuperf_test_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/gpuperf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/gpuperf_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/zoo/CMakeFiles/gpuperf_zoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/regression/CMakeFiles/gpuperf_regression.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsys/CMakeFiles/gpuperf_simsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gpuperf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gpuperf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpuexec/CMakeFiles/gpuperf_gpuexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/gpuperf_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

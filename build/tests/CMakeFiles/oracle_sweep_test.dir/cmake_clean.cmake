@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_sweep_test.dir/oracle_sweep_test.cc.o"
+  "CMakeFiles/oracle_sweep_test.dir/oracle_sweep_test.cc.o.d"
+  "oracle_sweep_test"
+  "oracle_sweep_test.pdb"
+  "oracle_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_structure_test.dir/zoo_structure_test.cc.o"
+  "CMakeFiles/zoo_structure_test.dir/zoo_structure_test.cc.o.d"
+  "zoo_structure_test"
+  "zoo_structure_test.pdb"
+  "zoo_structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf.dir/gpuperf_cli.cc.o"
+  "CMakeFiles/gpuperf.dir/gpuperf_cli.cc.o.d"
+  "gpuperf"
+  "gpuperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gpuperf.
+# This may be replaced when dependencies are built.
