@@ -50,6 +50,20 @@ void BM_KwPredictResnet50(benchmark::State& state) {
 }
 BENCHMARK(BM_KwPredictResnet50);
 
+// Steady-state prediction: the per-network signature-id vector is
+// already memoized, so the loop exercises only the dense arithmetic
+// path (no string hashing, no map lookups).
+void BM_KwPredictResnet50Cached(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  benchmark::DoNotOptimize(fixture.kw.PredictUs(fixture.resnet50, a100, 256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.kw.PredictUs(fixture.resnet50, a100, 256));
+  }
+}
+BENCHMARK(BM_KwPredictResnet50Cached);
+
 void BM_E2ePredictResnet50(benchmark::State& state) {
   const Fixture& fixture = Fixture::Get();
   const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
@@ -89,6 +103,30 @@ void BM_ProfileResnet50(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProfileResnet50)->Unit(benchmark::kMillisecond);
+
+void BM_BuildDatasetSerial(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  dataset::BuildOptions options;
+  options.gpu_names = {"A100"};
+  options.jobs = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dataset::BuildDataset(fixture.networks, options));
+  }
+}
+BENCHMARK(BM_BuildDatasetSerial)->Unit(benchmark::kMillisecond);
+
+void BM_BuildDatasetParallel(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  dataset::BuildOptions options;
+  options.gpu_names = {"A100"};
+  options.jobs = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dataset::BuildDataset(fixture.networks, options));
+  }
+}
+BENCHMARK(BM_BuildDatasetParallel)->Unit(benchmark::kMillisecond);
 
 void BM_NetworkFlops(benchmark::State& state) {
   const Fixture& fixture = Fixture::Get();

@@ -11,9 +11,11 @@
 // A consumer can then predict without any measurement infrastructure:
 // load the model bundle, construct a network, call PredictUs.
 //
-// Usage: build_database [out_dir] [zoo_stride]
+// Usage: build_database [out_dir] [zoo_stride] [jobs]
 //   zoo_stride 1 reproduces the full 646-network campaign (~1 min);
 //   the default 8 builds a 1/8 campaign in seconds.
+//   jobs sets the profiling thread count (default 0 = all hardware
+//   threads); the produced database is identical for every job count.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,11 +32,13 @@ using namespace gpuperf;
 int main(int argc, char** argv) {
   const std::string out = argc > 1 ? argv[1] : "gpuperf_release";
   const int stride = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int jobs = argc > 3 ? std::atoi(argv[3]) : 0;
 
   std::vector<dnn::Network> networks = zoo::SmallZoo(stride);
   std::printf("profiling %zu networks on all %zu GPUs at BS 512...\n",
               networks.size(), gpuexec::AllGpus().size());
   dataset::BuildOptions options;  // all GPUs, BS 512, 30 measured batches
+  options.jobs = jobs;
   dataset::Dataset data = dataset::BuildDataset(networks, options);
 
   std::filesystem::create_directories(out + "/database");

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification: regular build + tests, then the concurrency tests
+# under ThreadSanitizer (GPUPERF_SANITIZE=thread).
+#
+# Usage: scripts/verify.sh [build_dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+echo "== tier 1: build + full test suite =="
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j
+(cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
+
+echo "== tier 2: concurrency tests under ThreadSanitizer =="
+TSAN_BUILD="${BUILD}-tsan"
+cmake -B "$TSAN_BUILD" -S . -DGPUPERF_SANITIZE=thread
+cmake --build "$TSAN_BUILD" -j --target \
+  thread_pool_test parallel_build_test lowering_cache_test
+"./$TSAN_BUILD/tests/thread_pool_test"
+"./$TSAN_BUILD/tests/parallel_build_test"
+"./$TSAN_BUILD/tests/lowering_cache_test"
+
+echo "verify: OK"

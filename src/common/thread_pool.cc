@@ -1,0 +1,109 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace gpuperf {
+
+/** Shared state of one ParallelFor call. */
+struct ThreadPool::ForState {
+  std::function<void(std::size_t)> fn;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // guarded by mu
+};
+
+int ThreadPool::DefaultJobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(int jobs) : jobs_(jobs <= 0 ? DefaultJobs() : jobs) {
+  workers_.reserve(jobs_ - 1);
+  for (int i = 0; i < jobs_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunLoop(const std::shared_ptr<ForState>& state) {
+  for (;;) {
+    const std::size_t i = state->next.fetch_add(1);
+    if (i >= state->n) return;
+    if (!state->failed.load()) {
+      try {
+        state->fn(i);
+      } catch (...) {
+        state->failed.store(true);
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+    }
+    if (state->done.fetch_add(1) + 1 == state->n) {
+      // The caller may already be waiting; wake it under the lock so the
+      // notify cannot race with its predicate check.
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->fn = fn;
+  state->n = n;
+
+  // One helper task per worker that could usefully participate. Helpers
+  // arriving after the loop drained exit immediately, so queueing more
+  // than needed only costs a queue pop.
+  const std::size_t helpers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_ - 1), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([state] { RunLoop(state); });
+    }
+  }
+  queue_cv_.notify_all();
+
+  // The calling thread works too; nested calls therefore never deadlock.
+  RunLoop(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == n; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace gpuperf

@@ -1,0 +1,79 @@
+#ifndef GPUPERF_COMMON_THREAD_POOL_H_
+#define GPUPERF_COMMON_THREAD_POOL_H_
+
+/**
+ * @file
+ * A fixed-size worker pool with a ParallelFor helper, shared by the
+ * measurement campaign (dataset::AppendProfiles) and any other
+ * embarrassingly parallel sweep.
+ *
+ * Design rules:
+ *  - The calling thread participates in ParallelFor, so a nested
+ *    ParallelFor issued from inside a worker always makes progress even
+ *    when every worker is busy (the inner call degenerates to a serial
+ *    loop on that worker).
+ *  - Iterations are claimed from an atomic counter, so the set of
+ *    iterations each thread runs is nondeterministic — callers that need
+ *    a deterministic result must write into pre-sized per-index slots
+ *    and merge single-threaded afterwards (see dataset::AppendProfiles).
+ *  - The first exception thrown by an iteration is rethrown on the
+ *    calling thread after the loop drains; remaining unclaimed
+ *    iterations are skipped.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpuperf {
+
+/** A fixed set of worker threads executing queued tasks. */
+class ThreadPool {
+ public:
+  /**
+   * Starts `jobs - 1` worker threads (the caller is the remaining job);
+   * `jobs <= 0` selects DefaultJobs(). jobs == 1 runs everything on the
+   * calling thread and starts no workers at all.
+   */
+  explicit ThreadPool(int jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /** The configured parallelism (worker threads + the calling thread). */
+  int jobs() const { return jobs_; }
+
+  /** std::thread::hardware_concurrency(), at least 1. */
+  static int DefaultJobs();
+
+  /**
+   * Runs fn(0) .. fn(n - 1), distributing iterations over the workers
+   * and the calling thread; returns when all n have finished. Safe to
+   * call from inside another ParallelFor body.
+   */
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct ForState;
+
+  void WorkerLoop();
+  static void RunLoop(const std::shared_ptr<ForState>& state);
+
+  int jobs_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace gpuperf
+
+#endif  // GPUPERF_COMMON_THREAD_POOL_H_

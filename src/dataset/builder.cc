@@ -1,12 +1,24 @@
 #include "dataset/builder.h"
 
+#include <cstddef>
+
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "gpuexec/gpu_spec.h"
 #include "gpuexec/profiler.h"
 
 #include "dnn/memory.h"
 
 namespace gpuperf::dataset {
+namespace {
+
+/** One (gpu, network) combo that survives the OOM filter. */
+struct WorkItem {
+  std::size_t gpu_index;
+  std::size_t network_index;
+};
+
+}  // namespace
 
 void AppendProfiles(const std::vector<dnn::Network>& networks,
                     const BuildOptions& options, Dataset* dataset) {
@@ -23,19 +35,47 @@ void AppendProfiles(const std::vector<dnn::Network>& networks,
   const gpuexec::HardwareOracle oracle(options.oracle);
   const gpuexec::Profiler profiler(oracle, options.measured_batches);
 
-  for (const gpuexec::GpuSpec& gpu : gpus) {
-    const int gpu_id = dataset->gpus().Intern(gpu.name);
-    for (const dnn::Network& network : networks) {
+  // Phase 1 (serial, cheap): decide the campaign plan. The OOM filter
+  // runs here so the work list — and therefore the merge order — is
+  // fixed before any profiling starts.
+  std::vector<WorkItem> items;
+  items.reserve(gpus.size() * networks.size());
+  for (std::size_t g = 0; g < gpus.size(); ++g) {
+    for (std::size_t n = 0; n < networks.size(); ++n) {
       if (options.skip_oom) {
         const std::int64_t footprint =
             options.workload == gpuexec::Workload::kTraining
-                ? dnn::TrainingFootprintBytes(network, options.batch)
-                : dnn::InferenceFootprintBytes(network, options.batch);
-        if (!dnn::FitsInMemory(footprint, gpu.memory_gb)) continue;
+                ? dnn::TrainingFootprintBytes(networks[n], options.batch)
+                : dnn::InferenceFootprintBytes(networks[n], options.batch);
+        if (!dnn::FitsInMemory(footprint, gpus[g].memory_gb)) continue;
       }
+      items.push_back({g, n});
+    }
+  }
+
+  // Phase 2 (parallel, expensive): profile each combo into its own slot.
+  // The profiler is deterministic per combo (its noise stream is keyed
+  // by (network, gpu, batch)), so slot contents do not depend on which
+  // thread ran them or in what order.
+  std::vector<gpuexec::NetworkProfile> profiles(items.size());
+  ThreadPool pool(options.jobs);
+  pool.ParallelFor(items.size(), [&](std::size_t i) {
+    profiles[i] = profiler.Profile(networks[items[i].network_index],
+                                   gpus[items[i].gpu_index], options.batch,
+                                   options.workload);
+  });
+
+  // Phase 3 (serial): merge in the original gpu-major loop order.
+  // Interning happens only here, so the id pools and row order are byte
+  // for byte those of a jobs=1 build. GPU names are interned even when
+  // every network was skipped, matching the historical serial loop.
+  std::size_t next = 0;
+  for (std::size_t g = 0; g < gpus.size(); ++g) {
+    const int gpu_id = dataset->gpus().Intern(gpus[g].name);
+    for (; next < items.size() && items[next].gpu_index == g; ++next) {
+      const dnn::Network& network = networks[items[next].network_index];
+      const gpuexec::NetworkProfile& profile = profiles[next];
       const int network_id = dataset->networks().Intern(network.name());
-      gpuexec::NetworkProfile profile =
-          profiler.Profile(network, gpu, options.batch, options.workload);
 
       NetworkRow net_row;
       net_row.gpu_id = gpu_id;

@@ -32,10 +32,20 @@ struct BuildOptions {
   // error)" from its dataset; when true, (network, GPU, batch) combos
   // whose estimated footprint exceeds the device memory are skipped.
   bool skip_oom = true;
+  // Worker threads for the profiling sweep; <= 0 selects
+  // hardware_concurrency. The result is identical for every job count:
+  // (gpu, network) combos are profiled concurrently into private
+  // buffers, then merged single-threaded in the serial loop order, so
+  // string interning and row order match the jobs=1 build byte for byte.
+  int jobs = 0;
   gpuexec::OracleConfig oracle;
 };
 
-/** Profiles every network on every GPU and appends rows to `dataset`. */
+/**
+ * Profiles every network on every GPU and appends rows to `dataset`.
+ * Parallel over (gpu, network) per `options.jobs`; the appended rows and
+ * interned id pools are independent of the job count.
+ */
 void AppendProfiles(const std::vector<dnn::Network>& networks,
                     const BuildOptions& options, Dataset* dataset);
 

@@ -1,0 +1,79 @@
+#include "gpuexec/lowering_cache.h"
+
+#include <mutex>
+#include <utility>
+
+#include "common/string_util.h"
+#include "dnn/flops.h"
+#include "gpuexec/lowering.h"
+
+namespace gpuperf::gpuexec {
+namespace {
+
+std::string CacheKey(const dnn::Layer& layer, std::int64_t batch,
+                     Workload workload) {
+  return dnn::LayerSignature(layer) +
+         Format("|w%ld|b%ld|%d", static_cast<long>(dnn::LayerWeightCount(layer)),
+                static_cast<long>(batch), static_cast<int>(workload));
+}
+
+std::vector<KernelLaunch> LowerUncached(const dnn::Layer& layer,
+                                        std::int64_t batch,
+                                        Workload workload) {
+  std::vector<KernelLaunch> launches = LowerLayer(layer, batch);
+  if (workload == Workload::kTraining) {
+    std::vector<KernelLaunch> backward = LowerLayerBackward(layer, batch);
+    launches.insert(launches.end(),
+                    std::make_move_iterator(backward.begin()),
+                    std::make_move_iterator(backward.end()));
+  }
+  return launches;
+}
+
+}  // namespace
+
+std::shared_ptr<const LoweringCache::LaunchList> LoweringCache::Lower(
+    const dnn::Layer& layer, std::int64_t batch, Workload workload) {
+  const std::string key = CacheKey(layer, batch, workload);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  auto lowered = std::make_shared<const LaunchList>(
+      LowerUncached(layer, batch, workload));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Another thread may have inserted meanwhile; keep the first entry so
+  // every caller shares one list.
+  auto [it, inserted] = cache_.emplace(key, std::move(lowered));
+  return it->second;
+}
+
+std::size_t LoweringCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return cache_.size();
+}
+
+void LoweringCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  cache_.clear();
+}
+
+LoweringCache& LoweringCache::Global() {
+  static LoweringCache* const kCache = new LoweringCache();
+  return *kCache;
+}
+
+std::vector<std::shared_ptr<const LoweringCache::LaunchList>>
+CachedLowerNetworkWorkload(const dnn::Network& network, std::int64_t batch,
+                           Workload workload, LoweringCache* cache) {
+  LoweringCache& target = cache != nullptr ? *cache : LoweringCache::Global();
+  std::vector<std::shared_ptr<const LoweringCache::LaunchList>> lowered;
+  lowered.reserve(network.layers().size());
+  for (const dnn::Layer& layer : network.layers()) {
+    lowered.push_back(target.Lower(layer, batch, workload));
+  }
+  return lowered;
+}
+
+}  // namespace gpuperf::gpuexec

@@ -6,6 +6,7 @@
 #include "common/random.h"
 #include "dnn/flops.h"
 #include "gpuexec/lowering.h"
+#include "gpuexec/lowering_cache.h"
 
 namespace gpuperf::gpuexec {
 namespace {
@@ -63,8 +64,11 @@ NetworkProfile Profiler::Profile(const dnn::Network& network,
   profile.batch = batch;
   profile.total_flops = dnn::NetworkFlops(network, batch);
 
-  const std::vector<std::vector<KernelLaunch>> lowered =
-      LowerNetworkWorkload(network, batch, workload);
+  // Lowering is memoized process-wide: zoo networks repeat layer
+  // configurations heavily, and a parallel campaign profiles from many
+  // threads against the same shared cache.
+  const std::vector<std::shared_ptr<const LoweringCache::LaunchList>>
+      lowered = CachedLowerNetworkWorkload(network, batch, workload);
 
   // Pay the deterministic oracle cost once per kernel; replay with noise.
   // Records stay grouped per layer (the mapping table relies on it); the
@@ -74,7 +78,7 @@ NetworkProfile Profiler::Profile(const dnn::Network& network,
   std::vector<std::size_t> flat_base(lowered.size());
   for (std::size_t layer = 0; layer < lowered.size(); ++layer) {
     flat_base[layer] = profile.kernels.size();
-    for (const KernelLaunch& launch : lowered[layer]) {
+    for (const KernelLaunch& launch : *lowered[layer]) {
       expected.push_back(oracle_.ExpectedKernelTimeUs(launch, gpu));
       KernelRecord record;
       record.kernel_name = launch.name;
@@ -93,7 +97,17 @@ NetworkProfile Profiler::Profile(const dnn::Network& network,
   }
   std::vector<std::size_t> timeline;
   if (workload == Workload::kTraining) {
-    for (const auto& [layer, k] : TrainingExecutionOrder(network, lowered)) {
+    // Forward counts come from the cached inference lowering, so the
+    // order is derived without re-lowering any layer.
+    std::vector<std::pair<int, int>> counts(lowered.size());
+    for (std::size_t i = 0; i < lowered.size(); ++i) {
+      counts[i].first = static_cast<int>(
+          LoweringCache::Global()
+              .Lower(network.layers()[i], batch, Workload::kInference)
+              ->size());
+      counts[i].second = static_cast<int>(lowered[i]->size());
+    }
+    for (const auto& [layer, k] : TrainingExecutionOrderFromCounts(counts)) {
       timeline.push_back(flat_base[layer] + k);
     }
   } else {

@@ -213,20 +213,27 @@ std::vector<std::pair<int, int>> TrainingExecutionOrder(
     const dnn::Network& network,
     const std::vector<std::vector<KernelLaunch>>& lowered) {
   GP_CHECK_EQ(lowered.size(), network.layers().size());
-  std::vector<std::pair<int, int>> order;
-  std::vector<int> forward_counts(lowered.size());
+  std::vector<std::pair<int, int>> counts(lowered.size());
   for (std::size_t i = 0; i < lowered.size(); ++i) {
-    forward_counts[i] = static_cast<int>(
+    counts[i].first = static_cast<int>(
         LowerLayer(network.layers()[i],
                    lowered[i].empty() ? 1 : lowered[i][0].batch)
             .size());
-    for (int k = 0; k < forward_counts[i]; ++k) {
+    counts[i].second = static_cast<int>(lowered[i].size());
+  }
+  return TrainingExecutionOrderFromCounts(counts);
+}
+
+std::vector<std::pair<int, int>> TrainingExecutionOrderFromCounts(
+    const std::vector<std::pair<int, int>>& counts) {
+  std::vector<std::pair<int, int>> order;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    for (int k = 0; k < counts[i].first; ++k) {
       order.push_back({static_cast<int>(i), k});
     }
   }
-  for (int i = static_cast<int>(lowered.size()) - 1; i >= 0; --i) {
-    for (int k = forward_counts[i];
-         k < static_cast<int>(lowered[i].size()); ++k) {
+  for (int i = static_cast<int>(counts.size()) - 1; i >= 0; --i) {
+    for (int k = counts[i].first; k < counts[i].second; ++k) {
       order.push_back({i, k});
     }
   }

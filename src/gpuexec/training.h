@@ -56,6 +56,14 @@ std::vector<std::pair<int, int>> TrainingExecutionOrder(
     const dnn::Network& network,
     const std::vector<std::vector<KernelLaunch>>& lowered);
 
+/**
+ * The same order computed from per-layer (forward count, total count)
+ * pairs, for callers that hold cached launch lists instead of owned
+ * vectors (LoweringCache keeps both counts without re-lowering).
+ */
+std::vector<std::pair<int, int>> TrainingExecutionOrderFromCounts(
+    const std::vector<std::pair<int, int>>& counts);
+
 }  // namespace gpuperf::gpuexec
 
 #endif  // GPUPERF_GPUEXEC_TRAINING_H_

@@ -27,9 +27,9 @@ std::vector<double> IgkwModel::Features(const gpuexec::GpuSpec& gpu) const {
   return {};
 }
 
-regression::LinearFit IgkwModel::KernelFitAt(
-    const InterGpuKernelModel& law, const gpuexec::GpuSpec& gpu) const {
-  const std::vector<double> features = Features(gpu);
+regression::LinearFit IgkwModel::FitFromFeatures(
+    const InterGpuKernelModel& law,
+    const std::vector<double>& features) const {
   auto evaluate = [&](const std::vector<double>& beta) {
     GP_CHECK_EQ(beta.size(), features.size() + 1);
     double value = beta[0];
@@ -42,6 +42,11 @@ regression::LinearFit IgkwModel::KernelFitAt(
   fit.slope = std::max(0.0, evaluate(law.slope_beta));
   fit.intercept = std::max(0.0, evaluate(law.intercept_beta));
   return fit;
+}
+
+regression::LinearFit IgkwModel::KernelFitAt(
+    const InterGpuKernelModel& law, const gpuexec::GpuSpec& gpu) const {
+  return FitFromFeatures(law, Features(gpu));
 }
 
 void IgkwModel::Train(const dataset::Dataset& data,
@@ -110,12 +115,59 @@ void IgkwModel::Train(const dataset::Dataset& data,
     }
     laws_[name] = law;
   }
+
+  FinalizeTables();
 }
 
-double IgkwModel::PredictLayerUs(const dnn::Layer& layer,
-                                 const gpuexec::GpuSpec& gpu,
-                                 std::int64_t batch) const {
-  const std::vector<std::string> names = kw_.KernelsForLayer(layer);
+void IgkwModel::FinalizeTables() {
+  sig_index_.clear();
+  reduced_index_.clear();
+  resolved_.clear();
+  predict_cache_.Clear();
+
+  // Signature ids follow the sorted mapping-table order; the reduced
+  // index keeps the first full signature per reduced key, matching the
+  // KW model's fallback-table derivation.
+  const std::map<std::string, std::vector<std::string>>& mapping =
+      kw_.MappingTable();
+  for (const auto& [signature, names] : mapping) {
+    (void)names;
+    sig_index_.emplace(signature, static_cast<int>(sig_index_.size()));
+  }
+  for (const auto& [signature, names] : mapping) {
+    (void)names;
+    reduced_index_.emplace(ReducedSignature(signature),
+                           sig_index_.at(signature));
+  }
+
+  resolved_.resize(sig_index_.size());
+  for (const auto& [signature, names] : mapping) {
+    ResolvedSig& sig = resolved_[sig_index_.at(signature)];
+    for (const std::string& name : names) {
+      auto it = laws_.find(name);
+      if (it == laws_.end()) {
+        sig.fallback = true;
+        sig.laws.clear();
+        break;
+      }
+      sig.laws.push_back(it->second);
+    }
+  }
+}
+
+int IgkwModel::ResolveSid(const dnn::Layer& layer) const {
+  const std::string signature = dnn::LayerSignature(layer);
+  auto it = sig_index_.find(signature);
+  if (it != sig_index_.end()) return it->second;
+  auto reduced = reduced_index_.find(ReducedSignature(signature));
+  if (reduced != reduced_index_.end()) return reduced->second;
+  return -1;
+}
+
+double IgkwModel::PredictLayerResolved(int sid, const dnn::Layer& layer,
+                                       const gpuexec::GpuSpec& gpu,
+                                       const std::vector<double>& features,
+                                       std::int64_t batch) const {
   // Fallbacks route through the nearest-bandwidth training GPU's KW
   // estimate, scaled by the bandwidth ratio (memory-bound default).
   auto fallback = [&]() {
@@ -133,7 +185,9 @@ double IgkwModel::PredictLayerUs(const dnn::Layer& layer,
     return kw_.PredictLayerUs(layer, nearest, batch) *
            (near_bw / gpu.bandwidth_gbps);
   };
-  if (names.empty()) return fallback();
+  if (sid < 0) return fallback();
+  const ResolvedSig& resolved = resolved_[sid];
+  if (resolved.fallback) return fallback();
 
   const double x_input = static_cast<double>(batch * layer.InputElements());
   const double x_operation =
@@ -142,11 +196,8 @@ double IgkwModel::PredictLayerUs(const dnn::Layer& layer,
       static_cast<double>(batch * layer.output.Elements());
 
   double total = 0;
-  for (const std::string& name : names) {
-    auto it = laws_.find(name);
-    if (it == laws_.end()) return fallback();
-    const InterGpuKernelModel& law = it->second;
-    const regression::LinearFit fit = KernelFitAt(law, gpu);
+  for (const InterGpuKernelModel& law : resolved.laws) {
+    const regression::LinearFit fit = FitFromFeatures(law, features);
     double x = x_operation;
     if (law.driver == CostDriver::kInput) x = x_input;
     if (law.driver == CostDriver::kOutput) x = x_output;
@@ -155,12 +206,26 @@ double IgkwModel::PredictLayerUs(const dnn::Layer& layer,
   return total * mean_calibration_;
 }
 
+double IgkwModel::PredictLayerUs(const dnn::Layer& layer,
+                                 const gpuexec::GpuSpec& gpu,
+                                 std::int64_t batch) const {
+  return PredictLayerResolved(ResolveSid(layer), layer, gpu, Features(gpu),
+                              batch);
+}
+
 double IgkwModel::PredictUs(const dnn::Network& network,
                             const gpuexec::GpuSpec& gpu,
                             std::int64_t batch) const {
+  // GPU features are evaluated once per call, and per-layer signature
+  // resolution is memoized per network, so the loop below does no string
+  // building, hashing, or map lookups.
+  const std::vector<double> features = Features(gpu);
+  const std::shared_ptr<const std::vector<int>> sids = predict_cache_.Get(
+      network, [this](const dnn::Layer& layer) { return ResolveSid(layer); });
+  const std::vector<dnn::Layer>& layers = network.layers();
   double total = 0;
-  for (const dnn::Layer& layer : network.layers()) {
-    total += PredictLayerUs(layer, gpu, batch);
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    total += PredictLayerResolved((*sids)[i], layers[i], gpu, features, batch);
   }
   return total;
 }

@@ -20,12 +20,14 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dataset/dataset.h"
 #include "dnn/layer.h"
 #include "gpuexec/kernel.h"
 #include "models/kw_model.h"
+#include "models/network_cache.h"
 #include "models/predictor.h"
 
 namespace gpuperf::models {
@@ -79,14 +81,44 @@ class IgkwModel : public Predictor {
   const InterGpuKernelModel* KernelLaw(const std::string& kernel_name) const;
 
  private:
+  /** A layer signature resolved to its kernels' scaling laws. */
+  struct ResolvedSig {
+    bool fallback = false;  // a kernel has no law: nearest-GPU estimate
+    std::vector<InterGpuKernelModel> laws;
+  };
+
   /** Feature vector of a GPU spec under the configured ScalingFeature. */
   std::vector<double> Features(const gpuexec::GpuSpec& gpu) const;
+
+  /** Resolves the mapping table into per-signature law lists. */
+  void FinalizeTables();
+
+  /** Dense signature id of `layer` (full, then reduced), or -1. */
+  int ResolveSid(const dnn::Layer& layer) const;
+
+  /** Layer prediction from a resolved sid and precomputed GPU features. */
+  double PredictLayerResolved(int sid, const dnn::Layer& layer,
+                              const gpuexec::GpuSpec& gpu,
+                              const std::vector<double>& features,
+                              std::int64_t batch) const;
+
+  /** The fitted line evaluated from precomputed features. */
+  regression::LinearFit FitFromFeatures(
+      const InterGpuKernelModel& law,
+      const std::vector<double>& features) const;
 
   KwModel kw_;
   double mean_calibration_ = 1.0;  // mean of the training GPUs' factors
   ScalingFeature feature_ = ScalingFeature::kBandwidth;
   std::map<std::string, InterGpuKernelModel> laws_;
   std::vector<std::string> training_gpus_;
+
+  // --- Dense tables built by FinalizeTables(); indexed by sid.
+  std::unordered_map<std::string, int> sig_index_;
+  std::unordered_map<std::string, int> reduced_index_;
+  std::vector<ResolvedSig> resolved_;
+  // network name -> per-layer sids, filled lazily on prediction.
+  NetworkSidCache predict_cache_;
 };
 
 }  // namespace gpuperf::models

@@ -268,6 +268,81 @@ void KwModel::Train(const dataset::Dataset& data,
       }
     }
   }
+
+  // --- 6. Resolve the string-keyed state into dense prediction tables.
+  FinalizeTables();
+}
+
+void KwModel::FinalizeTables() {
+  gpu_names_.clear();
+  gpu_index_.clear();
+  calibration_by_gpu_.clear();
+  cluster_counts_.clear();
+  sig_index_.clear();
+  reduced_index_.clear();
+  resolved_.clear();
+  predict_cache_.Clear();
+
+  for (const auto& [gpu, kernels] : per_gpu_) {
+    gpu_index_.emplace(gpu, static_cast<int>(gpu_names_.size()));
+    gpu_names_.push_back(gpu);
+    calibration_by_gpu_.push_back(CalibrationFor(gpu));
+    std::vector<int> ids;
+    ids.reserve(kernels.size());
+    for (const auto& [name, model] : kernels) ids.push_back(model.cluster_id);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    cluster_counts_.push_back(static_cast<int>(ids.size()));
+  }
+
+  // Signature ids follow the sorted mapping-table order; the reduced
+  // index keeps the first full signature per reduced key, matching the
+  // emplace semantics used to derive reduced_mapping_.
+  for (const auto& [signature, names] : mapping_) {
+    (void)names;
+    sig_index_.emplace(signature, static_cast<int>(sig_index_.size()));
+  }
+  for (const auto& [signature, names] : mapping_) {
+    (void)names;
+    reduced_index_.emplace(ReducedSignature(signature),
+                           sig_index_.at(signature));
+  }
+
+  // Resolve every (gpu, signature) to concrete fitted lines, applying
+  // the exact-name then longest-common-prefix lookup (tile-variant
+  // mismatch) that the predict path previously re-ran per call.
+  resolved_.assign(gpu_names_.size(), {});
+  for (std::size_t g = 0; g < gpu_names_.size(); ++g) {
+    const std::map<std::string, KernelModel>& kernels =
+        per_gpu_.at(gpu_names_[g]);
+    resolved_[g].resize(sig_index_.size());
+    for (const auto& [signature, names] : mapping_) {
+      ResolvedLayer& layer = resolved_[g][sig_index_.at(signature)];
+      for (const std::string& name : names) {
+        const KernelModel* model = nullptr;
+        auto kernel_it = kernels.find(name);
+        if (kernel_it != kernels.end()) {
+          model = &kernel_it->second;
+        } else {
+          std::size_t best_prefix = 0;
+          for (const auto& [candidate, candidate_model] : kernels) {
+            const std::size_t prefix = CommonPrefix(candidate, name);
+            if (prefix > best_prefix) {
+              best_prefix = prefix;
+              model = &candidate_model;
+            }
+          }
+          if (model == nullptr || best_prefix < name.size() / 2) {
+            layer.use_lw = true;
+            layer.kernels.clear();
+            break;
+          }
+        }
+        layer.kernels.push_back(
+            {model->driver, model->fit.slope, model->fit.intercept});
+      }
+    }
+  }
 }
 
 double KwModel::CalibrationFor(const std::string& gpu_name) const {
@@ -285,18 +360,25 @@ std::vector<std::string> KwModel::KernelsForLayer(
   return {};
 }
 
-double KwModel::PredictLayerUs(const dnn::Layer& layer,
-                               const std::string& gpu_name,
-                               std::int64_t batch) const {
-  auto gpu_it = per_gpu_.find(gpu_name);
-  if (gpu_it == per_gpu_.end()) {
-    Fatal("KW model not trained for GPU " + gpu_name);
-  }
-  const std::map<std::string, KernelModel>& kernels = gpu_it->second;
+int KwModel::ResolveSid(const dnn::Layer& layer) const {
+  const std::string signature = dnn::LayerSignature(layer);
+  auto it = sig_index_.find(signature);
+  if (it != sig_index_.end()) return it->second;
+  auto reduced = reduced_index_.find(ReducedSignature(signature));
+  if (reduced != reduced_index_.end()) return reduced->second;
+  return -1;
+}
 
-  const std::vector<std::string> names = KernelsForLayer(layer);
-  if (names.empty()) {
+double KwModel::PredictLayerResolved(int gpu_idx, int sid,
+                                     const dnn::Layer& layer,
+                                     const std::string& gpu_name,
+                                     std::int64_t batch) const {
+  if (sid < 0) {
     // Unknown layer configuration: layer-wise estimate.
+    return lw_fallback_.PredictLayerUs(layer, gpu_name, batch);
+  }
+  const ResolvedLayer& resolved = resolved_[gpu_idx][sid];
+  if (resolved.use_lw) {
     return lw_fallback_.PredictLayerUs(layer, gpu_name, batch);
   }
 
@@ -308,40 +390,43 @@ double KwModel::PredictLayerUs(const dnn::Layer& layer,
       static_cast<double>(batch * layer.output.Elements());
 
   double total = 0;
-  for (const std::string& name : names) {
-    const KernelModel* model = nullptr;
-    auto kernel_it = kernels.find(name);
-    if (kernel_it != kernels.end()) {
-      model = &kernel_it->second;
-    } else {
-      // Tile-variant mismatch (e.g. another batch size picked a different
-      // tile): use the kernel with the longest common name prefix.
-      std::size_t best_prefix = 0;
-      for (const auto& [candidate, candidate_model] : kernels) {
-        const std::size_t prefix = CommonPrefix(candidate, name);
-        if (prefix > best_prefix) {
-          best_prefix = prefix;
-          model = &candidate_model;
-        }
-      }
-      if (model == nullptr || best_prefix < name.size() / 2) {
-        return lw_fallback_.PredictLayerUs(layer, gpu_name, batch);
-      }
-    }
+  for (const ResolvedKernel& kernel : resolved.kernels) {
     double x = x_operation;
-    if (model->driver == CostDriver::kInput) x = x_input;
-    if (model->driver == CostDriver::kOutput) x = x_output;
-    total += std::max(0.0, model->fit.Predict(x));
+    if (kernel.driver == CostDriver::kInput) x = x_input;
+    if (kernel.driver == CostDriver::kOutput) x = x_output;
+    total += std::max(0.0, kernel.intercept + kernel.slope * x);
   }
-  return total * CalibrationFor(gpu_name);
+  return total * calibration_by_gpu_[gpu_idx];
+}
+
+double KwModel::PredictLayerUs(const dnn::Layer& layer,
+                               const std::string& gpu_name,
+                               std::int64_t batch) const {
+  auto gpu_it = gpu_index_.find(gpu_name);
+  if (gpu_it == gpu_index_.end()) {
+    Fatal("KW model not trained for GPU " + gpu_name);
+  }
+  return PredictLayerResolved(gpu_it->second, ResolveSid(layer), layer,
+                              gpu_name, batch);
 }
 
 double KwModel::PredictUs(const dnn::Network& network,
                           const gpuexec::GpuSpec& gpu,
                           std::int64_t batch) const {
+  auto gpu_it = gpu_index_.find(gpu.name);
+  if (gpu_it == gpu_index_.end()) {
+    Fatal("KW model not trained for GPU " + gpu.name);
+  }
+  const int gpu_idx = gpu_it->second;
+  // Per-layer signature resolution is memoized per network, so the loop
+  // below does no string building, hashing, or map lookups.
+  const std::shared_ptr<const std::vector<int>> sids = predict_cache_.Get(
+      network, [this](const dnn::Layer& layer) { return ResolveSid(layer); });
+  const std::vector<dnn::Layer>& layers = network.layers();
   double total = 0;
-  for (const dnn::Layer& layer : network.layers()) {
-    total += PredictLayerUs(layer, gpu.name, batch);
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    total += PredictLayerResolved(gpu_idx, (*sids)[i], layers[i], gpu.name,
+                                  batch);
   }
   return total;
 }
@@ -366,13 +451,13 @@ int KwModel::KernelCount(const std::string& gpu_name) const {
 }
 
 int KwModel::ClusterCount(const std::string& gpu_name) const {
-  std::vector<int> ids;
-  for (const auto& [name, model] : KernelModels(gpu_name)) {
-    ids.push_back(model.cluster_id);
+  // Counted once in FinalizeTables(); this used to sort + unique the
+  // whole kernel set on every call.
+  auto it = gpu_index_.find(gpu_name);
+  if (it == gpu_index_.end()) {
+    Fatal("KW model not trained for GPU " + gpu_name);
   }
-  std::sort(ids.begin(), ids.end());
-  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-  return static_cast<int>(ids.size());
+  return cluster_counts_[it->second];
 }
 
 }  // namespace gpuperf::models

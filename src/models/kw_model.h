@@ -23,12 +23,14 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dataset/dataset.h"
 #include "dnn/layer.h"
 #include "gpuexec/kernel.h"
 #include "models/lw_model.h"
+#include "models/network_cache.h"
 #include "models/predictor.h"
 #include "regression/linreg.h"
 
@@ -113,6 +115,35 @@ class KwModel : public Predictor {
  private:
   friend class ModelIo;
 
+  /** One mapping-table kernel resolved to its fitted line. */
+  struct ResolvedKernel {
+    gpuexec::CostDriver driver = gpuexec::CostDriver::kOperation;
+    double slope = 0;
+    double intercept = 0;
+  };
+
+  /** A layer signature fully resolved for one GPU. */
+  struct ResolvedLayer {
+    bool use_lw = false;  // a kernel had no usable model: LW fallback
+    std::vector<ResolvedKernel> kernels;
+  };
+
+  /**
+   * Builds the dense prediction tables from the string-keyed training
+   * state. Called at the end of Train() and after ModelIo::LoadKw();
+   * every string lookup, prefix-match fallback, and cluster count the
+   * old predict path performed per call is resolved here once.
+   */
+  void FinalizeTables();
+
+  /** Dense signature id of `layer` (full, then reduced), or -1. */
+  int ResolveSid(const dnn::Layer& layer) const;
+
+  /** Hot-path layer prediction from pre-resolved ids; no string work. */
+  double PredictLayerResolved(int gpu_idx, int sid, const dnn::Layer& layer,
+                              const std::string& gpu_name,
+                              std::int64_t batch) const;
+
   KwOptions options_;
   // gpu name -> kernel name -> trained model.
   std::map<std::string, std::map<std::string, KernelModel>> per_gpu_;
@@ -124,6 +155,17 @@ class KwModel : public Predictor {
   std::map<std::string, double> calibration_;
   // Last-resort per-layer-kind fallback.
   LwModel lw_fallback_;
+
+  // --- Dense tables built by FinalizeTables(); indexed by gpu idx / sid.
+  std::vector<std::string> gpu_names_;
+  std::unordered_map<std::string, int> gpu_index_;
+  std::vector<double> calibration_by_gpu_;
+  std::vector<int> cluster_counts_;
+  std::unordered_map<std::string, int> sig_index_;
+  std::unordered_map<std::string, int> reduced_index_;
+  std::vector<std::vector<ResolvedLayer>> resolved_;  // [gpu][sid]
+  // network name -> per-layer sids, filled lazily on prediction.
+  NetworkSidCache predict_cache_;
 };
 
 /** Drops the shape components of a layer signature (fallback table key). */

@@ -107,6 +107,9 @@ KwModel ModelIo::LoadKw(const std::string& directory) {
                                 dnn::LayerKindFromName(fields[kind]), fit);
     }
   }
+  // Deserialized state is string-keyed; rebuild the dense predict tables
+  // exactly as Train() does so a loaded model predicts at full speed.
+  model.FinalizeTables();
   return model;
 }
 

@@ -1,0 +1,65 @@
+#include "models/network_cache.h"
+
+#include <mutex>
+
+#include "common/random.h"
+
+namespace gpuperf::models {
+
+std::uint64_t NetworkFingerprint(const dnn::Network& network) {
+  std::uint64_t hash = network.layers().size();
+  for (const dnn::Layer& layer : network.layers()) {
+    hash = HashCombine(hash, static_cast<std::uint64_t>(layer.kind));
+    hash = HashCombine(hash,
+                       static_cast<std::uint64_t>(layer.InputElements()));
+    hash = HashCombine(
+        hash, static_cast<std::uint64_t>(layer.output.Elements()));
+  }
+  return hash;
+}
+
+NetworkSidCache::NetworkSidCache(const NetworkSidCache& other) {
+  std::shared_lock<std::shared_mutex> lock(other.mu_);
+  entries_ = other.entries_;
+}
+
+NetworkSidCache& NetworkSidCache::operator=(const NetworkSidCache& other) {
+  if (this == &other) return *this;
+  std::unordered_map<std::string, Entry> copy;
+  {
+    std::shared_lock<std::shared_mutex> lock(other.mu_);
+    copy = other.entries_;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  entries_ = std::move(copy);
+  return *this;
+}
+
+std::shared_ptr<const std::vector<int>> NetworkSidCache::Get(
+    const dnn::Network& network,
+    const std::function<int(const dnn::Layer&)>& resolve) const {
+  const std::uint64_t fingerprint = NetworkFingerprint(network);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(network.name());
+    if (it != entries_.end() && it->second.fingerprint == fingerprint) {
+      return it->second.sids;
+    }
+  }
+  auto sids = std::make_shared<std::vector<int>>();
+  sids->reserve(network.layers().size());
+  for (const dnn::Layer& layer : network.layers()) {
+    sids->push_back(resolve(layer));
+  }
+  std::shared_ptr<const std::vector<int>> result = std::move(sids);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  entries_[network.name()] = Entry{fingerprint, result};
+  return result;
+}
+
+void NetworkSidCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace gpuperf::models

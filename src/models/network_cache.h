@@ -1,0 +1,67 @@
+#ifndef GPUPERF_MODELS_NETWORK_CACHE_H_
+#define GPUPERF_MODELS_NETWORK_CACHE_H_
+
+/**
+ * @file
+ * Per-network memo of resolved layer ids for the prediction hot path.
+ *
+ * KwModel and IgkwModel resolve every layer of a network to a dense
+ * signature id (an index into tables precomputed at train time). The
+ * resolution itself builds and hashes signature strings, so it is done
+ * once per distinct network and memoized here; later PredictUs calls on
+ * the same network do a single hash lookup per network, not per layer.
+ *
+ * Entries are keyed by network name and validated against a structural
+ * fingerprint (layer kinds and shapes), so re-using a name for a
+ * different architecture recomputes instead of returning stale ids.
+ * Lookups take a shared lock; the cache is safe to hit from concurrent
+ * serving threads. Copying a model copies the cached entries but gives
+ * the copy its own lock.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dnn/network.h"
+
+namespace gpuperf::models {
+
+/** Structural hash of a network (layer kinds and element counts). */
+std::uint64_t NetworkFingerprint(const dnn::Network& network);
+
+/** Thread-safe network-name -> per-layer-id memo. */
+class NetworkSidCache {
+ public:
+  NetworkSidCache() = default;
+  NetworkSidCache(const NetworkSidCache& other);
+  NetworkSidCache& operator=(const NetworkSidCache& other);
+
+  /**
+   * The per-layer ids of `network`, computing them with `resolve` (one
+   * call per layer) on first sight or on a fingerprint mismatch.
+   */
+  std::shared_ptr<const std::vector<int>> Get(
+      const dnn::Network& network,
+      const std::function<int(const dnn::Layer&)>& resolve) const;
+
+  /** Drops every entry (models call this when retrained). */
+  void Clear();
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    std::shared_ptr<const std::vector<int>> sids;
+  };
+
+  mutable std::shared_mutex mu_;
+  mutable std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace gpuperf::models
+
+#endif  // GPUPERF_MODELS_NETWORK_CACHE_H_

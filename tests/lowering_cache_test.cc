@@ -1,0 +1,104 @@
+#include "gpuexec/lowering_cache.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "gpuexec/lowering.h"
+#include "gpuexec/training.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::gpuexec {
+namespace {
+
+void ExpectLaunchesEqual(const std::vector<KernelLaunch>& a,
+                         const std::vector<KernelLaunch>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].family, b[i].family);
+    EXPECT_EQ(a[i].driver, b[i].driver);
+    EXPECT_EQ(a[i].flops, b[i].flops);
+    EXPECT_EQ(a[i].bytes_in, b[i].bytes_in);
+    EXPECT_EQ(a[i].bytes_out, b[i].bytes_out);
+    EXPECT_EQ(a[i].blocks, b[i].blocks);
+    EXPECT_EQ(a[i].layer_flops, b[i].layer_flops);
+    EXPECT_EQ(a[i].input_elems, b[i].input_elems);
+    EXPECT_EQ(a[i].output_elems, b[i].output_elems);
+  }
+}
+
+TEST(LoweringCacheTest, MatchesUncachedLowering) {
+  LoweringCache cache;
+  const dnn::Network net = zoo::BuildByName("resnet18");
+  for (const dnn::Layer& layer : net.layers()) {
+    ExpectLaunchesEqual(*cache.Lower(layer, 64, Workload::kInference),
+                        LowerLayer(layer, 64));
+  }
+}
+
+TEST(LoweringCacheTest, TrainingEntriesAppendBackwardKernels) {
+  LoweringCache cache;
+  const dnn::Network net = zoo::BuildByName("alexnet");
+  for (const dnn::Layer& layer : net.layers()) {
+    std::vector<KernelLaunch> expected = LowerLayer(layer, 32);
+    const std::vector<KernelLaunch> backward = LowerLayerBackward(layer, 32);
+    expected.insert(expected.end(), backward.begin(), backward.end());
+    ExpectLaunchesEqual(*cache.Lower(layer, 32, Workload::kTraining),
+                        expected);
+  }
+}
+
+TEST(LoweringCacheTest, RepeatedLayersShareOneEntry) {
+  LoweringCache cache;
+  const dnn::Network net = zoo::BuildByName("resnet18");
+  const auto first = cache.Lower(net.layers()[0], 64, Workload::kInference);
+  const std::size_t size_after_first = cache.size();
+  const auto second = cache.Lower(net.layers()[0], 64, Workload::kInference);
+  EXPECT_EQ(first.get(), second.get());  // aliased, not copied
+  EXPECT_EQ(cache.size(), size_after_first);
+}
+
+TEST(LoweringCacheTest, DistinctBatchesAndWorkloadsAreDistinctEntries) {
+  LoweringCache cache;
+  const dnn::Network net = zoo::BuildByName("alexnet");
+  const dnn::Layer& layer = net.layers()[0];
+  cache.Lower(layer, 32, Workload::kInference);
+  cache.Lower(layer, 64, Workload::kInference);
+  cache.Lower(layer, 32, Workload::kTraining);
+  EXPECT_EQ(cache.size(), 3u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LoweringCacheTest, CachedNetworkLoweringMatchesWorkloadLowering) {
+  LoweringCache cache;
+  const dnn::Network net = zoo::BuildByName("vgg11");
+  const auto expected =
+      LowerNetworkWorkload(net, 16, Workload::kTraining);
+  const auto cached =
+      CachedLowerNetworkWorkload(net, 16, Workload::kTraining, &cache);
+  ASSERT_EQ(cached.size(), expected.size());
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    ExpectLaunchesEqual(*cached[i], expected[i]);
+  }
+}
+
+TEST(LoweringCacheTest, ConcurrentLookupsAgree) {
+  LoweringCache cache;
+  const dnn::Network net = zoo::BuildByName("resnet18");
+  const auto expected = LowerNetworkWorkload(net, 8, Workload::kInference);
+  ThreadPool pool(4);
+  pool.ParallelFor(32, [&](std::size_t) {
+    const auto cached =
+        CachedLowerNetworkWorkload(net, 8, Workload::kInference, &cache);
+    ASSERT_EQ(cached.size(), expected.size());
+    for (std::size_t i = 0; i < cached.size(); ++i) {
+      ExpectLaunchesEqual(*cached[i], expected[i]);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace gpuexec

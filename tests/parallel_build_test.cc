@@ -1,0 +1,128 @@
+// Determinism of the parallel measurement campaign: BuildDataset must
+// produce the same dataset — same row order, same interned ids, same
+// bits — for every job count (an acceptance criterion of the parallel
+// builder, not a best effort).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataset/builder.h"
+#include "dataset/dataset.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf {
+namespace {
+
+void ExpectPoolsIdentical(const dataset::StringPool& a,
+                          const dataset::StringPool& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) EXPECT_EQ(a.Get(i), b.Get(i));
+}
+
+void ExpectDatasetsIdentical(const dataset::Dataset& a,
+                             const dataset::Dataset& b) {
+  ExpectPoolsIdentical(a.gpus(), b.gpus());
+  ExpectPoolsIdentical(a.networks(), b.networks());
+  ExpectPoolsIdentical(a.kernels(), b.kernels());
+  ExpectPoolsIdentical(a.signatures(), b.signatures());
+
+  ASSERT_EQ(a.network_rows().size(), b.network_rows().size());
+  for (std::size_t i = 0; i < a.network_rows().size(); ++i) {
+    const dataset::NetworkRow& ra = a.network_rows()[i];
+    const dataset::NetworkRow& rb = b.network_rows()[i];
+    EXPECT_EQ(ra.gpu_id, rb.gpu_id);
+    EXPECT_EQ(ra.network_id, rb.network_id);
+    EXPECT_EQ(ra.family, rb.family);
+    EXPECT_EQ(ra.batch, rb.batch);
+    // Bit-identical, not approximately equal: the parallel build merges
+    // results computed by the same deterministic per-combo code.
+    EXPECT_EQ(ra.e2e_us, rb.e2e_us);
+    EXPECT_EQ(ra.gpu_busy_us, rb.gpu_busy_us);
+    EXPECT_EQ(ra.total_flops, rb.total_flops);
+  }
+
+  ASSERT_EQ(a.kernel_rows().size(), b.kernel_rows().size());
+  for (std::size_t i = 0; i < a.kernel_rows().size(); ++i) {
+    const dataset::KernelRow& ra = a.kernel_rows()[i];
+    const dataset::KernelRow& rb = b.kernel_rows()[i];
+    EXPECT_EQ(ra.gpu_id, rb.gpu_id);
+    EXPECT_EQ(ra.network_id, rb.network_id);
+    EXPECT_EQ(ra.kernel_id, rb.kernel_id);
+    EXPECT_EQ(ra.signature_id, rb.signature_id);
+    EXPECT_EQ(ra.layer_index, rb.layer_index);
+    EXPECT_EQ(ra.layer_kind, rb.layer_kind);
+    EXPECT_EQ(ra.true_driver, rb.true_driver);
+    EXPECT_EQ(ra.family, rb.family);
+    EXPECT_EQ(ra.batch, rb.batch);
+    EXPECT_EQ(ra.time_us, rb.time_us);
+    EXPECT_EQ(ra.layer_flops, rb.layer_flops);
+    EXPECT_EQ(ra.input_elems, rb.input_elems);
+    EXPECT_EQ(ra.output_elems, rb.output_elems);
+  }
+}
+
+dataset::BuildOptions CampaignOptions(int jobs) {
+  dataset::BuildOptions options;
+  options.gpu_names = {"A100", "V100"};
+  options.batch = 256;
+  options.measured_batches = 2;  // keep the test fast; determinism is
+                                 // per-combo, not per-batch-count
+  options.jobs = jobs;
+  return options;
+}
+
+TEST(ParallelBuildTest, ParallelMatchesSerialBitForBit) {
+  const std::vector<dnn::Network> networks = zoo::SmallZoo(/*stride=*/16);
+  const dataset::Dataset serial =
+      dataset::BuildDataset(networks, CampaignOptions(/*jobs=*/1));
+  const dataset::Dataset parallel =
+      dataset::BuildDataset(networks, CampaignOptions(/*jobs=*/4));
+  ASSERT_GT(serial.kernel_rows().size(), 0u);
+  ExpectDatasetsIdentical(serial, parallel);
+}
+
+TEST(ParallelBuildTest, RepeatedParallelBuildsAreStable) {
+  const std::vector<dnn::Network> networks = zoo::SmallZoo(/*stride=*/32);
+  const dataset::Dataset first =
+      dataset::BuildDataset(networks, CampaignOptions(/*jobs=*/4));
+  const dataset::Dataset second =
+      dataset::BuildDataset(networks, CampaignOptions(/*jobs=*/4));
+  ExpectDatasetsIdentical(first, second);
+}
+
+TEST(ParallelBuildTest, TrainingWorkloadIsDeterministicToo) {
+  const std::vector<dnn::Network> networks = zoo::SmallZoo(/*stride=*/64);
+  dataset::BuildOptions serial_options = CampaignOptions(/*jobs=*/1);
+  serial_options.workload = gpuexec::Workload::kTraining;
+  serial_options.batch = 64;
+  dataset::BuildOptions parallel_options = CampaignOptions(/*jobs=*/3);
+  parallel_options.workload = gpuexec::Workload::kTraining;
+  parallel_options.batch = 64;
+  const dataset::Dataset serial =
+      dataset::BuildDataset(networks, serial_options);
+  const dataset::Dataset parallel =
+      dataset::BuildDataset(networks, parallel_options);
+  ASSERT_GT(serial.kernel_rows().size(), 0u);
+  ExpectDatasetsIdentical(serial, parallel);
+}
+
+TEST(ParallelBuildTest, OomSkipsMatchAcrossJobCounts) {
+  // Quadro P620 (2 GB) drops most networks at BS 512 while A100 keeps
+  // them; the work-list filter must not depend on the job count.
+  const std::vector<dnn::Network> networks = zoo::SmallZoo(/*stride=*/8);
+  dataset::BuildOptions serial_options = CampaignOptions(/*jobs=*/1);
+  serial_options.gpu_names = {"A100", "Quadro P620"};
+  serial_options.batch = 512;
+  dataset::BuildOptions parallel_options = CampaignOptions(/*jobs=*/4);
+  parallel_options.gpu_names = {"A100", "Quadro P620"};
+  parallel_options.batch = 512;
+  const dataset::Dataset serial =
+      dataset::BuildDataset(networks, serial_options);
+  const dataset::Dataset parallel =
+      dataset::BuildDataset(networks, parallel_options);
+  ExpectDatasetsIdentical(serial, parallel);
+}
+
+}  // namespace
+}  // namespace gpuperf

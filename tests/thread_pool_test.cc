@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gpuperf {
+namespace {
+
+TEST(ThreadPoolTest, DefaultJobsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultJobs(), 1);
+  ThreadPool pool;
+  EXPECT_GE(pool.jobs(), 1);
+}
+
+TEST(ThreadPoolTest, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, JobsOneDegeneratesToSerial) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1);
+  // With one job everything runs on the calling thread in index order.
+  std::vector<std::size_t> order;
+  pool.ParallelFor(100, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsANoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [](std::size_t i) {
+                         if (i == 13) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionMessageSurvives) {
+  ThreadPool pool(2);
+  try {
+    pool.ParallelFor(8, [](std::size_t) {
+      throw std::runtime_error("campaign failed");
+    });
+    FAIL() << "ParallelFor should have thrown";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "campaign failed");
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(
+                   8, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 32;
+  std::vector<std::atomic<int>> counts(kOuter);
+  pool.ParallelFor(kOuter, [&](std::size_t i) {
+    // The nested loop shares the same pool; the outer worker itself
+    // participates, so this completes even with every worker busy.
+    pool.ParallelFor(kInner,
+                     [&](std::size_t) { counts[i].fetch_add(1); });
+  });
+  for (std::size_t i = 0; i < kOuter; ++i) {
+    EXPECT_EQ(counts[i].load(), static_cast<int>(kInner));
+  }
+}
+
+TEST(ThreadPoolTest, ManyMoreIterationsThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  constexpr long kN = 10000;
+  pool.ParallelFor(kN, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace gpuperf

@@ -9,6 +9,7 @@
 //   gpuperf predict --model DIR <network> <gpu> <batch>
 //
 // dataset options: --gpus A100,V100  --batch N  --stride N  --training
+//                  --jobs N (profiling threads; 0 = all hardware threads)
 
 #include <cstdio>
 #include <cstdlib>
@@ -115,6 +116,7 @@ int CmdDataset(const Args& args) {
   const std::string gpus = args.Get("gpus", "");
   if (!gpus.empty()) options.gpu_names = Split(gpus, ',');
   options.batch = std::stoll(args.Get("batch", "512"));
+  options.jobs = std::stoi(args.Get("jobs", "0"));
   if (args.Get("training", "0") == "1") {
     options.workload = gpuexec::Workload::kTraining;
   }
@@ -266,7 +268,7 @@ void Usage() {
       "  zoo [--family F]                      list zoo networks\n"
       "  show <network>                        network summary\n"
       "  dataset --out DIR [--gpus A,B] [--batch N] [--stride N]\n"
-      "          [--training]                  run a measurement campaign\n"
+      "          [--training] [--jobs N]       run a measurement campaign\n"
       "  train --dataset DIR --out DIR         train + save a KW model\n"
       "  eval --dataset DIR                    train and report errors\n"
       "  predict --model DIR <net> <gpu> <bs>  predict execution time\n"
