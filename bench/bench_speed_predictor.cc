@@ -10,6 +10,8 @@
 #include "gpuexec/profiler.h"
 #include "models/e2e_model.h"
 #include "models/kw_model.h"
+#include "models/lw_model.h"
+#include "models/predictor_stack.h"
 #include "zoo/zoo.h"
 
 using namespace gpuperf;
@@ -73,6 +75,26 @@ void BM_E2ePredictResnet50(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_E2ePredictResnet50);
+
+// The graceful-degradation path: a stack without a KW tier answers from
+// LW, so this measures the cost of a fallback decision (coverage check +
+// LW predict) relative to the direct KW path above.
+void BM_PredictorStackFallback(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  models::PredictorStack stack;
+  models::LwModel lw;
+  lw.Train(fixture.data, fixture.split);
+  stack.SetLw(std::move(lw));
+  models::E2eModel e2e;
+  e2e.Train(fixture.data, fixture.split);
+  stack.SetE2e(std::move(e2e));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stack.TryPredictUs(fixture.resnet50, a100, 256).value());
+  }
+}
+BENCHMARK(BM_PredictorStackFallback);
 
 void BM_KwTrain(benchmark::State& state) {
   const Fixture& fixture = Fixture::Get();

@@ -80,10 +80,27 @@ void BM_ServingSimulation(benchmark::State& state) {
   config.duration_s = 10;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        simsys::SimulateServing(times, times, mix, config));
+        simsys::SimulateServing(times, times, mix, config).value());
   }
 }
 BENCHMARK(BM_ServingSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_ServingSimulationFaulty(benchmark::State& state) {
+  // Same pool under fault injection: measures the overhead of the fault
+  // plan queries plus retry re-dispatch on the event path.
+  std::vector<std::vector<double>> times{{1000, 4000}, {5000, 1200}};
+  std::vector<double> mix{1, 1};
+  simsys::ServingConfig config;
+  config.arrival_rate_per_s = 200;
+  config.duration_s = 10;
+  config.faults.mtbf_s = 2;
+  config.faults.mttr_s = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simsys::SimulateServing(times, times, mix, config).value());
+  }
+}
+BENCHMARK(BM_ServingSimulationFaulty)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -21,7 +21,9 @@
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <utility>
 
+#include "common/status.h"
 #include "dataset/builder.h"
 #include "models/kw_model.h"
 #include "models/model_io.h"
@@ -54,8 +56,15 @@ int main(int argc, char** argv) {
   std::printf("model: %d kernels -> %d regressions on A100 -> %s/model\n",
               kw.KernelCount("A100"), kw.ClusterCount("A100"), out.c_str());
 
-  // Round-trip smoke test: a consumer-side prediction.
-  models::KwModel consumer = models::ModelIo::LoadKw(out + "/model");
+  // Round-trip smoke test: a consumer-side prediction. The bundle was
+  // just written, so a load failure here is a real bug — report and fail.
+  StatusOr<models::KwModel> loaded = models::ModelIo::LoadKw(out + "/model");
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "reloading the bundle failed: %s\n",
+                 loaded.status().message().c_str());
+    return 1;
+  }
+  models::KwModel consumer = std::move(loaded).value();
   dnn::Network resnet50 = zoo::BuildByName("resnet50");
   std::printf("consumer-side prediction: resnet50 @BS256 on A100 = %.1f ms\n",
               consumer.PredictUs(resnet50, gpuexec::GpuByName("A100"), 256) /

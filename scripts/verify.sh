@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full verification: regular build + tests, then the concurrency tests
-# under ThreadSanitizer (GPUPERF_SANITIZE=thread).
+# under ThreadSanitizer (GPUPERF_SANITIZE=thread), then the robustness
+# tests under ASan+UBSan (GPUPERF_SANITIZE=address).
 #
 # Usage: scripts/verify.sh [build_dir]
 set -euo pipefail
@@ -21,5 +22,22 @@ cmake --build "$TSAN_BUILD" -j --target \
 "./$TSAN_BUILD/tests/thread_pool_test"
 "./$TSAN_BUILD/tests/parallel_build_test"
 "./$TSAN_BUILD/tests/lowering_cache_test"
+
+echo "== tier 3: robustness tests under ASan+UBSan =="
+# The error-path tests exercise corrupt bundles, malformed CSVs, and
+# fault-injected serving — exactly where a stray read or overflow would
+# hide. Death tests fork, which ASan tolerates but LeakSanitizer does
+# not always; keep leak detection on for everything else.
+ASAN_BUILD="${BUILD}-asan"
+cmake -B "$ASAN_BUILD" -S . -DGPUPERF_SANITIZE=address
+cmake --build "$ASAN_BUILD" -j --target \
+  status_test csv_test model_io_test fault_injection_test \
+  predictor_stack_test serving_test
+"./$ASAN_BUILD/tests/status_test"
+"./$ASAN_BUILD/tests/csv_test"
+"./$ASAN_BUILD/tests/model_io_test"
+"./$ASAN_BUILD/tests/fault_injection_test"
+"./$ASAN_BUILD/tests/predictor_stack_test"
+"./$ASAN_BUILD/tests/serving_test"
 
 echo "verify: OK"

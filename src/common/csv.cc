@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace gpuperf {
 
@@ -26,29 +28,81 @@ void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
 }
 
 std::size_t CsvTable::ColumnIndex(const std::string& column) const {
+  StatusOr<std::size_t> index = FindColumn(column);
+  if (!index.ok()) Fatal("CSV column not found: " + index.status().message());
+  return *index;
+}
+
+StatusOr<std::size_t> CsvTable::FindColumn(const std::string& column) const {
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (header[i] == column) return i;
   }
-  Fatal("CSV column not found: " + column);
+  return NotFoundError((path.empty() ? std::string("<memory>") : path) +
+                       ":1: missing column '" + column + "'");
+}
+
+std::string CsvTable::RowLocation(std::size_t row) const {
+  const std::string label = path.empty() ? std::string("<memory>") : path;
+  if (row < row_lines.size()) {
+    return label + ":" + Format("%d", row_lines[row]);
+  }
+  return label;
 }
 
 CsvTable ReadCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) Fatal("cannot open CSV for reading: " + path);
+  StatusOr<CsvTable> table = TryReadCsv(path);
+  if (!table.ok()) Fatal(table.status().message());
+  return std::move(table).value();
+}
+
+StatusOr<CsvTable> TryReadCsv(const std::string& path) {
+  GP_ASSIGN_OR_RETURN(const std::string content, ReadFileToString(path));
+  return ParseCsv(content, path);
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open CSV for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return DataLossError(path + ": read error");
+  return std::move(buffer).str();
+}
+
+StatusOr<CsvTable> ParseCsv(const std::string& content,
+                            const std::string& path) {
+  const std::string label = path.empty() ? std::string("<memory>") : path;
   CsvTable table;
+  table.path = path;
+  std::istringstream in(content);
   std::string line;
   bool first = true;
+  int line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() && !first) continue;
-    std::vector<std::string> fields = CsvParseLine(line);
+    bool balanced = true;
+    std::vector<std::string> fields = CsvParseLine(line, &balanced);
+    if (!balanced) {
+      return DataLossError(label + ":" + Format("%d", line_number) +
+                           ": unterminated quoted field");
+    }
     if (first) {
       table.header = std::move(fields);
       first = false;
     } else {
+      if (fields.size() != table.header.size()) {
+        return DataLossError(
+            label + ":" + Format("%d", line_number) +
+            Format(": expected %zu fields, got %zu", table.header.size(),
+                   fields.size()));
+      }
       table.rows.push_back(std::move(fields));
+      table.row_lines.push_back(line_number);
     }
   }
+  if (first) return DataLossError(label + ":1: empty file (no header row)");
   return table;
 }
 
@@ -65,6 +119,12 @@ std::string CsvEscape(const std::string& field) {
 }
 
 std::vector<std::string> CsvParseLine(const std::string& line) {
+  bool balanced = true;
+  return CsvParseLine(line, &balanced);
+}
+
+std::vector<std::string> CsvParseLine(const std::string& line,
+                                      bool* balanced) {
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
@@ -91,6 +151,7 @@ std::vector<std::string> CsvParseLine(const std::string& line) {
     }
   }
   fields.push_back(std::move(current));
+  *balanced = !in_quotes;
   return fields;
 }
 

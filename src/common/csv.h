@@ -8,10 +8,16 @@
  * Fields are comma-separated; a field containing a comma, quote, or newline
  * is quoted and internal quotes doubled (RFC 4180 subset, no embedded
  * newlines on read).
+ *
+ * Loading ship-it data (model bundles, datasets) goes through the
+ * StatusOr-returning entry points; every error they report is prefixed
+ * `path:line:` so a user can fix the offending file directly.
  */
 
 #include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace gpuperf {
 
@@ -34,21 +40,46 @@ class CsvWriter {
 
 /** Parsed CSV contents: a header row plus data rows. */
 struct CsvTable {
+  std::string path;  // source file, "" when parsed from a string
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
+  std::vector<int> row_lines;  // 1-based source line of each data row
 
   /** Index of `column` in the header; Fatal() if absent. */
   std::size_t ColumnIndex(const std::string& column) const;
+
+  /** Index of `column`, or NotFound ("path:1: missing column 'x'"). */
+  StatusOr<std::size_t> FindColumn(const std::string& column) const;
+
+  /** "path:line" of data row `row` (for error messages). */
+  std::string RowLocation(std::size_t row) const;
 };
 
-/** Reads an entire CSV file; Fatal() on open failure. */
+/** Reads an entire CSV file; Fatal() on any failure (legacy callers). */
 CsvTable ReadCsv(const std::string& path);
+
+/**
+ * Reads and parses `path`, validating that every data row has exactly as
+ * many fields as the header and that every quoted field is terminated.
+ */
+StatusOr<CsvTable> TryReadCsv(const std::string& path);
+
+/** Parses in-memory CSV `content`; `path` labels error messages only. */
+StatusOr<CsvTable> ParseCsv(const std::string& content,
+                            const std::string& path);
+
+/** Reads a whole file into a string (checksumming, then ParseCsv). */
+StatusOr<std::string> ReadFileToString(const std::string& path);
 
 /** Escapes a single field per the subset above. */
 std::string CsvEscape(const std::string& field);
 
 /** Splits one CSV line honoring quotes. */
 std::vector<std::string> CsvParseLine(const std::string& line);
+
+/** As above; additionally reports whether every quote was terminated. */
+std::vector<std::string> CsvParseLine(const std::string& line,
+                                      bool* balanced);
 
 }  // namespace gpuperf
 

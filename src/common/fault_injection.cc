@@ -1,0 +1,74 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace gpuperf {
+
+FaultPlan::FaultPlan(std::size_t resources, double horizon_us,
+                     const FaultPlanConfig& config)
+    : horizon_us_(horizon_us) {
+  GP_CHECK_GE(config.mtbf_s, 0.0);
+  GP_CHECK_GE(horizon_us, 0.0);
+  down_.resize(resources);
+  if (config.mtbf_s <= 0) return;
+  GP_CHECK_GT(config.mttr_s, 0.0);
+  const double mtbf_us = config.mtbf_s * 1e6;
+  const double mttr_us = config.mttr_s * 1e6;
+  for (std::size_t r = 0; r < resources; ++r) {
+    // Per-resource stream keyed on (seed, index) so adding a resource
+    // never perturbs the outages of the existing ones.
+    Rng rng(HashCombine(config.seed,
+                        StableHash(Format("fault-resource-%zu", r))));
+    double t = 0;
+    while (true) {
+      const double ttf = -std::log(1.0 - rng.NextDouble()) * mtbf_us;
+      const double ttr = -std::log(1.0 - rng.NextDouble()) * mttr_us;
+      const double down = t + ttf;
+      if (down >= horizon_us) break;
+      down_[r].push_back({down, down + ttr});
+      t = down + ttr;
+    }
+  }
+}
+
+const std::vector<DownInterval>& FaultPlan::Outages(
+    std::size_t resource) const {
+  GP_CHECK_LT(resource, down_.size());
+  return down_[resource];
+}
+
+bool FaultPlan::IsDownAt(std::size_t resource, double time_us) const {
+  const DownInterval* outage =
+      FirstOutageIn(resource, time_us, time_us + 1e-9);
+  return outage != nullptr && outage->down_us <= time_us;
+}
+
+const DownInterval* FaultPlan::FirstOutageIn(std::size_t resource,
+                                             double start_us,
+                                             double end_us) const {
+  GP_CHECK_LT(resource, down_.size());
+  const std::vector<DownInterval>& outages = down_[resource];
+  // First outage ending after start; it overlaps iff it begins before end.
+  auto it = std::upper_bound(
+      outages.begin(), outages.end(), start_us,
+      [](double t, const DownInterval& o) { return t < o.up_us; });
+  if (it == outages.end() || it->down_us >= end_us) return nullptr;
+  return &*it;
+}
+
+double FaultPlan::Availability(std::size_t resource) const {
+  GP_CHECK_LT(resource, down_.size());
+  if (horizon_us_ <= 0) return 1.0;
+  double down_total = 0;
+  for (const DownInterval& o : down_[resource]) {
+    down_total += std::min(o.up_us, horizon_us_) - o.down_us;
+  }
+  return std::max(0.0, 1.0 - down_total / horizon_us_);
+}
+
+}  // namespace gpuperf

@@ -1,0 +1,76 @@
+#ifndef GPUPERF_COMMON_FAULT_INJECTION_H_
+#define GPUPERF_COMMON_FAULT_INJECTION_H_
+
+/**
+ * @file
+ * Deterministic seed-driven fault plans for fault-tolerance simulations.
+ *
+ * A fault plan is the complete failure/recovery timeline of a resource
+ * pool, generated up front from (seed, MTBF, MTTR) so that a simulation's
+ * faults are bit-identical across runs, platforms, and thread counts —
+ * the same property the measurement campaign guarantees for profiling.
+ * Consumers (simsys/serving) only query the precomputed intervals; they
+ * never draw randomness of their own for faults.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gpuperf {
+
+/** Knobs of a fault plan; mtbf_s == 0 disables fault injection. */
+struct FaultPlanConfig {
+  double mtbf_s = 0;   // mean time between failures per resource (0 = none)
+  double mttr_s = 2;   // mean time to repair
+  std::uint64_t seed = 1;
+};
+
+/** One outage: the resource is down in [down_us, up_us). */
+struct DownInterval {
+  double down_us = 0;
+  double up_us = 0;
+};
+
+/** The precomputed failure/recovery timeline of a resource pool. */
+class FaultPlan {
+ public:
+  /**
+   * Builds the plan for `resources` resources over [0, horizon_us).
+   * Failure inter-arrival and repair times are exponential with means
+   * MTBF/MTTR, drawn from a per-resource stream keyed on
+   * (config.seed, resource index); intervals are disjoint and sorted.
+   */
+  FaultPlan(std::size_t resources, double horizon_us,
+            const FaultPlanConfig& config);
+
+  /** Fault-free plan (no outages, everything available). */
+  FaultPlan() = default;
+
+  std::size_t resources() const { return down_.size(); }
+  double horizon_us() const { return horizon_us_; }
+
+  /** Outages of `resource`, sorted by down_us. */
+  const std::vector<DownInterval>& Outages(std::size_t resource) const;
+
+  /** True if `resource` is down at `time_us`. */
+  bool IsDownAt(std::size_t resource, double time_us) const;
+
+  /**
+   * The first outage of `resource` overlapping [start_us, end_us), or
+   * nullptr if the resource stays up for the whole window.
+   */
+  const DownInterval* FirstOutageIn(std::size_t resource, double start_us,
+                                    double end_us) const;
+
+  /** Fraction of [0, horizon) the resource is up (1.0 when fault-free). */
+  double Availability(std::size_t resource) const;
+
+ private:
+  std::vector<std::vector<DownInterval>> down_;
+  double horizon_us_ = 0;
+};
+
+}  // namespace gpuperf
+
+#endif  // GPUPERF_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,107 @@
+#include "common/status.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace gpuperf {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  GP_CHECK(false) << "unhandled StatusCode";
+  return "";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : code_(code), message_(std::move(message)) {
+  GP_CHECK(code != StatusCode::kOk) << "error Status with kOk code";
+}
+
+Status& Status::Annotate(const std::string& context) {
+  if (!ok()) message_ = context + ": " + message_;
+  return *this;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return std::string(StatusCodeName(code_)) + ": " + message_;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status OutOfRangeError(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+StatusOr<long long> ParseInt64(const std::string& text) {
+  if (text.empty()) return InvalidArgumentError("empty string, expected integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return InvalidArgumentError("'" + text + "' is not an integer");
+  }
+  if (errno == ERANGE) {
+    return OutOfRangeError("'" + text + "' overflows a 64-bit integer");
+  }
+  return value;
+}
+
+StatusOr<int> ParseInt(const std::string& text) {
+  GP_ASSIGN_OR_RETURN(const long long value, ParseInt64(text));
+  if (value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    return OutOfRangeError("'" + text + "' overflows a 32-bit integer");
+  }
+  return static_cast<int>(value);
+}
+
+StatusOr<double> ParseDouble(const std::string& text) {
+  if (text.empty()) return InvalidArgumentError("empty string, expected number");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return InvalidArgumentError("'" + text + "' is not a number");
+  }
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return OutOfRangeError("'" + text + "' overflows a double");
+  }
+  return value;
+}
+
+StatusOr<double> ParseFiniteDouble(const std::string& text) {
+  GP_ASSIGN_OR_RETURN(const double value, ParseDouble(text));
+  if (!std::isfinite(value)) {
+    return OutOfRangeError("'" + text + "' is not finite");
+  }
+  return value;
+}
+
+}  // namespace gpuperf

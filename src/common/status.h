@@ -1,0 +1,155 @@
+#ifndef GPUPERF_COMMON_STATUS_H_
+#define GPUPERF_COMMON_STATUS_H_
+
+/**
+ * @file
+ * Recoverable-error plumbing: Status / StatusOr<T>.
+ *
+ * The repo follows the gem5 fatal/panic split (see logging.h); this file
+ * adds the third leg for *recoverable* conditions: anything a caller can
+ * reasonably handle — a corrupt model bundle, a truncated dataset CSV, an
+ * unknown network name typed on the command line — is reported as a
+ * `Status` and propagated with the GP_RETURN_IF_ERROR /
+ * GP_ASSIGN_OR_RETURN macros. `Fatal` stays reserved for unrecoverable
+ * user-level errors in contexts that have no error channel, and the CHECK
+ * family strictly for programmer errors. No exceptions anywhere.
+ */
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+
+/** Broad category of a recoverable error (subset of the Abseil canon). */
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // caller-supplied value is malformed
+  kNotFound,            // file / column / key absent
+  kDataLoss,            // file exists but is corrupt or truncated
+  kFailedPrecondition,  // operation needs state the object lacks
+  kOutOfRange,          // value parsed but outside the legal range
+  kUnavailable,         // resource temporarily unusable
+  kInternal,            // invariant violated across a module boundary
+};
+
+/** Stable upper-case name of `code`, e.g. "DATA_LOSS". */
+const char* StatusCodeName(StatusCode code);
+
+/** The result of an operation that can fail recoverably. */
+class Status {
+ public:
+  /** Success. */
+  Status() = default;
+
+  /** An error; `code` must not be kOk (programmer error otherwise). */
+  Status(StatusCode code, std::string message);
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /**
+   * Prepends `context` to the message chain ("context: old message"),
+   * returning *this so call sites can annotate while propagating:
+   * `return status.Annotate("loading " + path);`. No-op on OK.
+   */
+  Status& Annotate(const std::string& context);
+
+  /** "OK" or "CODE_NAME: message". */
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/** Convenience constructors, one per error code. */
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status DataLossError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+
+/**
+ * Either a value or the Status explaining why there is none.
+ *
+ * Accessing value() on an error StatusOr is a programmer error (CHECK),
+ * consistent with the fatal/panic split: callers must test ok() or use
+ * GP_ASSIGN_OR_RETURN.
+ */
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : value_(value) {}          // NOLINT(runtime/explicit)
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    GP_CHECK(!status_.ok()) << "StatusOr constructed from OK without a value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    GP_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    GP_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    GP_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/** StatusOr-returning numeric parsing (std::stoll throws; these do not). */
+StatusOr<long long> ParseInt64(const std::string& text);
+StatusOr<int> ParseInt(const std::string& text);
+/** Accepts any strtod-parseable value, including inf/nan. */
+StatusOr<double> ParseDouble(const std::string& text);
+/** Like ParseDouble but rejects non-finite values. */
+StatusOr<double> ParseFiniteDouble(const std::string& text);
+
+}  // namespace gpuperf
+
+/** Propagates a non-OK Status to the caller. */
+#define GP_RETURN_IF_ERROR(expr)                   \
+  do {                                             \
+    ::gpuperf::Status gp_status_tmp_ = (expr);     \
+    if (!gp_status_tmp_.ok()) return gp_status_tmp_; \
+  } while (0)
+
+#define GP_STATUS_CONCAT_INNER_(a, b) a##b
+#define GP_STATUS_CONCAT_(a, b) GP_STATUS_CONCAT_INNER_(a, b)
+
+/**
+ * Evaluates a StatusOr expression; on error returns its Status, otherwise
+ * moves the value into `lhs` (which may be a declaration):
+ * `GP_ASSIGN_OR_RETURN(CsvTable table, TryReadCsv(path));`
+ */
+#define GP_ASSIGN_OR_RETURN(lhs, expr) \
+  GP_ASSIGN_OR_RETURN_IMPL_(GP_STATUS_CONCAT_(gp_statusor_, __LINE__), lhs, expr)
+
+#define GP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#endif  // GPUPERF_COMMON_STATUS_H_

@@ -70,59 +70,141 @@ void Dataset::SaveCsv(const std::string& directory) const {
   }
 }
 
+namespace {
+
+/** "path:line: field 'x': <why>" — every loader error names all three. */
+Status AtField(const CsvTable& table, std::size_t row, const char* field,
+               Status status) {
+  return status.Annotate(table.RowLocation(row) + ": field '" + field + "'");
+}
+
+/** Parses a non-negative integer field. */
+Status ReadCount(const CsvTable& table, std::size_t row, std::size_t column,
+                 const char* field, std::int64_t* out) {
+  StatusOr<long long> value = ParseInt64(table.rows[row][column]);
+  if (!value.ok()) return AtField(table, row, field, value.status());
+  if (*value < 0) {
+    return AtField(table, row, field,
+                   OutOfRangeError("'" + table.rows[row][column] +
+                                   "' must be non-negative"));
+  }
+  *out = *value;
+  return Status::Ok();
+}
+
+/** Parses a finite, non-negative timing field. */
+Status ReadTimeUs(const CsvTable& table, std::size_t row, std::size_t column,
+                  const char* field, double* out) {
+  StatusOr<double> value = ParseFiniteDouble(table.rows[row][column]);
+  if (!value.ok()) return AtField(table, row, field, value.status());
+  if (*value < 0) {
+    return AtField(table, row, field,
+                   OutOfRangeError("'" + table.rows[row][column] +
+                                   "' must be non-negative"));
+  }
+  *out = *value;
+  return Status::Ok();
+}
+
+Status ParseCostDriver(const CsvTable& table, std::size_t row,
+                       std::size_t column, const char* field,
+                       gpuexec::CostDriver* out) {
+  const std::string& text = table.rows[row][column];
+  if (text == "input") {
+    *out = gpuexec::CostDriver::kInput;
+  } else if (text == "operation") {
+    *out = gpuexec::CostDriver::kOperation;
+  } else if (text == "output") {
+    *out = gpuexec::CostDriver::kOutput;
+  } else {
+    return AtField(table, row, field,
+                   InvalidArgumentError(
+                       "'" + text +
+                       "' is not a cost driver (input|operation|output)"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Dataset Dataset::LoadCsv(const std::string& directory) {
+  StatusOr<Dataset> dataset = TryLoadCsv(directory);
+  if (!dataset.ok()) Fatal(dataset.status().message());
+  return std::move(dataset).value();
+}
+
+StatusOr<Dataset> Dataset::TryLoadCsv(const std::string& directory) {
   Dataset dataset;
   {
-    CsvTable table = ReadCsv(directory + "/networks.csv");
-    const std::size_t gpu = table.ColumnIndex("gpu");
-    const std::size_t network = table.ColumnIndex("network");
-    const std::size_t family = table.ColumnIndex("family");
-    const std::size_t batch = table.ColumnIndex("batch");
-    const std::size_t e2e = table.ColumnIndex("e2e_us");
-    const std::size_t busy = table.ColumnIndex("gpu_busy_us");
-    const std::size_t flops = table.ColumnIndex("total_flops");
-    for (const auto& fields : table.rows) {
+    GP_ASSIGN_OR_RETURN(const CsvTable table,
+                        TryReadCsv(directory + "/networks.csv"));
+    GP_ASSIGN_OR_RETURN(const std::size_t gpu, table.FindColumn("gpu"));
+    GP_ASSIGN_OR_RETURN(const std::size_t network,
+                        table.FindColumn("network"));
+    GP_ASSIGN_OR_RETURN(const std::size_t family, table.FindColumn("family"));
+    GP_ASSIGN_OR_RETURN(const std::size_t batch, table.FindColumn("batch"));
+    GP_ASSIGN_OR_RETURN(const std::size_t e2e, table.FindColumn("e2e_us"));
+    GP_ASSIGN_OR_RETURN(const std::size_t busy,
+                        table.FindColumn("gpu_busy_us"));
+    GP_ASSIGN_OR_RETURN(const std::size_t flops,
+                        table.FindColumn("total_flops"));
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      const auto& fields = table.rows[r];
       NetworkRow row;
       row.gpu_id = dataset.gpus_.Intern(fields[gpu]);
       row.network_id = dataset.networks_.Intern(fields[network]);
       row.family = fields[family];
-      row.batch = std::stoll(fields[batch]);
-      row.e2e_us = std::stod(fields[e2e]);
-      row.gpu_busy_us = std::stod(fields[busy]);
-      row.total_flops = std::stoll(fields[flops]);
+      GP_RETURN_IF_ERROR(ReadCount(table, r, batch, "batch", &row.batch));
+      GP_RETURN_IF_ERROR(ReadTimeUs(table, r, e2e, "e2e_us", &row.e2e_us));
+      GP_RETURN_IF_ERROR(
+          ReadTimeUs(table, r, busy, "gpu_busy_us", &row.gpu_busy_us));
+      GP_RETURN_IF_ERROR(
+          ReadCount(table, r, flops, "total_flops", &row.total_flops));
       dataset.network_rows_.push_back(std::move(row));
     }
   }
   {
-    CsvTable table = ReadCsv(directory + "/kernels.csv");
-    const std::size_t gpu = table.ColumnIndex("gpu");
-    const std::size_t network = table.ColumnIndex("network");
-    const std::size_t kernel = table.ColumnIndex("kernel");
-    const std::size_t signature = table.ColumnIndex("signature");
-    const std::size_t layer_index = table.ColumnIndex("layer_index");
-    const std::size_t layer_kind = table.ColumnIndex("layer_kind");
-    const std::size_t driver = table.ColumnIndex("true_driver");
-    const std::size_t family = table.ColumnIndex("family");
-    const std::size_t batch = table.ColumnIndex("batch");
-    const std::size_t time = table.ColumnIndex("time_us");
-    const std::size_t layer_flops = table.ColumnIndex("layer_flops");
-    const std::size_t input_elems = table.ColumnIndex("input_elems");
-    const std::size_t output_elems = table.ColumnIndex("output_elems");
-    for (const auto& fields : table.rows) {
+    GP_ASSIGN_OR_RETURN(const CsvTable table,
+                        TryReadCsv(directory + "/kernels.csv"));
+    GP_ASSIGN_OR_RETURN(const std::size_t gpu, table.FindColumn("gpu"));
+    GP_ASSIGN_OR_RETURN(const std::size_t network,
+                        table.FindColumn("network"));
+    GP_ASSIGN_OR_RETURN(const std::size_t kernel, table.FindColumn("kernel"));
+    GP_ASSIGN_OR_RETURN(const std::size_t signature,
+                        table.FindColumn("signature"));
+    GP_ASSIGN_OR_RETURN(const std::size_t layer_index,
+                        table.FindColumn("layer_index"));
+    GP_ASSIGN_OR_RETURN(const std::size_t layer_kind,
+                        table.FindColumn("layer_kind"));
+    GP_ASSIGN_OR_RETURN(const std::size_t driver,
+                        table.FindColumn("true_driver"));
+    GP_ASSIGN_OR_RETURN(const std::size_t family, table.FindColumn("family"));
+    GP_ASSIGN_OR_RETURN(const std::size_t batch, table.FindColumn("batch"));
+    GP_ASSIGN_OR_RETURN(const std::size_t time, table.FindColumn("time_us"));
+    GP_ASSIGN_OR_RETURN(const std::size_t layer_flops,
+                        table.FindColumn("layer_flops"));
+    GP_ASSIGN_OR_RETURN(const std::size_t input_elems,
+                        table.FindColumn("input_elems"));
+    GP_ASSIGN_OR_RETURN(const std::size_t output_elems,
+                        table.FindColumn("output_elems"));
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      const auto& fields = table.rows[r];
       KernelRow row;
       row.gpu_id = dataset.gpus_.Intern(fields[gpu]);
       row.network_id = dataset.networks_.Intern(fields[network]);
       row.kernel_id = dataset.kernels_.Intern(fields[kernel]);
       row.signature_id = dataset.signatures_.Intern(fields[signature]);
-      row.layer_index = std::stoi(fields[layer_index]);
-      row.layer_kind = dnn::LayerKindFromName(fields[layer_kind]);
-      if (fields[driver] == "input") {
-        row.true_driver = gpuexec::CostDriver::kInput;
-      } else if (fields[driver] == "operation") {
-        row.true_driver = gpuexec::CostDriver::kOperation;
-      } else {
-        row.true_driver = gpuexec::CostDriver::kOutput;
+      std::int64_t index = 0;
+      GP_RETURN_IF_ERROR(
+          ReadCount(table, r, layer_index, "layer_index", &index));
+      row.layer_index = static_cast<int>(index);
+      if (!dnn::TryLayerKindFromName(fields[layer_kind], &row.layer_kind)) {
+        return AtField(table, r, "layer_kind",
+                       InvalidArgumentError("'" + fields[layer_kind] +
+                                            "' is not a layer kind"));
       }
+      GP_RETURN_IF_ERROR(
+          ParseCostDriver(table, r, driver, "true_driver", &row.true_driver));
       // Family is informational; match by name.
       row.family = gpuexec::KernelFamily::kElementwise;
       for (int f = 0; f <= static_cast<int>(gpuexec::KernelFamily::kGather);
@@ -133,11 +215,14 @@ Dataset Dataset::LoadCsv(const std::string& directory) {
           break;
         }
       }
-      row.batch = std::stoll(fields[batch]);
-      row.time_us = std::stod(fields[time]);
-      row.layer_flops = std::stoll(fields[layer_flops]);
-      row.input_elems = std::stoll(fields[input_elems]);
-      row.output_elems = std::stoll(fields[output_elems]);
+      GP_RETURN_IF_ERROR(ReadCount(table, r, batch, "batch", &row.batch));
+      GP_RETURN_IF_ERROR(ReadTimeUs(table, r, time, "time_us", &row.time_us));
+      GP_RETURN_IF_ERROR(ReadCount(table, r, layer_flops, "layer_flops",
+                                   &row.layer_flops));
+      GP_RETURN_IF_ERROR(ReadCount(table, r, input_elems, "input_elems",
+                                   &row.input_elems));
+      GP_RETURN_IF_ERROR(ReadCount(table, r, output_elems, "output_elems",
+                                   &row.output_elems));
       dataset.kernel_rows_.push_back(std::move(row));
     }
   }

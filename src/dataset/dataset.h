@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "dnn/layer.h"
 #include "gpuexec/kernel.h"
 
@@ -95,8 +96,15 @@ class Dataset {
   /** Writes networks.csv and kernels.csv into `directory`. */
   void SaveCsv(const std::string& directory) const;
 
-  /** Reads a database written by SaveCsv(). */
+  /** Reads a database written by SaveCsv(); Fatal() on any error. */
   static Dataset LoadCsv(const std::string& directory);
+
+  /**
+   * Reads a database written by SaveCsv(), validating every field; any
+   * missing file, malformed number, non-finite timing, or negative count
+   * is reported as `path:line: field '...': message` instead of dying.
+   */
+  static StatusOr<Dataset> TryLoadCsv(const std::string& directory);
 
  private:
   StringPool gpus_;

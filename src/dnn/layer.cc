@@ -32,6 +32,14 @@ std::string LayerKindName(LayerKind kind) {
 }
 
 LayerKind LayerKindFromName(const std::string& name) {
+  LayerKind kind;
+  if (!TryLayerKindFromName(name, &kind)) {
+    Fatal("unknown layer kind name: " + name);
+  }
+  return kind;
+}
+
+bool TryLayerKindFromName(const std::string& name, LayerKind* kind) {
   static const std::pair<const char*, LayerKind> kTable[] = {
       {"CONV", LayerKind::kConv2d},
       {"FC", LayerKind::kLinear},
@@ -53,10 +61,13 @@ LayerKind LayerKindFromName(const std::string& name) {
       {"ChannelShuffle", LayerKind::kChannelShuffle},
       {"Dropout", LayerKind::kDropout},
   };
-  for (const auto& [text, kind] : kTable) {
-    if (name == text) return kind;
+  for (const auto& [text, table_kind] : kTable) {
+    if (name == text) {
+      *kind = table_kind;
+      return true;
+    }
   }
-  Fatal("unknown layer kind name: " + name);
+  return false;
 }
 
 std::int64_t Layer::InputElements() const {

@@ -50,6 +50,12 @@ std::string LayerKindName(LayerKind kind);
 /** Parses LayerKindName output back to the enum; Fatal() on unknown text. */
 LayerKind LayerKindFromName(const std::string& name);
 
+/**
+ * Non-fatal variant for loading untrusted files: stores the kind and
+ * returns true, or returns false on unknown text.
+ */
+bool TryLayerKindFromName(const std::string& name, LayerKind* kind);
+
 /** Activation fused into a convolution's epilogue (inference fusion). */
 enum class ConvEpilogue { kNone, kBias, kRelu, kRelu6 };
 

@@ -43,11 +43,17 @@ const std::vector<GpuSpec>& AllGpus() {
   return *kGpus;
 }
 
-const GpuSpec& GpuByName(const std::string& name) {
+const GpuSpec* FindGpu(const std::string& name) {
   for (const GpuSpec& gpu : AllGpus()) {
-    if (gpu.name == name) return gpu;
+    if (gpu.name == name) return &gpu;
   }
-  Fatal("unknown GPU: " + name);
+  return nullptr;
+}
+
+const GpuSpec& GpuByName(const std::string& name) {
+  const GpuSpec* gpu = FindGpu(name);
+  if (gpu == nullptr) Fatal("unknown GPU: " + name);
+  return *gpu;
 }
 
 }  // namespace gpuperf::gpuexec

@@ -49,6 +49,9 @@ const std::vector<GpuSpec>& AllGpus();
 /** Lookup by name ("A100", "TITAN RTX", ...); Fatal() if unknown. */
 const GpuSpec& GpuByName(const std::string& name);
 
+/** Lookup by name; nullptr if unknown (for user-supplied names). */
+const GpuSpec* FindGpu(const std::string& name);
+
 }  // namespace gpuperf::gpuexec
 
 #endif  // GPUPERF_GPUEXEC_GPU_SPEC_H_

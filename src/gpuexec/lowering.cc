@@ -301,6 +301,16 @@ ConvAlgorithm SelectConvAlgorithm(const ConvParams& p, const TensorShape& in,
   return ConvAlgorithm::kImplicitGemm;
 }
 
+bool LayerLaunchesKernels(dnn::LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kFlatten:
+    case LayerKind::kDropout:
+      return false;
+    default:
+      return true;
+  }
+}
+
 std::vector<KernelLaunch> LowerLayer(const Layer& layer, std::int64_t batch) {
   GP_CHECK_GT(batch, 0);
   std::vector<KernelLaunch> launches;
@@ -455,6 +465,9 @@ std::vector<KernelLaunch> LowerLayer(const Layer& layer, std::int64_t batch) {
       // Views / inference no-ops: no kernel is launched.
       break;
   }
+
+  GP_CHECK(LayerLaunchesKernels(layer.kind) || launches.empty())
+      << "LayerLaunchesKernels out of sync with LowerLayer";
 
   for (KernelLaunch& launch : launches) {
     AttachLayerFeatures(layer, batch, &launch);

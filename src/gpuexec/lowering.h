@@ -37,6 +37,14 @@ ConvAlgorithm SelectConvAlgorithm(const dnn::ConvParams& params,
                                   const dnn::TensorShape& input,
                                   const dnn::TensorShape& output);
 
+/**
+ * True if layers of `kind` launch kernels at all. Views and inference
+ * no-ops (flatten, dropout) lower to nothing, so they never appear in
+ * profiled traces — coverage accounting must not hold that against a
+ * trained model.
+ */
+bool LayerLaunchesKernels(dnn::LayerKind kind);
+
 /** Lowers one layer at batch size `batch` to its kernel launches. */
 std::vector<KernelLaunch> LowerLayer(const dnn::Layer& layer,
                                      std::int64_t batch);

@@ -34,9 +34,15 @@ double E2eModel::PredictUs(const dnn::Network& network,
 
 const regression::LinearFit& E2eModel::FitFor(
     const std::string& gpu_name) const {
+  const regression::LinearFit* fit = TryFitFor(gpu_name);
+  if (fit == nullptr) Fatal("E2E model not trained for GPU " + gpu_name);
+  return *fit;
+}
+
+const regression::LinearFit* E2eModel::TryFitFor(
+    const std::string& gpu_name) const {
   auto it = fits_.find(gpu_name);
-  if (it == fits_.end()) Fatal("E2E model not trained for GPU " + gpu_name);
-  return it->second;
+  return it == fits_.end() ? nullptr : &it->second;
 }
 
 }  // namespace gpuperf::models

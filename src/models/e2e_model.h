@@ -32,6 +32,9 @@ class E2eModel : public Predictor {
   /** The fitted line for `gpu_name`; Fatal() if untrained. */
   const regression::LinearFit& FitFor(const std::string& gpu_name) const;
 
+  /** The fitted line for `gpu_name`, or nullptr if untrained. */
+  const regression::LinearFit* TryFitFor(const std::string& gpu_name) const;
+
  private:
   std::map<std::string, regression::LinearFit> fits_;
 };

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "dnn/flops.h"
+#include "gpuexec/lowering.h"
 
 namespace gpuperf::models {
 namespace {
@@ -358,6 +359,27 @@ std::vector<std::string> KwModel::KernelsForLayer(
   auto reduced = reduced_mapping_.find(ReducedSignature(signature));
   if (reduced != reduced_mapping_.end()) return reduced->second;
   return {};
+}
+
+KwModel::Coverage KwModel::CoverageFor(const dnn::Network& network,
+                                       const std::string& gpu_name) const {
+  Coverage coverage;
+  coverage.gpu_trained = gpu_index_.find(gpu_name) != gpu_index_.end();
+  coverage.layers = static_cast<int>(network.layers().size());
+  // Reuses the per-network sid memo, so steady-state coverage checks are
+  // one hash lookup, not one signature build per layer.
+  const std::shared_ptr<const std::vector<int>> sids = predict_cache_.Get(
+      network, [this](const dnn::Layer& layer) { return ResolveSid(layer); });
+  for (std::size_t i = 0; i < sids->size(); ++i) {
+    // Layers that launch no kernels (flatten, dropout) never appear in
+    // profiled traces, so they have no mapping entry by construction;
+    // the model still predicts them exactly (zero time).
+    if ((*sids)[i] >= 0 ||
+        !gpuexec::LayerLaunchesKernels(network.layers()[i].kind)) {
+      ++coverage.mapped;
+    }
+  }
+  return coverage;
 }
 
 int KwModel::ResolveSid(const dnn::Layer& layer) const {

@@ -88,6 +88,24 @@ class KwModel : public Predictor {
   /** Kernel names the mapping table yields for `layer` (may be empty). */
   std::vector<std::string> KernelsForLayer(const dnn::Layer& layer) const;
 
+  /** How much of a network the trained scope covers (PredictorStack). */
+  struct Coverage {
+    bool gpu_trained = false;  // model has kernels for this GPU
+    int layers = 0;            // layers in the network
+    int mapped = 0;            // layers resolved (no-kernel layers count)
+    bool Full() const { return gpu_trained && mapped == layers; }
+  };
+
+  /**
+   * Reports whether `gpu_name` is trained and how many of `network`'s
+   * layers resolve through the mapping table (full or reduced signature).
+   * Layers that miss entirely would silently use the last-resort LW
+   * fallback inside PredictUs; callers wanting observable degradation
+   * (the predictor stack) check this first.
+   */
+  Coverage CoverageFor(const dnn::Network& network,
+                       const std::string& gpu_name) const;
+
   /** Trained per-kernel models of one GPU (IGKW consumes these). */
   const std::map<std::string, KernelModel>& KernelModels(
       const std::string& gpu_name) const;

@@ -1,10 +1,78 @@
 #include "models/model_io.h"
 
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
 #include "common/csv.h"
 #include "common/logging.h"
+#include "common/random.h"
 #include "common/string_util.h"
 
 namespace gpuperf::models {
+namespace {
+
+constexpr const char* kBundleFiles[] = {
+    "kernel_models.csv", "mapping_table.csv", "calibration.csv",
+    "layer_fallback.csv"};
+
+/** Stable content checksum rendered as fixed-width hex. */
+std::string ContentChecksum(const std::string& content) {
+  return Format("%016llx",
+                static_cast<unsigned long long>(StableHash(content)));
+}
+
+Status AtField(const CsvTable& table, std::size_t row, const char* field,
+               Status status) {
+  return status.Annotate(table.RowLocation(row) + ": field '" + field + "'");
+}
+
+/** Parses a finite double field of a bundle table. */
+Status ReadFinite(const CsvTable& table, std::size_t row, std::size_t column,
+                  const char* field, double* out) {
+  StatusOr<double> value = ParseFiniteDouble(table.rows[row][column]);
+  if (!value.ok()) return AtField(table, row, field, value.status());
+  *out = *value;
+  return Status::Ok();
+}
+
+/** One manifest entry: what the bundle claims about a file. */
+struct ManifestEntry {
+  std::string checksum;
+  long long rows = 0;
+};
+
+/**
+ * Loads, checksums, and parses one bundle file against its manifest
+ * entry. Truncation, tampering, and row-count drift all surface here.
+ */
+StatusOr<CsvTable> LoadBundleFile(
+    const std::string& directory, const std::string& file,
+    const std::map<std::string, ManifestEntry>& manifest) {
+  auto entry = manifest.find(file);
+  if (entry == manifest.end()) {
+    return DataLossError(directory + "/manifest.csv: no entry for '" + file +
+                         "'");
+  }
+  const std::string path = directory + "/" + file;
+  GP_ASSIGN_OR_RETURN(const std::string content, ReadFileToString(path));
+  const std::string checksum = ContentChecksum(content);
+  if (checksum != entry->second.checksum) {
+    return DataLossError(path + ": checksum mismatch (manifest " +
+                         entry->second.checksum + ", file " + checksum +
+                         "): bundle is corrupt or was edited by hand");
+  }
+  GP_ASSIGN_OR_RETURN(CsvTable table, ParseCsv(content, path));
+  if (static_cast<long long>(table.rows.size()) != entry->second.rows) {
+    return DataLossError(
+        path + Format(": manifest says %lld rows, file has %zu (truncated?)",
+                      entry->second.rows, table.rows.size()));
+  }
+  return table;
+}
+
+}  // namespace
 
 void ModelIo::SaveKw(const KwModel& model, const std::string& directory) {
   {
@@ -44,41 +112,139 @@ void ModelIo::SaveKw(const KwModel& model, const std::string& directory) {
                        Format("%.12g", fit.intercept)});
     }
   }
+  {
+    // The manifest is written last so an interrupted save never yields a
+    // bundle that checks out.
+    CsvWriter writer(directory + "/manifest.csv");
+    writer.WriteRow({"bundle_version", "file", "checksum", "rows"});
+    for (const char* file : kBundleFiles) {
+      StatusOr<std::string> content =
+          ReadFileToString(directory + "/" + std::string(file));
+      GP_CHECK(content.ok()) << "re-reading just-written bundle file: "
+                             << content.status().ToString();
+      StatusOr<CsvTable> table = ParseCsv(*content, file);
+      GP_CHECK(table.ok()) << table.status().ToString();
+      writer.WriteRow({Format("%d", kKwBundleVersion), file,
+                       ContentChecksum(*content),
+                       Format("%zu", table->rows.size())});
+    }
+  }
 }
 
-KwModel ModelIo::LoadKw(const std::string& directory) {
+StatusOr<KwModel> ModelIo::LoadKw(const std::string& directory) {
+  // --- Manifest: version gate + per-file integrity expectations.
+  StatusOr<CsvTable> manifest_table =
+      TryReadCsv(directory + "/manifest.csv");
+  if (!manifest_table.ok()) {
+    return Status(manifest_table.status())
+        .Annotate("not a model bundle (missing or unreadable manifest)");
+  }
+  std::map<std::string, ManifestEntry> manifest;
+  {
+    const CsvTable& table = *manifest_table;
+    GP_ASSIGN_OR_RETURN(const std::size_t version,
+                        table.FindColumn("bundle_version"));
+    GP_ASSIGN_OR_RETURN(const std::size_t file, table.FindColumn("file"));
+    GP_ASSIGN_OR_RETURN(const std::size_t checksum,
+                        table.FindColumn("checksum"));
+    GP_ASSIGN_OR_RETURN(const std::size_t rows, table.FindColumn("rows"));
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      StatusOr<int> v = ParseInt(table.rows[r][version]);
+      if (!v.ok()) {
+        return AtField(table, r, "bundle_version", v.status());
+      }
+      if (*v != kKwBundleVersion) {
+        return AtField(
+            table, r, "bundle_version",
+            FailedPreconditionError(Format(
+                "bundle version %d is not supported (this build reads "
+                "version %d); re-export with `gpuperf train`",
+                *v, kKwBundleVersion)));
+      }
+      StatusOr<long long> row_count = ParseInt64(table.rows[r][rows]);
+      if (!row_count.ok()) return AtField(table, r, "rows", row_count.status());
+      manifest[table.rows[r][file]] = {table.rows[r][checksum], *row_count};
+    }
+  }
+
   KwModel model;
   {
-    CsvTable table = ReadCsv(directory + "/kernel_models.csv");
-    const std::size_t gpu = table.ColumnIndex("gpu");
-    const std::size_t kernel = table.ColumnIndex("kernel");
-    const std::size_t driver = table.ColumnIndex("driver");
-    const std::size_t slope = table.ColumnIndex("slope");
-    const std::size_t intercept = table.ColumnIndex("intercept");
-    const std::size_t cluster = table.ColumnIndex("cluster_id");
-    const std::size_t solo_r2 = table.ColumnIndex("solo_r2");
-    for (const auto& fields : table.rows) {
+    GP_ASSIGN_OR_RETURN(
+        const CsvTable table,
+        LoadBundleFile(directory, "kernel_models.csv", manifest));
+    GP_ASSIGN_OR_RETURN(const std::size_t gpu, table.FindColumn("gpu"));
+    GP_ASSIGN_OR_RETURN(const std::size_t kernel, table.FindColumn("kernel"));
+    GP_ASSIGN_OR_RETURN(const std::size_t driver, table.FindColumn("driver"));
+    GP_ASSIGN_OR_RETURN(const std::size_t slope, table.FindColumn("slope"));
+    GP_ASSIGN_OR_RETURN(const std::size_t intercept,
+                        table.FindColumn("intercept"));
+    GP_ASSIGN_OR_RETURN(const std::size_t cluster,
+                        table.FindColumn("cluster_id"));
+    GP_ASSIGN_OR_RETURN(const std::size_t solo_r2,
+                        table.FindColumn("solo_r2"));
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      const auto& fields = table.rows[r];
       KernelModel km;
       if (fields[driver] == "input") {
         km.driver = gpuexec::CostDriver::kInput;
       } else if (fields[driver] == "operation") {
         km.driver = gpuexec::CostDriver::kOperation;
-      } else {
+      } else if (fields[driver] == "output") {
         km.driver = gpuexec::CostDriver::kOutput;
+      } else {
+        return AtField(table, r, "driver",
+                       InvalidArgumentError(
+                           "'" + fields[driver] +
+                           "' is not a cost driver (input|operation|output)"));
       }
-      km.fit.slope = std::stod(fields[slope]);
-      km.fit.intercept = std::stod(fields[intercept]);
-      km.cluster_id = std::stoi(fields[cluster]);
-      km.solo_r2 = std::stod(fields[solo_r2]);
-      model.per_gpu_[fields[gpu]][fields[kernel]] = km;
+      GP_RETURN_IF_ERROR(
+          ReadFinite(table, r, slope, "slope", &km.fit.slope));
+      GP_RETURN_IF_ERROR(
+          ReadFinite(table, r, intercept, "intercept", &km.fit.intercept));
+      StatusOr<int> cluster_id = ParseInt(fields[cluster]);
+      if (!cluster_id.ok()) {
+        return AtField(table, r, "cluster_id", cluster_id.status());
+      }
+      km.cluster_id = *cluster_id;
+      GP_RETURN_IF_ERROR(
+          ReadFinite(table, r, solo_r2, "solo_r2", &km.solo_r2));
+      auto [it, inserted] =
+          model.per_gpu_[fields[gpu]].emplace(fields[kernel], km);
+      (void)it;
+      if (!inserted) {
+        return AtField(table, r, "kernel",
+                       DataLossError("duplicate kernel model for (" +
+                                     fields[gpu] + ", " + fields[kernel] +
+                                     ")"));
+      }
+    }
+    if (model.per_gpu_.empty()) {
+      return DataLossError(table.path + ": no kernel models (empty bundle)");
     }
   }
   {
-    CsvTable table = ReadCsv(directory + "/mapping_table.csv");
-    const std::size_t signature = table.ColumnIndex("signature");
-    const std::size_t kernels = table.ColumnIndex("kernels");
-    for (const auto& fields : table.rows) {
-      model.mapping_[fields[signature]] = Split(fields[kernels], ';');
+    GP_ASSIGN_OR_RETURN(
+        const CsvTable table,
+        LoadBundleFile(directory, "mapping_table.csv", manifest));
+    GP_ASSIGN_OR_RETURN(const std::size_t signature,
+                        table.FindColumn("signature"));
+    GP_ASSIGN_OR_RETURN(const std::size_t kernels,
+                        table.FindColumn("kernels"));
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      const auto& fields = table.rows[r];
+      if (fields[kernels].empty()) {
+        return AtField(table, r, "kernels",
+                       InvalidArgumentError("empty kernel list for signature '" +
+                                            fields[signature] + "'"));
+      }
+      auto [it, inserted] = model.mapping_.emplace(
+          fields[signature], Split(fields[kernels], ';'));
+      (void)it;
+      if (!inserted) {
+        return AtField(table, r, "signature",
+                       DataLossError("duplicate mapping-table key '" +
+                                     fields[signature] + "'"));
+      }
     }
     // Same derivation order as KwModel::Train (sorted full table).
     for (const auto& [sig, names] : model.mapping_) {
@@ -86,25 +252,80 @@ KwModel ModelIo::LoadKw(const std::string& directory) {
     }
   }
   {
-    CsvTable table = ReadCsv(directory + "/calibration.csv");
-    const std::size_t gpu = table.ColumnIndex("gpu");
-    const std::size_t factor = table.ColumnIndex("factor");
-    for (const auto& fields : table.rows) {
-      model.calibration_[fields[gpu]] = std::stod(fields[factor]);
+    GP_ASSIGN_OR_RETURN(const CsvTable table,
+                        LoadBundleFile(directory, "calibration.csv",
+                                       manifest));
+    GP_ASSIGN_OR_RETURN(const std::size_t gpu, table.FindColumn("gpu"));
+    GP_ASSIGN_OR_RETURN(const std::size_t factor,
+                        table.FindColumn("factor"));
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      const auto& fields = table.rows[r];
+      double value = 0;
+      GP_RETURN_IF_ERROR(ReadFinite(table, r, factor, "factor", &value));
+      if (value <= 0) {
+        return AtField(table, r, "factor",
+                       OutOfRangeError(Format(
+                           "calibration factor %g must be positive", value)));
+      }
+      auto [it, inserted] = model.calibration_.emplace(fields[gpu], value);
+      (void)it;
+      if (!inserted) {
+        return AtField(table, r, "gpu",
+                       DataLossError("duplicate calibration row for GPU '" +
+                                     fields[gpu] + "'"));
+      }
     }
   }
   {
-    CsvTable table = ReadCsv(directory + "/layer_fallback.csv");
-    const std::size_t gpu = table.ColumnIndex("gpu");
-    const std::size_t kind = table.ColumnIndex("layer_kind");
-    const std::size_t slope = table.ColumnIndex("slope");
-    const std::size_t intercept = table.ColumnIndex("intercept");
-    for (const auto& fields : table.rows) {
+    GP_ASSIGN_OR_RETURN(
+        const CsvTable table,
+        LoadBundleFile(directory, "layer_fallback.csv", manifest));
+    GP_ASSIGN_OR_RETURN(const std::size_t gpu, table.FindColumn("gpu"));
+    GP_ASSIGN_OR_RETURN(const std::size_t kind,
+                        table.FindColumn("layer_kind"));
+    GP_ASSIGN_OR_RETURN(const std::size_t slope, table.FindColumn("slope"));
+    GP_ASSIGN_OR_RETURN(const std::size_t intercept,
+                        table.FindColumn("intercept"));
+    std::set<std::pair<std::string, dnn::LayerKind>> seen;
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      const auto& fields = table.rows[r];
+      dnn::LayerKind layer_kind;
+      if (!dnn::TryLayerKindFromName(fields[kind], &layer_kind)) {
+        return AtField(table, r, "layer_kind",
+                       InvalidArgumentError("'" + fields[kind] +
+                                            "' is not a layer kind"));
+      }
+      if (!seen.emplace(fields[gpu], layer_kind).second) {
+        return AtField(table, r, "layer_kind",
+                       DataLossError("duplicate fallback row for (" +
+                                     fields[gpu] + ", " + fields[kind] +
+                                     ")"));
+      }
       regression::LinearFit fit;
-      fit.slope = std::stod(fields[slope]);
-      fit.intercept = std::stod(fields[intercept]);
-      model.lw_fallback_.SetFit(fields[gpu],
-                                dnn::LayerKindFromName(fields[kind]), fit);
+      GP_RETURN_IF_ERROR(ReadFinite(table, r, slope, "slope", &fit.slope));
+      GP_RETURN_IF_ERROR(
+          ReadFinite(table, r, intercept, "intercept", &fit.intercept));
+      model.lw_fallback_.SetFit(fields[gpu], layer_kind, fit);
+    }
+    // Every trained GPU must be able to degrade to the layer-wise tier;
+    // a bundle missing those rows would silently predict 0 for unseen
+    // kernels, which is worse than failing the load.
+    for (const auto& [gpu_name, kernels] : model.per_gpu_) {
+      (void)kernels;
+      bool found = false;
+      for (const auto& [key, fit] : model.lw_fallback_.fits()) {
+        (void)fit;
+        if (key.first == gpu_name) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return DataLossError(table.path + ": no fallback rows for GPU '" +
+                             gpu_name +
+                             "' (bundle incomplete: unseen kernels on this "
+                             "GPU could not degrade to the LW tier)");
+      }
     }
   }
   // Deserialized state is string-keyed; rebuild the dense predict tables

@@ -7,15 +7,27 @@
  *
  * Figure 10's workflow distributes the trained analytical model (linear
  * functions + kernel mapping table) to users who never touch the training
- * dataset; this is the ship-it format: three CSV files in a directory
- * (kernel_models.csv, mapping_table.csv, layer_fallback.csv).
+ * dataset; this is the ship-it format: four CSV files in a directory
+ * (kernel_models.csv, mapping_table.csv, calibration.csv,
+ * layer_fallback.csv) plus a manifest.csv carrying the bundle version and
+ * a per-file checksum + row count.
+ *
+ * Because bundles cross a trust boundary (users load files they did not
+ * produce), loading is fully recoverable: every corruption — truncated
+ * file, checksum mismatch, non-finite coefficient, duplicate key, missing
+ * fallback row — comes back as a Status naming the file, line, and field,
+ * never a process abort.
  */
 
 #include <string>
 
+#include "common/status.h"
 #include "models/kw_model.h"
 
 namespace gpuperf::models {
+
+/** Version written into manifest.csv; bump on layout changes. */
+inline constexpr int kKwBundleVersion = 2;
 
 /** Saves/loads trained KW models as CSV bundles. */
 class ModelIo {
@@ -23,8 +35,12 @@ class ModelIo {
   /** Writes `model` into `directory` (must exist). */
   static void SaveKw(const KwModel& model, const std::string& directory);
 
-  /** Reads a model bundle written by SaveKw(). */
-  static KwModel LoadKw(const std::string& directory);
+  /**
+   * Reads and validates a model bundle written by SaveKw(). All errors
+   * are recoverable: the Status message is `file:line: ...` wherever a
+   * location exists.
+   */
+  static StatusOr<KwModel> LoadKw(const std::string& directory);
 };
 
 }  // namespace gpuperf::models

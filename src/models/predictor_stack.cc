@@ -1,0 +1,89 @@
+#include "models/predictor_stack.h"
+
+#include <utility>
+
+namespace gpuperf::models {
+
+const char* PredictorTierName(PredictorTier tier) {
+  switch (tier) {
+    case PredictorTier::kKw: return "KW";
+    case PredictorTier::kLw: return "LW";
+    case PredictorTier::kE2e: return "E2E";
+    case PredictorTier::kNone: return "none";
+  }
+  GP_CHECK(false) << "unhandled PredictorTier";
+  return "";
+}
+
+double PredictorStackCounters::DegradedFraction() const {
+  const std::uint64_t answered = kw_hits + lw_fallbacks + e2e_fallbacks;
+  if (answered == 0) return 0.0;
+  return static_cast<double>(lw_fallbacks + e2e_fallbacks) /
+         static_cast<double>(answered);
+}
+
+void PredictorStack::SetKw(KwModel kw) { kw_ = std::move(kw); }
+
+void PredictorStack::SetLw(LwModel lw) {
+  lw_ = std::move(lw);
+  lw_gpus_.clear();
+  for (const auto& [key, fit] : lw_->fits()) {
+    (void)fit;
+    lw_gpus_.insert(key.first);
+  }
+}
+
+void PredictorStack::SetE2e(E2eModel e2e) { e2e_ = std::move(e2e); }
+
+StatusOr<double> PredictorStack::TryPredictUs(const dnn::Network& network,
+                                              const gpuexec::GpuSpec& gpu,
+                                              std::int64_t batch,
+                                              PredictorTier* tier) const {
+  if (tier != nullptr) *tier = PredictorTier::kNone;
+  if (kw_.has_value() && kw_->CoverageFor(network, gpu.name).Full()) {
+    kw_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (tier != nullptr) *tier = PredictorTier::kKw;
+    return kw_->PredictUs(network, gpu, batch);
+  }
+  if (lw_.has_value() && lw_gpus_.count(gpu.name) > 0) {
+    lw_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    if (tier != nullptr) *tier = PredictorTier::kLw;
+    return lw_->PredictUs(network, gpu, batch);
+  }
+  if (e2e_.has_value() && e2e_->TryFitFor(gpu.name) != nullptr) {
+    e2e_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    if (tier != nullptr) *tier = PredictorTier::kE2e;
+    return e2e_->PredictUs(network, gpu, batch);
+  }
+  unanswered_.fetch_add(1, std::memory_order_relaxed);
+  return FailedPreconditionError(
+      "no predictor tier covers network '" + network.name() + "' on GPU '" +
+      gpu.name + "' (installed: " + (has_kw() ? "KW " : "") +
+      (has_lw() ? "LW " : "") + (has_e2e() ? "E2E" : "") +
+      "); retrain or extend the measurement campaign");
+}
+
+double PredictorStack::PredictUs(const dnn::Network& network,
+                                 const gpuexec::GpuSpec& gpu,
+                                 std::int64_t batch) const {
+  StatusOr<double> prediction = TryPredictUs(network, gpu, batch);
+  return prediction.ok() ? *prediction : 0.0;
+}
+
+PredictorStackCounters PredictorStack::counters() const {
+  PredictorStackCounters counters;
+  counters.kw_hits = kw_hits_.load(std::memory_order_relaxed);
+  counters.lw_fallbacks = lw_fallbacks_.load(std::memory_order_relaxed);
+  counters.e2e_fallbacks = e2e_fallbacks_.load(std::memory_order_relaxed);
+  counters.unanswered = unanswered_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void PredictorStack::ResetCounters() {
+  kw_hits_.store(0, std::memory_order_relaxed);
+  lw_fallbacks_.store(0, std::memory_order_relaxed);
+  e2e_fallbacks_.store(0, std::memory_order_relaxed);
+  unanswered_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gpuperf::models

@@ -1,0 +1,112 @@
+#ifndef GPUPERF_MODELS_PREDICTOR_STACK_H_
+#define GPUPERF_MODELS_PREDICTOR_STACK_H_
+
+/**
+ * @file
+ * Graceful-degradation predictor: KW -> LW -> E2E.
+ *
+ * A deployed predictor (Figure 10's shipped bundle, the serving
+ * dispatcher) meets workloads outside its trained scope: networks whose
+ * layer signatures miss the mapping table, GPUs the bundle was never
+ * trained for, or a bundle that failed to load entirely. Habitat
+ * (arXiv:2102.00527) frames this as the central deployment problem — a
+ * predictor must degrade, not die. The stack answers from the most
+ * accurate tier whose trained scope covers the query and exposes per-tier
+ * hit/fallback counters so operators can observe how often they are
+ * running on a degraded tier (and go retrain when the fraction grows).
+ *
+ * Tier order mirrors the paper's accuracy ladder: KW (~7% error), LW
+ * (~28%), E2E (~35%). A query no tier covers is a recoverable error,
+ * never an abort.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "models/e2e_model.h"
+#include "models/kw_model.h"
+#include "models/lw_model.h"
+#include "models/predictor.h"
+
+namespace gpuperf::models {
+
+/** The tier that answered (or kNone when nothing covered the query). */
+enum class PredictorTier { kKw, kLw, kE2e, kNone };
+
+/** Stable tier name: "KW", "LW", "E2E", "none". */
+const char* PredictorTierName(PredictorTier tier);
+
+/** Snapshot of the stack's per-tier counters. */
+struct PredictorStackCounters {
+  std::uint64_t kw_hits = 0;        // answered by the full-accuracy tier
+  std::uint64_t lw_fallbacks = 0;   // KW missing/out of scope, LW answered
+  std::uint64_t e2e_fallbacks = 0;  // KW and LW out of scope, E2E answered
+  std::uint64_t unanswered = 0;     // no tier covered the query
+
+  std::uint64_t total() const {
+    return kw_hits + lw_fallbacks + e2e_fallbacks + unanswered;
+  }
+  /** Fraction of answered queries served by a degraded (non-KW) tier. */
+  double DegradedFraction() const;
+};
+
+/** The KW -> LW -> E2E fallback stack. */
+class PredictorStack : public Predictor {
+ public:
+  PredictorStack() = default;
+
+  /**
+   * Installs a tier (each takes ownership; overwrites any previous one).
+   * A stack built from a bundle that failed to load simply never gets
+   * SetKw() called and starts at the LW tier.
+   */
+  void SetKw(KwModel kw);
+  void SetLw(LwModel lw);
+  void SetE2e(E2eModel e2e);
+
+  bool has_kw() const { return kw_.has_value(); }
+  bool has_lw() const { return lw_.has_value(); }
+  bool has_e2e() const { return e2e_.has_value(); }
+
+  std::string Name() const override { return "Stack"; }
+
+  /**
+   * Predicts from the best covering tier; reports which tier answered
+   * via `tier` (optional). Returns FailedPrecondition when no installed
+   * tier covers (network, gpu) — e.g. an empty stack, or a GPU no tier
+   * was trained for.
+   */
+  StatusOr<double> TryPredictUs(const dnn::Network& network,
+                                const gpuexec::GpuSpec& gpu,
+                                std::int64_t batch,
+                                PredictorTier* tier = nullptr) const;
+
+  /** Predictor interface: as TryPredictUs, but an uncovered query is 0. */
+  double PredictUs(const dnn::Network& network, const gpuexec::GpuSpec& gpu,
+                   std::int64_t batch) const override;
+
+  /** Thread-safe counter snapshot. */
+  PredictorStackCounters counters() const;
+
+  /** Zeroes the counters (e.g. between measurement windows). */
+  void ResetCounters();
+
+ private:
+  std::optional<KwModel> kw_;
+  std::optional<LwModel> lw_;
+  std::optional<E2eModel> e2e_;
+  std::set<std::string> lw_gpus_;  // GPUs the LW tier has fits for
+
+  mutable std::atomic<std::uint64_t> kw_hits_{0};
+  mutable std::atomic<std::uint64_t> lw_fallbacks_{0};
+  mutable std::atomic<std::uint64_t> e2e_fallbacks_{0};
+  mutable std::atomic<std::uint64_t> unanswered_{0};
+};
+
+}  // namespace gpuperf::models
+
+#endif  // GPUPERF_MODELS_PREDICTOR_STACK_H_

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/stats.h"
+#include "common/string_util.h"
 #include "simsys/event_queue.h"
 
 namespace gpuperf::simsys {
@@ -20,37 +23,309 @@ std::string DispatchPolicyName(DispatchPolicy policy) {
   return "";
 }
 
-ServingResult SimulateServing(
-    const std::vector<std::vector<double>>& true_service_us,
-    const std::vector<std::vector<double>>& predicted_service_us,
-    const std::vector<double>& job_mix, const ServingConfig& config) {
-  GP_CHECK(!true_service_us.empty());
-  GP_CHECK_EQ(true_service_us.size(), predicted_service_us.size());
-  GP_CHECK_EQ(true_service_us.size(), job_mix.size());
-  const std::size_t gpus = true_service_us[0].size();
-  GP_CHECK_GT(gpus, 0u);
-  for (const auto& row : true_service_us) GP_CHECK_EQ(row.size(), gpus);
-  GP_CHECK_GT(config.arrival_rate_per_s, 0.0);
+namespace {
 
-  double mix_total = 0;
-  for (double w : job_mix) {
-    GP_CHECK_GE(w, 0.0);
-    mix_total += w;
-  }
-  GP_CHECK_GT(mix_total, 0.0);
-
-  Rng rng(config.seed);
+/** Mutable simulation state shared by the event handlers. */
+struct Sim {
+  const std::vector<std::vector<double>>& truth;
+  const std::vector<std::vector<double>>& predicted;  // empty = no model
+  const ServingConfig& config;
+  std::size_t gpus;
   EventQueue queue;
+  FaultPlan plan;
+
   // Per-GPU FIFO: when the GPU frees up (true time) and its predicted
   // free-up time (what the model-driven dispatcher believes).
-  std::vector<double> gpu_free(gpus, 0.0);
-  std::vector<double> gpu_predicted_free(gpus, 0.0);
-  std::vector<int> gpu_outstanding(gpus, 0);
-  std::vector<double> gpu_busy(gpus, 0.0);
+  std::vector<double> gpu_free;
+  std::vector<double> gpu_predicted_free;
+  std::vector<int> gpu_outstanding;
+  std::vector<double> gpu_busy;
   std::vector<double> latencies_ms;
   int round_robin_next = 0;
 
+  int retries = 0;
+  int dropped = 0;
+  int dispatches = 0;
+  int degraded = 0;
+
+  Sim(const std::vector<std::vector<double>>& truth_in,
+      const std::vector<std::vector<double>>& predicted_in,
+      const ServingConfig& config_in, std::size_t gpus_in, FaultPlan plan_in)
+      : truth(truth_in),
+        predicted(predicted_in),
+        config(config_in),
+        gpus(gpus_in),
+        plan(std::move(plan_in)),
+        gpu_free(gpus_in, 0.0),
+        gpu_predicted_free(gpus_in, 0.0),
+        gpu_outstanding(gpus_in, 0),
+        gpu_busy(gpus_in, 0.0) {}
+
+  /** Delay before re-dispatching after the `attempt`-th failure (0-based):
+   *  failure-detection timeout plus capped exponential backoff. */
+  double RetryDelayUs(int attempt) const {
+    const RetryPolicy& r = config.retry;
+    const double backoff_ms =
+        std::min(r.backoff_base_ms * std::ldexp(1.0, attempt),
+                 r.backoff_cap_ms);
+    return (r.detect_timeout_ms + backoff_ms) * 1e3;
+  }
+
+  /** Least-outstanding among the up candidates. */
+  std::size_t LeastOutstanding(const std::vector<std::size_t>& up) const {
+    std::size_t target = up[0];
+    for (std::size_t g : up) {
+      if (gpu_outstanding[g] < gpu_outstanding[target]) target = g;
+    }
+    return target;
+  }
+
+  /**
+   * Picks a GPU among those up right now. Returns false when the whole
+   * pool is down (caller retries later). Sets *degraded_decision when a
+   * predicted-least-load decision had to fall back to least-outstanding
+   * because predictions are missing or non-finite.
+   */
+  bool PickTarget(std::size_t job, std::size_t* target,
+                  bool* degraded_decision) {
+    *degraded_decision = false;
+    const double now = queue.NowUs();
+    std::vector<std::size_t> up;
+    up.reserve(gpus);
+    for (std::size_t g = 0; g < gpus; ++g) {
+      if (!plan.IsDownAt(g, now)) up.push_back(g);
+    }
+    if (up.empty()) return false;
+
+    switch (config.policy) {
+      case DispatchPolicy::kRoundRobin: {
+        // Probe from the cursor for the first up GPU; fault-free this is
+        // exactly `round_robin_next++ % gpus`.
+        const int start = round_robin_next++;
+        for (std::size_t i = 0; i < gpus; ++i) {
+          const std::size_t g =
+              (static_cast<std::size_t>(start) + i) % gpus;
+          if (!plan.IsDownAt(g, now)) {
+            *target = g;
+            return true;
+          }
+        }
+        *target = up[0];
+        return true;
+      }
+      case DispatchPolicy::kLeastOutstanding:
+        *target = LeastOutstanding(up);
+        return true;
+      case DispatchPolicy::kPredictedLeastLoad: {
+        bool usable = !predicted.empty();
+        if (usable) {
+          for (std::size_t g : up) {
+            if (!std::isfinite(predicted[job][g])) {
+              usable = false;
+              break;
+            }
+          }
+        }
+        if (!usable) {
+          // Graceful degradation: serve with the best model-free policy
+          // rather than failing the dispatch.
+          *degraded_decision = true;
+          *target = LeastOutstanding(up);
+          return true;
+        }
+        double best = 1e300;
+        *target = up[0];
+        for (std::size_t g : up) {
+          const double finish = std::max(gpu_predicted_free[g], now) +
+                                predicted[job][g];
+          if (finish < best) {
+            best = finish;
+            *target = g;
+          }
+        }
+        return true;
+      }
+    }
+    GP_CHECK(false);
+    return false;
+  }
+
+  /** Drops the job or schedules its next attempt after the backoff. */
+  void RetryOrDrop(std::size_t job, double arrival, int attempt) {
+    if (attempt >= config.retry.max_retries) {
+      ++dropped;
+      return;
+    }
+    ++retries;
+    const double at = queue.NowUs() + RetryDelayUs(attempt);
+    queue.Schedule(at, [this, job, arrival, attempt] {
+      Dispatch(job, arrival, attempt + 1);
+    });
+  }
+
+  /** One dispatch attempt of `job` (attempt 0 = first try). */
+  void Dispatch(std::size_t job, double arrival, int attempt) {
+    std::size_t target = 0;
+    bool degraded_decision = false;
+    if (!PickTarget(job, &target, &degraded_decision)) {
+      // Whole pool down: detection timeout + backoff, like a failure.
+      RetryOrDrop(job, arrival, attempt);
+      return;
+    }
+    ++dispatches;
+    if (degraded_decision) ++degraded;
+
+    const double now = queue.NowUs();
+    const double service = truth[job][target];
+    const double start = std::max(gpu_free[target], now);
+    if (!predicted.empty() && std::isfinite(predicted[job][target])) {
+      gpu_predicted_free[target] =
+          std::max(gpu_predicted_free[target], now) + predicted[job][target];
+    }
+    ++gpu_outstanding[target];
+
+    const DownInterval* outage =
+        plan.FirstOutageIn(target, start, start + service);
+    if (outage != nullptr) {
+      // The GPU fails mid-job (or is queued into an outage): the partial
+      // work is wasted, the job retries elsewhere after detection.
+      const double fail = std::max(start, outage->down_us);
+      gpu_busy[target] += fail - start;
+      gpu_free[target] = fail;
+      queue.Schedule(fail, [this, job, arrival, attempt, target] {
+        --gpu_outstanding[target];
+        RetryOrDrop(job, arrival, attempt);
+      });
+      return;
+    }
+
+    gpu_free[target] = start + service;
+    gpu_busy[target] += service;
+    queue.Schedule(gpu_free[target], [this, arrival, target] {
+      latencies_ms.push_back((queue.NowUs() - arrival) / 1e3);
+      --gpu_outstanding[target];
+    });
+  }
+};
+
+Status ValidateInputs(const std::vector<std::vector<double>>& true_service_us,
+                      const std::vector<std::vector<double>>& predicted,
+                      const std::vector<double>& job_mix,
+                      const ServingConfig& config) {
+  if (true_service_us.empty()) {
+    return InvalidArgumentError("true_service_us is empty (no job types)");
+  }
+  const std::size_t gpus = true_service_us[0].size();
+  if (gpus == 0) {
+    return InvalidArgumentError("true_service_us has no GPUs (empty pool)");
+  }
+  for (std::size_t j = 0; j < true_service_us.size(); ++j) {
+    if (true_service_us[j].size() != gpus) {
+      return InvalidArgumentError(Format(
+          "true_service_us row %zu has %zu GPUs, row 0 has %zu", j,
+          true_service_us[j].size(), gpus));
+    }
+    for (std::size_t g = 0; g < gpus; ++g) {
+      const double t = true_service_us[j][g];
+      if (!std::isfinite(t) || t <= 0) {
+        return InvalidArgumentError(Format(
+            "true_service_us[%zu][%zu] = %g is not a positive finite time",
+            j, g, t));
+      }
+    }
+  }
+  // predicted may be empty (no model: predicted-least-load degrades), but
+  // when present it must match the truth's shape. Non-finite *values* are
+  // allowed — they degrade the affected decisions instead.
+  if (!predicted.empty()) {
+    if (predicted.size() != true_service_us.size()) {
+      return InvalidArgumentError(Format(
+          "predicted_service_us has %zu job types, true_service_us has %zu",
+          predicted.size(), true_service_us.size()));
+    }
+    for (std::size_t j = 0; j < predicted.size(); ++j) {
+      if (predicted[j].size() != gpus) {
+        return InvalidArgumentError(Format(
+            "predicted_service_us row %zu has %zu GPUs, expected %zu", j,
+            predicted[j].size(), gpus));
+      }
+    }
+  }
+  if (job_mix.size() != true_service_us.size()) {
+    return InvalidArgumentError(
+        Format("job_mix has %zu entries, true_service_us has %zu job types",
+               job_mix.size(), true_service_us.size()));
+  }
+  double mix_total = 0;
+  for (std::size_t j = 0; j < job_mix.size(); ++j) {
+    if (!std::isfinite(job_mix[j]) || job_mix[j] < 0) {
+      return InvalidArgumentError(Format(
+          "job_mix[%zu] = %g is not a non-negative finite weight", j,
+          job_mix[j]));
+    }
+    mix_total += job_mix[j];
+  }
+  if (mix_total <= 0) {
+    return InvalidArgumentError("job_mix sums to zero (no job can arrive)");
+  }
+  if (!std::isfinite(config.arrival_rate_per_s) ||
+      config.arrival_rate_per_s <= 0) {
+    return InvalidArgumentError(
+        Format("arrival_rate_per_s = %g must be positive and finite",
+               config.arrival_rate_per_s));
+  }
+  if (!std::isfinite(config.duration_s) || config.duration_s <= 0) {
+    return InvalidArgumentError(Format(
+        "duration_s = %g must be positive and finite", config.duration_s));
+  }
+  if (!std::isfinite(config.faults.mtbf_s) || config.faults.mtbf_s < 0) {
+    return InvalidArgumentError(Format(
+        "faults.mtbf_s = %g must be non-negative and finite (0 disables "
+        "fault injection)",
+        config.faults.mtbf_s));
+  }
+  if (config.faults.mtbf_s > 0 &&
+      (!std::isfinite(config.faults.mttr_s) || config.faults.mttr_s <= 0)) {
+    return InvalidArgumentError(Format(
+        "faults.mttr_s = %g must be positive and finite when faults are "
+        "enabled",
+        config.faults.mttr_s));
+  }
+  if (config.retry.max_retries < 0) {
+    return InvalidArgumentError(Format(
+        "retry.max_retries = %d must be non-negative",
+        config.retry.max_retries));
+  }
+  const RetryPolicy& r = config.retry;
+  if (!std::isfinite(r.detect_timeout_ms) || r.detect_timeout_ms < 0 ||
+      !std::isfinite(r.backoff_base_ms) || r.backoff_base_ms < 0 ||
+      !std::isfinite(r.backoff_cap_ms) || r.backoff_cap_ms < 0) {
+    return InvalidArgumentError(Format(
+        "retry timeouts (detect %g ms, backoff base %g ms, cap %g ms) must "
+        "be non-negative and finite",
+        r.detect_timeout_ms, r.backoff_base_ms, r.backoff_cap_ms));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<ServingResult> SimulateServing(
+    const std::vector<std::vector<double>>& true_service_us,
+    const std::vector<std::vector<double>>& predicted_service_us,
+    const std::vector<double>& job_mix, const ServingConfig& config) {
+  GP_RETURN_IF_ERROR(ValidateInputs(true_service_us, predicted_service_us,
+                                    job_mix, config));
+  const std::size_t gpus = true_service_us[0].size();
   const double horizon_us = config.duration_s * 1e6;
+
+  Sim sim(true_service_us, predicted_service_us, config, gpus,
+          FaultPlan(gpus, horizon_us, config.faults));
+
+  double mix_total = 0;
+  for (double w : job_mix) mix_total += w;
+
+  Rng rng(config.seed);
   double next_arrival = 0;
   while (true) {
     // Exponential inter-arrival times.
@@ -67,60 +342,32 @@ ServingResult SimulateServing(
     }
 
     const double arrival = next_arrival;
-    queue.Schedule(arrival, [&, job, arrival] {
-      // Dispatch decision.
-      std::size_t target = 0;
-      switch (config.policy) {
-        case DispatchPolicy::kRoundRobin:
-          target = round_robin_next++ % gpus;
-          break;
-        case DispatchPolicy::kLeastOutstanding: {
-          target = std::min_element(gpu_outstanding.begin(),
-                                    gpu_outstanding.end()) -
-                   gpu_outstanding.begin();
-          break;
-        }
-        case DispatchPolicy::kPredictedLeastLoad: {
-          double best = 1e300;
-          for (std::size_t g = 0; g < gpus; ++g) {
-            const double finish =
-                std::max(gpu_predicted_free[g], queue.NowUs()) +
-                predicted_service_us[job][g];
-            if (finish < best) {
-              best = finish;
-              target = g;
-            }
-          }
-          break;
-        }
-      }
-      const double service = true_service_us[job][target];
-      const double start = std::max(gpu_free[target], queue.NowUs());
-      gpu_free[target] = start + service;
-      gpu_predicted_free[target] =
-          std::max(gpu_predicted_free[target], queue.NowUs()) +
-          predicted_service_us[job][target];
-      gpu_busy[target] += service;
-      ++gpu_outstanding[target];
-      queue.Schedule(gpu_free[target], [&, arrival, target] {
-        latencies_ms.push_back((queue.NowUs() - arrival) / 1e3);
-        --gpu_outstanding[target];
-      });
+    sim.queue.Schedule(arrival, [&sim, job, arrival] {
+      sim.Dispatch(job, arrival, /*attempt=*/0);
     });
   }
-  queue.Run();
+  sim.queue.Run();
 
   ServingResult result;
-  result.completed = static_cast<int>(latencies_ms.size());
-  if (!latencies_ms.empty()) {
-    result.p50_ms = Percentile(latencies_ms, 50);
-    result.p95_ms = Percentile(latencies_ms, 95);
-    result.p99_ms = Percentile(latencies_ms, 99);
-    result.mean_ms = Mean(latencies_ms);
+  result.completed = static_cast<int>(sim.latencies_ms.size());
+  result.dropped = sim.dropped;
+  result.retries = sim.retries;
+  result.dispatches = sim.dispatches;
+  result.degraded_dispatches = sim.degraded;
+  result.degraded_dispatch_fraction =
+      sim.dispatches > 0
+          ? static_cast<double>(sim.degraded) / sim.dispatches
+          : 0.0;
+  if (!sim.latencies_ms.empty()) {
+    result.p50_ms = Percentile(sim.latencies_ms, 50);
+    result.p95_ms = Percentile(sim.latencies_ms, 95);
+    result.p99_ms = Percentile(sim.latencies_ms, 99);
+    result.mean_ms = Mean(sim.latencies_ms);
   }
-  const double end = std::max(queue.NowUs(), 1.0);
+  const double end = std::max(sim.queue.NowUs(), 1.0);
   for (std::size_t g = 0; g < gpus; ++g) {
-    result.gpu_utilization.push_back(gpu_busy[g] / end);
+    result.gpu_utilization.push_back(sim.gpu_busy[g] / end);
+    result.gpu_availability.push_back(sim.plan.Availability(g));
   }
   return result;
 }

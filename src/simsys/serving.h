@@ -9,11 +9,23 @@
  * arrival to a GPU. The paper's premise is that a microsecond-latency
  * performance model makes *predicted-time-aware* dispatch practical; this
  * simulator quantifies it against model-free policies.
+ *
+ * The pool is fault-tolerant: a deterministic seed-driven fault plan
+ * (common/fault_injection.h) takes GPUs down and brings them back
+ * (MTBF/MTTR); jobs in flight on a failed GPU are retried elsewhere after
+ * a detection timeout plus capped exponential backoff, and dropped once
+ * the retry budget is exhausted. When model predictions are unavailable
+ * (bundle failed to load, or a value is non-finite), the
+ * predicted-least-load dispatcher degrades to least-outstanding instead
+ * of failing — mirroring the predictor stack's graceful degradation.
  */
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/fault_injection.h"
+#include "common/status.h"
 
 namespace gpuperf::simsys {
 
@@ -27,33 +39,57 @@ enum class DispatchPolicy {
 /** Human-readable policy name. */
 std::string DispatchPolicyName(DispatchPolicy policy);
 
+/** Retry behavior for jobs interrupted by a GPU failure. */
+struct RetryPolicy {
+  int max_retries = 3;            // re-dispatches before a job is dropped
+  double detect_timeout_ms = 1;   // failure-detection delay before retrying
+  double backoff_base_ms = 1;     // first backoff; doubles per attempt
+  double backoff_cap_ms = 100;    // exponential backoff cap
+};
+
 /** Configuration of a serving simulation. */
 struct ServingConfig {
   double arrival_rate_per_s = 50;  // Poisson arrival rate
   double duration_s = 10;          // simulated horizon
   std::uint64_t seed = 1;
   DispatchPolicy policy = DispatchPolicy::kPredictedLeastLoad;
+  FaultPlanConfig faults;          // mtbf_s == 0 keeps the pool fault-free
+  RetryPolicy retry;
 };
 
-/** Latency statistics of one simulation. */
+/** Latency and fault statistics of one simulation. */
 struct ServingResult {
   int completed = 0;
+  int dropped = 0;     // jobs abandoned after exhausting the retry budget
+  int retries = 0;     // re-dispatches caused by GPU failures
+  int dispatches = 0;  // dispatch decisions that placed a job on a GPU
+  int degraded_dispatches = 0;  // decisions degraded to least-outstanding
+  double degraded_dispatch_fraction = 0;  // degraded / dispatches
   double p50_ms = 0;
   double p95_ms = 0;
   double p99_ms = 0;
   double mean_ms = 0;
-  std::vector<double> gpu_utilization;  // busy fraction per GPU
+  std::vector<double> gpu_utilization;   // busy fraction per GPU
+  std::vector<double> gpu_availability;  // up fraction per GPU (fault plan)
 };
 
 /**
- * Simulates the pool.
+ * Simulates the pool. Deterministic: a fixed config (seed included)
+ * yields a bit-identical ServingResult on every run, platform, and
+ * thread count — faults come from the precomputed plan, never from
+ * ad-hoc randomness.
  *
  * @param true_service_us [job_type][gpu] actual execution time.
  * @param predicted_service_us [job_type][gpu] model-predicted time (used
- *        only by kPredictedLeastLoad).
+ *        only by kPredictedLeastLoad). Pass an empty vector when no model
+ *        is available: the policy then degrades to least-outstanding and
+ *        the result reports the degraded fraction.
  * @param job_mix relative arrival weight per job type.
+ *
+ * Malformed inputs (empty pool, shape mismatch, non-positive rate,
+ * non-finite service times, ...) are InvalidArgument errors, not aborts.
  */
-ServingResult SimulateServing(
+StatusOr<ServingResult> SimulateServing(
     const std::vector<std::vector<double>>& true_service_us,
     const std::vector<std::vector<double>>& predicted_service_us,
     const std::vector<double>& job_mix, const ServingConfig& config);

@@ -121,7 +121,7 @@ Network BuildBasicResNetWithBlocks(int total_blocks) {
 
 }  // namespace
 
-Network BuildByName(const std::string& name) {
+StatusOr<Network> TryBuildByName(const std::string& name) {
   int depth = 0;
   if (name == "alexnet") return BuildAlexNet();
   if (name == "googlenet") return BuildGoogLeNet();
@@ -130,9 +130,26 @@ Network BuildByName(const std::string& name) {
   if (name == "mobilenet_v2") return BuildMobileNetV2({});
   if (name == "shufflenet_v1") return BuildShuffleNetV1({});
   if (StartsWith(name, "bert_") || name == "distilbert") {
+    // Preset list mirrors BuildStandardTransformer, which Fatals on an
+    // unknown preset (its callers pass literals).
+    static const std::set<std::string>* const kBertPresets =
+        new std::set<std::string>{"bert_tiny", "bert_mini",  "bert_small",
+                                  "bert_medium", "bert_base", "bert_large",
+                                  "distilbert"};
+    if (kBertPresets->count(name) == 0) {
+      return NotFoundError("unknown transformer preset '" + name +
+                           "' (try bert_tiny/mini/small/medium/base/large "
+                           "or distilbert)");
+    }
     return BuildStandardTransformer(name);
   }
-  if (StartsWith(name, "gpt2")) return BuildGpt2(name);
+  if (StartsWith(name, "gpt2")) {
+    if (name != "gpt2" && name != "gpt2_medium" && name != "gpt2_large") {
+      return NotFoundError("unknown GPT-2 preset '" + name +
+                           "' (try gpt2, gpt2_medium, gpt2_large)");
+    }
+    return BuildGpt2(name);
+  }
   if (name == "resnext50_32x4d") return BuildResNeXt(50);
   if (name == "resnext101_32x8d") return BuildResNeXt(101, 32, 8);
   if (name == "wide_resnet50_2") return BuildWideResNet(50);
@@ -145,16 +162,33 @@ Network BuildByName(const std::string& name) {
     if ((depth - 2) % 3 == 0 && depth >= 14) {
       return BuildResNetWithBlocks((depth - 2) / 3);
     }
-    Fatal("cannot construct " + name + ": depth must be 3*blocks+2");
+    return NotFoundError("cannot construct " + name +
+                         ": depth must be 3*blocks+2 (>= 14) or a standard "
+                         "depth (18/34/50/101/152)");
   }
   if (ParseIntSuffix(name, "densenet", &depth)) {
+    if (depth != 121 && depth != 161 && depth != 169 && depth != 201) {
+      return NotFoundError(Format(
+          "no standard DenseNet of depth %d (try 121/161/169/201)", depth));
+    }
     return BuildStandardDenseNet(depth);
   }
+  const auto vgg_depth_ok = [](int d) {
+    return d == 11 || d == 13 || d == 16 || d == 19;
+  };
   if (ParseIntSuffix(name, "vgg", &depth)) {
+    if (!vgg_depth_ok(depth)) {
+      return NotFoundError(
+          Format("no standard VGG of depth %d (try 11/13/16/19)", depth));
+    }
     return BuildStandardVgg(depth, /*batch_norm=*/false);
   }
   if (name.size() > 3 && name.substr(name.size() - 3) == "_bn") {
     if (ParseIntSuffix(name.substr(0, name.size() - 3), "vgg", &depth)) {
+      if (!vgg_depth_ok(depth)) {
+        return NotFoundError(
+            Format("no standard VGG of depth %d (try 11/13/16/19)", depth));
+      }
       return BuildStandardVgg(depth, /*batch_norm=*/true);
     }
   }
@@ -172,7 +206,14 @@ Network BuildByName(const std::string& name) {
   }();
   auto it = kRegistry->find(name);
   if (it != kRegistry->end()) return it->second;
-  Fatal("unknown network name: " + name);
+  return NotFoundError("unknown network name '" + name +
+                       "' (run `gpuperf zoo` for the full list)");
+}
+
+Network BuildByName(const std::string& name) {
+  StatusOr<Network> net = TryBuildByName(name);
+  if (!net.ok()) Fatal(net.status().message());
+  return std::move(net).value();
 }
 
 std::vector<Network> ImageClassificationZoo() {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "dnn/network.h"
 
 namespace gpuperf::zoo {
@@ -31,6 +32,13 @@ inline constexpr int kImageZooSize = 646;
  * unknown name.
  */
 dnn::Network BuildByName(const std::string& name);
+
+/**
+ * As BuildByName, but an unknown or malformed name is a NotFound error
+ * (naming the nearest valid spelling rule) instead of a Fatal — the form
+ * user-facing tools must use, since the name typically comes from argv.
+ */
+StatusOr<dnn::Network> TryBuildByName(const std::string& name);
 
 /**
  * The full 646-network image-classification zoo, deduplicated by name.

@@ -79,5 +79,80 @@ TEST(CsvDeathTest, MissingFileIsFatal) {
               ::testing::ExitedWithCode(1), "cannot open");
 }
 
+// --- Recoverable parsing: every error carries path:line context.
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+TEST(CsvStatusTest, MissingFileIsNotFound) {
+  StatusOr<CsvTable> table = TryReadCsv("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(table.status().message().find("/nonexistent/dir/file.csv"),
+            std::string::npos);
+}
+
+TEST(CsvStatusTest, RaggedRowNamesPathAndLine) {
+  const std::string path = TempPath("gpuperf_csv_ragged.csv");
+  WriteFile(path, "a,b\n1,2\n3,4,5\n");
+  StatusOr<CsvTable> table = TryReadCsv(path);
+  ASSERT_FALSE(table.ok());
+  // The bad row is on physical line 3 of the file.
+  EXPECT_NE(table.status().message().find(path + ":3"), std::string::npos)
+      << table.status().message();
+  EXPECT_NE(table.status().message().find("expected 2 fields, got 3"),
+            std::string::npos)
+      << table.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(CsvStatusTest, UnterminatedQuoteNamesPathAndLine) {
+  const std::string path = TempPath("gpuperf_csv_quote.csv");
+  WriteFile(path, "a,b\n\"oops,2\n");
+  StatusOr<CsvTable> table = TryReadCsv(path);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(table.status().message().find(path + ":2"), std::string::npos)
+      << table.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(CsvStatusTest, EmptyFileIsAnError) {
+  const std::string path = TempPath("gpuperf_csv_empty.csv");
+  WriteFile(path, "");
+  StatusOr<CsvTable> table = TryReadCsv(path);
+  ASSERT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("empty file"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvStatusTest, FindColumnReportsHeaderLine) {
+  const std::string path = TempPath("gpuperf_csv_col.csv");
+  WriteFile(path, "a,b\n1,2\n");
+  CsvTable table = TryReadCsv(path).value();
+  StatusOr<std::size_t> missing = table.FindColumn("zz");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.status().message().find(path + ":1"), std::string::npos)
+      << missing.status().message();
+  EXPECT_NE(missing.status().message().find("missing column 'zz'"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvStatusTest, RowLocationIsOneBasedPhysicalLine) {
+  const std::string path = TempPath("gpuperf_csv_loc.csv");
+  WriteFile(path, "a,b\n1,2\n3,4\n");
+  CsvTable table = TryReadCsv(path).value();
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.RowLocation(0), path + ":2");
+  EXPECT_EQ(table.RowLocation(1), path + ":3");
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace gpuperf

@@ -1,0 +1,136 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace gpuperf {
+namespace {
+
+FaultPlanConfig Config(double mtbf_s, double mttr_s, std::uint64_t seed) {
+  FaultPlanConfig config;
+  config.mtbf_s = mtbf_s;
+  config.mttr_s = mttr_s;
+  config.seed = seed;
+  return config;
+}
+
+constexpr double kHorizonUs = 60e6;  // one simulated minute
+
+TEST(FaultPlanTest, DisabledPlanHasNoOutages) {
+  FaultPlan plan(4, kHorizonUs, Config(0, 2, 1));
+  EXPECT_EQ(plan.resources(), 4u);
+  for (std::size_t r = 0; r < plan.resources(); ++r) {
+    EXPECT_TRUE(plan.Outages(r).empty());
+    EXPECT_DOUBLE_EQ(plan.Availability(r), 1.0);
+    EXPECT_FALSE(plan.IsDownAt(r, kHorizonUs / 2));
+    EXPECT_EQ(plan.FirstOutageIn(r, 0, kHorizonUs), nullptr);
+  }
+}
+
+TEST(FaultPlanTest, DisabledPlanIgnoresNonPositiveMttr) {
+  // mttr is only meaningful when faults are on; a disabled config with a
+  // zero mttr must not abort (the CLI default is --mtbf 0).
+  FaultPlan plan(2, kHorizonUs, Config(0, 0, 1));
+  EXPECT_TRUE(plan.Outages(0).empty());
+}
+
+TEST(FaultPlanTest, SameSeedIsBitIdentical) {
+  FaultPlan a(3, kHorizonUs, Config(5, 1, 42));
+  FaultPlan b(3, kHorizonUs, Config(5, 1, 42));
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto& oa = a.Outages(r);
+    const auto& ob = b.Outages(r);
+    ASSERT_EQ(oa.size(), ob.size());
+    for (std::size_t i = 0; i < oa.size(); ++i) {
+      EXPECT_EQ(oa[i].down_us, ob[i].down_us);
+      EXPECT_EQ(oa[i].up_us, ob[i].up_us);
+    }
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsProduceDifferentPlans) {
+  FaultPlan a(1, kHorizonUs, Config(5, 1, 1));
+  FaultPlan b(1, kHorizonUs, Config(5, 1, 2));
+  ASSERT_FALSE(a.Outages(0).empty());
+  ASSERT_FALSE(b.Outages(0).empty());
+  EXPECT_NE(a.Outages(0)[0].down_us, b.Outages(0)[0].down_us);
+}
+
+TEST(FaultPlanTest, OutagesAreSortedAndDisjoint) {
+  FaultPlan plan(4, kHorizonUs, Config(3, 0.5, 7));
+  for (std::size_t r = 0; r < plan.resources(); ++r) {
+    const auto& outages = plan.Outages(r);
+    double previous_up = 0;
+    for (const DownInterval& o : outages) {
+      EXPECT_GE(o.down_us, previous_up);
+      EXPECT_GT(o.up_us, o.down_us);
+      EXPECT_LT(o.down_us, kHorizonUs);
+      previous_up = o.up_us;
+    }
+  }
+}
+
+TEST(FaultPlanTest, AvailabilityMatchesIntervalSum) {
+  FaultPlan plan(2, kHorizonUs, Config(4, 1, 13));
+  for (std::size_t r = 0; r < plan.resources(); ++r) {
+    double down_total = 0;
+    for (const DownInterval& o : plan.Outages(r)) {
+      down_total += std::min(o.up_us, kHorizonUs) - o.down_us;
+    }
+    EXPECT_NEAR(plan.Availability(r), 1.0 - down_total / kHorizonUs, 1e-12);
+    EXPECT_GT(plan.Availability(r), 0.0);
+    EXPECT_LT(plan.Availability(r), 1.0);
+  }
+}
+
+TEST(FaultPlanTest, IsDownAtAndFirstOutageInAgree) {
+  FaultPlan plan(1, kHorizonUs, Config(5, 1, 3));
+  const auto& outages = plan.Outages(0);
+  ASSERT_FALSE(outages.empty());
+  const DownInterval& first = outages[0];
+
+  EXPECT_FALSE(plan.IsDownAt(0, first.down_us / 2));
+  EXPECT_TRUE(plan.IsDownAt(0, first.down_us));
+  EXPECT_TRUE(plan.IsDownAt(0, (first.down_us + first.up_us) / 2));
+  EXPECT_FALSE(plan.IsDownAt(0, first.up_us));  // half-open [down, up)
+
+  // A window entirely before the first outage sees nothing.
+  EXPECT_EQ(plan.FirstOutageIn(0, 0, first.down_us), nullptr);
+  // A window straddling the start finds it.
+  const DownInterval* found =
+      plan.FirstOutageIn(0, first.down_us / 2, first.down_us + 1);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->down_us, first.down_us);
+  // A window inside the outage finds it too (job running when GPU died).
+  found = plan.FirstOutageIn(0, (first.down_us + first.up_us) / 2,
+                             first.up_us + 1);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->down_us, first.down_us);
+}
+
+TEST(FaultPlanTest, ResourceStreamsAreIndependentOfPoolSize) {
+  // Per-resource streams are keyed on (seed, index), so growing the pool
+  // never perturbs the timeline of the resources already in it.
+  FaultPlan small(1, kHorizonUs, Config(5, 1, 21));
+  FaultPlan large(6, kHorizonUs, Config(5, 1, 21));
+  const auto& a = small.Outages(0);
+  const auto& b = large.Outages(0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].down_us, b[i].down_us);
+    EXPECT_EQ(a[i].up_us, b[i].up_us);
+  }
+  // And distinct resources get distinct timelines.
+  ASSERT_FALSE(large.Outages(1).empty());
+  EXPECT_NE(large.Outages(0)[0].down_us, large.Outages(1)[0].down_us);
+}
+
+TEST(FaultPlanTest, DefaultConstructedPlanIsEmpty) {
+  FaultPlan plan;
+  EXPECT_EQ(plan.resources(), 0u);
+  EXPECT_DOUBLE_EQ(plan.horizon_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace gpuperf

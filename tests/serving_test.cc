@@ -1,6 +1,11 @@
 #include "simsys/serving.h"
 
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
 
 namespace gpuperf::simsys {
 namespace {
@@ -20,19 +25,33 @@ ServingConfig Config(DispatchPolicy policy, double rate = 100,
   return config;
 }
 
+ServingConfig FaultyConfig(DispatchPolicy policy, double mtbf_s,
+                           double mttr_s = 1, double rate = 100,
+                           double duration = 20) {
+  ServingConfig config = Config(policy, rate, duration);
+  config.faults.mtbf_s = mtbf_s;
+  config.faults.mttr_s = mttr_s;
+  config.faults.seed = 11;
+  return config;
+}
+
 TEST(ServingTest, CompletesAllArrivalsEventually) {
-  ServingResult result = SimulateServing(
-      AffinityTimes(), AffinityTimes(), {1, 1},
-      Config(DispatchPolicy::kRoundRobin, 50, 10));
+  ServingResult result =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                      Config(DispatchPolicy::kRoundRobin, 50, 10))
+          .value();
   // ~50/s for 10s with some Poisson variance.
   EXPECT_GT(result.completed, 350);
   EXPECT_LT(result.completed, 650);
+  EXPECT_EQ(result.dropped, 0);
+  EXPECT_EQ(result.retries, 0);
 }
 
 TEST(ServingTest, LatencyPercentilesAreOrdered) {
-  ServingResult result = SimulateServing(
-      AffinityTimes(), AffinityTimes(), {1, 1},
-      Config(DispatchPolicy::kLeastOutstanding));
+  ServingResult result =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                      Config(DispatchPolicy::kLeastOutstanding))
+          .value();
   EXPECT_LE(result.p50_ms, result.p95_ms);
   EXPECT_LE(result.p95_ms, result.p99_ms);
   EXPECT_GT(result.p50_ms, 0.0);
@@ -41,12 +60,14 @@ TEST(ServingTest, LatencyPercentilesAreOrdered) {
 TEST(ServingTest, PredictionAwareDispatchExploitsAffinity) {
   // With strong per-job GPU affinity, the model-driven policy must
   // clearly beat round-robin on tail latency.
-  ServingResult blind = SimulateServing(
-      AffinityTimes(), AffinityTimes(), {1, 1},
-      Config(DispatchPolicy::kRoundRobin, 300));
-  ServingResult aware = SimulateServing(
-      AffinityTimes(), AffinityTimes(), {1, 1},
-      Config(DispatchPolicy::kPredictedLeastLoad, 300));
+  ServingResult blind =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                      Config(DispatchPolicy::kRoundRobin, 300))
+          .value();
+  ServingResult aware =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                      Config(DispatchPolicy::kPredictedLeastLoad, 300))
+          .value();
   EXPECT_LT(aware.p99_ms, blind.p99_ms);
   EXPECT_LT(aware.mean_ms, blind.mean_ms);
 }
@@ -58,33 +79,38 @@ TEST(ServingTest, ImperfectPredictionsStillWork) {
   for (auto& row : predicted) {
     for (double& v : row) v *= 1.3;
   }
-  ServingResult result = SimulateServing(
-      AffinityTimes(), predicted, {1, 1},
-      Config(DispatchPolicy::kPredictedLeastLoad, 300));
-  ServingResult blind = SimulateServing(
-      AffinityTimes(), AffinityTimes(), {1, 1},
-      Config(DispatchPolicy::kRoundRobin, 300));
+  ServingResult result =
+      SimulateServing(AffinityTimes(), predicted, {1, 1},
+                      Config(DispatchPolicy::kPredictedLeastLoad, 300))
+          .value();
+  ServingResult blind =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                      Config(DispatchPolicy::kRoundRobin, 300))
+          .value();
   EXPECT_LT(result.p99_ms, blind.p99_ms);
 }
 
 TEST(ServingTest, UtilizationIsSane) {
-  ServingResult result = SimulateServing(
-      AffinityTimes(), AffinityTimes(), {1, 1},
-      Config(DispatchPolicy::kPredictedLeastLoad, 100));
+  ServingResult result =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                      Config(DispatchPolicy::kPredictedLeastLoad, 100))
+          .value();
   ASSERT_EQ(result.gpu_utilization.size(), 2u);
   for (double u : result.gpu_utilization) {
     EXPECT_GE(u, 0.0);
     EXPECT_LE(u, 1.0);
   }
+  ASSERT_EQ(result.gpu_availability.size(), 2u);
+  for (double a : result.gpu_availability) EXPECT_DOUBLE_EQ(a, 1.0);
 }
 
 TEST(ServingTest, DeterministicPerSeed) {
-  ServingResult a = SimulateServing(AffinityTimes(), AffinityTimes(),
-                                    {1, 1},
-                                    Config(DispatchPolicy::kRoundRobin));
-  ServingResult b = SimulateServing(AffinityTimes(), AffinityTimes(),
-                                    {1, 1},
-                                    Config(DispatchPolicy::kRoundRobin));
+  ServingResult a = SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                                    Config(DispatchPolicy::kRoundRobin))
+                        .value();
+  ServingResult b = SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                                    Config(DispatchPolicy::kRoundRobin))
+                        .value();
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
 }
@@ -92,9 +118,10 @@ TEST(ServingTest, DeterministicPerSeed) {
 TEST(ServingTest, JobMixWeightsAreRespected) {
   // Job 1 never arrives; only gpu-0-friendly jobs exist, so with the
   // aware policy gpu 0 should absorb nearly all the work.
-  ServingResult result = SimulateServing(
-      AffinityTimes(), AffinityTimes(), {1, 0},
-      Config(DispatchPolicy::kPredictedLeastLoad, 50));
+  ServingResult result =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 0},
+                      Config(DispatchPolicy::kPredictedLeastLoad, 50))
+          .value();
   EXPECT_GT(result.gpu_utilization[0], result.gpu_utilization[1]);
 }
 
@@ -104,13 +131,185 @@ TEST(ServingTest, PolicyNamesAreStable) {
             "predicted-least-load");
 }
 
-TEST(ServingDeathTest, BadInputsAbort) {
-  EXPECT_DEATH(SimulateServing({}, {}, {},
-                               Config(DispatchPolicy::kRoundRobin)),
-               "check failed");
-  EXPECT_DEATH(SimulateServing(AffinityTimes(), AffinityTimes(), {0, 0},
-                               Config(DispatchPolicy::kRoundRobin)),
-               "check failed");
+// --- Recoverable input validation (previously aborts).
+
+TEST(ServingTest, BadInputsAreInvalidArgument) {
+  EXPECT_EQ(SimulateServing({}, {}, {}, Config(DispatchPolicy::kRoundRobin))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SimulateServing(AffinityTimes(), AffinityTimes(), {0, 0},
+                            Config(DispatchPolicy::kRoundRobin))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Ragged truth matrix.
+  EXPECT_FALSE(SimulateServing({{1.0, 2.0}, {3.0}}, {}, {1, 1},
+                               Config(DispatchPolicy::kRoundRobin))
+                   .ok());
+  // Non-finite service time.
+  EXPECT_FALSE(
+      SimulateServing({{1.0, std::nan("")}}, {}, {1},
+                      Config(DispatchPolicy::kRoundRobin))
+          .ok());
+  // Shape-mismatched predictions.
+  EXPECT_FALSE(SimulateServing(AffinityTimes(), {{1.0}}, {1, 1},
+                               Config(DispatchPolicy::kRoundRobin))
+                   .ok());
+  // Bad rate / retry / fault knobs.
+  ServingConfig bad_rate = Config(DispatchPolicy::kRoundRobin);
+  bad_rate.arrival_rate_per_s = 0;
+  EXPECT_FALSE(
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, bad_rate)
+          .ok());
+  ServingConfig bad_retry = Config(DispatchPolicy::kRoundRobin);
+  bad_retry.retry.max_retries = -1;
+  EXPECT_FALSE(
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, bad_retry)
+          .ok());
+  ServingConfig bad_mttr = FaultyConfig(DispatchPolicy::kRoundRobin, 5, 0);
+  EXPECT_FALSE(
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, bad_mttr)
+          .ok());
+}
+
+TEST(ServingTest, ErrorMessagesNameTheField) {
+  Status status = SimulateServing(AffinityTimes(), {{1.0}}, {1, 1},
+                                  Config(DispatchPolicy::kRoundRobin))
+                      .status();
+  EXPECT_NE(status.message().find("predicted_service_us"), std::string::npos)
+      << status.message();
+}
+
+// --- Graceful degradation without a model.
+
+TEST(ServingTest, EmptyPredictionsDegradeToLeastOutstanding) {
+  ServingResult degraded =
+      SimulateServing(AffinityTimes(), {}, {1, 1},
+                      Config(DispatchPolicy::kPredictedLeastLoad, 300))
+          .value();
+  ServingResult least =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                      Config(DispatchPolicy::kLeastOutstanding, 300))
+          .value();
+  // Every decision degraded, and the degraded runs match the
+  // least-outstanding policy exactly (same seed, same decisions).
+  EXPECT_EQ(degraded.degraded_dispatches, degraded.dispatches);
+  EXPECT_DOUBLE_EQ(degraded.degraded_dispatch_fraction, 1.0);
+  EXPECT_EQ(degraded.completed, least.completed);
+  EXPECT_DOUBLE_EQ(degraded.p99_ms, least.p99_ms);
+}
+
+TEST(ServingTest, NonFinitePredictionsDegradeOnlyAffectedDecisions) {
+  auto predicted = AffinityTimes();
+  predicted[1][0] = std::nan("");  // job 1's predictions unusable on gpu 0
+  ServingResult result =
+      SimulateServing(AffinityTimes(), predicted, {1, 1},
+                      Config(DispatchPolicy::kPredictedLeastLoad, 100))
+          .value();
+  EXPECT_GT(result.degraded_dispatches, 0);
+  EXPECT_LT(result.degraded_dispatches, result.dispatches);
+  ServingResult clean =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                      Config(DispatchPolicy::kPredictedLeastLoad, 100))
+          .value();
+  EXPECT_EQ(clean.degraded_dispatches, 0);
+}
+
+// --- Fault injection.
+
+TEST(ServingTest, FaultsCauseRetriesAndReduceAvailability) {
+  ServingResult result =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                      FaultyConfig(DispatchPolicy::kLeastOutstanding,
+                                   /*mtbf_s=*/3, /*mttr_s=*/1))
+          .value();
+  EXPECT_GT(result.retries, 0);
+  double mean_avail = 0;
+  for (double a : result.gpu_availability) mean_avail += a;
+  mean_avail /= static_cast<double>(result.gpu_availability.size());
+  EXPECT_LT(mean_avail, 1.0);
+  EXPECT_GT(mean_avail, 0.3);
+  // Accounting closes: every arrival either completed or was dropped.
+  EXPECT_GT(result.completed, 0);
+}
+
+TEST(ServingTest, ZeroRetriesDropsInterruptedJobs) {
+  ServingConfig config =
+      FaultyConfig(DispatchPolicy::kRoundRobin, /*mtbf_s=*/2, /*mttr_s=*/2);
+  config.retry.max_retries = 0;
+  ServingResult result =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, config)
+          .value();
+  EXPECT_EQ(result.retries, 0);
+  EXPECT_GT(result.dropped, 0);
+}
+
+TEST(ServingTest, FaultFreeResultsUnchangedByFaultPlumbing) {
+  // mtbf 0 must be byte-for-byte the old fault-free behavior.
+  ServingResult result =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                      Config(DispatchPolicy::kPredictedLeastLoad, 100))
+          .value();
+  EXPECT_EQ(result.retries + result.dropped + result.degraded_dispatches, 0);
+  EXPECT_EQ(result.completed, result.dispatches);
+}
+
+TEST(ServingTest, FaultInjectionIsBitIdenticalPerSeed) {
+  const ServingConfig config =
+      FaultyConfig(DispatchPolicy::kPredictedLeastLoad, 4, 1);
+  ServingResult a =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, config)
+          .value();
+  ServingResult b =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, config)
+          .value();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);  // bit-identical, not approximately
+  EXPECT_EQ(a.mean_ms, b.mean_ms);
+  ASSERT_EQ(a.gpu_availability.size(), b.gpu_availability.size());
+  for (std::size_t g = 0; g < a.gpu_availability.size(); ++g) {
+    EXPECT_EQ(a.gpu_availability[g], b.gpu_availability[g]);
+  }
+}
+
+/** One seed-sweep cell, run under `pool` into pre-sized slots. */
+std::vector<ServingResult> SweepSeeds(int jobs) {
+  constexpr int kSeeds = 8;
+  std::vector<ServingResult> results(kSeeds);
+  ThreadPool pool(jobs);
+  pool.ParallelFor(kSeeds, [&](std::size_t i) {
+    ServingConfig config =
+        FaultyConfig(DispatchPolicy::kPredictedLeastLoad, 4, 1, 100, 10);
+    config.seed = 100 + i;
+    config.faults.seed = 200 + i;
+    results[i] =
+        SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, config)
+            .value();
+  });
+  return results;
+}
+
+TEST(ServingTest, FaultSweepIsBitIdenticalAcrossJobCounts) {
+  // The satellite determinism guarantee: a sweep of fault-injected
+  // simulations produces bit-identical results whether run on 1 thread
+  // or 4 — randomness lives in the per-cell seeds, never in scheduling.
+  std::vector<ServingResult> serial = SweepSeeds(1);
+  std::vector<ServingResult> parallel = SweepSeeds(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].completed, parallel[i].completed) << i;
+    EXPECT_EQ(serial[i].dropped, parallel[i].dropped) << i;
+    EXPECT_EQ(serial[i].retries, parallel[i].retries) << i;
+    EXPECT_EQ(serial[i].p50_ms, parallel[i].p50_ms) << i;
+    EXPECT_EQ(serial[i].p99_ms, parallel[i].p99_ms) << i;
+    EXPECT_EQ(serial[i].mean_ms, parallel[i].mean_ms) << i;
+    EXPECT_EQ(serial[i].degraded_dispatch_fraction,
+              parallel[i].degraded_dispatch_fraction)
+        << i;
+  }
 }
 
 }  // namespace

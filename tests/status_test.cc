@@ -1,0 +1,162 @@
+#include "common/status.h"
+
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace gpuperf {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status(StatusCode::kDataLoss, "bundle truncated");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(status.message(), "bundle truncated");
+  EXPECT_EQ(status.ToString(), "DATA_LOSS: bundle truncated");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusTest, HelperConstructorsSetTheirCode) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, AnnotatePrependsContext) {
+  Status status = DataLossError("checksum mismatch");
+  status.Annotate("kernel_models.csv").Annotate("loading bundle");
+  EXPECT_EQ(status.message(),
+            "loading bundle: kernel_models.csv: checksum mismatch");
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, AnnotateIsNoOpOnOk) {
+  Status status;
+  status.Annotate("should not appear");
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.message(), "");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> value = 42;
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 42);
+  EXPECT_EQ(*value, 42);
+  EXPECT_TRUE(value.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> error = NotFoundError("missing");
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(error.status().message(), "missing");
+}
+
+TEST(StatusOrTest, MoveValueOut) {
+  StatusOr<std::string> value = std::string("payload");
+  std::string moved = std::move(value).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StatusOrTest, ArrowAccessesMembers) {
+  StatusOr<std::string> value = std::string("abc");
+  EXPECT_EQ(value->size(), 3u);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorIsProgrammerError) {
+  StatusOr<int> error = InternalError("boom");
+  EXPECT_DEATH({ (void)error.value(); }, "value\\(\\) on error StatusOr");
+}
+
+Status PropagateIfNegative(int x) {
+  GP_RETURN_IF_ERROR(x < 0 ? InvalidArgumentError("negative") : Status::Ok());
+  return Status::Ok();
+}
+
+StatusOr<int> DoubleParsedInt(const std::string& text) {
+  GP_ASSIGN_OR_RETURN(const int value, ParseInt(text));
+  return 2 * value;
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(PropagateIfNegative(1).ok());
+  Status status = PropagateIfNegative(-1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwrapsAndPropagates) {
+  StatusOr<int> doubled = DoubleParsedInt("21");
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 42);
+
+  StatusOr<int> failed = DoubleParsedInt("banana");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("123").value(), 123);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("12x").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("abc").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("99999999999999999999").status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ParseTest, ParseIntRejects32BitOverflow) {
+  EXPECT_EQ(ParseInt("2147483647").value(), 2147483647);
+  EXPECT_EQ(ParseInt("2147483648").status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseInt("-2147483649").status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ParseTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2e3").value(), -2000.0);
+  EXPECT_EQ(ParseDouble("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDouble("1.5fast").status().code(),
+            StatusCode::kInvalidArgument);
+  // inf parses (strtod semantics); the finite variant rejects it below.
+  EXPECT_TRUE(ParseDouble("inf").ok());
+}
+
+TEST(ParseTest, ParseFiniteDoubleRejectsNonFinite) {
+  EXPECT_DOUBLE_EQ(ParseFiniteDouble("0.25").value(), 0.25);
+  EXPECT_EQ(ParseFiniteDouble("inf").status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseFiniteDouble("nan").status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseFiniteDouble("1e999").status().code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace gpuperf

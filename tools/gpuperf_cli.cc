@@ -7,21 +7,32 @@
 //   gpuperf train --dataset DIR --out DIR train + save a KW model bundle
 //   gpuperf eval --dataset DIR            train E2E/LW/KW and report errors
 //   gpuperf predict --model DIR <network> <gpu> <batch>
+//   gpuperf roofline <network> <gpu> [batch]
+//   gpuperf batch <network> <gpu>
+//   gpuperf serve-sim [options]           fault-tolerant serving simulation
 //
-// dataset options: --gpus A100,V100  --batch N  --stride N  --training
-//                  --jobs N (profiling threads; 0 = all hardware threads)
+// Error-handling contract: anything a user can cause from the command
+// line — a typo'd network, a corrupt bundle, a malformed flag value — is
+// reported as a one-line actionable message on stderr with exit code 1,
+// never an abort. Usage mistakes additionally print the subcommand's full
+// flag list.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "common/status.h"
 #include "common/string_util.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "dataset/builder.h"
 #include "dnn/flops.h"
 #include "dnn/memory.h"
@@ -31,6 +42,7 @@
 #include "models/kw_model.h"
 #include "models/lw_model.h"
 #include "models/model_io.h"
+#include "simsys/serving.h"
 #include "zoo/zoo.h"
 
 using namespace gpuperf;
@@ -68,7 +80,83 @@ struct Args {
     auto it = flags.find(key);
     return it == flags.end() ? fallback : it->second;
   }
+
+  /** The first flag not in `allowed`, or empty when all are known. */
+  std::string UnknownFlag(const std::set<std::string>& allowed) const {
+    for (const auto& [key, value] : flags) {
+      (void)value;
+      if (allowed.count(key) == 0) return key;
+    }
+    return "";
+  }
 };
+
+// Per-subcommand usage text: first line is the synopsis, the rest the
+// full flag list. Printed verbatim on any usage mistake.
+constexpr char kShowUsage[] = "usage: gpuperf show <network>\n";
+constexpr char kZooUsage[] =
+    "usage: gpuperf zoo [--family F]\n"
+    "  --family F     only list networks of family F (e.g. ResNet)\n";
+constexpr char kDatasetUsage[] =
+    "usage: gpuperf dataset --out DIR [options]\n"
+    "  --out DIR      output directory for the dataset CSVs (required)\n"
+    "  --gpus A,B     comma-separated GPU names (default: all seven)\n"
+    "  --batch N      batch size to profile at (default 512)\n"
+    "  --stride N     profile every N-th zoo network (default 1)\n"
+    "  --training     profile the training workload instead of inference\n"
+    "  --jobs N       profiling threads; 0 = all hardware threads\n";
+constexpr char kTrainUsage[] =
+    "usage: gpuperf train --dataset DIR --out DIR [options]\n"
+    "  --dataset DIR        dataset directory from `gpuperf dataset`\n"
+    "  --out DIR            output directory for the model bundle\n"
+    "  --test-fraction F    held-out fraction in (0, 1) (default 0.15)\n"
+    "  --seed N             network-split seed (default 42)\n";
+constexpr char kEvalUsage[] =
+    "usage: gpuperf eval --dataset DIR [options]\n"
+    "  --dataset DIR        dataset directory from `gpuperf dataset`\n"
+    "  --test-fraction F    held-out fraction in (0, 1) (default 0.15)\n"
+    "  --seed N             network-split seed (default 42)\n";
+constexpr char kPredictUsage[] =
+    "usage: gpuperf predict --model DIR <network> <gpu> <batch>\n"
+    "  --model DIR    model bundle directory from `gpuperf train`\n";
+constexpr char kRooflineUsage[] =
+    "usage: gpuperf roofline <network> <gpu> [batch]\n";
+constexpr char kBatchUsage[] = "usage: gpuperf batch <network> <gpu>\n";
+constexpr char kServeSimUsage[] =
+    "usage: gpuperf serve-sim [options]\n"
+    "  --model DIR    KW bundle for predicted-least-load dispatch; when\n"
+    "                 omitted (or the bundle fails to load) the policy\n"
+    "                 degrades to least-outstanding dispatch\n"
+    "  --pool A,B     comma-separated GPU pool (default A40,TITAN RTX,V100)\n"
+    "  --networks a,b job types (default resnet18,resnet50,densenet121,\n"
+    "                 mobilenet_v2,vgg16_bn)\n"
+    "  --batch N      per-request micro-batch size (default 16)\n"
+    "  --rate R       Poisson arrival rate per second (default 60)\n"
+    "  --duration S   simulated seconds (default 30)\n"
+    "  --seed N       base simulation seed (default 1)\n"
+    "  --policy P     round-robin | least-outstanding |\n"
+    "                 predicted-least-load | all (default all)\n"
+    "  --mtbf S       mean seconds between failures per GPU (0 = no\n"
+    "                 faults; default 0)\n"
+    "  --mttr S       mean seconds to repair a failed GPU (default 2)\n"
+    "  --retries N    re-dispatches before a job is dropped (default 3)\n"
+    "  --runs N       simulations per policy, seeds seed..seed+N-1\n"
+    "                 (default 1)\n"
+    "  --jobs N       simulation threads; 0 = all hardware threads\n";
+
+/** A user mistake: one actionable line + the subcommand's flag list. */
+int UsageError(const char* usage, const std::string& message) {
+  std::fprintf(stderr, "gpuperf: %s\n%s", message.c_str(), usage);
+  return 1;
+}
+
+/** A runtime user-facing failure (bad file, unknown name, ...). */
+int UserError(const std::string& message) {
+  std::fprintf(stderr, "gpuperf: %s\n", message.c_str());
+  return 1;
+}
+
+int UserError(const Status& status) { return UserError(status.message()); }
 
 int CmdGpus() {
   TextTable table;
@@ -84,6 +172,10 @@ int CmdGpus() {
 }
 
 int CmdZoo(const Args& args) {
+  const std::string unknown = args.UnknownFlag({"family"});
+  if (!unknown.empty()) {
+    return UsageError(kZooUsage, "unknown flag --" + unknown);
+  }
   const std::string family = args.Get("family", "");
   TextTable table;
   table.SetHeader({"network", "family", "layers", "GFLOPs", "params"});
@@ -103,25 +195,55 @@ int CmdZoo(const Args& args) {
 }
 
 int CmdShow(const Args& args) {
-  if (args.positional.empty()) Fatal("usage: gpuperf show <network>");
-  dnn::Network net = zoo::BuildByName(args.positional[0]);
-  std::fputs(net.Summary().c_str(), stdout);
+  if (args.positional.empty()) {
+    return UsageError(kShowUsage, "missing <network> argument");
+  }
+  StatusOr<dnn::Network> net = zoo::TryBuildByName(args.positional[0]);
+  if (!net.ok()) return UserError(net.status());
+  std::fputs(net->Summary().c_str(), stdout);
   return 0;
 }
 
 int CmdDataset(const Args& args) {
+  const std::string unknown = args.UnknownFlag(
+      {"out", "gpus", "batch", "stride", "training", "jobs"});
+  if (!unknown.empty()) {
+    return UsageError(kDatasetUsage, "unknown flag --" + unknown);
+  }
   const std::string out = args.Get("out", "");
-  if (out.empty()) Fatal("usage: gpuperf dataset --out DIR [options]");
+  if (out.empty()) return UsageError(kDatasetUsage, "--out DIR is required");
   dataset::BuildOptions options;
   const std::string gpus = args.Get("gpus", "");
-  if (!gpus.empty()) options.gpu_names = Split(gpus, ',');
-  options.batch = std::stoll(args.Get("batch", "512"));
-  options.jobs = std::stoi(args.Get("jobs", "0"));
+  if (!gpus.empty()) {
+    options.gpu_names = Split(gpus, ',');
+    for (const std::string& name : options.gpu_names) {
+      if (gpuexec::FindGpu(name) == nullptr) {
+        return UserError("unknown GPU '" + name +
+                         "' (run `gpuperf gpus` for the list)");
+      }
+    }
+  }
+  StatusOr<long long> batch = ParseInt64(args.Get("batch", "512"));
+  if (!batch.ok() || *batch < 1) {
+    return UsageError(kDatasetUsage, "--batch must be a positive integer, "
+                                     "got '" + args.Get("batch", "512") + "'");
+  }
+  options.batch = *batch;
+  StatusOr<int> jobs = ParseInt(args.Get("jobs", "0"));
+  if (!jobs.ok() || *jobs < 0) {
+    return UsageError(kDatasetUsage, "--jobs must be a non-negative integer, "
+                                     "got '" + args.Get("jobs", "0") + "'");
+  }
+  options.jobs = *jobs;
   if (args.Get("training", "0") == "1") {
     options.workload = gpuexec::Workload::kTraining;
   }
-  const int stride = std::stoi(args.Get("stride", "1"));
-  std::vector<dnn::Network> networks = zoo::SmallZoo(stride);
+  StatusOr<int> stride = ParseInt(args.Get("stride", "1"));
+  if (!stride.ok() || *stride < 1) {
+    return UsageError(kDatasetUsage, "--stride must be a positive integer, "
+                                     "got '" + args.Get("stride", "1") + "'");
+  }
+  std::vector<dnn::Network> networks = zoo::SmallZoo(*stride);
   std::printf("profiling %zu networks...\n", networks.size());
   dataset::Dataset data = dataset::BuildDataset(networks, options);
   std::filesystem::create_directories(out);
@@ -132,18 +254,44 @@ int CmdDataset(const Args& args) {
   return 0;
 }
 
+/** Parses the shared --test-fraction/--seed split flags. */
+int ParseSplitFlags(const Args& args, const char* usage, double* fraction,
+                    std::uint64_t* seed) {
+  StatusOr<double> f =
+      ParseFiniteDouble(args.Get("test-fraction", "0.15"));
+  if (!f.ok() || *f <= 0 || *f >= 1) {
+    return UsageError(usage, "--test-fraction must be in (0, 1), got '" +
+                                 args.Get("test-fraction", "0.15") + "'");
+  }
+  *fraction = *f;
+  StatusOr<long long> s = ParseInt64(args.Get("seed", "42"));
+  if (!s.ok() || *s < 0) {
+    return UsageError(usage, "--seed must be a non-negative integer, got '" +
+                                 args.Get("seed", "42") + "'");
+  }
+  *seed = static_cast<std::uint64_t>(*s);
+  return 0;
+}
+
 int CmdTrain(const Args& args) {
+  const std::string unknown =
+      args.UnknownFlag({"dataset", "out", "test-fraction", "seed"});
+  if (!unknown.empty()) {
+    return UsageError(kTrainUsage, "unknown flag --" + unknown);
+  }
   const std::string dataset_dir = args.Get("dataset", "");
   const std::string out = args.Get("out", "");
   if (dataset_dir.empty() || out.empty()) {
-    Fatal("usage: gpuperf train --dataset DIR --out DIR");
+    return UsageError(kTrainUsage, "--dataset DIR and --out DIR are required");
   }
-  dataset::Dataset data = dataset::Dataset::LoadCsv(dataset_dir);
-  dataset::NetworkSplit split = dataset::SplitByNetwork(
-      data, std::stod(args.Get("test-fraction", "0.15")),
-      std::stoull(args.Get("seed", "42")));
+  double fraction = 0;
+  std::uint64_t seed = 0;
+  if (int rc = ParseSplitFlags(args, kTrainUsage, &fraction, &seed)) return rc;
+  StatusOr<dataset::Dataset> data = dataset::Dataset::TryLoadCsv(dataset_dir);
+  if (!data.ok()) return UserError(data.status());
+  dataset::NetworkSplit split = dataset::SplitByNetwork(*data, fraction, seed);
   models::KwModel kw;
-  kw.Train(data, split);
+  kw.Train(*data, split);
   std::filesystem::create_directories(out);
   models::ModelIo::SaveKw(kw, out);
   for (const std::string& gpu : kw.TrainedGpus()) {
@@ -156,18 +304,27 @@ int CmdTrain(const Args& args) {
 }
 
 int CmdEval(const Args& args) {
+  const std::string unknown =
+      args.UnknownFlag({"dataset", "test-fraction", "seed"});
+  if (!unknown.empty()) {
+    return UsageError(kEvalUsage, "unknown flag --" + unknown);
+  }
   const std::string dataset_dir = args.Get("dataset", "");
-  if (dataset_dir.empty()) Fatal("usage: gpuperf eval --dataset DIR");
-  dataset::Dataset data = dataset::Dataset::LoadCsv(dataset_dir);
-  dataset::NetworkSplit split = dataset::SplitByNetwork(
-      data, std::stod(args.Get("test-fraction", "0.15")),
-      std::stoull(args.Get("seed", "42")));
+  if (dataset_dir.empty()) {
+    return UsageError(kEvalUsage, "--dataset DIR is required");
+  }
+  double fraction = 0;
+  std::uint64_t seed = 0;
+  if (int rc = ParseSplitFlags(args, kEvalUsage, &fraction, &seed)) return rc;
+  StatusOr<dataset::Dataset> data = dataset::Dataset::TryLoadCsv(dataset_dir);
+  if (!data.ok()) return UserError(data.status());
+  dataset::NetworkSplit split = dataset::SplitByNetwork(*data, fraction, seed);
   models::E2eModel e2e;
   models::LwModel lw;
   models::KwModel kw;
-  e2e.Train(data, split);
-  lw.Train(data, split);
-  kw.Train(data, split);
+  e2e.Train(*data, split);
+  lw.Train(*data, split);
+  kw.Train(*data, split);
 
   // Evaluate against the held-out e2e rows of the dataset itself.
   TextTable table;
@@ -175,14 +332,19 @@ int CmdEval(const Args& args) {
   for (const std::string& gpu_name : kw.TrainedGpus()) {
     const gpuexec::GpuSpec& gpu = gpuexec::GpuByName(gpu_name);
     std::vector<double> e2e_pred, lw_pred, kw_pred, measured;
-    for (const dataset::NetworkRow& row : data.network_rows()) {
+    for (const dataset::NetworkRow& row : data->network_rows()) {
       if (!split.IsTest(row.network_id)) continue;
-      if (data.gpus().Get(row.gpu_id) != gpu_name) continue;
-      dnn::Network net =
-          zoo::BuildByName(data.networks().Get(row.network_id));
-      e2e_pred.push_back(e2e.PredictUs(net, gpu, row.batch));
-      lw_pred.push_back(lw.PredictUs(net, gpu, row.batch));
-      kw_pred.push_back(kw.PredictUs(net, gpu, row.batch));
+      if (data->gpus().Get(row.gpu_id) != gpu_name) continue;
+      StatusOr<dnn::Network> net =
+          zoo::TryBuildByName(data->networks().Get(row.network_id));
+      if (!net.ok()) {
+        Status annotated = net.status();
+        return UserError(
+            annotated.Annotate("dataset references unknown network"));
+      }
+      e2e_pred.push_back(e2e.PredictUs(*net, gpu, row.batch));
+      lw_pred.push_back(lw.PredictUs(*net, gpu, row.batch));
+      kw_pred.push_back(kw.PredictUs(*net, gpu, row.batch));
       measured.push_back(row.e2e_us);
     }
     if (measured.empty()) continue;
@@ -197,25 +359,37 @@ int CmdEval(const Args& args) {
 
 int CmdRoofline(const Args& args) {
   if (args.positional.size() < 2) {
-    Fatal("usage: gpuperf roofline <network> <gpu> [batch]");
+    return UsageError(kRooflineUsage, "expected <network> and <gpu>");
   }
-  dnn::Network net = zoo::BuildByName(args.positional[0]);
-  const gpuexec::GpuSpec& gpu = gpuexec::GpuByName(args.positional[1]);
-  const std::int64_t batch =
-      args.positional.size() > 2 ? std::stoll(args.positional[2]) : 256;
+  StatusOr<dnn::Network> net = zoo::TryBuildByName(args.positional[0]);
+  if (!net.ok()) return UserError(net.status());
+  const gpuexec::GpuSpec* gpu = gpuexec::FindGpu(args.positional[1]);
+  if (gpu == nullptr) {
+    return UserError("unknown GPU '" + args.positional[1] +
+                     "' (run `gpuperf gpus` for the list)");
+  }
+  std::int64_t batch = 256;
+  if (args.positional.size() > 2) {
+    StatusOr<long long> parsed = ParseInt64(args.positional[2]);
+    if (!parsed.ok() || *parsed < 1) {
+      return UsageError(kRooflineUsage, "batch must be a positive integer, "
+                                        "got '" + args.positional[2] + "'");
+    }
+    batch = *parsed;
+  }
   gpuexec::RooflineReport report =
-      gpuexec::AnalyzeRoofline(net, gpu, batch);
+      gpuexec::AnalyzeRoofline(*net, *gpu, batch);
   TextTable table;
   table.SetHeader({"layer", "type", "FLOP/byte", "bound", "attainable"});
   for (const gpuexec::LayerRoofline& layer : report.layers) {
-    table.AddRow({net.layers()[layer.layer_index].name,
+    table.AddRow({net->layers()[layer.layer_index].name,
                   dnn::LayerKindName(layer.kind),
                   Format("%.1f", layer.operational_intensity),
                   layer.memory_bound ? "memory" : "compute",
                   Format("%.0f GF/s", layer.attainable_gflops)});
   }
   table.Print();
-  std::printf("\nridge point of %s: %.1f FLOP/byte\n", gpu.name.c_str(),
+  std::printf("\nridge point of %s: %.1f FLOP/byte\n", gpu->name.c_str(),
               report.ridge_intensity);
   std::printf("%d memory-bound / %d compute-bound layers; %.0f%% of the "
               "roofline time is memory-bound\n",
@@ -226,38 +400,264 @@ int CmdRoofline(const Args& args) {
 
 int CmdBatch(const Args& args) {
   if (args.positional.size() < 2) {
-    Fatal("usage: gpuperf batch <network> <gpu>");
+    return UsageError(kBatchUsage, "expected <network> and <gpu>");
   }
-  dnn::Network net = zoo::BuildByName(args.positional[0]);
-  const gpuexec::GpuSpec& gpu = gpuexec::GpuByName(args.positional[1]);
+  StatusOr<dnn::Network> net = zoo::TryBuildByName(args.positional[0]);
+  if (!net.ok()) return UserError(net.status());
+  const gpuexec::GpuSpec* gpu = gpuexec::FindGpu(args.positional[1]);
+  if (gpu == nullptr) {
+    return UserError("unknown GPU '" + args.positional[1] +
+                     "' (run `gpuperf gpus` for the list)");
+  }
   const std::int64_t inference =
-      dnn::LargestFittingBatch(net, gpu.memory_gb);
+      dnn::LargestFittingBatch(*net, gpu->memory_gb);
   std::printf("%s on %s (%.0f GB): largest inference batch %ld "
               "(footprint %s); BS-64 training footprint %s\n",
-              net.name().c_str(), gpu.name.c_str(), gpu.memory_gb,
+              net->name().c_str(), gpu->name.c_str(), gpu->memory_gb,
               (long)inference,
               Engineering(static_cast<double>(dnn::InferenceFootprintBytes(
-                              net, std::max<std::int64_t>(1, inference))))
+                              *net, std::max<std::int64_t>(1, inference))))
                   .c_str(),
               Engineering(static_cast<double>(
-                              dnn::TrainingFootprintBytes(net, 64)))
+                              dnn::TrainingFootprintBytes(*net, 64)))
                   .c_str());
   return 0;
 }
 
 int CmdPredict(const Args& args) {
+  const std::string unknown = args.UnknownFlag({"model"});
+  if (!unknown.empty()) {
+    return UsageError(kPredictUsage, "unknown flag --" + unknown);
+  }
   const std::string model_dir = args.Get("model", "");
   if (model_dir.empty() || args.positional.size() < 3) {
-    Fatal("usage: gpuperf predict --model DIR <network> <gpu> <batch>");
+    return UsageError(kPredictUsage,
+                      "expected --model DIR plus <network> <gpu> <batch>");
   }
-  models::KwModel kw = models::ModelIo::LoadKw(model_dir);
-  dnn::Network net = zoo::BuildByName(args.positional[0]);
-  const gpuexec::GpuSpec& gpu = gpuexec::GpuByName(args.positional[1]);
-  const std::int64_t batch = std::stoll(args.positional[2]);
-  const double us = kw.PredictUs(net, gpu, batch);
+  StatusOr<models::KwModel> kw = models::ModelIo::LoadKw(model_dir);
+  if (!kw.ok()) return UserError(kw.status());
+  StatusOr<dnn::Network> net = zoo::TryBuildByName(args.positional[0]);
+  if (!net.ok()) return UserError(net.status());
+  const gpuexec::GpuSpec* gpu = gpuexec::FindGpu(args.positional[1]);
+  if (gpu == nullptr) {
+    return UserError("unknown GPU '" + args.positional[1] +
+                     "' (run `gpuperf gpus` for the list)");
+  }
+  StatusOr<long long> batch = ParseInt64(args.positional[2]);
+  if (!batch.ok() || *batch < 1) {
+    return UsageError(kPredictUsage, "batch must be a positive integer, "
+                                     "got '" + args.positional[2] + "'");
+  }
+  if (!kw->CoverageFor(*net, gpu->name).gpu_trained) {
+    std::string trained;
+    for (const std::string& name : kw->TrainedGpus()) {
+      if (!trained.empty()) trained += ", ";
+      trained += name;
+    }
+    return UserError("model bundle is not trained for GPU '" + gpu->name +
+                     "' (trained: " + trained + ")");
+  }
+  const double us = kw->PredictUs(*net, *gpu, *batch);
   std::printf("%s @BS%ld on %s: %.3f ms (%.1f images/s)\n",
-              net.name().c_str(), (long)batch, gpu.name.c_str(), us / 1e3,
-              static_cast<double>(batch) / (us * 1e-6));
+              net->name().c_str(), (long)*batch, gpu->name.c_str(), us / 1e3,
+              static_cast<double>(*batch) / (us * 1e-6));
+  return 0;
+}
+
+int CmdServeSim(const Args& args) {
+  const std::string unknown = args.UnknownFlag(
+      {"model", "pool", "networks", "batch", "rate", "duration", "seed",
+       "policy", "mtbf", "mttr", "retries", "runs", "jobs"});
+  if (!unknown.empty()) {
+    return UsageError(kServeSimUsage, "unknown flag --" + unknown);
+  }
+
+  // --- Pool and job-mix flags.
+  std::vector<std::string> pool =
+      Split(args.Get("pool", "A40,TITAN RTX,V100"), ',');
+  std::vector<const gpuexec::GpuSpec*> gpus;
+  for (const std::string& name : pool) {
+    const gpuexec::GpuSpec* gpu = gpuexec::FindGpu(name);
+    if (gpu == nullptr) {
+      return UserError("unknown GPU '" + name +
+                       "' (run `gpuperf gpus` for the list)");
+    }
+    gpus.push_back(gpu);
+  }
+  const std::vector<std::string> network_names = Split(
+      args.Get("networks",
+               "resnet18,resnet50,densenet121,mobilenet_v2,vgg16_bn"),
+      ',');
+  std::vector<dnn::Network> networks;
+  for (const std::string& name : network_names) {
+    StatusOr<dnn::Network> net = zoo::TryBuildByName(name);
+    if (!net.ok()) return UserError(net.status());
+    networks.push_back(std::move(net).value());
+  }
+
+  // --- Numeric flags.
+  StatusOr<long long> batch = ParseInt64(args.Get("batch", "16"));
+  if (!batch.ok() || *batch < 1) {
+    return UsageError(kServeSimUsage, "--batch must be a positive integer, "
+                                      "got '" + args.Get("batch", "16") + "'");
+  }
+  StatusOr<double> rate = ParseFiniteDouble(args.Get("rate", "60"));
+  if (!rate.ok() || *rate <= 0) {
+    return UsageError(kServeSimUsage, "--rate must be a positive number, "
+                                      "got '" + args.Get("rate", "60") + "'");
+  }
+  StatusOr<double> duration = ParseFiniteDouble(args.Get("duration", "30"));
+  if (!duration.ok() || *duration <= 0) {
+    return UsageError(kServeSimUsage,
+                      "--duration must be a positive number, got '" +
+                          args.Get("duration", "30") + "'");
+  }
+  StatusOr<long long> seed = ParseInt64(args.Get("seed", "1"));
+  if (!seed.ok() || *seed < 0) {
+    return UsageError(kServeSimUsage,
+                      "--seed must be a non-negative integer, got '" +
+                          args.Get("seed", "1") + "'");
+  }
+  StatusOr<double> mtbf = ParseFiniteDouble(args.Get("mtbf", "0"));
+  if (!mtbf.ok() || *mtbf < 0) {
+    return UsageError(kServeSimUsage,
+                      "--mtbf must be a non-negative number of seconds "
+                      "(0 disables faults), got '" + args.Get("mtbf", "0") +
+                          "'");
+  }
+  StatusOr<double> mttr = ParseFiniteDouble(args.Get("mttr", "2"));
+  if (!mttr.ok() || *mttr <= 0) {
+    return UsageError(kServeSimUsage,
+                      "--mttr must be a positive number of seconds, got '" +
+                          args.Get("mttr", "2") + "'");
+  }
+  StatusOr<int> retries = ParseInt(args.Get("retries", "3"));
+  if (!retries.ok() || *retries < 0) {
+    return UsageError(kServeSimUsage,
+                      "--retries must be a non-negative integer, got '" +
+                          args.Get("retries", "3") + "'");
+  }
+  StatusOr<int> runs = ParseInt(args.Get("runs", "1"));
+  if (!runs.ok() || *runs < 1) {
+    return UsageError(kServeSimUsage,
+                      "--runs must be a positive integer, got '" +
+                          args.Get("runs", "1") + "'");
+  }
+  StatusOr<int> jobs = ParseInt(args.Get("jobs", "0"));
+  if (!jobs.ok() || *jobs < 0) {
+    return UsageError(kServeSimUsage,
+                      "--jobs must be a non-negative integer, got '" +
+                          args.Get("jobs", "0") + "'");
+  }
+
+  std::vector<simsys::DispatchPolicy> policies;
+  const std::string policy_name = args.Get("policy", "all");
+  if (policy_name == "all") {
+    policies = {simsys::DispatchPolicy::kRoundRobin,
+                simsys::DispatchPolicy::kLeastOutstanding,
+                simsys::DispatchPolicy::kPredictedLeastLoad};
+  } else if (policy_name == "round-robin") {
+    policies = {simsys::DispatchPolicy::kRoundRobin};
+  } else if (policy_name == "least-outstanding") {
+    policies = {simsys::DispatchPolicy::kLeastOutstanding};
+  } else if (policy_name == "predicted-least-load") {
+    policies = {simsys::DispatchPolicy::kPredictedLeastLoad};
+  } else {
+    return UsageError(kServeSimUsage,
+                      "--policy must be round-robin, least-outstanding, "
+                      "predicted-least-load, or all; got '" + policy_name +
+                          "'");
+  }
+
+  // --- Service-time matrices: truth from the hardware oracle, predictions
+  // from the bundle (when given and loadable). A bundle problem degrades
+  // dispatch instead of failing the simulation.
+  std::optional<models::KwModel> kw;
+  const std::string model_dir = args.Get("model", "");
+  if (!model_dir.empty()) {
+    StatusOr<models::KwModel> loaded = models::ModelIo::LoadKw(model_dir);
+    if (loaded.ok()) {
+      kw = std::move(loaded).value();
+    } else {
+      std::fprintf(stderr,
+                   "gpuperf: warning: %s; dispatch degrades to "
+                   "least-outstanding\n",
+                   loaded.status().message().c_str());
+    }
+  }
+  gpuexec::HardwareOracle oracle;
+  gpuexec::Profiler profiler(oracle);
+  std::vector<std::vector<double>> truth, predicted;
+  for (const dnn::Network& network : networks) {
+    std::vector<double> t, p;
+    for (const gpuexec::GpuSpec* gpu : gpus) {
+      t.push_back(profiler.MeasureE2eUs(network, *gpu, *batch));
+      if (kw.has_value()) {
+        // An uncovered (network, GPU) is a NaN prediction: that decision
+        // degrades, the rest keep using the model.
+        const bool covered = kw->CoverageFor(network, gpu->name).Full();
+        p.push_back(covered ? kw->PredictUs(network, *gpu, *batch)
+                            : std::nan(""));
+      }
+    }
+    truth.push_back(std::move(t));
+    if (kw.has_value()) predicted.push_back(std::move(p));
+  }
+  const std::vector<double> mix(networks.size(), 1.0);
+
+  // --- The simulation grid (policy x run), filled in parallel into
+  // pre-sized slots so the output is identical for every --jobs value.
+  struct Cell {
+    simsys::DispatchPolicy policy;
+    std::uint64_t seed;
+    StatusOr<simsys::ServingResult> result{
+        InternalError("simulation did not run")};
+  };
+  std::vector<Cell> grid;
+  for (simsys::DispatchPolicy policy : policies) {
+    for (int run = 0; run < *runs; ++run) {
+      Cell cell;
+      cell.policy = policy;
+      cell.seed = static_cast<std::uint64_t>(*seed) + run;
+      grid.push_back(std::move(cell));
+    }
+  }
+  ThreadPool thread_pool(*jobs);
+  thread_pool.ParallelFor(grid.size(), [&](std::size_t i) {
+    simsys::ServingConfig config;
+    config.arrival_rate_per_s = *rate;
+    config.duration_s = *duration;
+    config.seed = grid[i].seed;
+    config.policy = grid[i].policy;
+    config.faults.mtbf_s = *mtbf;
+    config.faults.mttr_s = *mttr;
+    config.faults.seed = grid[i].seed;
+    config.retry.max_retries = *retries;
+    grid[i].result = simsys::SimulateServing(truth, predicted, mix, config);
+  });
+
+  TextTable table;
+  table.SetHeader({"policy", "seed", "p50 (ms)", "p99 (ms)", "completed",
+                   "dropped", "retries", "degraded", "avail"});
+  for (const Cell& cell : grid) {
+    if (!cell.result.ok()) return UserError(cell.result.status());
+    const simsys::ServingResult& r = *cell.result;
+    double avail = 0;
+    for (double a : r.gpu_availability) avail += a;
+    avail /= static_cast<double>(r.gpu_availability.size());
+    table.AddRow({simsys::DispatchPolicyName(cell.policy),
+                  Format("%llu", (unsigned long long)cell.seed),
+                  Format("%.1f", r.p50_ms), Format("%.1f", r.p99_ms),
+                  Format("%d", r.completed), Format("%d", r.dropped),
+                  Format("%d", r.retries),
+                  Format("%.0f%%", 100 * r.degraded_dispatch_fraction),
+                  Format("%.1f%%", 100 * avail)});
+  }
+  table.Print();
+  if (predicted.empty()) {
+    std::printf("\n(no model bundle: predicted-least-load served every "
+                "decision via its least-outstanding fallback)\n");
+  }
   return 0;
 }
 
@@ -273,7 +673,11 @@ void Usage() {
       "  eval --dataset DIR                    train and report errors\n"
       "  predict --model DIR <net> <gpu> <bs>  predict execution time\n"
       "  roofline <network> <gpu> [batch]      per-layer roofline analysis\n"
-      "  batch <network> <gpu>                 largest batch that fits\n",
+      "  batch <network> <gpu>                 largest batch that fits\n"
+      "  serve-sim [--model DIR] [--mtbf S] [--mttr S] [--retries N]\n"
+      "            [--jobs N] [...]            fault-tolerant serving sim\n"
+      "run `gpuperf <command> --help` semantics: any usage mistake prints\n"
+      "the command's full flag list\n",
       stderr);
 }
 
@@ -295,6 +699,8 @@ int main(int argc, char** argv) {
   if (command == "predict") return CmdPredict(args);
   if (command == "roofline") return CmdRoofline(args);
   if (command == "batch") return CmdBatch(args);
+  if (command == "serve-sim") return CmdServeSim(args);
+  std::fprintf(stderr, "gpuperf: unknown command '%s'\n", command.c_str());
   Usage();
   return 1;
 }
