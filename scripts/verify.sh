@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Full verification: regular build + tests, then the concurrency tests
-# under ThreadSanitizer (GPUPERF_SANITIZE=thread), then the robustness
-# tests under ASan+UBSan (GPUPERF_SANITIZE=address).
+# Full verification, cheapest gate first:
+#
+#   tier 0  gpuperf_lint project invariants, then clang-tidy and
+#           clang-format when installed (both skip cleanly otherwise)
+#   tier 1  build with -Werror (GPUPERF_WERROR=ON) + full test suite
+#   tier 2  concurrency tests under ThreadSanitizer
+#   tier 3  robustness tests under ASan+UBSan
 #
 # Usage: scripts/verify.sh [build_dir]
 set -euo pipefail
@@ -9,8 +13,31 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
+echo "== tier 0: lint + static analysis =="
+# GPUPERF_WERROR promotes -Wall -Wextra -Wshadow (and, under Clang,
+# -Wthread-safety) to errors; compile_commands.json feeds clang-tidy.
+cmake -B "$BUILD" -S . -DGPUPERF_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake --build "$BUILD" -j --target gpuperf_lint
+"./$BUILD/tools/gpuperf_lint" src tools
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Every first-party translation unit in the compilation database;
+  # checks and per-check severity live in .clang-tidy.
+  mapfile -t TIDY_SOURCES < <(find src tools -name '*.cc' | sort)
+  clang-tidy -p "$BUILD" --quiet "${TIDY_SOURCES[@]}"
+else
+  echo "clang-tidy: skipped (not installed)"
+fi
+
+if command -v clang-format >/dev/null 2>&1; then
+  find src tools tests bench examples \
+      \( -name '*.cc' -o -name '*.h' \) -not -path 'tests/lint_fixtures/*' \
+    | sort | xargs clang-format --dry-run -Werror
+else
+  echo "clang-format: skipped (not installed)"
+fi
+
 echo "== tier 1: build + full test suite =="
-cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
 

@@ -49,7 +49,7 @@ struct CsvTable {
   std::size_t ColumnIndex(const std::string& column) const;
 
   /** Index of `column`, or NotFound ("path:1: missing column 'x'"). */
-  StatusOr<std::size_t> FindColumn(const std::string& column) const;
+  [[nodiscard]] StatusOr<std::size_t> FindColumn(const std::string& column) const;
 
   /** "path:line" of data row `row` (for error messages). */
   std::string RowLocation(std::size_t row) const;
@@ -62,14 +62,14 @@ CsvTable ReadCsv(const std::string& path);
  * Reads and parses `path`, validating that every data row has exactly as
  * many fields as the header and that every quoted field is terminated.
  */
-StatusOr<CsvTable> TryReadCsv(const std::string& path);
+[[nodiscard]] StatusOr<CsvTable> TryReadCsv(const std::string& path);
 
 /** Parses in-memory CSV `content`; `path` labels error messages only. */
-StatusOr<CsvTable> ParseCsv(const std::string& content,
+[[nodiscard]] StatusOr<CsvTable> ParseCsv(const std::string& content,
                             const std::string& path);
 
 /** Reads a whole file into a string (checksumming, then ParseCsv). */
-StatusOr<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path);
 
 /** Escapes a single field per the subset above. */
 std::string CsvEscape(const std::string& field);

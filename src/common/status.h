@@ -38,8 +38,16 @@ enum class StatusCode {
 /** Stable upper-case name of `code`, e.g. "DATA_LOSS". */
 const char* StatusCodeName(StatusCode code);
 
-/** The result of an operation that can fail recoverably. */
-class Status {
+/**
+ * The result of an operation that can fail recoverably.
+ *
+ * `[[nodiscard]]` at class level: every function returning a Status (or a
+ * StatusOr below) is implicitly must-check, so a silently dropped error
+ * is a compile-time diagnostic — a build error under GPUPERF_WERROR=ON.
+ * The rare legitimately-ignorable result is discarded explicitly with a
+ * `(void)` cast at the call site, which documents the decision.
+ */
+class [[nodiscard]] Status {
  public:
   /** Success. */
   Status() = default;
@@ -85,7 +93,7 @@ Status InternalError(std::string message);
  * GP_ASSIGN_OR_RETURN.
  */
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(const T& value) : value_(value) {}          // NOLINT(runtime/explicit)
   StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT(runtime/explicit)
@@ -120,12 +128,12 @@ class StatusOr {
 };
 
 /** StatusOr-returning numeric parsing (std::stoll throws; these do not). */
-StatusOr<long long> ParseInt64(const std::string& text);
-StatusOr<int> ParseInt(const std::string& text);
+[[nodiscard]] StatusOr<long long> ParseInt64(const std::string& text);
+[[nodiscard]] StatusOr<int> ParseInt(const std::string& text);
 /** Accepts any strtod-parseable value, including inf/nan. */
-StatusOr<double> ParseDouble(const std::string& text);
+[[nodiscard]] StatusOr<double> ParseDouble(const std::string& text);
 /** Like ParseDouble but rejects non-finite values. */
-StatusOr<double> ParseFiniteDouble(const std::string& text);
+[[nodiscard]] StatusOr<double> ParseFiniteDouble(const std::string& text);
 
 }  // namespace gpuperf
 

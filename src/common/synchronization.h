@@ -1,0 +1,187 @@
+#ifndef GPUPERF_COMMON_SYNCHRONIZATION_H_
+#define GPUPERF_COMMON_SYNCHRONIZATION_H_
+
+/**
+ * @file
+ * Annotated mutex wrappers for Clang Thread Safety Analysis.
+ *
+ * PR 1 established the project's concurrency invariant — bit-identical
+ * results under any `--jobs` value — and enforced it at runtime with TSan
+ * and determinism tests. This header moves the lock discipline to compile
+ * time: every mutex in the tree is one of the wrappers below, every
+ * guarded member is tagged `GP_GUARDED_BY(mu_)`, and a Clang build with
+ * `-Wthread-safety` (promoted to an error under `GPUPERF_WERROR=ON`)
+ * rejects any access that does not hold the right lock. Under non-Clang
+ * compilers the attributes expand to nothing and the wrappers are
+ * zero-cost forwarding shims over the std primitives.
+ *
+ * Usage rules (enforced by `tools/gpuperf_lint` rule `raw-mutex`):
+ *  - No raw `std::mutex` / `std::shared_mutex` / lock guards outside this
+ *    header; library code declares `Mutex` / `SharedMutex` members and
+ *    scopes critical sections with `MutexLock`, `SharedMutexLock`
+ *    (exclusive) or `SharedReaderLock` (shared).
+ *  - Every member a lock protects carries `GP_GUARDED_BY(mu_)`; every
+ *    private method that expects the lock held carries `GP_REQUIRES(mu_)`.
+ *  - Condition waits use `CondVar::Wait(lock)` in a `while` loop so the
+ *    predicate is checked in the annotated scope (no lambda predicate —
+ *    the analysis cannot see through one).
+ */
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// Attribute plumbing: real Clang TSA attributes when available, no-ops
+// otherwise (GCC, MSVC). Mirrors abseil's thread_annotations.h shape.
+#if defined(__clang__) && defined(__has_attribute)
+#define GP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define GP_THREAD_ANNOTATION_(x)
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define GP_CAPABILITY(x) GP_THREAD_ANNOTATION_(capability(x))
+/** Marks an RAII type that acquires in its ctor and releases in its dtor. */
+#define GP_SCOPED_CAPABILITY GP_THREAD_ANNOTATION_(scoped_lockable)
+/** Data member readable/writable only while holding `x`. */
+#define GP_GUARDED_BY(x) GP_THREAD_ANNOTATION_(guarded_by(x))
+/** Pointed-to data readable/writable only while holding `x`. */
+#define GP_PT_GUARDED_BY(x) GP_THREAD_ANNOTATION_(pt_guarded_by(x))
+/** Function requires the listed capabilities held exclusively on entry. */
+#define GP_REQUIRES(...) \
+  GP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+/** Function requires the listed capabilities held at least shared. */
+#define GP_REQUIRES_SHARED(...) \
+  GP_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+/** Function acquires the capability exclusively and does not release it. */
+#define GP_ACQUIRE(...) \
+  GP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+/** Function acquires the capability shared and does not release it. */
+#define GP_ACQUIRE_SHARED(...) \
+  GP_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+/** Function releases the capability (exclusive or shared). */
+#define GP_RELEASE(...) \
+  GP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define GP_RELEASE_SHARED(...) \
+  GP_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+/** Function tries to acquire; first argument is the success return value. */
+#define GP_TRY_ACQUIRE(...) \
+  GP_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+/** Function must NOT be called while holding the listed capabilities. */
+#define GP_EXCLUDES(...) GP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/** Returns a reference to the mutex guarding the annotated data. */
+#define GP_RETURN_CAPABILITY(x) GP_THREAD_ANNOTATION_(lock_returned(x))
+/** Escape hatch — disables the analysis for one function. Use sparingly. */
+#define GP_NO_THREAD_SAFETY_ANALYSIS \
+  GP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace gpuperf {
+
+class CondVar;
+
+/** An annotated exclusive mutex (wraps std::mutex). */
+class GP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GP_ACQUIRE() { mu_.lock(); }
+  void Unlock() GP_RELEASE() { mu_.unlock(); }
+  bool TryLock() GP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/** An annotated reader/writer mutex (wraps std::shared_mutex). */
+class GP_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() GP_ACQUIRE() { mu_.lock(); }
+  void Unlock() GP_RELEASE() { mu_.unlock(); }
+  void LockShared() GP_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() GP_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/**
+ * RAII exclusive lock on a Mutex. Holds a std::unique_lock internally so
+ * CondVar::Wait can release/reacquire it.
+ */
+class GP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GP_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() GP_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/** RAII exclusive (writer) lock on a SharedMutex. */
+class GP_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) GP_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~SharedMutexLock() GP_RELEASE() { mu_.Unlock(); }
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/** RAII shared (reader) lock on a SharedMutex. */
+class GP_SCOPED_CAPABILITY SharedReaderLock {
+ public:
+  explicit SharedReaderLock(SharedMutex& mu) GP_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~SharedReaderLock() GP_RELEASE() { mu_.UnlockShared(); }
+
+  SharedReaderLock(const SharedReaderLock&) = delete;
+  SharedReaderLock& operator=(const SharedReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/**
+ * Condition variable working with Mutex/MutexLock. Deliberately offers
+ * only the predicate-free Wait: callers loop `while (!cond) cv.Wait(lock)`
+ * inside the annotated scope, so the condition itself is checked where
+ * the analysis can prove the lock is held (a lambda predicate would be an
+ * opaque function to the analysis).
+ */
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /** Atomically releases `lock`, waits, reacquires before returning. */
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gpuperf
+
+#endif  // GPUPERF_COMMON_SYNCHRONIZATION_H_

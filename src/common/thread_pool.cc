@@ -12,9 +12,9 @@ struct ThreadPool::ForState {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::atomic<bool> failed{false};
-  std::mutex mu;
-  std::condition_variable cv;
-  std::exception_ptr error;  // guarded by mu
+  Mutex mu;
+  CondVar cv;
+  std::exception_ptr error GP_GUARDED_BY(mu);
 };
 
 int ThreadPool::DefaultJobs() {
@@ -30,10 +30,10 @@ ThreadPool::ThreadPool(int jobs) : jobs_(jobs <= 0 ? DefaultJobs() : jobs) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stop_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -41,8 +41,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(queue_mu_);
+      while (!stop_ && queue_.empty()) queue_cv_.Wait(lock);
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -60,15 +60,15 @@ void ThreadPool::RunLoop(const std::shared_ptr<ForState>& state) {
         state->fn(i);
       } catch (...) {
         state->failed.store(true);
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         if (!state->error) state->error = std::current_exception();
       }
     }
     if (state->done.fetch_add(1) + 1 == state->n) {
       // The caller may already be waiting; wake it under the lock so the
       // notify cannot race with its predicate check.
-      std::lock_guard<std::mutex> lock(state->mu);
-      state->cv.notify_all();
+      MutexLock lock(state->mu);
+      state->cv.NotifyAll();
     }
   }
 }
@@ -91,18 +91,18 @@ void ThreadPool::ParallelFor(std::size_t n,
   const std::size_t helpers =
       std::min<std::size_t>(static_cast<std::size_t>(jobs_ - 1), n - 1);
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     for (std::size_t i = 0; i < helpers; ++i) {
       queue_.emplace_back([state] { RunLoop(state); });
     }
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 
   // The calling thread works too; nested calls therefore never deadlock.
   RunLoop(state);
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->done.load() == n; });
+  MutexLock lock(state->mu);
+  while (state->done.load() != n) state->cv.Wait(lock);
   if (state->error) std::rethrow_exception(state->error);
 }
 

@@ -22,14 +22,14 @@
  */
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace gpuperf {
 
@@ -68,10 +68,10 @@ class ThreadPool {
 
   int jobs_;
   std::vector<std::thread> workers_;
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<std::function<void()>> queue_ GP_GUARDED_BY(queue_mu_);
+  bool stop_ GP_GUARDED_BY(queue_mu_) = false;
 };
 
 }  // namespace gpuperf

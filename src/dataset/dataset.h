@@ -104,7 +104,7 @@ class Dataset {
    * missing file, malformed number, non-finite timing, or negative count
    * is reported as `path:line: field '...': message` instead of dying.
    */
-  static StatusOr<Dataset> TryLoadCsv(const std::string& directory);
+  [[nodiscard]] static StatusOr<Dataset> TryLoadCsv(const std::string& directory);
 
  private:
   StringPool gpus_;

@@ -1,6 +1,5 @@
 #include "gpuexec/lowering_cache.h"
 
-#include <mutex>
 #include <utility>
 
 #include "common/string_util.h"
@@ -36,13 +35,13 @@ std::shared_ptr<const LoweringCache::LaunchList> LoweringCache::Lower(
     const dnn::Layer& layer, std::int64_t batch, Workload workload) {
   const std::string key = CacheKey(layer, batch, workload);
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    SharedReaderLock lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
   }
   auto lowered = std::make_shared<const LaunchList>(
       LowerUncached(layer, batch, workload));
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   // Another thread may have inserted meanwhile; keep the first entry so
   // every caller shares one list.
   auto [it, inserted] = cache_.emplace(key, std::move(lowered));
@@ -50,12 +49,12 @@ std::shared_ptr<const LoweringCache::LaunchList> LoweringCache::Lower(
 }
 
 std::size_t LoweringCache::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  SharedReaderLock lock(mu_);
   return cache_.size();
 }
 
 void LoweringCache::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   cache_.clear();
 }
 

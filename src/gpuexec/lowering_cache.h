@@ -26,11 +26,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/synchronization.h"
 #include "dnn/layer.h"
 #include "dnn/network.h"
 #include "gpuexec/kernel.h"
@@ -62,8 +62,9 @@ class LoweringCache {
   static LoweringCache& Global();
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const LaunchList>> cache_;
+  mutable SharedMutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const LaunchList>> cache_
+      GP_GUARDED_BY(mu_);
 };
 
 /**

@@ -1,0 +1,611 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace gpuperf::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexing: blank out comments, string literals, and char literals so the
+// rules only ever see code, and collect `gpuperf-lint: allow(...)`
+// directives from line comments. Line structure is preserved (every
+// blanked character becomes a space), so reported line numbers match the
+// original file.
+
+struct ScanResult {
+  std::vector<std::string> code;               // blanked, split by line
+  std::map<int, std::set<std::string>> allow;  // 1-based line -> rule ids
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/** Parses "... gpuperf-lint: allow(a, b) ..." out of one comment. */
+std::set<std::string> ParseAllowDirective(const std::string& comment) {
+  std::set<std::string> rules;
+  const std::string marker = "gpuperf-lint:";
+  std::size_t at = comment.find(marker);
+  if (at == std::string::npos) return rules;
+  at = comment.find("allow(", at + marker.size());
+  if (at == std::string::npos) return rules;
+  const std::size_t open = at + 5;  // index of '('
+  const std::size_t close = comment.find(')', open);
+  if (close == std::string::npos) return rules;
+  std::string rule;
+  for (std::size_t i = open + 1; i <= close; ++i) {
+    const char c = comment[i];
+    if (c == ',' || c == ')' || c == ' ') {
+      if (!rule.empty()) rules.insert(rule);
+      rule.clear();
+    } else {
+      rule += c;
+    }
+  }
+  return rules;
+}
+
+ScanResult ScanSource(const std::string& content) {
+  ScanResult result;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  std::string line;             // blanked current line
+  std::string comment;          // text of the current line comment
+  std::string raw_delimiter;    // of the active R"delim( ... )delim"
+  bool line_has_code = false;   // non-space code before any comment
+  int line_number = 1;
+
+  auto flush_line = [&] {
+    if (state == State::kLineComment) {
+      const std::set<std::string> rules = ParseAllowDirective(comment);
+      if (!rules.empty()) {
+        // A trailing comment guards its own line; a standalone comment
+        // line guards the next line.
+        const int target = line_has_code ? line_number : line_number + 1;
+        result.allow[target].insert(rules.begin(), rules.end());
+      }
+      comment.clear();
+      state = State::kCode;
+    }
+    // Strings never span lines (raw strings and block comments do).
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    result.code.push_back(line);
+    line.clear();
+    line_has_code = false;
+    ++line_number;
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          line += "  ";
+          ++i;
+        } else if (c == '"' && i > 0 && content[i - 1] == 'R' &&
+                   (i < 2 || !IsIdentChar(content[i - 2]))) {
+          // R"delim( — capture the delimiter up to the '('.
+          raw_delimiter.clear();
+          std::size_t j = i + 1;
+          while (j < content.size() && content[j] != '(') {
+            raw_delimiter += content[j++];
+          }
+          line += std::string(j - i + 1, ' ');
+          i = j;
+          state = State::kRawString;
+        } else if (c == '"') {
+          state = State::kString;
+          line += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          line += ' ';
+        } else {
+          line += c;
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            line_has_code = true;
+          }
+        }
+        break;
+      case State::kLineComment:
+        comment += c;
+        line += ' ';
+        break;
+      case State::kBlockComment:
+        line += ' ';
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          line += ' ';
+          ++i;
+        }
+        break;
+      case State::kString:
+        line += ' ';
+        if (c == '\\') {
+          line += ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        line += ' ';
+        if (c == '\\') {
+          line += ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString: {
+        // Close only on )delim" — compare in place.
+        const std::string close = ")" + raw_delimiter + "\"";
+        if (content.compare(i, close.size(), close) == 0) {
+          line += std::string(close.size(), ' ');
+          i += close.size() - 1;
+          state = State::kCode;
+        } else {
+          line += ' ';
+        }
+        break;
+      }
+    }
+  }
+  if (!line.empty() || state == State::kLineComment) flush_line();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers over the blanked code.
+
+/** True when code[pos..] starts the whole-word `token`. */
+bool TokenAt(const std::string& code, std::size_t pos,
+             const std::string& token) {
+  if (code.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && IsIdentChar(code[pos - 1])) return false;
+  const std::size_t end = pos + token.size();
+  if (end < code.size() && IsIdentChar(code[end])) return false;
+  return true;
+}
+
+/** All whole-word occurrences of `token` in `code`. */
+std::vector<std::size_t> FindToken(const std::string& code,
+                                   const std::string& token) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = code.find(token);
+  while (pos != std::string::npos) {
+    if (TokenAt(code, pos, token)) hits.push_back(pos);
+    pos = code.find(token, pos + 1);
+  }
+  return hits;
+}
+
+std::size_t SkipSpaces(const std::string& code, std::size_t pos) {
+  while (pos < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+/** True when the next non-space character after `pos` is `want`. */
+bool NextNonSpaceIs(const std::string& code, std::size_t pos, char want) {
+  pos = SkipSpaces(code, pos);
+  return pos < code.size() && code[pos] == want;
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/** The 1-based line of offset `pos` in the joined blanked text. */
+int LineAt(const std::vector<std::size_t>& line_starts, std::size_t pos) {
+  const auto it =
+      std::upper_bound(line_starts.begin(), line_starts.end(), pos);
+  return static_cast<int>(it - line_starts.begin());
+}
+
+// ---------------------------------------------------------------------------
+// Rule implementations. Each returns (line, message) pairs; the caller
+// applies the allow-map and formats.
+
+struct Finding {
+  int line = 0;
+  std::string message;
+};
+
+constexpr char kRuleRawRandom[] = "raw-random";
+constexpr char kRuleFatalInLib[] = "fatal-in-lib";
+constexpr char kRuleUnorderedOrder[] = "unordered-order";
+constexpr char kRuleRawMutex[] = "raw-mutex";
+
+/**
+ * Files where `Fatal(` is sanctioned: the legacy convenience APIs that
+ * predate PR 2's Status plumbing and are documented "Fatal() on failure",
+ * plus logging itself. Shrinking this list is progress; growing it needs
+ * a review justification (or a `gpuperf-lint: allow(fatal-in-lib)` with a
+ * comment explaining why no error channel exists at that call site).
+ */
+const char* const kFatalAllowlist[] = {
+    "common/logging.h",     "common/logging.cc",
+    "common/csv.h",         "common/csv.cc",
+    "dataset/dataset.cc",   "dnn/layer.cc",
+    "gpuexec/gpu_spec.cc",  "gpuexec/trace_export.cc",
+    "models/e2e_model.cc",  "models/kw_model.cc",
+    "zoo/densenet.cc",      "zoo/resnet.cc",
+    "zoo/shufflenet.cc",    "zoo/transformer.cc",
+    "zoo/vgg.cc",           "zoo/zoo.cc",
+};
+
+bool OnFatalAllowlist(const std::string& path) {
+  for (const char* entry : kFatalAllowlist) {
+    if (EndsWith(path, entry)) return true;
+  }
+  return false;
+}
+
+std::vector<Finding> CheckRawRandom(
+    const std::string& joined, const std::vector<std::size_t>& line_starts) {
+  std::vector<Finding> findings;
+  struct Pattern {
+    const char* token;
+    bool call_only;  // require '(' so plain identifiers don't trip it
+  };
+  const Pattern patterns[] = {
+      {"rand", true},         {"srand", true},
+      {"random_device", false}, {"system_clock", false},
+      {"time", true},         {"clock", true},
+  };
+  for (const Pattern& pattern : patterns) {
+    for (std::size_t pos : FindToken(joined, pattern.token)) {
+      const std::size_t end = pos + std::string(pattern.token).size();
+      if (pattern.call_only && !NextNonSpaceIs(joined, end, '(')) continue;
+      // Member access (x.time(), p->clock()) is some other API, not the
+      // C library; qualified std::rand / ::time still match.
+      if (pos > 0 && (joined[pos - 1] == '.' ||
+                      (pos > 1 && joined[pos - 2] == '-' &&
+                       joined[pos - 1] == '>'))) {
+        continue;
+      }
+      findings.push_back(
+          {LineAt(line_starts, pos),
+           std::string("nondeterministic source '") + pattern.token +
+               "' in a deterministic module; seed a common/random Rng "
+               "instead"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckFatalInLib(
+    const std::string& path, const std::string& joined,
+    const std::vector<std::size_t>& line_starts) {
+  std::vector<Finding> findings;
+  if (OnFatalAllowlist(path)) return findings;
+  for (std::size_t pos : FindToken(joined, "Fatal")) {
+    if (!NextNonSpaceIs(joined, pos + 5, '(')) continue;
+    findings.push_back(
+        {LineAt(line_starts, pos),
+         "Fatal() in library code: recoverable conditions return Status "
+         "(common/status.h); if this site truly has no error channel, add "
+         "it to the linter allowlist with a review justification"});
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckRawMutex(const std::string& path,
+                                   const std::string& joined,
+                                   const std::vector<std::size_t>& line_starts) {
+  std::vector<Finding> findings;
+  if (EndsWith(path, "common/synchronization.h")) return findings;
+  const char* const tokens[] = {
+      "std::mutex",          "std::shared_mutex",
+      "std::recursive_mutex", "std::timed_mutex",
+      "std::condition_variable", "std::condition_variable_any",
+      "std::lock_guard",     "std::unique_lock",
+      "std::shared_lock",    "std::scoped_lock",
+  };
+  for (const char* token : tokens) {
+    // TokenAt's boundary check only guards the last identifier; anchor
+    // the "std" side by hand.
+    std::size_t pos = joined.find(token);
+    const std::size_t len = std::string(token).size();
+    while (pos != std::string::npos) {
+      const bool start_ok = pos == 0 || !IsIdentChar(joined[pos - 1]);
+      const bool end_ok =
+          pos + len >= joined.size() || !IsIdentChar(joined[pos + len]);
+      if (start_ok && end_ok) {
+        findings.push_back(
+            {LineAt(line_starts, pos),
+             std::string("raw '") + token +
+                 "': use the annotated wrappers in common/synchronization.h "
+                 "(Mutex, SharedMutex, MutexLock, CondVar) so Clang "
+                 "thread-safety analysis sees the lock discipline"});
+      }
+      pos = joined.find(token, pos + 1);
+    }
+  }
+  return findings;
+}
+
+/**
+ * Names declared (anywhere in `joined`) with an unordered container
+ * type: `std::unordered_map<K, V> name` records `name`. Template
+ * arguments may span lines; `unordered_map<...>::iterator` chains are
+ * skipped.
+ */
+std::set<std::string> UnorderedNames(const std::string& joined) {
+  std::set<std::string> names;
+  for (const char* container : {"unordered_map", "unordered_set",
+                                "unordered_multimap", "unordered_multiset"}) {
+    for (std::size_t pos : FindToken(joined, container)) {
+      std::size_t at = SkipSpaces(joined, pos + std::string(container).size());
+      if (at >= joined.size() || joined[at] != '<') continue;
+      int depth = 0;
+      while (at < joined.size()) {
+        if (joined[at] == '<') ++depth;
+        if (joined[at] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++at;
+      }
+      if (at >= joined.size()) continue;
+      at = SkipSpaces(joined, at + 1);
+      if (at + 1 < joined.size() && joined[at] == ':' &&
+          joined[at + 1] == ':') {
+        continue;  // ::iterator / ::value_type — a usage, not a declaration
+      }
+      while (at < joined.size() &&
+             (joined[at] == '&' || joined[at] == '*' ||
+              std::isspace(static_cast<unsigned char>(joined[at])))) {
+        ++at;
+      }
+      std::string name;
+      while (at < joined.size() && IsIdentChar(joined[at])) {
+        name += joined[at++];
+      }
+      if (!name.empty() && name != "const") names.insert(name);
+    }
+  }
+  return names;
+}
+
+/** True when the file produces ordered output (CSV, stdout, files). */
+bool HasOutputContext(const std::string& joined) {
+  for (const char* token : {"printf", "fprintf", "cout", "ofstream",
+                            "WriteCsv", "SaveCsv"}) {
+    if (!FindToken(joined, token).empty()) return true;
+  }
+  return false;
+}
+
+std::vector<Finding> CheckUnorderedOrder(const std::string& joined,
+                                         const std::string& header_joined,
+                                         const std::vector<std::size_t>&
+                                             line_starts) {
+  std::vector<Finding> findings;
+  if (!HasOutputContext(joined)) return findings;
+  std::set<std::string> names = UnorderedNames(joined);
+  const std::set<std::string> header_names = UnorderedNames(header_joined);
+  names.insert(header_names.begin(), header_names.end());
+  if (names.empty()) return findings;
+
+  for (std::size_t pos : FindToken(joined, "for")) {
+    std::size_t at = SkipSpaces(joined, pos + 3);
+    if (at >= joined.size() || joined[at] != '(') continue;
+    // Find the matching close paren (the header may span lines).
+    int depth = 0;
+    std::size_t close = at;
+    while (close < joined.size()) {
+      if (joined[close] == '(') ++depth;
+      if (joined[close] == ')') {
+        --depth;
+        if (depth == 0) break;
+      }
+      ++close;
+    }
+    if (close >= joined.size()) continue;
+    // A range-for has a top-level ':' that is not part of '::'.
+    std::size_t colon = std::string::npos;
+    int inner = 0;
+    for (std::size_t i = at + 1; i < close; ++i) {
+      const char c = joined[i];
+      if (c == '(' || c == '[' || c == '{') ++inner;
+      if (c == ')' || c == ']' || c == '}') --inner;
+      if (inner != 0 || c != ':') continue;
+      if (i > 0 && joined[i - 1] == ':') continue;
+      if (i + 1 < close && joined[i + 1] == ':') {
+        ++i;  // skip the '::' pair entirely
+        continue;
+      }
+      colon = i;
+      break;
+    }
+    if (colon == std::string::npos) continue;
+    // Any identifier in the range expression that names an unordered
+    // container is a hash-order iteration.
+    const std::string range = joined.substr(colon + 1, close - colon - 1);
+    std::string ident;
+    std::string hit;
+    for (std::size_t i = 0; i <= range.size(); ++i) {
+      const char c = i < range.size() ? range[i] : ' ';
+      if (IsIdentChar(c)) {
+        ident += c;
+      } else {
+        if (names.count(ident) > 0) hit = ident;
+        ident.clear();
+      }
+    }
+    if (hit.empty()) continue;
+    findings.push_back(
+        {LineAt(line_starts, pos),
+         "range-for over unordered container '" + hit +
+             "' in a file that writes CSV/stdout: hash-iteration order is "
+             "unspecified; iterate a sorted view (or annotate allow() with "
+             "a why-order-independent comment)"});
+  }
+  return findings;
+}
+
+/** Joins blanked lines and records each line's start offset (1-based). */
+std::string JoinLines(const std::vector<std::string>& lines,
+                      std::vector<std::size_t>* line_starts) {
+  std::string joined;
+  for (const std::string& line : lines) {
+    line_starts->push_back(joined.size());
+    joined += line;
+    joined += '\n';
+  }
+  return joined;
+}
+
+}  // namespace
+
+std::string FormatViolation(const Violation& violation) {
+  std::ostringstream out;
+  out << violation.file << ":" << violation.line << ": " << violation.rule
+      << ": " << violation.message;
+  return out.str();
+}
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string>* const kNames =
+      new std::vector<std::string>{kRuleRawRandom, kRuleFatalInLib,
+                                   kRuleUnorderedOrder, kRuleRawMutex};
+  return *kNames;
+}
+
+std::vector<Violation> LintContent(const std::string& path,
+                                   const std::string& content,
+                                   const std::string& header_content) {
+  const ScanResult scan = ScanSource(content);
+  std::vector<std::size_t> line_starts;
+  const std::string joined = JoinLines(scan.code, &line_starts);
+
+  std::vector<std::size_t> header_starts;
+  const std::string header_joined =
+      JoinLines(ScanSource(header_content).code, &header_starts);
+
+  std::vector<std::pair<std::string, Finding>> all;
+  for (Finding& f : CheckRawRandom(joined, line_starts)) {
+    all.emplace_back(kRuleRawRandom, std::move(f));
+  }
+  for (Finding& f : CheckFatalInLib(path, joined, line_starts)) {
+    all.emplace_back(kRuleFatalInLib, std::move(f));
+  }
+  for (Finding& f :
+       CheckUnorderedOrder(joined, header_joined, line_starts)) {
+    all.emplace_back(kRuleUnorderedOrder, std::move(f));
+  }
+  for (Finding& f : CheckRawMutex(path, joined, line_starts)) {
+    all.emplace_back(kRuleRawMutex, std::move(f));
+  }
+
+  std::vector<Violation> violations;
+  for (auto& [rule, finding] : all) {
+    const auto it = scan.allow.find(finding.line);
+    if (it != scan.allow.end() && it->second.count(rule) > 0) continue;
+    violations.push_back(
+        Violation{path, finding.line, rule, std::move(finding.message)});
+  }
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;  // same line+rule: stable report
+            });
+  return violations;
+}
+
+namespace {
+
+bool IsSourceFile(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool LintOneFile(const std::filesystem::path& path,
+                 std::vector<Violation>* violations, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read " + path.string();
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  // The paired header of a .cc extends unordered-order across the
+  // interface/implementation split (members declared there, iterated
+  // here).
+  std::string header_content;
+  if (path.extension() == ".cc" || path.extension() == ".cpp") {
+    std::filesystem::path header = path;
+    header.replace_extension(".h");
+    std::ifstream header_in(header, std::ios::binary);
+    if (header_in) {
+      std::ostringstream header_buffer;
+      header_buffer << header_in.rdbuf();
+      header_content = header_buffer.str();
+    }
+  }
+
+  std::vector<Violation> found =
+      LintContent(path.generic_string(), buffer.str(), header_content);
+  violations->insert(violations->end(),
+                     std::make_move_iterator(found.begin()),
+                     std::make_move_iterator(found.end()));
+  return true;
+}
+
+}  // namespace
+
+bool LintPaths(const std::vector<std::string>& paths,
+               std::vector<Violation>* violations, std::string* error) {
+  for (const std::string& arg : paths) {
+    const std::filesystem::path path(arg);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path, ec)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+      if (ec) {
+        *error = "cannot walk " + arg + ": " + ec.message();
+        return false;
+      }
+      std::sort(files.begin(), files.end());
+      for (const std::filesystem::path& file : files) {
+        if (!LintOneFile(file, violations, error)) return false;
+      }
+    } else if (std::filesystem::is_regular_file(path, ec)) {
+      if (!LintOneFile(path, violations, error)) return false;
+    } else {
+      *error = "no such file or directory: " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gpuperf::lint

@@ -1,0 +1,79 @@
+#ifndef GPUPERF_LINT_LINT_H_
+#define GPUPERF_LINT_LINT_H_
+
+/**
+ * @file
+ * gpuperf_lint — a project-invariant linter.
+ *
+ * Enforces the invariants Clang cannot know about because they are
+ * project policy, not language rules (the compile-time layer in
+ * common/synchronization.h and the `[[nodiscard]]` Status catch the
+ * rest). Token/line-level on purpose: no libclang dependency, runs in
+ * milliseconds over the whole tree, and the rules are simple enough that
+ * a lexer that strips comments and string literals is sufficient.
+ *
+ * Rules (kebab-case ids, used in reports and allow-comments):
+ *  - `raw-random`    nondeterminism sources (`rand`, `srand`,
+ *                    `std::random_device`, wall-clock `time()`/`clock()`,
+ *                    `system_clock`) are banned in deterministic modules;
+ *                    use common/random's seeded Rng.
+ *  - `fatal-in-lib`  `Fatal(` outside the audited allowlist: PR 2 made
+ *                    errors recoverable, so library code reports Status;
+ *                    Fatal is reserved for the legacy convenience APIs
+ *                    already on the list. The list may shrink, growing it
+ *                    needs a justification in review.
+ *  - `unordered-order` range-for over an `unordered_map`/`unordered_set`
+ *                    in a file that writes CSV or stdout: hash-iteration
+ *                    order is unspecified and would leak into output
+ *                    ordering. Iterate a sorted view instead.
+ *  - `raw-mutex`     raw `std::mutex` / `std::shared_mutex` / lock guards
+ *                    outside common/synchronization.h: use the annotated
+ *                    wrappers so Clang thread-safety analysis sees every
+ *                    lock acquisition.
+ *
+ * Escape hatch: `// gpuperf-lint: allow(rule-a, rule-b)` suppresses the
+ * listed rules on its own line, or on the next line when the comment
+ * stands alone. Every report line is machine-readable:
+ * `file:line: rule: message`.
+ */
+
+#include <string>
+#include <vector>
+
+namespace gpuperf::lint {
+
+/** One rule violation at a specific source location. */
+struct Violation {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/** `file:line: rule: message` (the stable report format). */
+std::string FormatViolation(const Violation& violation);
+
+/** The ids of every implemented rule, in report order. */
+const std::vector<std::string>& RuleNames();
+
+/**
+ * Lints one file's `content`. `header_content` is the paired header of a
+ * `.cc` (empty if none): container declarations found there extend the
+ * `unordered-order` rule across the interface/implementation split.
+ */
+std::vector<Violation> LintContent(const std::string& path,
+                                   const std::string& content,
+                                   const std::string& header_content = "");
+
+/**
+ * Lints every C++ source under `paths` (files or directories, walked
+ * recursively, visited in sorted order). An unreadable path is reported
+ * in `error` and makes the call fail (returns false). Violations append
+ * to `violations`.
+ */
+bool LintPaths(const std::vector<std::string>& paths,
+               std::vector<Violation>* violations, std::string* error);
+
+}  // namespace gpuperf::lint
+
+#endif  // GPUPERF_LINT_LINT_H_

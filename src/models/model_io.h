@@ -40,7 +40,7 @@ class ModelIo {
    * are recoverable: the Status message is `file:line: ...` wherever a
    * location exists.
    */
-  static StatusOr<KwModel> LoadKw(const std::string& directory);
+  [[nodiscard]] static StatusOr<KwModel> LoadKw(const std::string& directory);
 };
 
 }  // namespace gpuperf::models

@@ -1,7 +1,5 @@
 #include "models/network_cache.h"
 
-#include <mutex>
-
 #include "common/random.h"
 
 namespace gpuperf::models {
@@ -19,7 +17,7 @@ std::uint64_t NetworkFingerprint(const dnn::Network& network) {
 }
 
 NetworkSidCache::NetworkSidCache(const NetworkSidCache& other) {
-  std::shared_lock<std::shared_mutex> lock(other.mu_);
+  SharedReaderLock lock(other.mu_);
   entries_ = other.entries_;
 }
 
@@ -27,10 +25,10 @@ NetworkSidCache& NetworkSidCache::operator=(const NetworkSidCache& other) {
   if (this == &other) return *this;
   std::unordered_map<std::string, Entry> copy;
   {
-    std::shared_lock<std::shared_mutex> lock(other.mu_);
+    SharedReaderLock lock(other.mu_);
     copy = other.entries_;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   entries_ = std::move(copy);
   return *this;
 }
@@ -40,7 +38,7 @@ std::shared_ptr<const std::vector<int>> NetworkSidCache::Get(
     const std::function<int(const dnn::Layer&)>& resolve) const {
   const std::uint64_t fingerprint = NetworkFingerprint(network);
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    SharedReaderLock lock(mu_);
     auto it = entries_.find(network.name());
     if (it != entries_.end() && it->second.fingerprint == fingerprint) {
       return it->second.sids;
@@ -52,13 +50,13 @@ std::shared_ptr<const std::vector<int>> NetworkSidCache::Get(
     sids->push_back(resolve(layer));
   }
   std::shared_ptr<const std::vector<int>> result = std::move(sids);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   entries_[network.name()] = Entry{fingerprint, result};
   return result;
 }
 
 void NetworkSidCache::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   entries_.clear();
 }
 

@@ -22,11 +22,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/synchronization.h"
 #include "dnn/network.h"
 
 namespace gpuperf::models {
@@ -58,8 +58,8 @@ class NetworkSidCache {
     std::shared_ptr<const std::vector<int>> sids;
   };
 
-  mutable std::shared_mutex mu_;
-  mutable std::unordered_map<std::string, Entry> entries_;
+  mutable SharedMutex mu_;
+  mutable std::unordered_map<std::string, Entry> entries_ GP_GUARDED_BY(mu_);
 };
 
 }  // namespace gpuperf::models

@@ -80,7 +80,7 @@ class PredictorStack : public Predictor {
    * tier covers (network, gpu) — e.g. an empty stack, or a GPU no tier
    * was trained for.
    */
-  StatusOr<double> TryPredictUs(const dnn::Network& network,
+  [[nodiscard]] StatusOr<double> TryPredictUs(const dnn::Network& network,
                                 const gpuexec::GpuSpec& gpu,
                                 std::int64_t batch,
                                 PredictorTier* tier = nullptr) const;

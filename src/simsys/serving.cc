@@ -9,9 +9,38 @@
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/string_util.h"
+#include "common/synchronization.h"
+#include "common/thread_pool.h"
 #include "simsys/event_queue.h"
 
 namespace gpuperf::simsys {
+
+namespace {
+
+// Process-wide observability counters; bumped by every successful
+// simulation, possibly from many grid threads at once.
+Mutex counters_mu;
+ServingCounters counters GP_GUARDED_BY(counters_mu);
+
+void RecordSimulation(const ServingResult& result) {
+  MutexLock lock(counters_mu);
+  ++counters.simulations;
+  counters.jobs_completed += static_cast<std::uint64_t>(result.completed);
+  counters.jobs_dropped += static_cast<std::uint64_t>(result.dropped);
+  counters.retries += static_cast<std::uint64_t>(result.retries);
+}
+
+}  // namespace
+
+ServingCounters SnapshotServingCounters() {
+  MutexLock lock(counters_mu);
+  return counters;
+}
+
+void ResetServingCounters() {
+  MutexLock lock(counters_mu);
+  counters = ServingCounters();
+}
 
 std::string DispatchPolicyName(DispatchPolicy policy) {
   switch (policy) {
@@ -369,7 +398,27 @@ StatusOr<ServingResult> SimulateServing(
     result.gpu_utilization.push_back(sim.gpu_busy[g] / end);
     result.gpu_availability.push_back(sim.plan.Availability(g));
   }
+  RecordSimulation(result);
   return result;
+}
+
+std::vector<StatusOr<ServingResult>> SimulateServingGrid(
+    const std::vector<std::vector<double>>& true_service_us,
+    const std::vector<std::vector<double>>& predicted_service_us,
+    const std::vector<double>& job_mix, const ServingConfig& base_config,
+    const std::vector<ServingGridCell>& cells, int jobs) {
+  std::vector<StatusOr<ServingResult>> results(
+      cells.size(), InternalError("simulation did not run"));
+  ThreadPool pool(jobs);
+  pool.ParallelFor(cells.size(), [&](std::size_t i) {
+    ServingConfig config = base_config;
+    config.policy = cells[i].policy;
+    config.seed = cells[i].seed;
+    config.faults.seed = cells[i].seed;
+    results[i] =
+        SimulateServing(true_service_us, predicted_service_us, job_mix, config);
+  });
+  return results;
 }
 
 }  // namespace gpuperf::simsys

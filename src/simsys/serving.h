@@ -89,10 +89,49 @@ struct ServingResult {
  * Malformed inputs (empty pool, shape mismatch, non-positive rate,
  * non-finite service times, ...) are InvalidArgument errors, not aborts.
  */
-StatusOr<ServingResult> SimulateServing(
+[[nodiscard]] StatusOr<ServingResult> SimulateServing(
     const std::vector<std::vector<double>>& true_service_us,
     const std::vector<std::vector<double>>& predicted_service_us,
     const std::vector<double>& job_mix, const ServingConfig& config);
+
+/** One cell of a (policy, seed) simulation grid. */
+struct ServingGridCell {
+  DispatchPolicy policy = DispatchPolicy::kRoundRobin;
+  std::uint64_t seed = 0;
+};
+
+/**
+ * Runs one SimulateServing per cell — `base_config` with the cell's
+ * policy and seed (the fault-plan seed follows the cell seed) — across a
+ * ThreadPool of `jobs` threads (0 = all hardware threads). Results land
+ * in pre-sized per-cell slots, so entry i is bit-identical for every
+ * `jobs` value; a failing cell carries its own Status instead of
+ * poisoning the rest of the grid.
+ */
+[[nodiscard]] std::vector<StatusOr<ServingResult>> SimulateServingGrid(
+    const std::vector<std::vector<double>>& true_service_us,
+    const std::vector<std::vector<double>>& predicted_service_us,
+    const std::vector<double>& job_mix, const ServingConfig& base_config,
+    const std::vector<ServingGridCell>& cells, int jobs);
+
+/**
+ * Cumulative process-wide serving observability counters, aggregated
+ * across every SimulateServing call (including concurrent grid runs; the
+ * accumulator is mutex-guarded). Counters never influence simulation
+ * results — they exist so a long sweep can be monitored cheaply.
+ */
+struct ServingCounters {
+  std::uint64_t simulations = 0;    // successful SimulateServing returns
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_dropped = 0;
+  std::uint64_t retries = 0;
+};
+
+/** A consistent snapshot of the global counters. */
+ServingCounters SnapshotServingCounters();
+
+/** Zeroes the global counters (tests and sweep boundaries). */
+void ResetServingCounters();
 
 }  // namespace gpuperf::simsys
 

@@ -38,7 +38,7 @@ dnn::Network BuildByName(const std::string& name);
  * (naming the nearest valid spelling rule) instead of a Fatal — the form
  * user-facing tools must use, since the name typically comes from argv.
  */
-StatusOr<dnn::Network> TryBuildByName(const std::string& name);
+[[nodiscard]] StatusOr<dnn::Network> TryBuildByName(const std::string& name);
 
 /**
  * The full 646-network image-classification zoo, deduplicated by name.

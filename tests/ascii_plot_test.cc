@@ -11,10 +11,12 @@ TEST(AsciiPlotTest, EmptySeriesProducesPlaceholder) {
 
 TEST(AsciiPlotTest, RendersTitleAxesAndLegend) {
   PlotSeries series{"mine", {1, 2, 3}, {1, 4, 9}};
-  PlotOptions options;
-  options.title = "The Title";
-  options.x_label = "xs";
-  options.y_label = "ys";
+  // Aggregate-init (not member-by-member assignment) sidesteps a GCC 12
+  // -Wmaybe-uninitialized false positive on inlined std::string::operator=.
+  PlotOptions options{};
+  options.title = std::string("The Title");
+  options.x_label = std::string("xs");
+  options.y_label = std::string("ys");
   const std::string out = AsciiPlot({series}, options);
   EXPECT_NE(out.find("The Title"), std::string::npos);
   EXPECT_NE(out.find("xs"), std::string::npos);

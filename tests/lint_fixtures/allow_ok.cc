@@ -1,0 +1,28 @@
+// Fixture: the allow() escape hatch — every violation from the other
+// fixtures, each suppressed. Expected: zero violations.
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+// Same-line form.
+int Roll() { return std::rand(); }  // gpuperf-lint: allow(raw-random)
+
+// Standalone-comment form guards the next line.
+// gpuperf-lint: allow(fatal-in-lib)
+void Explode() { gpuperf::Fatal("no error channel here, reviewed"); }
+
+// Multiple rules in one directive.
+// gpuperf-lint: allow(raw-mutex, raw-random)
+std::mutex mu;
+
+std::unordered_map<int, int> histogram;
+void Accumulate() {
+  // Order-independent: += into a flat counter, never printed in hash
+  // order. gpuperf-lint: allow(unordered-order)
+  for (const auto& [bucket, count] : histogram) {
+    std::printf("%d\n", bucket + count);
+  }
+}

@@ -1,0 +1,9 @@
+// Fixture: fatal-in-lib — a Fatal() call in a file that is not on the
+// audited allowlist. Expected violation: line 8. The mention of Fatal(
+// in this comment and the string below must NOT be flagged.
+#include "common/logging.h"
+
+const char* kDoc = "call Fatal( only from the allowlist";
+void Explode(int got) {
+  gpuperf::Fatal("unexpected value %d", got);
+}

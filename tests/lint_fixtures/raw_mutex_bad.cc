@@ -1,0 +1,13 @@
+// Fixture: raw-mutex — raw standard-library lock primitives instead of
+// the annotated wrappers. Expected violations: lines 8, 9, and two on
+// line 11 (std::lock_guard and its std::mutex template argument).
+#include <mutex>
+#include <shared_mutex>
+
+struct Cache {
+  mutable std::shared_mutex mu;
+  std::mutex init_mu;
+  void Touch() {
+    std::lock_guard<std::mutex> lock(init_mu);
+  }
+};

@@ -1,0 +1,12 @@
+// Fixture: raw-random — every nondeterminism source the rule knows.
+// Expected violations: lines 7, 8, 10, 12.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+std::random_device entropy;
+int Roll() { return std::rand(); }
+void Seed() {
+  std::srand(42);
+}
+long Now() { return std::chrono::system_clock::now().time_since_epoch().count(); }

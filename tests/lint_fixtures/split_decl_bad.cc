@@ -1,0 +1,10 @@
+// Fixture: unordered-order across the interface/implementation split —
+// the container member is declared in split_decl_bad.h, iterated here.
+// Expected violation: line 7.
+#include <cstdio>
+#include "split_decl_bad.h"
+void Registry::Dump() const {
+  for (const auto& [name, count] : entries_) {
+    std::printf("%s,%d\n", name.c_str(), count);
+  }
+}

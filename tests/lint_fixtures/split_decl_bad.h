@@ -1,0 +1,9 @@
+#ifndef GPUPERF_TESTS_LINT_FIXTURES_SPLIT_DECL_BAD_H_
+#define GPUPERF_TESTS_LINT_FIXTURES_SPLIT_DECL_BAD_H_
+#include <string>
+#include <unordered_map>
+struct Registry {
+  void Dump() const;
+  std::unordered_map<std::string, int> entries_;
+};
+#endif  // GPUPERF_TESTS_LINT_FIXTURES_SPLIT_DECL_BAD_H_

@@ -1,0 +1,24 @@
+// Fixture: unordered-order — range-for over a hash container in a file
+// that writes to stdout. Expected violations: lines 11 and 17 (the
+// std::map iteration on line 21 is ordered and must NOT be flagged).
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, double> timings;
+void DumpTimings() {
+  for (const auto& [kernel, us] : timings) {
+    std::printf("%d,%f\n", kernel, us);
+  }
+}
+void DumpNames(const std::unordered_set<int>& ids) {
+  (void)ids;
+  for (int id : ids) std::printf("%d\n", id);
+}
+std::map<int, double> ordered;
+void DumpOrdered() {
+  for (const auto& [kernel, us] : ordered) {
+    std::printf("%d,%f\n", kernel, us);
+  }
+}

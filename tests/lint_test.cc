@@ -1,0 +1,176 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gpuperf::lint {
+namespace {
+
+// The fixture directory is baked in by CMake (tests/lint_fixtures); each
+// known-bad file documents its expected `file:line: rule` lines at the
+// top, and this test pins them exactly.
+#ifndef GPUPERF_LINT_FIXTURE_DIR
+#error "GPUPERF_LINT_FIXTURE_DIR must be defined by the build"
+#endif
+const char kFixtureDir[] = GPUPERF_LINT_FIXTURE_DIR;
+
+std::vector<std::string> LintFixture(const std::string& name) {
+  std::vector<Violation> violations;
+  std::string error;
+  const std::string path = std::string(kFixtureDir) + "/" + name;
+  EXPECT_TRUE(LintPaths({path}, &violations, &error)) << error;
+  std::vector<std::string> lines;
+  for (const Violation& violation : violations) {
+    // The exact `file:line: rule` prefix — the part scripts match on.
+    lines.push_back(violation.file + ":" + std::to_string(violation.line) +
+                    ": " + violation.rule);
+  }
+  return lines;
+}
+
+std::string Prefix(const std::string& name, int line,
+                   const std::string& rule) {
+  return std::string(kFixtureDir) + "/" + name + ":" + std::to_string(line) +
+         ": " + rule;
+}
+
+TEST(LintTest, RawRandomFixture) {
+  EXPECT_EQ(LintFixture("raw_random_bad.cc"),
+            (std::vector<std::string>{
+                Prefix("raw_random_bad.cc", 7, "raw-random"),
+                Prefix("raw_random_bad.cc", 8, "raw-random"),
+                Prefix("raw_random_bad.cc", 10, "raw-random"),
+                Prefix("raw_random_bad.cc", 12, "raw-random"),
+            }));
+}
+
+TEST(LintTest, FatalFixture) {
+  EXPECT_EQ(LintFixture("fatal_bad.cc"),
+            (std::vector<std::string>{
+                Prefix("fatal_bad.cc", 8, "fatal-in-lib"),
+            }));
+}
+
+TEST(LintTest, UnorderedOrderFixture) {
+  EXPECT_EQ(LintFixture("unordered_bad.cc"),
+            (std::vector<std::string>{
+                Prefix("unordered_bad.cc", 11, "unordered-order"),
+                Prefix("unordered_bad.cc", 17, "unordered-order"),
+            }));
+}
+
+TEST(LintTest, RawMutexFixture) {
+  EXPECT_EQ(LintFixture("raw_mutex_bad.cc"),
+            (std::vector<std::string>{
+                Prefix("raw_mutex_bad.cc", 8, "raw-mutex"),
+                Prefix("raw_mutex_bad.cc", 9, "raw-mutex"),
+                Prefix("raw_mutex_bad.cc", 11, "raw-mutex"),
+                Prefix("raw_mutex_bad.cc", 11, "raw-mutex"),
+            }));
+}
+
+TEST(LintTest, SplitDeclarationUsesPairedHeader) {
+  EXPECT_EQ(LintFixture("split_decl_bad.cc"),
+            (std::vector<std::string>{
+                Prefix("split_decl_bad.cc", 7, "unordered-order"),
+            }));
+  // The header alone declares but never iterates: clean.
+  EXPECT_EQ(LintFixture("split_decl_bad.h"), std::vector<std::string>{});
+}
+
+TEST(LintTest, AllowCommentsSuppressEveryRule) {
+  EXPECT_EQ(LintFixture("allow_ok.cc"), std::vector<std::string>{});
+}
+
+TEST(LintTest, WholeFixtureDirectoryIsDeterministic) {
+  std::vector<Violation> first, second;
+  std::string error;
+  ASSERT_TRUE(LintPaths({kFixtureDir}, &first, &error)) << error;
+  ASSERT_TRUE(LintPaths({kFixtureDir}, &second, &error)) << error;
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(FormatViolation(first[i]), FormatViolation(second[i]));
+  }
+  // 4 + 1 + 2 + 4 + 1 known-bad findings, none from the allow fixture.
+  EXPECT_EQ(first.size(), 12u);
+}
+
+TEST(LintTest, FormatIsMachineReadable) {
+  const Violation violation{"src/foo.cc", 12, "raw-random", "message"};
+  EXPECT_EQ(FormatViolation(violation), "src/foo.cc:12: raw-random: message");
+}
+
+TEST(LintTest, RuleNamesAreStable) {
+  EXPECT_EQ(RuleNames(),
+            (std::vector<std::string>{"raw-random", "fatal-in-lib",
+                                      "unordered-order", "raw-mutex"}));
+}
+
+TEST(LintTest, StringsAndCommentsAreInvisible) {
+  const std::string code =
+      "const char* a = \"std::mutex rand() Fatal(\";\n"
+      "// Fatal( rand() std::random_device\n"
+      "/* std::lock_guard<std::mutex> lock(mu); */\n"
+      "const char* raw = R\"(Fatal(\"boom\") std::mutex)\";\n";
+  EXPECT_TRUE(LintContent("probe.cc", code).empty());
+}
+
+TEST(LintTest, EscapedQuoteInsideStringStaysAString) {
+  const std::string code =
+      "const char* a = \"quote \\\" then Fatal(\";\n"
+      "int b = 0;\n";
+  EXPECT_TRUE(LintContent("probe.cc", code).empty());
+}
+
+TEST(LintTest, AllowOnWrongRuleDoesNotSuppress) {
+  const std::string code =
+      "int Roll() { return rand(); }  // gpuperf-lint: allow(raw-mutex)\n";
+  const std::vector<Violation> violations = LintContent("probe.cc", code);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "raw-random");
+  EXPECT_EQ(violations[0].line, 1);
+}
+
+TEST(LintTest, StandaloneAllowGuardsOnlyTheNextLine) {
+  const std::string code =
+      "// gpuperf-lint: allow(raw-random)\n"
+      "int a = rand();\n"
+      "int b = rand();\n";
+  const std::vector<Violation> violations = LintContent("probe.cc", code);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].line, 3);
+}
+
+TEST(LintTest, SynchronizationHeaderItselfIsExempt) {
+  const std::string code = "std::mutex mu_;\n";
+  EXPECT_TRUE(
+      LintContent("src/common/synchronization.h", code).empty());
+  EXPECT_EQ(LintContent("src/other.h", code).size(), 1u);
+}
+
+TEST(LintTest, FatalAllowlistCoversLegacyFiles) {
+  const std::string code = "void F() { Fatal(\"x\"); }\n";
+  EXPECT_TRUE(LintContent("src/common/csv.cc", code).empty());
+  EXPECT_EQ(LintContent("src/simsys/serving.cc", code).size(), 1u);
+}
+
+TEST(LintTest, MissingPathIsAnErrorNotAViolation) {
+  std::vector<Violation> violations;
+  std::string error;
+  EXPECT_FALSE(LintPaths({"/nonexistent/gpuperf"}, &violations, &error));
+  EXPECT_NE(error.find("/nonexistent/gpuperf"), std::string::npos);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(LintTest, MemberAccessNamedLikeClockIsNotFlagged) {
+  const std::string code =
+      "double t = queue.time();\n"
+      "double u = sim->clock();\n";
+  EXPECT_TRUE(LintContent("probe.cc", code).empty());
+}
+
+}  // namespace
+}  // namespace gpuperf::lint

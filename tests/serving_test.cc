@@ -1,6 +1,7 @@
 #include "simsys/serving.h"
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -290,6 +291,81 @@ std::vector<ServingResult> SweepSeeds(int jobs) {
             .value();
   });
   return results;
+}
+
+TEST(ServingTest, GridMatchesPerCellRunsForEveryJobCount) {
+  std::vector<ServingGridCell> cells;
+  for (DispatchPolicy policy :
+       {DispatchPolicy::kRoundRobin, DispatchPolicy::kLeastOutstanding,
+        DispatchPolicy::kPredictedLeastLoad}) {
+    for (std::uint64_t seed : {3u, 17u}) cells.push_back({policy, seed});
+  }
+  const ServingConfig base = FaultyConfig(DispatchPolicy::kRoundRobin, 40);
+
+  std::vector<ServingResult> expected;
+  for (const ServingGridCell& cell : cells) {
+    ServingConfig config = base;
+    config.policy = cell.policy;
+    config.seed = cell.seed;
+    config.faults.seed = cell.seed;
+    expected.push_back(
+        SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, config)
+            .value());
+  }
+
+  for (int jobs : {1, 4}) {
+    std::vector<StatusOr<ServingResult>> grid = SimulateServingGrid(
+        AffinityTimes(), AffinityTimes(), {1, 1}, base, cells, jobs);
+    ASSERT_EQ(grid.size(), cells.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      ASSERT_TRUE(grid[i].ok()) << grid[i].status().message();
+      EXPECT_EQ(grid[i].value().completed, expected[i].completed);
+      EXPECT_EQ(grid[i].value().retries, expected[i].retries);
+      EXPECT_EQ(grid[i].value().dropped, expected[i].dropped);
+      EXPECT_DOUBLE_EQ(grid[i].value().p99_ms, expected[i].p99_ms);
+    }
+  }
+}
+
+TEST(ServingTest, GridReportsPerCellErrorsWithoutPoisoningTheRest) {
+  const std::vector<ServingGridCell> cells = {{DispatchPolicy::kRoundRobin, 1},
+                                              {DispatchPolicy::kRoundRobin, 2}};
+  ServingConfig bad = Config(DispatchPolicy::kRoundRobin);
+  bad.arrival_rate_per_s = -1;  // every cell inherits the invalid rate
+  std::vector<StatusOr<ServingResult>> grid = SimulateServingGrid(
+      AffinityTimes(), AffinityTimes(), {1, 1}, bad, cells, 2);
+  ASSERT_EQ(grid.size(), 2u);
+  for (const StatusOr<ServingResult>& cell : grid) {
+    ASSERT_FALSE(cell.ok());
+    EXPECT_EQ(cell.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ServingTest, CountersAccumulateAcrossSimulations) {
+  ResetServingCounters();
+  ServingResult result =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                      FaultyConfig(DispatchPolicy::kRoundRobin, 40))
+          .value();
+  ServingCounters after_one = SnapshotServingCounters();
+  EXPECT_EQ(after_one.simulations, 1u);
+  EXPECT_EQ(after_one.jobs_completed,
+            static_cast<std::uint64_t>(result.completed));
+  EXPECT_EQ(after_one.jobs_dropped,
+            static_cast<std::uint64_t>(result.dropped));
+  EXPECT_EQ(after_one.retries, static_cast<std::uint64_t>(result.retries));
+
+  // A grid of 4 cells adds 4 more simulations, even when run in parallel.
+  const std::vector<ServingGridCell> cells = {
+      {DispatchPolicy::kRoundRobin, 1},
+      {DispatchPolicy::kRoundRobin, 2},
+      {DispatchPolicy::kLeastOutstanding, 1},
+      {DispatchPolicy::kLeastOutstanding, 2}};
+  (void)SimulateServingGrid(AffinityTimes(), AffinityTimes(), {1, 1},
+                            Config(DispatchPolicy::kRoundRobin), cells, 4);
+  EXPECT_EQ(SnapshotServingCounters().simulations, 5u);
+  ResetServingCounters();
+  EXPECT_EQ(SnapshotServingCounters().simulations, 0u);
 }
 
 TEST(ServingTest, FaultSweepIsBitIdenticalAcrossJobCounts) {

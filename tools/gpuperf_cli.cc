@@ -32,7 +32,6 @@
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table.h"
-#include "common/thread_pool.h"
 #include "dataset/builder.h"
 #include "dnn/flops.h"
 #include "dnn/memory.h"
@@ -605,48 +604,37 @@ int CmdServeSim(const Args& args) {
   }
   const std::vector<double> mix(networks.size(), 1.0);
 
-  // --- The simulation grid (policy x run), filled in parallel into
-  // pre-sized slots so the output is identical for every --jobs value.
-  struct Cell {
-    simsys::DispatchPolicy policy;
-    std::uint64_t seed;
-    StatusOr<simsys::ServingResult> result{
-        InternalError("simulation did not run")};
-  };
-  std::vector<Cell> grid;
+  // --- The simulation grid (policy x run); SimulateServingGrid fills
+  // pre-sized slots in parallel so the output is identical for every
+  // --jobs value.
+  std::vector<simsys::ServingGridCell> cells;
   for (simsys::DispatchPolicy policy : policies) {
     for (int run = 0; run < *runs; ++run) {
-      Cell cell;
-      cell.policy = policy;
-      cell.seed = static_cast<std::uint64_t>(*seed) + run;
-      grid.push_back(std::move(cell));
+      cells.push_back(simsys::ServingGridCell{
+          policy, static_cast<std::uint64_t>(*seed) + run});
     }
   }
-  ThreadPool thread_pool(*jobs);
-  thread_pool.ParallelFor(grid.size(), [&](std::size_t i) {
-    simsys::ServingConfig config;
-    config.arrival_rate_per_s = *rate;
-    config.duration_s = *duration;
-    config.seed = grid[i].seed;
-    config.policy = grid[i].policy;
-    config.faults.mtbf_s = *mtbf;
-    config.faults.mttr_s = *mttr;
-    config.faults.seed = grid[i].seed;
-    config.retry.max_retries = *retries;
-    grid[i].result = simsys::SimulateServing(truth, predicted, mix, config);
-  });
+  simsys::ServingConfig base_config;
+  base_config.arrival_rate_per_s = *rate;
+  base_config.duration_s = *duration;
+  base_config.faults.mtbf_s = *mtbf;
+  base_config.faults.mttr_s = *mttr;
+  base_config.retry.max_retries = *retries;
+  const std::vector<StatusOr<simsys::ServingResult>> grid =
+      simsys::SimulateServingGrid(truth, predicted, mix, base_config, cells,
+                                  *jobs);
 
   TextTable table;
   table.SetHeader({"policy", "seed", "p50 (ms)", "p99 (ms)", "completed",
                    "dropped", "retries", "degraded", "avail"});
-  for (const Cell& cell : grid) {
-    if (!cell.result.ok()) return UserError(cell.result.status());
-    const simsys::ServingResult& r = *cell.result;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (!grid[i].ok()) return UserError(grid[i].status());
+    const simsys::ServingResult& r = *grid[i];
     double avail = 0;
     for (double a : r.gpu_availability) avail += a;
     avail /= static_cast<double>(r.gpu_availability.size());
-    table.AddRow({simsys::DispatchPolicyName(cell.policy),
-                  Format("%llu", (unsigned long long)cell.seed),
+    table.AddRow({simsys::DispatchPolicyName(cells[i].policy),
+                  Format("%llu", (unsigned long long)cells[i].seed),
                   Format("%.1f", r.p50_ms), Format("%.1f", r.p99_ms),
                   Format("%d", r.completed), Format("%d", r.dropped),
                   Format("%d", r.retries),

@@ -1,0 +1,48 @@
+// gpuperf_lint — project-invariant linter (see src/lint/lint.h for the
+// rule catalog). Tier 0 of scripts/verify.sh and CI.
+//
+//   gpuperf_lint <file-or-dir>...   lint sources, report violations
+//   gpuperf_lint --list-rules       print the rule ids, one per line
+//
+// Output: one `file:line: rule: message` line per violation on stdout.
+// Exit 0 when clean, 1 on violations, 2 on usage or I/O errors.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : gpuperf::lint::RuleNames()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: gpuperf_lint [--list-rules] <file-or-dir>...\n");
+      return 0;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: gpuperf_lint [--list-rules] <file-or-dir>...\n");
+    return 2;
+  }
+
+  std::vector<gpuperf::lint::Violation> violations;
+  std::string error;
+  if (!gpuperf::lint::LintPaths(paths, &violations, &error)) {
+    std::fprintf(stderr, "gpuperf_lint: %s\n", error.c_str());
+    return 2;
+  }
+  for (const gpuperf::lint::Violation& violation : violations) {
+    std::printf("%s\n", gpuperf::lint::FormatViolation(violation).c_str());
+  }
+  return violations.empty() ? 0 : 1;
+}
