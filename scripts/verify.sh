@@ -45,10 +45,13 @@ echo "== tier 2: concurrency tests under ThreadSanitizer =="
 TSAN_BUILD="${BUILD}-tsan"
 cmake -B "$TSAN_BUILD" -S . -DGPUPERF_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j --target \
-  thread_pool_test parallel_build_test lowering_cache_test
+  thread_pool_test parallel_build_test lowering_cache_test \
+  bundle_registry_test
 "./$TSAN_BUILD/tests/thread_pool_test"
 "./$TSAN_BUILD/tests/parallel_build_test"
 "./$TSAN_BUILD/tests/lowering_cache_test"
+# Generation hot-swap under concurrent predicting readers.
+"./$TSAN_BUILD/tests/bundle_registry_test"
 
 echo "== tier 3: robustness tests under ASan+UBSan =="
 # The error-path tests exercise corrupt bundles, malformed CSVs, and
@@ -59,12 +62,16 @@ ASAN_BUILD="${BUILD}-asan"
 cmake -B "$ASAN_BUILD" -S . -DGPUPERF_SANITIZE=address
 cmake --build "$ASAN_BUILD" -j --target \
   status_test csv_test model_io_test fault_injection_test \
-  predictor_stack_test serving_test
+  predictor_stack_test serving_test circuit_breaker_test \
+  bundle_registry_test cli_test
 "./$ASAN_BUILD/tests/status_test"
 "./$ASAN_BUILD/tests/csv_test"
 "./$ASAN_BUILD/tests/model_io_test"
 "./$ASAN_BUILD/tests/fault_injection_test"
 "./$ASAN_BUILD/tests/predictor_stack_test"
 "./$ASAN_BUILD/tests/serving_test"
+"./$ASAN_BUILD/tests/circuit_breaker_test"
+"./$ASAN_BUILD/tests/bundle_registry_test"
+"./$ASAN_BUILD/tests/cli_test"
 
 echo "verify: OK"

@@ -1,0 +1,118 @@
+#include "models/bundle_registry.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/string_util.h"
+#include "gpuexec/gpu_spec.h"
+#include "models/model_io.h"
+
+namespace gpuperf::models {
+
+Status BundleRegistry::RunCanary(const KwModel& candidate,
+                                 const KwModel* current,
+                                 const CanaryOptions& options) {
+  if (options.probe_networks.empty()) return Status::Ok();
+  std::vector<std::string> gpus = options.gpus;
+  if (gpus.empty()) gpus = candidate.TrainedGpus();
+  if (gpus.empty()) {
+    return FailedPreconditionError(
+        "canary: candidate bundle has no trained GPUs");
+  }
+  for (const std::string& gpu_name : gpus) {
+    const gpuexec::GpuSpec* gpu = gpuexec::FindGpu(gpu_name);
+    if (gpu == nullptr) {
+      return InvalidArgumentError("canary: unknown probe GPU '" + gpu_name +
+                                  "'");
+    }
+    for (const dnn::Network& network : options.probe_networks) {
+      const KwModel::Coverage coverage =
+          candidate.CoverageFor(network, gpu_name);
+      if (!coverage.gpu_trained) {
+        return FailedPreconditionError(
+            "canary: candidate bundle is not trained for GPU '" + gpu_name +
+            "' (probe network '" + network.name() + "')");
+      }
+      const double value = candidate.PredictUs(network, *gpu, options.batch);
+      if (!std::isfinite(value) || value <= 0) {
+        return FailedPreconditionError(Format(
+            "canary: candidate predicts %g us for '%s' on '%s' @BS%lld — "
+            "not a positive finite time",
+            value, network.name().c_str(), gpu_name.c_str(),
+            static_cast<long long>(options.batch)));
+      }
+      if (current != nullptr &&
+          current->CoverageFor(network, gpu_name).gpu_trained) {
+        const double baseline =
+            current->PredictUs(network, *gpu, options.batch);
+        if (std::isfinite(baseline) && baseline > 0) {
+          const double drift = std::abs(value - baseline) / baseline;
+          if (drift > options.tolerance) {
+            return FailedPreconditionError(Format(
+                "canary: candidate drifts %.0f%% from the serving "
+                "generation for '%s' on '%s' @BS%lld (%g us vs %g us, "
+                "tolerance %.0f%%) — validate the new training run before "
+                "promoting",
+                100 * drift, network.name().c_str(), gpu_name.c_str(),
+                static_cast<long long>(options.batch), value, baseline,
+                100 * options.tolerance));
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status BundleRegistry::TryPromote(const std::string& directory,
+                                  const CanaryOptions& options) {
+  // Load and canary outside any lock: the current generation keeps
+  // serving readers while the candidate is validated.
+  StatusOr<KwModel> loaded = ModelIo::LoadKw(directory);
+  if (!loaded.ok()) {
+    SharedMutexLock lock(mu_);
+    ++counters_.rejections;
+    return Status(loaded.status())
+        .Annotate("candidate bundle '" + directory + "' rejected");
+  }
+  auto candidate =
+      std::make_shared<const KwModel>(std::move(loaded).value());
+  std::shared_ptr<const KwModel> current = Snapshot();
+  Status canary = RunCanary(*candidate, current.get(), options);
+  if (!canary.ok()) {
+    SharedMutexLock lock(mu_);
+    ++counters_.rejections;
+    return canary.Annotate("candidate bundle '" + directory + "' rejected");
+  }
+  SharedMutexLock lock(mu_);
+  previous_ = std::move(current_);
+  current_ = std::move(candidate);
+  ++counters_.generation;
+  ++counters_.promotions;
+  return Status::Ok();
+}
+
+std::shared_ptr<const KwModel> BundleRegistry::Snapshot() const {
+  SharedReaderLock lock(mu_);
+  return current_;
+}
+
+Status BundleRegistry::Rollback() {
+  SharedMutexLock lock(mu_);
+  if (previous_ == nullptr) {
+    return FailedPreconditionError(
+        "rollback: no previous bundle generation to restore");
+  }
+  current_ = std::move(previous_);
+  previous_ = nullptr;
+  ++counters_.generation;
+  ++counters_.rollbacks;
+  return Status::Ok();
+}
+
+BundleRegistryCounters BundleRegistry::counters() const {
+  SharedReaderLock lock(mu_);
+  return counters_;
+}
+
+}  // namespace gpuperf::models

@@ -1,0 +1,110 @@
+#ifndef GPUPERF_MODELS_BUNDLE_REGISTRY_H_
+#define GPUPERF_MODELS_BUNDLE_REGISTRY_H_
+
+/**
+ * @file
+ * Hot-swappable, canary-gated generations of the shipped KW bundle.
+ *
+ * PR 2 hardened a *single* bundle load at startup; a serving process
+ * that runs for weeks also needs to pick up retrained bundles without a
+ * restart — and must never let a bad bundle take over. Stevens &
+ * Klöckner (arXiv:1904.09538) argue a model's scope and accuracy must
+ * be re-validated before trusting it on new inputs; the registry
+ * enforces exactly that before a candidate serves traffic:
+ *
+ *  1. integrity: `ModelIo::LoadKw` (manifest version, per-file
+ *     checksums, field validation) — any corruption is a `path:line:
+ *     field` Status;
+ *  2. canary: the candidate must produce finite, positive predictions
+ *     on a caller-supplied probe set, each within a relative tolerance
+ *     of the currently-serving generation (when one exists and covers
+ *     the probe).
+ *
+ * Only after both gates pass is the candidate promoted, atomically,
+ * under an exclusive lock; a failing candidate never becomes visible —
+ * the previous generation keeps serving throughout, which *is* the
+ * rollback. `Rollback()` additionally restores the pre-promotion
+ * generation after a regression is noticed post-promote.
+ *
+ * Readers call Snapshot() (shared lock) and keep predicting from their
+ * `shared_ptr<const KwModel>` while promotions happen concurrently;
+ * KwModel's predict path is const and thread-safe.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/synchronization.h"
+#include "dnn/network.h"
+#include "models/kw_model.h"
+
+namespace gpuperf::models {
+
+/** The canary gate's probe workload and acceptance tolerance. */
+struct CanaryOptions {
+  std::vector<dnn::Network> probe_networks;  // empty = integrity check only
+  std::vector<std::string> gpus;  // probe GPUs; empty = candidate's trained
+  std::int64_t batch = 16;
+  // Max |candidate - current| / current per probe; only enforced when a
+  // current generation exists and is trained for the probe GPU.
+  double tolerance = 0.5;
+};
+
+/** Observability counters of one registry. */
+struct BundleRegistryCounters {
+  std::uint64_t generation = 0;   // promotions so far (0 = empty registry)
+  std::uint64_t promotions = 0;   // candidates that passed both gates
+  std::uint64_t rejections = 0;   // failed integrity or canary validation
+  std::uint64_t rollbacks = 0;    // explicit Rollback() calls that restored
+};
+
+/** Versioned bundle generations behind a reader/writer snapshot. */
+class BundleRegistry {
+ public:
+  BundleRegistry() = default;
+  BundleRegistry(const BundleRegistry&) = delete;
+  BundleRegistry& operator=(const BundleRegistry&) = delete;
+
+  /**
+   * Validates the bundle in `directory` (integrity, then canary) and
+   * atomically promotes it to the serving generation. On any failure
+   * the registry is untouched — the previous generation keeps serving —
+   * and the Status names the offending file/field or probe.
+   */
+  [[nodiscard]] Status TryPromote(const std::string& directory,
+                                  const CanaryOptions& options);
+
+  /**
+   * The serving generation's model (nullptr while the registry is
+   * empty). The snapshot stays valid — and keeps predicting correctly —
+   * across later promotions and rollbacks.
+   */
+  std::shared_ptr<const KwModel> Snapshot() const;
+
+  /**
+   * Restores the generation that was serving before the last promote.
+   * FailedPrecondition when there is no previous generation (one level
+   * of history is kept).
+   */
+  [[nodiscard]] Status Rollback();
+
+  /** Consistent counter snapshot. */
+  BundleRegistryCounters counters() const;
+
+ private:
+  /** Runs the canary gate for `candidate` against `current`. */
+  static Status RunCanary(const KwModel& candidate, const KwModel* current,
+                          const CanaryOptions& options);
+
+  mutable SharedMutex mu_;
+  std::shared_ptr<const KwModel> current_ GP_GUARDED_BY(mu_);
+  std::shared_ptr<const KwModel> previous_ GP_GUARDED_BY(mu_);
+  BundleRegistryCounters counters_ GP_GUARDED_BY(mu_);
+};
+
+}  // namespace gpuperf::models
+
+#endif  // GPUPERF_MODELS_BUNDLE_REGISTRY_H_

@@ -1,5 +1,6 @@
 #include "models/predictor_stack.h"
 
+#include <memory>
 #include <utility>
 
 namespace gpuperf::models {
@@ -22,7 +23,13 @@ double PredictorStackCounters::DegradedFraction() const {
          static_cast<double>(answered);
 }
 
-void PredictorStack::SetKw(KwModel kw) { kw_ = std::move(kw); }
+void PredictorStack::SetKw(KwModel kw) {
+  kw_ = std::make_shared<const KwModel>(std::move(kw));
+}
+
+void PredictorStack::SetKw(std::shared_ptr<const KwModel> kw) {
+  kw_ = std::move(kw);
+}
 
 void PredictorStack::SetLw(LwModel lw) {
   lw_ = std::move(lw);
@@ -40,7 +47,7 @@ StatusOr<double> PredictorStack::TryPredictUs(const dnn::Network& network,
                                               std::int64_t batch,
                                               PredictorTier* tier) const {
   if (tier != nullptr) *tier = PredictorTier::kNone;
-  if (kw_.has_value() && kw_->CoverageFor(network, gpu.name).Full()) {
+  if (kw_ != nullptr && kw_->CoverageFor(network, gpu.name).Full()) {
     kw_hits_.fetch_add(1, std::memory_order_relaxed);
     if (tier != nullptr) *tier = PredictorTier::kKw;
     return kw_->PredictUs(network, gpu, batch);

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -68,7 +69,14 @@ class PredictorStack : public Predictor {
   void SetLw(LwModel lw);
   void SetE2e(E2eModel e2e);
 
-  bool has_kw() const { return kw_.has_value(); }
+  /**
+   * Installs a shared KW generation — typically a BundleRegistry
+   * snapshot, so the stack and the registry share one immutable model.
+   * nullptr uninstalls the tier (the stack degrades to LW).
+   */
+  void SetKw(std::shared_ptr<const KwModel> kw);
+
+  bool has_kw() const { return kw_ != nullptr; }
   bool has_lw() const { return lw_.has_value(); }
   bool has_e2e() const { return e2e_.has_value(); }
 
@@ -96,7 +104,9 @@ class PredictorStack : public Predictor {
   void ResetCounters();
 
  private:
-  std::optional<KwModel> kw_;
+  // Shared with BundleRegistry snapshots; the pointee is immutable and
+  // its predict path is const and thread-safe.
+  std::shared_ptr<const KwModel> kw_;
   std::optional<LwModel> lw_;
   std::optional<E2eModel> e2e_;
   std::set<std::string> lw_gpus_;  // GPUs the LW tier has fits for

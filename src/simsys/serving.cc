@@ -27,7 +27,9 @@ void RecordSimulation(const ServingResult& result) {
   ++counters.simulations;
   counters.jobs_completed += static_cast<std::uint64_t>(result.completed);
   counters.jobs_dropped += static_cast<std::uint64_t>(result.dropped);
+  counters.jobs_shed += static_cast<std::uint64_t>(result.shed_on_admission);
   counters.retries += static_cast<std::uint64_t>(result.retries);
+  counters.breaker_opens += static_cast<std::uint64_t>(result.breaker_opens);
 }
 
 }  // namespace
@@ -54,6 +56,13 @@ std::string DispatchPolicyName(DispatchPolicy policy) {
 
 namespace {
 
+/** How a dispatch attempt resolved its target search. */
+enum class PickOutcome {
+  kOk,         // a GPU was selected
+  kPoolDown,   // nothing up (or breaker-allowed): retry later
+  kQueueFull,  // live GPUs exist, but every bounded queue is full: shed
+};
+
 /** Mutable simulation state shared by the event handlers. */
 struct Sim {
   const std::vector<std::vector<double>>& truth;
@@ -69,6 +78,7 @@ struct Sim {
   std::vector<double> gpu_predicted_free;
   std::vector<int> gpu_outstanding;
   std::vector<double> gpu_busy;
+  std::vector<CircuitBreaker> breakers;
   std::vector<double> latencies_ms;
   int round_robin_next = 0;
 
@@ -76,6 +86,9 @@ struct Sim {
   int dropped = 0;
   int dispatches = 0;
   int degraded = 0;
+  int shed = 0;
+  int deadline_misses = 0;
+  int completed_within_slo = 0;
 
   Sim(const std::vector<std::vector<double>>& truth_in,
       const std::vector<std::vector<double>>& predicted_in,
@@ -88,7 +101,8 @@ struct Sim {
         gpu_free(gpus_in, 0.0),
         gpu_predicted_free(gpus_in, 0.0),
         gpu_outstanding(gpus_in, 0),
-        gpu_busy(gpus_in, 0.0) {}
+        gpu_busy(gpus_in, 0.0),
+        breakers(gpus_in, CircuitBreaker(config_in.breaker)) {}
 
   /** Delay before re-dispatching after the `attempt`-th failure (0-based):
    *  failure-detection timeout plus capped exponential backoff. */
@@ -110,45 +124,58 @@ struct Sim {
   }
 
   /**
-   * Picks a GPU among those up right now. Returns false when the whole
-   * pool is down (caller retries later). Sets *degraded_decision when a
-   * predicted-least-load decision had to fall back to least-outstanding
-   * because predictions are missing or non-finite.
+   * Picks a GPU among those live right now: up per the fault plan,
+   * admitted by the circuit breaker, and (with a bounded queue) below
+   * queue_cap. kPoolDown means retry later (an outage or cooldown may
+   * end); kQueueFull means admission control sheds the job. Sets
+   * *degraded_decision when a predicted-least-load decision had to fall
+   * back to least-outstanding because predictions are missing or
+   * non-finite.
    */
-  bool PickTarget(std::size_t job, std::size_t* target,
-                  bool* degraded_decision) {
+  PickOutcome PickTarget(std::size_t job, std::size_t* target,
+                         bool* degraded_decision) {
     *degraded_decision = false;
     const double now = queue.NowUs();
-    std::vector<std::size_t> up;
-    up.reserve(gpus);
+    std::vector<bool> live(gpus, false);
+    std::vector<std::size_t> candidates;
+    candidates.reserve(gpus);
+    bool any_live = false;
     for (std::size_t g = 0; g < gpus; ++g) {
-      if (!plan.IsDownAt(g, now)) up.push_back(g);
+      if (plan.IsDownAt(g, now) || !breakers[g].AllowsAt(now)) continue;
+      any_live = true;
+      if (config.queue_cap > 0 && gpu_outstanding[g] >= config.queue_cap) {
+        continue;  // live but full: bounded queue rejects new work
+      }
+      live[g] = true;
+      candidates.push_back(g);
     }
-    if (up.empty()) return false;
+    if (candidates.empty()) {
+      return any_live ? PickOutcome::kQueueFull : PickOutcome::kPoolDown;
+    }
 
     switch (config.policy) {
       case DispatchPolicy::kRoundRobin: {
-        // Probe from the cursor for the first up GPU; fault-free this is
-        // exactly `round_robin_next++ % gpus`.
+        // Probe from the cursor for the first live GPU; fault-free this
+        // is exactly `round_robin_next++ % gpus`.
         const int start = round_robin_next++;
         for (std::size_t i = 0; i < gpus; ++i) {
           const std::size_t g =
               (static_cast<std::size_t>(start) + i) % gpus;
-          if (!plan.IsDownAt(g, now)) {
+          if (live[g]) {
             *target = g;
-            return true;
+            return PickOutcome::kOk;
           }
         }
-        *target = up[0];
-        return true;
+        *target = candidates[0];
+        return PickOutcome::kOk;
       }
       case DispatchPolicy::kLeastOutstanding:
-        *target = LeastOutstanding(up);
-        return true;
+        *target = LeastOutstanding(candidates);
+        return PickOutcome::kOk;
       case DispatchPolicy::kPredictedLeastLoad: {
         bool usable = !predicted.empty();
         if (usable) {
-          for (std::size_t g : up) {
+          for (std::size_t g : candidates) {
             if (!std::isfinite(predicted[job][g])) {
               usable = false;
               break;
@@ -159,12 +186,12 @@ struct Sim {
           // Graceful degradation: serve with the best model-free policy
           // rather than failing the dispatch.
           *degraded_decision = true;
-          *target = LeastOutstanding(up);
-          return true;
+          *target = LeastOutstanding(candidates);
+          return PickOutcome::kOk;
         }
         double best = 1e300;
-        *target = up[0];
-        for (std::size_t g : up) {
+        *target = candidates[0];
+        for (std::size_t g : candidates) {
           const double finish = std::max(gpu_predicted_free[g], now) +
                                 predicted[job][g];
           if (finish < best) {
@@ -172,11 +199,11 @@ struct Sim {
             *target = g;
           }
         }
-        return true;
+        return PickOutcome::kOk;
       }
     }
     GP_CHECK(false);
-    return false;
+    return PickOutcome::kPoolDown;
   }
 
   /** Drops the job or schedules its next attempt after the backoff. */
@@ -196,15 +223,40 @@ struct Sim {
   void Dispatch(std::size_t job, double arrival, int attempt) {
     std::size_t target = 0;
     bool degraded_decision = false;
-    if (!PickTarget(job, &target, &degraded_decision)) {
-      // Whole pool down: detection timeout + backoff, like a failure.
-      RetryOrDrop(job, arrival, attempt);
-      return;
+    switch (PickTarget(job, &target, &degraded_decision)) {
+      case PickOutcome::kPoolDown:
+        // Whole pool down: detection timeout + backoff, like a failure.
+        RetryOrDrop(job, arrival, attempt);
+        return;
+      case PickOutcome::kQueueFull:
+        // Admission control: every live queue is at capacity. Shedding
+        // now is cheaper than queueing into a deadline miss.
+        ++shed;
+        return;
+      case PickOutcome::kOk:
+        break;
     }
-    ++dispatches;
-    if (degraded_decision) ++degraded;
 
     const double now = queue.NowUs();
+    // Prediction-driven load shedding: when the model already knows the
+    // deadline is hopeless on the best available GPU, reject at
+    // admission instead of wasting service time on a guaranteed miss.
+    if (config.slo_ms > 0 && !predicted.empty() &&
+        std::isfinite(predicted[job][target])) {
+      const double predicted_latency_ms =
+          (std::max(gpu_predicted_free[target], now) +
+           predicted[job][target] - arrival) /
+          1e3;
+      if (predicted_latency_ms > config.slo_ms) {
+        ++shed;
+        return;
+      }
+    }
+
+    ++dispatches;
+    if (degraded_decision) ++degraded;
+    breakers[target].OnDispatch(now);
+
     const double service = truth[job][target];
     const double start = std::max(gpu_free[target], now);
     if (!predicted.empty() && std::isfinite(predicted[job][target])) {
@@ -223,6 +275,7 @@ struct Sim {
       gpu_free[target] = fail;
       queue.Schedule(fail, [this, job, arrival, attempt, target] {
         --gpu_outstanding[target];
+        breakers[target].OnFailure(queue.NowUs());
         RetryOrDrop(job, arrival, attempt);
       });
       return;
@@ -231,8 +284,15 @@ struct Sim {
     gpu_free[target] = start + service;
     gpu_busy[target] += service;
     queue.Schedule(gpu_free[target], [this, arrival, target] {
-      latencies_ms.push_back((queue.NowUs() - arrival) / 1e3);
+      const double latency_ms = (queue.NowUs() - arrival) / 1e3;
+      latencies_ms.push_back(latency_ms);
       --gpu_outstanding[target];
+      breakers[target].OnSuccess(queue.NowUs());
+      if (config.slo_ms > 0 && latency_ms > config.slo_ms) {
+        ++deadline_misses;
+      } else {
+        ++completed_within_slo;
+      }
     });
   }
 };
@@ -334,6 +394,36 @@ Status ValidateInputs(const std::vector<std::vector<double>>& true_service_us,
         "be non-negative and finite",
         r.detect_timeout_ms, r.backoff_base_ms, r.backoff_cap_ms));
   }
+  if (config.queue_cap < 0) {
+    return InvalidArgumentError(
+        Format("queue_cap = %d must be non-negative (0 disables the "
+               "bounded queue)",
+               config.queue_cap));
+  }
+  if (!std::isfinite(config.slo_ms) || config.slo_ms < 0) {
+    return InvalidArgumentError(Format(
+        "slo_ms = %g must be non-negative and finite (0 disables the SLO)",
+        config.slo_ms));
+  }
+  const BreakerPolicy& b = config.breaker;
+  if (b.failure_threshold < 0) {
+    return InvalidArgumentError(
+        Format("breaker.failure_threshold = %d must be non-negative (0 "
+               "disables the breaker)",
+               b.failure_threshold));
+  }
+  if (b.failure_threshold > 0) {
+    if (!std::isfinite(b.cooldown_ms) || b.cooldown_ms < 0) {
+      return InvalidArgumentError(Format(
+          "breaker.cooldown_ms = %g must be non-negative and finite",
+          b.cooldown_ms));
+    }
+    if (b.half_open_probes < 1) {
+      return InvalidArgumentError(Format(
+          "breaker.half_open_probes = %d must be at least 1",
+          b.half_open_probes));
+    }
+  }
   return Status::Ok();
 }
 
@@ -387,6 +477,16 @@ StatusOr<ServingResult> SimulateServing(
       sim.dispatches > 0
           ? static_cast<double>(sim.degraded) / sim.dispatches
           : 0.0;
+  result.shed_on_admission = sim.shed;
+  result.deadline_misses = sim.deadline_misses;
+  for (std::size_t g = 0; g < gpus; ++g) {
+    result.breaker_opens += static_cast<int>(sim.breakers[g].opens());
+  }
+  const int arrivals = result.completed + result.dropped + sim.shed;
+  result.slo_attainment =
+      arrivals > 0
+          ? static_cast<double>(sim.completed_within_slo) / arrivals
+          : 1.0;
   if (!sim.latencies_ms.empty()) {
     result.p50_ms = Percentile(sim.latencies_ms, 50);
     result.p95_ms = Percentile(sim.latencies_ms, 95);

@@ -18,12 +18,27 @@
  * (bundle failed to load, or a value is non-finite), the
  * predicted-least-load dispatcher degrades to least-outstanding instead
  * of failing — mirroring the predictor stack's graceful degradation.
+ *
+ * The pool is also overload-resilient ("degrade, don't die"):
+ *  - per-GPU bounded queues (`queue_cap`) shed arrivals on admission
+ *    once every live GPU is full, instead of growing latency unboundedly;
+ *  - per-job SLO deadlines (`slo_ms`): when the *predicted* completion
+ *    time of the chosen GPU already exceeds the deadline, the job is
+ *    shed immediately — the paper's microsecond predictor used as a
+ *    load-shedder — and completions past the deadline count as misses;
+ *  - per-GPU circuit breakers (common/circuit_breaker.h) stop retries
+ *    from hammering a flapping GPU: after `breaker.failure_threshold`
+ *    consecutive failures the GPU is excluded for a sim-time cooldown,
+ *    then probed half-open before full traffic resumes.
+ * All three are deterministic (sim-time driven), so results stay
+ * bit-identical across runs and `--jobs` values.
  */
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/circuit_breaker.h"
 #include "common/fault_injection.h"
 #include "common/status.h"
 
@@ -55,6 +70,11 @@ struct ServingConfig {
   DispatchPolicy policy = DispatchPolicy::kPredictedLeastLoad;
   FaultPlanConfig faults;          // mtbf_s == 0 keeps the pool fault-free
   RetryPolicy retry;
+  // --- Overload resilience; defaults keep all three mechanisms off, and
+  // the off state is byte-identical to the pre-overload simulator.
+  int queue_cap = 0;     // max outstanding jobs per GPU (0 = unbounded)
+  double slo_ms = 0;     // per-job latency deadline (0 = no SLO)
+  BreakerPolicy breaker; // failure_threshold == 0 disables breakers
 };
 
 /** Latency and fault statistics of one simulation. */
@@ -65,6 +85,12 @@ struct ServingResult {
   int dispatches = 0;  // dispatch decisions that placed a job on a GPU
   int degraded_dispatches = 0;  // decisions degraded to least-outstanding
   double degraded_dispatch_fraction = 0;  // degraded / dispatches
+  int shed_on_admission = 0;  // rejected: queues full or deadline hopeless
+  int deadline_misses = 0;    // completed, but later than the SLO
+  int breaker_opens = 0;      // circuit-breaker trips across the pool
+  // Completed-within-SLO fraction of all arrivals (shed and dropped jobs
+  // count as misses; 1.0 when everything completed and slo_ms == 0).
+  double slo_attainment = 0;
   double p50_ms = 0;
   double p95_ms = 0;
   double p99_ms = 0;
@@ -124,7 +150,9 @@ struct ServingCounters {
   std::uint64_t simulations = 0;    // successful SimulateServing returns
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_dropped = 0;
+  std::uint64_t jobs_shed = 0;      // admission-control rejections
   std::uint64_t retries = 0;
+  std::uint64_t breaker_opens = 0;  // circuit-breaker trips
 };
 
 /** A consistent snapshot of the global counters. */

@@ -1,0 +1,236 @@
+// Hot model-bundle reload: a candidate must pass integrity validation
+// AND a canary prediction gate before it atomically replaces the serving
+// generation; any failure leaves the registry untouched (the old
+// generation keeps serving), and Rollback() restores the pre-promotion
+// generation after the fact. The concurrency test at the bottom swaps
+// generations under concurrent predicting readers and is the reason this
+// test is in the TSan tier.
+
+#include "models/bundle_registry.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "gpuexec/gpu_spec.h"
+#include "test_support.h"
+#include "zoo/zoo.h"
+
+namespace gpuperf::models {
+namespace {
+
+using testing::GoldenKwBundleDir;
+using testing::RemanifestKwBundle;
+using testing::ScratchKwBundleDir;
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GP_CHECK(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteAll(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  GP_CHECK(out.good()) << path;
+  out << content;
+}
+
+/** Multiplies every calibration factor by `scale` and re-manifests, so
+ * the bundle passes integrity but predicts `scale`x the golden times. */
+void ScaleCalibration(const std::string& dir, double scale) {
+  std::vector<std::string> lines =
+      Split(ReadAll(dir + "/calibration.csv"), '\n');
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    std::vector<std::string> fields = Split(lines[i], ',');
+    GP_CHECK_GE(fields.size(), 2u);
+    fields[1] = Format("%.17g", ParseFiniteDouble(fields[1]).value() * scale);
+    lines[i] = Join(fields, ",");
+  }
+  WriteAll(dir + "/calibration.csv", Join(lines, "\n"));
+  RemanifestKwBundle(dir);
+}
+
+CanaryOptions Probes() {
+  CanaryOptions options;
+  options.probe_networks = {zoo::BuildByName("resnet18"),
+                            zoo::BuildByName("mobilenet_v2")};
+  options.batch = 16;
+  options.tolerance = 0.5;
+  return options;
+}
+
+TEST(BundleRegistryTest, EmptyRegistryServesNothing) {
+  BundleRegistry registry;
+  EXPECT_EQ(registry.Snapshot(), nullptr);
+  const BundleRegistryCounters counters = registry.counters();
+  EXPECT_EQ(counters.generation, 0u);
+  EXPECT_EQ(counters.promotions, 0u);
+}
+
+TEST(BundleRegistryTest, ValidBundlePromotes) {
+  BundleRegistry registry;
+  ASSERT_TRUE(registry.TryPromote(GoldenKwBundleDir(), Probes()).ok());
+  std::shared_ptr<const KwModel> model = registry.Snapshot();
+  ASSERT_NE(model, nullptr);
+  const gpuexec::GpuSpec& gpu = gpuexec::GpuByName("A40");
+  EXPECT_GT(model->PredictUs(zoo::BuildByName("resnet18"), gpu, 16), 0);
+  const BundleRegistryCounters counters = registry.counters();
+  EXPECT_EQ(counters.generation, 1u);
+  EXPECT_EQ(counters.promotions, 1u);
+  EXPECT_EQ(counters.rejections, 0u);
+}
+
+TEST(BundleRegistryTest, CorruptCandidateIsRejectedAndOldKeepsServing) {
+  BundleRegistry registry;
+  ASSERT_TRUE(registry.TryPromote(GoldenKwBundleDir(), Probes()).ok());
+  std::shared_ptr<const KwModel> before = registry.Snapshot();
+
+  const std::string dir = ScratchKwBundleDir("reg_corrupt");
+  std::string content = ReadAll(dir + "/kernel_models.csv");
+  content[content.size() / 2] ^= 0x20;  // no re-manifest: checksum gate
+  WriteAll(dir + "/kernel_models.csv", content);
+
+  const Status status = registry.TryPromote(dir, Probes());
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("checksum mismatch"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("rejected"), std::string::npos);
+  // The serving generation is untouched — same object, not a reload.
+  EXPECT_EQ(registry.Snapshot(), before);
+  const BundleRegistryCounters counters = registry.counters();
+  EXPECT_EQ(counters.generation, 1u);
+  EXPECT_EQ(counters.rejections, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BundleRegistryTest, CanaryRejectsDriftingCandidate) {
+  BundleRegistry registry;
+  ASSERT_TRUE(registry.TryPromote(GoldenKwBundleDir(), Probes()).ok());
+  std::shared_ptr<const KwModel> before = registry.Snapshot();
+
+  // Integrity-clean (re-manifested) but 10x the golden predictions:
+  // only the canary gate can catch this.
+  const std::string dir = ScratchKwBundleDir("reg_drift");
+  ScaleCalibration(dir, 10.0);
+
+  const Status status = registry.TryPromote(dir, Probes());
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("canary"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("drifts"), std::string::npos);
+  EXPECT_EQ(registry.Snapshot(), before);
+  EXPECT_EQ(registry.counters().rejections, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BundleRegistryTest, FirstGenerationHasNoDriftBaseline) {
+  // The same 10x bundle is *accepted* into an empty registry: with no
+  // serving generation there is nothing to drift from, and its
+  // predictions are finite and positive.
+  const std::string dir = ScratchKwBundleDir("reg_first");
+  ScaleCalibration(dir, 10.0);
+  BundleRegistry registry;
+  EXPECT_TRUE(registry.TryPromote(dir, Probes()).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BundleRegistryTest, RollbackRestoresThePreviousGeneration) {
+  BundleRegistry registry;
+  ASSERT_TRUE(registry.TryPromote(GoldenKwBundleDir(), Probes()).ok());
+  std::shared_ptr<const KwModel> first = registry.Snapshot();
+
+  // A second, slightly-recalibrated generation inside the tolerance.
+  const std::string dir = ScratchKwBundleDir("reg_rollback");
+  ScaleCalibration(dir, 1.2);
+  ASSERT_TRUE(registry.TryPromote(dir, Probes()).ok());
+  EXPECT_NE(registry.Snapshot(), first);
+
+  ASSERT_TRUE(registry.Rollback().ok());
+  EXPECT_EQ(registry.Snapshot(), first);
+  const BundleRegistryCounters counters = registry.counters();
+  EXPECT_EQ(counters.promotions, 2u);
+  EXPECT_EQ(counters.rollbacks, 1u);
+  // One level of history: a second rollback has nothing to restore.
+  const Status again = registry.Rollback();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BundleRegistryTest, InFlightSnapshotSurvivesPromoteAndRollback) {
+  BundleRegistry registry;
+  ASSERT_TRUE(registry.TryPromote(GoldenKwBundleDir(), Probes()).ok());
+  std::shared_ptr<const KwModel> held = registry.Snapshot();
+  const gpuexec::GpuSpec& gpu = gpuexec::GpuByName("A40");
+  const dnn::Network net = zoo::BuildByName("resnet18");
+  const double before = held->PredictUs(net, gpu, 16);
+
+  const std::string dir = ScratchKwBundleDir("reg_inflight");
+  ScaleCalibration(dir, 1.2);
+  ASSERT_TRUE(registry.TryPromote(dir, Probes()).ok());
+  ASSERT_TRUE(registry.Rollback().ok());
+
+  // The held generation kept answering identically throughout.
+  EXPECT_EQ(held->PredictUs(net, gpu, 16), before);
+  std::filesystem::remove_all(dir);
+}
+
+// The acceptance-criterion concurrency test: one writer alternately
+// promotes two valid generations while reader threads keep predicting
+// from snapshots. Run under -DGPUPERF_SANITIZE=thread this must be
+// data-race-free; unsynchronized access to the swapped pointer or to a
+// freed generation is exactly what TSan would flag.
+TEST(BundleRegistryTest, SwappingGenerationsUnderConcurrentReadersIsClean) {
+  const std::string recalibrated = ScratchKwBundleDir("reg_tsan");
+  ScaleCalibration(recalibrated, 1.2);
+
+  BundleRegistry registry;
+  ASSERT_TRUE(registry.TryPromote(GoldenKwBundleDir(), Probes()).ok());
+
+  const gpuexec::GpuSpec& gpu = gpuexec::GpuByName("A40");
+  const dnn::Network net = zoo::BuildByName("resnet18");
+  constexpr int kReaders = 3;
+  constexpr int kSwaps = 6;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  ThreadPool pool(kReaders + 1);
+  pool.ParallelFor(kReaders + 1, [&](std::size_t task) {
+    if (task == 0) {  // the writer
+      for (int i = 0; i < kSwaps; ++i) {
+        const std::string& dir =
+            (i % 2 == 0) ? recalibrated : GoldenKwBundleDir();
+        if (!registry.TryPromote(dir, Probes()).ok()) failures.fetch_add(1);
+      }
+      done.store(true);
+    } else {  // a predicting reader
+      while (!done.load()) {
+        std::shared_ptr<const KwModel> model = registry.Snapshot();
+        if (model == nullptr || model->PredictUs(net, gpu, 16) <= 0) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    }
+  });
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(registry.counters().promotions,
+            static_cast<std::uint64_t>(kSwaps) + 1);
+  std::filesystem::remove_all(recalibrated);
+}
+
+}  // namespace
+}  // namespace gpuperf::models

@@ -1,0 +1,192 @@
+// End-to-end regression tests for the gpuperf CLI's error-handling
+// contract: every invalid flag or flag combination exits 1 with a
+// one-line actionable message (never an abort/signal), --help exits 0
+// and lists the flags, and the bundle-check / serve-sim happy paths
+// work against a real saved bundle. Each case shells out to the actual
+// binary (GPUPERF_CLI_PATH, injected by CMake), so argument parsing,
+// exit codes, and stream routing are tested for real.
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace gpuperf {
+namespace {
+
+struct CliResult {
+  int exit_code = -1;   // -1 when the process died on a signal
+  std::string output;   // stdout + stderr, interleaved
+};
+
+/** Runs `gpuperf <args>` and captures exit code + combined output. */
+CliResult RunCli(const std::string& args) {
+  const std::string command =
+      std::string("\"") + GPUPERF_CLI_PATH + "\" " + args + " 2>&1";
+  CliResult result;
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  std::size_t n;
+  while ((n = std::fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+int CountLines(const std::string& text) {
+  int lines = 0;
+  for (char c : text) lines += c == '\n';
+  return lines;
+}
+
+TEST(CliTest, UnknownCommandExitsOneWithUsage) {
+  const CliResult r = RunCli("frobnicate");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown command 'frobnicate'"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, ServeSimHelpListsTheOverloadFlags) {
+  const CliResult r = RunCli("serve-sim --help");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* flag :
+       {"--queue-cap", "--slo-ms", "--breaker-failures",
+        "--breaker-cooldown-ms", "--breaker-probes", "--model", "--rate"}) {
+    EXPECT_NE(r.output.find(flag), std::string::npos)
+        << "help is missing " << flag << ":\n" << r.output;
+  }
+}
+
+TEST(CliTest, BundleCheckHelpListsItsFlags) {
+  const CliResult r = RunCli("bundle-check --help");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* flag : {"--candidate", "--baseline", "--networks",
+                           "--gpus", "--batch", "--tolerance"}) {
+    EXPECT_NE(r.output.find(flag), std::string::npos)
+        << "help is missing " << flag << ":\n" << r.output;
+  }
+}
+
+// Every row: an invalid invocation that must exit exactly 1 (a
+// recoverable user error — never 0, never a signal/abort) and print a
+// message containing the expected substring on its first line.
+struct BadInvocation {
+  const char* args;
+  const char* expected;
+};
+
+TEST(CliTest, InvalidServeSimFlagsExitOneWithOneLineErrors) {
+  const std::vector<BadInvocation> cases = {
+      {"serve-sim --bogus 1", "unknown flag --bogus"},
+      {"serve-sim --rate 0", "--rate must be a positive number"},
+      {"serve-sim --rate banana", "--rate must be a positive number"},
+      {"serve-sim --duration -3", "--duration must be a positive number"},
+      {"serve-sim --seed -1", "--seed must be a non-negative integer"},
+      {"serve-sim --mtbf nan", "--mtbf must be a non-negative number"},
+      {"serve-sim --mttr 0", "--mttr must be a positive number"},
+      {"serve-sim --retries -1", "--retries must be a non-negative integer"},
+      {"serve-sim --queue-cap -2",
+       "--queue-cap must be a non-negative integer"},
+      {"serve-sim --queue-cap 1.5",
+       "--queue-cap must be a non-negative integer"},
+      {"serve-sim --slo-ms -1", "--slo-ms must be a non-negative number"},
+      {"serve-sim --slo-ms inf", "--slo-ms must be a non-negative number"},
+      {"serve-sim --breaker-failures -1",
+       "--breaker-failures must be a non-negative integer"},
+      {"serve-sim --breaker-cooldown-ms -5",
+       "--breaker-cooldown-ms must be a non-negative number"},
+      {"serve-sim --breaker-probes 0",
+       "--breaker-probes must be a positive integer"},
+      {"serve-sim --policy vibes", "--policy must be"},
+      {"serve-sim --pool NoSuchGpu", "unknown GPU 'NoSuchGpu'"},
+      {"serve-sim --networks nosuchnet", "nosuchnet"},
+  };
+  for (const BadInvocation& c : cases) {
+    SCOPED_TRACE(c.args);
+    const CliResult r = RunCli(c.args);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    ASSERT_FALSE(r.output.empty());
+    const std::string first_line =
+        r.output.substr(0, r.output.find('\n'));
+    EXPECT_NE(first_line.find(c.expected), std::string::npos)
+        << "first line: " << first_line;
+  }
+}
+
+TEST(CliTest, InvalidBundleCheckFlagsExitOneWithOneLineErrors) {
+  const std::vector<BadInvocation> cases = {
+      {"bundle-check", "--candidate DIR is required"},
+      {"bundle-check --bogus 1", "unknown flag --bogus"},
+      {"bundle-check --candidate /nonexistent/dir", "not a model bundle"},
+      {"bundle-check --candidate x --batch 0",
+       "--batch must be a positive integer"},
+      {"bundle-check --candidate x --tolerance -0.5",
+       "--tolerance must be a non-negative number"},
+      {"bundle-check --candidate x --networks nosuchnet", "nosuchnet"},
+  };
+  for (const BadInvocation& c : cases) {
+    SCOPED_TRACE(c.args);
+    const CliResult r = RunCli(c.args);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    ASSERT_FALSE(r.output.empty());
+    const std::string first_line =
+        r.output.substr(0, r.output.find('\n'));
+    EXPECT_NE(first_line.find(c.expected), std::string::npos)
+        << "first line: " << first_line;
+  }
+}
+
+TEST(CliTest, BundleCheckPromotesAHealthyBundle) {
+  const std::string& bundle = testing::GoldenKwBundleDir();
+  const CliResult r =
+      RunCli("bundle-check --candidate \"" + bundle +
+             "\" --networks resnet18 --gpus A40");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("PROMOTED"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, BundleCheckRejectsACorruptBundleWithLocatedError) {
+  const std::string dir = testing::ScratchKwBundleDir("cli_corrupt");
+  // Tamper one byte without re-manifesting: the checksum gate must
+  // reject, and the one-line error must name the offending file.
+  {
+    const std::string path = dir + "/kernel_models.csv";
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 40, SEEK_SET);
+    std::fputc('X', f);
+    std::fclose(f);
+  }
+  const CliResult r = RunCli("bundle-check --candidate \"" + dir +
+                             "\" --networks resnet18 --gpus A40");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(CountLines(r.output), 1) << r.output;
+  EXPECT_NE(r.output.find("kernel_models.csv"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("rejected"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, ServeSimRunsWithAllOverloadFeaturesEnabled) {
+  const CliResult r = RunCli(
+      "serve-sim --duration 2 --rate 120 --queue-cap 4 --slo-ms 80 "
+      "--mtbf 5 --breaker-failures 2 --networks resnet18 --policy "
+      "least-outstanding");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* column : {"shed", "miss", "SLO", "trips"}) {
+    EXPECT_NE(r.output.find(column), std::string::npos)
+        << "missing column " << column << ":\n" << r.output;
+  }
+}
+
+}  // namespace
+}  // namespace gpuperf

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
+
 namespace gpuperf {
 namespace {
 
@@ -151,6 +153,58 @@ TEST(CsvStatusTest, RowLocationIsOneBasedPhysicalLine) {
   ASSERT_EQ(table.rows.size(), 2u);
   EXPECT_EQ(table.RowLocation(0), path + ":2");
   EXPECT_EQ(table.RowLocation(1), path + ":3");
+  std::remove(path.c_str());
+}
+
+// --- Seeded randomized-mutation sweep ("mini-fuzz"). A mutated CSV may
+// still be legal — unlike the checksummed bundles there is no integrity
+// gate — so the contract here is weaker but just as important: TryReadCsv
+// must never crash, and anything it *does* accept must be structurally
+// consistent (rectangular rows, matching line map). Seeded Rng makes
+// every failing trial a repro.
+TEST(CsvFuzzTest, RandomMutationsNeverCrashAndAcceptedTablesAreConsistent) {
+  const std::string base =
+      "name,count,value\n"
+      "alpha,1,2.5\n"
+      "\"beta,x\",2,3.5\n"
+      "gamma,3,\"say \"\"hi\"\"\"\n";
+  Rng rng(0xC57'F022);
+  const std::string path = TempPath("gpuperf_csv_fuzz.csv");
+  for (int trial = 0; trial < 256; ++trial) {
+    SCOPED_TRACE(trial);
+    std::string content = base;
+    const int edits = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int e = 0; e < edits && !content.empty(); ++e) {
+      const std::size_t pos = rng.NextBelow(content.size());
+      switch (rng.NextBelow(4)) {
+        case 0:
+          content[pos] = static_cast<char>(rng.NextBelow(256));
+          break;
+        case 1:
+          content.insert(pos, 1, static_cast<char>(rng.NextBelow(256)));
+          break;
+        case 2:
+          content.erase(pos, 1);
+          break;
+        default:
+          content.resize(pos);
+          break;
+      }
+    }
+    WriteFile(path, content);
+    StatusOr<CsvTable> table = TryReadCsv(path);  // must not abort
+    if (table.ok()) {
+      EXPECT_FALSE(table->header.empty());
+      EXPECT_EQ(table->rows.size(), table->row_lines.size());
+      for (const std::vector<std::string>& row : table->rows) {
+        EXPECT_EQ(row.size(), table->header.size());
+      }
+    } else {
+      // Errors must carry an actionable location, not just a category.
+      EXPECT_NE(table.status().message().find(path), std::string::npos)
+          << table.status().message();
+    }
+  }
   std::remove(path.c_str());
 }
 

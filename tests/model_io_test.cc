@@ -328,6 +328,83 @@ TEST(ModelIoCorruptionMatrixTest, EveryCorruptionIsANonOkStatus) {
   }
 }
 
+// --- Seeded randomized-corruption sweep ("mini-fuzz"). The handcrafted
+// matrix above checks one known failure per validation layer; the sweep
+// below checks the *unknown* ones: any byte- or field-level mutation of
+// a saved bundle, without patching the manifest, must surface as a
+// Status — never a crash, never an accepted load (the checksum gate
+// guarantees a mutated file can't validate). Seeded Rng keeps every run
+// identical, so a failure is a repro, not a flake.
+
+constexpr const char* kBundleFiles[] = {
+    "kernel_models.csv", "mapping_table.csv", "calibration.csv",
+    "layer_fallback.csv"};
+
+TEST(ModelIoFuzzTest, RandomByteMutationsAlwaysYieldAStatus) {
+  Rng rng(0xB0B5'0001);
+  for (int trial = 0; trial < 64; ++trial) {
+    SCOPED_TRACE(Format("byte trial %d", trial));
+    const std::string dir = ScratchBundle("fuzz_byte");
+    const char* file = kBundleFiles[rng.NextBelow(4)];
+    std::string content = ReadAll(dir + "/" + file);
+    ASSERT_FALSE(content.empty());
+    // 1-4 independent byte mutations: flip, overwrite, or truncate.
+    const int edits = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int e = 0; e < edits && !content.empty(); ++e) {
+      const std::size_t pos = rng.NextBelow(content.size());
+      switch (rng.NextBelow(3)) {
+        case 0:
+          content[pos] = static_cast<char>(content[pos] ^
+                                           (1 << rng.NextBelow(8)));
+          break;
+        case 1:
+          content[pos] = static_cast<char>(rng.NextBelow(256));
+          break;
+        default:
+          content.resize(pos);
+          break;
+      }
+    }
+    WriteAll(dir + "/" + file, content);
+    if (content != ReadAll(GoldenBundle() + "/" + file)) {
+      StatusOr<KwModel> loaded = ModelIo::LoadKw(dir);
+      EXPECT_FALSE(loaded.ok()) << file << " mutated but load succeeded";
+    }
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(ModelIoFuzzTest, RandomFieldMutationsAlwaysYieldAStatus) {
+  Rng rng(0xB0B5'0002);
+  const std::vector<std::string> junk = {"",      "nan",  "-inf", "1e999",
+                                         "banana", "-1",   "  ",   "0x12",
+                                         "1,2",    "\"q\""};
+  for (int trial = 0; trial < 64; ++trial) {
+    SCOPED_TRACE(Format("field trial %d", trial));
+    const std::string dir = ScratchBundle("fuzz_field");
+    const char* file = kBundleFiles[rng.NextBelow(4)];
+    std::vector<std::string> lines = Lines(ReadAll(dir + "/" + file));
+    ASSERT_GE(lines.size(), 2u);
+    const std::size_t line = rng.NextBelow(lines.size());
+    const std::vector<std::string> fields = Split(lines[line], ',');
+    const std::size_t index = rng.NextBelow(fields.size());
+    const std::string& value = junk[rng.NextBelow(junk.size())];
+    if (fields[index] == value) {
+      std::filesystem::remove_all(dir);
+      continue;
+    }
+    SetField(&lines, line, index, value);
+    // No Remanifest(): an on-disk mutation the manifest doesn't bless is
+    // exactly what a partial write or bit rot produces.
+    WriteAll(dir + "/" + file, Unlines(lines));
+    StatusOr<KwModel> loaded = ModelIo::LoadKw(dir);
+    EXPECT_FALSE(loaded.ok())
+        << file << " line " << line << " field " << index << " <- '"
+        << value << "' was accepted";
+    std::filesystem::remove_all(dir);
+  }
+}
+
 TEST(ModelIoTest, RemanifestedUntouchedBundleStillLoads) {
   // Sanity-check the corruption harness itself: re-manifesting without
   // edits must keep the bundle loadable (checksums recompute correctly).

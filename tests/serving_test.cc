@@ -368,6 +368,214 @@ TEST(ServingTest, CountersAccumulateAcrossSimulations) {
   EXPECT_EQ(SnapshotServingCounters().simulations, 0u);
 }
 
+// --- Overload resilience: admission control, SLO deadlines, breakers.
+
+/** FaultyConfig plus all three overload mechanisms switched on. */
+ServingConfig OverloadConfig(DispatchPolicy policy, double rate = 400,
+                             double mtbf_s = 3) {
+  ServingConfig config = FaultyConfig(policy, mtbf_s, 1, rate, 10);
+  config.queue_cap = 4;
+  config.slo_ms = 15;
+  config.breaker.failure_threshold = 2;
+  config.breaker.cooldown_ms = 500;
+  return config;
+}
+
+TEST(ServingTest, OverloadFeaturesOffLeavesResultsByteIdentical) {
+  // The back-compat guarantee: default (all-off) overload knobs must
+  // reproduce the pre-overload simulator exactly, with zeroed counters.
+  ServingResult result =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                      FaultyConfig(DispatchPolicy::kPredictedLeastLoad, 4))
+          .value();
+  EXPECT_EQ(result.shed_on_admission, 0);
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_EQ(result.breaker_opens, 0);
+  // With no SLO every completion is "within SLO"; only drops miss.
+  const int arrivals = result.completed + result.dropped;
+  EXPECT_DOUBLE_EQ(result.slo_attainment,
+                   static_cast<double>(result.completed) / arrivals);
+}
+
+TEST(ServingTest, BoundedQueuesShedInsteadOfGrowingLatency) {
+  // 1000/s onto a pool whose blind-routing capacity is ~450/s: a 4-deep
+  // cap must shed and keep p99 bounded, where the unbounded queue grows
+  // for the whole horizon.
+  ServingConfig capped = Config(DispatchPolicy::kLeastOutstanding, 1000, 10);
+  capped.queue_cap = 4;
+  ServingResult with_cap =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, capped)
+          .value();
+  ServingResult unbounded =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1},
+                      Config(DispatchPolicy::kLeastOutstanding, 1000, 10))
+          .value();
+  EXPECT_GT(with_cap.shed_on_admission, 0);
+  EXPECT_LT(with_cap.p99_ms, unbounded.p99_ms);
+  // Fault-free accounting closes: every admitted job completed, every
+  // other arrival was shed.
+  EXPECT_EQ(with_cap.dispatches, with_cap.completed);
+  EXPECT_EQ(with_cap.dropped, 0);
+}
+
+TEST(ServingTest, PredictionDrivenSheddingBeatsBlindOverload) {
+  // With an SLO that queued-behind jobs cannot meet, the predictor sheds
+  // them on admission instead of completing them late: its goodput
+  // (completions inside the SLO) must beat a model-free dispatcher that
+  // admits everything and completes almost everything late.
+  ServingConfig slo =
+      Config(DispatchPolicy::kPredictedLeastLoad, 3000, 5);
+  slo.slo_ms = 10;
+  ServingResult with_predictions =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, slo)
+          .value();
+  EXPECT_GT(with_predictions.shed_on_admission, 0);
+  ServingConfig blind_config =
+      Config(DispatchPolicy::kLeastOutstanding, 3000, 5);
+  blind_config.slo_ms = 10;
+  ServingResult blind =
+      SimulateServing(AffinityTimes(), {}, {1, 1}, blind_config).value();
+  EXPECT_EQ(blind.shed_on_admission, 0);  // no model, nothing to shed on
+  EXPECT_GT(with_predictions.completed - with_predictions.deadline_misses,
+            blind.completed - blind.deadline_misses);
+}
+
+TEST(ServingTest, DeadlineMissesAreCountedWithoutShedding) {
+  // A model-free overloaded dispatcher completes jobs late: they count
+  // as deadline misses, and attainment reflects exactly the on-time
+  // completions over all arrivals.
+  ServingConfig slo = Config(DispatchPolicy::kLeastOutstanding, 1000, 10);
+  slo.slo_ms = 10;
+  ServingResult result =
+      SimulateServing(AffinityTimes(), {}, {1, 1}, slo).value();
+  EXPECT_GT(result.deadline_misses, 0);
+  EXPECT_GT(result.slo_attainment, 0.0);
+  EXPECT_LT(result.slo_attainment, 1.0);
+  const int arrivals = result.completed + result.dropped;
+  EXPECT_DOUBLE_EQ(
+      result.slo_attainment,
+      static_cast<double>(result.completed - result.deadline_misses) /
+          arrivals);
+}
+
+TEST(ServingTest, BreakersOpenUnderFaultsAndKeepAccountingClosed) {
+  ServingConfig flaky =
+      FaultyConfig(DispatchPolicy::kLeastOutstanding, /*mtbf_s=*/2,
+                   /*mttr_s=*/2, 100, 20);
+  flaky.retry.max_retries = 1;
+  ServingConfig with_breakers = flaky;
+  with_breakers.breaker.failure_threshold = 1;
+  with_breakers.breaker.cooldown_ms = 1000;
+  ServingResult off = SimulateServing(AffinityTimes(), AffinityTimes(),
+                                      {1, 1}, flaky)
+                          .value();
+  ServingResult on = SimulateServing(AffinityTimes(), AffinityTimes(),
+                                     {1, 1}, with_breakers)
+                         .value();
+  EXPECT_EQ(off.breaker_opens, 0);
+  EXPECT_GT(on.breaker_opens, 0);
+  // Same seed, same Poisson stream: every arrival still terminates
+  // exactly once whether or not breakers reroute it.
+  EXPECT_EQ(on.completed + on.dropped, off.completed + off.dropped);
+}
+
+TEST(ServingTest, OverloadKnobValidationNamesTheField) {
+  const struct {
+    const char* field;
+    void (*set)(ServingConfig*);
+  } cases[] = {
+      {"queue_cap", [](ServingConfig* c) { c->queue_cap = -1; }},
+      {"slo_ms", [](ServingConfig* c) { c->slo_ms = -5; }},
+      {"slo_ms", [](ServingConfig* c) { c->slo_ms = std::nan(""); }},
+      {"breaker.failure_threshold",
+       [](ServingConfig* c) { c->breaker.failure_threshold = -2; }},
+      {"breaker.cooldown_ms",
+       [](ServingConfig* c) {
+         c->breaker.failure_threshold = 1;
+         c->breaker.cooldown_ms = -1;
+       }},
+      {"breaker.half_open_probes",
+       [](ServingConfig* c) {
+         c->breaker.failure_threshold = 1;
+         c->breaker.half_open_probes = 0;
+       }},
+  };
+  for (const auto& test_case : cases) {
+    SCOPED_TRACE(test_case.field);
+    ServingConfig config = Config(DispatchPolicy::kRoundRobin);
+    test_case.set(&config);
+    Status status =
+        SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, config)
+            .status();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find(test_case.field), std::string::npos)
+        << status.message();
+  }
+}
+
+TEST(ServingTest, OverloadGridIsBitIdenticalAcrossJobCounts) {
+  // The acceptance criterion: shedding, deadlines, and breakers all
+  // enabled, and every grid cell bit-identical for every --jobs value.
+  std::vector<ServingGridCell> cells;
+  for (DispatchPolicy policy :
+       {DispatchPolicy::kRoundRobin, DispatchPolicy::kLeastOutstanding,
+        DispatchPolicy::kPredictedLeastLoad}) {
+    for (std::uint64_t seed : {5u, 23u}) cells.push_back({policy, seed});
+  }
+  const ServingConfig base = OverloadConfig(DispatchPolicy::kRoundRobin);
+  // Optimistic predictions (70% of truth): realistic model error, and the
+  // reason deadline *misses* occur at all — a perfectly predicted job is
+  // either shed or on time, never late.
+  std::vector<std::vector<double>> optimistic = AffinityTimes();
+  for (auto& row : optimistic) {
+    for (double& v : row) v *= 0.7;
+  }
+
+  std::vector<StatusOr<ServingResult>> one = SimulateServingGrid(
+      AffinityTimes(), optimistic, {1, 1}, base, cells, 1);
+  for (int jobs : {2, 4}) {
+    std::vector<StatusOr<ServingResult>> many = SimulateServingGrid(
+        AffinityTimes(), optimistic, {1, 1}, base, cells, jobs);
+    ASSERT_EQ(many.size(), one.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+      ASSERT_TRUE(one[i].ok());
+      ASSERT_TRUE(many[i].ok());
+      EXPECT_EQ(one[i]->completed, many[i]->completed) << i;
+      EXPECT_EQ(one[i]->shed_on_admission, many[i]->shed_on_admission) << i;
+      EXPECT_EQ(one[i]->deadline_misses, many[i]->deadline_misses) << i;
+      EXPECT_EQ(one[i]->breaker_opens, many[i]->breaker_opens) << i;
+      EXPECT_EQ(one[i]->slo_attainment, many[i]->slo_attainment) << i;
+      EXPECT_EQ(one[i]->p99_ms, many[i]->p99_ms) << i;
+    }
+  }
+  // And at least one cell actually exercised each mechanism, so the
+  // bit-identical claim is not vacuous.
+  int shed = 0, opens = 0, misses = 0;
+  for (const StatusOr<ServingResult>& cell : one) {
+    shed += cell->shed_on_admission;
+    opens += cell->breaker_opens;
+    misses += cell->deadline_misses;
+  }
+  EXPECT_GT(shed, 0);
+  EXPECT_GT(opens, 0);
+  EXPECT_GT(misses, 0);
+}
+
+TEST(ServingTest, ShedJobsCountInGlobalCounters) {
+  ResetServingCounters();
+  ServingConfig config = OverloadConfig(DispatchPolicy::kLeastOutstanding);
+  ServingResult result =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, config)
+          .value();
+  ServingCounters counters = SnapshotServingCounters();
+  EXPECT_EQ(counters.jobs_shed,
+            static_cast<std::uint64_t>(result.shed_on_admission));
+  EXPECT_EQ(counters.breaker_opens,
+            static_cast<std::uint64_t>(result.breaker_opens));
+  ResetServingCounters();
+}
+
 TEST(ServingTest, FaultSweepIsBitIdenticalAcrossJobCounts) {
   // The satellite determinism guarantee: a sweep of fault-injected
   // simulations produces bit-identical results whether run on 1 thread

@@ -1,7 +1,16 @@
 #include "test_support.h"
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "dataset/builder.h"
+#include "models/kw_model.h"
+#include "models/model_io.h"
 #include "zoo/zoo.h"
 
 namespace gpuperf::testing {
@@ -31,6 +40,67 @@ std::vector<const dnn::Network*> SmallCampaign::TestNetworks() const {
   std::vector<const dnn::Network*> test;
   for (int id : split_.test_ids) test.push_back(&NetworkById(id));
   return test;
+}
+
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GP_CHECK(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+const std::string& GoldenKwBundleDir() {
+  static const std::string* const kDir = [] {
+    // Per-process path: test binaries run concurrently under ctest, and
+    // two processes sharing one golden dir would race remove_all/reads.
+    auto* dir = new std::string(
+        (std::filesystem::temp_directory_path() /
+         Format("gpuperf_golden_bundle_%d", static_cast<int>(getpid())))
+            .string());
+    std::filesystem::remove_all(*dir);
+    std::filesystem::create_directories(*dir);
+    models::KwModel model;
+    model.Train(SmallCampaign::Get().data(), SmallCampaign::Get().split());
+    models::ModelIo::SaveKw(model, *dir);
+    return dir;
+  }();
+  return *kDir;
+}
+
+std::string ScratchKwBundleDir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       Format("gpuperf_scratch_%s_%d", tag.c_str(),
+              static_cast<int>(getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  for (const auto& entry :
+       std::filesystem::directory_iterator(GoldenKwBundleDir())) {
+    std::filesystem::copy(
+        entry.path(), dir + "/" + entry.path().filename().string());
+  }
+  return dir;
+}
+
+void RemanifestKwBundle(const std::string& dir) {
+  std::ofstream out(dir + "/manifest.csv", std::ios::trunc);
+  out << "bundle_version,file,checksum,rows\n";
+  for (const char* file :
+       {"kernel_models.csv", "mapping_table.csv", "calibration.csv",
+        "layer_fallback.csv"}) {
+    const std::string content = ReadAll(dir + "/" + file);
+    std::size_t rows = 0;
+    for (char c : content) rows += c == '\n';
+    out << Format("%d,%s,%016llx,%zu\n", models::kKwBundleVersion, file,
+                  static_cast<unsigned long long>(StableHash(content)),
+                  rows - 1);
+  }
 }
 
 }  // namespace gpuperf::testing

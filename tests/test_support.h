@@ -5,9 +5,11 @@
  * @file
  * Shared fixtures: a small measurement campaign (41-network zoo on two
  * GPUs) built once per test binary, so model tests do not pay the full
- * 646-network cost.
+ * 646-network cost — plus a golden saved KW bundle trained from it, for
+ * tests that exercise bundle loading, validation, and hot reload.
  */
 
+#include <string>
 #include <vector>
 
 #include "dataset/dataset.h"
@@ -41,6 +43,22 @@ class SmallCampaign {
   dataset::NetworkSplit split_;
   gpuexec::HardwareOracle oracle_;
 };
+
+/**
+ * A pristine KW bundle trained from the small campaign, saved once per
+ * process. Treat as read-only; copy with ScratchKwBundleDir() to tamper.
+ */
+const std::string& GoldenKwBundleDir();
+
+/** Copies the golden bundle into a fresh scratch directory. */
+std::string ScratchKwBundleDir(const std::string& tag);
+
+/**
+ * Rewrites `dir`/manifest.csv to bless the bundle files as they are on
+ * disk, so a tampering test can get past the checksum gate and reach
+ * deeper validation (or the canary).
+ */
+void RemanifestKwBundle(const std::string& dir);
 
 }  // namespace gpuperf::testing
 

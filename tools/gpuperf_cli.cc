@@ -10,12 +10,13 @@
 //   gpuperf roofline <network> <gpu> [batch]
 //   gpuperf batch <network> <gpu>
 //   gpuperf serve-sim [options]           fault-tolerant serving simulation
+//   gpuperf bundle-check --candidate DIR  validate + canary a bundle
 //
 // Error-handling contract: anything a user can cause from the command
 // line — a typo'd network, a corrupt bundle, a malformed flag value — is
 // reported as a one-line actionable message on stderr with exit code 1,
 // never an abort. Usage mistakes additionally print the subcommand's full
-// flag list.
+// flag list; `--help` prints it on stdout and exits 0.
 
 #include <cmath>
 #include <cstdio>
@@ -40,6 +41,7 @@
 #include "models/e2e_model.h"
 #include "models/kw_model.h"
 #include "models/lw_model.h"
+#include "models/bundle_registry.h"
 #include "models/model_io.h"
 #include "simsys/serving.h"
 #include "zoo/zoo.h"
@@ -141,12 +143,45 @@ constexpr char kServeSimUsage[] =
     "  --retries N    re-dispatches before a job is dropped (default 3)\n"
     "  --runs N       simulations per policy, seeds seed..seed+N-1\n"
     "                 (default 1)\n"
-    "  --jobs N       simulation threads; 0 = all hardware threads\n";
+    "  --jobs N       simulation threads; 0 = all hardware threads\n"
+    "  --queue-cap N  max outstanding jobs per GPU; arrivals beyond it are\n"
+    "                 shed on admission (0 = unbounded; default 0)\n"
+    "  --slo-ms MS    per-job latency SLO; jobs whose predicted completion\n"
+    "                 already misses it are shed (0 = no SLO; default 0)\n"
+    "  --breaker-failures N     consecutive failures that open a per-GPU\n"
+    "                 circuit breaker (0 = breakers off; default 0)\n"
+    "  --breaker-cooldown-ms MS open-state cooldown before half-open\n"
+    "                 probing (default 1000)\n"
+    "  --breaker-probes N       probe dispatches allowed half-open\n"
+    "                 (default 1)\n"
+    "  --help         print this flag list and exit 0\n";
+constexpr char kBundleCheckUsage[] =
+    "usage: gpuperf bundle-check --candidate DIR [options]\n"
+    "  --candidate DIR  bundle to validate (required): integrity checks\n"
+    "                   (manifest version, checksums, field validation),\n"
+    "                   then a canary prediction gate\n"
+    "  --baseline DIR   currently-serving bundle; canary predictions must\n"
+    "                   stay within --tolerance of it (optional)\n"
+    "  --networks a,b   canary probe networks (default resnet18,resnet50,\n"
+    "                   mobilenet_v2)\n"
+    "  --gpus A,B       canary probe GPUs (default: the candidate's\n"
+    "                   trained GPUs)\n"
+    "  --batch N        canary batch size (default 16)\n"
+    "  --tolerance F    max relative drift vs the baseline, e.g. 0.5 = 50%\n"
+    "                   (default 0.5)\n"
+    "  --help           print this flag list and exit 0\n";
 
 /** A user mistake: one actionable line + the subcommand's flag list. */
 int UsageError(const char* usage, const std::string& message) {
   std::fprintf(stderr, "gpuperf: %s\n%s", message.c_str(), usage);
   return 1;
+}
+
+/** True when --help was given; prints the flag list on stdout (exit 0). */
+bool WantsHelp(const Args& args, const char* usage) {
+  if (args.flags.count("help") == 0) return false;
+  std::fputs(usage, stdout);
+  return true;
 }
 
 /** A runtime user-facing failure (bad file, unknown name, ...). */
@@ -464,9 +499,12 @@ int CmdPredict(const Args& args) {
 }
 
 int CmdServeSim(const Args& args) {
+  if (WantsHelp(args, kServeSimUsage)) return 0;
   const std::string unknown = args.UnknownFlag(
       {"model", "pool", "networks", "batch", "rate", "duration", "seed",
-       "policy", "mtbf", "mttr", "retries", "runs", "jobs"});
+       "policy", "mtbf", "mttr", "retries", "runs", "jobs", "queue-cap",
+       "slo-ms", "breaker-failures", "breaker-cooldown-ms",
+       "breaker-probes"});
   if (!unknown.empty()) {
     return UsageError(kServeSimUsage, "unknown flag --" + unknown);
   }
@@ -548,6 +586,41 @@ int CmdServeSim(const Args& args) {
                       "--jobs must be a non-negative integer, got '" +
                           args.Get("jobs", "0") + "'");
   }
+  StatusOr<int> queue_cap = ParseInt(args.Get("queue-cap", "0"));
+  if (!queue_cap.ok() || *queue_cap < 0) {
+    return UsageError(kServeSimUsage,
+                      "--queue-cap must be a non-negative integer "
+                      "(0 = unbounded), got '" + args.Get("queue-cap", "0") +
+                          "'");
+  }
+  StatusOr<double> slo_ms = ParseFiniteDouble(args.Get("slo-ms", "0"));
+  if (!slo_ms.ok() || *slo_ms < 0) {
+    return UsageError(kServeSimUsage,
+                      "--slo-ms must be a non-negative number "
+                      "(0 = no SLO), got '" + args.Get("slo-ms", "0") + "'");
+  }
+  StatusOr<int> breaker_failures =
+      ParseInt(args.Get("breaker-failures", "0"));
+  if (!breaker_failures.ok() || *breaker_failures < 0) {
+    return UsageError(kServeSimUsage,
+                      "--breaker-failures must be a non-negative integer "
+                      "(0 = breakers off), got '" +
+                          args.Get("breaker-failures", "0") + "'");
+  }
+  StatusOr<double> breaker_cooldown =
+      ParseFiniteDouble(args.Get("breaker-cooldown-ms", "1000"));
+  if (!breaker_cooldown.ok() || *breaker_cooldown < 0) {
+    return UsageError(kServeSimUsage,
+                      "--breaker-cooldown-ms must be a non-negative number, "
+                      "got '" + args.Get("breaker-cooldown-ms", "1000") +
+                          "'");
+  }
+  StatusOr<int> breaker_probes = ParseInt(args.Get("breaker-probes", "1"));
+  if (!breaker_probes.ok() || *breaker_probes < 1) {
+    return UsageError(kServeSimUsage,
+                      "--breaker-probes must be a positive integer, got '" +
+                          args.Get("breaker-probes", "1") + "'");
+  }
 
   std::vector<simsys::DispatchPolicy> policies;
   const std::string policy_name = args.Get("policy", "all");
@@ -569,21 +642,25 @@ int CmdServeSim(const Args& args) {
   }
 
   // --- Service-time matrices: truth from the hardware oracle, predictions
-  // from the bundle (when given and loadable). A bundle problem degrades
-  // dispatch instead of failing the simulation.
-  std::optional<models::KwModel> kw;
+  // from the bundle (when given, loadable, and canary-clean). The bundle
+  // goes through the registry's promote gates — integrity validation plus
+  // finite canary predictions on the job networks — so a corrupt or
+  // insane bundle degrades dispatch instead of failing the simulation.
+  models::BundleRegistry registry;
   const std::string model_dir = args.Get("model", "");
   if (!model_dir.empty()) {
-    StatusOr<models::KwModel> loaded = models::ModelIo::LoadKw(model_dir);
-    if (loaded.ok()) {
-      kw = std::move(loaded).value();
-    } else {
+    models::CanaryOptions canary;
+    canary.probe_networks = networks;
+    canary.batch = *batch;
+    const Status promoted = registry.TryPromote(model_dir, canary);
+    if (!promoted.ok()) {
       std::fprintf(stderr,
                    "gpuperf: warning: %s; dispatch degrades to "
                    "least-outstanding\n",
-                   loaded.status().message().c_str());
+                   promoted.message().c_str());
     }
   }
+  const std::shared_ptr<const models::KwModel> kw = registry.Snapshot();
   gpuexec::HardwareOracle oracle;
   gpuexec::Profiler profiler(oracle);
   std::vector<std::vector<double>> truth, predicted;
@@ -591,7 +668,7 @@ int CmdServeSim(const Args& args) {
     std::vector<double> t, p;
     for (const gpuexec::GpuSpec* gpu : gpus) {
       t.push_back(profiler.MeasureE2eUs(network, *gpu, *batch));
-      if (kw.has_value()) {
+      if (kw != nullptr) {
         // An uncovered (network, GPU) is a NaN prediction: that decision
         // degrades, the rest keep using the model.
         const bool covered = kw->CoverageFor(network, gpu->name).Full();
@@ -600,7 +677,7 @@ int CmdServeSim(const Args& args) {
       }
     }
     truth.push_back(std::move(t));
-    if (kw.has_value()) predicted.push_back(std::move(p));
+    if (kw != nullptr) predicted.push_back(std::move(p));
   }
   const std::vector<double> mix(networks.size(), 1.0);
 
@@ -620,13 +697,19 @@ int CmdServeSim(const Args& args) {
   base_config.faults.mtbf_s = *mtbf;
   base_config.faults.mttr_s = *mttr;
   base_config.retry.max_retries = *retries;
+  base_config.queue_cap = *queue_cap;
+  base_config.slo_ms = *slo_ms;
+  base_config.breaker.failure_threshold = *breaker_failures;
+  base_config.breaker.cooldown_ms = *breaker_cooldown;
+  base_config.breaker.half_open_probes = *breaker_probes;
   const std::vector<StatusOr<simsys::ServingResult>> grid =
       simsys::SimulateServingGrid(truth, predicted, mix, base_config, cells,
                                   *jobs);
 
   TextTable table;
   table.SetHeader({"policy", "seed", "p50 (ms)", "p99 (ms)", "completed",
-                   "dropped", "retries", "degraded", "avail"});
+                   "dropped", "shed", "miss", "SLO", "retries", "trips",
+                   "degraded", "avail"});
   for (std::size_t i = 0; i < grid.size(); ++i) {
     if (!grid[i].ok()) return UserError(grid[i].status());
     const simsys::ServingResult& r = *grid[i];
@@ -637,7 +720,10 @@ int CmdServeSim(const Args& args) {
                   Format("%llu", (unsigned long long)cells[i].seed),
                   Format("%.1f", r.p50_ms), Format("%.1f", r.p99_ms),
                   Format("%d", r.completed), Format("%d", r.dropped),
-                  Format("%d", r.retries),
+                  Format("%d", r.shed_on_admission),
+                  Format("%d", r.deadline_misses),
+                  Format("%.1f%%", 100 * r.slo_attainment),
+                  Format("%d", r.retries), Format("%d", r.breaker_opens),
                   Format("%.0f%%", 100 * r.degraded_dispatch_fraction),
                   Format("%.1f%%", 100 * avail)});
   }
@@ -646,6 +732,66 @@ int CmdServeSim(const Args& args) {
     std::printf("\n(no model bundle: predicted-least-load served every "
                 "decision via its least-outstanding fallback)\n");
   }
+  return 0;
+}
+
+int CmdBundleCheck(const Args& args) {
+  if (WantsHelp(args, kBundleCheckUsage)) return 0;
+  const std::string unknown = args.UnknownFlag(
+      {"candidate", "baseline", "networks", "gpus", "batch", "tolerance"});
+  if (!unknown.empty()) {
+    return UsageError(kBundleCheckUsage, "unknown flag --" + unknown);
+  }
+  const std::string candidate = args.Get("candidate", "");
+  if (candidate.empty()) {
+    return UsageError(kBundleCheckUsage, "--candidate DIR is required");
+  }
+  StatusOr<long long> batch = ParseInt64(args.Get("batch", "16"));
+  if (!batch.ok() || *batch < 1) {
+    return UsageError(kBundleCheckUsage,
+                      "--batch must be a positive integer, got '" +
+                          args.Get("batch", "16") + "'");
+  }
+  StatusOr<double> tolerance = ParseFiniteDouble(args.Get("tolerance", "0.5"));
+  if (!tolerance.ok() || *tolerance < 0) {
+    return UsageError(kBundleCheckUsage,
+                      "--tolerance must be a non-negative number, got '" +
+                          args.Get("tolerance", "0.5") + "'");
+  }
+
+  models::CanaryOptions canary;
+  canary.batch = *batch;
+  canary.tolerance = *tolerance;
+  for (const std::string& name :
+       Split(args.Get("networks", "resnet18,resnet50,mobilenet_v2"), ',')) {
+    StatusOr<dnn::Network> net = zoo::TryBuildByName(name);
+    if (!net.ok()) return UserError(net.status());
+    canary.probe_networks.push_back(std::move(net).value());
+  }
+  const std::string gpu_list = args.Get("gpus", "");
+  if (!gpu_list.empty()) canary.gpus = Split(gpu_list, ',');
+
+  // The baseline (when given) becomes the serving generation the
+  // candidate's canary drift is measured against — exactly the hot-reload
+  // sequence a serving process would run.
+  models::BundleRegistry registry;
+  const std::string baseline = args.Get("baseline", "");
+  if (!baseline.empty()) {
+    models::CanaryOptions integrity_only;
+    const Status loaded = registry.TryPromote(baseline, integrity_only);
+    if (!loaded.ok()) {
+      return UserError(
+          Status(loaded).Annotate("--baseline failed its own validation"));
+    }
+  }
+  const Status promoted = registry.TryPromote(candidate, canary);
+  if (!promoted.ok()) return UserError(promoted);
+  const models::BundleRegistryCounters counters = registry.counters();
+  std::printf("bundle-check: PROMOTED '%s' (generation %llu, "
+              "%zu probe network(s) @BS%lld, tolerance %.0f%%)\n",
+              candidate.c_str(), (unsigned long long)counters.generation,
+              canary.probe_networks.size(), (long long)*batch,
+              100 * *tolerance);
   return 0;
 }
 
@@ -663,7 +809,10 @@ void Usage() {
       "  roofline <network> <gpu> [batch]      per-layer roofline analysis\n"
       "  batch <network> <gpu>                 largest batch that fits\n"
       "  serve-sim [--model DIR] [--mtbf S] [--mttr S] [--retries N]\n"
+      "            [--queue-cap N] [--slo-ms MS] [--breaker-failures N]\n"
       "            [--jobs N] [...]            fault-tolerant serving sim\n"
+      "  bundle-check --candidate DIR [--baseline DIR] [--tolerance F]\n"
+      "            [...]                       validate + canary a bundle\n"
       "run `gpuperf <command> --help` semantics: any usage mistake prints\n"
       "the command's full flag list\n",
       stderr);
@@ -688,6 +837,7 @@ int main(int argc, char** argv) {
   if (command == "roofline") return CmdRoofline(args);
   if (command == "batch") return CmdBatch(args);
   if (command == "serve-sim") return CmdServeSim(args);
+  if (command == "bundle-check") return CmdBundleCheck(args);
   std::fprintf(stderr, "gpuperf: unknown command '%s'\n", command.c_str());
   Usage();
   return 1;
