@@ -11,11 +11,14 @@
 // A consumer can then predict without any measurement infrastructure:
 // load the model bundle, construct a network, call PredictUs.
 //
-// Usage: build_database [out_dir] [zoo_stride] [jobs]
+// Usage: build_database [out_dir] [zoo_stride] [jobs] [metrics_out]
 //   zoo_stride 1 reproduces the full 646-network campaign (~1 min);
 //   the default 8 builds a 1/8 campaign in seconds.
 //   jobs sets the profiling thread count (default 0 = all hardware
 //   threads); the produced database is identical for every job count.
+//   metrics_out, when given, writes a gpuperf_* metrics snapshot of the
+//   campaign (lowering-cache hits/misses, thread-pool queue depth;
+//   .prom = Prometheus text, else CSV).
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,14 +30,17 @@
 #include "dataset/builder.h"
 #include "models/kw_model.h"
 #include "models/model_io.h"
+#include "obs/metrics_registry.h"
 #include "zoo/zoo.h"
 
 using namespace gpuperf;
 
 int main(int argc, char** argv) {
+  obs::InstallProcessMetrics();
   const std::string out = argc > 1 ? argv[1] : "gpuperf_release";
   const int stride = argc > 2 ? std::atoi(argv[2]) : 8;
   const int jobs = argc > 3 ? std::atoi(argv[3]) : 0;
+  const std::string metrics_out = argc > 4 ? argv[4] : "";
 
   std::vector<dnn::Network> networks = zoo::SmallZoo(stride);
   std::printf("profiling %zu networks on all %zu GPUs at BS 512...\n",
@@ -69,5 +75,15 @@ int main(int argc, char** argv) {
   std::printf("consumer-side prediction: resnet50 @BS256 on A100 = %.1f ms\n",
               consumer.PredictUs(resnet50, gpuexec::GpuByName("A100"), 256) /
                   1e3);
+
+  if (!metrics_out.empty()) {
+    const Status written =
+        obs::MetricsRegistry::Global().WriteSnapshot(metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.message().c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot -> %s\n", metrics_out.c_str());
+  }
   return 0;
 }

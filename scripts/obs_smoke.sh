@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Observability smoke check: run a real serve-sim with --metrics-out and
+# --trace-out, then assert both artifacts are well-formed and the
+# accounting invariant holds (every arrival completed, dropped, or shed).
+#
+# Usage: scripts/obs_smoke.sh <path-to-gpuperf-binary>
+set -euo pipefail
+
+GPUPERF="${1:?usage: obs_smoke.sh <path-to-gpuperf-binary>}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+METRICS="$OUT/metrics.csv"
+TRACE="$OUT/trace.json"
+
+"$GPUPERF" serve-sim --duration 2 --rate 150 --queue-cap 4 --slo-ms 50 \
+  --mtbf 3 --breaker-failures 2 --networks resnet18 \
+  --metrics-out "$METRICS" --trace-out "$TRACE" >/dev/null
+
+[ -s "$METRICS" ] || { echo "obs_smoke: empty metrics snapshot"; exit 1; }
+[ -s "$TRACE" ] || { echo "obs_smoke: empty trace"; exit 1; }
+
+head -1 "$METRICS" | grep -q '^metric,type,field,value$' \
+  || { echo "obs_smoke: bad CSV header"; exit 1; }
+
+for family in gpuperf_serving_simulations gpuperf_serving_jobs_arrived \
+              gpuperf_serving_jobs_completed gpuperf_serving_latency_ms \
+              gpuperf_threadpool_queue_depth; do
+  grep -q "^$family," "$METRICS" \
+    || { echo "obs_smoke: metrics snapshot is missing $family"; exit 1; }
+done
+
+# Accounting invariant: arrivals = completed + dropped + shed.
+awk -F, '
+  $1 == "gpuperf_serving_jobs_arrived" { arrived = $4 }
+  $1 == "gpuperf_serving_jobs_completed" { completed = $4 }
+  $1 == "gpuperf_serving_jobs_dropped" { dropped = $4 }
+  $1 == "gpuperf_serving_jobs_shed" { shed = $4 }
+  END {
+    if (arrived == 0 || arrived != completed + dropped + shed) {
+      printf "obs_smoke: accounting broken: %d arrived vs %d+%d+%d\n",
+             arrived, completed, dropped, shed
+      exit 1
+    }
+  }' "$METRICS"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "
+import json, sys
+with open('$TRACE') as f:
+    doc = json.load(f)
+events = doc['traceEvents']
+assert events, 'trace has no events'
+assert doc['displayTimeUnit'] == 'ms'
+assert any(e['ph'] == 'X' for e in events), 'no complete spans'
+"
+else
+  grep -q '"traceEvents":\[' "$TRACE" \
+    || { echo "obs_smoke: trace is not a trace document"; exit 1; }
+fi
+
+echo "obs_smoke: OK"

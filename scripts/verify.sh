@@ -40,18 +40,25 @@ fi
 echo "== tier 1: build + full test suite =="
 cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
+# Observability artifacts end to end: serve-sim writes a metrics
+# snapshot + Chrome trace, and the accounting invariant holds.
+scripts/obs_smoke.sh "./$BUILD/tools/gpuperf"
 
 echo "== tier 2: concurrency tests under ThreadSanitizer =="
 TSAN_BUILD="${BUILD}-tsan"
 cmake -B "$TSAN_BUILD" -S . -DGPUPERF_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j --target \
   thread_pool_test parallel_build_test lowering_cache_test \
-  bundle_registry_test
+  bundle_registry_test metrics_registry_test span_tracer_test
 "./$TSAN_BUILD/tests/thread_pool_test"
 "./$TSAN_BUILD/tests/parallel_build_test"
 "./$TSAN_BUILD/tests/lowering_cache_test"
 # Generation hot-swap under concurrent predicting readers.
 "./$TSAN_BUILD/tests/bundle_registry_test"
+# Registry hot path under concurrent writers + live snapshots.
+"./$TSAN_BUILD/tests/metrics_registry_test"
+# Parallel grid tracing merged into one deterministic trace.
+"./$TSAN_BUILD/tests/span_tracer_test"
 
 echo "== tier 3: robustness tests under ASan+UBSan =="
 # The error-path tests exercise corrupt bundles, malformed CSVs, and

@@ -1,16 +1,123 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 namespace gpuperf {
+namespace {
+
+double MonotonicSeconds() {
+  static const std::chrono::steady_clock::time_point kStart =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       kStart)
+      .count();
+}
+
+// Mutable process-wide logging configuration. Plain function pointers
+// and a level override, all relaxed atomics so concurrent loggers and
+// a test installing a sink never race. -1 = no programmatic override.
+std::atomic<LogSink> log_sink{nullptr};
+std::atomic<LogClockFn> log_clock{nullptr};
+std::atomic<int> min_level_override{-1};  // gpuperf-lint: allow(raw-counter)
+
+LogLevel EnvMinLevel() {
+  LogLevel level = LogLevel::kInfo;
+  internal::ParseLogLevel(std::getenv("GPUPERF_LOG_LEVEL"), &level);
+  return level;
+}
+
+/** Quotes a field value when the bare form would be ambiguous. */
+std::string RenderFieldValue(const std::string& value) {
+  bool needs_quoting = value.empty();
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\') needs_quoting = true;
+  }
+  if (!needs_quoting) return value;
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "INFO";
+}
+
+LogLevel MinLogLevel() {
+  const int override_level =
+      min_level_override.load(std::memory_order_relaxed);
+  if (override_level >= 0) return static_cast<LogLevel>(override_level);
+  static const LogLevel kEnvLevel = EnvMinLevel();
+  return kEnvLevel;
+}
+
+void SetMinLogLevel(LogLevel level) {
+  min_level_override.store(static_cast<int>(level),
+                           std::memory_order_relaxed);
+}
+
+LogSink SetLogSinkForTest(LogSink sink) {
+  return log_sink.exchange(sink, std::memory_order_relaxed);
+}
+
+LogClockFn SetLogClockForTest(LogClockFn clock) {
+  return log_clock.exchange(clock, std::memory_order_relaxed);
+}
+
 namespace internal {
 
-void LogMessage(LogLevel level, const std::string& msg) {
-  const char* tag = "INFO";
-  if (level == LogLevel::kWarn) tag = "WARN";
-  if (level == LogLevel::kError) tag = "ERROR";
-  std::fprintf(stderr, "[gpuperf %s] %s\n", tag, msg.c_str());
+bool ParseLogLevel(const char* name, LogLevel* level) {
+  if (name == nullptr) return false;
+  std::string lower;
+  for (const char* p = name; *p != '\0'; ++p) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lower == "debug") *level = LogLevel::kDebug;
+  else if (lower == "info") *level = LogLevel::kInfo;
+  else if (lower == "warn") *level = LogLevel::kWarn;
+  else if (lower == "error") *level = LogLevel::kError;
+  else return false;
+  return true;
+}
+
+void LogMessage(LogLevel level, const std::string& msg,
+                const LogFields& fields) {
+  const LogClockFn clock_fn = log_clock.load(std::memory_order_relaxed);
+  const double seconds =
+      clock_fn != nullptr ? clock_fn() : MonotonicSeconds();
+  char stamp[64];
+  std::snprintf(stamp, sizeof(stamp), "[gpuperf %s %.3fs] ",
+                LogLevelName(level), seconds);
+  std::string line = stamp;
+  line += msg;
+  for (const auto& [key, value] : fields) {
+    line += ' ';
+    line += key;
+    line += '=';
+    line += RenderFieldValue(value);
+  }
+  const LogSink sink = log_sink.load(std::memory_order_relaxed);
+  if (sink != nullptr) {
+    sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 void PanicImpl(const char* file, int line, const std::string& msg) {
@@ -32,12 +139,19 @@ void CheckMessage::Panic() { PanicImpl(file_, line_, stream_.str()); }
 
 }  // namespace internal
 
-void LogInfo(const std::string& msg) {
-  internal::LogMessage(LogLevel::kInfo, msg);
+void LogDebug(const std::string& msg, const LogFields& fields) {
+  if (MinLogLevel() > LogLevel::kDebug) return;
+  internal::LogMessage(LogLevel::kDebug, msg, fields);
 }
 
-void LogWarn(const std::string& msg) {
-  internal::LogMessage(LogLevel::kWarn, msg);
+void LogInfo(const std::string& msg, const LogFields& fields) {
+  if (MinLogLevel() > LogLevel::kInfo) return;
+  internal::LogMessage(LogLevel::kInfo, msg, fields);
+}
+
+void LogWarn(const std::string& msg, const LogFields& fields) {
+  if (MinLogLevel() > LogLevel::kWarn) return;
+  internal::LogMessage(LogLevel::kWarn, msg, fields);
 }
 
 void Fatal(const std::string& msg) { internal::FatalImpl(msg); }

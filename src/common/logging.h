@@ -3,26 +3,57 @@
 
 /**
  * @file
- * Minimal logging and contract-checking facility.
+ * Structured logging and contract checking.
  *
  * Follows the gem5 fatal/panic split: `Fatal` is for user-level errors
  * (bad configuration, missing files) and exits with status 1; the CHECK
  * family is for programmer errors (broken invariants) and aborts so a
  * debugger or core dump can capture the state.
+ *
+ * Log lines are structured: a message plus optional `key=value` fields
+ * (values with spaces/quotes are quoted), stamped with monotonic
+ * seconds since process start —
+ * `[gpuperf INFO 1.500s] bundle promoted generation=3`.
+ * The minimum level defaults to info and is configurable via the
+ * `GPUPERF_LOG_LEVEL` environment variable (debug|info|warn|error) or
+ * SetMinLogLevel(). The clock and the sink are injectable function
+ * pointers, so tests can pin timestamps and capture lines verbatim.
  */
 
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace gpuperf {
 
-/** Severity of a log message. */
-enum class LogLevel { kInfo, kWarn, kError };
+/** Severity of a log message, in increasing order. */
+enum class LogLevel { kDebug, kInfo, kWarn, kError };
+
+/** Stable upper-case level tag: "DEBUG", "INFO", "WARN", "ERROR". */
+const char* LogLevelName(LogLevel level);
+
+/** Ordered key=value context attached to a log line. */
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
+/** Receives every emitted line (already formatted, no newline). */
+using LogSink = void (*)(LogLevel level, const std::string& line);
+
+/** Returns seconds since process start (or a test-injected time). */
+using LogClockFn = double (*)();
 
 namespace internal {
 
-/** Emits a formatted log line to stderr. */
-void LogMessage(LogLevel level, const std::string& msg);
+/** Formats and emits one log line (level filter already applied). */
+void LogMessage(LogLevel level, const std::string& msg,
+                const LogFields& fields = {});
+
+/**
+ * Parses a GPUPERF_LOG_LEVEL value ("debug"/"info"/"warn"/"error",
+ * case-insensitive). Returns false (leaving `level` untouched) for
+ * anything else, including null.
+ */
+bool ParseLogLevel(const char* name, LogLevel* level);
 
 /** Prints `msg` with source location and aborts. Never returns. */
 [[noreturn]] void PanicImpl(const char* file, int line, const std::string& msg);
@@ -56,11 +87,29 @@ class CheckMessage {
 
 }  // namespace internal
 
+/** Logs a debug-level message; filtered out unless the level allows. */
+void LogDebug(const std::string& msg, const LogFields& fields = {});
+
 /** Logs an informational message. */
-void LogInfo(const std::string& msg);
+void LogInfo(const std::string& msg, const LogFields& fields = {});
 
 /** Logs a warning; the run continues. */
-void LogWarn(const std::string& msg);
+void LogWarn(const std::string& msg, const LogFields& fields = {});
+
+/**
+ * The minimum level that gets emitted: SetMinLogLevel() if called,
+ * else GPUPERF_LOG_LEVEL from the environment, else kInfo.
+ */
+LogLevel MinLogLevel();
+
+/** Programmatic override of the minimum level (wins over the env). */
+void SetMinLogLevel(LogLevel level);
+
+/** Replaces the output sink (nullptr = stderr). Returns the previous. */
+LogSink SetLogSinkForTest(LogSink sink);
+
+/** Replaces the timestamp clock (nullptr = monotonic). Returns the previous. */
+LogClockFn SetLogClockForTest(LogClockFn clock);
 
 /** Reports an unrecoverable user-level error and exits(1). */
 [[noreturn]] void Fatal(const std::string& msg);

@@ -36,12 +36,57 @@ double Percentile(std::vector<double> values, double p) {
   GP_CHECK(!values.empty());
   GP_CHECK_GE(p, 0.0);
   GP_CHECK_LE(p, 100.0);
+  for (double v : values) {
+    GP_CHECK(!std::isnan(v)) << "Percentile input contains NaN";
+  }
   std::sort(values.begin(), values.end());
   double rank = p / 100.0 * static_cast<double>(values.size() - 1);
   std::size_t lo = static_cast<std::size_t>(rank);
   std::size_t hi = std::min(lo + 1, values.size() - 1);
   double frac = rank - static_cast<double>(lo);
   return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double HistogramQuantile(const std::vector<double>& upper_bounds,
+                         const std::vector<std::uint64_t>& counts, double p) {
+  GP_CHECK(!upper_bounds.empty());
+  GP_CHECK_EQ(counts.size(), upper_bounds.size() + 1);
+  GP_CHECK_GE(p, 0.0);
+  GP_CHECK_LE(p, 100.0);
+  for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+    GP_CHECK(std::isfinite(upper_bounds[i]));
+    if (i > 0) {
+      GP_CHECK_LT(upper_bounds[i - 1], upper_bounds[i]);
+    }
+  }
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  // The p-quantile sits at rank p/100 * total observations; walk the
+  // cumulative counts to its bucket and interpolate linearly inside.
+  const double rank = p / 100.0 * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket >= rank && in_bucket > 0) {
+      if (i == upper_bounds.size()) {
+        // Overflow bucket: no finite upper edge to interpolate toward.
+        return upper_bounds.back();
+      }
+      const double lower = i == 0 ? 0.0 : upper_bounds[i - 1];
+      const double upper = upper_bounds[i];
+      const double within = (rank - cumulative) / in_bucket;
+      return lower + (upper - lower) * within;
+    }
+    cumulative += in_bucket;
+  }
+  // rank == total but trailing buckets are empty: the largest
+  // observation lives in the last non-empty bucket, already handled
+  // above; reaching here means every count was zero after `total > 0`,
+  // which cannot happen.
+  GP_CHECK(false);
+  return 0.0;
 }
 
 double RelativeError(double predicted, double actual) {

@@ -11,6 +11,7 @@
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace gpuperf {
@@ -24,8 +25,26 @@ double StdDev(const std::vector<double>& values);
 /** Geometric mean; requires strictly positive values. */
 double GeoMean(const std::vector<double>& values);
 
-/** Linear-interpolated percentile, p in [0, 100]. */
+/**
+ * Linear-interpolated percentile, p in [0, 100]. Requires a non-empty
+ * input with no NaNs (both are programmer-error CHECKs).
+ */
 double Percentile(std::vector<double> values, double p);
+
+/**
+ * Interpolated quantile of a fixed-bucket histogram, p in [0, 100] —
+ * the estimator behind obs::MetricsRegistry's CSV p50/p95/p99 rows
+ * (same linear-within-bucket scheme as Prometheus histogram_quantile).
+ *
+ * `upper_bounds` are the finite, strictly ascending bucket bounds;
+ * `counts` are per-bucket counts with one extra overflow entry, so
+ * counts.size() == upper_bounds.size() + 1. The first bucket's lower
+ * bound is 0 (the histograms here hold non-negative times). A quantile
+ * landing in the overflow bucket clamps to the last finite bound; an
+ * empty histogram returns 0.
+ */
+double HistogramQuantile(const std::vector<double>& upper_bounds,
+                         const std::vector<std::uint64_t>& counts, double p);
 
 /** |pred - actual| / actual for a single pair. Requires actual != 0. */
 double RelativeError(double predicted, double actual);

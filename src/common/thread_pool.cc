@@ -5,12 +5,30 @@
 
 namespace gpuperf {
 
+namespace {
+
+// Loop-claiming state below is algorithm state, not a metric; the
+// queue-depth hook is what feeds the observability layer.
+std::atomic<ThreadPool::QueueDepthObserver> queue_depth_observer{nullptr};
+
+void NotifyQueueDepth(long long delta) {
+  const ThreadPool::QueueDepthObserver observer =
+      queue_depth_observer.load(std::memory_order_relaxed);
+  if (observer != nullptr) observer(delta);
+}
+
+}  // namespace
+
+void ThreadPool::SetQueueDepthObserver(QueueDepthObserver observer) {
+  queue_depth_observer.store(observer, std::memory_order_relaxed);
+}
+
 /** Shared state of one ParallelFor call. */
 struct ThreadPool::ForState {
   std::function<void(std::size_t)> fn;
   std::size_t n = 0;
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> next{0};   // gpuperf-lint: allow(raw-counter)
+  std::atomic<std::size_t> done{0};   // gpuperf-lint: allow(raw-counter)
   std::atomic<bool> failed{false};
   Mutex mu;
   CondVar cv;
@@ -47,6 +65,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    NotifyQueueDepth(-1);
     task();
   }
 }
@@ -96,6 +115,7 @@ void ThreadPool::ParallelFor(std::size_t n,
       queue_.emplace_back([state] { RunLoop(state); });
     }
   }
+  NotifyQueueDepth(static_cast<long long>(helpers));
   queue_cv_.NotifyAll();
 
   // The calling thread works too; nested calls therefore never deadlock.

@@ -60,6 +60,17 @@ class ThreadPool {
    */
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /**
+   * Observer of task-queue depth changes across every pool in the
+   * process: called with +k when k helper tasks enqueue and -1 per
+   * dequeue. A plain function pointer (not std::function) so common/
+   * stays independent of the obs/ layer that feeds the registry gauge —
+   * obs::InstallProcessMetrics() binds it at process start. nullptr
+   * (the default) disables the hook.
+   */
+  using QueueDepthObserver = void (*)(long long delta);
+  static void SetQueueDepthObserver(QueueDepthObserver observer);
+
  private:
   struct ForState;
 

@@ -5,9 +5,26 @@
 #include "common/string_util.h"
 #include "dnn/flops.h"
 #include "gpuexec/lowering.h"
+#include "obs/metrics_registry.h"
 
 namespace gpuperf::gpuexec {
 namespace {
+
+/** Process-wide hit/miss counters, aggregated across every cache. */
+struct LoweringCacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+
+  static LoweringCacheMetrics& Get() {
+    static LoweringCacheMetrics* const kMetrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new LoweringCacheMetrics{
+          registry.counter("gpuperf_lowering_cache_hits"),
+          registry.counter("gpuperf_lowering_cache_misses")};
+    }();
+    return *kMetrics;
+  }
+};
 
 std::string CacheKey(const dnn::Layer& layer, std::int64_t batch,
                      Workload workload) {
@@ -37,8 +54,12 @@ std::shared_ptr<const LoweringCache::LaunchList> LoweringCache::Lower(
   {
     SharedReaderLock lock(mu_);
     auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      LoweringCacheMetrics::Get().hits.Increment();
+      return it->second;
+    }
   }
+  LoweringCacheMetrics::Get().misses.Increment();
   auto lowered = std::make_shared<const LaunchList>(
       LowerUncached(layer, batch, workload));
   SharedMutexLock lock(mu_);

@@ -1,47 +1,22 @@
 #include "gpuexec/trace_export.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <map>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/chrome_trace.h"
 
 namespace gpuperf::gpuexec {
 namespace {
 
-/** Escapes a string for embedding in JSON. */
-std::string JsonEscape(const std::string& text) {
-  std::string out;
-  for (char c : text) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
+using obs::ChromeTraceWriter;
 
-/** One complete trace event (phase "X"). */
-std::string Event(const std::string& name, const std::string& category,
-                  int tid, double start_us, double duration_us,
-                  const std::string& args_json) {
-  return Format(
-      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
-      "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}",
-      JsonEscape(name).c_str(), category.c_str(), tid, start_us,
-      duration_us, args_json.c_str());
-}
-
-}  // namespace
-
-std::string ChromeTraceJson(const dnn::Network& network,
-                            const NetworkProfile& profile) {
-  std::vector<std::string> events;
-  events.push_back(
-      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
-      "\"args\":{\"name\":\"CPU (layers)\"}}");
-  events.push_back(
-      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
-      "\"args\":{\"name\":\"GPU (kernels)\"}}");
+ChromeTraceWriter BuildWriter(const dnn::Network& network,
+                              const NetworkProfile& profile) {
+  ChromeTraceWriter writer;
+  writer.SetThreadName(/*pid=*/1, /*tid=*/1, "CPU (layers)");
+  writer.SetThreadName(/*pid=*/1, /*tid=*/2, "GPU (kernels)");
 
   // Layer spans on the CPU track: the extent of each layer's kernels,
   // exactly how the PyTorch Profiler links framework ops to GPU work.
@@ -57,44 +32,48 @@ std::string ChromeTraceJson(const dnn::Network& network,
   }
   for (const auto& [layer_index, extent] : layer_extents) {
     const dnn::Layer& layer = network.layers()[layer_index];
-    events.push_back(Event(
-        layer.name, "layer", /*tid=*/1, extent.first,
+    writer.AddComplete(
+        layer.name, "layer", /*pid=*/1, /*tid=*/1, extent.first,
         extent.second - extent.first,
         Format("\"signature\":\"%s\"",
-               JsonEscape(dnn::LayerSignature(layer)).c_str())));
+               ChromeTraceWriter::JsonEscape(
+                   dnn::LayerSignature(layer)).c_str()));
   }
 
   // Kernel spans on the GPU track.
   for (const KernelRecord& record : profile.kernels) {
-    events.push_back(Event(
-        record.kernel_name, "kernel", /*tid=*/2, record.start_us,
+    writer.AddComplete(
+        record.kernel_name, "kernel", /*pid=*/1, /*tid=*/2, record.start_us,
         record.end_us - record.start_us,
         Format("\"layer\":\"%s\",\"flops\":%ld,\"bytes\":%ld",
-               JsonEscape(network.layers()[record.layer_index].name).c_str(),
-               (long)record.kernel_flops, (long)record.kernel_bytes)));
+               ChromeTraceWriter::JsonEscape(
+                   network.layers()[record.layer_index].name).c_str(),
+               (long)record.kernel_flops, (long)record.kernel_bytes));
   }
 
-  std::string json = "{\"traceEvents\":[\n";
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    json += events[i];
-    if (i + 1 < events.size()) json += ",";
-    json += "\n";
-  }
-  json += Format("],\"displayTimeUnit\":\"ms\",\"metadata\":{"
-                 "\"network\":\"%s\",\"gpu\":\"%s\",\"batch\":%ld}}\n",
-                 JsonEscape(profile.network_name).c_str(),
-                 JsonEscape(profile.gpu_name).c_str(), (long)profile.batch);
-  return json;
+  writer.AddMetadata(
+      "network",
+      Format("\"%s\"",
+             ChromeTraceWriter::JsonEscape(profile.network_name).c_str()));
+  writer.AddMetadata(
+      "gpu", Format("\"%s\"",
+                    ChromeTraceWriter::JsonEscape(profile.gpu_name).c_str()));
+  writer.AddMetadata("batch", Format("%ld", (long)profile.batch));
+  return writer;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const dnn::Network& network,
+                            const NetworkProfile& profile) {
+  return BuildWriter(network, profile).Json();
 }
 
 void WriteChromeTrace(const dnn::Network& network,
                       const NetworkProfile& profile,
                       const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) Fatal("cannot open trace file: " + path);
-  const std::string json = ChromeTraceJson(network, profile);
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
+  const Status status = BuildWriter(network, profile).WriteFile(path);
+  if (!status.ok()) Fatal(status.message());
 }
 
 }  // namespace gpuperf::gpuexec

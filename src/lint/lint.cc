@@ -235,6 +235,7 @@ constexpr char kRuleRawRandom[] = "raw-random";
 constexpr char kRuleFatalInLib[] = "fatal-in-lib";
 constexpr char kRuleUnorderedOrder[] = "unordered-order";
 constexpr char kRuleRawMutex[] = "raw-mutex";
+constexpr char kRuleRawCounter[] = "raw-counter";
 
 /**
  * Files where `Fatal(` is sanctioned: the legacy convenience APIs that
@@ -341,6 +342,84 @@ std::vector<Finding> CheckRawMutex(const std::string& path,
       }
       pos = joined.find(token, pos + 1);
     }
+  }
+  return findings;
+}
+
+/**
+ * True when `arg` (the template argument of a std::atomic<...>, spaces
+ * removed, `std::` prefixes stripped) is an integral counter-ish type.
+ * bool, pointers, and function-pointer types are not counters and stay
+ * legal raw atomics.
+ */
+bool IsIntegralAtomicArg(const std::string& arg) {
+  static const std::set<std::string>* const kIntegral =
+      new std::set<std::string>{
+          "int",      "unsigned",  "unsignedint",  "long",
+          "unsignedlong", "longlong", "unsignedlonglong",
+          "short",    "unsignedshort", "size_t",   "ptrdiff_t",
+          "int8_t",   "int16_t",   "int32_t",      "int64_t",
+          "uint8_t",  "uint16_t",  "uint32_t",     "uint64_t",
+          "intptr_t", "uintptr_t",
+      };
+  return kIntegral->count(arg) > 0;
+}
+
+std::vector<Finding> CheckRawCounter(
+    const std::string& path, const std::string& joined,
+    const std::vector<std::size_t>& line_starts) {
+  std::vector<Finding> findings;
+  // The registry's own cells are the one sanctioned implementation.
+  if (path.find("obs/") != std::string::npos) return findings;
+  const std::string token = "std::atomic";
+  std::size_t pos = joined.find(token);
+  while (pos != std::string::npos) {
+    const bool start_ok = pos == 0 || !IsIdentChar(joined[pos - 1]);
+    std::size_t at = pos + token.size();
+    if (!start_ok || at >= joined.size() || joined[at] != '<') {
+      pos = joined.find(token, pos + 1);
+      continue;
+    }
+    // Extract the balanced <...> argument and normalize it.
+    int depth = 0;
+    std::string arg;
+    while (at < joined.size()) {
+      const char c = joined[at];
+      if (c == '<') {
+        ++depth;
+        if (depth == 1) {
+          ++at;
+          continue;
+        }
+      }
+      if (c == '>') {
+        --depth;
+        if (depth == 0) break;
+      }
+      arg += c;
+      ++at;
+    }
+    if (at < joined.size() && depth == 0) {
+      std::string normalized;
+      for (char c : arg) {
+        if (!std::isspace(static_cast<unsigned char>(c))) normalized += c;
+      }
+      std::size_t std_prefix = normalized.find("std::");
+      while (std_prefix != std::string::npos) {
+        normalized.erase(std_prefix, 5);
+        std_prefix = normalized.find("std::");
+      }
+      if (IsIntegralAtomicArg(normalized)) {
+        findings.push_back(
+            {LineAt(line_starts, pos),
+             "raw 'std::atomic<" + normalized +
+                 ">' counter: route it through obs::MetricsRegistry "
+                 "(obs/metrics_registry.h) so it appears in --metrics-out "
+                 "snapshots; a deliberate non-metric atomic takes a "
+                 "gpuperf-lint: allow(raw-counter) comment"});
+      }
+    }
+    pos = joined.find(token, pos + 1);
   }
   return findings;
 }
@@ -489,7 +568,8 @@ std::string FormatViolation(const Violation& violation) {
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string>* const kNames =
       new std::vector<std::string>{kRuleRawRandom, kRuleFatalInLib,
-                                   kRuleUnorderedOrder, kRuleRawMutex};
+                                   kRuleUnorderedOrder, kRuleRawMutex,
+                                   kRuleRawCounter};
   return *kNames;
 }
 
@@ -517,6 +597,9 @@ std::vector<Violation> LintContent(const std::string& path,
   }
   for (Finding& f : CheckRawMutex(path, joined, line_starts)) {
     all.emplace_back(kRuleRawMutex, std::move(f));
+  }
+  for (Finding& f : CheckRawCounter(path, joined, line_starts)) {
+    all.emplace_back(kRuleRawCounter, std::move(f));
   }
 
   std::vector<Violation> violations;

@@ -30,6 +30,10 @@
  *                    outside common/synchronization.h: use the annotated
  *                    wrappers so Clang thread-safety analysis sees every
  *                    lock acquisition.
+ *  - `raw-counter`   `std::atomic<integral>` outside src/obs/: ad-hoc
+ *                    counters are invisible to --metrics-out snapshots;
+ *                    route them through obs::MetricsRegistry. Atomics of
+ *                    bool, pointers, or function pointers are fine.
  *
  * Escape hatch: `// gpuperf-lint: allow(rule-a, rule-b)` suppresses the
  * listed rules on its own line, or on the next line when the comment

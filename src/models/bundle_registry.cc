@@ -3,11 +3,34 @@
 #include <cmath>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "gpuexec/gpu_spec.h"
 #include "models/model_io.h"
+#include "obs/metrics_registry.h"
 
 namespace gpuperf::models {
+namespace {
+
+/** Process-wide lifecycle counters, aggregated across every registry. */
+struct BundleMetrics {
+  obs::Counter& promotions;
+  obs::Counter& rejections;
+  obs::Counter& rollbacks;
+
+  static BundleMetrics& Get() {
+    static BundleMetrics* const kMetrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new BundleMetrics{
+          registry.counter("gpuperf_bundle_promotions"),
+          registry.counter("gpuperf_bundle_rejections"),
+          registry.counter("gpuperf_bundle_rollbacks")};
+    }();
+    return *kMetrics;
+  }
+};
+
+}  // namespace
 
 Status BundleRegistry::RunCanary(const KwModel& candidate,
                                  const KwModel* current,
@@ -70,6 +93,9 @@ Status BundleRegistry::TryPromote(const std::string& directory,
   // serving readers while the candidate is validated.
   StatusOr<KwModel> loaded = ModelIo::LoadKw(directory);
   if (!loaded.ok()) {
+    BundleMetrics::Get().rejections.Increment();
+    LogDebug("bundle rejected", {{"directory", directory},
+                                 {"reason", "load-failed"}});
     SharedMutexLock lock(mu_);
     ++counters_.rejections;
     return Status(loaded.status())
@@ -80,15 +106,23 @@ Status BundleRegistry::TryPromote(const std::string& directory,
   std::shared_ptr<const KwModel> current = Snapshot();
   Status canary = RunCanary(*candidate, current.get(), options);
   if (!canary.ok()) {
+    BundleMetrics::Get().rejections.Increment();
+    LogDebug("bundle rejected", {{"directory", directory},
+                                 {"reason", "canary-failed"}});
     SharedMutexLock lock(mu_);
     ++counters_.rejections;
     return canary.Annotate("candidate bundle '" + directory + "' rejected");
   }
+  BundleMetrics::Get().promotions.Increment();
   SharedMutexLock lock(mu_);
   previous_ = std::move(current_);
   current_ = std::move(candidate);
   ++counters_.generation;
   ++counters_.promotions;
+  LogDebug("bundle promoted",
+           {{"directory", directory},
+            {"generation", Format("%lld", static_cast<long long>(
+                                              counters_.generation))}});
   return Status::Ok();
 }
 
@@ -107,6 +141,10 @@ Status BundleRegistry::Rollback() {
   previous_ = nullptr;
   ++counters_.generation;
   ++counters_.rollbacks;
+  BundleMetrics::Get().rollbacks.Increment();
+  LogDebug("bundle rolled back",
+           {{"generation", Format("%lld", static_cast<long long>(
+                                              counters_.generation))}});
   return Status::Ok();
 }
 

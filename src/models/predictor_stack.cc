@@ -4,6 +4,29 @@
 #include <utility>
 
 namespace gpuperf::models {
+namespace {
+
+/** Process-wide tier counters, aggregated across every stack. */
+struct PredictorMetrics {
+  obs::Counter& kw_hits;
+  obs::Counter& lw_fallbacks;
+  obs::Counter& e2e_fallbacks;
+  obs::Counter& unanswered;
+
+  static PredictorMetrics& Get() {
+    static PredictorMetrics* const kMetrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new PredictorMetrics{
+          registry.counter("gpuperf_predictor_kw_hits"),
+          registry.counter("gpuperf_predictor_lw_fallbacks"),
+          registry.counter("gpuperf_predictor_e2e_fallbacks"),
+          registry.counter("gpuperf_predictor_unanswered")};
+    }();
+    return *kMetrics;
+  }
+};
+
+}  // namespace
 
 const char* PredictorTierName(PredictorTier tier) {
   switch (tier) {
@@ -47,22 +70,27 @@ StatusOr<double> PredictorStack::TryPredictUs(const dnn::Network& network,
                                               std::int64_t batch,
                                               PredictorTier* tier) const {
   if (tier != nullptr) *tier = PredictorTier::kNone;
+  PredictorMetrics& global = PredictorMetrics::Get();
   if (kw_ != nullptr && kw_->CoverageFor(network, gpu.name).Full()) {
-    kw_hits_.fetch_add(1, std::memory_order_relaxed);
+    kw_hits_.Increment();
+    global.kw_hits.Increment();
     if (tier != nullptr) *tier = PredictorTier::kKw;
     return kw_->PredictUs(network, gpu, batch);
   }
   if (lw_.has_value() && lw_gpus_.count(gpu.name) > 0) {
-    lw_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    lw_fallbacks_.Increment();
+    global.lw_fallbacks.Increment();
     if (tier != nullptr) *tier = PredictorTier::kLw;
     return lw_->PredictUs(network, gpu, batch);
   }
   if (e2e_.has_value() && e2e_->TryFitFor(gpu.name) != nullptr) {
-    e2e_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    e2e_fallbacks_.Increment();
+    global.e2e_fallbacks.Increment();
     if (tier != nullptr) *tier = PredictorTier::kE2e;
     return e2e_->PredictUs(network, gpu, batch);
   }
-  unanswered_.fetch_add(1, std::memory_order_relaxed);
+  unanswered_.Increment();
+  global.unanswered.Increment();
   return FailedPreconditionError(
       "no predictor tier covers network '" + network.name() + "' on GPU '" +
       gpu.name + "' (installed: " + (has_kw() ? "KW " : "") +
@@ -79,18 +107,18 @@ double PredictorStack::PredictUs(const dnn::Network& network,
 
 PredictorStackCounters PredictorStack::counters() const {
   PredictorStackCounters counters;
-  counters.kw_hits = kw_hits_.load(std::memory_order_relaxed);
-  counters.lw_fallbacks = lw_fallbacks_.load(std::memory_order_relaxed);
-  counters.e2e_fallbacks = e2e_fallbacks_.load(std::memory_order_relaxed);
-  counters.unanswered = unanswered_.load(std::memory_order_relaxed);
+  counters.kw_hits = kw_hits_.Value();
+  counters.lw_fallbacks = lw_fallbacks_.Value();
+  counters.e2e_fallbacks = e2e_fallbacks_.Value();
+  counters.unanswered = unanswered_.Value();
   return counters;
 }
 
 void PredictorStack::ResetCounters() {
-  kw_hits_.store(0, std::memory_order_relaxed);
-  lw_fallbacks_.store(0, std::memory_order_relaxed);
-  e2e_fallbacks_.store(0, std::memory_order_relaxed);
-  unanswered_.store(0, std::memory_order_relaxed);
+  kw_hits_.Reset();
+  lw_fallbacks_.Reset();
+  e2e_fallbacks_.Reset();
+  unanswered_.Reset();
 }
 
 }  // namespace gpuperf::models

@@ -20,7 +20,6 @@
  * never an abort.
  */
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -32,6 +31,7 @@
 #include "models/kw_model.h"
 #include "models/lw_model.h"
 #include "models/predictor.h"
+#include "obs/metrics_registry.h"
 
 namespace gpuperf::models {
 
@@ -100,7 +100,7 @@ class PredictorStack : public Predictor {
   /** Thread-safe counter snapshot. */
   PredictorStackCounters counters() const;
 
-  /** Zeroes the counters (e.g. between measurement windows). */
+  /** Zeroes this stack's counters (e.g. between measurement windows). */
   void ResetCounters();
 
  private:
@@ -111,10 +111,13 @@ class PredictorStack : public Predictor {
   std::optional<E2eModel> e2e_;
   std::set<std::string> lw_gpus_;  // GPUs the LW tier has fits for
 
-  mutable std::atomic<std::uint64_t> kw_hits_{0};
-  mutable std::atomic<std::uint64_t> lw_fallbacks_{0};
-  mutable std::atomic<std::uint64_t> e2e_fallbacks_{0};
-  mutable std::atomic<std::uint64_t> unanswered_{0};
+  // Per-instance counters (counters()/ResetCounters() are scoped to
+  // this stack); every query additionally bumps the process-wide
+  // `gpuperf_predictor_*` registry families.
+  mutable obs::Counter kw_hits_;
+  mutable obs::Counter lw_fallbacks_;
+  mutable obs::Counter e2e_fallbacks_;
+  mutable obs::Counter unanswered_;
 };
 
 }  // namespace gpuperf::models

@@ -1,0 +1,97 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace gpuperf::obs {
+
+std::string ChromeTraceWriter::JsonEscape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void ChromeTraceWriter::SetProcessName(int pid, const std::string& name) {
+  events_.push_back(Format(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+      "\"args\":{\"name\":\"%s\"}}",
+      pid, JsonEscape(name).c_str()));
+}
+
+void ChromeTraceWriter::SetThreadName(int pid, int tid,
+                                      const std::string& name) {
+  events_.push_back(Format(
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+      "\"args\":{\"name\":\"%s\"}}",
+      pid, tid, JsonEscape(name).c_str()));
+}
+
+void ChromeTraceWriter::AddComplete(const std::string& name,
+                                    const std::string& category, int pid,
+                                    int tid, double ts_us, double dur_us,
+                                    const std::string& args_json) {
+  events_.push_back(Format(
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%d,"
+      "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}",
+      JsonEscape(name).c_str(), JsonEscape(category).c_str(), pid, tid,
+      ts_us, dur_us, args_json.c_str()));
+}
+
+void ChromeTraceWriter::AddInstant(const std::string& name,
+                                   const std::string& category, int pid,
+                                   int tid, double ts_us,
+                                   const std::string& args_json) {
+  events_.push_back(Format(
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+      "\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"args\":{%s}}",
+      JsonEscape(name).c_str(), JsonEscape(category).c_str(), pid, tid,
+      ts_us, args_json.c_str()));
+}
+
+void ChromeTraceWriter::AddMetadata(const std::string& key,
+                                    const std::string& json_value) {
+  metadata_.emplace_back(key, json_value);
+}
+
+std::string ChromeTraceWriter::Json() const {
+  std::string json = "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    json += events_[i];
+    if (i + 1 < events_.size()) json += ",";
+    json += "\n";
+  }
+  json += "],\"displayTimeUnit\":\"ms\"";
+  if (!metadata_.empty()) {
+    json += ",\"metadata\":{";
+    for (std::size_t i = 0; i < metadata_.size(); ++i) {
+      if (i > 0) json += ",";
+      json += '"';
+      json += JsonEscape(metadata_[i].first);
+      json += "\":";
+      json += metadata_[i].second;
+    }
+    json += "}";
+  }
+  json += "}\n";
+  return json;
+}
+
+Status ChromeTraceWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return UnavailableError("cannot open trace file: " + path);
+  }
+  const std::string json = Json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    return UnavailableError("cannot write trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace gpuperf::obs

@@ -1,0 +1,257 @@
+#include "obs/metrics_registry.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace gpuperf::obs {
+namespace {
+
+// Fixed-point scale of Histogram::sum_fp_ (2^20): integer adds are
+// associative, so the accumulated sum is identical for every
+// interleaving of concurrent observers.
+constexpr double kSumScale = 1048576.0;
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/** Renders a bucket bound the way Prometheus labels do ("10", "0.5"). */
+std::string BoundLabel(double bound) { return Format("%g", bound); }
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(upper_bounds_.size() + 1) {
+  GP_CHECK(!upper_bounds_.empty()) << "histogram needs at least one bucket";
+  for (std::size_t i = 0; i < upper_bounds_.size(); ++i) {
+    GP_CHECK(std::isfinite(upper_bounds_[i]))
+        << "histogram bound " << i << " is not finite";
+    if (i > 0) {
+      GP_CHECK_LT(upper_bounds_[i - 1], upper_bounds_[i])
+          << "histogram bounds must be strictly ascending";
+    }
+  }
+}
+
+void Histogram::Observe(double value) {
+  GP_CHECK(std::isfinite(value))
+      << "histogram observation must be finite, got " << value;
+  std::size_t bucket = upper_bounds_.size();  // overflow by default
+  for (std::size_t i = 0; i < upper_bounds_.size(); ++i) {
+    if (value <= upper_bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_fp_.fetch_add(std::llround(value * kSumScale),
+                    std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+double Histogram::Sum() const {
+  return static_cast<double>(sum_fp_.load(std::memory_order_relaxed)) /
+         kSumScale;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_fp_.store(0, std::memory_order_relaxed);
+}
+
+/** One registered instrument; exactly one pointer is set, per `kind`. */
+struct MetricsRegistry::Entry {
+  enum Kind { kCounter = 0, kGauge = 1, kHistogram = 2 };
+  int kind = kCounter;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+
+  const char* KindName() const {
+    if (kind == kGauge) return "gauge";
+    if (kind == kHistogram) return "histogram";
+    return "counter";
+  }
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(const std::string& name,
+                                                      int kind) {
+  GP_CHECK(IsValidMetricName(name))
+      << "metric name '" << name
+      << "' must be lowercase [a-z0-9_] (convention: gpuperf_<area>_<name>)";
+  MutexLock lock(mu_);
+  auto [it, inserted] = entries_.emplace(name, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<Entry>();
+    it->second->kind = kind;
+  } else {
+    GP_CHECK_EQ(it->second->kind, kind)
+        << "metric '" << name << "' is already registered as a "
+        << it->second->KindName();
+  }
+  return *it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Entry& entry = FindOrCreate(name, Entry::kCounter);
+  if (entry.counter == nullptr) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Entry& entry = FindOrCreate(name, Entry::kGauge);
+  if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  Entry& entry = FindOrCreate(name, Entry::kHistogram);
+  if (entry.histogram == nullptr) {
+    entry.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  } else {
+    GP_CHECK(entry.histogram->upper_bounds() == upper_bounds)
+        << "histogram '" << name
+        << "' re-registered with different bucket bounds";
+  }
+  return *entry.histogram;
+}
+
+std::string MetricsRegistry::CsvSnapshot() const {
+  std::string out = "metric,type,field,value\n";
+  MutexLock lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    if (entry->kind == Entry::kCounter) {
+      out += Format("%s,counter,value,%llu\n", name.c_str(),
+                    (unsigned long long)entry->counter->Value());
+    } else if (entry->kind == Entry::kGauge) {
+      out += Format("%s,gauge,value,%lld\n", name.c_str(),
+                    (long long)entry->gauge->Value());
+    } else {
+      const Histogram& h = *entry->histogram;
+      const std::vector<std::uint64_t> counts = h.BucketCounts();
+      const std::vector<double>& bounds = h.upper_bounds();
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        out += Format("%s,histogram,bucket_le_%s,%llu\n", name.c_str(),
+                      BoundLabel(bounds[i]).c_str(),
+                      (unsigned long long)counts[i]);
+      }
+      out += Format("%s,histogram,bucket_le_+Inf,%llu\n", name.c_str(),
+                    (unsigned long long)counts.back());
+      out += Format("%s,histogram,count,%llu\n", name.c_str(),
+                    (unsigned long long)h.Count());
+      out += Format("%s,histogram,sum,%g\n", name.c_str(), h.Sum());
+      for (double p : {50.0, 95.0, 99.0}) {
+        out += Format("%s,histogram,p%.0f,%g\n", name.c_str(), p,
+                      HistogramQuantile(bounds, counts, p));
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusSnapshot() const {
+  std::string out;
+  MutexLock lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    out += Format("# TYPE %s %s\n", name.c_str(), entry->KindName());
+    if (entry->kind == Entry::kCounter) {
+      out += Format("%s %llu\n", name.c_str(),
+                    (unsigned long long)entry->counter->Value());
+    } else if (entry->kind == Entry::kGauge) {
+      out += Format("%s %lld\n", name.c_str(),
+                    (long long)entry->gauge->Value());
+    } else {
+      const Histogram& h = *entry->histogram;
+      const std::vector<std::uint64_t> counts = h.BucketCounts();
+      const std::vector<double>& bounds = h.upper_bounds();
+      // Prometheus buckets are cumulative ("le" semantics).
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        cumulative += counts[i];
+        out += Format("%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+                      BoundLabel(bounds[i]).c_str(),
+                      (unsigned long long)cumulative);
+      }
+      cumulative += counts.back();
+      out += Format("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                    (unsigned long long)cumulative);
+      out += Format("%s_sum %g\n", name.c_str(), h.Sum());
+      out += Format("%s_count %llu\n", name.c_str(),
+                    (unsigned long long)h.Count());
+    }
+  }
+  return out;
+}
+
+Status MetricsRegistry::WriteSnapshot(const std::string& path) const {
+  const bool prometheus =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  const std::string snapshot =
+      prometheus ? PrometheusSnapshot() : CsvSnapshot();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return UnavailableError("cannot open metrics file: " + path);
+  }
+  const std::size_t written =
+      std::fwrite(snapshot.data(), 1, snapshot.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != snapshot.size() || !closed) {
+    return UnavailableError("cannot write metrics file: " + path);
+  }
+  return Status::Ok();
+}
+
+void MetricsRegistry::ResetAll() {
+  MutexLock lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    if (entry->counter != nullptr) entry->counter->Reset();
+    if (entry->gauge != nullptr) entry->gauge->Reset();
+    if (entry->histogram != nullptr) entry->histogram->Reset();
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const kRegistry = new MetricsRegistry();
+  return *kRegistry;
+}
+
+namespace {
+Gauge* queue_depth_gauge = nullptr;
+}  // namespace
+
+void InstallProcessMetrics() {
+  queue_depth_gauge =
+      &MetricsRegistry::Global().gauge("gpuperf_threadpool_queue_depth");
+  ThreadPool::SetQueueDepthObserver(
+      [](long long delta) { queue_depth_gauge->Add(delta); });
+}
+
+}  // namespace gpuperf::obs

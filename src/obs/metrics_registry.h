@@ -1,0 +1,185 @@
+#ifndef GPUPERF_OBS_METRICS_REGISTRY_H_
+#define GPUPERF_OBS_METRICS_REGISTRY_H_
+
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * fixed-bucket histograms.
+ *
+ * Design rules (DESIGN.md §10):
+ *  - The hot path is lock-free: Increment/Add/Observe touch only
+ *    relaxed atomics. Registration (name -> instrument) takes a Mutex,
+ *    so call sites cache the returned reference (a static-local struct
+ *    of references per module is the idiom — see simsys/serving.cc).
+ *  - Instruments are never destroyed: the reference returned by
+ *    counter()/gauge()/histogram() stays valid for the process
+ *    lifetime, which is what makes caching it safe.
+ *  - Snapshots are deterministic: instruments are stored in a sorted
+ *    std::map, so CSV and Prometheus exports list families in name
+ *    order regardless of registration order, and a histogram's sum is
+ *    accumulated in fixed-point so concurrent observation order cannot
+ *    perturb the exported bytes (snapshots of the same totals are
+ *    bit-identical for every --jobs value).
+ *  - Names follow `gpuperf_<area>_<name>`, lowercase [a-z0-9_].
+ *
+ * The standalone cell types (Counter, Gauge, Histogram) are also the
+ * blessed representation for per-instance counters (e.g.
+ * models::PredictorStack) — the `raw-counter` lint rule flags ad-hoc
+ * std::atomic integer counters outside src/obs/ so instrumentation
+ * converges here instead of re-fragmenting.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/synchronization.h"
+
+namespace gpuperf::obs {
+
+/** A monotonically increasing event count. Lock-free. */
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /** Zeroes the counter (tests and sweep boundaries). */
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/** A value that can go up and down (queue depths, levels). Lock-free. */
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * A fixed-bucket histogram. Bucket i counts observations with
+ * upper_bounds[i-1] < v <= upper_bounds[i]; a final overflow bucket
+ * (+Inf) catches everything above the last bound, so BucketCounts()
+ * has upper_bounds().size() + 1 entries.
+ *
+ * Observe() is lock-free. The running sum is accumulated in 2^-20
+ * fixed-point units so integer adds — associative, unlike floating
+ * adds — keep Sum() bit-identical regardless of the order concurrent
+ * observers land (resolution ~1e-6, range ~±8.8e12).
+ */
+class Histogram {
+ public:
+  /** `upper_bounds` must be finite, strictly ascending, non-empty. */
+  explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /** Records one finite observation (non-finite is a CHECK failure). */
+  void Observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /** Per-bucket counts; entry upper_bounds().size() is the overflow. */
+  std::vector<std::uint64_t> BucketCounts() const;
+  std::uint64_t Count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const;
+  void Reset();
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_fp_{0};  // fixed-point, 2^-20 units
+};
+
+/**
+ * The name -> instrument directory. A name registers exactly one kind;
+ * re-requesting an existing name returns the same instrument (same
+ * address), and requesting it as a different kind — or a histogram
+ * with different bounds — is a programmer-error CHECK.
+ */
+class MetricsRegistry {
+ public:
+  // Both out-of-line: Entry is incomplete here, and the defaulted
+  // constructor/destructor need its definition.
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  /**
+   * Deterministic CSV snapshot, families sorted by name. Columns:
+   * `metric,type,field,value`; histogram rows list per-bucket counts
+   * (`bucket_le_<bound>`, then `bucket_le_+Inf`), `count`, `sum`, and
+   * interpolated `p50`/`p95`/`p99` (stats::HistogramQuantile).
+   */
+  std::string CsvSnapshot() const;
+
+  /** Prometheus text exposition format, families sorted by name. */
+  std::string PrometheusSnapshot() const;
+
+  /**
+   * Writes a snapshot to `path`: Prometheus text when the path ends in
+   * `.prom`, CSV otherwise. Unwritable path is an Unavailable error.
+   */
+  [[nodiscard]] Status WriteSnapshot(const std::string& path) const;
+
+  /** Zeroes every instrument (tests and sweep boundaries). */
+  void ResetAll();
+
+  /** The process-wide registry all gpuperf instrumentation shares. */
+  static MetricsRegistry& Global();
+
+ private:
+  struct Entry;
+
+  Entry& FindOrCreate(const std::string& name, int kind);
+
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_ GP_GUARDED_BY(mu_);
+};
+
+/**
+ * Binds process-level instrumentation hooks to the global registry —
+ * currently the ThreadPool queue-depth observer feeding
+ * `gpuperf_threadpool_queue_depth`. Idempotent; call once at process
+ * start (gpuperf_cli and build_database do).
+ */
+void InstallProcessMetrics();
+
+}  // namespace gpuperf::obs
+
+#endif  // GPUPERF_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,43 @@
+#include "obs/span_tracer.h"
+
+#include <utility>
+
+namespace gpuperf::obs {
+
+void SpanTracer::SetTrackName(int track, const std::string& name) {
+  track_names_[track] = name;
+}
+
+void SpanTracer::Span(int track, const std::string& name,
+                      const std::string& category, double start_us,
+                      double end_us, std::string args_json) {
+  events_.push_back(Event{/*instant=*/false, track, name, category, start_us,
+                          end_us, std::move(args_json)});
+}
+
+void SpanTracer::Instant(int track, const std::string& name,
+                         const std::string& category, double ts_us,
+                         std::string args_json) {
+  events_.push_back(Event{/*instant=*/true, track, name, category, ts_us,
+                          ts_us, std::move(args_json)});
+}
+
+void SpanTracer::AppendTo(ChromeTraceWriter* writer, int pid,
+                          const std::string& process_name) const {
+  writer->SetProcessName(pid, process_name);
+  for (const auto& [track, name] : track_names_) {
+    writer->SetThreadName(pid, track, name);
+  }
+  for (const Event& event : events_) {
+    if (event.instant) {
+      writer->AddInstant(event.name, event.category, pid, event.track,
+                         event.start_us, event.args_json);
+    } else {
+      writer->AddComplete(event.name, event.category, pid, event.track,
+                          event.start_us, event.end_us - event.start_us,
+                          event.args_json);
+    }
+  }
+}
+
+}  // namespace gpuperf::obs

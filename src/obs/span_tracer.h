@@ -1,0 +1,72 @@
+#ifndef GPUPERF_OBS_SPAN_TRACER_H_
+#define GPUPERF_OBS_SPAN_TRACER_H_
+
+/**
+ * @file
+ * Sim-time span recording for the serving simulator.
+ *
+ * A SpanTracer buffers lifecycle events — dispatch/service spans,
+ * shed/drop/retry/breaker-open instants — stamped with *simulated*
+ * microseconds (EventQueue time), not wall-clock time, so a trace of a
+ * deterministic simulation is itself deterministic.
+ *
+ * NOT thread-safe by design: the intended use is one tracer per grid
+ * cell (each cell simulates single-threaded), merged serially in cell
+ * order via AppendTo() after the parallel loop — the same pre-sized
+ * per-slot + serial-merge pattern every deterministic parallel path in
+ * this repo uses, which keeps the exported Chrome-trace JSON
+ * bit-identical across `--jobs` values.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+
+namespace gpuperf::obs {
+
+/** Buffers sim-time spans/instants for one single-threaded producer. */
+class SpanTracer {
+ public:
+  /** Names a track (rendered as a Chrome-trace thread). */
+  void SetTrackName(int track, const std::string& name);
+
+  /** A span [start_us, end_us] on `track`, in sim microseconds. */
+  void Span(int track, const std::string& name, const std::string& category,
+            double start_us, double end_us, std::string args_json = "");
+
+  /** A point event on `track` at sim time `ts_us`. */
+  void Instant(int track, const std::string& name,
+               const std::string& category, double ts_us,
+               std::string args_json = "");
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /**
+   * Appends this tracer to `writer` as Chrome-trace process `pid`
+   * named `process_name`: track-name metadata first (sorted by track),
+   * then the events in recording order.
+   */
+  void AppendTo(ChromeTraceWriter* writer, int pid,
+                const std::string& process_name) const;
+
+ private:
+  struct Event {
+    bool instant = false;
+    int track = 0;
+    std::string name;
+    std::string category;
+    double start_us = 0;
+    double end_us = 0;
+    std::string args_json;
+  };
+
+  std::vector<Event> events_;
+  std::map<int, std::string> track_names_;
+};
+
+}  // namespace gpuperf::obs
+
+#endif  // GPUPERF_OBS_SPAN_TRACER_H_

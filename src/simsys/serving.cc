@@ -9,39 +9,96 @@
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/string_util.h"
-#include "common/synchronization.h"
 #include "common/thread_pool.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_tracer.h"
 #include "simsys/event_queue.h"
 
 namespace gpuperf::simsys {
 
 namespace {
 
-// Process-wide observability counters; bumped by every successful
-// simulation, possibly from many grid threads at once.
-Mutex counters_mu;
-ServingCounters counters GP_GUARDED_BY(counters_mu);
+/**
+ * The serving module's registry instruments, resolved once (name
+ * lookup takes the registry Mutex) and bumped lock-free afterwards —
+ * possibly from many grid threads at once. Naming per DESIGN.md §10:
+ * gpuperf_serving_<name>.
+ */
+struct ServingMetrics {
+  obs::Counter& simulations;
+  obs::Counter& jobs_arrived;
+  obs::Counter& jobs_completed;
+  obs::Counter& jobs_dropped;
+  obs::Counter& jobs_shed;
+  obs::Counter& retries;
+  obs::Counter& breaker_opens;
+  obs::Counter& deadline_misses;
+  obs::Histogram& latency_ms;
 
-void RecordSimulation(const ServingResult& result) {
-  MutexLock lock(counters_mu);
-  ++counters.simulations;
-  counters.jobs_completed += static_cast<std::uint64_t>(result.completed);
-  counters.jobs_dropped += static_cast<std::uint64_t>(result.dropped);
-  counters.jobs_shed += static_cast<std::uint64_t>(result.shed_on_admission);
-  counters.retries += static_cast<std::uint64_t>(result.retries);
-  counters.breaker_opens += static_cast<std::uint64_t>(result.breaker_opens);
+  static ServingMetrics& Get() {
+    static ServingMetrics* const kMetrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new ServingMetrics{
+          registry.counter("gpuperf_serving_simulations"),
+          registry.counter("gpuperf_serving_jobs_arrived"),
+          registry.counter("gpuperf_serving_jobs_completed"),
+          registry.counter("gpuperf_serving_jobs_dropped"),
+          registry.counter("gpuperf_serving_jobs_shed"),
+          registry.counter("gpuperf_serving_retries"),
+          registry.counter("gpuperf_serving_breaker_opens"),
+          registry.counter("gpuperf_serving_deadline_misses"),
+          registry.histogram("gpuperf_serving_latency_ms",
+                             {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000})};
+    }();
+    return *kMetrics;
+  }
+};
+
+void RecordSimulation(const ServingResult& result,
+                      const std::vector<double>& latencies_ms) {
+  ServingMetrics& metrics = ServingMetrics::Get();
+  metrics.simulations.Increment();
+  metrics.jobs_arrived.Increment(static_cast<std::uint64_t>(
+      result.completed + result.dropped + result.shed_on_admission));
+  metrics.jobs_completed.Increment(
+      static_cast<std::uint64_t>(result.completed));
+  metrics.jobs_dropped.Increment(static_cast<std::uint64_t>(result.dropped));
+  metrics.jobs_shed.Increment(
+      static_cast<std::uint64_t>(result.shed_on_admission));
+  metrics.retries.Increment(static_cast<std::uint64_t>(result.retries));
+  metrics.breaker_opens.Increment(
+      static_cast<std::uint64_t>(result.breaker_opens));
+  metrics.deadline_misses.Increment(
+      static_cast<std::uint64_t>(result.deadline_misses));
+  for (double latency : latencies_ms) metrics.latency_ms.Observe(latency);
 }
 
 }  // namespace
 
 ServingCounters SnapshotServingCounters() {
-  MutexLock lock(counters_mu);
+  const ServingMetrics& metrics = ServingMetrics::Get();
+  ServingCounters counters;
+  counters.simulations = metrics.simulations.Value();
+  counters.jobs_arrived = metrics.jobs_arrived.Value();
+  counters.jobs_completed = metrics.jobs_completed.Value();
+  counters.jobs_dropped = metrics.jobs_dropped.Value();
+  counters.jobs_shed = metrics.jobs_shed.Value();
+  counters.retries = metrics.retries.Value();
+  counters.breaker_opens = metrics.breaker_opens.Value();
   return counters;
 }
 
 void ResetServingCounters() {
-  MutexLock lock(counters_mu);
-  counters = ServingCounters();
+  ServingMetrics& metrics = ServingMetrics::Get();
+  metrics.simulations.Reset();
+  metrics.jobs_arrived.Reset();
+  metrics.jobs_completed.Reset();
+  metrics.jobs_dropped.Reset();
+  metrics.jobs_shed.Reset();
+  metrics.retries.Reset();
+  metrics.breaker_opens.Reset();
+  metrics.deadline_misses.Reset();
+  metrics.latency_ms.Reset();
 }
 
 std::string DispatchPolicyName(DispatchPolicy policy) {
@@ -81,6 +138,12 @@ struct Sim {
   std::vector<CircuitBreaker> breakers;
   std::vector<double> latencies_ms;
   int round_robin_next = 0;
+
+  // Optional sim-time lifecycle recording; null = tracing off. Track 0
+  // is the dispatcher (shed/drop/retry instants), track g+1 is GPU g
+  // (queue-wait and service spans). Purely observational: no branch in
+  // the simulation ever reads tracer state.
+  obs::SpanTracer* tracer = nullptr;
 
   int retries = 0;
   int dropped = 0;
@@ -206,32 +269,53 @@ struct Sim {
     return PickOutcome::kPoolDown;
   }
 
+  /** args body shared by every trace event of one job attempt. */
+  std::string TraceArgs(std::size_t id, std::size_t job, int attempt) const {
+    return Format("\"id\":%zu,\"job\":%zu,\"attempt\":%d", id, job, attempt);
+  }
+
   /** Drops the job or schedules its next attempt after the backoff. */
-  void RetryOrDrop(std::size_t job, double arrival, int attempt) {
+  void RetryOrDrop(std::size_t id, std::size_t job, double arrival,
+                   int attempt) {
     if (attempt >= config.retry.max_retries) {
       ++dropped;
+      if (tracer != nullptr) {
+        tracer->Instant(0, "drop", "retry", queue.NowUs(),
+                        TraceArgs(id, job, attempt));
+      }
       return;
     }
     ++retries;
     const double at = queue.NowUs() + RetryDelayUs(attempt);
-    queue.Schedule(at, [this, job, arrival, attempt] {
-      Dispatch(job, arrival, attempt + 1);
+    if (tracer != nullptr) {
+      tracer->Instant(
+          0, "retry", "retry", queue.NowUs(),
+          TraceArgs(id, job, attempt) + Format(",\"next_at_us\":%.3f", at));
+    }
+    queue.Schedule(at, [this, id, job, arrival, attempt] {
+      Dispatch(id, job, arrival, attempt + 1);
     });
   }
 
   /** One dispatch attempt of `job` (attempt 0 = first try). */
-  void Dispatch(std::size_t job, double arrival, int attempt) {
+  void Dispatch(std::size_t id, std::size_t job, double arrival,
+                int attempt) {
     std::size_t target = 0;
     bool degraded_decision = false;
     switch (PickTarget(job, &target, &degraded_decision)) {
       case PickOutcome::kPoolDown:
         // Whole pool down: detection timeout + backoff, like a failure.
-        RetryOrDrop(job, arrival, attempt);
+        RetryOrDrop(id, job, arrival, attempt);
         return;
       case PickOutcome::kQueueFull:
         // Admission control: every live queue is at capacity. Shedding
         // now is cheaper than queueing into a deadline miss.
         ++shed;
+        if (tracer != nullptr) {
+          tracer->Instant(0, "shed", "admission", queue.NowUs(),
+                          TraceArgs(id, job, attempt) +
+                              ",\"reason\":\"queue-full\"");
+        }
         return;
       case PickOutcome::kOk:
         break;
@@ -249,6 +333,11 @@ struct Sim {
           1e3;
       if (predicted_latency_ms > config.slo_ms) {
         ++shed;
+        if (tracer != nullptr) {
+          tracer->Instant(0, "shed", "admission", now,
+                          TraceArgs(id, job, attempt) +
+                              ",\"reason\":\"predicted-slo-miss\"");
+        }
         return;
       }
     }
@@ -264,6 +353,11 @@ struct Sim {
           std::max(gpu_predicted_free[target], now) + predicted[job][target];
     }
     ++gpu_outstanding[target];
+    const int track = static_cast<int>(target) + 1;
+    if (tracer != nullptr && start > now) {
+      tracer->Span(track, "queued", "queue", now, start,
+                   TraceArgs(id, job, attempt));
+    }
 
     const DownInterval* outage =
         plan.FirstOutageIn(target, start, start + service);
@@ -273,16 +367,33 @@ struct Sim {
       const double fail = std::max(start, outage->down_us);
       gpu_busy[target] += fail - start;
       gpu_free[target] = fail;
-      queue.Schedule(fail, [this, job, arrival, attempt, target] {
+      if (tracer != nullptr) {
+        tracer->Span(
+            track, Format("job %zu", job), "service", start, fail,
+            TraceArgs(id, job, attempt) + ",\"outcome\":\"failed\"");
+      }
+      queue.Schedule(fail, [this, id, job, arrival, attempt, target] {
         --gpu_outstanding[target];
+        const std::int64_t opens_before = breakers[target].opens();
         breakers[target].OnFailure(queue.NowUs());
-        RetryOrDrop(job, arrival, attempt);
+        if (tracer != nullptr && breakers[target].opens() > opens_before) {
+          tracer->Instant(static_cast<int>(target) + 1, "breaker-open",
+                          "breaker", queue.NowUs(),
+                          TraceArgs(id, job, attempt));
+        }
+        RetryOrDrop(id, job, arrival, attempt);
       });
       return;
     }
 
     gpu_free[target] = start + service;
     gpu_busy[target] += service;
+    if (tracer != nullptr) {
+      tracer->Span(track, Format("job %zu", job), "service", start,
+                   start + service,
+                   TraceArgs(id, job, attempt) +
+                       Format(",\"wait_us\":%.3f", start - now));
+    }
     queue.Schedule(gpu_free[target], [this, arrival, target] {
       const double latency_ms = (queue.NowUs() - arrival) / 1e3;
       latencies_ms.push_back(latency_ms);
@@ -432,7 +543,8 @@ Status ValidateInputs(const std::vector<std::vector<double>>& true_service_us,
 StatusOr<ServingResult> SimulateServing(
     const std::vector<std::vector<double>>& true_service_us,
     const std::vector<std::vector<double>>& predicted_service_us,
-    const std::vector<double>& job_mix, const ServingConfig& config) {
+    const std::vector<double>& job_mix, const ServingConfig& config,
+    obs::SpanTracer* tracer) {
   GP_RETURN_IF_ERROR(ValidateInputs(true_service_us, predicted_service_us,
                                     job_mix, config));
   const std::size_t gpus = true_service_us[0].size();
@@ -440,12 +552,20 @@ StatusOr<ServingResult> SimulateServing(
 
   Sim sim(true_service_us, predicted_service_us, config, gpus,
           FaultPlan(gpus, horizon_us, config.faults));
+  sim.tracer = tracer;
+  if (tracer != nullptr) {
+    tracer->SetTrackName(0, "dispatcher");
+    for (std::size_t g = 0; g < gpus; ++g) {
+      tracer->SetTrackName(static_cast<int>(g) + 1, Format("gpu %zu", g));
+    }
+  }
 
   double mix_total = 0;
   for (double w : job_mix) mix_total += w;
 
   Rng rng(config.seed);
   double next_arrival = 0;
+  std::size_t next_id = 0;
   while (true) {
     // Exponential inter-arrival times.
     next_arrival +=
@@ -461,8 +581,9 @@ StatusOr<ServingResult> SimulateServing(
     }
 
     const double arrival = next_arrival;
-    sim.queue.Schedule(arrival, [&sim, job, arrival] {
-      sim.Dispatch(job, arrival, /*attempt=*/0);
+    const std::size_t id = next_id++;
+    sim.queue.Schedule(arrival, [&sim, id, job, arrival] {
+      sim.Dispatch(id, job, arrival, /*attempt=*/0);
     });
   }
   sim.queue.Run();
@@ -498,7 +619,7 @@ StatusOr<ServingResult> SimulateServing(
     result.gpu_utilization.push_back(sim.gpu_busy[g] / end);
     result.gpu_availability.push_back(sim.plan.Availability(g));
   }
-  RecordSimulation(result);
+  RecordSimulation(result, sim.latencies_ms);
   return result;
 }
 
@@ -506,9 +627,15 @@ std::vector<StatusOr<ServingResult>> SimulateServingGrid(
     const std::vector<std::vector<double>>& true_service_us,
     const std::vector<std::vector<double>>& predicted_service_us,
     const std::vector<double>& job_mix, const ServingConfig& base_config,
-    const std::vector<ServingGridCell>& cells, int jobs) {
+    const std::vector<ServingGridCell>& cells, int jobs,
+    obs::ChromeTraceWriter* trace_out) {
   std::vector<StatusOr<ServingResult>> results(
       cells.size(), InternalError("simulation did not run"));
+  // Per-cell tracers recorded in parallel, merged serially below — the
+  // same pre-sized-slot pattern as `results`, so the trace bytes never
+  // depend on `jobs`.
+  std::vector<obs::SpanTracer> tracers(
+      trace_out != nullptr ? cells.size() : 0);
   ThreadPool pool(jobs);
   pool.ParallelFor(cells.size(), [&](std::size_t i) {
     ServingConfig config = base_config;
@@ -516,8 +643,16 @@ std::vector<StatusOr<ServingResult>> SimulateServingGrid(
     config.seed = cells[i].seed;
     config.faults.seed = cells[i].seed;
     results[i] =
-        SimulateServing(true_service_us, predicted_service_us, job_mix, config);
+        SimulateServing(true_service_us, predicted_service_us, job_mix,
+                        config, trace_out != nullptr ? &tracers[i] : nullptr);
   });
+  for (std::size_t i = 0; i < tracers.size(); ++i) {
+    tracers[i].AppendTo(
+        trace_out, static_cast<int>(i) + 1,
+        Format("cell %zu: %s seed %llu", i,
+               DispatchPolicyName(cells[i].policy).c_str(),
+               (unsigned long long)cells[i].seed));
+  }
   return results;
 }
 

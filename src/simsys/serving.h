@@ -42,6 +42,11 @@
 #include "common/fault_injection.h"
 #include "common/status.h"
 
+namespace gpuperf::obs {
+class ChromeTraceWriter;
+class SpanTracer;
+}  // namespace gpuperf::obs
+
 namespace gpuperf::simsys {
 
 /** How arrivals are assigned to GPUs. */
@@ -114,11 +119,18 @@ struct ServingResult {
  *
  * Malformed inputs (empty pool, shape mismatch, non-positive rate,
  * non-finite service times, ...) are InvalidArgument errors, not aborts.
+ *
+ * When `tracer` is non-null, per-job lifecycle events are recorded in
+ * sim time: queue-wait and service spans per GPU track, plus
+ * shed/drop/retry/breaker-open instants on the dispatcher track. The
+ * tracer is single-threaded state owned by this one simulation (one
+ * per grid cell); tracing never changes the simulation result.
  */
 [[nodiscard]] StatusOr<ServingResult> SimulateServing(
     const std::vector<std::vector<double>>& true_service_us,
     const std::vector<std::vector<double>>& predicted_service_us,
-    const std::vector<double>& job_mix, const ServingConfig& config);
+    const std::vector<double>& job_mix, const ServingConfig& config,
+    obs::SpanTracer* tracer = nullptr);
 
 /** One cell of a (policy, seed) simulation grid. */
 struct ServingGridCell {
@@ -133,21 +145,37 @@ struct ServingGridCell {
  * in pre-sized per-cell slots, so entry i is bit-identical for every
  * `jobs` value; a failing cell carries its own Status instead of
  * poisoning the rest of the grid.
+ *
+ * When `trace_out` is non-null, each cell records into its own
+ * obs::SpanTracer and the tracers are appended to `trace_out` serially
+ * in cell order after the parallel loop (cell i = trace process i+1),
+ * so the exported Chrome-trace JSON is bit-identical for every `jobs`
+ * value.
  */
 [[nodiscard]] std::vector<StatusOr<ServingResult>> SimulateServingGrid(
     const std::vector<std::vector<double>>& true_service_us,
     const std::vector<std::vector<double>>& predicted_service_us,
     const std::vector<double>& job_mix, const ServingConfig& base_config,
-    const std::vector<ServingGridCell>& cells, int jobs);
+    const std::vector<ServingGridCell>& cells, int jobs,
+    obs::ChromeTraceWriter* trace_out = nullptr);
 
 /**
  * Cumulative process-wide serving observability counters, aggregated
- * across every SimulateServing call (including concurrent grid runs; the
- * accumulator is mutex-guarded). Counters never influence simulation
- * results — they exist so a long sweep can be monitored cheaply.
+ * across every SimulateServing call (including concurrent grid runs).
+ * Counters never influence simulation results — they exist so a long
+ * sweep can be monitored cheaply.
+ *
+ * DEPRECATED: this struct and the Snapshot/Reset pair below are thin
+ * compatibility shims over the `gpuperf_serving_*` families in
+ * obs::MetricsRegistry::Global() — new code should read the registry
+ * directly (it additionally has `gpuperf_serving_jobs_arrived`,
+ * `gpuperf_serving_deadline_misses`, and the
+ * `gpuperf_serving_latency_ms` histogram). The shim is kept
+ * API-compatible for one release and will then be removed.
  */
 struct ServingCounters {
   std::uint64_t simulations = 0;    // successful SimulateServing returns
+  std::uint64_t jobs_arrived = 0;   // completed + dropped + shed
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_dropped = 0;
   std::uint64_t jobs_shed = 0;      // admission-control rejections
@@ -155,10 +183,17 @@ struct ServingCounters {
   std::uint64_t breaker_opens = 0;  // circuit-breaker trips
 };
 
-/** A consistent snapshot of the global counters. */
+/**
+ * DEPRECATED shim: reads the `gpuperf_serving_*` registry counters.
+ * Each field is individually atomic; quiesce the pool before relying
+ * on cross-field invariants (grid tests do).
+ */
 ServingCounters SnapshotServingCounters();
 
-/** Zeroes the global counters (tests and sweep boundaries). */
+/**
+ * DEPRECATED shim: zeroes the `gpuperf_serving_*` registry counters
+ * (tests and sweep boundaries). Leaves other registry families alone.
+ */
 void ResetServingCounters();
 
 }  // namespace gpuperf::simsys

@@ -204,7 +204,7 @@ TEST(BundleRegistryTest, SwappingGenerationsUnderConcurrentReadersIsClean) {
   constexpr int kReaders = 3;
   constexpr int kSwaps = 6;
   std::atomic<bool> done{false};
-  std::atomic<int> failures{0};
+  std::atomic<int> failures{0};  // gpuperf-lint: allow(raw-counter)
 
   ThreadPool pool(kReaders + 1);
   pool.ParallelFor(kReaders + 1, [&](std::size_t task) {

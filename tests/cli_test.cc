@@ -10,6 +10,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,14 @@ CliResult RunCli(const std::string& args) {
   const int status = pclose(pipe);
   if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
   return result;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return "";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
 }
 
 int CountLines(const std::string& text) {
@@ -186,6 +196,56 @@ TEST(CliTest, ServeSimRunsWithAllOverloadFeaturesEnabled) {
     EXPECT_NE(r.output.find(column), std::string::npos)
         << "missing column " << column << ":\n" << r.output;
   }
+}
+
+TEST(CliTest, ServeSimWritesMetricsAndTraceFiles) {
+  const std::string dir = ::testing::TempDir();
+  const std::string metrics = dir + "/cli_serve_metrics.csv";
+  const std::string prom = dir + "/cli_serve_metrics.prom";
+  const std::string trace = dir + "/cli_serve_trace.json";
+  const CliResult r = RunCli(
+      "serve-sim --duration 1 --rate 80 --networks resnet18 "
+      "--metrics-out \"" + metrics + "\" --trace-out \"" + trace + "\"");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+
+  const std::string csv = ReadFileOrEmpty(metrics);
+  EXPECT_EQ(csv.rfind("metric,type,field,value\n", 0), 0u) << csv;
+  EXPECT_NE(csv.find("gpuperf_serving_jobs_arrived,"), std::string::npos);
+  EXPECT_NE(csv.find("gpuperf_serving_latency_ms,histogram,"),
+            std::string::npos);
+
+  const std::string json = ReadFileOrEmpty(trace);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[\n", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+
+  // A .prom extension switches the snapshot to Prometheus text.
+  const CliResult r2 = RunCli(
+      "serve-sim --duration 1 --rate 80 --networks resnet18 "
+      "--metrics-out \"" + prom + "\"");
+  EXPECT_EQ(r2.exit_code, 0) << r2.output;
+  EXPECT_EQ(ReadFileOrEmpty(prom).rfind("# TYPE ", 0), 0u);
+
+  std::remove(metrics.c_str());
+  std::remove(prom.c_str());
+  std::remove(trace.c_str());
+}
+
+TEST(CliTest, UnwritableMetricsOrTracePathExitsOneWithOneLineError) {
+  const CliResult metrics = RunCli(
+      "serve-sim --duration 1 --rate 80 --networks resnet18 "
+      "--metrics-out /nonexistent-gpuperf-dir/m.csv");
+  EXPECT_EQ(metrics.exit_code, 1);
+  EXPECT_NE(metrics.output.find("gpuperf: cannot open metrics file: "
+                                "/nonexistent-gpuperf-dir/m.csv\n"),
+            std::string::npos)
+      << metrics.output;
+
+  const CliResult trace = RunCli(
+      "serve-sim --duration 1 --rate 80 --networks resnet18 "
+      "--trace-out /nonexistent-gpuperf-dir/t.json");
+  EXPECT_EQ(trace.exit_code, 1);
+  EXPECT_NE(trace.output.find("cannot open trace file"), std::string::npos)
+      << trace.output;
 }
 
 }  // namespace

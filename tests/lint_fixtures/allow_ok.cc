@@ -1,5 +1,6 @@
 // Fixture: the allow() escape hatch — every violation from the other
 // fixtures, each suppressed. Expected: zero violations.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -17,6 +18,9 @@ void Explode() { gpuperf::Fatal("no error channel here, reviewed"); }
 // Multiple rules in one directive.
 // gpuperf-lint: allow(raw-mutex, raw-random)
 std::mutex mu;
+
+// A deliberate non-metric atomic (not observable state, never exported).
+std::atomic<int> scratch_counter{0};  // gpuperf-lint: allow(raw-counter)
 
 std::unordered_map<int, int> histogram;
 void Accumulate() {

@@ -1,0 +1,15 @@
+// Fixture: raw-counter — ad-hoc std::atomic integral counters instead
+// of obs::MetricsRegistry instruments. Expected violations: lines 8, 9,
+// 10, 11; the bool, pointer, and function-pointer atomics are legal.
+#include <atomic>
+#include <cstdint>
+
+struct Stats {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<int> misses{0};
+  std::atomic<unsigned long long> bytes{0};
+  std::atomic<std::size_t> depth{0};
+  std::atomic<bool> enabled{false};
+  std::atomic<void*> slot{nullptr};
+  std::atomic<void (*)(int)> hook{nullptr};
+};

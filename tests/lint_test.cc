@@ -72,6 +72,16 @@ TEST(LintTest, RawMutexFixture) {
             }));
 }
 
+TEST(LintTest, RawCounterFixture) {
+  EXPECT_EQ(LintFixture("raw_counter_bad.cc"),
+            (std::vector<std::string>{
+                Prefix("raw_counter_bad.cc", 8, "raw-counter"),
+                Prefix("raw_counter_bad.cc", 9, "raw-counter"),
+                Prefix("raw_counter_bad.cc", 10, "raw-counter"),
+                Prefix("raw_counter_bad.cc", 11, "raw-counter"),
+            }));
+}
+
 TEST(LintTest, SplitDeclarationUsesPairedHeader) {
   EXPECT_EQ(LintFixture("split_decl_bad.cc"),
             (std::vector<std::string>{
@@ -94,8 +104,9 @@ TEST(LintTest, WholeFixtureDirectoryIsDeterministic) {
   for (std::size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(FormatViolation(first[i]), FormatViolation(second[i]));
   }
-  // 4 + 1 + 2 + 4 + 1 known-bad findings, none from the allow fixture.
-  EXPECT_EQ(first.size(), 12u);
+  // 4 + 1 + 2 + 4 + 4 + 1 known-bad findings, none from the allow
+  // fixture.
+  EXPECT_EQ(first.size(), 16u);
 }
 
 TEST(LintTest, FormatIsMachineReadable) {
@@ -106,7 +117,8 @@ TEST(LintTest, FormatIsMachineReadable) {
 TEST(LintTest, RuleNamesAreStable) {
   EXPECT_EQ(RuleNames(),
             (std::vector<std::string>{"raw-random", "fatal-in-lib",
-                                      "unordered-order", "raw-mutex"}));
+                                      "unordered-order", "raw-mutex",
+                                      "raw-counter"}));
 }
 
 TEST(LintTest, StringsAndCommentsAreInvisible) {
@@ -163,6 +175,24 @@ TEST(LintTest, MissingPathIsAnErrorNotAViolation) {
   EXPECT_FALSE(LintPaths({"/nonexistent/gpuperf"}, &violations, &error));
   EXPECT_NE(error.find("/nonexistent/gpuperf"), std::string::npos);
   EXPECT_TRUE(violations.empty());
+}
+
+TEST(LintTest, ObsModuleIsExemptFromRawCounter) {
+  const std::string code = "std::atomic<std::uint64_t> value_{0};\n";
+  EXPECT_TRUE(LintContent("src/obs/metrics_registry.h", code).empty());
+  const std::vector<Violation> violations =
+      LintContent("src/simsys/serving.cc", code);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "raw-counter");
+}
+
+TEST(LintTest, NonIntegralAtomicsAreNotCounters) {
+  const std::string code =
+      "std::atomic<bool> flag{false};\n"
+      "std::atomic<double> level{0.0};\n"
+      "std::atomic<Node*> head{nullptr};\n"
+      "std::atomic<void (*)(long long)> observer{nullptr};\n";
+  EXPECT_TRUE(LintContent("src/simsys/serving.cc", code).empty());
 }
 
 TEST(LintTest, MemberAccessNamedLikeClockIsNotFlagged) {

@@ -1,9 +1,45 @@
 #include "common/logging.h"
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace gpuperf {
 namespace {
+
+// Sink/clock injection for exact-line assertions. LogSink is a plain
+// function pointer, so captured lines land in a static vector.
+std::vector<std::pair<LogLevel, std::string>>& CapturedLines() {
+  static auto* const kLines =
+      new std::vector<std::pair<LogLevel, std::string>>();
+  return *kLines;
+}
+
+void CaptureSink(LogLevel level, const std::string& line) {
+  CapturedLines().emplace_back(level, line);
+}
+
+double FixedClock() { return 1.5; }
+
+class CapturedLoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CapturedLines().clear();
+    previous_sink_ = SetLogSinkForTest(&CaptureSink);
+    previous_clock_ = SetLogClockForTest(&FixedClock);
+  }
+  void TearDown() override {
+    SetLogSinkForTest(previous_sink_);
+    SetLogClockForTest(previous_clock_);
+    SetMinLogLevel(LogLevel::kInfo);
+  }
+
+ private:
+  LogSink previous_sink_ = nullptr;
+  LogClockFn previous_clock_ = nullptr;
+};
 
 TEST(CheckTest, PassingCheckDoesNothing) {
   GP_CHECK(true);
@@ -44,6 +80,71 @@ TEST(FatalDeathTest, FatalExitsWithStatusOne) {
 TEST(LoggingTest, InfoAndWarnDoNotTerminate) {
   LogInfo("informational");
   LogWarn("warning");
+}
+
+TEST_F(CapturedLoggingTest, StructuredLineIsExact) {
+  LogInfo("bundle promoted", {{"generation", "3"}, {"directory", "b0"}});
+  ASSERT_EQ(CapturedLines().size(), 1u);
+  EXPECT_EQ(CapturedLines()[0].first, LogLevel::kInfo);
+  EXPECT_EQ(CapturedLines()[0].second,
+            "[gpuperf INFO 1.500s] bundle promoted generation=3 directory=b0");
+}
+
+TEST_F(CapturedLoggingTest, AmbiguousFieldValuesAreQuoted) {
+  LogWarn("probe",
+          {{"spaced", "a b"},
+           {"quoted", "say \"hi\""},
+           {"equals", "k=v"},
+           {"backslash", "a\\b"},
+           {"empty", ""}});
+  ASSERT_EQ(CapturedLines().size(), 1u);
+  EXPECT_EQ(CapturedLines()[0].second,
+            "[gpuperf WARN 1.500s] probe spaced=\"a b\" "
+            "quoted=\"say \\\"hi\\\"\" equals=\"k=v\" "
+            "backslash=\"a\\\\b\" empty=\"\"");
+}
+
+TEST_F(CapturedLoggingTest, DebugIsFilteredAtDefaultLevel) {
+  LogDebug("invisible");
+  EXPECT_TRUE(CapturedLines().empty());
+  SetMinLogLevel(LogLevel::kDebug);
+  LogDebug("visible", {{"k", "v"}});
+  ASSERT_EQ(CapturedLines().size(), 1u);
+  EXPECT_EQ(CapturedLines()[0].second, "[gpuperf DEBUG 1.500s] visible k=v");
+}
+
+TEST_F(CapturedLoggingTest, RaisingTheLevelSilencesInfoAndWarn) {
+  SetMinLogLevel(LogLevel::kError);
+  LogInfo("dropped");
+  LogWarn("dropped too");
+  EXPECT_TRUE(CapturedLines().empty());
+}
+
+TEST(ParseLogLevelTest, RecognizesLevelsCaseInsensitively) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(internal::ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(internal::ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(internal::ParseLogLevel("Warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(internal::ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(ParseLogLevelTest, RejectsGarbageWithoutTouchingTheLevel) {
+  LogLevel level = LogLevel::kWarn;
+  EXPECT_FALSE(internal::ParseLogLevel(nullptr, &level));
+  EXPECT_FALSE(internal::ParseLogLevel("", &level));
+  EXPECT_FALSE(internal::ParseLogLevel("verbose", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+}
+
+TEST(LogLevelNameTest, TagsAreStable) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
 }
 
 // CHECK must work inside unbraced if/else (the operator&= trick).

@@ -1,0 +1,250 @@
+#include "obs/metrics_registry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace gpuperf::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndReset) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Add(3);
+  EXPECT_EQ(gauge.Value(), 10);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0);
+}
+
+TEST(HistogramTest, BucketsObservationsByUpperBound) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // bucket 0
+  histogram.Observe(1.0);    // bucket 0 (le semantics: v <= bound)
+  histogram.Observe(5.0);    // bucket 1
+  histogram.Observe(100.0);  // bucket 2
+  histogram.Observe(250.0);  // overflow
+  EXPECT_EQ(histogram.BucketCounts(),
+            (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(histogram.Count(), 5u);
+  EXPECT_NEAR(histogram.Sum(), 356.5, 1e-5);
+}
+
+TEST(HistogramTest, SumIsExactInFixedPoint) {
+  // 2^-20 fixed-point: a value on the grid round-trips exactly, so two
+  // histograms fed the same observations in any order agree bit-for-bit.
+  Histogram a({100.0}), b({100.0});
+  const std::vector<double> values = {0.25, 1.5, 3.75, 90.0625};
+  for (double v : values) a.Observe(v);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) b.Observe(*it);
+  EXPECT_EQ(a.Sum(), b.Sum());
+  EXPECT_EQ(a.Sum(), 95.5625);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram histogram({1.0, 2.0});
+  histogram.Observe(0.5);
+  histogram.Observe(5.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.Sum(), 0.0);
+  EXPECT_EQ(histogram.BucketCounts(), (std::vector<std::uint64_t>{0, 0, 0}));
+}
+
+TEST(HistogramDeathTest, RejectsNonFiniteObservations) {
+  Histogram histogram({1.0});
+  EXPECT_DEATH(histogram.Observe(std::nan("")), "must be finite");
+  EXPECT_DEATH(histogram.Observe(1.0 / 0.0), "must be finite");
+}
+
+TEST(HistogramDeathTest, RejectsBadBounds) {
+  EXPECT_DEATH(Histogram({}), "at least one bucket");
+  EXPECT_DEATH(Histogram({1.0, 1.0}), "strictly ascending");
+  EXPECT_DEATH(Histogram({2.0, 1.0}), "strictly ascending");
+  EXPECT_DEATH(Histogram({1.0 / 0.0}), "not finite");
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("gpuperf_test_events");
+  Counter& b = registry.counter("gpuperf_test_events");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.Value(), 1u);
+}
+
+TEST(MetricsRegistryDeathTest, KindMismatchIsAProgrammerError) {
+  MetricsRegistry registry;
+  registry.counter("gpuperf_test_events");
+  EXPECT_DEATH(registry.gauge("gpuperf_test_events"),
+               "already registered as a counter");
+  EXPECT_DEATH(registry.histogram("gpuperf_test_events", {1.0}),
+               "already registered as a counter");
+}
+
+TEST(MetricsRegistryDeathTest, HistogramBoundsMismatchIsAProgrammerError) {
+  MetricsRegistry registry;
+  registry.histogram("gpuperf_test_latency", {1.0, 2.0});
+  EXPECT_DEATH(registry.histogram("gpuperf_test_latency", {1.0, 3.0}),
+               "different bucket bounds");
+}
+
+TEST(MetricsRegistryDeathTest, NamesMustFollowTheConvention) {
+  MetricsRegistry registry;
+  EXPECT_DEATH(registry.counter(""), "lowercase");
+  EXPECT_DEATH(registry.counter("Gpuperf_Events"), "lowercase");
+  EXPECT_DEATH(registry.counter("gpuperf-events"), "lowercase");
+}
+
+TEST(MetricsRegistryTest, CsvSnapshotIsGoldenAndSorted) {
+  MetricsRegistry registry;
+  // Register in non-sorted order; the snapshot must sort by name.
+  registry.gauge("gpuperf_test_depth").Set(-2);
+  registry.counter("gpuperf_test_events").Increment(3);
+  Histogram& h = registry.histogram("gpuperf_test_latency_ms", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(0.5);
+  h.Observe(4.0);
+  h.Observe(20.0);
+  EXPECT_EQ(registry.CsvSnapshot(),
+            "metric,type,field,value\n"
+            "gpuperf_test_depth,gauge,value,-2\n"
+            "gpuperf_test_events,counter,value,3\n"
+            "gpuperf_test_latency_ms,histogram,bucket_le_1,2\n"
+            "gpuperf_test_latency_ms,histogram,bucket_le_10,1\n"
+            "gpuperf_test_latency_ms,histogram,bucket_le_+Inf,1\n"
+            "gpuperf_test_latency_ms,histogram,count,4\n"
+            "gpuperf_test_latency_ms,histogram,sum,25\n"
+            "gpuperf_test_latency_ms,histogram,p50,1\n"
+            "gpuperf_test_latency_ms,histogram,p95,10\n"
+            "gpuperf_test_latency_ms,histogram,p99,10\n");
+}
+
+TEST(MetricsRegistryTest, PrometheusSnapshotIsGoldenWithCumulativeBuckets) {
+  MetricsRegistry registry;
+  registry.counter("gpuperf_test_events").Increment(3);
+  registry.gauge("gpuperf_test_depth").Set(7);
+  Histogram& h = registry.histogram("gpuperf_test_latency_ms", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(4.0);
+  h.Observe(20.0);
+  EXPECT_EQ(registry.PrometheusSnapshot(),
+            "# TYPE gpuperf_test_depth gauge\n"
+            "gpuperf_test_depth 7\n"
+            "# TYPE gpuperf_test_events counter\n"
+            "gpuperf_test_events 3\n"
+            "# TYPE gpuperf_test_latency_ms histogram\n"
+            "gpuperf_test_latency_ms_bucket{le=\"1\"} 1\n"
+            "gpuperf_test_latency_ms_bucket{le=\"10\"} 2\n"
+            "gpuperf_test_latency_ms_bucket{le=\"+Inf\"} 3\n"
+            "gpuperf_test_latency_ms_sum 24.5\n"
+            "gpuperf_test_latency_ms_count 3\n");
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesEveryInstrument) {
+  MetricsRegistry registry;
+  registry.counter("gpuperf_test_events").Increment(5);
+  registry.gauge("gpuperf_test_depth").Set(5);
+  registry.histogram("gpuperf_test_latency_ms", {1.0}).Observe(0.5);
+  registry.ResetAll();
+  EXPECT_EQ(registry.counter("gpuperf_test_events").Value(), 0u);
+  EXPECT_EQ(registry.gauge("gpuperf_test_depth").Value(), 0);
+  EXPECT_EQ(registry.histogram("gpuperf_test_latency_ms", {1.0}).Count(), 0u);
+}
+
+TEST(MetricsRegistryTest, WriteSnapshotPicksFormatByExtension) {
+  MetricsRegistry registry;
+  registry.counter("gpuperf_test_events").Increment(2);
+  const std::string dir = ::testing::TempDir();
+  const std::string csv_path = dir + "/metrics_test_snapshot.csv";
+  const std::string prom_path = dir + "/metrics_test_snapshot.prom";
+  ASSERT_TRUE(registry.WriteSnapshot(csv_path).ok());
+  ASSERT_TRUE(registry.WriteSnapshot(prom_path).ok());
+  EXPECT_EQ(ReadFile(csv_path), registry.CsvSnapshot());
+  EXPECT_EQ(ReadFile(prom_path), registry.PrometheusSnapshot());
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(prom_path);
+}
+
+TEST(MetricsRegistryTest, WriteSnapshotToUnwritablePathIsAnError) {
+  MetricsRegistry registry;
+  const Status status =
+      registry.WriteSnapshot("/nonexistent-gpuperf-dir/metrics.csv");
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("cannot open metrics file"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("gpuperf_test_concurrent");
+  Histogram& histogram =
+      registry.histogram("gpuperf_test_concurrent_ms", {10.0, 100.0});
+  constexpr std::size_t kIters = 10000;
+  ThreadPool pool(4);
+  pool.ParallelFor(kIters, [&](std::size_t i) {
+    counter.Increment();
+    histogram.Observe(static_cast<double>(i % 128));
+  });
+  EXPECT_EQ(counter.Value(), kIters);
+  EXPECT_EQ(histogram.Count(), kIters);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : histogram.BucketCounts()) total += c;
+  EXPECT_EQ(total, kIters);
+}
+
+TEST(MetricsRegistryTest, SnapshotUnderConcurrentWritersIsWellFormed) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("gpuperf_test_live");
+  ThreadPool pool(4);
+  pool.ParallelFor(64, [&](std::size_t i) {
+    counter.Increment();
+    if (i % 8 == 0) {
+      const std::string snapshot = registry.CsvSnapshot();
+      EXPECT_EQ(snapshot.rfind("metric,type,field,value\n", 0), 0u);
+    }
+  });
+  EXPECT_EQ(counter.Value(), 64u);
+}
+
+TEST(MetricsRegistryTest, InstallProcessMetricsTracksQueueDepth) {
+  InstallProcessMetrics();
+  Gauge& depth =
+      MetricsRegistry::Global().gauge("gpuperf_threadpool_queue_depth");
+  {
+    ThreadPool pool(4);
+    pool.ParallelFor(256, [](std::size_t) {});
+  }
+  // Every enqueued helper task was dequeued: the gauge is balanced.
+  EXPECT_EQ(depth.Value(), 0);
+}
+
+}  // namespace
+}  // namespace gpuperf::obs

@@ -576,6 +576,26 @@ TEST(ServingTest, ShedJobsCountInGlobalCounters) {
   ResetServingCounters();
 }
 
+TEST(ServingTest, EveryArrivalIsAccountedFor) {
+  // The observability smoke-check invariant: every job that arrives is
+  // either completed, dropped, or shed — under faults, retries, bounded
+  // queues, and breakers all at once.
+  ResetServingCounters();
+  ServingConfig config = OverloadConfig(DispatchPolicy::kLeastOutstanding);
+  ServingResult result =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, config)
+          .value();
+  ServingCounters counters = SnapshotServingCounters();
+  EXPECT_GT(counters.jobs_arrived, 0u);
+  EXPECT_EQ(counters.jobs_arrived, counters.jobs_completed +
+                                       counters.jobs_dropped +
+                                       counters.jobs_shed);
+  EXPECT_EQ(counters.jobs_arrived,
+            static_cast<std::uint64_t>(result.completed + result.dropped +
+                                       result.shed_on_admission));
+  ResetServingCounters();
+}
+
 TEST(ServingTest, FaultSweepIsBitIdenticalAcrossJobCounts) {
   // The satellite determinism guarantee: a sweep of fault-injected
   // simulations produces bit-identical results whether run on 1 thread

@@ -41,6 +41,53 @@ TEST(PercentileTest, UnsortedInputHandled) {
   EXPECT_DOUBLE_EQ(Percentile({30, 10, 20}, 50), 20);
 }
 
+TEST(PercentileTest, SingleElementIsEveryPercentile) {
+  EXPECT_DOUBLE_EQ(Percentile({42}, 0), 42);
+  EXPECT_DOUBLE_EQ(Percentile({42}, 50), 42);
+  EXPECT_DOUBLE_EQ(Percentile({42}, 100), 42);
+}
+
+TEST(PercentileDeathTest, EmptyInputIsError) {
+  EXPECT_DEATH(Percentile({}, 50), "check failed");
+}
+
+TEST(PercentileDeathTest, NanInputIsError) {
+  EXPECT_DEATH(Percentile({1.0, std::nan(""), 3.0}, 50), "NaN");
+}
+
+TEST(HistogramQuantileTest, InterpolatesInsideABucket) {
+  // 4 observations in (0, 10]: p50 sits at rank 2 of 4 -> half-way.
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0, 20.0}, {4, 0, 0}, 50), 5.0);
+  // rank 1 of 4 -> a quarter of the way through the first bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0, 20.0}, {4, 0, 0}, 25), 2.5);
+}
+
+TEST(HistogramQuantileTest, BucketBoundaries) {
+  // Rank exactly on a bucket's cumulative edge returns its upper bound.
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0, 20.0}, {2, 2, 0}, 50), 10.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0, 20.0}, {2, 2, 0}, 100), 20.0);
+  // p=0 lands in the first non-empty bucket at its lower edge.
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0, 20.0}, {0, 3, 0}, 0), 10.0);
+}
+
+TEST(HistogramQuantileTest, OverflowBucketClampsToLastBound) {
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0, 20.0}, {0, 0, 5}, 50), 20.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0, 20.0}, {1, 0, 3}, 99), 20.0);
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramIsZero) {
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0, 20.0}, {0, 0, 0}, 50), 0.0);
+}
+
+TEST(HistogramQuantileDeathTest, ShapeAndRangeAreChecked) {
+  EXPECT_DEATH(HistogramQuantile({}, {1}, 50), "check failed");
+  EXPECT_DEATH(HistogramQuantile({10.0}, {1}, 50), "check failed");
+  EXPECT_DEATH(HistogramQuantile({10.0}, {1, 1}, -1), "check failed");
+  EXPECT_DEATH(HistogramQuantile({10.0}, {1, 1}, 101), "check failed");
+  EXPECT_DEATH(HistogramQuantile({20.0, 10.0}, {1, 1, 1}, 50),
+               "check failed");
+}
+
 TEST(RelativeErrorTest, Symmetric) {
   EXPECT_DOUBLE_EQ(RelativeError(110, 100), 0.1);
   EXPECT_DOUBLE_EQ(RelativeError(90, 100), 0.1);

@@ -19,7 +19,7 @@ TEST(ThreadPoolTest, DefaultJobsIsAtLeastOne) {
 TEST(ThreadPoolTest, RunsEveryIterationExactlyOnce) {
   ThreadPool pool(4);
   constexpr std::size_t kN = 1000;
-  std::vector<std::atomic<int>> counts(kN);
+  std::vector<std::atomic<int>> counts(kN);  // gpuperf-lint: allow(raw-counter)
   pool.ParallelFor(kN, [&](std::size_t i) { counts[i].fetch_add(1); });
   for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1);
 }
@@ -68,7 +68,7 @@ TEST(ThreadPoolTest, PoolIsReusableAfterException) {
   EXPECT_THROW(pool.ParallelFor(
                    8, [](std::size_t) { throw std::runtime_error("x"); }),
                std::runtime_error);
-  std::atomic<int> sum{0};
+  std::atomic<int> sum{0};  // gpuperf-lint: allow(raw-counter)
   pool.ParallelFor(10, [&](std::size_t i) {
     sum.fetch_add(static_cast<int>(i));
   });
@@ -79,7 +79,7 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   ThreadPool pool(4);
   constexpr std::size_t kOuter = 16;
   constexpr std::size_t kInner = 32;
-  std::vector<std::atomic<int>> counts(kOuter);
+  std::vector<std::atomic<int>> counts(kOuter);  // gpuperf-lint: allow(raw-counter)
   pool.ParallelFor(kOuter, [&](std::size_t i) {
     // The nested loop shares the same pool; the outer worker itself
     // participates, so this completes even with every worker busy.
@@ -93,7 +93,7 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
 
 TEST(ThreadPoolTest, ManyMoreIterationsThanWorkers) {
   ThreadPool pool(2);
-  std::atomic<long> sum{0};
+  std::atomic<long> sum{0};  // gpuperf-lint: allow(raw-counter)
   constexpr long kN = 10000;
   pool.ParallelFor(kN, [&](std::size_t i) {
     sum.fetch_add(static_cast<long>(i));

@@ -43,6 +43,8 @@
 #include "models/lw_model.h"
 #include "models/bundle_registry.h"
 #include "models/model_io.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics_registry.h"
 #include "simsys/serving.h"
 #include "zoo/zoo.h"
 
@@ -154,6 +156,10 @@ constexpr char kServeSimUsage[] =
     "                 probing (default 1000)\n"
     "  --breaker-probes N       probe dispatches allowed half-open\n"
     "                 (default 1)\n"
+    "  --metrics-out PATH  write a gpuperf_* metrics snapshot after the\n"
+    "                 grid (.prom = Prometheus text, else CSV)\n"
+    "  --trace-out PATH    write a Chrome trace (chrome://tracing /\n"
+    "                 ui.perfetto.dev) of every job's lifecycle\n"
     "  --help         print this flag list and exit 0\n";
 constexpr char kBundleCheckUsage[] =
     "usage: gpuperf bundle-check --candidate DIR [options]\n"
@@ -504,7 +510,7 @@ int CmdServeSim(const Args& args) {
       {"model", "pool", "networks", "batch", "rate", "duration", "seed",
        "policy", "mtbf", "mttr", "retries", "runs", "jobs", "queue-cap",
        "slo-ms", "breaker-failures", "breaker-cooldown-ms",
-       "breaker-probes"});
+       "breaker-probes", "metrics-out", "trace-out"});
   if (!unknown.empty()) {
     return UsageError(kServeSimUsage, "unknown flag --" + unknown);
   }
@@ -702,9 +708,14 @@ int CmdServeSim(const Args& args) {
   base_config.breaker.failure_threshold = *breaker_failures;
   base_config.breaker.cooldown_ms = *breaker_cooldown;
   base_config.breaker.half_open_probes = *breaker_probes;
+
+  const std::string metrics_out = args.Get("metrics-out", "");
+  const std::string trace_out = args.Get("trace-out", "");
+  obs::ChromeTraceWriter trace_writer;
   const std::vector<StatusOr<simsys::ServingResult>> grid =
       simsys::SimulateServingGrid(truth, predicted, mix, base_config, cells,
-                                  *jobs);
+                                  *jobs,
+                                  trace_out.empty() ? nullptr : &trace_writer);
 
   TextTable table;
   table.SetHeader({"policy", "seed", "p50 (ms)", "p99 (ms)", "completed",
@@ -731,6 +742,15 @@ int CmdServeSim(const Args& args) {
   if (predicted.empty()) {
     std::printf("\n(no model bundle: predicted-least-load served every "
                 "decision via its least-outstanding fallback)\n");
+  }
+  if (!trace_out.empty()) {
+    const Status written = trace_writer.WriteFile(trace_out);
+    if (!written.ok()) return UserError(written);
+  }
+  if (!metrics_out.empty()) {
+    const Status written =
+        obs::MetricsRegistry::Global().WriteSnapshot(metrics_out);
+    if (!written.ok()) return UserError(written);
   }
   return 0;
 }
@@ -821,6 +841,7 @@ void Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::InstallProcessMetrics();
   if (argc < 2) {
     Usage();
     return 1;
