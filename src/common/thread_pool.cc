@@ -11,16 +11,19 @@ namespace {
 // queue-depth hook is what feeds the observability layer.
 std::atomic<ThreadPool::QueueDepthObserver> queue_depth_observer{nullptr};
 
+// Release/acquire pairing: whatever state the installer wrote before
+// SetQueueDepthObserver (e.g. the gauge pointer the observer
+// dereferences) is visible to any worker that loads the observer.
 void NotifyQueueDepth(long long delta) {
   const ThreadPool::QueueDepthObserver observer =
-      queue_depth_observer.load(std::memory_order_relaxed);
+      queue_depth_observer.load(std::memory_order_acquire);
   if (observer != nullptr) observer(delta);
 }
 
 }  // namespace
 
 void ThreadPool::SetQueueDepthObserver(QueueDepthObserver observer) {
-  queue_depth_observer.store(observer, std::memory_order_relaxed);
+  queue_depth_observer.store(observer, std::memory_order_release);
 }
 
 /** Shared state of one ParallelFor call. */
@@ -114,8 +117,11 @@ void ThreadPool::ParallelFor(std::size_t n,
     for (std::size_t i = 0; i < helpers; ++i) {
       queue_.emplace_back([state] { RunLoop(state); });
     }
+    // Report the enqueue before releasing the queue lock: a worker can
+    // only pop (and report -1) once the lock is dropped, so the
+    // observed depth never transiently goes negative.
+    NotifyQueueDepth(static_cast<long long>(helpers));
   }
-  NotifyQueueDepth(static_cast<long long>(helpers));
   queue_cv_.NotifyAll();
 
   // The calling thread works too; nested calls therefore never deadlock.

@@ -66,7 +66,10 @@ class ThreadPool {
    * dequeue. A plain function pointer (not std::function) so common/
    * stays independent of the obs/ layer that feeds the registry gauge —
    * obs::InstallProcessMetrics() binds it at process start. nullptr
-   * (the default) disables the hook.
+   * (the default) disables the hook. The +k call happens while the
+   * pool's queue lock is held (so depth can never be observed
+   * negative); the observer must therefore be non-blocking — an atomic
+   * gauge update, not something that takes locks.
    */
   using QueueDepthObserver = void (*)(long long delta);
   static void SetQueueDepthObserver(QueueDepthObserver observer);

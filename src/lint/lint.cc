@@ -365,12 +365,28 @@ bool IsIntegralAtomicArg(const std::string& arg) {
   return kIntegral->count(arg) > 0;
 }
 
+/**
+ * True when a directory component of `path` is exactly "obs" — the
+ * sanctioned instrument implementation lives in src/obs/. Component
+ * comparison, not substring: "src/jobs/x.cc" must not match.
+ */
+bool IsUnderObsDir(const std::string& path) {
+  std::size_t start = 0;
+  while (start < path.size()) {
+    std::size_t slash = path.find('/', start);
+    if (slash == std::string::npos) break;  // final component is the file
+    if (path.compare(start, slash - start, "obs") == 0) return true;
+    start = slash + 1;
+  }
+  return false;
+}
+
 std::vector<Finding> CheckRawCounter(
     const std::string& path, const std::string& joined,
     const std::vector<std::size_t>& line_starts) {
   std::vector<Finding> findings;
   // The registry's own cells are the one sanctioned implementation.
-  if (path.find("obs/") != std::string::npos) return findings;
+  if (IsUnderObsDir(path)) return findings;
   const std::string token = "std::atomic";
   std::size_t pos = joined.find(token);
   while (pos != std::string::npos) {

@@ -9,8 +9,31 @@ namespace gpuperf::obs {
 std::string ChromeTraceWriter::JsonEscape(const std::string& text) {
   std::string out;
   for (char c : text) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        // Remaining control characters are invalid raw inside a JSON
+        // string (chrome://tracing rejects the file); \u-escape them.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += Format("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out += c;
+        }
+    }
   }
   return out;
 }

@@ -101,16 +101,29 @@ struct MetricsRegistry::Entry {
 MetricsRegistry::MetricsRegistry() = default;
 MetricsRegistry::~MetricsRegistry() = default;
 
-MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(const std::string& name,
-                                                      int kind) {
+MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(
+    const std::string& name, int kind,
+    const std::vector<double>* upper_bounds) {
   GP_CHECK(IsValidMetricName(name))
       << "metric name '" << name
       << "' must be lowercase [a-z0-9_] (convention: gpuperf_<area>_<name>)";
   MutexLock lock(mu_);
   auto [it, inserted] = entries_.emplace(name, nullptr);
   if (inserted) {
-    it->second = std::make_unique<Entry>();
-    it->second->kind = kind;
+    // The instrument is constructed before the lock is dropped: two
+    // threads first-registering the same name serialize here, and a
+    // concurrent snapshot can never observe an entry whose instrument
+    // pointer is still null.
+    auto entry = std::make_unique<Entry>();
+    entry->kind = kind;
+    if (kind == Entry::kCounter) {
+      entry->counter = std::make_unique<Counter>();
+    } else if (kind == Entry::kGauge) {
+      entry->gauge = std::make_unique<Gauge>();
+    } else {
+      entry->histogram = std::make_unique<Histogram>(*upper_bounds);
+    }
+    it->second = std::move(entry);
   } else {
     GP_CHECK_EQ(it->second->kind, kind)
         << "metric '" << name << "' is already registered as a "
@@ -120,27 +133,19 @@ MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(const std::string& name,
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  Entry& entry = FindOrCreate(name, Entry::kCounter);
-  if (entry.counter == nullptr) entry.counter = std::make_unique<Counter>();
-  return *entry.counter;
+  return *FindOrCreate(name, Entry::kCounter, nullptr).counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  Entry& entry = FindOrCreate(name, Entry::kGauge);
-  if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
-  return *entry.gauge;
+  return *FindOrCreate(name, Entry::kGauge, nullptr).gauge;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> upper_bounds) {
-  Entry& entry = FindOrCreate(name, Entry::kHistogram);
-  if (entry.histogram == nullptr) {
-    entry.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
-  } else {
-    GP_CHECK(entry.histogram->upper_bounds() == upper_bounds)
-        << "histogram '" << name
-        << "' re-registered with different bucket bounds";
-  }
+  Entry& entry = FindOrCreate(name, Entry::kHistogram, &upper_bounds);
+  GP_CHECK(entry.histogram->upper_bounds() == upper_bounds)
+      << "histogram '" << name
+      << "' re-registered with different bucket bounds";
   return *entry.histogram;
 }
 

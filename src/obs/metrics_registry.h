@@ -166,7 +166,13 @@ class MetricsRegistry {
  private:
   struct Entry;
 
-  Entry& FindOrCreate(const std::string& name, int kind);
+  /**
+   * Looks up `name`, constructing the instrument (for histograms, from
+   * `*upper_bounds`) under `mu_` on first registration so concurrent
+   * registrations and snapshots never see a half-built entry.
+   */
+  Entry& FindOrCreate(const std::string& name, int kind,
+                      const std::vector<double>* upper_bounds);
 
   mutable Mutex mu_;
   std::map<std::string, std::unique_ptr<Entry>> entries_ GP_GUARDED_BY(mu_);

@@ -186,6 +186,18 @@ TEST(LintTest, ObsModuleIsExemptFromRawCounter) {
   EXPECT_EQ(violations[0].rule, "raw-counter");
 }
 
+TEST(LintTest, RawCounterExemptionMatchesObsComponentNotSubstring) {
+  const std::string code = "std::atomic<std::uint64_t> value_{0};\n";
+  // "jobs/" contains the substring "obs/" — only the exact "obs"
+  // directory component is exempt.
+  for (const char* path : {"src/jobs/worker.cc", "blobs/cache.cc"}) {
+    const std::vector<Violation> violations = LintContent(path, code);
+    ASSERT_EQ(violations.size(), 1u) << path;
+    EXPECT_EQ(violations[0].rule, "raw-counter");
+  }
+  EXPECT_TRUE(LintContent("/abs/path/src/obs/cells.h", code).empty());
+}
+
 TEST(LintTest, NonIntegralAtomicsAreNotCounters) {
   const std::string code =
       "std::atomic<bool> flag{false};\n"

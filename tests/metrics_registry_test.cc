@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 
 namespace gpuperf::obs {
@@ -232,6 +233,33 @@ TEST(MetricsRegistryTest, SnapshotUnderConcurrentWritersIsWellFormed) {
     }
   });
   EXPECT_EQ(counter.Value(), 64u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentFirstRegistrationIsSafe) {
+  // Every thread races to first-register the same names while others
+  // snapshot: the instrument must be fully built before the registry
+  // lock drops, so all threads get the same address and no snapshot
+  // sees a half-built entry (TSan-checked in the verify tier).
+  MetricsRegistry registry;
+  constexpr std::size_t kThreads = 8;
+  std::vector<Counter*> counters(kThreads, nullptr);
+  std::vector<Histogram*> histograms(kThreads, nullptr);
+  ThreadPool pool(static_cast<int>(kThreads));
+  pool.ParallelFor(kThreads, [&](std::size_t i) {
+    counters[i] = &registry.counter("gpuperf_test_race");
+    histograms[i] = &registry.histogram("gpuperf_test_race_ms", {1.0, 10.0});
+    registry.gauge(Format("gpuperf_test_race_gauge_%zu", i)).Set(1);
+    counters[i]->Increment();
+    histograms[i]->Observe(0.5);
+    const std::string snapshot = registry.CsvSnapshot();
+    EXPECT_EQ(snapshot.rfind("metric,type,field,value\n", 0), 0u);
+  });
+  for (std::size_t i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(counters[i], counters[0]);
+    EXPECT_EQ(histograms[i], histograms[0]);
+  }
+  EXPECT_EQ(counters[0]->Value(), kThreads);
+  EXPECT_EQ(histograms[0]->Count(), kThreads);
 }
 
 TEST(MetricsRegistryTest, InstallProcessMetricsTracksQueueDepth) {

@@ -1,5 +1,7 @@
 #include "models/model_io.h"
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -76,8 +78,11 @@ void Remanifest(const std::string& dir) {
 /** A pristine saved bundle, trained once per process. */
 const std::string& GoldenBundle() {
   static const std::string* const kDir = [] {
+    // Pid-suffixed: ctest runs each case as its own process, and two
+    // processes sharing one golden dir would race remove_all/reads.
     auto* dir = new std::string(
-        (std::filesystem::temp_directory_path() / "gpuperf_golden_bundle")
+        (std::filesystem::temp_directory_path() /
+         Format("gpuperf_model_io_golden_%d", static_cast<int>(getpid())))
             .string());
     std::filesystem::remove_all(*dir);
     std::filesystem::create_directories(*dir);
@@ -92,7 +97,9 @@ const std::string& GoldenBundle() {
 /** Copies the golden bundle into a scratch directory. */
 std::string ScratchBundle(const std::string& tag) {
   const std::string dir =
-      (std::filesystem::temp_directory_path() / ("gpuperf_corrupt_" + tag))
+      (std::filesystem::temp_directory_path() /
+       Format("gpuperf_corrupt_%s_%d", tag.c_str(),
+              static_cast<int>(getpid())))
           .string();
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);

@@ -43,6 +43,19 @@ TEST(ChromeTraceWriterTest, EscapesQuotesAndBackslashes) {
             std::string::npos);
 }
 
+TEST(ChromeTraceWriterTest, EscapesControlCharacters) {
+  // Raw control bytes inside a JSON string are invalid — Perfetto and
+  // chrome://tracing reject the whole file.
+  EXPECT_EQ(ChromeTraceWriter::JsonEscape("a\nb\rc\td"), "a\\nb\\rc\\td");
+  EXPECT_EQ(ChromeTraceWriter::JsonEscape(std::string("x\x01y\x1fz")),
+            "x\\u0001y\\u001fz");
+  ChromeTraceWriter writer;
+  writer.AddComplete("conv\n3x3", "layer", 1, 1, 0.0, 1.0);
+  const std::string json = writer.Json();
+  EXPECT_NE(json.find("\"name\":\"conv\\n3x3\""), std::string::npos);
+  EXPECT_EQ(json.find("conv\n3x3"), std::string::npos);
+}
+
 TEST(ChromeTraceWriterTest, EmptyWriterIsStillAValidDocument) {
   ChromeTraceWriter writer;
   EXPECT_EQ(writer.Json(),
