@@ -25,6 +25,7 @@
 #include "gpuexec/profiler.h"
 #include "models/kw_model.h"
 #include "simsys/serving.h"
+#include "simsys/serving_matrix.h"
 #include "zoo/zoo.h"
 
 using namespace gpuperf;
@@ -50,18 +51,25 @@ int main() {
   constexpr std::int64_t kBatch = 16;  // online micro-batches
 
   gpuexec::Profiler profiler(experiment.oracle());
+  std::vector<dnn::Network> networks;
+  std::vector<const gpuexec::GpuSpec*> pool;
+  for (const char* job : kJobs) networks.push_back(zoo::BuildByName(job));
+  for (const char* gpu_name : kPool) pool.push_back(&gpuexec::GpuByName(gpu_name));
+
   std::vector<std::vector<double>> truth, predicted;
-  for (const char* job : kJobs) {
-    dnn::Network network = zoo::BuildByName(job);
-    std::vector<double> t, p;
-    for (const char* gpu_name : kPool) {
-      const gpuexec::GpuSpec& gpu = gpuexec::GpuByName(gpu_name);
-      t.push_back(profiler.MeasureE2eUs(network, gpu, kBatch));
-      p.push_back(kw.PredictUs(network, gpu, kBatch));
+  for (const dnn::Network& network : networks) {
+    std::vector<double> t;
+    for (const gpuexec::GpuSpec* gpu : pool) {
+      t.push_back(profiler.MeasureE2eUs(network, *gpu, kBatch));
     }
     truth.push_back(std::move(t));
-    predicted.push_back(std::move(p));
   }
+  // The predicted matrix comes from one batched PredictMany sweep over
+  // compiled plans (the serving hot path), bit-identical to per-cell
+  // PredictUs calls.
+  simsys::ServingMatrixBuffer matrix_buffer;
+  simsys::FillPredictedServingMatrix(kw, networks, pool, kBatch,
+                                     matrix_buffer, predicted);
   const std::vector<double> mix = {4, 2, 1, 4, 1};  // request popularity
 
   TextTable table;

@@ -12,6 +12,7 @@
 #include "models/kw_model.h"
 #include "models/lw_model.h"
 #include "models/predictor_stack.h"
+#include "simsys/serving_matrix.h"
 #include "zoo/zoo.h"
 
 using namespace gpuperf;
@@ -65,6 +66,51 @@ void BM_KwPredictResnet50Cached(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KwPredictResnet50Cached);
+
+// The compiled-plan batched hot path (perf_gate.sh gates on this): 512
+// queries per sweep cycling the online batch sizes, answered by one
+// PredictMany call over the cached resnet50/A100 plan. items_per_second
+// is queries/s, so the gate's ns/query is 1e9 / items_per_second.
+void BM_PredictManyResnet50(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
+  constexpr std::int64_t kBatches[] = {1, 4, 16, 64};
+  std::vector<models::PredictQuery> queries(512);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    queries[i] = {&fixture.resnet50, &a100, kBatches[i % 4]};
+  }
+  std::vector<double> out(queries.size());
+  fixture.kw.PredictMany(queries, out);  // warm the plan cache
+  for (auto _ : state) {
+    fixture.kw.PredictMany(queries, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(queries.size()));
+}
+BENCHMARK(BM_PredictManyResnet50);
+
+// A full serving-matrix refresh (the zoo x pool grid the dispatcher
+// consumes): coverage pass + one PredictMany sweep + scatter.
+void BM_ServingMatrixFill(benchmark::State& state) {
+  const Fixture& fixture = Fixture::Get();
+  std::vector<const gpuexec::GpuSpec*> pool = {&gpuexec::GpuByName("A100")};
+  simsys::ServingMatrixBuffer buffer;
+  std::vector<std::vector<double>> predicted;
+  simsys::FillPredictedServingMatrix(fixture.kw, fixture.networks, pool, 16,
+                                     buffer, predicted);  // warm caches
+  for (auto _ : state) {
+    simsys::FillPredictedServingMatrix(fixture.kw, fixture.networks, pool,
+                                       16, buffer, predicted);
+    benchmark::DoNotOptimize(predicted.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(fixture.networks.size() * pool.size()));
+}
+BENCHMARK(BM_ServingMatrixFill);
 
 void BM_E2ePredictResnet50(benchmark::State& state) {
   const Fixture& fixture = Fixture::Get();

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Perf regression gate on the serving hot path: runs the
+# BM_PredictManyResnet50 microbenchmark (512 queries answered by one
+# compiled-plan PredictMany sweep) in a Release build and fails when the
+# amortized cost exceeds 2x the checked-in baseline.
+#
+# The baseline is deliberately loose — it is a regression tripwire for
+# "someone put a hash lookup / allocation back into the per-query loop"
+# (a >=10x slip), not a precision benchmark. Machine-to-machine noise of
+# tens of percent passes; reverting the plan compilation does not.
+#
+# Usage: scripts/perf_gate.sh [build_dir]
+# Override the threshold (ns/query) with GPUPERF_PERF_GATE_MAX_NS.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+# Reference: ~366 ns/query (Release, idle 8-core container). Gate at 2x.
+BASELINE_NS_PER_QUERY=400
+MAX_NS_PER_QUERY="${GPUPERF_PERF_GATE_MAX_NS:-$((BASELINE_NS_PER_QUERY * 2))}"
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j --target bench_speed_predictor >/dev/null
+
+ROW="$("./$BUILD/bench/bench_speed_predictor" \
+  --benchmark_filter='^BM_PredictManyResnet50$' \
+  --benchmark_min_time=0.5 \
+  --benchmark_format=csv 2>/dev/null | grep '^"BM_PredictManyResnet50"')"
+
+# CSV columns: name,iterations,real_time,cpu_time,time_unit,
+# bytes_per_second,items_per_second,... items_per_second is queries/s.
+NS_PER_QUERY="$(echo "$ROW" | awk -F, '{printf "%.0f", 1e9 / $7}')"
+
+echo "perf_gate: BM_PredictManyResnet50 ${NS_PER_QUERY} ns/query" \
+     "(baseline ${BASELINE_NS_PER_QUERY}, max ${MAX_NS_PER_QUERY})"
+if [ "$NS_PER_QUERY" -gt "$MAX_NS_PER_QUERY" ]; then
+  echo "perf_gate: FAIL — PredictMany regressed past 2x baseline" >&2
+  exit 1
+fi
+echo "perf_gate: OK"

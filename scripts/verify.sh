@@ -43,13 +43,17 @@ cmake --build "$BUILD" -j
 # Observability artifacts end to end: serve-sim writes a metrics
 # snapshot + Chrome trace, and the accounting invariant holds.
 scripts/obs_smoke.sh "./$BUILD/tools/gpuperf"
+# The serving hot path stays fast: PredictMany must hold 2x of the
+# checked-in ns/query baseline (catches reintroduced per-query lookups).
+scripts/perf_gate.sh "$BUILD"
 
 echo "== tier 2: concurrency tests under ThreadSanitizer =="
 TSAN_BUILD="${BUILD}-tsan"
 cmake -B "$TSAN_BUILD" -S . -DGPUPERF_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j --target \
   thread_pool_test parallel_build_test lowering_cache_test \
-  bundle_registry_test metrics_registry_test span_tracer_test
+  bundle_registry_test metrics_registry_test span_tracer_test \
+  prediction_plan_test
 "./$TSAN_BUILD/tests/thread_pool_test"
 "./$TSAN_BUILD/tests/parallel_build_test"
 "./$TSAN_BUILD/tests/lowering_cache_test"
@@ -59,6 +63,8 @@ cmake --build "$TSAN_BUILD" -j --target \
 "./$TSAN_BUILD/tests/metrics_registry_test"
 # Parallel grid tracing merged into one deterministic trace.
 "./$TSAN_BUILD/tests/span_tracer_test"
+# Concurrent PredictMany sweeps racing through plan-cache compiles.
+"./$TSAN_BUILD/tests/prediction_plan_test"
 
 echo "== tier 3: robustness tests under ASan+UBSan =="
 # The error-path tests exercise corrupt bundles, malformed CSVs, and

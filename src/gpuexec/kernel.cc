@@ -1,6 +1,7 @@
 #include "gpuexec/kernel.h"
 
 #include "common/logging.h"
+#include "dnn/flops.h"
 
 namespace gpuperf::gpuexec {
 
@@ -36,6 +37,17 @@ std::string CostDriverName(CostDriver driver) {
   }
   GP_CHECK(false) << "unhandled CostDriver";
   return "";
+}
+
+std::int64_t PerSampleDriverValue(const dnn::Layer& layer,
+                                  CostDriver driver) {
+  switch (driver) {
+    case CostDriver::kInput: return layer.InputElements();
+    case CostDriver::kOperation: return dnn::LayerFlops(layer, 1);
+    case CostDriver::kOutput: return layer.output.Elements();
+  }
+  GP_CHECK(false) << "unhandled CostDriver";
+  return 0;
 }
 
 std::int64_t KernelLaunch::DriverValue(CostDriver which) const {

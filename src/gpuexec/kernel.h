@@ -52,6 +52,16 @@ enum class CostDriver { kInput, kOperation, kOutput };
 /** Human-readable driver name ("input" / "operation" / "output"). */
 std::string CostDriverName(CostDriver driver);
 
+/**
+ * The driver's feature value for a single sample (batch 1) of `layer`:
+ * input NCHW, theoretical layer FLOPs, or output NCHW. Every driver is
+ * linear in batch with this as the per-sample factor — `batch * value`
+ * reproduces the batch-N feature exactly (in int64) — which is what
+ * lets a compiled prediction plan inline the feature at compile time
+ * and serve every batch size from one plan.
+ */
+std::int64_t PerSampleDriverValue(const dnn::Layer& layer, CostDriver driver);
+
 /** One GPU kernel invocation. */
 struct KernelLaunch {
   std::string name;        // kernel identity, e.g. "implicit_gemm_128x64"

@@ -124,6 +124,7 @@ void IgkwModel::FinalizeTables() {
   reduced_index_.clear();
   resolved_.clear();
   predict_cache_.Clear();
+  plan_cache_.Clear();
 
   // Signature ids follow the sorted mapping-table order; the reduced
   // index keeps the first full signature per reduced key, matching the
@@ -220,7 +221,7 @@ double IgkwModel::PredictUs(const dnn::Network& network,
   // resolution is memoized per network, so the loop below does no string
   // building, hashing, or map lookups.
   const std::vector<double> features = Features(gpu);
-  const std::shared_ptr<const std::vector<int>> sids = predict_cache_.Get(
+  const std::vector<int>* sids = predict_cache_.Get(
       network, [this](const dnn::Layer& layer) { return ResolveSid(layer); });
   const std::vector<dnn::Layer>& layers = network.layers();
   double total = 0;
@@ -228,6 +229,91 @@ double IgkwModel::PredictUs(const dnn::Network& network,
     total += PredictLayerResolved((*sids)[i], layers[i], gpu, features, batch);
   }
   return total;
+}
+
+PredictionPlan IgkwModel::CompilePlan(const dnn::Network& network,
+                                      const gpuexec::GpuSpec& gpu) const {
+  const std::vector<double> features = Features(gpu);
+  // The nearest-bandwidth training GPU and its scaling ratio depend
+  // only on the target spec, so they are resolved once per plan instead
+  // of once per fallback layer per query.
+  std::string nearest = training_gpus_.front();
+  double best = 1e300;
+  for (const std::string& name : training_gpus_) {
+    const double gap = std::fabs(
+        gpuexec::GpuByName(name).bandwidth_gbps - gpu.bandwidth_gbps);
+    if (gap < best) {
+      best = gap;
+      nearest = name;
+    }
+  }
+  const double near_bw = gpuexec::GpuByName(nearest).bandwidth_gbps;
+  const double ratio = near_bw / gpu.bandwidth_gbps;
+
+  const std::vector<int>* sids = predict_cache_.Get(
+      network, [this](const dnn::Layer& layer) { return ResolveSid(layer); });
+  const std::vector<dnn::Layer>& layers = network.layers();
+  PredictionPlan plan;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const int sid = (*sids)[i];
+    if (sid < 0 || resolved_[sid].fallback) {
+      // Nearest-GPU KW estimate scaled by the bandwidth ratio — the KW
+      // model compiles the layer with `ratio` as the trailing scale,
+      // reproducing `kw_.PredictLayerUs(...) * ratio` bit-for-bit.
+      kw_.CompileLayerInto(layers[i], nearest, ratio, plan);
+      continue;
+    }
+    plan.BeginLayer(mean_calibration_, 1.0);
+    for (const InterGpuKernelModel& law : resolved_[sid].laws) {
+      const regression::LinearFit fit = FitFromFeatures(law, features);
+      plan.AddTerm(gpuexec::PerSampleDriverValue(layers[i], law.driver),
+                   fit.slope, fit.intercept);
+    }
+  }
+  return plan;
+}
+
+const PredictionPlan* IgkwModel::PlanForFp(const dnn::Network& network,
+                                           std::uint64_t fingerprint,
+                                           const gpuexec::GpuSpec& gpu) const {
+  // Spec-driven slot key: everything a plan bakes in — the scaling
+  // features and the fallback bandwidth ratio — derives from these two
+  // numbers, so hypothetical GPUs (no stable name) key correctly and
+  // equal-spec GPUs share a plan.
+  PlanCache::SlotKey slot;
+  slot.feature_a = gpu.bandwidth_gbps;
+  slot.feature_b = gpu.fp32_tflops;
+  return plan_cache_.Get(network, fingerprint, slot, [&] {
+    return CompilePlan(network, gpu);
+  });
+}
+
+const PredictionPlan* IgkwModel::PlanFor(const dnn::Network& network,
+                                         const gpuexec::GpuSpec& gpu) const {
+  return PlanForFp(network, NetworkFingerprint(network), gpu);
+}
+
+void IgkwModel::PredictMany(std::span<const PredictQuery> queries,
+                            std::span<double> out_us) const {
+  GP_CHECK_EQ(queries.size(), out_us.size());
+  const dnn::Network* last_network = nullptr;
+  const gpuexec::GpuSpec* last_gpu = nullptr;
+  std::uint64_t fingerprint = 0;
+  const PredictionPlan* plan = nullptr;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const PredictQuery& query = queries[i];
+    if (query.network != last_network) {
+      fingerprint = NetworkFingerprint(*query.network);
+      last_network = query.network;
+      last_gpu = nullptr;
+    }
+    if (query.gpu != last_gpu) {
+      plan = PlanForFp(*query.network, fingerprint, *query.gpu);
+      last_gpu = query.gpu;
+    }
+    out_us[i] = plan->EvalUs(query.batch);
+  }
+  internal::CountPlanQueries(queries.size());
 }
 
 const InterGpuKernelModel* IgkwModel::KernelLaw(

@@ -66,6 +66,23 @@ class IgkwModel : public Predictor {
   double PredictUs(const dnn::Network& network, const gpuexec::GpuSpec& gpu,
                    std::int64_t batch) const override;
 
+  /**
+   * Batched prediction through compiled plans (scaling laws evaluated
+   * once at compile time per (network, GPU-spec) pair, not per query).
+   * Bit-identical to per-query PredictUs. Hypothetical GPUs are keyed
+   * by their scaling-feature values, so two specs with equal features
+   * share a plan — by construction they predict identically.
+   */
+  void PredictMany(std::span<const PredictQuery> queries,
+                   std::span<double> out_us) const override;
+
+  /**
+   * The compiled plan for (`network`, `gpu`), compiling and caching it
+   * on first use. Valid for the model's lifetime (or until retrain).
+   */
+  const PredictionPlan* PlanFor(const dnn::Network& network,
+                                const gpuexec::GpuSpec& gpu) const;
+
   /** Per-layer prediction for a (possibly hypothetical) GPU spec. */
   double PredictLayerUs(const dnn::Layer& layer, const gpuexec::GpuSpec& gpu,
                         std::int64_t batch) const;
@@ -107,6 +124,15 @@ class IgkwModel : public Predictor {
       const InterGpuKernelModel& law,
       const std::vector<double>& features) const;
 
+  /** Compiles the whole network for one GPU spec (PlanFor misses). */
+  PredictionPlan CompilePlan(const dnn::Network& network,
+                             const gpuexec::GpuSpec& gpu) const;
+
+  /** PlanFor with the network fingerprint already computed. */
+  const PredictionPlan* PlanForFp(const dnn::Network& network,
+                                  std::uint64_t fingerprint,
+                                  const gpuexec::GpuSpec& gpu) const;
+
   KwModel kw_;
   double mean_calibration_ = 1.0;  // mean of the training GPUs' factors
   ScalingFeature feature_ = ScalingFeature::kBandwidth;
@@ -119,6 +145,8 @@ class IgkwModel : public Predictor {
   std::vector<ResolvedSig> resolved_;
   // network name -> per-layer sids, filled lazily on prediction.
   NetworkSidCache predict_cache_;
+  // (network, gpu features) -> compiled plan, filled lazily by PlanFor.
+  PlanCache plan_cache_;
 };
 
 }  // namespace gpuperf::models

@@ -283,6 +283,7 @@ void KwModel::FinalizeTables() {
   reduced_index_.clear();
   resolved_.clear();
   predict_cache_.Clear();
+  plan_cache_.Clear();
 
   for (const auto& [gpu, kernels] : per_gpu_) {
     gpu_index_.emplace(gpu, static_cast<int>(gpu_names_.size()));
@@ -368,7 +369,7 @@ KwModel::Coverage KwModel::CoverageFor(const dnn::Network& network,
   coverage.layers = static_cast<int>(network.layers().size());
   // Reuses the per-network sid memo, so steady-state coverage checks are
   // one hash lookup, not one signature build per layer.
-  const std::shared_ptr<const std::vector<int>> sids = predict_cache_.Get(
+  const std::vector<int>* sids = predict_cache_.Get(
       network, [this](const dnn::Layer& layer) { return ResolveSid(layer); });
   for (std::size_t i = 0; i < sids->size(); ++i) {
     // Layers that launch no kernels (flatten, dropout) never appear in
@@ -442,7 +443,7 @@ double KwModel::PredictUs(const dnn::Network& network,
   const int gpu_idx = gpu_it->second;
   // Per-layer signature resolution is memoized per network, so the loop
   // below does no string building, hashing, or map lookups.
-  const std::shared_ptr<const std::vector<int>> sids = predict_cache_.Get(
+  const std::vector<int>* sids = predict_cache_.Get(
       network, [this](const dnn::Layer& layer) { return ResolveSid(layer); });
   const std::vector<dnn::Layer>& layers = network.layers();
   double total = 0;
@@ -451,6 +452,92 @@ double KwModel::PredictUs(const dnn::Network& network,
                                   batch);
   }
   return total;
+}
+
+void KwModel::CompileLayerInto(const dnn::Layer& layer,
+                               const std::string& gpu_name,
+                               double extra_scale,
+                               PredictionPlan& plan) const {
+  auto gpu_it = gpu_index_.find(gpu_name);
+  if (gpu_it == gpu_index_.end()) {
+    Fatal("KW model not trained for GPU " + gpu_name);
+  }
+  const int gpu_idx = gpu_it->second;
+  const int sid = ResolveSid(layer);
+  // Mirrors PredictLayerResolved exactly: the plan's per-layer sweep
+  // performs the same floating-point operations in the same order, so
+  // EvalUs is bit-identical to the per-query path.
+  if (sid < 0 || resolved_[gpu_idx][sid].use_lw) {
+    // Layer-wise fallback: max(0, fit(FLOPs)), no calibration factor.
+    plan.BeginLayer(1.0, extra_scale);
+    const regression::LinearFit* fit =
+        lw_fallback_.FitFor(gpu_name, layer.kind);
+    if (fit != nullptr) {
+      plan.AddTerm(dnn::LayerFlops(layer, 1), fit->slope, fit->intercept);
+    }
+    return;
+  }
+  plan.BeginLayer(calibration_by_gpu_[gpu_idx], extra_scale);
+  for (const ResolvedKernel& kernel : resolved_[gpu_idx][sid].kernels) {
+    plan.AddTerm(gpuexec::PerSampleDriverValue(layer, kernel.driver),
+                 kernel.slope, kernel.intercept);
+  }
+}
+
+PredictionPlan KwModel::CompilePlan(const dnn::Network& network,
+                                    const std::string& gpu_name) const {
+  PredictionPlan plan;
+  for (const dnn::Layer& layer : network.layers()) {
+    CompileLayerInto(layer, gpu_name, 1.0, plan);
+  }
+  return plan;
+}
+
+const PredictionPlan* KwModel::PlanForFp(const dnn::Network& network,
+                                         std::uint64_t fingerprint,
+                                         const gpuexec::GpuSpec& gpu) const {
+  auto gpu_it = gpu_index_.find(gpu.name);
+  if (gpu_it == gpu_index_.end()) {
+    Fatal("KW model not trained for GPU " + gpu.name);
+  }
+  PlanCache::SlotKey slot;
+  slot.gpu_index = gpu_it->second;
+  return plan_cache_.Get(network, fingerprint, slot, [&] {
+    return CompilePlan(network, gpu.name);
+  });
+}
+
+const PredictionPlan* KwModel::PlanFor(const dnn::Network& network,
+                                       const gpuexec::GpuSpec& gpu) const {
+  return PlanForFp(network, NetworkFingerprint(network), gpu);
+}
+
+void KwModel::PredictMany(std::span<const PredictQuery> queries,
+                          std::span<double> out_us) const {
+  GP_CHECK_EQ(queries.size(), out_us.size());
+  // Queries for the same network (and same (network, GPU) pair) tend to
+  // arrive in runs — a serving matrix fill is one row per network — so
+  // the sweep memoizes the fingerprint per network run and the plan per
+  // pair run. Steady state is then pure EvalUs: no hashing, no locks,
+  // no allocation.
+  const dnn::Network* last_network = nullptr;
+  const gpuexec::GpuSpec* last_gpu = nullptr;
+  std::uint64_t fingerprint = 0;
+  const PredictionPlan* plan = nullptr;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const PredictQuery& query = queries[i];
+    if (query.network != last_network) {
+      fingerprint = NetworkFingerprint(*query.network);
+      last_network = query.network;
+      last_gpu = nullptr;
+    }
+    if (query.gpu != last_gpu) {
+      plan = PlanForFp(*query.network, fingerprint, *query.gpu);
+      last_gpu = query.gpu;
+    }
+    out_us[i] = plan->EvalUs(query.batch);
+  }
+  internal::CountPlanQueries(queries.size());
 }
 
 const std::map<std::string, KernelModel>& KwModel::KernelModels(

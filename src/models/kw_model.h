@@ -31,6 +31,7 @@
 #include "gpuexec/kernel.h"
 #include "models/lw_model.h"
 #include "models/network_cache.h"
+#include "models/prediction_plan.h"
 #include "models/predictor.h"
 #include "regression/linreg.h"
 
@@ -80,6 +81,33 @@ class KwModel : public Predictor {
 
   double PredictUs(const dnn::Network& network, const gpuexec::GpuSpec& gpu,
                    std::int64_t batch) const override;
+
+  /**
+   * Batched prediction through compiled plans: one flat-array sweep per
+   * query, with plan resolution amortized across same-(network, GPU)
+   * runs. Bit-identical to per-query PredictUs; Fatal (like PredictUs)
+   * on an untrained GPU.
+   */
+  void PredictMany(std::span<const PredictQuery> queries,
+                   std::span<double> out_us) const override;
+
+  /**
+   * The compiled plan for (`network`, `gpu`), compiling and caching it
+   * on first use. The pointer stays valid for the model's lifetime (or
+   * until retrain/reload). Fatal on an untrained GPU.
+   */
+  const PredictionPlan* PlanFor(const dnn::Network& network,
+                                const gpuexec::GpuSpec& gpu) const;
+
+  /**
+   * Appends `layer`'s compiled terms to `plan` as one plan layer whose
+   * subtotal is scaled by the GPU calibration factor (resolved layers)
+   * and then by `extra_scale` — the IGKW nearest-GPU fallback compiles
+   * through this with its bandwidth ratio; everyone else passes 1.0.
+   * Fatal on an untrained GPU.
+   */
+  void CompileLayerInto(const dnn::Layer& layer, const std::string& gpu_name,
+                        double extra_scale, PredictionPlan& plan) const;
 
   /** Predicted time of one layer (case studies 2 and 3 schedule layers). */
   double PredictLayerUs(const dnn::Layer& layer, const std::string& gpu_name,
@@ -162,6 +190,15 @@ class KwModel : public Predictor {
                               const std::string& gpu_name,
                               std::int64_t batch) const;
 
+  /** Compiles the whole network for one GPU (PlanFor cache misses). */
+  PredictionPlan CompilePlan(const dnn::Network& network,
+                             const std::string& gpu_name) const;
+
+  /** PlanFor with the network fingerprint already computed. */
+  const PredictionPlan* PlanForFp(const dnn::Network& network,
+                                  std::uint64_t fingerprint,
+                                  const gpuexec::GpuSpec& gpu) const;
+
   KwOptions options_;
   // gpu name -> kernel name -> trained model.
   std::map<std::string, std::map<std::string, KernelModel>> per_gpu_;
@@ -184,6 +221,8 @@ class KwModel : public Predictor {
   std::vector<std::vector<ResolvedLayer>> resolved_;  // [gpu][sid]
   // network name -> per-layer sids, filled lazily on prediction.
   NetworkSidCache predict_cache_;
+  // (network, gpu) -> compiled plan, filled lazily by PlanFor.
+  PlanCache plan_cache_;
 };
 
 /** Drops the shape components of a layer signature (fallback table key). */

@@ -30,10 +30,11 @@ NetworkSidCache& NetworkSidCache::operator=(const NetworkSidCache& other) {
   }
   SharedMutexLock lock(mu_);
   entries_ = std::move(copy);
+  retired_.clear();
   return *this;
 }
 
-std::shared_ptr<const std::vector<int>> NetworkSidCache::Get(
+const std::vector<int>* NetworkSidCache::Get(
     const dnn::Network& network,
     const std::function<int(const dnn::Layer&)>& resolve) const {
   const std::uint64_t fingerprint = NetworkFingerprint(network);
@@ -41,7 +42,7 @@ std::shared_ptr<const std::vector<int>> NetworkSidCache::Get(
     SharedReaderLock lock(mu_);
     auto it = entries_.find(network.name());
     if (it != entries_.end() && it->second.fingerprint == fingerprint) {
-      return it->second.sids;
+      return it->second.sids.get();
     }
   }
   auto sids = std::make_shared<std::vector<int>>();
@@ -51,13 +52,25 @@ std::shared_ptr<const std::vector<int>> NetworkSidCache::Get(
   }
   std::shared_ptr<const std::vector<int>> result = std::move(sids);
   SharedMutexLock lock(mu_);
-  entries_[network.name()] = Entry{fingerprint, result};
-  return result;
+  Entry& entry = entries_[network.name()];
+  if (entry.sids != nullptr) {
+    if (entry.fingerprint == fingerprint) {
+      // A concurrent resolve won the race; keep the incumbent so raw
+      // pointers handed out under the reader lock stay canonical.
+      return entry.sids.get();
+    }
+    // Name reused for a different architecture: park the old ids (a
+    // concurrent predict may still be walking them) and replace.
+    retired_.push_back(std::move(entry.sids));
+  }
+  entry = Entry{fingerprint, std::move(result)};
+  return entry.sids.get();
 }
 
 void NetworkSidCache::Clear() {
   SharedMutexLock lock(mu_);
   entries_.clear();
+  retired_.clear();
 }
 
 }  // namespace gpuperf::models

@@ -44,8 +44,15 @@ class NetworkSidCache {
   /**
    * The per-layer ids of `network`, computing them with `resolve` (one
    * call per layer) on first sight or on a fingerprint mismatch.
+   *
+   * Returns a stable raw pointer (valid until Clear()) rather than a
+   * shared_ptr copy: a predict is two reads away from the ids, and the
+   * atomic refcount ping-pong of a per-call shared_ptr copy is
+   * measurable contention on the serving hot path. Entries replaced by
+   * a fingerprint mismatch are retired, not freed, so a pointer held
+   * across a concurrent name reuse stays valid.
    */
-  std::shared_ptr<const std::vector<int>> Get(
+  const std::vector<int>* Get(
       const dnn::Network& network,
       const std::function<int(const dnn::Layer&)>& resolve) const;
 
@@ -60,6 +67,8 @@ class NetworkSidCache {
 
   mutable SharedMutex mu_;
   mutable std::unordered_map<std::string, Entry> entries_ GP_GUARDED_BY(mu_);
+  mutable std::vector<std::shared_ptr<const std::vector<int>>> retired_
+      GP_GUARDED_BY(mu_);
 };
 
 }  // namespace gpuperf::models

@@ -1,0 +1,170 @@
+#include "models/prediction_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/metrics_registry.h"
+
+namespace gpuperf::models {
+namespace {
+
+/** Process-wide plan-cache counters, aggregated across every model. */
+struct PlanMetrics {
+  obs::Counter& compiles;
+  obs::Counter& queries;
+  obs::Counter& invalidations;
+
+  static PlanMetrics& Get() {
+    static PlanMetrics* const kMetrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new PlanMetrics{
+          registry.counter("gpuperf_predictor_plan_compiles"),
+          registry.counter("gpuperf_predictor_plan_queries"),
+          registry.counter("gpuperf_predictor_plan_invalidations")};
+    }();
+    return *kMetrics;
+  }
+};
+
+std::string SlotKeyString(const PlanCache::SlotKey& slot) {
+  std::ostringstream out;
+  if (slot.gpu_index >= 0) {
+    out << "gpu#" << slot.gpu_index;
+  } else {
+    out << "spec(" << slot.feature_a << "," << slot.feature_b << ")";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+void PredictionPlan::BeginLayer(double scale_a, double scale_b) {
+  layer_end_.push_back(static_cast<std::uint32_t>(value_.size()));
+  scale_a_.push_back(scale_a);
+  scale_b_.push_back(scale_b);
+}
+
+void PredictionPlan::AddTerm(std::int64_t per_sample_value, double slope,
+                             double intercept) {
+  GP_CHECK(!layer_end_.empty()) << "AddTerm before BeginLayer";
+  value_.push_back(per_sample_value);
+  slope_.push_back(slope);
+  intercept_.push_back(intercept);
+  layer_end_.back() = static_cast<std::uint32_t>(value_.size());
+}
+
+double PredictionPlan::EvalUs(std::int64_t batch) const {
+  const std::int64_t* value = value_.data();
+  const double* slope = slope_.data();
+  const double* intercept = intercept_.data();
+  double total = 0.0;
+  std::uint32_t term = 0;
+  const std::size_t layers = layer_end_.size();
+  for (std::size_t i = 0; i < layers; ++i) {
+    const std::uint32_t end = layer_end_[i];
+    double subtotal = 0.0;
+    for (; term < end; ++term) {
+      // Same float op order as Kw/Igkw PredictLayerResolved: the driver
+      // value is an int64 product converted once, the fit is evaluated
+      // as intercept + slope * x, negatives clamp to zero.
+      const double x = static_cast<double>(batch * value[term]);
+      subtotal += std::max(0.0, intercept[term] + slope[term] * x);
+    }
+    total += subtotal * scale_a_[i] * scale_b_[i];
+  }
+  return total;
+}
+
+void PredictionPlan::EvalMany(std::span<const std::int64_t> batches,
+                              std::span<double> out_us) const {
+  GP_CHECK_EQ(batches.size(), out_us.size());
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    out_us[i] = EvalUs(batches[i]);
+  }
+}
+
+PlanCache::PlanCache(const PlanCache& other) {
+  SharedReaderLock lock(other.mu_);
+  entries_ = other.entries_;
+}
+
+PlanCache& PlanCache::operator=(const PlanCache& other) {
+  if (this == &other) return *this;
+  std::unordered_map<std::string, Entry> copy;
+  {
+    SharedReaderLock lock(other.mu_);
+    copy = other.entries_;
+  }
+  SharedMutexLock lock(mu_);
+  entries_ = std::move(copy);
+  retired_.clear();
+  return *this;
+}
+
+const PredictionPlan* PlanCache::FindLocked(const std::string& name,
+                                            std::uint64_t fingerprint,
+                                            const SlotKey& slot) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.fingerprint != fingerprint) {
+    return nullptr;
+  }
+  for (const auto& [key, plan] : it->second.slots) {
+    if (key == slot) return plan.get();
+  }
+  return nullptr;
+}
+
+const PredictionPlan* PlanCache::InsertLocked(
+    const std::string& name, std::uint64_t fingerprint, const SlotKey& slot,
+    std::shared_ptr<const PredictionPlan> plan) const {
+  Entry& entry = entries_[name];
+  if (!entry.slots.empty() && entry.fingerprint != fingerprint) {
+    // The name now denotes a different architecture: retire the stale
+    // plans (raw pointers handed out earlier must stay valid) and start
+    // a fresh slot list.
+    PlanMetrics::Get().invalidations.Increment(entry.slots.size());
+    for (auto& [key, old] : entry.slots) {
+      (void)key;
+      retired_.push_back(std::move(old));
+    }
+    entry.slots.clear();
+  }
+  entry.fingerprint = fingerprint;
+  // A concurrent compile may have installed this slot while we were
+  // compiling outside the lock; keep the incumbent so earlier raw
+  // pointers remain canonical, and drop our duplicate.
+  for (const auto& [key, incumbent] : entry.slots) {
+    if (key == slot) return incumbent.get();
+  }
+  entry.slots.emplace_back(slot, std::move(plan));
+  const PredictionPlan* installed = entry.slots.back().second.get();
+  PlanMetrics::Get().compiles.Increment();
+  LogDebug("prediction plan compiled",
+           {{"network", name},
+            {"slot", SlotKeyString(slot)},
+            {"layers", std::to_string(installed->layer_count())},
+            {"terms", std::to_string(installed->term_count())}});
+  return installed;
+}
+
+void PlanCache::Clear() {
+  SharedMutexLock lock(mu_);
+  std::uint64_t dropped = 0;
+  for (const auto& [name, entry] : entries_) {
+    (void)name;
+    dropped += entry.slots.size();
+  }
+  if (dropped > 0) PlanMetrics::Get().invalidations.Increment(dropped);
+  entries_.clear();
+  retired_.clear();
+}
+
+namespace internal {
+
+void CountPlanQueries(std::uint64_t n) {
+  PlanMetrics::Get().queries.Increment(n);
+}
+
+}  // namespace internal
+
+}  // namespace gpuperf::models

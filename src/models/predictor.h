@@ -9,12 +9,26 @@
  */
 
 #include <cstdint>
+#include <span>
 #include <string>
 
+#include "common/logging.h"
 #include "dnn/network.h"
 #include "gpuexec/gpu_spec.h"
 
 namespace gpuperf::models {
+
+/**
+ * One element of a batched prediction sweep. Plain pointers by design:
+ * queries are transient views into caller-owned networks/specs, built
+ * into a reusable buffer with no ownership traffic. Batch size is a
+ * query axis — the same compiled plan answers every batch size.
+ */
+struct PredictQuery {
+  const dnn::Network* network = nullptr;
+  const gpuexec::GpuSpec* gpu = nullptr;
+  std::int64_t batch = 1;
+};
 
 /** A trained execution-time predictor. */
 class Predictor {
@@ -32,6 +46,22 @@ class Predictor {
   virtual double PredictUs(const dnn::Network& network,
                            const gpuexec::GpuSpec& gpu,
                            std::int64_t batch) const = 0;
+
+  /**
+   * Batched prediction: `out_us[i]` receives the prediction for
+   * `queries[i]`. Bit-identical to calling PredictUs per query; models
+   * with compiled plans (KW, IGKW, the stack) override this with a
+   * zero-allocation sweep that amortizes per-(network, GPU) resolution
+   * across the batch. `out_us.size()` must equal `queries.size()`.
+   */
+  virtual void PredictMany(std::span<const PredictQuery> queries,
+                           std::span<double> out_us) const {
+    GP_CHECK_EQ(queries.size(), out_us.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      out_us[i] = PredictUs(*queries[i].network, *queries[i].gpu,
+                            queries[i].batch);
+    }
+  }
 };
 
 }  // namespace gpuperf::models

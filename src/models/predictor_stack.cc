@@ -105,6 +105,100 @@ double PredictorStack::PredictUs(const dnn::Network& network,
   return prediction.ok() ? *prediction : 0.0;
 }
 
+void PredictorStack::PredictMany(std::span<const PredictQuery> queries,
+                                 std::span<double> out_us) const {
+  PredictManySwept(queries, out_us, nullptr);
+}
+
+void PredictorStack::PredictManyWithTiers(
+    std::span<const PredictQuery> queries, std::span<double> out_us,
+    std::span<PredictorTier> tiers) const {
+  GP_CHECK_EQ(queries.size(), tiers.size());
+  PredictManySwept(queries, out_us, tiers.data());
+}
+
+void PredictorStack::PredictManySwept(std::span<const PredictQuery> queries,
+                                      std::span<double> out_us,
+                                      PredictorTier* tiers) const {
+  GP_CHECK_EQ(queries.size(), out_us.size());
+  // One KW generation snapshot per sweep, not per query: a concurrent
+  // BundleRegistry hot-swap costs this sweep a single shared_ptr copy,
+  // and the local reference keeps the old generation (and its compiled
+  // plans) alive until the sweep finishes.
+  const std::shared_ptr<const KwModel> kw_snapshot = kw_;
+  const KwModel* kw = kw_snapshot.get();
+
+  const dnn::Network* last_network = nullptr;
+  const gpuexec::GpuSpec* last_gpu = nullptr;
+  PredictorTier tier = PredictorTier::kNone;
+  const PredictionPlan* plan = nullptr;  // set iff tier == kKw
+  std::uint64_t tally[4] = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const PredictQuery& query = queries[i];
+    if (query.network != last_network || query.gpu != last_gpu) {
+      // Tier selection depends only on the (network, GPU) pair, so it —
+      // and the KW plan resolution — is memoized across a run of
+      // same-pair queries (e.g. a batch-size scan).
+      plan = nullptr;
+      if (kw != nullptr && kw->CoverageFor(*query.network, query.gpu->name)
+                               .Full()) {
+        tier = PredictorTier::kKw;
+        plan = kw->PlanFor(*query.network, *query.gpu);
+      } else if (lw_.has_value() && lw_gpus_.count(query.gpu->name) > 0) {
+        tier = PredictorTier::kLw;
+      } else if (e2e_.has_value() &&
+                 e2e_->TryFitFor(query.gpu->name) != nullptr) {
+        tier = PredictorTier::kE2e;
+      } else {
+        tier = PredictorTier::kNone;
+      }
+      last_network = query.network;
+      last_gpu = query.gpu;
+    }
+    switch (tier) {
+      case PredictorTier::kKw:
+        out_us[i] = plan->EvalUs(query.batch);
+        break;
+      case PredictorTier::kLw:
+        out_us[i] = lw_->PredictUs(*query.network, *query.gpu, query.batch);
+        break;
+      case PredictorTier::kE2e:
+        out_us[i] = e2e_->PredictUs(*query.network, *query.gpu, query.batch);
+        break;
+      case PredictorTier::kNone:
+        out_us[i] = 0.0;  // PredictUs maps an uncovered query to 0
+        break;
+    }
+    if (tiers != nullptr) tiers[i] = tier;
+    ++tally[static_cast<int>(tier)];
+  }
+
+  // Counters carry the same totals as per-query calls, bumped once per
+  // sweep with the aggregated tallies.
+  PredictorMetrics& global = PredictorMetrics::Get();
+  const std::uint64_t kw_n = tally[static_cast<int>(PredictorTier::kKw)];
+  const std::uint64_t lw_n = tally[static_cast<int>(PredictorTier::kLw)];
+  const std::uint64_t e2e_n = tally[static_cast<int>(PredictorTier::kE2e)];
+  const std::uint64_t none_n = tally[static_cast<int>(PredictorTier::kNone)];
+  if (kw_n > 0) {
+    kw_hits_.Increment(kw_n);
+    global.kw_hits.Increment(kw_n);
+    internal::CountPlanQueries(kw_n);
+  }
+  if (lw_n > 0) {
+    lw_fallbacks_.Increment(lw_n);
+    global.lw_fallbacks.Increment(lw_n);
+  }
+  if (e2e_n > 0) {
+    e2e_fallbacks_.Increment(e2e_n);
+    global.e2e_fallbacks.Increment(e2e_n);
+  }
+  if (none_n > 0) {
+    unanswered_.Increment(none_n);
+    global.unanswered.Increment(none_n);
+  }
+}
+
 PredictorStackCounters PredictorStack::counters() const {
   PredictorStackCounters counters;
   counters.kw_hits = kw_hits_.Value();

@@ -97,6 +97,26 @@ class PredictorStack : public Predictor {
   double PredictUs(const dnn::Network& network, const gpuexec::GpuSpec& gpu,
                    std::int64_t batch) const override;
 
+  /**
+   * Batched prediction with the same tier ladder and counter semantics
+   * as per-query TryPredictUs (uncovered queries produce 0.0, matching
+   * PredictUs), but amortized across the sweep: the KW generation
+   * shared_ptr is snapshotted once per call instead of once per query,
+   * tier selection and the compiled KW plan are memoized across
+   * same-(network, GPU) runs, and counters are bumped once per sweep
+   * with the aggregated tallies. Bit-identical to per-query PredictUs.
+   */
+  void PredictMany(std::span<const PredictQuery> queries,
+                   std::span<double> out_us) const override;
+
+  /**
+   * As PredictMany, additionally reporting the answering tier per query
+   * in `tiers` (same length as `queries`; kNone for uncovered).
+   */
+  void PredictManyWithTiers(std::span<const PredictQuery> queries,
+                            std::span<double> out_us,
+                            std::span<PredictorTier> tiers) const;
+
   /** Thread-safe counter snapshot. */
   PredictorStackCounters counters() const;
 
@@ -118,6 +138,11 @@ class PredictorStack : public Predictor {
   mutable obs::Counter lw_fallbacks_;
   mutable obs::Counter e2e_fallbacks_;
   mutable obs::Counter unanswered_;
+
+  /** Shared sweep implementation; `tiers` may be null. */
+  void PredictManySwept(std::span<const PredictQuery> queries,
+                        std::span<double> out_us,
+                        PredictorTier* tiers) const;
 };
 
 }  // namespace gpuperf::models

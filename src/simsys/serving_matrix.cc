@@ -1,0 +1,40 @@
+#include "simsys/serving_matrix.h"
+
+#include <cmath>
+#include <span>
+
+namespace gpuperf::simsys {
+
+void FillPredictedServingMatrix(
+    const models::KwModel& kw, const std::vector<dnn::Network>& networks,
+    const std::vector<const gpuexec::GpuSpec*>& gpus, std::int64_t batch,
+    ServingMatrixBuffer& buffer,
+    std::vector<std::vector<double>>& predicted) {
+  predicted.assign(networks.size(), std::vector<double>(gpus.size(), 0.0));
+  buffer.queries.clear();
+  buffer.cells.clear();
+
+  // Coverage pass: uncovered cells take the NaN sentinel immediately
+  // (the dispatcher degrades that decision); covered cells are packed
+  // job-major, so the sweep sees same-network runs and resolves each
+  // network's fingerprint and plan once.
+  for (std::size_t j = 0; j < networks.size(); ++j) {
+    for (std::size_t g = 0; g < gpus.size(); ++g) {
+      if (kw.CoverageFor(networks[j], gpus[g]->name).Full()) {
+        buffer.queries.push_back({&networks[j], gpus[g], batch});
+        buffer.cells.emplace_back(j, g);
+      } else {
+        predicted[j][g] = std::nan("");
+      }
+    }
+  }
+
+  buffer.out_us.resize(buffer.queries.size());
+  kw.PredictMany(buffer.queries, buffer.out_us);
+  for (std::size_t i = 0; i < buffer.cells.size(); ++i) {
+    predicted[buffer.cells[i].first][buffer.cells[i].second] =
+        buffer.out_us[i];
+  }
+}
+
+}  // namespace gpuperf::simsys

@@ -46,6 +46,7 @@
 #include "obs/chrome_trace.h"
 #include "obs/metrics_registry.h"
 #include "simsys/serving.h"
+#include "simsys/serving_matrix.h"
 #include "zoo/zoo.h"
 
 using namespace gpuperf;
@@ -671,19 +672,19 @@ int CmdServeSim(const Args& args) {
   gpuexec::Profiler profiler(oracle);
   std::vector<std::vector<double>> truth, predicted;
   for (const dnn::Network& network : networks) {
-    std::vector<double> t, p;
+    std::vector<double> t;
     for (const gpuexec::GpuSpec* gpu : gpus) {
       t.push_back(profiler.MeasureE2eUs(network, *gpu, *batch));
-      if (kw != nullptr) {
-        // An uncovered (network, GPU) is a NaN prediction: that decision
-        // degrades, the rest keep using the model.
-        const bool covered = kw->CoverageFor(network, gpu->name).Full();
-        p.push_back(covered ? kw->PredictUs(network, *gpu, *batch)
-                            : std::nan(""));
-      }
     }
     truth.push_back(std::move(t));
-    if (kw != nullptr) predicted.push_back(std::move(p));
+  }
+  if (kw != nullptr) {
+    // One batched PredictMany sweep over compiled plans fills the whole
+    // matrix; uncovered (network, GPU) cells come back NaN, so those
+    // decisions degrade while the rest keep using the model.
+    simsys::ServingMatrixBuffer matrix_buffer;
+    simsys::FillPredictedServingMatrix(*kw, networks, gpus, *batch,
+                                       matrix_buffer, predicted);
   }
   const std::vector<double> mix(networks.size(), 1.0);
 
