@@ -2,12 +2,16 @@
 # Perf regression gate on the serving hot path: runs the
 # BM_PredictManyResnet50 microbenchmark (512 queries answered by one
 # compiled-plan PredictMany sweep) in a Release build and fails when the
-# amortized cost exceeds 2x the checked-in baseline.
+# amortized cost exceeds 2x the checked-in baseline
+# (bench/predict_many_baseline.txt).
 #
 # The baseline is deliberately loose — it is a regression tripwire for
 # "someone put a hash lookup / allocation back into the per-query loop"
 # (a >=10x slip), not a precision benchmark. Machine-to-machine noise of
 # tens of percent passes; reverting the plan compilation does not.
+#
+# Every failure mode is a single actionable line on stderr + exit 1:
+# missing bench binary, missing/corrupt baseline file, or a regression.
 #
 # Usage: scripts/perf_gate.sh [build_dir]
 # Override the threshold (ns/query) with GPUPERF_PERF_GATE_MAX_NS.
@@ -15,15 +19,34 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
+BASELINE_FILE="bench/predict_many_baseline.txt"
+BENCH="./$BUILD/bench/bench_speed_predictor"
 
-# Reference: ~366 ns/query (Release, idle 8-core container). Gate at 2x.
-BASELINE_NS_PER_QUERY=400
+if [ ! -f "$BASELINE_FILE" ]; then
+  echo "perf_gate: FAIL — baseline file '$BASELINE_FILE' is missing;" \
+       "restore it from git (it pins the ns/query reference)" >&2
+  exit 1
+fi
+# First non-comment token; the file carries the reference ns/query.
+BASELINE_NS_PER_QUERY="$(grep -v '^#' "$BASELINE_FILE" | awk 'NF {print $1; exit}')"
+case "$BASELINE_NS_PER_QUERY" in
+  ''|*[!0-9]*)
+    echo "perf_gate: FAIL — baseline file '$BASELINE_FILE' must contain a" \
+         "positive integer ns/query value, got '$BASELINE_NS_PER_QUERY'" >&2
+    exit 1
+    ;;
+esac
 MAX_NS_PER_QUERY="${GPUPERF_PERF_GATE_MAX_NS:-$((BASELINE_NS_PER_QUERY * 2))}"
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD" -j --target bench_speed_predictor >/dev/null
+cmake --build "$BUILD" -j --target bench_speed_predictor >/dev/null || true
+if [ ! -x "$BENCH" ]; then
+  echo "perf_gate: FAIL — Release bench binary '$BENCH' is missing;" \
+       "build it with: cmake --build $BUILD --target bench_speed_predictor" >&2
+  exit 1
+fi
 
-ROW="$("./$BUILD/bench/bench_speed_predictor" \
+ROW="$("$BENCH" \
   --benchmark_filter='^BM_PredictManyResnet50$' \
   --benchmark_min_time=0.5 \
   --benchmark_format=csv 2>/dev/null | grep '^"BM_PredictManyResnet50"')"
@@ -31,11 +54,15 @@ ROW="$("./$BUILD/bench/bench_speed_predictor" \
 # CSV columns: name,iterations,real_time,cpu_time,time_unit,
 # bytes_per_second,items_per_second,... items_per_second is queries/s.
 NS_PER_QUERY="$(echo "$ROW" | awk -F, '{printf "%.0f", 1e9 / $7}')"
+RATIO="$(awk -v m="$NS_PER_QUERY" -v b="$BASELINE_NS_PER_QUERY" \
+             'BEGIN {printf "%.2f", m / b}')"
 
-echo "perf_gate: BM_PredictManyResnet50 ${NS_PER_QUERY} ns/query" \
-     "(baseline ${BASELINE_NS_PER_QUERY}, max ${MAX_NS_PER_QUERY})"
+echo "perf_gate: BM_PredictManyResnet50 ${NS_PER_QUERY} ns/query —" \
+     "${RATIO}x the checked-in baseline (${BASELINE_NS_PER_QUERY} ns," \
+     "max ${MAX_NS_PER_QUERY} ns)"
 if [ "$NS_PER_QUERY" -gt "$MAX_NS_PER_QUERY" ]; then
-  echo "perf_gate: FAIL — PredictMany regressed past 2x baseline" >&2
+  echo "perf_gate: FAIL — PredictMany at ${NS_PER_QUERY} ns/query is" \
+       "${RATIO}x baseline (limit ${MAX_NS_PER_QUERY} ns)" >&2
   exit 1
 fi
 echo "perf_gate: OK"

@@ -46,6 +46,9 @@ scripts/obs_smoke.sh "./$BUILD/tools/gpuperf"
 # The serving hot path stays fast: PredictMany must hold 2x of the
 # checked-in ns/query baseline (catches reintroduced per-query lookups).
 scripts/perf_gate.sh "$BUILD"
+# The self-healing lifecycle end to end: injected drift must trip the
+# monitor, refit, promote through shadow + canary, and heal the residual.
+scripts/drift_smoke.sh "./$BUILD/tools/gpuperf"
 
 echo "== tier 2: concurrency tests under ThreadSanitizer =="
 TSAN_BUILD="${BUILD}-tsan"
@@ -53,7 +56,7 @@ cmake -B "$TSAN_BUILD" -S . -DGPUPERF_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j --target \
   thread_pool_test parallel_build_test lowering_cache_test \
   bundle_registry_test metrics_registry_test span_tracer_test \
-  prediction_plan_test
+  prediction_plan_test drift_monitor_test refit_test self_healing_test
 "./$TSAN_BUILD/tests/thread_pool_test"
 "./$TSAN_BUILD/tests/parallel_build_test"
 "./$TSAN_BUILD/tests/lowering_cache_test"
@@ -65,6 +68,11 @@ cmake --build "$TSAN_BUILD" -j --target \
 "./$TSAN_BUILD/tests/span_tracer_test"
 # Concurrent PredictMany sweeps racing through plan-cache compiles.
 "./$TSAN_BUILD/tests/prediction_plan_test"
+# The drift/refit/promotion lifecycle over the hot-swapping registry:
+# the e2e heal must be data-race-free alongside concurrent readers.
+"./$TSAN_BUILD/tests/drift_monitor_test"
+"./$TSAN_BUILD/tests/refit_test"
+"./$TSAN_BUILD/tests/self_healing_test"
 
 echo "== tier 3: robustness tests under ASan+UBSan =="
 # The error-path tests exercise corrupt bundles, malformed CSVs, and

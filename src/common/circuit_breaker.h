@@ -36,6 +36,18 @@ enum class BreakerState { kClosed, kOpen, kHalfOpen };
 /** Stable state name: "closed", "open", "half-open". */
 const char* BreakerStateName(BreakerState state);
 
+/**
+ * Process-wide observer of breaker state transitions, called as
+ * (from, to) on every trip/half-open/close across all breakers. The
+ * sanctioned installer is obs::InstallBreakerMetrics(), which exports
+ * the transitions as `gpuperf_breaker_*` counters; the indirection
+ * exists because common/ cannot depend on obs/. Install once before
+ * breakers run (the pointer is atomic, the hook must be thread-safe,
+ * and it must never throw or influence breaker behaviour).
+ */
+using BreakerTransitionHook = void (*)(BreakerState from, BreakerState to);
+void SetBreakerTransitionHook(BreakerTransitionHook hook);
+
 /** One resource's breaker, advanced by simulated-time events. */
 class CircuitBreaker {
  public:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -16,7 +17,9 @@ FaultPlan::FaultPlan(std::size_t resources, double horizon_us,
   GP_CHECK_GE(horizon_us, 0.0);
   down_.resize(resources);
   if (config.mtbf_s <= 0) return;
-  GP_CHECK_GT(config.mttr_s, 0.0);
+  // MTTR 0 is instant repair: every outage is a zero-length blip that
+  // still fails jobs in flight across it.
+  GP_CHECK_GE(config.mttr_s, 0.0);
   const double mtbf_us = config.mtbf_s * 1e6;
   const double mttr_us = config.mttr_s * 1e6;
   for (std::size_t r = 0; r < resources; ++r) {
@@ -32,6 +35,22 @@ FaultPlan::FaultPlan(std::size_t resources, double horizon_us,
       if (down >= horizon_us) break;
       down_[r].push_back({down, down + ttr});
       t = down + ttr;
+    }
+  }
+}
+
+FaultPlan::FaultPlan(std::vector<std::vector<DownInterval>> outages,
+                     double horizon_us)
+    : down_(std::move(outages)), horizon_us_(horizon_us) {
+  GP_CHECK_GE(horizon_us, 0.0);
+  for (const std::vector<DownInterval>& intervals : down_) {
+    double previous_up = 0;
+    for (const DownInterval& o : intervals) {
+      GP_CHECK_GE(o.down_us, 0.0);
+      GP_CHECK_GE(o.up_us, o.down_us);
+      GP_CHECK_GE(o.down_us, previous_up)
+          << "outage intervals must be sorted and disjoint";
+      previous_up = o.up_us;
     }
   }
 }

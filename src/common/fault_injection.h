@@ -22,7 +22,7 @@ namespace gpuperf {
 /** Knobs of a fault plan; mtbf_s == 0 disables fault injection. */
 struct FaultPlanConfig {
   double mtbf_s = 0;   // mean time between failures per resource (0 = none)
-  double mttr_s = 2;   // mean time to repair
+  double mttr_s = 2;   // mean time to repair (0 = instant repair)
   std::uint64_t seed = 1;
 };
 
@@ -46,6 +46,15 @@ class FaultPlan {
 
   /** Fault-free plan (no outages, everything available). */
   FaultPlan() = default;
+
+  /**
+   * Explicit plan from per-resource outage lists (tests and replay).
+   * Each resource's intervals must be non-negative, non-overlapping,
+   * and sorted by down_us; zero-length intervals (down_us == up_us,
+   * instant repair) are allowed. The first outage may start at t=0.
+   */
+  FaultPlan(std::vector<std::vector<DownInterval>> outages,
+            double horizon_us);
 
   std::size_t resources() const { return down_.size(); }
   double horizon_us() const { return horizon_us_; }

@@ -3,10 +3,108 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace gpuperf::gpuexec {
+
+const char* DriftScopeName(DriftScope scope) {
+  switch (scope) {
+    case DriftScope::kAll: return "all";
+    case DriftScope::kMemoryBound: return "memory-bound";
+    case DriftScope::kComputeBound: return "compute-bound";
+  }
+  GP_CHECK(false) << "unhandled DriftScope";
+  return "";
+}
+
+DriftSchedule::DriftSchedule(std::size_t resources,
+                             std::vector<DriftEvent> events) {
+  events_.resize(resources);
+  for (DriftEvent& event : events) {
+    GP_CHECK_LT(event.resource, resources);
+    GP_CHECK(std::isfinite(event.factor) && event.factor > 0)
+        << "drift factor " << event.factor;
+    GP_CHECK(std::isfinite(event.at_us) && event.at_us >= 0)
+        << "drift at_us " << event.at_us;
+    GP_CHECK(std::isfinite(event.ramp_us) && event.ramp_us >= 0)
+        << "drift ramp_us " << event.ramp_us;
+    events_[event.resource].push_back(event);
+  }
+  for (std::vector<DriftEvent>& per_resource : events_) {
+    std::stable_sort(per_resource.begin(), per_resource.end(),
+                     [](const DriftEvent& a, const DriftEvent& b) {
+                       return a.at_us < b.at_us;
+                     });
+  }
+}
+
+DriftSchedule::DriftSchedule(std::size_t resources, double horizon_us,
+                             const DriftScheduleConfig& config) {
+  GP_CHECK_GE(config.rate_per_s, 0.0);
+  GP_CHECK_GE(config.factor_sigma, 0.0);
+  GP_CHECK_GE(config.ramp_s, 0.0);
+  GP_CHECK_GE(horizon_us, 0.0);
+  events_.resize(resources);
+  if (config.rate_per_s <= 0) return;
+  const double mean_gap_us = 1e6 / config.rate_per_s;
+  for (std::size_t r = 0; r < resources; ++r) {
+    // Per-resource stream keyed on (seed, index), mirroring FaultPlan.
+    Rng rng(HashCombine(config.seed,
+                        StableHash(Format("drift-resource-%zu", r))));
+    double t = 0;
+    while (true) {
+      t += -std::log(1.0 - rng.NextDouble()) * mean_gap_us;
+      if (t >= horizon_us) break;
+      DriftEvent event;
+      event.resource = r;
+      event.at_us = t;
+      event.ramp_us = config.ramp_s * 1e6;
+      event.factor = rng.NextLogNormal(config.factor_sigma);
+      const double pick = rng.NextDouble();
+      event.scope = pick < 1.0 / 3 ? DriftScope::kAll
+                    : pick < 2.0 / 3 ? DriftScope::kMemoryBound
+                                     : DriftScope::kComputeBound;
+      events_[r].push_back(event);
+    }
+  }
+}
+
+bool DriftSchedule::empty() const {
+  for (const std::vector<DriftEvent>& per_resource : events_) {
+    if (!per_resource.empty()) return false;
+  }
+  return true;
+}
+
+const std::vector<DriftEvent>& DriftSchedule::Events(
+    std::size_t resource) const {
+  GP_CHECK_LT(resource, events_.size());
+  return events_[resource];
+}
+
+double DriftSchedule::FactorAt(std::size_t resource, double time_us,
+                               double memory_share) const {
+  GP_CHECK_LT(resource, events_.size());
+  GP_CHECK(memory_share >= 0 && memory_share <= 1)
+      << "memory_share " << memory_share;
+  double factor = 1.0;
+  for (const DriftEvent& event : events_[resource]) {
+    if (time_us < event.at_us) break;  // sorted by at_us
+    double progress = 1.0;
+    if (event.ramp_us > 0 && time_us < event.at_us + event.ramp_us) {
+      progress = (time_us - event.at_us) / event.ramp_us;
+    }
+    const double applied = 1.0 + (event.factor - 1.0) * progress;
+    double share = 1.0;
+    if (event.scope == DriftScope::kMemoryBound) share = memory_share;
+    if (event.scope == DriftScope::kComputeBound) share = 1.0 - memory_share;
+    factor *= 1.0 + (applied - 1.0) * share;
+  }
+  return factor;
+}
 
 const FamilyProfile& ProfileFor(KernelFamily family) {
   // compute_eff, memory_eff, blocks_per_sm

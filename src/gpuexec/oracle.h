@@ -24,7 +24,9 @@
  * paper. The models never see oracle internals — only profiler output.
  */
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/random.h"
 #include "gpuexec/gpu_spec.h"
@@ -64,6 +66,91 @@ struct FamilyProfile {
 
 /** Profile table lookup. */
 const FamilyProfile& ProfileFor(KernelFamily family);
+
+/**
+ * Which part of a workload a drift event perturbs. Scoped events model
+ * regressions that hit only one side of the roofline — "the driver
+ * update made memory-bound kernels 12% slower" — and are diluted by the
+ * workload's memory-bound time share when applied to end-to-end times.
+ */
+enum class DriftScope { kAll, kMemoryBound, kComputeBound };
+
+/** Stable scope name: "all", "memory-bound", "compute-bound". */
+const char* DriftScopeName(DriftScope scope);
+
+/**
+ * One scheduled perturbation of a GPU's service times: from `at_us` the
+ * resource's kernels run `factor`x their nominal duration (factor > 1 is
+ * a slowdown), stepping instantly when `ramp_us == 0` or ramping
+ * linearly to full effect over [at_us, at_us + ramp_us).
+ */
+struct DriftEvent {
+  std::size_t resource = 0;  // pool index, mirroring FaultPlan resources
+  double at_us = 0;          // when the drift starts taking effect
+  double ramp_us = 0;        // linear ramp-in duration (0 = step)
+  double factor = 1.0;       // full-effect multiplier (1.12 = 12% slower)
+  DriftScope scope = DriftScope::kAll;
+};
+
+/** Knobs for seed-driven generation; rate_per_s == 0 means no events. */
+struct DriftScheduleConfig {
+  double rate_per_s = 0;       // expected events per resource per sim-second
+  double factor_sigma = 0.12;  // log-normal spread of generated factors
+  double ramp_s = 0;           // ramp duration of generated events
+  std::uint64_t seed = 1;
+};
+
+/**
+ * The precomputed quirk-factor perturbation timeline of a resource pool —
+ * the drift analogue of common/fault_injection's outage plans. Like a
+ * FaultPlan, a schedule is generated up front from a seed (or given
+ * explicitly), so a simulation's drift is bit-identical across runs,
+ * platforms, and thread counts; consumers only evaluate FactorAt() and
+ * never draw randomness of their own.
+ */
+class DriftSchedule {
+ public:
+  /** Empty schedule: FactorAt() == 1 everywhere. */
+  DriftSchedule() = default;
+
+  /**
+   * Explicit schedule over `resources` resources. Events must name a
+   * valid resource and carry a positive finite factor and non-negative
+   * times (programmer-error CHECKs); they are sorted by start time.
+   */
+  DriftSchedule(std::size_t resources, std::vector<DriftEvent> events);
+
+  /**
+   * Seed-driven generation over [0, horizon_us): per-resource Poisson
+   * event times at `config.rate_per_s`, log-normal factors, scopes
+   * cycling deterministically. The per-resource stream is keyed on
+   * (config.seed, resource index), so adding a resource never perturbs
+   * the events of the existing ones.
+   */
+  DriftSchedule(std::size_t resources, double horizon_us,
+                const DriftScheduleConfig& config);
+
+  std::size_t resources() const { return events_.size(); }
+
+  /** True when no resource has any event. */
+  bool empty() const;
+
+  /** Events of `resource`, sorted by at_us. */
+  const std::vector<DriftEvent>& Events(std::size_t resource) const;
+
+  /**
+   * Compound service-time multiplier for `resource` at `time_us`.
+   * `memory_share` is the fraction of the affected workload's time that
+   * is memory-bound: a kMemoryBound event's effect is scaled by it, a
+   * kComputeBound event's by (1 - memory_share), and kAll applies in
+   * full. Events compose multiplicatively.
+   */
+  double FactorAt(std::size_t resource, double time_us,
+                  double memory_share = 0.5) const;
+
+ private:
+  std::vector<std::vector<DriftEvent>> events_;  // per resource, by at_us
+};
 
 /** The synthetic GPU. Copyable; all state is configuration. */
 class HardwareOracle {

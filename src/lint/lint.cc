@@ -236,6 +236,7 @@ constexpr char kRuleFatalInLib[] = "fatal-in-lib";
 constexpr char kRuleUnorderedOrder[] = "unordered-order";
 constexpr char kRuleRawMutex[] = "raw-mutex";
 constexpr char kRuleRawCounter[] = "raw-counter";
+constexpr char kRuleBundleLifecycle[] = "bundle-lifecycle";
 
 /**
  * Files where `Fatal(` is sanctioned: the legacy convenience APIs that
@@ -366,16 +367,16 @@ bool IsIntegralAtomicArg(const std::string& arg) {
 }
 
 /**
- * True when a directory component of `path` is exactly "obs" — the
- * sanctioned instrument implementation lives in src/obs/. Component
- * comparison, not substring: "src/jobs/x.cc" must not match.
+ * True when a directory component of `path` is exactly `component`.
+ * Component comparison, not substring: "src/jobs/x.cc" must not match
+ * "obs".
  */
-bool IsUnderObsDir(const std::string& path) {
+bool HasDirComponent(const std::string& path, const std::string& component) {
   std::size_t start = 0;
   while (start < path.size()) {
     std::size_t slash = path.find('/', start);
     if (slash == std::string::npos) break;  // final component is the file
-    if (path.compare(start, slash - start, "obs") == 0) return true;
+    if (path.compare(start, slash - start, component) == 0) return true;
     start = slash + 1;
   }
   return false;
@@ -386,7 +387,7 @@ std::vector<Finding> CheckRawCounter(
     const std::vector<std::size_t>& line_starts) {
   std::vector<Finding> findings;
   // The registry's own cells are the one sanctioned implementation.
-  if (IsUnderObsDir(path)) return findings;
+  if (HasDirComponent(path, "obs")) return findings;
   const std::string token = "std::atomic";
   std::size_t pos = joined.find(token);
   while (pos != std::string::npos) {
@@ -436,6 +437,48 @@ std::vector<Finding> CheckRawCounter(
       }
     }
     pos = joined.find(token, pos + 1);
+  }
+  return findings;
+}
+
+/**
+ * Bundle promotion and rollback are lifecycle decisions: they belong to
+ * models::LifecycleController (which shadows, canaries, and rolls back
+ * with counters and structured logs) plus the gpuperf_cli entry points
+ * that seed the initial generation. A bare registry->TryPromote() /
+ * Rollback() anywhere else bypasses that audit trail, so flag member or
+ * qualified calls outside models/ and tools/gpuperf_cli.cc.
+ */
+std::vector<Finding> CheckBundleLifecycle(
+    const std::string& path, const std::string& joined,
+    const std::vector<std::size_t>& line_starts) {
+  std::vector<Finding> findings;
+  if (HasDirComponent(path, "models") ||
+      EndsWith(path, "tools/gpuperf_cli.cc")) {
+    return findings;
+  }
+  for (const char* token : {"TryPromote", "Rollback"}) {
+    for (std::size_t pos : FindToken(joined, token)) {
+      // Only member / qualified calls: x.TryPromote(, p->Rollback(,
+      // BundleRegistry::Rollback(. An unrelated free function that
+      // happens to share the name stays legal.
+      const bool member_access =
+          (pos > 0 && joined[pos - 1] == '.') ||
+          (pos > 1 && joined[pos - 2] == '-' && joined[pos - 1] == '>') ||
+          (pos > 1 && joined[pos - 2] == ':' && joined[pos - 1] == ':');
+      if (!member_access) continue;
+      if (!NextNonSpaceIs(joined, pos + std::string(token).size(), '(')) {
+        continue;
+      }
+      findings.push_back(
+          {LineAt(line_starts, pos),
+           std::string("direct '") + token +
+               "()' call outside models/: promotion and rollback must go "
+               "through models::LifecycleController (models/refit.h) or "
+               "the gpuperf_cli entry points so every generation change "
+               "is counted and logged; a deliberate exception takes a "
+               "gpuperf-lint: allow(bundle-lifecycle) comment"});
+    }
   }
   return findings;
 }
@@ -583,9 +626,9 @@ std::string FormatViolation(const Violation& violation) {
 
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string>* const kNames =
-      new std::vector<std::string>{kRuleRawRandom, kRuleFatalInLib,
+      new std::vector<std::string>{kRuleRawRandom,  kRuleFatalInLib,
                                    kRuleUnorderedOrder, kRuleRawMutex,
-                                   kRuleRawCounter};
+                                   kRuleRawCounter, kRuleBundleLifecycle};
   return *kNames;
 }
 
@@ -616,6 +659,9 @@ std::vector<Violation> LintContent(const std::string& path,
   }
   for (Finding& f : CheckRawCounter(path, joined, line_starts)) {
     all.emplace_back(kRuleRawCounter, std::move(f));
+  }
+  for (Finding& f : CheckBundleLifecycle(path, joined, line_starts)) {
+    all.emplace_back(kRuleBundleLifecycle, std::move(f));
   }
 
   std::vector<Violation> violations;

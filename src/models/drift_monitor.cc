@@ -1,0 +1,118 @@
+#include "models/drift_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/metrics_registry.h"
+
+namespace gpuperf::models {
+namespace {
+
+struct DriftMetrics {
+  obs::Counter& observations;
+  obs::Counter& trips;
+  obs::Gauge& tripped_pairs;
+
+  static DriftMetrics& Get() {
+    static DriftMetrics* const kMetrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new DriftMetrics{
+          registry.counter("gpuperf_drift_observations"),
+          registry.counter("gpuperf_drift_trips"),
+          registry.gauge("gpuperf_drift_tripped_pairs")};
+    }();
+    return *kMetrics;
+  }
+};
+
+}  // namespace
+
+DriftMonitor::DriftMonitor(const DriftMonitorOptions& options)
+    : options_(options) {
+  GP_CHECK_GT(options_.ewma_alpha, 0.0);
+  GP_CHECK_LE(options_.ewma_alpha, 1.0);
+  GP_CHECK_GE(options_.cusum_k, 0.0);
+  GP_CHECK_GT(options_.cusum_h, 0.0);
+  GP_CHECK_GE(options_.min_observations, 1);
+}
+
+void DriftMonitor::Observe(const std::string& gpu, int cluster_id,
+                           double log_ratio) {
+  if (!std::isfinite(log_ratio)) return;
+  DriftMetrics& metrics = DriftMetrics::Get();
+  metrics.observations.Increment();
+
+  DriftTracker& tracker = trackers_[{gpu, cluster_id}];
+  if (tracker.observations == 0) {
+    tracker.ewma = log_ratio;
+  } else {
+    tracker.ewma = options_.ewma_alpha * log_ratio +
+                   (1.0 - options_.ewma_alpha) * tracker.ewma;
+  }
+  tracker.cusum_pos =
+      std::max(0.0, tracker.cusum_pos + log_ratio - options_.cusum_k);
+  tracker.cusum_neg =
+      std::max(0.0, tracker.cusum_neg - log_ratio - options_.cusum_k);
+  ++tracker.observations;
+
+  if (!tracker.tripped &&
+      tracker.observations >= options_.min_observations &&
+      std::max(tracker.cusum_pos, tracker.cusum_neg) > options_.cusum_h) {
+    tracker.tripped = true;
+    metrics.trips.Increment();
+    metrics.tripped_pairs.Add(1);
+    LogInfo("drift detected",
+            {{"gpu", gpu},
+             {"cluster", Format("%d", cluster_id)},
+             {"ewma", Format("%.4f", tracker.ewma)},
+             {"cusum", Format("%.4f", std::max(tracker.cusum_pos,
+                                               tracker.cusum_neg))},
+             {"observations", Format("%lld", static_cast<long long>(
+                                                 tracker.observations))}});
+  }
+}
+
+std::vector<DriftKey> DriftMonitor::Tripped() const {
+  std::vector<DriftKey> keys;
+  for (const auto& [key, tracker] : trackers_) {
+    if (tracker.tripped) keys.push_back(key);
+  }
+  return keys;
+}
+
+const DriftTracker* DriftMonitor::Find(const std::string& gpu,
+                                       int cluster_id) const {
+  auto it = trackers_.find({gpu, cluster_id});
+  return it == trackers_.end() ? nullptr : &it->second;
+}
+
+double DriftMonitor::MeanAbsEwma(const std::string& gpu) const {
+  double sum = 0;
+  int count = 0;
+  for (const auto& [key, tracker] : trackers_) {
+    if (key.gpu != gpu) continue;
+    sum += std::abs(tracker.ewma);
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+void DriftMonitor::Reset(const std::string& gpu, int cluster_id) {
+  auto it = trackers_.find({gpu, cluster_id});
+  if (it == trackers_.end()) return;
+  if (it->second.tripped) DriftMetrics::Get().tripped_pairs.Add(-1);
+  trackers_.erase(it);
+}
+
+void DriftMonitor::ResetAll() {
+  DriftMetrics& metrics = DriftMetrics::Get();
+  for (const auto& [key, tracker] : trackers_) {
+    (void)key;
+    if (tracker.tripped) metrics.tripped_pairs.Add(-1);
+  }
+  trackers_.clear();
+}
+
+}  // namespace gpuperf::models

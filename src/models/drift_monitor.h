@@ -1,0 +1,121 @@
+#ifndef GPUPERF_MODELS_DRIFT_MONITOR_H_
+#define GPUPERF_MODELS_DRIFT_MONITOR_H_
+
+/**
+ * @file
+ * Online drift detection over serving residuals.
+ *
+ * A deployed bundle ages: driver updates, clock policies, and thermal
+ * regimes shift real kernel times away from the fitted lines while the
+ * model keeps predicting yesterday's GPU. The monitor watches the live
+ * residual stream — one log-ratio log(observed/predicted) per completed
+ * job, attributed to the (GPU, cluster) regressions that produced the
+ * prediction — and trips exactly the pairs whose residuals develop a
+ * persistent bias, which is what the incremental refit path
+ * (models/refit) then re-estimates.
+ *
+ * Per (GPU, cluster) tracker:
+ *  - an EWMA of the log-ratio (the current bias estimate, reported and
+ *    used for the post-refit "did it shrink" check), and
+ *  - a two-sided CUSUM: s+ accumulates positive drift above a slack k,
+ *    s- negative drift; the pair trips when either side exceeds the
+ *    threshold h after a minimum observation count. CUSUM reacts to
+ *    small persistent shifts far faster than a threshold on the EWMA
+ *    alone, and the slack absorbs zero-mean noise.
+ *
+ * Deterministic and single-threaded by design: the serving simulator's
+ * observation stream is replayed in completion order, so trip decisions
+ * are bit-identical across runs and `--jobs` values. Registry-visible
+ * state is exported under `gpuperf_drift_*`.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace gpuperf::models {
+
+/** Detection knobs; defaults trip on a ~10% persistent bias quickly. */
+struct DriftMonitorOptions {
+  double ewma_alpha = 0.2;   // residual EWMA smoothing factor
+  double cusum_k = 0.02;     // CUSUM slack: |log-ratio| noise to ignore
+  double cusum_h = 0.35;     // CUSUM trip threshold
+  int min_observations = 8;  // observations before a pair may trip
+};
+
+/** The residual stream key: one shared cluster regression on one GPU. */
+struct DriftKey {
+  std::string gpu;
+  int cluster_id = -1;
+
+  bool operator<(const DriftKey& other) const {
+    return std::tie(gpu, cluster_id) < std::tie(other.gpu, other.cluster_id);
+  }
+  bool operator==(const DriftKey& other) const {
+    return gpu == other.gpu && cluster_id == other.cluster_id;
+  }
+};
+
+/** The running state of one (GPU, cluster) residual tracker. */
+struct DriftTracker {
+  double ewma = 0;       // EWMA of log(observed/predicted)
+  double cusum_pos = 0;  // positive-drift CUSUM statistic
+  double cusum_neg = 0;  // negative-drift CUSUM statistic
+  std::int64_t observations = 0;
+  bool tripped = false;
+};
+
+/** Streams residuals into per-(GPU, cluster) trackers. Not thread-safe. */
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(const DriftMonitorOptions& options =
+                            DriftMonitorOptions());
+
+  /**
+   * Feeds one residual log_ratio = log(observed / predicted) for the
+   * cluster `cluster_id` on `gpu`. Non-finite ratios are dropped (a
+   * missing prediction is a serving concern, not drift). The first trip
+   * of a pair emits a structured log line and bumps
+   * `gpuperf_drift_trips`.
+   */
+  void Observe(const std::string& gpu, int cluster_id, double log_ratio);
+
+  /** Keys currently tripped, in deterministic (gpu, cluster) order. */
+  std::vector<DriftKey> Tripped() const;
+
+  /** The tracker for a pair, or nullptr if it never observed anything. */
+  const DriftTracker* Find(const std::string& gpu, int cluster_id) const;
+
+  /**
+   * Mean |EWMA| over every tracked cluster of `gpu` (0 when none) — the
+   * per-GPU health number the lifecycle's post-promotion watch compares
+   * against its rollback threshold.
+   */
+  double MeanAbsEwma(const std::string& gpu) const;
+
+  /**
+   * Forgets one pair's state (the refit lifecycle resets trackers whose
+   * clusters were just re-estimated, so the new generation is judged on
+   * fresh residuals only).
+   */
+  void Reset(const std::string& gpu, int cluster_id);
+
+  /** Drops all trackers. */
+  void ResetAll();
+
+  /** Pairs with at least one observation. */
+  std::size_t TrackedPairs() const { return trackers_.size(); }
+
+  const DriftMonitorOptions& options() const { return options_; }
+
+ private:
+  DriftMonitorOptions options_;
+  std::map<DriftKey, DriftTracker> trackers_;
+};
+
+}  // namespace gpuperf::models
+
+#endif  // GPUPERF_MODELS_DRIFT_MONITOR_H_

@@ -41,44 +41,15 @@ std::size_t CommonPrefix(const std::string& a, const std::string& b) {
 }
 
 /**
- * OLS fit with the intercept clamped to [0, min(min(y), cap)]: a
- * kernel's fixed cost cannot be negative, cannot exceed its fastest
- * observed execution, and physically cannot exceed a few microseconds
- * of launch/ramp-up overhead (the configurable cap). Unclamped OLS can
- * push the intercept far outside this range when the sampled sizes
- * cluster, which wrecks extrapolation to small batch sizes; the clamp
- * costs almost nothing in-range.
+ * The intercept-clamped OLS fit shared with the online refit path
+ * (regression::FitLinearClampedIntercept): unclamped OLS can push the
+ * intercept far outside the physical launch-overhead range when the
+ * sampled sizes cluster, which wrecks extrapolation to small batches.
  */
 regression::LinearFit ClampedFit(const std::vector<double>& x,
                                  const std::vector<double>& y,
                                  double max_intercept_us) {
-  regression::LinearFit fit = regression::FitLinear(x, y);
-  if (y.empty()) return fit;
-  double min_y = y[0];
-  for (double v : y) min_y = std::min(min_y, v);
-  const double clamped =
-      std::clamp(fit.intercept, 0.0, std::min(min_y, max_intercept_us));
-  if (clamped == fit.intercept) return fit;
-  // Refit the slope with the intercept fixed.
-  double sxx = 0, sxy = 0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    sxx += x[i] * x[i];
-    sxy += x[i] * (y[i] - clamped);
-  }
-  fit.intercept = clamped;
-  fit.slope = sxx > 0 ? sxy / sxx : 0.0;
-  // Recompute R² for reporting.
-  double my = 0;
-  for (double v : y) my += v;
-  my /= static_cast<double>(y.size());
-  double ss_res = 0, ss_tot = 0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double r = y[i] - fit.Predict(x[i]);
-    ss_res += r * r;
-    ss_tot += (y[i] - my) * (y[i] - my);
-  }
-  fit.r2 = ss_tot <= 0 ? 1.0 : 1.0 - ss_res / ss_tot;
-  return fit;
+  return regression::FitLinearClampedIntercept(x, y, max_intercept_us);
 }
 
 }  // namespace
@@ -340,8 +311,8 @@ void KwModel::FinalizeTables() {
             break;
           }
         }
-        layer.kernels.push_back(
-            {model->driver, model->fit.slope, model->fit.intercept});
+        layer.kernels.push_back({model->driver, model->fit.slope,
+                                 model->fit.intercept, model->cluster_id});
       }
     }
   }
@@ -420,6 +391,48 @@ double KwModel::PredictLayerResolved(int gpu_idx, int sid,
     total += std::max(0.0, kernel.intercept + kernel.slope * x);
   }
   return total * calibration_by_gpu_[gpu_idx];
+}
+
+bool KwModel::AppendKernelTerms(const dnn::Layer& layer,
+                                const std::string& gpu_name,
+                                std::int64_t batch,
+                                std::vector<KernelTerm>* out) const {
+  auto gpu_it = gpu_index_.find(gpu_name);
+  if (gpu_it == gpu_index_.end()) {
+    Fatal("KW model not trained for GPU " + gpu_name);
+  }
+  const int sid = ResolveSid(layer);
+  if (sid < 0 || resolved_[gpu_it->second][sid].use_lw) return false;
+  const ResolvedLayer& resolved = resolved_[gpu_it->second][sid];
+
+  const double x_input = static_cast<double>(batch * layer.InputElements());
+  const double x_operation =
+      static_cast<double>(dnn::LayerFlops(layer, batch));
+  const double x_output =
+      static_cast<double>(batch * layer.output.Elements());
+  for (const ResolvedKernel& kernel : resolved.kernels) {
+    double x = x_operation;
+    if (kernel.driver == CostDriver::kInput) x = x_input;
+    if (kernel.driver == CostDriver::kOutput) x = x_output;
+    out->push_back({kernel.cluster_id, x,
+                    std::max(0.0, kernel.intercept + kernel.slope * x)});
+  }
+  return true;
+}
+
+int KwModel::UpdateClusterFit(const std::string& gpu_name, int cluster_id,
+                              const regression::LinearFit& fit) {
+  auto it = per_gpu_.find(gpu_name);
+  if (it == per_gpu_.end()) return 0;
+  int updated = 0;
+  for (auto& [name, model] : it->second) {
+    if (model.cluster_id == cluster_id) {
+      model.fit = fit;
+      ++updated;
+    }
+  }
+  if (updated > 0) FinalizeTables();
+  return updated;
 }
 
 double KwModel::PredictLayerUs(const dnn::Layer& layer,

@@ -116,6 +116,39 @@ class KwModel : public Predictor {
   /** Kernel names the mapping table yields for `layer` (may be empty). */
   std::vector<std::string> KernelsForLayer(const dnn::Layer& layer) const;
 
+  /**
+   * One kernel's contribution to a resolved layer prediction — the unit
+   * the drift monitor attributes observed e2e residuals to.
+   */
+  struct KernelTerm {
+    int cluster_id = -1;  // shared-regression id on this GPU
+    double x = 0;         // batch-scaled driver value fed into the fit
+    double us = 0;        // max(0, intercept + slope * x), pre-calibration
+  };
+
+  /**
+   * Appends the per-kernel terms of `layer` on `gpu_name` at `batch` to
+   * `out`. Returns false — appending nothing — when the layer resolves
+   * through the LW fallback or misses the mapping table entirely (no
+   * cluster to attribute to). For resolved layers the terms sum, times
+   * CalibrationFor(gpu_name), to PredictLayerUs. Fatal on an untrained
+   * GPU, like the predict path.
+   */
+  bool AppendKernelTerms(const dnn::Layer& layer, const std::string& gpu_name,
+                         std::int64_t batch,
+                         std::vector<KernelTerm>* out) const;
+
+  /**
+   * Replaces the shared fit of cluster `cluster_id` on `gpu_name` with
+   * `fit` — every kernel in the cluster — and rebuilds the dense
+   * prediction tables (which also discards this generation's compiled
+   * plans and sid memos). Returns the number of kernel models updated;
+   * 0 means unknown GPU or cluster and leaves the model untouched.
+   * The online-refit path (models/refit) is the intended caller.
+   */
+  int UpdateClusterFit(const std::string& gpu_name, int cluster_id,
+                       const regression::LinearFit& fit);
+
   /** How much of a network the trained scope covers (PredictorStack). */
   struct Coverage {
     bool gpu_trained = false;  // model has kernels for this GPU
@@ -166,6 +199,7 @@ class KwModel : public Predictor {
     gpuexec::CostDriver driver = gpuexec::CostDriver::kOperation;
     double slope = 0;
     double intercept = 0;
+    int cluster_id = -1;  // drift attribution; not used by prediction
   };
 
   /** A layer signature fully resolved for one GPU. */

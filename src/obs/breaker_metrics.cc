@@ -1,0 +1,52 @@
+#include "obs/breaker_metrics.h"
+
+#include "common/circuit_breaker.h"
+#include "obs/metrics_registry.h"
+
+namespace gpuperf::obs {
+
+namespace {
+
+struct BreakerMetrics {
+  Counter& opens;
+  Counter& half_opens;
+  Counter& closes;
+
+  static BreakerMetrics& Get() {
+    static BreakerMetrics* const kMetrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      return new BreakerMetrics{
+          registry.counter("gpuperf_breaker_opens"),
+          registry.counter("gpuperf_breaker_half_opens"),
+          registry.counter("gpuperf_breaker_closes")};
+    }();
+    return *kMetrics;
+  }
+};
+
+void OnBreakerTransition(BreakerState from, BreakerState to) {
+  (void)from;
+  BreakerMetrics& metrics = BreakerMetrics::Get();
+  switch (to) {
+    case BreakerState::kOpen:
+      metrics.opens.Increment();
+      break;
+    case BreakerState::kHalfOpen:
+      metrics.half_opens.Increment();
+      break;
+    case BreakerState::kClosed:
+      metrics.closes.Increment();
+      break;
+  }
+}
+
+}  // namespace
+
+void InstallBreakerMetrics() {
+  // Resolve the instruments before publishing the hook so the first
+  // transition never races a registry insertion.
+  BreakerMetrics::Get();
+  SetBreakerTransitionHook(&OnBreakerTransition);
+}
+
+}  // namespace gpuperf::obs

@@ -1,0 +1,28 @@
+#ifndef GPUPERF_OBS_BREAKER_METRICS_H_
+#define GPUPERF_OBS_BREAKER_METRICS_H_
+
+/**
+ * @file
+ * Circuit-breaker transition metrics.
+ *
+ * common/circuit_breaker.h exposes a process-wide transition hook
+ * (common/ cannot depend on obs/); this installer binds it to the
+ * global registry so every breaker transition lands in
+ *
+ *   gpuperf_breaker_opens       closed/half-open -> open trips
+ *   gpuperf_breaker_half_opens  open -> half-open cooldown expiries
+ *   gpuperf_breaker_closes      half-open -> closed probe successes
+ *
+ * regardless of which simulation owns the breaker. Installed by
+ * simsys/serving's metric bootstrap and by gpuperf_cli at startup;
+ * idempotent.
+ */
+
+namespace gpuperf::obs {
+
+/** Binds the breaker transition hook to the global registry. */
+void InstallBreakerMetrics();
+
+}  // namespace gpuperf::obs
+
+#endif  // GPUPERF_OBS_BREAKER_METRICS_H_

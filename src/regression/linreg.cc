@@ -1,5 +1,6 @@
 #include "regression/linreg.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -52,6 +53,38 @@ LinearFit FitLinear(const std::vector<double>& x,
     }
     fit.r2 = 1.0 - ss_res / syy;
   }
+  return fit;
+}
+
+LinearFit FitLinearClampedIntercept(const std::vector<double>& x,
+                                    const std::vector<double>& y,
+                                    double max_intercept) {
+  LinearFit fit = FitLinear(x, y);
+  if (y.empty()) return fit;
+  double min_y = y[0];
+  for (double v : y) min_y = std::min(min_y, v);
+  const double clamped =
+      std::clamp(fit.intercept, 0.0, std::min(min_y, max_intercept));
+  if (clamped == fit.intercept) return fit;
+  // Refit the slope with the intercept fixed.
+  double sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += x[i] * x[i];
+    sxy += x[i] * (y[i] - clamped);
+  }
+  fit.intercept = clamped;
+  fit.slope = sxx > 0 ? sxy / sxx : 0.0;
+  // Recompute R² for reporting.
+  double my = 0;
+  for (double v : y) my += v;
+  my /= static_cast<double>(y.size());
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - fit.Predict(x[i]);
+    ss_res += r * r;
+    ss_tot += (y[i] - my) * (y[i] - my);
+  }
+  fit.r2 = ss_tot <= 0 ? 1.0 : 1.0 - ss_res / ss_tot;
   return fit;
 }
 

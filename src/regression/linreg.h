@@ -35,6 +35,18 @@ struct LinearFit {
 LinearFit FitLinear(const std::vector<double>& x,
                     const std::vector<double>& y);
 
+/**
+ * FitLinear with the intercept clamped to [0, min(min(y), max_intercept)]:
+ * a kernel's fixed cost cannot be negative, cannot exceed its fastest
+ * observed execution, and physically cannot exceed a few microseconds of
+ * launch/ramp-up overhead. When the clamp binds, the slope is refit with
+ * the intercept held fixed and r2 recomputed. Shared by KW training and
+ * the online refit path so both produce identically-shaped lines.
+ */
+LinearFit FitLinearClampedIntercept(const std::vector<double>& x,
+                                    const std::vector<double>& y,
+                                    double max_intercept);
+
 /** A fitted multivariate linear model y = beta0 + sum_i beta[i] * x[i]. */
 struct MultiFit {
   std::vector<double> beta;  // beta[0] is the intercept

@@ -1,0 +1,106 @@
+#include "simsys/self_healing.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/logging.h"
+#include "simsys/serving_matrix.h"
+
+namespace gpuperf::simsys {
+
+StatusOr<SelfHealingResult> RunSelfHealingServing(
+    const std::vector<dnn::Network>& networks,
+    const std::vector<const gpuexec::GpuSpec*>& gpus,
+    const std::vector<std::vector<double>>& true_service_us,
+    const std::vector<double>& job_mix, models::BundleRegistry* registry,
+    models::LifecycleController* controller,
+    const SelfHealingConfig& config) {
+  if (registry == nullptr || controller == nullptr) {
+    return InvalidArgumentError("registry and controller must be non-null");
+  }
+  if (registry->Snapshot() == nullptr) {
+    return FailedPreconditionError(
+        "registry is empty: promote an initial bundle before self-healing");
+  }
+  if (networks.empty() || gpus.empty()) {
+    return InvalidArgumentError("need at least one network and one GPU");
+  }
+  if (true_service_us.size() != networks.size() ||
+      job_mix.size() != networks.size()) {
+    return InvalidArgumentError(
+        "true_service_us rows and job_mix must match networks");
+  }
+  for (const std::vector<double>& row : true_service_us) {
+    if (row.size() != gpus.size()) {
+      return InvalidArgumentError("true_service_us columns must match gpus");
+    }
+  }
+  if (config.epochs <= 0 || config.lifecycle_steps_per_epoch <= 0) {
+    return InvalidArgumentError(
+        "epochs and lifecycle_steps_per_epoch must be positive");
+  }
+
+  SelfHealingResult result;
+  ServingMatrixBuffer buffer;
+  std::vector<std::vector<double>> predicted;
+  const double epoch_us = config.serving.duration_s * 1e6;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // A promotion or rollback between epochs swaps the snapshot; the
+    // refreshed matrix (and the fresh generation's compiled plans) are
+    // how the dispatcher starts trusting the new model.
+    const std::shared_ptr<const models::KwModel> model = registry->Snapshot();
+    FillPredictedServingMatrix(*model, networks, gpus, config.batch, buffer,
+                               predicted);
+
+    ServingConfig serving = config.serving;
+    serving.record_observations = true;
+    serving.time_origin_us =
+        config.serving.time_origin_us + epoch_us * epoch;
+    serving.seed = config.serving.seed + static_cast<std::uint64_t>(epoch);
+
+    StatusOr<ServingResult> simulated = SimulateServing(
+        true_service_us, predicted, job_mix, serving);
+    if (!simulated.ok()) return simulated.status();
+
+    SelfHealingEpoch summary;
+    summary.completed = simulated->completed;
+    summary.dropped = simulated->dropped;
+    summary.shed = simulated->shed_on_admission;
+    std::vector<double> abs_sum(gpus.size(), 0.0);
+    summary.observation_count.assign(gpus.size(), 0);
+    for (const ServingObservation& obs : simulated->observations) {
+      controller->Observe(networks[obs.job], gpus[obs.gpu]->name,
+                          config.batch, obs.predicted_us, obs.observed_us);
+      const double r = std::log(obs.observed_us / obs.predicted_us);
+      if (std::isfinite(r)) {
+        abs_sum[obs.gpu] += std::abs(r);
+        ++summary.observation_count[obs.gpu];
+      }
+    }
+    summary.mean_abs_log_ratio.assign(gpus.size(), 0.0);
+    for (std::size_t g = 0; g < gpus.size(); ++g) {
+      if (summary.observation_count[g] > 0) {
+        summary.mean_abs_log_ratio[g] =
+            abs_sum[g] / summary.observation_count[g];
+      }
+    }
+
+    for (int step = 0; step < config.lifecycle_steps_per_epoch; ++step) {
+      controller->Step();
+    }
+    summary.state = controller->state();
+    LogInfo("self-healing epoch",
+            {{"epoch", std::to_string(epoch)},
+             {"state", models::LifecycleStateName(summary.state)},
+             {"completed", std::to_string(summary.completed)}});
+    result.epochs.push_back(std::move(summary));
+  }
+
+  result.counters = controller->counters();
+  result.final_state = controller->state();
+  result.final_serving_dir = controller->serving_dir();
+  return result;
+}
+
+}  // namespace gpuperf::simsys

@@ -1,0 +1,97 @@
+#ifndef GPUPERF_SIMSYS_SELF_HEALING_H_
+#define GPUPERF_SIMSYS_SELF_HEALING_H_
+
+/**
+ * @file
+ * The self-healing serving loop: epochs of simulated serving feeding
+ * the drift-detection / refit / promotion lifecycle.
+ *
+ * Each epoch:
+ *  1. refresh the predicted-service matrix from the registry's current
+ *     snapshot (one PredictMany sweep; a promotion between epochs is
+ *     picked up here — the new generation's plans compile fresh, so
+ *     stale PlanCache entries cannot survive a swap);
+ *  2. run SimulateServing with the epoch's slice of the drift timeline
+ *     (time_origin_us advances by the epoch duration, so one long
+ *     schedule spans the whole run) and observation recording on;
+ *  3. stream every completed job into the LifecycleController and let
+ *     it advance (trip -> refit -> shadow -> canary -> promote /
+ *     rollback), then record the epoch's per-GPU residual summary.
+ *
+ * Everything downstream of the config is deterministic: arrivals,
+ * faults, and drift come from seeded plans, observations are replayed
+ * in completion order, and the lifecycle never consults a wall clock —
+ * so a fixed scenario heals bit-identically on every run and --jobs
+ * value.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dnn/network.h"
+#include "gpuexec/gpu_spec.h"
+#include "models/bundle_registry.h"
+#include "models/refit.h"
+#include "simsys/serving.h"
+
+namespace gpuperf::simsys {
+
+/** Self-healing loop knobs. */
+struct SelfHealingConfig {
+  // Per-epoch serving configuration. `duration_s` is the epoch length;
+  // the loop forces `record_observations = true` and advances
+  // `time_origin_us` (and the arrival seed) per epoch itself.
+  ServingConfig serving;
+  int epochs = 8;
+  std::int64_t batch = 16;  // serving batch for the predicted matrix
+  // Lifecycle transitions allowed per epoch (1 = one per epoch, the
+  // most observable pacing; larger values heal faster).
+  int lifecycle_steps_per_epoch = 1;
+};
+
+/** One epoch's outcome. */
+struct SelfHealingEpoch {
+  models::LifecycleState state = models::LifecycleState::kHealthy;
+  int completed = 0;
+  int dropped = 0;
+  int shed = 0;
+  // Mean |log(observed/predicted)| and observation count per GPU, over
+  // this epoch's completed jobs that had a finite prediction.
+  std::vector<double> mean_abs_log_ratio;
+  std::vector<int> observation_count;
+};
+
+/** The whole run's outcome. */
+struct SelfHealingResult {
+  std::vector<SelfHealingEpoch> epochs;
+  models::LifecycleCounters counters;   // controller counters at the end
+  models::LifecycleState final_state = models::LifecycleState::kHealthy;
+  std::string final_serving_dir;
+};
+
+/**
+ * Runs `config.epochs` serving epochs over `controller`'s registry.
+ *
+ * `registry` must already be serving a generation (the caller seeds it
+ * — gpuperf_cli promotes the initial bundle; keeping promotion calls
+ * out of simsys is also what the `bundle-lifecycle` lint rule
+ * enforces), and `controller` must have been constructed over the same
+ * registry with the matching serving directory. `true_service_us` is
+ * the undrifted `[job][gpu]` ground truth; drift, faults, and overload
+ * mechanics come from `config.serving`.
+ *
+ * Shapes (networks vs. matrix rows vs. job_mix, gpus vs. columns) are
+ * validated here; everything else is validated by SimulateServing.
+ */
+[[nodiscard]] StatusOr<SelfHealingResult> RunSelfHealingServing(
+    const std::vector<dnn::Network>& networks,
+    const std::vector<const gpuexec::GpuSpec*>& gpus,
+    const std::vector<std::vector<double>>& true_service_us,
+    const std::vector<double>& job_mix, models::BundleRegistry* registry,
+    models::LifecycleController* controller, const SelfHealingConfig& config);
+
+}  // namespace gpuperf::simsys
+
+#endif  // GPUPERF_SIMSYS_SELF_HEALING_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <utility>
 
 #include "common/logging.h"
@@ -10,6 +11,8 @@
 #include "common/stats.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "gpuexec/oracle.h"
+#include "obs/breaker_metrics.h"
 #include "obs/metrics_registry.h"
 #include "obs/span_tracer.h"
 #include "simsys/event_queue.h"
@@ -37,6 +40,9 @@ struct ServingMetrics {
 
   static ServingMetrics& Get() {
     static ServingMetrics* const kMetrics = [] {
+      // Breakers run inside serving sims; bind their transition hook to
+      // the gpuperf_breaker_* counters before the first one can trip.
+      obs::InstallBreakerMetrics();
       obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
       return new ServingMetrics{
           registry.counter("gpuperf_serving_simulations"),
@@ -137,6 +143,7 @@ struct Sim {
   std::vector<double> gpu_busy;
   std::vector<CircuitBreaker> breakers;
   std::vector<double> latencies_ms;
+  std::vector<ServingObservation> observations;  // record_observations only
   int round_robin_next = 0;
 
   // Optional sim-time lifecycle recording; null = tracing off. Track 0
@@ -175,6 +182,22 @@ struct Sim {
         std::min(r.backoff_base_ms * std::ldexp(1.0, attempt),
                  r.backoff_cap_ms);
     return (r.detect_timeout_ms + backoff_ms) * 1e3;
+  }
+
+  /** Memory-bound time share of (job, gpu) for scoped drift events. */
+  double MemoryShare(std::size_t job, std::size_t gpu) const {
+    if (config.drift_memory_share == nullptr) return 0.5;
+    return (*config.drift_memory_share)[job][gpu];
+  }
+
+  /** `truth[job][target]` with the drift schedule applied at `start`. */
+  double DriftedService(std::size_t job, std::size_t target,
+                        double start) const {
+    const double service = truth[job][target];
+    if (config.drift == nullptr || config.drift->empty()) return service;
+    return service * config.drift->FactorAt(target,
+                                            config.time_origin_us + start,
+                                            MemoryShare(job, target));
   }
 
   /** Least-outstanding among the up candidates. */
@@ -346,8 +369,8 @@ struct Sim {
     if (degraded_decision) ++degraded;
     breakers[target].OnDispatch(now);
 
-    const double service = truth[job][target];
     const double start = std::max(gpu_free[target], now);
+    const double service = DriftedService(job, target, start);
     if (!predicted.empty() && std::isfinite(predicted[job][target])) {
       gpu_predicted_free[target] =
           std::max(gpu_predicted_free[target], now) + predicted[job][target];
@@ -394,7 +417,8 @@ struct Sim {
                    TraceArgs(id, job, attempt) +
                        Format(",\"wait_us\":%.3f", start - now));
     }
-    queue.Schedule(gpu_free[target], [this, arrival, target] {
+    queue.Schedule(gpu_free[target], [this, arrival, target, job, start,
+                                      service] {
       const double latency_ms = (queue.NowUs() - arrival) / 1e3;
       latencies_ms.push_back(latency_ms);
       --gpu_outstanding[target];
@@ -403,6 +427,14 @@ struct Sim {
         ++deadline_misses;
       } else {
         ++completed_within_slo;
+      }
+      if (config.record_observations) {
+        const double predicted_us =
+            !predicted.empty() && std::isfinite(predicted[job][target])
+                ? predicted[job][target]
+                : std::numeric_limits<double>::quiet_NaN();
+        observations.push_back({job, target, config.time_origin_us + start,
+                                service, predicted_us});
       }
     });
   }
@@ -485,11 +517,52 @@ Status ValidateInputs(const std::vector<std::vector<double>>& true_service_us,
         config.faults.mtbf_s));
   }
   if (config.faults.mtbf_s > 0 &&
-      (!std::isfinite(config.faults.mttr_s) || config.faults.mttr_s <= 0)) {
+      (!std::isfinite(config.faults.mttr_s) || config.faults.mttr_s < 0)) {
     return InvalidArgumentError(Format(
-        "faults.mttr_s = %g must be positive and finite when faults are "
-        "enabled",
+        "faults.mttr_s = %g must be non-negative and finite when faults "
+        "are enabled (0 = instant repair)",
         config.faults.mttr_s));
+  }
+  if (config.fault_plan != nullptr &&
+      config.fault_plan->resources() < gpus) {
+    return InvalidArgumentError(Format(
+        "fault_plan covers %zu resources, pool has %zu GPUs",
+        config.fault_plan->resources(), gpus));
+  }
+  if (config.drift != nullptr && !config.drift->empty() &&
+      config.drift->resources() < gpus) {
+    return InvalidArgumentError(
+        Format("drift schedule covers %zu resources, pool has %zu GPUs",
+               config.drift->resources(), gpus));
+  }
+  if (!std::isfinite(config.time_origin_us) || config.time_origin_us < 0) {
+    return InvalidArgumentError(Format(
+        "time_origin_us = %g must be non-negative and finite",
+        config.time_origin_us));
+  }
+  if (config.drift_memory_share != nullptr) {
+    const std::vector<std::vector<double>>& share =
+        *config.drift_memory_share;
+    if (share.size() != true_service_us.size()) {
+      return InvalidArgumentError(Format(
+          "drift_memory_share has %zu job types, true_service_us has %zu",
+          share.size(), true_service_us.size()));
+    }
+    for (std::size_t j = 0; j < share.size(); ++j) {
+      if (share[j].size() != gpus) {
+        return InvalidArgumentError(Format(
+            "drift_memory_share row %zu has %zu GPUs, expected %zu", j,
+            share[j].size(), gpus));
+      }
+      for (std::size_t g = 0; g < gpus; ++g) {
+        const double s = share[j][g];
+        if (!std::isfinite(s) || s < 0 || s > 1) {
+          return InvalidArgumentError(Format(
+              "drift_memory_share[%zu][%zu] = %g is not in [0, 1]", j, g,
+              s));
+        }
+      }
+    }
   }
   if (config.retry.max_retries < 0) {
     return InvalidArgumentError(Format(
@@ -549,9 +622,14 @@ StatusOr<ServingResult> SimulateServing(
                                     job_mix, config));
   const std::size_t gpus = true_service_us[0].size();
   const double horizon_us = config.duration_s * 1e6;
+  // Resolve the module's instruments (and the breaker transition hook)
+  // before any breaker can trip, not just at result-recording time.
+  ServingMetrics::Get();
 
   Sim sim(true_service_us, predicted_service_us, config, gpus,
-          FaultPlan(gpus, horizon_us, config.faults));
+          config.fault_plan != nullptr
+              ? *config.fault_plan
+              : FaultPlan(gpus, horizon_us, config.faults));
   sim.tracer = tracer;
   if (tracer != nullptr) {
     tracer->SetTrackName(0, "dispatcher");
@@ -619,6 +697,7 @@ StatusOr<ServingResult> SimulateServing(
     result.gpu_utilization.push_back(sim.gpu_busy[g] / end);
     result.gpu_availability.push_back(sim.plan.Availability(g));
   }
+  result.observations = std::move(sim.observations);
   RecordSimulation(result, sim.latencies_ms);
   return result;
 }

@@ -42,6 +42,10 @@
 #include "common/fault_injection.h"
 #include "common/status.h"
 
+namespace gpuperf::gpuexec {
+class DriftSchedule;
+}  // namespace gpuperf::gpuexec
+
 namespace gpuperf::obs {
 class ChromeTraceWriter;
 class SpanTracer;
@@ -80,6 +84,33 @@ struct ServingConfig {
   int queue_cap = 0;     // max outstanding jobs per GPU (0 = unbounded)
   double slo_ms = 0;     // per-job latency deadline (0 = no SLO)
   BreakerPolicy breaker; // failure_threshold == 0 disables breakers
+  // --- Drift and observation plumbing (self-healing lifecycle); the
+  // defaults keep results byte-identical to the pre-drift simulator.
+  // Deterministic service-time perturbation over sim time (borrowed,
+  // not owned; nullptr = no drift). Must cover at least the pool size.
+  const gpuexec::DriftSchedule* drift = nullptr;
+  // [job_type][gpu] fraction of each cell's service time that is
+  // memory-bound, used to scale scoped drift events (borrowed; nullptr
+  // = 0.5 everywhere). Shape must match true_service_us when set.
+  const std::vector<std::vector<double>>* drift_memory_share = nullptr;
+  // Epoch offset added to sim time when evaluating the drift schedule,
+  // so back-to-back epochs advance through one long drift timeline.
+  double time_origin_us = 0;
+  // Record one ServingObservation per completed job (the drift
+  // monitor's input stream). Purely additive: never changes results.
+  bool record_observations = false;
+  // Explicit fault plan override (tests and replay; borrowed). When
+  // set, `faults` is ignored; the plan must cover the pool.
+  const FaultPlan* fault_plan = nullptr;
+};
+
+/** One completed job, as the drift monitor sees it. */
+struct ServingObservation {
+  std::size_t job = 0;       // job type (row of the service matrices)
+  std::size_t gpu = 0;       // serving GPU
+  double start_us = 0;       // service start in drift time (origin added)
+  double observed_us = 0;    // actual (drifted) service duration
+  double predicted_us = 0;   // model prediction for the cell (NaN = none)
 };
 
 /** Latency and fault statistics of one simulation. */
@@ -102,6 +133,10 @@ struct ServingResult {
   double mean_ms = 0;
   std::vector<double> gpu_utilization;   // busy fraction per GPU
   std::vector<double> gpu_availability;  // up fraction per GPU (fault plan)
+  // Completed jobs in completion order; filled only when
+  // config.record_observations is set, so the default result is
+  // byte-identical to the pre-drift simulator's.
+  std::vector<ServingObservation> observations;
 };
 
 /**

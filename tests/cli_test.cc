@@ -133,6 +133,49 @@ TEST(CliTest, InvalidServeSimFlagsExitOneWithOneLineErrors) {
   }
 }
 
+TEST(CliTest, InvalidDriftFlagsExitOneWithOneLineErrors) {
+  // Drift values are validated even when no event was requested (no
+  // --drift-gpu / --drift-rate): a malformed flag is a user mistake
+  // whether or not it would have been used.
+  const std::vector<BadInvocation> cases = {
+      {"serve-sim --drift-factor abc",
+       "--drift-factor must be a positive number"},
+      {"serve-sim --drift-factor 0",
+       "--drift-factor must be a positive number"},
+      {"serve-sim --drift-at -1",
+       "--drift-at must be a non-negative number of seconds"},
+      {"serve-sim --drift-ramp nan",
+       "--drift-ramp must be a non-negative number of seconds"},
+      {"serve-sim --drift-rate -2",
+       "--drift-rate must be a non-negative number"},
+      {"serve-sim --drift-sigma abc",
+       "--drift-sigma must be a positive number"},
+      {"serve-sim --drift-seed -1",
+       "--drift-seed must be a non-negative integer"},
+      {"serve-sim --drift-scope bogus",
+       "--drift-scope must be all, memory, or compute"},
+      {"serve-sim --drift-gpu A40 --drift-rate 2",
+       "--drift-gpu and --drift-rate are mutually exclusive"},
+      {"serve-sim --drift-gpu H100X --pool A40,V100",
+       "--drift-gpu 'H100X' is not in the pool"},
+      {"drift-report", "--model DIR is required"},
+      {"drift-report --model /nonexistent --drift-factor abc",
+       "--drift-factor must be a positive number"},
+      {"drift-report --model /nonexistent --drift-gpu H100X",
+       "--drift-gpu 'H100X' is not in the pool"},
+  };
+  for (const BadInvocation& c : cases) {
+    SCOPED_TRACE(c.args);
+    const CliResult r = RunCli(c.args);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    ASSERT_FALSE(r.output.empty());
+    const std::string first_line =
+        r.output.substr(0, r.output.find('\n'));
+    EXPECT_NE(first_line.find(c.expected), std::string::npos)
+        << "first line: " << first_line;
+  }
+}
+
 TEST(CliTest, InvalidBundleCheckFlagsExitOneWithOneLineErrors) {
   const std::vector<BadInvocation> cases = {
       {"bundle-check", "--candidate DIR is required"},

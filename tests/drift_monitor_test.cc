@@ -1,0 +1,177 @@
+#include "models/drift_monitor.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace gpuperf::models {
+namespace {
+
+DriftMonitorOptions FastOptions() {
+  DriftMonitorOptions options;
+  options.min_observations = 4;
+  return options;
+}
+
+// A persistent +10% bias: log(1.1) per observation.
+constexpr double kTenPercent = 0.09531017980432486;
+
+TEST(DriftMonitorTest, NoObservationsMeansNoTrackers) {
+  DriftMonitor monitor;
+  EXPECT_EQ(monitor.TrackedPairs(), 0u);
+  EXPECT_TRUE(monitor.Tripped().empty());
+  EXPECT_EQ(monitor.Find("A40", 1), nullptr);
+  EXPECT_DOUBLE_EQ(monitor.MeanAbsEwma("A40"), 0.0);
+}
+
+TEST(DriftMonitorTest, FirstObservationSeedsEwmaDirectly) {
+  DriftMonitor monitor;
+  monitor.Observe("A40", 100001, 0.3);
+  const DriftTracker* tracker = monitor.Find("A40", 100001);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_DOUBLE_EQ(tracker->ewma, 0.3);
+  EXPECT_EQ(tracker->observations, 1);
+  EXPECT_FALSE(tracker->tripped);
+}
+
+TEST(DriftMonitorTest, PersistentPositiveBiasTrips) {
+  DriftMonitor monitor(FastOptions());
+  // CUSUM grows by (0.0953 - k) per step; h = 0.35 is crossed after
+  // ~5 observations, min_observations = 4 allows it.
+  for (int i = 0; i < 8; ++i) monitor.Observe("A40", 100001, kTenPercent);
+  const DriftTracker* tracker = monitor.Find("A40", 100001);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_TRUE(tracker->tripped);
+  const std::vector<DriftKey> tripped = monitor.Tripped();
+  ASSERT_EQ(tripped.size(), 1u);
+  EXPECT_EQ(tripped[0].gpu, "A40");
+  EXPECT_EQ(tripped[0].cluster_id, 100001);
+}
+
+TEST(DriftMonitorTest, PersistentNegativeBiasTripsToo) {
+  DriftMonitor monitor(FastOptions());
+  for (int i = 0; i < 8; ++i) monitor.Observe("A40", 100001, -kTenPercent);
+  const DriftTracker* tracker = monitor.Find("A40", 100001);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_TRUE(tracker->tripped);
+  EXPECT_GT(tracker->cusum_neg, monitor.options().cusum_h);
+}
+
+TEST(DriftMonitorTest, ZeroMeanNoiseDoesNotTrip) {
+  DriftMonitor monitor(FastOptions());
+  // Alternating small residuals inside the CUSUM slack never accumulate.
+  for (int i = 0; i < 200; ++i) {
+    monitor.Observe("A40", 100001, (i % 2 == 0) ? 0.015 : -0.015);
+  }
+  const DriftTracker* tracker = monitor.Find("A40", 100001);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_FALSE(tracker->tripped);
+  EXPECT_TRUE(monitor.Tripped().empty());
+}
+
+TEST(DriftMonitorTest, MinObservationsGatesTheTrip) {
+  DriftMonitorOptions options;
+  options.min_observations = 50;
+  DriftMonitor monitor(options);
+  for (int i = 0; i < 49; ++i) monitor.Observe("A40", 100001, kTenPercent);
+  EXPECT_FALSE(monitor.Find("A40", 100001)->tripped);
+  monitor.Observe("A40", 100001, kTenPercent);
+  EXPECT_TRUE(monitor.Find("A40", 100001)->tripped);
+}
+
+TEST(DriftMonitorTest, PairsAreIndependent) {
+  DriftMonitor monitor(FastOptions());
+  for (int i = 0; i < 12; ++i) {
+    monitor.Observe("A40", 100001, kTenPercent);  // drifting
+    monitor.Observe("A40", 100002, 0.0);          // healthy cluster
+    monitor.Observe("V100", 100001, 0.0);         // healthy GPU
+  }
+  EXPECT_EQ(monitor.TrackedPairs(), 3u);
+  const std::vector<DriftKey> tripped = monitor.Tripped();
+  ASSERT_EQ(tripped.size(), 1u);
+  EXPECT_EQ(tripped[0].gpu, "A40");
+  EXPECT_EQ(tripped[0].cluster_id, 100001);
+}
+
+TEST(DriftMonitorTest, TrippedOrderIsDeterministic) {
+  DriftMonitor monitor(FastOptions());
+  for (int i = 0; i < 12; ++i) {
+    monitor.Observe("V100", 100002, kTenPercent);
+    monitor.Observe("A40", 100001, kTenPercent);
+    monitor.Observe("A40", 100003, kTenPercent);
+  }
+  const std::vector<DriftKey> tripped = monitor.Tripped();
+  ASSERT_EQ(tripped.size(), 3u);
+  EXPECT_EQ(tripped[0], (DriftKey{"A40", 100001}));
+  EXPECT_EQ(tripped[1], (DriftKey{"A40", 100003}));
+  EXPECT_EQ(tripped[2], (DriftKey{"V100", 100002}));
+}
+
+TEST(DriftMonitorTest, NonFiniteResidualsAreDropped) {
+  DriftMonitor monitor(FastOptions());
+  monitor.Observe("A40", 100001, std::numeric_limits<double>::quiet_NaN());
+  monitor.Observe("A40", 100001, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(monitor.TrackedPairs(), 0u);
+}
+
+TEST(DriftMonitorTest, MeanAbsEwmaAveragesOverTheGpu) {
+  DriftMonitor monitor;
+  monitor.Observe("A40", 100001, 0.2);
+  monitor.Observe("A40", 100002, -0.1);
+  monitor.Observe("V100", 100001, 0.4);
+  EXPECT_NEAR(monitor.MeanAbsEwma("A40"), (0.2 + 0.1) / 2, 1e-12);
+  EXPECT_NEAR(monitor.MeanAbsEwma("V100"), 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(monitor.MeanAbsEwma("GTX 1080 Ti"), 0.0);
+}
+
+TEST(DriftMonitorTest, ResetForgetsOnePair) {
+  DriftMonitor monitor(FastOptions());
+  for (int i = 0; i < 12; ++i) {
+    monitor.Observe("A40", 100001, kTenPercent);
+    monitor.Observe("A40", 100002, kTenPercent);
+  }
+  EXPECT_EQ(monitor.Tripped().size(), 2u);
+  monitor.Reset("A40", 100001);
+  EXPECT_EQ(monitor.TrackedPairs(), 1u);
+  const std::vector<DriftKey> tripped = monitor.Tripped();
+  ASSERT_EQ(tripped.size(), 1u);
+  EXPECT_EQ(tripped[0].cluster_id, 100002);
+  // The reset pair starts over: one fresh observation seeds a new EWMA.
+  monitor.Observe("A40", 100001, 0.0);
+  const DriftTracker* tracker = monitor.Find("A40", 100001);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_EQ(tracker->observations, 1);
+  EXPECT_FALSE(tracker->tripped);
+}
+
+TEST(DriftMonitorTest, ResetAllDropsEverything) {
+  DriftMonitor monitor(FastOptions());
+  for (int i = 0; i < 12; ++i) monitor.Observe("A40", 100001, kTenPercent);
+  monitor.ResetAll();
+  EXPECT_EQ(monitor.TrackedPairs(), 0u);
+  EXPECT_TRUE(monitor.Tripped().empty());
+}
+
+TEST(DriftMonitorTest, ReplayIsBitIdentical) {
+  // The determinism contract: the same residual stream produces the
+  // same tracker state, bit for bit.
+  DriftMonitor a(FastOptions());
+  DriftMonitor b(FastOptions());
+  const double residuals[] = {0.1, -0.02, 0.07, 0.11, -0.3, 0.09, 0.08};
+  for (double r : residuals) {
+    a.Observe("A40", 100001, r);
+    b.Observe("A40", 100001, r);
+  }
+  const DriftTracker* ta = a.Find("A40", 100001);
+  const DriftTracker* tb = b.Find("A40", 100001);
+  ASSERT_NE(ta, nullptr);
+  ASSERT_NE(tb, nullptr);
+  EXPECT_EQ(ta->ewma, tb->ewma);
+  EXPECT_EQ(ta->cusum_pos, tb->cusum_pos);
+  EXPECT_EQ(ta->cusum_neg, tb->cusum_neg);
+  EXPECT_EQ(ta->tripped, tb->tripped);
+}
+
+}  // namespace
+}  // namespace gpuperf::models

@@ -132,5 +132,64 @@ TEST(FaultPlanTest, DefaultConstructedPlanIsEmpty) {
   EXPECT_DOUBLE_EQ(plan.horizon_us(), 0.0);
 }
 
+TEST(FaultPlanTest, MttrZeroYieldsInstantRepairBlips) {
+  // MTTR 0 is instant repair: outages are zero-length blips that still
+  // exist on the timeline (they fail jobs in flight across them) but
+  // consume no downtime.
+  FaultPlan plan(2, kHorizonUs, Config(5, 0, 9));
+  for (std::size_t r = 0; r < plan.resources(); ++r) {
+    const auto& outages = plan.Outages(r);
+    ASSERT_FALSE(outages.empty());
+    double previous = 0;
+    for (const DownInterval& o : outages) {
+      EXPECT_EQ(o.up_us, o.down_us);  // zero-length
+      EXPECT_GE(o.down_us, previous);
+      previous = o.up_us;
+    }
+    EXPECT_DOUBLE_EQ(plan.Availability(r), 1.0);
+    // Half-open [down, down): no instant is "down", but a window
+    // straddling the blip still reports the outage.
+    const DownInterval& first = outages[0];
+    EXPECT_FALSE(plan.IsDownAt(r, first.down_us));
+    const DownInterval* found =
+        plan.FirstOutageIn(r, first.down_us - 1, first.down_us + 1);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->down_us, first.down_us);
+  }
+}
+
+TEST(FaultPlanTest, SubTickMtbfTerminatesAndStaysSorted) {
+  // MTBF far below one microsecond (the sim's time unit): generation
+  // must terminate, produce a dense but still sorted/disjoint timeline,
+  // and keep availability in [0, 1].
+  const double horizon_us = 1'000.0;
+  FaultPlan plan(1, horizon_us, Config(1e-7, 1e-7, 5));
+  const auto& outages = plan.Outages(0);
+  EXPECT_GT(outages.size(), 100u);
+  double previous_up = 0;
+  for (const DownInterval& o : outages) {
+    EXPECT_GE(o.down_us, previous_up);
+    EXPECT_GE(o.up_us, o.down_us);
+    EXPECT_LT(o.down_us, horizon_us);
+    previous_up = o.up_us;
+  }
+  EXPECT_GE(plan.Availability(0), 0.0);
+  EXPECT_LE(plan.Availability(0), 1.0);
+}
+
+TEST(FaultPlanTest, ExplicitPlanAllowsOutageAtTimeZero) {
+  // A resource that is already down when the simulation starts.
+  FaultPlan plan({{{0.0, 1'000.0}}, {}}, kHorizonUs);
+  EXPECT_TRUE(plan.IsDownAt(0, 0.0));
+  EXPECT_TRUE(plan.IsDownAt(0, 500.0));
+  EXPECT_FALSE(plan.IsDownAt(0, 1'000.0));
+  EXPECT_FALSE(plan.IsDownAt(1, 0.0));
+  const DownInterval* found = plan.FirstOutageIn(0, 0.0, 1.0);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->down_us, 0.0);
+  EXPECT_LT(plan.Availability(0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.Availability(1), 1.0);
+}
+
 }  // namespace
 }  // namespace gpuperf

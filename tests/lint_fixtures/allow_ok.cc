@@ -22,6 +22,12 @@ std::mutex mu;
 // A deliberate non-metric atomic (not observable state, never exported).
 std::atomic<int> scratch_counter{0};  // gpuperf-lint: allow(raw-counter)
 
+// A reviewed out-of-band rollback (e.g. a recovery tool).
+struct Registry;
+void Heal(Registry& r) {
+  r.Rollback();  // gpuperf-lint: allow(bundle-lifecycle)
+}
+
 std::unordered_map<int, int> histogram;
 void Accumulate() {
   // Order-independent: += into a flat counter, never printed in hash

@@ -1,0 +1,15 @@
+// Fixture: bundle-lifecycle — promotion/rollback called directly on a
+// registry outside models/ or the gpuperf_cli entry point. Expected
+// violations: lines 8, 9, 10; the allow-annotated call and the plain
+// free function that shares a name are legal.
+struct Registry;
+
+void Heal(Registry* registry, Registry& reference) {
+  registry->TryPromote("candidate-dir");
+  reference.Rollback();
+  Registry::Rollback();
+  reference.Rollback();  // gpuperf-lint: allow(bundle-lifecycle)
+}
+
+void Rollback();
+void Other() { Rollback(); }

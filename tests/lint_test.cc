@@ -82,6 +82,15 @@ TEST(LintTest, RawCounterFixture) {
             }));
 }
 
+TEST(LintTest, BundleLifecycleFixture) {
+  EXPECT_EQ(LintFixture("bundle_lifecycle_bad.cc"),
+            (std::vector<std::string>{
+                Prefix("bundle_lifecycle_bad.cc", 8, "bundle-lifecycle"),
+                Prefix("bundle_lifecycle_bad.cc", 9, "bundle-lifecycle"),
+                Prefix("bundle_lifecycle_bad.cc", 10, "bundle-lifecycle"),
+            }));
+}
+
 TEST(LintTest, SplitDeclarationUsesPairedHeader) {
   EXPECT_EQ(LintFixture("split_decl_bad.cc"),
             (std::vector<std::string>{
@@ -104,9 +113,9 @@ TEST(LintTest, WholeFixtureDirectoryIsDeterministic) {
   for (std::size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(FormatViolation(first[i]), FormatViolation(second[i]));
   }
-  // 4 + 1 + 2 + 4 + 4 + 1 known-bad findings, none from the allow
+  // 4 + 1 + 2 + 4 + 4 + 1 + 3 known-bad findings, none from the allow
   // fixture.
-  EXPECT_EQ(first.size(), 16u);
+  EXPECT_EQ(first.size(), 19u);
 }
 
 TEST(LintTest, FormatIsMachineReadable) {
@@ -118,7 +127,7 @@ TEST(LintTest, RuleNamesAreStable) {
   EXPECT_EQ(RuleNames(),
             (std::vector<std::string>{"raw-random", "fatal-in-lib",
                                       "unordered-order", "raw-mutex",
-                                      "raw-counter"}));
+                                      "raw-counter", "bundle-lifecycle"}));
 }
 
 TEST(LintTest, StringsAndCommentsAreInvisible) {
@@ -204,6 +213,25 @@ TEST(LintTest, NonIntegralAtomicsAreNotCounters) {
       "std::atomic<double> level{0.0};\n"
       "std::atomic<Node*> head{nullptr};\n"
       "std::atomic<void (*)(long long)> observer{nullptr};\n";
+  EXPECT_TRUE(LintContent("src/simsys/serving.cc", code).empty());
+}
+
+TEST(LintTest, BundleLifecycleExemptsModelsAndCli) {
+  const std::string code = "void F(R* r) { r->TryPromote(\"d\"); }\n";
+  EXPECT_TRUE(LintContent("src/models/refit.cc", code).empty());
+  EXPECT_TRUE(LintContent("tools/gpuperf_cli.cc", code).empty());
+  // "models" must be a directory component, not a file-name substring.
+  const std::vector<Violation> violations =
+      LintContent("src/simsys/models_glue.cc", code);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "bundle-lifecycle");
+}
+
+TEST(LintTest, BundleLifecycleIgnoresFreeFunctions) {
+  const std::string code =
+      "void Rollback();\n"
+      "void F() { Rollback(); }\n"
+      "void G(R* r) { r->RollbackLog(); }\n";
   EXPECT_TRUE(LintContent("src/simsys/serving.cc", code).empty());
 }
 

@@ -187,5 +187,106 @@ TEST(OracleDeathTest, NullRngIsError) {
       "check failed");
 }
 
+TEST(DriftScheduleTest, EmptyScheduleIsIdentity) {
+  DriftSchedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_EQ(schedule.resources(), 0u);
+  DriftSchedule sized(3, std::vector<DriftEvent>{});
+  EXPECT_TRUE(sized.empty());
+  EXPECT_DOUBLE_EQ(sized.FactorAt(0, 1e6), 1.0);
+  EXPECT_DOUBLE_EQ(sized.FactorAt(2, 0), 1.0);
+}
+
+TEST(DriftScheduleTest, StepEventAppliesFromItsStart) {
+  DriftSchedule schedule(
+      2, {{/*resource=*/0, /*at_us=*/10.0, /*ramp_us=*/0, /*factor=*/1.2,
+           DriftScope::kAll}});
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(0, 9.999), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(0, 10.0), 1.2);
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(0, 1e9), 1.2);
+  // The other resource is untouched.
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(1, 1e9), 1.0);
+}
+
+TEST(DriftScheduleTest, RampInterpolatesLinearly) {
+  DriftSchedule schedule(
+      1, {{0, /*at_us=*/100.0, /*ramp_us=*/100.0, /*factor=*/1.5,
+           DriftScope::kAll}});
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(0, 100.0), 1.0);   // ramp start
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(0, 150.0), 1.25);  // halfway
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(0, 200.0), 1.5);   // full effect
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(0, 1e6), 1.5);
+}
+
+TEST(DriftScheduleTest, ScopedEventsDiluteByMemoryShare) {
+  DriftSchedule memory(
+      1, {{0, 0.0, 0.0, 1.4, DriftScope::kMemoryBound}});
+  // A fully memory-bound workload feels the whole factor; a fully
+  // compute-bound one feels none of it.
+  EXPECT_DOUBLE_EQ(memory.FactorAt(0, 1.0, /*memory_share=*/1.0), 1.4);
+  EXPECT_DOUBLE_EQ(memory.FactorAt(0, 1.0, /*memory_share=*/0.0), 1.0);
+  EXPECT_DOUBLE_EQ(memory.FactorAt(0, 1.0, /*memory_share=*/0.5), 1.2);
+
+  DriftSchedule compute(
+      1, {{0, 0.0, 0.0, 1.4, DriftScope::kComputeBound}});
+  EXPECT_DOUBLE_EQ(compute.FactorAt(0, 1.0, /*memory_share=*/1.0), 1.0);
+  EXPECT_DOUBLE_EQ(compute.FactorAt(0, 1.0, /*memory_share=*/0.0), 1.4);
+}
+
+TEST(DriftScheduleTest, EventsComposeMultiplicatively) {
+  DriftSchedule schedule(
+      1, {{0, 0.0, 0.0, 1.2, DriftScope::kAll},
+          {0, 10.0, 0.0, 1.5, DriftScope::kAll}});
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(0, 5.0), 1.2);
+  EXPECT_DOUBLE_EQ(schedule.FactorAt(0, 10.0), 1.2 * 1.5);
+}
+
+TEST(DriftScheduleTest, SeededGenerationIsBitIdentical) {
+  DriftScheduleConfig config;
+  config.rate_per_s = 2;
+  config.seed = 42;
+  const double horizon_us = 10e6;
+  DriftSchedule a(3, horizon_us, config);
+  DriftSchedule b(3, horizon_us, config);
+  ASSERT_FALSE(a.empty());
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto& ea = a.Events(r);
+    const auto& eb = b.Events(r);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].at_us, eb[i].at_us);
+      EXPECT_EQ(ea[i].factor, eb[i].factor);
+      EXPECT_EQ(ea[i].scope, eb[i].scope);
+    }
+  }
+}
+
+TEST(DriftScheduleTest, GeneratedStreamsAreIndependentOfPoolSize) {
+  DriftScheduleConfig config;
+  config.rate_per_s = 2;
+  config.seed = 7;
+  DriftSchedule small(1, 10e6, config);
+  DriftSchedule large(5, 10e6, config);
+  const auto& a = small.Events(0);
+  const auto& b = large.Events(0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_us, b[i].at_us);
+    EXPECT_EQ(a[i].factor, b[i].factor);
+  }
+}
+
+TEST(DriftScheduleDeathTest, ExplicitEventValidation) {
+  // Out-of-range resource, non-positive factor, negative time: all
+  // programmer errors.
+  EXPECT_DEATH(DriftSchedule(1, {{/*resource=*/3, 0.0, 0.0, 1.1,
+                                  DriftScope::kAll}}),
+               "check failed");
+  EXPECT_DEATH(DriftSchedule(1, {{0, 0.0, 0.0, 0.0, DriftScope::kAll}}),
+               "check failed");
+  EXPECT_DEATH(DriftSchedule(1, {{0, -1.0, 0.0, 1.1, DriftScope::kAll}}),
+               "check failed");
+}
+
 }  // namespace
 }  // namespace gpuperf::gpuexec

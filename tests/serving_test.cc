@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
+#include "gpuexec/oracle.h"
 
 namespace gpuperf::simsys {
 namespace {
@@ -168,7 +169,8 @@ TEST(ServingTest, BadInputsAreInvalidArgument) {
   EXPECT_FALSE(
       SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, bad_retry)
           .ok());
-  ServingConfig bad_mttr = FaultyConfig(DispatchPolicy::kRoundRobin, 5, 0);
+  // mttr_s == 0 is legal (instant-repair blips); negative is not.
+  ServingConfig bad_mttr = FaultyConfig(DispatchPolicy::kRoundRobin, 5, -1);
   EXPECT_FALSE(
       SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, bad_mttr)
           .ok());
@@ -596,6 +598,60 @@ TEST(ServingTest, EveryArrivalIsAccountedFor) {
   ResetServingCounters();
 }
 
+// Runs one simulation and asserts the conservation invariant both on
+// the global counters and the per-run result: every arrival is exactly
+// one of completed / dropped / shed.
+ServingResult RunAndCheckAccounting(const ServingConfig& config) {
+  ResetServingCounters();
+  ServingResult result =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, config)
+          .value();
+  ServingCounters counters = SnapshotServingCounters();
+  EXPECT_GT(counters.jobs_arrived, 0u);
+  EXPECT_EQ(counters.jobs_arrived, counters.jobs_completed +
+                                       counters.jobs_dropped +
+                                       counters.jobs_shed);
+  EXPECT_EQ(counters.jobs_arrived,
+            static_cast<std::uint64_t>(result.completed + result.dropped +
+                                       result.shed_on_admission));
+  ResetServingCounters();
+  return result;
+}
+
+TEST(ServingTest, MttrZeroFaultsKeepAccounting) {
+  // Instant repair: zero-length outage blips still interrupt jobs in
+  // flight, and every interrupted job must end up completed or dropped.
+  ServingConfig config =
+      FaultyConfig(DispatchPolicy::kLeastOutstanding, /*mtbf_s=*/2,
+                   /*mttr_s=*/0);
+  ServingResult result = RunAndCheckAccounting(config);
+  EXPECT_GT(result.completed, 0);
+  for (double a : result.gpu_availability) EXPECT_DOUBLE_EQ(a, 1.0);
+}
+
+TEST(ServingTest, SubTickMtbfKeepsAccounting) {
+  // MTBF below one sim tick: GPUs fail essentially continuously, so
+  // most jobs burn their whole retry budget — but nothing may leak.
+  ServingConfig config = FaultyConfig(DispatchPolicy::kLeastOutstanding,
+                                      /*mtbf_s=*/5e-7, /*mttr_s=*/5e-7,
+                                      /*rate=*/2000, /*duration=*/0.05);
+  ServingResult result = RunAndCheckAccounting(config);
+  EXPECT_GT(result.retries, 0);
+}
+
+TEST(ServingTest, ExplicitPlanOutageAtTimeZeroKeepsAccounting) {
+  // GPU 0 is already down at t=0 (explicit-plan override): arrivals
+  // route to GPU 1 until repair, and the books still balance.
+  FaultPlan plan({{{0.0, 5e6}}, {}}, /*horizon_us=*/20e6);
+  ServingConfig config = Config(DispatchPolicy::kLeastOutstanding, 100, 20);
+  config.fault_plan = &plan;
+  ServingResult result = RunAndCheckAccounting(config);
+  EXPECT_GT(result.completed, 0);
+  ASSERT_EQ(result.gpu_availability.size(), 2u);
+  EXPECT_LT(result.gpu_availability[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.gpu_availability[1], 1.0);
+}
+
 TEST(ServingTest, FaultSweepIsBitIdenticalAcrossJobCounts) {
   // The satellite determinism guarantee: a sweep of fault-injected
   // simulations produces bit-identical results whether run on 1 thread
@@ -614,6 +670,96 @@ TEST(ServingTest, FaultSweepIsBitIdenticalAcrossJobCounts) {
               parallel[i].degraded_dispatch_fraction)
         << i;
   }
+}
+
+TEST(ServingTest, DriftPlumbingOffLeavesResultsByteIdentical) {
+  // The back-compat guarantee of the drift/observation plumbing: an
+  // empty schedule plus observation recording must reproduce the
+  // pre-drift simulator bit for bit — recording is purely additive.
+  const ServingConfig base = Config(DispatchPolicy::kPredictedLeastLoad);
+  ServingResult off =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, base)
+          .value();
+  gpuexec::DriftSchedule empty_schedule(2, std::vector<gpuexec::DriftEvent>{});
+  ServingConfig plumbed = base;
+  plumbed.drift = &empty_schedule;
+  plumbed.record_observations = true;
+  ServingResult on =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, plumbed)
+          .value();
+  EXPECT_EQ(off.completed, on.completed);
+  EXPECT_EQ(off.p50_ms, on.p50_ms);
+  EXPECT_EQ(off.p99_ms, on.p99_ms);
+  EXPECT_EQ(off.mean_ms, on.mean_ms);
+  EXPECT_EQ(off.gpu_utilization, on.gpu_utilization);
+  EXPECT_TRUE(off.observations.empty());
+  EXPECT_EQ(on.observations.size(), static_cast<std::size_t>(on.completed));
+}
+
+TEST(ServingTest, DriftScalesObservedServiceTimes) {
+  // A +50% step on GPU 0 from t=0: every completed job on GPU 0 runs
+  // exactly 1.5x its truth cell, GPU 1 stays nominal, and predictions
+  // (the model's undrifted view) are recorded untouched.
+  gpuexec::DriftSchedule drift(
+      2, {{/*resource=*/0, /*at_us=*/0, /*ramp_us=*/0, /*factor=*/1.5,
+           gpuexec::DriftScope::kAll}});
+  ServingConfig config = Config(DispatchPolicy::kPredictedLeastLoad);
+  config.drift = &drift;
+  config.record_observations = true;
+  ServingResult result =
+      SimulateServing(AffinityTimes(), AffinityTimes(), {1, 1}, config)
+          .value();
+  ASSERT_GT(result.observations.size(), 0u);
+  bool saw_gpu0 = false;
+  for (const ServingObservation& obs : result.observations) {
+    const double truth = AffinityTimes()[obs.job][obs.gpu];
+    const double factor = obs.gpu == 0 ? 1.5 : 1.0;
+    EXPECT_DOUBLE_EQ(obs.observed_us, factor * truth);
+    EXPECT_DOUBLE_EQ(obs.predicted_us, truth);
+    saw_gpu0 = saw_gpu0 || obs.gpu == 0;
+  }
+  EXPECT_TRUE(saw_gpu0);
+}
+
+TEST(ServingTest, DriftedGridIsBitIdenticalAcrossJobCounts) {
+  // The drift determinism guarantee: a mid-horizon ramp changes what
+  // happens, but never differently across --jobs values — the schedule
+  // is precomputed, so thread count cannot perturb it.
+  gpuexec::DriftSchedule drift(
+      2, {{/*resource=*/0, /*at_us=*/5e6, /*ramp_us=*/5e6, /*factor=*/1.4,
+           gpuexec::DriftScope::kAll}});
+  ServingConfig base = Config(DispatchPolicy::kPredictedLeastLoad);
+  base.drift = &drift;
+  std::vector<ServingGridCell> cells;
+  for (DispatchPolicy policy :
+       {DispatchPolicy::kRoundRobin, DispatchPolicy::kLeastOutstanding,
+        DispatchPolicy::kPredictedLeastLoad}) {
+    for (std::uint64_t seed : {5u, 23u}) cells.push_back({policy, seed});
+  }
+  std::vector<StatusOr<ServingResult>> one = SimulateServingGrid(
+      AffinityTimes(), AffinityTimes(), {1, 1}, base, cells, 1);
+  std::vector<StatusOr<ServingResult>> many = SimulateServingGrid(
+      AffinityTimes(), AffinityTimes(), {1, 1}, base, cells, 4);
+  ASSERT_EQ(many.size(), one.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    ASSERT_TRUE(one[i].ok());
+    ASSERT_TRUE(many[i].ok());
+    EXPECT_EQ(one[i]->completed, many[i]->completed) << i;
+    EXPECT_EQ(one[i]->p50_ms, many[i]->p50_ms) << i;
+    EXPECT_EQ(one[i]->p99_ms, many[i]->p99_ms) << i;
+    EXPECT_EQ(one[i]->mean_ms, many[i]->mean_ms) << i;
+    EXPECT_EQ(one[i]->gpu_utilization, many[i]->gpu_utilization) << i;
+  }
+  // The ramp actually bit: the same grid without drift runs faster.
+  std::vector<StatusOr<ServingResult>> undrifted = SimulateServingGrid(
+      AffinityTimes(), AffinityTimes(), {1, 1},
+      Config(DispatchPolicy::kPredictedLeastLoad), cells, 1);
+  bool slower_somewhere = false;
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    slower_somewhere =
+        slower_somewhere || one[i]->mean_ms > undrifted[i]->mean_ms;
+  }
+  EXPECT_TRUE(slower_somewhere);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 //   gpuperf batch <network> <gpu>
 //   gpuperf serve-sim [options]           fault-tolerant serving simulation
 //   gpuperf bundle-check --candidate DIR  validate + canary a bundle
+//   gpuperf drift-report [options]        self-healing lifecycle report
 //
 // Error-handling contract: anything a user can cause from the command
 // line — a typo'd network, a corrupt bundle, a malformed flag value — is
@@ -36,6 +37,7 @@
 #include "dataset/builder.h"
 #include "dnn/flops.h"
 #include "dnn/memory.h"
+#include "gpuexec/oracle.h"
 #include "gpuexec/profiler.h"
 #include "gpuexec/roofline.h"
 #include "models/e2e_model.h"
@@ -43,8 +45,10 @@
 #include "models/lw_model.h"
 #include "models/bundle_registry.h"
 #include "models/model_io.h"
+#include "models/refit.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics_registry.h"
+#include "simsys/self_healing.h"
 #include "simsys/serving.h"
 #include "simsys/serving_matrix.h"
 #include "zoo/zoo.h"
@@ -157,11 +161,51 @@ constexpr char kServeSimUsage[] =
     "                 probing (default 1000)\n"
     "  --breaker-probes N       probe dispatches allowed half-open\n"
     "                 (default 1)\n"
+    "  --drift-gpu NAME    inject one deterministic drift event on this\n"
+    "                 pool GPU (service times drift by --drift-factor)\n"
+    "  --drift-at S        sim-seconds when the event starts (default 0)\n"
+    "  --drift-ramp S      linear ramp-in seconds (0 = step; default 0)\n"
+    "  --drift-factor F    full-effect service-time multiplier, e.g. 1.1 =\n"
+    "                 10% slower (default 1.1)\n"
+    "  --drift-scope S     all | memory | compute: which side of the\n"
+    "                 roofline the event perturbs (default all)\n"
+    "  --drift-rate R      seed-driven drift events per GPU per second\n"
+    "                 (mutually exclusive with --drift-gpu; default 0)\n"
+    "  --drift-sigma F     log-normal factor spread of generated events\n"
+    "                 (default 0.12)\n"
+    "  --drift-seed N      drift generation seed (default 1)\n"
     "  --metrics-out PATH  write a gpuperf_* metrics snapshot after the\n"
     "                 grid (.prom = Prometheus text, else CSV)\n"
     "  --trace-out PATH    write a Chrome trace (chrome://tracing /\n"
     "                 ui.perfetto.dev) of every job's lifecycle\n"
     "  --help         print this flag list and exit 0\n";
+constexpr char kDriftReportUsage[] =
+    "usage: gpuperf drift-report --model DIR [options]\n"
+    "  Runs the self-healing lifecycle over a serving pool: epochs of\n"
+    "  simulated serving with drift injection, online drift detection,\n"
+    "  incremental refit, and shadow -> canary -> promote / rollback\n"
+    "  bundle promotion; prints a per-epoch report.\n"
+    "  --model DIR      initial KW bundle to serve (required)\n"
+    "  --work-dir DIR   where refit candidate bundles are written\n"
+    "                   (default: <model>-heal)\n"
+    "  --pool A,B       GPU pool (default A40,TITAN RTX,V100)\n"
+    "  --networks a,b   job types (default resnet18,resnet50,mobilenet_v2)\n"
+    "  --batch N        per-request micro-batch size (default 16)\n"
+    "  --rate R         Poisson arrivals per second (default 80)\n"
+    "  --epoch-seconds S  epoch length in simulated seconds (default 5)\n"
+    "  --epochs N       number of serving epochs (default 10)\n"
+    "  --seed N         base simulation seed (default 1)\n"
+    "  --drift-gpu NAME   inject one drift event on this pool GPU\n"
+    "  --drift-at S       sim-seconds when the event starts (default 0)\n"
+    "  --drift-ramp S     linear ramp-in seconds (0 = step; default 0)\n"
+    "  --drift-factor F   full-effect multiplier (default 1.1)\n"
+    "  --drift-scope S    all | memory | compute (default all)\n"
+    "  --drift-rate R     seed-driven events per GPU per second\n"
+    "                     (mutually exclusive with --drift-gpu)\n"
+    "  --drift-sigma F    log-normal factor spread (default 0.12)\n"
+    "  --drift-seed N     drift generation seed (default 1)\n"
+    "  --metrics-out PATH write a gpuperf_* metrics snapshot at the end\n"
+    "  --help             print this flag list and exit 0\n";
 constexpr char kBundleCheckUsage[] =
     "usage: gpuperf bundle-check --candidate DIR [options]\n"
     "  --candidate DIR  bundle to validate (required): integrity checks\n"
@@ -505,13 +549,107 @@ int CmdPredict(const Args& args) {
   return 0;
 }
 
+/**
+ * Parses the shared --drift-* flags into a schedule over `pool`.
+ * Returns 0 and leaves `schedule` empty when no drift was requested,
+ * 0 with a populated schedule on success, and a nonzero exit code
+ * (usage error already printed) on a bad value.
+ */
+int ParseDriftFlags(const Args& args, const char* usage,
+                    const std::vector<std::string>& pool, double horizon_s,
+                    gpuexec::DriftSchedule* schedule) {
+  const std::string drift_gpu = args.Get("drift-gpu", "");
+  StatusOr<double> drift_rate =
+      ParseFiniteDouble(args.Get("drift-rate", "0"));
+  if (!drift_rate.ok() || *drift_rate < 0) {
+    return UsageError(usage, "--drift-rate must be a non-negative number, "
+                             "got '" + args.Get("drift-rate", "0") + "'");
+  }
+  if (!drift_gpu.empty() && *drift_rate > 0) {
+    return UsageError(usage,
+                      "--drift-gpu and --drift-rate are mutually exclusive");
+  }
+  StatusOr<double> drift_at = ParseFiniteDouble(args.Get("drift-at", "0"));
+  if (!drift_at.ok() || *drift_at < 0) {
+    return UsageError(usage, "--drift-at must be a non-negative number of "
+                             "seconds, got '" + args.Get("drift-at", "0") +
+                             "'");
+  }
+  StatusOr<double> drift_ramp =
+      ParseFiniteDouble(args.Get("drift-ramp", "0"));
+  if (!drift_ramp.ok() || *drift_ramp < 0) {
+    return UsageError(usage, "--drift-ramp must be a non-negative number of "
+                             "seconds, got '" + args.Get("drift-ramp", "0") +
+                             "'");
+  }
+  StatusOr<double> drift_factor =
+      ParseFiniteDouble(args.Get("drift-factor", "1.1"));
+  if (!drift_factor.ok() || *drift_factor <= 0) {
+    return UsageError(usage, "--drift-factor must be a positive number, "
+                             "got '" + args.Get("drift-factor", "1.1") + "'");
+  }
+  const std::string scope_name = args.Get("drift-scope", "all");
+  gpuexec::DriftScope scope = gpuexec::DriftScope::kAll;
+  if (scope_name == "memory") {
+    scope = gpuexec::DriftScope::kMemoryBound;
+  } else if (scope_name == "compute") {
+    scope = gpuexec::DriftScope::kComputeBound;
+  } else if (scope_name != "all") {
+    return UsageError(usage, "--drift-scope must be all, memory, or "
+                             "compute; got '" + scope_name + "'");
+  }
+  StatusOr<double> drift_sigma =
+      ParseFiniteDouble(args.Get("drift-sigma", "0.12"));
+  if (!drift_sigma.ok() || *drift_sigma <= 0) {
+    return UsageError(usage, "--drift-sigma must be a positive number, "
+                             "got '" + args.Get("drift-sigma", "0.12") + "'");
+  }
+  StatusOr<long long> drift_seed = ParseInt64(args.Get("drift-seed", "1"));
+  if (!drift_seed.ok() || *drift_seed < 0) {
+    return UsageError(usage, "--drift-seed must be a non-negative integer, "
+                             "got '" + args.Get("drift-seed", "1") + "'");
+  }
+  // Values validated even when no event was requested — a malformed
+  // flag is a user mistake whether or not it would have been used.
+  if (drift_gpu.empty() && *drift_rate == 0) return 0;
+
+  if (!drift_gpu.empty()) {
+    std::size_t resource = pool.size();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (pool[i] == drift_gpu) resource = i;
+    }
+    if (resource == pool.size()) {
+      return UsageError(usage, "--drift-gpu '" + drift_gpu +
+                                   "' is not in the pool");
+    }
+    gpuexec::DriftEvent event;
+    event.resource = resource;
+    event.at_us = *drift_at * 1e6;
+    event.ramp_us = *drift_ramp * 1e6;
+    event.factor = *drift_factor;
+    event.scope = scope;
+    *schedule = gpuexec::DriftSchedule(pool.size(), {event});
+    return 0;
+  }
+
+  gpuexec::DriftScheduleConfig config;
+  config.rate_per_s = *drift_rate;
+  config.factor_sigma = *drift_sigma;
+  config.ramp_s = *drift_ramp;
+  config.seed = static_cast<std::uint64_t>(*drift_seed);
+  *schedule = gpuexec::DriftSchedule(pool.size(), horizon_s * 1e6, config);
+  return 0;
+}
+
 int CmdServeSim(const Args& args) {
   if (WantsHelp(args, kServeSimUsage)) return 0;
   const std::string unknown = args.UnknownFlag(
       {"model", "pool", "networks", "batch", "rate", "duration", "seed",
        "policy", "mtbf", "mttr", "retries", "runs", "jobs", "queue-cap",
        "slo-ms", "breaker-failures", "breaker-cooldown-ms",
-       "breaker-probes", "metrics-out", "trace-out"});
+       "breaker-probes", "metrics-out", "trace-out", "drift-gpu",
+       "drift-at", "drift-ramp", "drift-factor", "drift-scope",
+       "drift-rate", "drift-sigma", "drift-seed"});
   if (!unknown.empty()) {
     return UsageError(kServeSimUsage, "unknown flag --" + unknown);
   }
@@ -709,6 +847,11 @@ int CmdServeSim(const Args& args) {
   base_config.breaker.failure_threshold = *breaker_failures;
   base_config.breaker.cooldown_ms = *breaker_cooldown;
   base_config.breaker.half_open_probes = *breaker_probes;
+  gpuexec::DriftSchedule drift;
+  if (int rc = ParseDriftFlags(args, kServeSimUsage, pool, *duration, &drift)) {
+    return rc;
+  }
+  if (!drift.empty()) base_config.drift = &drift;
 
   const std::string metrics_out = args.Get("metrics-out", "");
   const std::string trace_out = args.Get("trace-out", "");
@@ -816,6 +959,164 @@ int CmdBundleCheck(const Args& args) {
   return 0;
 }
 
+int CmdDriftReport(const Args& args) {
+  if (WantsHelp(args, kDriftReportUsage)) return 0;
+  const std::string unknown = args.UnknownFlag(
+      {"model", "work-dir", "pool", "networks", "batch", "rate",
+       "epoch-seconds", "epochs", "seed", "drift-gpu", "drift-at",
+       "drift-ramp", "drift-factor", "drift-scope", "drift-rate",
+       "drift-sigma", "drift-seed", "metrics-out"});
+  if (!unknown.empty()) {
+    return UsageError(kDriftReportUsage, "unknown flag --" + unknown);
+  }
+  const std::string model_dir = args.Get("model", "");
+  if (model_dir.empty()) {
+    return UsageError(kDriftReportUsage, "--model DIR is required");
+  }
+
+  std::vector<std::string> pool =
+      Split(args.Get("pool", "A40,TITAN RTX,V100"), ',');
+  std::vector<const gpuexec::GpuSpec*> gpus;
+  for (const std::string& name : pool) {
+    const gpuexec::GpuSpec* gpu = gpuexec::FindGpu(name);
+    if (gpu == nullptr) {
+      return UserError("unknown GPU '" + name +
+                       "' (run `gpuperf gpus` for the list)");
+    }
+    gpus.push_back(gpu);
+  }
+  std::vector<dnn::Network> networks;
+  for (const std::string& name :
+       Split(args.Get("networks", "resnet18,resnet50,mobilenet_v2"), ',')) {
+    StatusOr<dnn::Network> net = zoo::TryBuildByName(name);
+    if (!net.ok()) return UserError(net.status());
+    networks.push_back(std::move(net).value());
+  }
+
+  StatusOr<long long> batch = ParseInt64(args.Get("batch", "16"));
+  if (!batch.ok() || *batch < 1) {
+    return UsageError(kDriftReportUsage,
+                      "--batch must be a positive integer, got '" +
+                          args.Get("batch", "16") + "'");
+  }
+  StatusOr<double> rate = ParseFiniteDouble(args.Get("rate", "80"));
+  if (!rate.ok() || *rate <= 0) {
+    return UsageError(kDriftReportUsage,
+                      "--rate must be a positive number, got '" +
+                          args.Get("rate", "80") + "'");
+  }
+  StatusOr<double> epoch_s = ParseFiniteDouble(args.Get("epoch-seconds", "5"));
+  if (!epoch_s.ok() || *epoch_s <= 0) {
+    return UsageError(kDriftReportUsage,
+                      "--epoch-seconds must be a positive number, got '" +
+                          args.Get("epoch-seconds", "5") + "'");
+  }
+  StatusOr<int> epochs = ParseInt(args.Get("epochs", "10"));
+  if (!epochs.ok() || *epochs < 1) {
+    return UsageError(kDriftReportUsage,
+                      "--epochs must be a positive integer, got '" +
+                          args.Get("epochs", "10") + "'");
+  }
+  StatusOr<long long> seed = ParseInt64(args.Get("seed", "1"));
+  if (!seed.ok() || *seed < 0) {
+    return UsageError(kDriftReportUsage,
+                      "--seed must be a non-negative integer, got '" +
+                          args.Get("seed", "1") + "'");
+  }
+
+  gpuexec::DriftSchedule drift;
+  if (int rc = ParseDriftFlags(args, kDriftReportUsage, pool,
+                               *epoch_s * *epochs, &drift)) {
+    return rc;
+  }
+
+  // Seed the registry with the initial bundle through the same promote
+  // gate a serving process uses; a bundle that cannot serve is a user
+  // error here (drift-report is about healing a live model).
+  models::BundleRegistry registry;
+  models::CanaryOptions canary;
+  canary.probe_networks = networks;
+  canary.batch = *batch;
+  const Status promoted = registry.TryPromote(model_dir, canary);
+  if (!promoted.ok()) return UserError(promoted);
+
+  gpuexec::HardwareOracle oracle;
+  gpuexec::Profiler profiler(oracle);
+  std::vector<std::vector<double>> truth;
+  for (const dnn::Network& network : networks) {
+    std::vector<double> t;
+    for (const gpuexec::GpuSpec* gpu : gpus) {
+      t.push_back(profiler.MeasureE2eUs(network, *gpu, *batch));
+    }
+    truth.push_back(std::move(t));
+  }
+  const std::vector<double> mix(networks.size(), 1.0);
+
+  models::LifecycleOptions lifecycle;
+  lifecycle.work_dir = args.Get("work-dir", model_dir + "-heal");
+  models::LifecycleController controller(&registry, model_dir, canary,
+                                         lifecycle);
+
+  simsys::SelfHealingConfig config;
+  config.serving.arrival_rate_per_s = *rate;
+  config.serving.duration_s = *epoch_s;
+  config.serving.seed = static_cast<std::uint64_t>(*seed);
+  config.serving.policy = simsys::DispatchPolicy::kPredictedLeastLoad;
+  if (!drift.empty()) config.serving.drift = &drift;
+  config.epochs = *epochs;
+  config.batch = *batch;
+
+  StatusOr<simsys::SelfHealingResult> result = simsys::RunSelfHealingServing(
+      networks, gpus, truth, mix, &registry, &controller, config);
+  if (!result.ok()) return UserError(result.status());
+
+  TextTable table;
+  std::vector<std::string> header = {"epoch", "state", "completed"};
+  for (const std::string& name : pool) header.push_back(name + " |lnR|");
+  table.SetHeader(header);
+  for (std::size_t e = 0; e < result->epochs.size(); ++e) {
+    const simsys::SelfHealingEpoch& epoch = result->epochs[e];
+    std::vector<std::string> row = {
+        Format("%zu", e), models::LifecycleStateName(epoch.state),
+        Format("%d", epoch.completed)};
+    for (std::size_t g = 0; g < pool.size(); ++g) {
+      row.push_back(Format("%.4f", epoch.mean_abs_log_ratio[g]));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  // Parseable summary (scripts/drift_smoke.sh consumes these lines):
+  // per-GPU peak vs final epoch residual, then the lifecycle verdict.
+  for (std::size_t g = 0; g < pool.size(); ++g) {
+    double peak = 0;
+    for (const simsys::SelfHealingEpoch& epoch : result->epochs) {
+      peak = std::max(peak, epoch.mean_abs_log_ratio[g]);
+    }
+    const double final_residual =
+        result->epochs.back().mean_abs_log_ratio[g];
+    std::printf("drift-report: gpu=%s peak=%.4f final=%.4f\n",
+                pool[g].c_str(), peak, final_residual);
+  }
+  std::printf("drift-report: final_state=%s refits=%llu promotions=%llu "
+              "rollbacks=%llu shadow_rejections=%llu "
+              "canary_rejections=%llu\n",
+              models::LifecycleStateName(result->final_state),
+              (unsigned long long)result->counters.refits,
+              (unsigned long long)result->counters.promotions,
+              (unsigned long long)result->counters.rollbacks,
+              (unsigned long long)result->counters.shadow_rejections,
+              (unsigned long long)result->counters.canary_rejections);
+
+  const std::string metrics_out = args.Get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    const Status written =
+        obs::MetricsRegistry::Global().WriteSnapshot(metrics_out);
+    if (!written.ok()) return UserError(written);
+  }
+  return 0;
+}
+
 void Usage() {
   std::fputs(
       "usage: gpuperf <command> [options]\n"
@@ -834,6 +1135,8 @@ void Usage() {
       "            [--jobs N] [...]            fault-tolerant serving sim\n"
       "  bundle-check --candidate DIR [--baseline DIR] [--tolerance F]\n"
       "            [...]                       validate + canary a bundle\n"
+      "  drift-report --model DIR [--drift-gpu NAME] [--epochs N]\n"
+      "            [...]                       self-healing lifecycle report\n"
       "run `gpuperf <command> --help` semantics: any usage mistake prints\n"
       "the command's full flag list\n",
       stderr);
@@ -860,6 +1163,7 @@ int main(int argc, char** argv) {
   if (command == "batch") return CmdBatch(args);
   if (command == "serve-sim") return CmdServeSim(args);
   if (command == "bundle-check") return CmdBundleCheck(args);
+  if (command == "drift-report") return CmdDriftReport(args);
   std::fprintf(stderr, "gpuperf: unknown command '%s'\n", command.c_str());
   Usage();
   return 1;
