@@ -35,7 +35,12 @@ int main() {
   }
 
   const std::string path = "/tmp/gpuperf_resnet18_trace.json";
-  gpuexec::WriteChromeTrace(network, profile, path);
+  const Status status = gpuexec::WriteChromeTrace(network, profile, path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "trace export failed: %s\n",
+                 status.message().c_str());
+    return 1;
+  }
   std::printf("\nfull trace (%zu kernels) written to %s — open it in "
               "chrome://tracing\n",
               profile.kernels.size(), path.c_str());

@@ -46,7 +46,11 @@ Experiment::Experiment()
 
 const dnn::Network& Experiment::NetworkById(int network_id) const {
   auto it = id_to_index_.find(network_id);
-  if (it == id_to_index_.end()) Fatal("unknown network id in experiment");
+  if (it == id_to_index_.end()) {
+    // Bench harness: a bad id is a bug in the experiment table, not a
+    // recoverable condition. gpuperf-lint: allow(fatal-in-lib)
+    Fatal("unknown network id in experiment");
+  }
   return networks_[it->second];
 }
 
@@ -59,6 +63,8 @@ double Experiment::MeasuredE2eUs(const std::string& gpu_name,
                                  const std::string& network_name) const {
   auto it = measured_.find({gpu_name, network_name});
   if (it == measured_.end()) {
+    // Bench harness: missing measurements mean a broken campaign setup.
+    // gpuperf-lint: allow(fatal-in-lib)
     Fatal("no measurement for " + network_name + " on " + gpu_name);
   }
   return it->second;

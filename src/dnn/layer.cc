@@ -31,14 +31,6 @@ std::string LayerKindName(LayerKind kind) {
   return "";
 }
 
-LayerKind LayerKindFromName(const std::string& name) {
-  LayerKind kind;
-  if (!TryLayerKindFromName(name, &kind)) {
-    Fatal("unknown layer kind name: " + name);
-  }
-  return kind;
-}
-
 bool TryLayerKindFromName(const std::string& name, LayerKind* kind) {
   static const std::pair<const char*, LayerKind> kTable[] = {
       {"CONV", LayerKind::kConv2d},

@@ -47,12 +47,10 @@ enum class LayerKind {
 /** Human-readable layer-kind name, e.g. "CONV", "FC", "BN". */
 std::string LayerKindName(LayerKind kind);
 
-/** Parses LayerKindName output back to the enum; Fatal() on unknown text. */
-LayerKind LayerKindFromName(const std::string& name);
-
 /**
- * Non-fatal variant for loading untrusted files: stores the kind and
- * returns true, or returns false on unknown text.
+ * Parses LayerKindName output back to the enum: stores the kind and
+ * returns true, or returns false on unknown text. Safe for untrusted
+ * files — callers own the error path.
  */
 bool TryLayerKindFromName(const std::string& name, LayerKind* kind);
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <map>
 
-#include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/chrome_trace.h"
 
@@ -69,11 +68,10 @@ std::string ChromeTraceJson(const dnn::Network& network,
   return BuildWriter(network, profile).Json();
 }
 
-void WriteChromeTrace(const dnn::Network& network,
-                      const NetworkProfile& profile,
-                      const std::string& path) {
-  const Status status = BuildWriter(network, profile).WriteFile(path);
-  if (!status.ok()) Fatal(status.message());
+Status WriteChromeTrace(const dnn::Network& network,
+                        const NetworkProfile& profile,
+                        const std::string& path) {
+  return BuildWriter(network, profile).WriteFile(path);
 }
 
 }  // namespace gpuperf::gpuexec

@@ -1,0 +1,101 @@
+#include "lint/baseline.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace gpuperf::lint {
+
+bool ParseBaseline(const std::string& content, Baseline* baseline,
+                   std::string* error) {
+  std::istringstream in(content);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string rule, path;
+    long long count = 0;
+    if (!(fields >> rule)) continue;  // blank line
+    std::string extra;
+    if (!(fields >> path >> count) || count <= 0 || (fields >> extra)) {
+      *error = "baseline line " + std::to_string(line_number) +
+               ": expected `<rule> <path> <count>` with count > 0";
+      return false;
+    }
+    const auto key = std::make_pair(rule, path);
+    if (baseline->entries.count(key) > 0) {
+      *error = "baseline line " + std::to_string(line_number) +
+               ": duplicate entry for " + rule + " " + path;
+      return false;
+    }
+    baseline->entries[key] = static_cast<int>(count);
+  }
+  return true;
+}
+
+bool LoadBaseline(const std::string& path, Baseline* baseline,
+                  std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read baseline file " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!ParseBaseline(buffer.str(), baseline, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+std::string WriteBaseline(const std::vector<Violation>& violations) {
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const Violation& violation : violations) {
+    ++counts[{violation.rule, violation.file}];
+  }
+  std::ostringstream out;
+  out << "# gpuperf_lint baseline — pinned debt, may only shrink.\n"
+      << "# Regenerate (after fixing, never to admit new debt) with:\n"
+      << "#   gpuperf_lint --write-baseline=<this file> <paths>\n"
+      << "# Format: <rule> <path> <count>\n";
+  for (const auto& [key, count] : counts) {
+    out << key.first << " " << key.second << " " << count << "\n";
+  }
+  return out.str();
+}
+
+std::vector<Violation> ApplyBaseline(const std::vector<Violation>& violations,
+                                     const Baseline& baseline,
+                                     const std::string& baseline_path) {
+  std::map<std::pair<std::string, std::string>, int> used;
+  std::vector<Violation> remaining;
+  for (const Violation& violation : violations) {
+    const auto key = std::make_pair(violation.rule, violation.file);
+    const auto it = baseline.entries.find(key);
+    if (it != baseline.entries.end() && used[key] < it->second) {
+      ++used[key];  // suppressed: pinned debt
+      continue;
+    }
+    remaining.push_back(violation);
+  }
+  for (const auto& [key, count] : baseline.entries) {
+    const int actual = used.count(key) > 0 ? used.at(key) : 0;
+    if (actual < count) {
+      remaining.push_back(
+          {baseline_path, 1, "baseline-stale",
+           "entry `" + key.first + " " + key.second + " " +
+               std::to_string(count) + "` pins more debt than exists (" +
+               std::to_string(actual) +
+               " remaining); shrink the entry — the ratchet only turns "
+               "one way"});
+    }
+  }
+  std::sort(remaining.begin(), remaining.end(), ViolationLess);
+  return remaining;
+}
+
+}  // namespace gpuperf::lint

@@ -1,0 +1,61 @@
+#ifndef GPUPERF_LINT_BASELINE_H_
+#define GPUPERF_LINT_BASELINE_H_
+
+/**
+ * @file
+ * The baseline ratchet: a checked-in file pinning the known lint debt so
+ * the tree can adopt a new pass without a flag day, while guaranteeing
+ * the debt only ever shrinks.
+ *
+ * Format (one entry per line, sorted, `#` comments allowed):
+ *
+ *     <rule> <path> <count>
+ *
+ * Applying a baseline suppresses up to `count` violations of `rule` in
+ * `path` (in line order, so newly introduced violations later in the
+ * file surface first). The ratchet is enforced both ways:
+ *
+ *  - a violation beyond its entry's count is reported normally;
+ *  - an entry whose debt has been repaid (actual < count) is itself an
+ *    error — the fixer must shrink the baseline in the same change, so
+ *    counts are monotonically non-increasing in history.
+ */
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace gpuperf::lint {
+
+/** Parsed baseline: (rule, path) -> pinned violation count. */
+struct Baseline {
+  std::map<std::pair<std::string, std::string>, int> entries;
+};
+
+/** Parses `content`; fails (with `error`) on a malformed line. */
+bool ParseBaseline(const std::string& content, Baseline* baseline,
+                   std::string* error);
+
+/** Reads and parses the file at `path`. */
+bool LoadBaseline(const std::string& path, Baseline* baseline,
+                  std::string* error);
+
+/** Serializes sorted violation counts as baseline file content. */
+std::string WriteBaseline(const std::vector<Violation>& violations);
+
+/**
+ * Applies `baseline` to sorted `violations`: returns the violations that
+ * exceed their pinned counts, plus one synthetic `baseline-stale`
+ * violation (against the baseline file itself) for every entry whose
+ * debt has shrunk — forcing the ratchet to turn.
+ */
+std::vector<Violation> ApplyBaseline(const std::vector<Violation>& violations,
+                                     const Baseline& baseline,
+                                     const std::string& baseline_path);
+
+}  // namespace gpuperf::lint
+
+#endif  // GPUPERF_LINT_BASELINE_H_

@@ -1,0 +1,41 @@
+#ifndef GPUPERF_LINT_INTERNAL_H_
+#define GPUPERF_LINT_INTERNAL_H_
+
+/**
+ * @file
+ * Helpers shared between the per-file rules (lint.cc) and the
+ * whole-program passes (program.cc). Not part of the public lint API.
+ */
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gpuperf::lint {
+
+/**
+ * Every range-for in joined[begin, end) whose range expression names a
+ * container in `names`: (1-based line, container name) pairs. The
+ * building block of both `unordered-order` (whole file) and
+ * `determinism-taint` (one function body).
+ */
+std::vector<std::pair<int, std::string>> UnorderedIterationSites(
+    const std::string& joined, const std::set<std::string>& names,
+    std::size_t begin, std::size_t end,
+    const std::vector<std::size_t>& line_starts);
+
+/** Names declared with an unordered container type anywhere in `joined`. */
+std::set<std::string> UnorderedNamesIn(const std::string& joined);
+
+/**
+ * Expands `paths` (files or directories, walked recursively) into the
+ * deduplicated, sorted list of C++ sources underneath — the one tree
+ * walk every caller shares. Fails (with `error`) on an unreadable path.
+ */
+bool ListSourceFiles(const std::vector<std::string>& paths,
+                     std::vector<std::string>* files, std::string* error);
+
+}  // namespace gpuperf::lint
+
+#endif  // GPUPERF_LINT_INTERNAL_H_

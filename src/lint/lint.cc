@@ -8,219 +8,11 @@
 #include <set>
 #include <sstream>
 
+#include "lint/internal.h"
+#include "lint/scanner.h"
+
 namespace gpuperf::lint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Lexing: blank out comments, string literals, and char literals so the
-// rules only ever see code, and collect `gpuperf-lint: allow(...)`
-// directives from line comments. Line structure is preserved (every
-// blanked character becomes a space), so reported line numbers match the
-// original file.
-
-struct ScanResult {
-  std::vector<std::string> code;               // blanked, split by line
-  std::map<int, std::set<std::string>> allow;  // 1-based line -> rule ids
-};
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/** Parses "... gpuperf-lint: allow(a, b) ..." out of one comment. */
-std::set<std::string> ParseAllowDirective(const std::string& comment) {
-  std::set<std::string> rules;
-  const std::string marker = "gpuperf-lint:";
-  std::size_t at = comment.find(marker);
-  if (at == std::string::npos) return rules;
-  at = comment.find("allow(", at + marker.size());
-  if (at == std::string::npos) return rules;
-  const std::size_t open = at + 5;  // index of '('
-  const std::size_t close = comment.find(')', open);
-  if (close == std::string::npos) return rules;
-  std::string rule;
-  for (std::size_t i = open + 1; i <= close; ++i) {
-    const char c = comment[i];
-    if (c == ',' || c == ')' || c == ' ') {
-      if (!rule.empty()) rules.insert(rule);
-      rule.clear();
-    } else {
-      rule += c;
-    }
-  }
-  return rules;
-}
-
-ScanResult ScanSource(const std::string& content) {
-  ScanResult result;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
-                     kRawString };
-  State state = State::kCode;
-  std::string line;             // blanked current line
-  std::string comment;          // text of the current line comment
-  std::string raw_delimiter;    // of the active R"delim( ... )delim"
-  bool line_has_code = false;   // non-space code before any comment
-  int line_number = 1;
-
-  auto flush_line = [&] {
-    if (state == State::kLineComment) {
-      const std::set<std::string> rules = ParseAllowDirective(comment);
-      if (!rules.empty()) {
-        // A trailing comment guards its own line; a standalone comment
-        // line guards the next line.
-        const int target = line_has_code ? line_number : line_number + 1;
-        result.allow[target].insert(rules.begin(), rules.end());
-      }
-      comment.clear();
-      state = State::kCode;
-    }
-    // Strings never span lines (raw strings and block comments do).
-    if (state == State::kString || state == State::kChar) state = State::kCode;
-    result.code.push_back(line);
-    line.clear();
-    line_has_code = false;
-    ++line_number;
-  };
-
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    if (c == '\n') {
-      flush_line();
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          line += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          line += "  ";
-          ++i;
-        } else if (c == '"' && i > 0 && content[i - 1] == 'R' &&
-                   (i < 2 || !IsIdentChar(content[i - 2]))) {
-          // R"delim( — capture the delimiter up to the '('.
-          raw_delimiter.clear();
-          std::size_t j = i + 1;
-          while (j < content.size() && content[j] != '(') {
-            raw_delimiter += content[j++];
-          }
-          line += std::string(j - i + 1, ' ');
-          i = j;
-          state = State::kRawString;
-        } else if (c == '"') {
-          state = State::kString;
-          line += ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          line += ' ';
-        } else {
-          line += c;
-          if (!std::isspace(static_cast<unsigned char>(c))) {
-            line_has_code = true;
-          }
-        }
-        break;
-      case State::kLineComment:
-        comment += c;
-        line += ' ';
-        break;
-      case State::kBlockComment:
-        line += ' ';
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          line += ' ';
-          ++i;
-        }
-        break;
-      case State::kString:
-        line += ' ';
-        if (c == '\\') {
-          line += ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        line += ' ';
-        if (c == '\\') {
-          line += ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        }
-        break;
-      case State::kRawString: {
-        // Close only on )delim" — compare in place.
-        const std::string close = ")" + raw_delimiter + "\"";
-        if (content.compare(i, close.size(), close) == 0) {
-          line += std::string(close.size(), ' ');
-          i += close.size() - 1;
-          state = State::kCode;
-        } else {
-          line += ' ';
-        }
-        break;
-      }
-    }
-  }
-  if (!line.empty() || state == State::kLineComment) flush_line();
-  return result;
-}
-
-// ---------------------------------------------------------------------------
-// Token helpers over the blanked code.
-
-/** True when code[pos..] starts the whole-word `token`. */
-bool TokenAt(const std::string& code, std::size_t pos,
-             const std::string& token) {
-  if (code.compare(pos, token.size(), token) != 0) return false;
-  if (pos > 0 && IsIdentChar(code[pos - 1])) return false;
-  const std::size_t end = pos + token.size();
-  if (end < code.size() && IsIdentChar(code[end])) return false;
-  return true;
-}
-
-/** All whole-word occurrences of `token` in `code`. */
-std::vector<std::size_t> FindToken(const std::string& code,
-                                   const std::string& token) {
-  std::vector<std::size_t> hits;
-  std::size_t pos = code.find(token);
-  while (pos != std::string::npos) {
-    if (TokenAt(code, pos, token)) hits.push_back(pos);
-    pos = code.find(token, pos + 1);
-  }
-  return hits;
-}
-
-std::size_t SkipSpaces(const std::string& code, std::size_t pos) {
-  while (pos < code.size() &&
-         std::isspace(static_cast<unsigned char>(code[pos]))) {
-    ++pos;
-  }
-  return pos;
-}
-
-/** True when the next non-space character after `pos` is `want`. */
-bool NextNonSpaceIs(const std::string& code, std::size_t pos, char want) {
-  pos = SkipSpaces(code, pos);
-  return pos < code.size() && code[pos] == want;
-}
-
-bool EndsWith(const std::string& text, const std::string& suffix) {
-  return text.size() >= suffix.size() &&
-         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-/** The 1-based line of offset `pos` in the joined blanked text. */
-int LineAt(const std::vector<std::size_t>& line_starts, std::size_t pos) {
-  const auto it =
-      std::upper_bound(line_starts.begin(), line_starts.end(), pos);
-  return static_cast<int>(it - line_starts.begin());
-}
 
 // ---------------------------------------------------------------------------
 // Rule implementations. Each returns (line, message) pairs; the caller
@@ -248,8 +40,8 @@ constexpr char kRuleBundleLifecycle[] = "bundle-lifecycle";
 const char* const kFatalAllowlist[] = {
     "common/logging.h",     "common/logging.cc",
     "common/csv.h",         "common/csv.cc",
-    "dataset/dataset.cc",   "dnn/layer.cc",
-    "gpuexec/gpu_spec.cc",  "gpuexec/trace_export.cc",
+    "dataset/dataset.cc",
+    "gpuexec/gpu_spec.cc",
     "models/e2e_model.cc",  "models/kw_model.cc",
     "zoo/densenet.cc",      "zoo/resnet.cc",
     "zoo/shufflenet.cc",    "zoo/transformer.cc",
@@ -366,22 +158,6 @@ bool IsIntegralAtomicArg(const std::string& arg) {
   return kIntegral->count(arg) > 0;
 }
 
-/**
- * True when a directory component of `path` is exactly `component`.
- * Component comparison, not substring: "src/jobs/x.cc" must not match
- * "obs".
- */
-bool HasDirComponent(const std::string& path, const std::string& component) {
-  std::size_t start = 0;
-  while (start < path.size()) {
-    std::size_t slash = path.find('/', start);
-    if (slash == std::string::npos) break;  // final component is the file
-    if (path.compare(start, slash - start, component) == 0) return true;
-    start = slash + 1;
-  }
-  return false;
-}
-
 std::vector<Finding> CheckRawCounter(
     const std::string& path, const std::string& joined,
     const std::vector<std::size_t>& line_starts) {
@@ -489,7 +265,7 @@ std::vector<Finding> CheckBundleLifecycle(
  * arguments may span lines; `unordered_map<...>::iterator` chains are
  * skipped.
  */
-std::set<std::string> UnorderedNames(const std::string& joined) {
+std::set<std::string> CollectUnorderedNames(const std::string& joined) {
   std::set<std::string> names;
   for (const char* container : {"unordered_map", "unordered_set",
                                 "unordered_multimap", "unordered_multiset"}) {
@@ -541,12 +317,37 @@ std::vector<Finding> CheckUnorderedOrder(const std::string& joined,
                                              line_starts) {
   std::vector<Finding> findings;
   if (!HasOutputContext(joined)) return findings;
-  std::set<std::string> names = UnorderedNames(joined);
-  const std::set<std::string> header_names = UnorderedNames(header_joined);
+  std::set<std::string> names = CollectUnorderedNames(joined);
+  const std::set<std::string> header_names =
+      CollectUnorderedNames(header_joined);
   names.insert(header_names.begin(), header_names.end());
   if (names.empty()) return findings;
 
+  for (const auto& [line, name] :
+       UnorderedIterationSites(joined, names, 0, joined.size(),
+                               line_starts)) {
+    findings.push_back(
+        {line,
+         "range-for over unordered container '" + name +
+             "' in a file that writes CSV/stdout: hash-iteration order is "
+             "unspecified; iterate a sorted view (or annotate allow() with "
+             "a why-order-independent comment)"});
+  }
+  return findings;
+}
+
+}  // namespace
+
+// Shared with the determinism-taint pass (program.cc), which applies the
+// same range-for detection inside individual function bodies.
+std::vector<std::pair<int, std::string>> UnorderedIterationSites(
+    const std::string& joined, const std::set<std::string>& names,
+    std::size_t begin, std::size_t end,
+    const std::vector<std::size_t>& line_starts) {
+  std::vector<std::pair<int, std::string>> sites;
+  if (names.empty()) return sites;
   for (std::size_t pos : FindToken(joined, "for")) {
+    if (pos < begin || pos >= end) continue;
     std::size_t at = SkipSpaces(joined, pos + 3);
     if (at >= joined.size() || joined[at] != '(') continue;
     // Find the matching close paren (the header may span lines).
@@ -593,29 +394,14 @@ std::vector<Finding> CheckUnorderedOrder(const std::string& joined,
       }
     }
     if (hit.empty()) continue;
-    findings.push_back(
-        {LineAt(line_starts, pos),
-         "range-for over unordered container '" + hit +
-             "' in a file that writes CSV/stdout: hash-iteration order is "
-             "unspecified; iterate a sorted view (or annotate allow() with "
-             "a why-order-independent comment)"});
+    sites.emplace_back(LineAt(line_starts, pos), hit);
   }
-  return findings;
+  return sites;
 }
 
-/** Joins blanked lines and records each line's start offset (1-based). */
-std::string JoinLines(const std::vector<std::string>& lines,
-                      std::vector<std::size_t>* line_starts) {
-  std::string joined;
-  for (const std::string& line : lines) {
-    line_starts->push_back(joined.size());
-    joined += line;
-    joined += '\n';
-  }
-  return joined;
+std::set<std::string> UnorderedNamesIn(const std::string& joined) {
+  return CollectUnorderedNames(joined);
 }
-
-}  // namespace
 
 std::string FormatViolation(const Violation& violation) {
   std::ostringstream out;
@@ -624,43 +410,146 @@ std::string FormatViolation(const Violation& violation) {
   return out.str();
 }
 
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo>* const kRules = new std::vector<RuleInfo>{
+      {kRuleRawRandom,
+       "nondeterminism sources are banned in deterministic modules",
+       "The project invariant is bit-identical results for any --jobs "
+       "value and any run; rand(), std::random_device, wall-clock time() "
+       "/ clock(), and system_clock all break that silently. Seeded "
+       "common/random Rng instances keep every sample reproducible.",
+       "// gpuperf-lint: allow(raw-random) on the offending line, with a "
+       "comment explaining why the value never influences results."},
+      {kRuleFatalInLib,
+       "library code reports Status instead of calling Fatal()",
+       "PR 2 split errors gem5-style: Fatal is for unrecoverable "
+       "programmer errors in leaf tools, Status for everything a caller "
+       "could handle. A Fatal in library code turns a corrupt input file "
+       "into a process abort for every embedder. The audited allowlist "
+       "in src/lint/lint.cc covers the legacy convenience APIs and may "
+       "only shrink.",
+       "Return Status/StatusOr (common/status.h); if no error channel "
+       "exists, add the file to the allowlist with a review "
+       "justification or annotate gpuperf-lint: allow(fatal-in-lib)."},
+      {kRuleUnorderedOrder,
+       "no range-for over unordered containers in files that write output",
+       "Hash-iteration order is unspecified and varies across libstdc++ "
+       "versions and ASLR seeds; iterating an unordered container while "
+       "producing CSV/stdout output leaks that order into bytes the "
+       "project promises are deterministic. Iterate a sorted view.",
+       "// gpuperf-lint: allow(unordered-order) with a comment proving "
+       "the loop's effect is order-independent (e.g. a sum)."},
+      {kRuleRawMutex,
+       "raw std synchronization primitives are banned outside the wrappers",
+       "Clang Thread Safety Analysis only checks lock discipline it can "
+       "see; a raw std::mutex or lock_guard is invisible to it. Every "
+       "mutex must be a common/synchronization.h wrapper (Mutex, "
+       "SharedMutex, MutexLock, CondVar) so -Wthread-safety verifies "
+       "every acquisition at compile time.",
+       "Use the annotated wrappers; gpuperf-lint: allow(raw-mutex) only "
+       "for code that genuinely cannot include common/ headers."},
+      {kRuleRawCounter,
+       "integral std::atomic counters are banned outside src/obs/",
+       "Ad-hoc atomic counters are invisible to --metrics-out snapshots "
+       "and drift out of the observability story. Counters route through "
+       "obs::MetricsRegistry; atomics of bool, pointers, and function "
+       "pointers are algorithm state, not metrics, and stay legal.",
+       "// gpuperf-lint: allow(raw-counter) for a deliberate non-metric "
+       "atomic, with a comment saying what it synchronizes."},
+      {kRuleBundleLifecycle,
+       "bundle promotion/rollback only via the lifecycle controller",
+       "models::LifecycleController shadows, canaries, counts, and logs "
+       "every generation change; a bare registry->TryPromote() or "
+       "Rollback() elsewhere bypasses that audit trail and the canary "
+       "gate. Only models/ and the gpuperf_cli entry points may call "
+       "them directly.",
+       "Route through models::LifecycleController (models/refit.h), or "
+       "annotate gpuperf-lint: allow(bundle-lifecycle) with the reason."},
+      {"layering",
+       "the include graph must match the declared module DAG",
+       "src/lint/layers.txt declares which modules each module may "
+       "include (common -> dnn/gpuexec/obs -> dataset/regression -> "
+       "models -> sched/simsys -> lint/tools). An upward or undeclared "
+       "include edge couples layers that must stay independent, and a "
+       "cycle makes the system untestable in isolation. The pass builds "
+       "the full include graph of src/, tools/, tests/, and bench/ and "
+       "reports any edge the DAG does not allow, with the cycle it would "
+       "close.",
+       "Add the edge to src/lint/layers.txt in the same change, with a "
+       "CONTRIBUTING-reviewed justification; there is no allow-comment "
+       "for architecture."},
+      {"lock-order",
+       "all lock nestings must follow one global acquisition order",
+       "Two locks taken in opposite orders by two threads deadlock. The "
+       "pass tracks MutexLock/SharedMutexLock/SharedReaderLock scopes in "
+       "every TU, keys locks by member name, assembles the global "
+       "acquisition graph, and reports any cycle with a witness path for "
+       "each direction — including two instances of the same lock "
+       "acquired in data-dependent order.",
+       "Restructure so locks are taken in one order (copy out under the "
+       "first lock, then take the second), or gpuperf-lint: "
+       "allow(lock-order) on the inner acquisition with a proof of why "
+       "the order is fixed."},
+      {"determinism-taint",
+       "nondeterminism must not reach output writers, even indirectly",
+       "unordered-order catches hash-order iteration next to output in "
+       "the same file; this pass follows the taint one call further: a "
+       "function that iterates an unordered container (or consumes "
+       "unseeded randomness) and calls a function anywhere in the tree "
+       "that writes CSV/stdout/trace output leaks unspecified order into "
+       "bytes the project promises are deterministic.",
+       "Iterate a sorted view before calling the writer, or gpuperf-"
+       "lint: allow(determinism-taint) on the iteration line with a "
+       "why-order-independent comment."},
+  };
+  return *kRules;
+}
+
 const std::vector<std::string>& RuleNames() {
-  static const std::vector<std::string>* const kNames =
-      new std::vector<std::string>{kRuleRawRandom,  kRuleFatalInLib,
-                                   kRuleUnorderedOrder, kRuleRawMutex,
-                                   kRuleRawCounter, kRuleBundleLifecycle};
+  static const std::vector<std::string>* const kNames = [] {
+    auto* names = new std::vector<std::string>;
+    for (const RuleInfo& rule : Rules()) names->push_back(rule.id);
+    return names;
+  }();
   return *kNames;
 }
 
-std::vector<Violation> LintContent(const std::string& path,
-                                   const std::string& content,
-                                   const std::string& header_content) {
-  const ScanResult scan = ScanSource(content);
-  std::vector<std::size_t> line_starts;
-  const std::string joined = JoinLines(scan.code, &line_starts);
+const RuleInfo* FindRule(const std::string& rule_id) {
+  for (const RuleInfo& rule : Rules()) {
+    if (rule_id == rule.id) return &rule;
+  }
+  return nullptr;
+}
 
-  std::vector<std::size_t> header_starts;
-  const std::string header_joined =
-      JoinLines(ScanSource(header_content).code, &header_starts);
+bool ViolationLess(const Violation& a, const Violation& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+std::vector<Violation> CheckPerFileRules(const FileScan& scan) {
+  const std::string& joined = scan.joined;
+  const std::vector<std::size_t>& line_starts = scan.line_starts;
 
   std::vector<std::pair<std::string, Finding>> all;
   for (Finding& f : CheckRawRandom(joined, line_starts)) {
     all.emplace_back(kRuleRawRandom, std::move(f));
   }
-  for (Finding& f : CheckFatalInLib(path, joined, line_starts)) {
+  for (Finding& f : CheckFatalInLib(scan.path, joined, line_starts)) {
     all.emplace_back(kRuleFatalInLib, std::move(f));
   }
   for (Finding& f :
-       CheckUnorderedOrder(joined, header_joined, line_starts)) {
+       CheckUnorderedOrder(joined, scan.header_joined, line_starts)) {
     all.emplace_back(kRuleUnorderedOrder, std::move(f));
   }
-  for (Finding& f : CheckRawMutex(path, joined, line_starts)) {
+  for (Finding& f : CheckRawMutex(scan.path, joined, line_starts)) {
     all.emplace_back(kRuleRawMutex, std::move(f));
   }
-  for (Finding& f : CheckRawCounter(path, joined, line_starts)) {
+  for (Finding& f : CheckRawCounter(scan.path, joined, line_starts)) {
     all.emplace_back(kRuleRawCounter, std::move(f));
   }
-  for (Finding& f : CheckBundleLifecycle(path, joined, line_starts)) {
+  for (Finding& f : CheckBundleLifecycle(scan.path, joined, line_starts)) {
     all.emplace_back(kRuleBundleLifecycle, std::move(f));
   }
 
@@ -669,15 +558,16 @@ std::vector<Violation> LintContent(const std::string& path,
     const auto it = scan.allow.find(finding.line);
     if (it != scan.allow.end() && it->second.count(rule) > 0) continue;
     violations.push_back(
-        Violation{path, finding.line, rule, std::move(finding.message)});
+        Violation{scan.path, finding.line, rule, std::move(finding.message)});
   }
-  std::sort(violations.begin(), violations.end(),
-            [](const Violation& a, const Violation& b) {
-              if (a.line != b.line) return a.line < b.line;
-              if (a.rule != b.rule) return a.rule < b.rule;
-              return a.message < b.message;  // same line+rule: stable report
-            });
+  std::sort(violations.begin(), violations.end(), ViolationLess);
   return violations;
+}
+
+std::vector<Violation> LintContent(const std::string& path,
+                                   const std::string& content,
+                                   const std::string& header_content) {
+  return CheckPerFileRules(ScanFile(path, content, header_content));
 }
 
 namespace {
@@ -722,34 +612,48 @@ bool LintOneFile(const std::filesystem::path& path,
 
 }  // namespace
 
-bool LintPaths(const std::vector<std::string>& paths,
-               std::vector<Violation>* violations, std::string* error) {
+bool ListSourceFiles(const std::vector<std::string>& paths,
+                     std::vector<std::string>* files, std::string* error) {
+  std::set<std::string> seen;
   for (const std::string& arg : paths) {
     const std::filesystem::path path(arg);
     std::error_code ec;
     if (std::filesystem::is_directory(path, ec)) {
-      std::vector<std::filesystem::path> files;
+      std::vector<std::string> walked;
       for (const auto& entry :
            std::filesystem::recursive_directory_iterator(path, ec)) {
         if (entry.is_regular_file() && IsSourceFile(entry.path())) {
-          files.push_back(entry.path());
+          walked.push_back(entry.path().generic_string());
         }
       }
       if (ec) {
         *error = "cannot walk " + arg + ": " + ec.message();
         return false;
       }
-      std::sort(files.begin(), files.end());
-      for (const std::filesystem::path& file : files) {
-        if (!LintOneFile(file, violations, error)) return false;
-      }
+      for (std::string& file : walked) seen.insert(std::move(file));
     } else if (std::filesystem::is_regular_file(path, ec)) {
-      if (!LintOneFile(path, violations, error)) return false;
+      seen.insert(path.generic_string());
     } else {
       *error = "no such file or directory: " + arg;
       return false;
     }
   }
+  files->assign(seen.begin(), seen.end());
+  return true;
+}
+
+bool LintPaths(const std::vector<std::string>& paths,
+               std::vector<Violation>* violations, std::string* error) {
+  std::vector<std::string> files;
+  if (!ListSourceFiles(paths, &files, error)) return false;
+  std::vector<Violation> found;
+  for (const std::string& file : files) {
+    if (!LintOneFile(file, &found, error)) return false;
+  }
+  std::sort(found.begin(), found.end(), ViolationLess);
+  violations->insert(violations->end(),
+                     std::make_move_iterator(found.begin()),
+                     std::make_move_iterator(found.end()));
   return true;
 }
 

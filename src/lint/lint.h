@@ -12,7 +12,7 @@
  * milliseconds over the whole tree, and the rules are simple enough that
  * a lexer that strips comments and string literals is sufficient.
  *
- * Rules (kebab-case ids, used in reports and allow-comments):
+ * Per-file rules (kebab-case ids, used in reports and allow-comments):
  *  - `raw-random`    nondeterminism sources (`rand`, `srand`,
  *                    `std::random_device`, wall-clock `time()`/`clock()`,
  *                    `system_clock`) are banned in deterministic modules;
@@ -34,6 +34,19 @@
  *                    counters are invisible to --metrics-out snapshots;
  *                    route them through obs::MetricsRegistry. Atomics of
  *                    bool, pointers, or function pointers are fine.
+ *  - `bundle-lifecycle` member `TryPromote()`/`Rollback()` calls outside
+ *                    models/ and the CLI bypass the lifecycle audit trail.
+ *
+ * Whole-program passes (program.h; the same ids appear in reports):
+ *  - `layering`      the `#include` graph must match the module DAG
+ *                    declared in src/lint/layers.txt — no upward edges,
+ *                    no cycles, no undeclared modules.
+ *  - `lock-order`    MutexLock/SharedMutexLock/SharedReaderLock nestings
+ *                    across all TUs must form an acyclic global
+ *                    acquisition order (cycles are potential deadlocks).
+ *  - `determinism-taint` unordered-container iteration and unseeded
+ *                    randomness must not reach a CSV/stdout/trace writer,
+ *                    even through one level of call indirection.
  *
  * Escape hatch: `// gpuperf-lint: allow(rule-a, rule-b)` suppresses the
  * listed rules on its own line, or on the next line when the comment
@@ -43,6 +56,8 @@
 
 #include <string>
 #include <vector>
+
+#include "lint/scanner.h"
 
 namespace gpuperf::lint {
 
@@ -57,8 +72,36 @@ struct Violation {
 /** `file:line: rule: message` (the stable report format). */
 std::string FormatViolation(const Violation& violation);
 
+/**
+ * One rule's catalog entry. `--list-rules`, `--explain`, and the SARIF
+ * rule metadata all read this table, so the three can never drift.
+ */
+struct RuleInfo {
+  const char* id;         // kebab-case rule id
+  const char* summary;    // one line, used by SARIF shortDescription
+  const char* rationale;  // why the rule exists (for --explain)
+  const char* escape;     // the sanctioned way around it
+};
+
+/** Every implemented rule, in report order. */
+const std::vector<RuleInfo>& Rules();
+
 /** The ids of every implemented rule, in report order. */
 const std::vector<std::string>& RuleNames();
+
+/** The catalog entry for `rule_id`, or nullptr if unknown. */
+const RuleInfo* FindRule(const std::string& rule_id);
+
+/** Orders by (file, line, rule, message) — the stable report order. */
+bool ViolationLess(const Violation& a, const Violation& b);
+
+/**
+ * Runs the per-file rules over one scanned file and applies its allow
+ * directives. The building block shared by LintContent, LintPaths, and
+ * the whole-program driver in program.h (which adds the cross-file
+ * passes on top of the same scan).
+ */
+std::vector<Violation> CheckPerFileRules(const FileScan& scan);
 
 /**
  * Lints one file's `content`. `header_content` is the paired header of a
@@ -71,9 +114,11 @@ std::vector<Violation> LintContent(const std::string& path,
 
 /**
  * Lints every C++ source under `paths` (files or directories, walked
- * recursively, visited in sorted order). An unreadable path is reported
- * in `error` and makes the call fail (returns false). Violations append
- * to `violations`.
+ * recursively) with the per-file rules. Files reached through more than
+ * one argument are linted once, and the report is globally sorted, so
+ * the output is byte-identical for any argument ordering. An unreadable
+ * path is reported in `error` and makes the call fail (returns false).
+ * Violations append to `violations`.
  */
 bool LintPaths(const std::vector<std::string>& paths,
                std::vector<Violation>* violations, std::string* error);

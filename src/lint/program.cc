@@ -1,0 +1,922 @@
+#include "lint/program.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "lint/internal.h"
+#include "lint/scanner.h"
+
+namespace gpuperf::lint {
+namespace {
+
+constexpr char kRuleLayering[] = "layering";
+constexpr char kRuleLockOrder[] = "lock-order";
+constexpr char kRuleDeterminismTaint[] = "determinism-taint";
+
+std::vector<std::string> SplitComponents(const std::string& path) {
+  std::vector<std::string> components;
+  std::string current;
+  for (char c : path) {
+    if (c == '/') {
+      if (!current.empty()) components.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) components.push_back(current);
+  return components;
+}
+
+// ---------------------------------------------------------------------------
+// layering
+
+struct LayerGraph {
+  struct Entry {
+    std::set<std::string> deps;
+    bool wildcard = false;  // "*": a top-level consumer, may include all
+    int line = 0;
+  };
+  std::string path;
+  std::map<std::string, Entry> modules;
+};
+
+bool LoadLayerGraph(const std::string& path, LayerGraph* graph,
+                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read layers file " + path;
+    return false;
+  }
+  graph->path = path;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::size_t at = SkipSpaces(line, 0);
+    if (at >= line.size()) continue;
+    const std::size_t colon = line.find(':', at);
+    if (colon == std::string::npos) {
+      *error = path + ":" + std::to_string(line_number) +
+               ": expected `module: dep dep ...`";
+      return false;
+    }
+    std::string module;
+    for (std::size_t i = at; i < colon; ++i) {
+      if (!std::isspace(static_cast<unsigned char>(line[i]))) {
+        module += line[i];
+      }
+    }
+    if (module.empty()) {
+      *error = path + ":" + std::to_string(line_number) + ": empty module";
+      return false;
+    }
+    if (graph->modules.count(module) > 0) {
+      *error = path + ":" + std::to_string(line_number) +
+               ": duplicate module '" + module + "'";
+      return false;
+    }
+    LayerGraph::Entry entry;
+    entry.line = line_number;
+    std::istringstream deps(line.substr(colon + 1));
+    std::string dep;
+    while (deps >> dep) {
+      if (dep == "*") {
+        entry.wildcard = true;
+      } else {
+        entry.deps.insert(dep);
+      }
+    }
+    graph->modules.emplace(std::move(module), std::move(entry));
+  }
+  // Every named dep must itself be declared, so typos cannot silently
+  // open an edge.
+  for (const auto& [module, entry] : graph->modules) {
+    for (const std::string& dep : entry.deps) {
+      if (graph->modules.count(dep) == 0) {
+        *error = path + ":" + std::to_string(entry.line) + ": module '" +
+                 module + "' names undeclared dep '" + dep + "'";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/**
+ * The shortest declared dependency path from `from` to `to` (BFS over
+ * declared deps, neighbors visited in sorted order so the witness is
+ * deterministic). Empty when unreachable.
+ */
+std::vector<std::string> DeclaredPath(const LayerGraph& graph,
+                                      const std::string& from,
+                                      const std::string& to) {
+  std::map<std::string, std::string> parent;
+  std::vector<std::string> frontier{from};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    std::vector<std::string> next;
+    for (const std::string& node : frontier) {
+      if (node == to) {
+        std::vector<std::string> chain{to};
+        std::string walk = to;
+        while (parent[walk] != walk) {
+          walk = parent[walk];
+          chain.push_back(walk);
+        }
+        std::reverse(chain.begin(), chain.end());
+        return chain;
+      }
+      const auto it = graph.modules.find(node);
+      if (it == graph.modules.end()) continue;
+      for (const std::string& dep : it->second.deps) {
+        if (parent.emplace(dep, node).second) next.push_back(dep);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return {};
+}
+
+/** Violations for a cycle in the *declared* graph itself (a config bug). */
+std::vector<Violation> CheckDeclaredDag(const LayerGraph& graph) {
+  std::vector<Violation> violations;
+  // Colors: 0 unvisited, 1 on stack, 2 done. Deterministic DFS order.
+  std::map<std::string, int> color;
+  std::vector<std::string> stack;
+  std::function<bool(const std::string&)> visit =
+      [&](const std::string& node) -> bool {
+    color[node] = 1;
+    stack.push_back(node);
+    const auto it = graph.modules.find(node);
+    if (it != graph.modules.end()) {
+      for (const std::string& dep : it->second.deps) {
+        if (color[dep] == 1) {
+          std::string chain = dep;
+          for (auto walk = std::find(stack.begin(), stack.end(), dep);
+               walk != stack.end(); ++walk) {
+            if (*walk != dep) chain += " -> " + *walk;
+          }
+          chain += " -> " + dep;
+          violations.push_back(
+              {graph.path, it->second.line, kRuleLayering,
+               "declared layer graph is not a DAG: " + chain +
+                   "; break the cycle before any include can be checked"});
+          return false;
+        }
+        if (color[dep] == 0 && !visit(dep)) return false;
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+    return true;
+  };
+  for (const auto& [module, entry] : graph.modules) {
+    (void)entry;
+    if (color[module] == 0 && !visit(module)) break;
+  }
+  return violations;
+}
+
+std::vector<Violation> CheckLayering(const std::vector<FileScan>& files,
+                                     const LayerGraph& graph) {
+  std::vector<Violation> violations = CheckDeclaredDag(graph);
+  if (!violations.empty()) return violations;  // graph unusable
+
+  for (const FileScan& file : files) {
+    const std::string module = ModuleOfPath(file.path);
+    if (module.empty()) continue;  // not in a recognized tree shape
+    const auto entry_it = graph.modules.find(module);
+    if (entry_it == graph.modules.end()) {
+      violations.push_back(
+          {file.path, 1, kRuleLayering,
+           "module '" + module + "' is not declared in " + graph.path +
+               "; add a `" + module +
+               ": <deps>` line placing it in the layer DAG"});
+      continue;
+    }
+    const LayerGraph::Entry& entry = entry_it->second;
+    if (entry.wildcard) continue;
+    for (const FileScan::Include& include : file.includes) {
+      const std::vector<std::string> components =
+          SplitComponents(include.target);
+      if (components.size() < 2) continue;  // local include, same module
+      const std::string& target = components.front();
+      if (target == module) continue;
+      if (graph.modules.count(target) == 0) continue;  // external header
+      if (entry.deps.count(target) > 0) continue;
+      std::string message =
+          "include of \"" + include.target + "\" makes module '" + module +
+          "' depend on '" + target + "', which " + graph.path +
+          " does not allow";
+      const std::vector<std::string> cycle =
+          DeclaredPath(graph, target, module);
+      if (!cycle.empty()) {
+        std::string chain = module;
+        for (const std::string& node : cycle) chain += " -> " + node;
+        message += "; this upward edge closes the dependency cycle " + chain;
+      }
+      message +=
+          " (declare the edge in layers.txt with a review justification, "
+          "or invert the dependency)";
+      violations.push_back(
+          {file.path, include.line, kRuleLayering, std::move(message)});
+    }
+  }
+  return violations;
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+
+/** One RAII lock acquisition site. */
+struct Acquisition {
+  std::size_t pos = 0;   // offset of the lock-type token
+  int line = 0;
+  std::string expr;      // the constructor argument, spaces stripped
+  std::string canonical; // expr without the object prefix ("other.mu_"->"mu_")
+};
+
+std::string CanonicalLockName(const std::string& expr) {
+  std::string stripped;
+  for (char c : expr) {
+    if (!std::isspace(static_cast<unsigned char>(c))) stripped += c;
+  }
+  while (!stripped.empty() && (stripped.front() == '&' ||
+                               stripped.front() == '*')) {
+    stripped.erase(stripped.begin());
+  }
+  const std::size_t arrow = stripped.rfind("->");
+  const std::size_t dot = stripped.rfind('.');
+  std::size_t cut = std::string::npos;
+  if (arrow != std::string::npos) cut = arrow + 2;
+  if (dot != std::string::npos && (cut == std::string::npos || dot + 1 > cut)) {
+    cut = dot + 1;
+  }
+  return cut == std::string::npos ? stripped : stripped.substr(cut);
+}
+
+std::vector<Acquisition> FindAcquisitions(const FileScan& file) {
+  std::vector<Acquisition> acquisitions;
+  for (const char* token :
+       {"MutexLock", "SharedMutexLock", "SharedReaderLock"}) {
+    const std::size_t token_len = std::string(token).size();
+    for (std::size_t pos : FindToken(file.joined, token)) {
+      // `MutexLock name(expr)` — a declaration of the RAII guard. The
+      // wrapper definitions themselves (`MutexLock(Mutex& mu)`,
+      // `~MutexLock()`, `friend class MutexLock;`) have no variable
+      // name before the paren and fall through.
+      std::size_t at = SkipSpaces(file.joined, pos + token_len);
+      if (at >= file.joined.size() || !IsIdentChar(file.joined[at])) continue;
+      while (at < file.joined.size() && IsIdentChar(file.joined[at])) ++at;
+      at = SkipSpaces(file.joined, at);
+      if (at >= file.joined.size() || file.joined[at] != '(') continue;
+      int depth = 0;
+      std::size_t close = at;
+      while (close < file.joined.size()) {
+        if (file.joined[close] == '(') ++depth;
+        if (file.joined[close] == ')') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++close;
+      }
+      if (close >= file.joined.size()) continue;
+      std::string expr;
+      for (std::size_t i = at + 1; i < close; ++i) {
+        if (!std::isspace(static_cast<unsigned char>(file.joined[i]))) {
+          expr += file.joined[i];
+        }
+      }
+      if (expr.empty()) continue;
+      Acquisition acquisition;
+      acquisition.pos = pos;
+      acquisition.line = LineAt(file.line_starts, pos);
+      acquisition.expr = expr;
+      acquisition.canonical = CanonicalLockName(expr);
+      acquisitions.push_back(std::move(acquisition));
+    }
+  }
+  std::sort(acquisitions.begin(), acquisitions.end(),
+            [](const Acquisition& a, const Acquisition& b) {
+              return a.pos < b.pos;
+            });
+  return acquisitions;
+}
+
+/** One observed `held -> acquired` nesting, with its source location. */
+struct LockEdge {
+  std::string file;
+  int line = 0;        // the inner acquisition
+  std::string held_expr;
+  int held_line = 0;
+  std::string acquired_expr;
+};
+
+bool IsAllowed(const FileScan& file, int line, const char* rule) {
+  const auto it = file.allow.find(line);
+  return it != file.allow.end() && it->second.count(rule) > 0;
+}
+
+std::vector<Violation> CheckLockOrder(const std::vector<FileScan>& files) {
+  std::vector<Violation> violations;
+  // canonical held -> canonical acquired -> first witness
+  std::map<std::string, std::map<std::string, LockEdge>> edges;
+
+  for (const FileScan& file : files) {
+    const std::vector<Acquisition> acquisitions = FindAcquisitions(file);
+    if (acquisitions.empty()) continue;
+
+    struct Held {
+      const Acquisition* acquisition;
+      int depth;
+    };
+    std::vector<Held> held;
+    int depth = 0;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < file.joined.size(); ++i) {
+      while (next < acquisitions.size() && acquisitions[next].pos == i) {
+        const Acquisition& acquired = acquisitions[next];
+        if (!IsAllowed(file, acquired.line, kRuleLockOrder)) {
+          for (const Held& h : held) {
+            const Acquisition& holding = *h.acquisition;
+            if (holding.canonical == acquired.canonical) {
+              const std::string detail =
+                  holding.expr == acquired.expr
+                      ? "re-entrant acquisition of lock '" + acquired.expr +
+                            "' (line " + std::to_string(holding.line) +
+                            " still holds it): a non-recursive mutex "
+                            "self-deadlocks here"
+                      : "two instances of lock '" + acquired.canonical +
+                            "' acquired in data-dependent order ('" +
+                            holding.expr + "' held since line " +
+                            std::to_string(holding.line) + ", now '" +
+                            acquired.expr +
+                            "'): concurrent opposite-direction calls "
+                            "deadlock";
+              violations.push_back(
+                  {file.path, acquired.line, kRuleLockOrder,
+                   detail +
+                       "; impose a fixed order (or copy out under the "
+                       "first lock before taking the second)"});
+            } else {
+              auto& slot = edges[holding.canonical];
+              if (slot.count(acquired.canonical) == 0) {
+                slot.emplace(acquired.canonical,
+                             LockEdge{file.path, acquired.line, holding.expr,
+                                      holding.line, acquired.expr});
+              }
+            }
+          }
+        }
+        held.push_back({&acquired, depth});
+        ++next;
+      }
+      const char c = file.joined[i];
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+        if (depth < 0) depth = 0;  // unbalanced input; stay sane
+      }
+    }
+  }
+
+  // Any cycle in the assembled graph is a potential deadlock. The graphs
+  // are tiny, so a per-node DFS that only reports cycles at their
+  // lexicographically-smallest node keeps each cycle to one report.
+  std::vector<std::string> nodes;
+  for (const auto& [from, targets] : edges) {
+    nodes.push_back(from);
+    for (const auto& [to, witness] : targets) {
+      (void)witness;
+      nodes.push_back(to);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  for (const std::string& origin : nodes) {
+    // DFS from `origin` looking for a path back to it using nodes that
+    // are not smaller than origin (the canonical rotation of a cycle).
+    std::vector<std::string> path{origin};
+    std::set<std::string> on_path{origin};
+    std::function<bool()> dfs = [&]() -> bool {
+      const auto it = edges.find(path.back());
+      if (it == edges.end()) return false;
+      for (const auto& [to, witness] : it->second) {
+        (void)witness;
+        if (to == origin) {
+          path.push_back(origin);
+          return true;
+        }
+        if (to < origin || on_path.count(to) > 0) continue;
+        path.push_back(to);
+        on_path.insert(to);
+        if (dfs()) return true;
+        on_path.erase(to);
+        path.pop_back();
+      }
+      return false;
+    };
+    if (!dfs()) continue;
+
+    // path = origin -> ... -> origin; report with every edge's witness.
+    std::string description = "lock-order cycle ";
+    const LockEdge* first_witness = nullptr;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const LockEdge& witness = edges[path[i]][path[i + 1]];
+      if (i > 0) description += "; ";
+      description += "'" + path[i] + "' -> '" + path[i + 1] + "' (" +
+                     witness.file + ":" + std::to_string(witness.line) +
+                     " acquires '" + witness.acquired_expr + "' while '" +
+                     witness.held_expr + "' is held)";
+      if (first_witness == nullptr ||
+          witness.file < first_witness->file ||
+          (witness.file == first_witness->file &&
+           witness.line < first_witness->line)) {
+        first_witness = &witness;
+      }
+    }
+    violations.push_back(
+        {first_witness->file, first_witness->line, kRuleLockOrder,
+         description +
+             " — threads taking these locks in different orders can "
+             "deadlock; pick one global acquisition order"});
+  }
+  return violations;
+}
+
+// ---------------------------------------------------------------------------
+// determinism-taint
+
+/** One function definition found in a file's blanked code. */
+struct FunctionDef {
+  std::string name;       // the last identifier before the parameter list
+  int line = 0;           // of the name
+  std::size_t body_begin = 0;  // just after the '{'
+  std::size_t body_end = 0;    // at the matching '}'
+};
+
+bool IsControlKeyword(const std::string& ident) {
+  static const std::set<std::string>* const kKeywords =
+      new std::set<std::string>{
+          "if",     "for",      "while",   "switch",     "catch",
+          "return", "sizeof",   "alignof", "decltype",   "constexpr",
+          "else",   "do",       "new",     "delete",     "assert",
+          "static_assert",      "defined", "noexcept",
+      };
+  return kKeywords->count(ident) > 0;
+}
+
+/** Reads the identifier ending just before `end` (exclusive); "" if none. */
+std::string IdentBefore(const std::string& code, std::size_t end) {
+  std::size_t at = end;
+  while (at > 0 &&
+         std::isspace(static_cast<unsigned char>(code[at - 1]))) {
+    --at;
+  }
+  std::size_t begin = at;
+  while (begin > 0 && IsIdentChar(code[begin - 1])) --begin;
+  return code.substr(begin, at - begin);
+}
+
+std::size_t MatchingParen(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')') {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+std::size_t MatchingBrace(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '{') ++depth;
+    if (code[i] == '}') {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+/**
+ * Consumes one balanced `(...)` or `{...}` group starting at or after
+ * `at`; returns the index just past it, or npos when the shape differs.
+ */
+std::size_t ConsumeBalanced(const std::string& code, std::size_t at) {
+  at = SkipSpaces(code, at);
+  if (at >= code.size()) return std::string::npos;
+  if (code[at] == '(') {
+    const std::size_t close = MatchingParen(code, at);
+    return close == std::string::npos ? close : close + 1;
+  }
+  if (code[at] == '{') {
+    const std::size_t close = MatchingBrace(code, at);
+    return close == std::string::npos ? close : close + 1;
+  }
+  return std::string::npos;
+}
+
+/**
+ * Heuristic function-definition finder over blanked code: an identifier,
+ * a balanced parameter list, optional qualifiers (`const`, `noexcept`,
+ * `override`, TSA macros, a constructor init list, a trailing return
+ * type), then `{`. Lambdas never match (the char before their paren is
+ * `]`), so their bodies stay attributed to the enclosing function.
+ */
+std::vector<FunctionDef> ExtractFunctions(
+    const std::string& joined, const std::vector<std::size_t>& line_starts) {
+  std::vector<FunctionDef> functions;
+  for (std::size_t i = 0; i < joined.size(); ++i) {
+    if (joined[i] != '(') continue;
+    const std::string name = IdentBefore(joined, i);
+    if (name.empty() || IsControlKeyword(name)) continue;
+    const std::size_t close = MatchingParen(joined, i);
+    if (close == std::string::npos) continue;
+
+    std::size_t at = close + 1;
+    bool is_function = false;
+    for (;;) {
+      at = SkipSpaces(joined, at);
+      if (at >= joined.size()) break;
+      const char c = joined[at];
+      if (c == '{') {
+        is_function = true;
+        break;
+      }
+      if (c == ':' && at + 1 < joined.size() && joined[at + 1] != ':') {
+        // Constructor init list: `name(args), other{args}, ... {`.
+        at = SkipSpaces(joined, at + 1);
+        bool ok = true;
+        while (ok) {
+          while (at < joined.size() &&
+                 (IsIdentChar(joined[at]) || joined[at] == ':')) {
+            ++at;
+          }
+          if (NextNonSpaceIs(joined, at, '<')) {
+            // Templated base: skip the balanced <...>.
+            at = SkipSpaces(joined, at);
+            int angle = 0;
+            while (at < joined.size()) {
+              if (joined[at] == '<') ++angle;
+              if (joined[at] == '>') {
+                --angle;
+                if (angle == 0) {
+                  ++at;
+                  break;
+                }
+              }
+              ++at;
+            }
+          }
+          const std::size_t past = ConsumeBalanced(joined, at);
+          if (past == std::string::npos) {
+            ok = false;
+            break;
+          }
+          at = SkipSpaces(joined, past);
+          if (at < joined.size() && joined[at] == ',') {
+            at = SkipSpaces(joined, at + 1);
+            continue;
+          }
+          break;
+        }
+        if (ok && at < joined.size() && joined[at] == '{') {
+          is_function = true;
+        }
+        break;
+      }
+      if (c == '-' && at + 1 < joined.size() && joined[at + 1] == '>') {
+        // Trailing return type: scan to the body or a declaration end.
+        at += 2;
+        while (at < joined.size() && joined[at] != '{' &&
+               joined[at] != ';') {
+          ++at;
+        }
+        if (at < joined.size() && joined[at] == '{') is_function = true;
+        break;
+      }
+      if (IsIdentChar(c)) {
+        std::string qualifier;
+        while (at < joined.size() && IsIdentChar(joined[at])) {
+          qualifier += joined[at++];
+        }
+        if (qualifier == "const" || qualifier == "override" ||
+            qualifier == "final" || qualifier == "mutable" ||
+            qualifier == "try") {
+          continue;
+        }
+        if (qualifier == "noexcept" ||
+            qualifier.compare(0, 3, "GP_") == 0) {
+          if (NextNonSpaceIs(joined, at, '(')) {
+            const std::size_t past = ConsumeBalanced(joined, at);
+            if (past == std::string::npos) break;
+            at = past;
+          }
+          continue;
+        }
+        break;  // a declaration list or expression, not a definition
+      }
+      break;  // ';', ',', '=', ... — not a function body
+    }
+    if (!is_function) continue;
+    const std::size_t brace = at;  // every accepting path stops on '{'
+    const std::size_t end = MatchingBrace(joined, brace);
+    if (end == std::string::npos) continue;
+    FunctionDef def;
+    def.name = name;
+    def.line = LineAt(line_starts, i);
+    def.body_begin = brace + 1;
+    def.body_end = end;
+    functions.push_back(std::move(def));
+  }
+  return functions;
+}
+
+/** Tokens whose presence makes a function body a direct output writer. */
+bool HasDirectOutput(const std::string& joined, std::size_t begin,
+                     std::size_t end) {
+  for (const char* token : {"printf", "fprintf", "cout", "ofstream",
+                            "WriteCsv", "SaveCsv"}) {
+    for (std::size_t pos : FindToken(joined, token)) {
+      if (pos >= begin && pos < end) return true;
+    }
+  }
+  return false;
+}
+
+/** Called-function names within joined[begin, end). */
+std::set<std::string> CalledNames(const std::string& joined,
+                                  std::size_t begin, std::size_t end) {
+  std::set<std::string> names;
+  for (std::size_t i = begin; i < end && i < joined.size(); ++i) {
+    if (joined[i] != '(') continue;
+    const std::string name = IdentBefore(joined, i);
+    if (!name.empty() && !IsControlKeyword(name)) names.insert(name);
+  }
+  return names;
+}
+
+/** Unseeded-randomness source sites within joined[begin, end). */
+std::vector<std::pair<int, std::string>> RandomnessSites(
+    const std::string& joined, std::size_t begin, std::size_t end,
+    const std::vector<std::size_t>& line_starts) {
+  std::vector<std::pair<int, std::string>> sites;
+  struct Pattern {
+    const char* token;
+    bool call_only;
+  };
+  const Pattern patterns[] = {
+      {"rand", true}, {"srand", true}, {"random_device", false}};
+  for (const Pattern& pattern : patterns) {
+    for (std::size_t pos : FindToken(joined, pattern.token)) {
+      if (pos < begin || pos >= end) continue;
+      const std::size_t after = pos + std::string(pattern.token).size();
+      if (pattern.call_only && !NextNonSpaceIs(joined, after, '(')) continue;
+      if (pos > 0 && (joined[pos - 1] == '.' ||
+                      (pos > 1 && joined[pos - 2] == '-' &&
+                       joined[pos - 1] == '>'))) {
+        continue;
+      }
+      sites.emplace_back(LineAt(line_starts, pos), pattern.token);
+    }
+  }
+  std::sort(sites.begin(), sites.end());
+  return sites;
+}
+
+struct SinkDef {
+  std::string file;
+  int line = 0;
+};
+
+std::vector<Violation> CheckDeterminismTaint(
+    const std::vector<FileScan>& files,
+    const std::set<std::pair<std::string, int>>& per_file_flagged) {
+  // One scan of every file's functions, reused for both the sink table
+  // and the source walk.
+  struct FileFunctions {
+    const FileScan* file;
+    std::vector<FunctionDef> functions;
+  };
+  std::vector<FileFunctions> all;
+  all.reserve(files.size());
+  std::map<std::string, SinkDef> sinks;  // name -> smallest definition site
+  for (const FileScan& file : files) {
+    FileFunctions entry{&file,
+                        ExtractFunctions(file.joined, file.line_starts)};
+    for (const FunctionDef& def : entry.functions) {
+      if (!HasDirectOutput(file.joined, def.body_begin, def.body_end)) {
+        continue;
+      }
+      const auto it = sinks.find(def.name);
+      if (it == sinks.end() || file.path < it->second.file ||
+          (file.path == it->second.file && def.line < it->second.line)) {
+        sinks[def.name] = {file.path, def.line};
+      }
+    }
+    all.push_back(std::move(entry));
+  }
+
+  std::vector<Violation> violations;
+  for (const FileFunctions& entry : all) {
+    const FileScan& file = *entry.file;
+    std::set<std::string> unordered = UnorderedNamesIn(file.joined);
+    const std::set<std::string> header_names =
+        UnorderedNamesIn(file.header_joined);
+    unordered.insert(header_names.begin(), header_names.end());
+
+    for (const FunctionDef& def : entry.functions) {
+      // Direct output next to a source in one function is
+      // unordered-order / raw-random territory; this pass owns the
+      // cross-function step.
+      if (HasDirectOutput(file.joined, def.body_begin, def.body_end)) {
+        continue;
+      }
+      const std::set<std::string> calls =
+          CalledNames(file.joined, def.body_begin, def.body_end);
+      std::string sink_name;
+      for (const std::string& call : calls) {
+        if (call != def.name && sinks.count(call) > 0) {
+          sink_name = call;
+          break;  // calls is sorted; first hit is the canonical witness
+        }
+      }
+      if (sink_name.empty()) continue;
+      const SinkDef& sink = sinks.at(sink_name);
+      const std::string sink_location =
+          sink_name + "()' (defined at " + sink.file + ":" +
+          std::to_string(sink.line) + ")";
+
+      std::vector<std::pair<int, std::string>> sources =
+          UnorderedIterationSites(file.joined, unordered, def.body_begin,
+                                  def.body_end, file.line_starts);
+      for (const auto& [line, container] : sources) {
+        if (per_file_flagged.count({file.path, line}) > 0) continue;
+        if (IsAllowed(file, line, kRuleDeterminismTaint)) continue;
+        violations.push_back(
+            {file.path, line, kRuleDeterminismTaint,
+             "hash-order iteration over unordered container '" + container +
+                 "' taints output sink '" + sink_location +
+                 " reached from this function; iterate a sorted view "
+                 "before calling the writer"});
+      }
+      for (const auto& [line, token] :
+           RandomnessSites(file.joined, def.body_begin, def.body_end,
+                           file.line_starts)) {
+        if (per_file_flagged.count({file.path, line}) > 0) continue;
+        if (IsAllowed(file, line, kRuleDeterminismTaint)) continue;
+        violations.push_back(
+            {file.path, line, kRuleDeterminismTaint,
+             "nondeterministic source '" + token +
+                 "' taints output sink '" + sink_location +
+                 " reached from this function; thread a seeded Rng "
+                 "through instead"});
+      }
+    }
+  }
+  return violations;
+}
+
+// ---------------------------------------------------------------------------
+// driver
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::string ModuleOfPath(const std::string& path) {
+  const std::vector<std::string> components = SplitComponents(path);
+  std::string module;
+  for (std::size_t i = 0; i + 1 < components.size(); ++i) {
+    // `src/<dir>/...` — the dir after the last `src` component is the
+    // module (it must be a directory, i.e. not the final file itself).
+    if (components[i] == "src" && i + 2 < components.size()) {
+      module = components[i + 1];
+    } else if (components[i] == "tools" || components[i] == "tests" ||
+               components[i] == "bench" || components[i] == "examples") {
+      module = components[i];
+    }
+  }
+  return module;
+}
+
+bool LintProgram(const std::vector<std::string>& paths,
+                 const ProgramOptions& options,
+                 std::vector<Violation>* violations,
+                 std::vector<PassTiming>* timings, std::string* error) {
+  auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::string> files;
+  if (!ListSourceFiles(paths, &files, error)) return false;
+
+  std::vector<FileScan> scans;
+  scans.reserve(files.size());
+  for (const std::string& path : files) {
+    bool excluded = false;
+    for (const std::string& component : options.exclude_components) {
+      if (HasDirComponent(path, component)) {
+        excluded = true;
+        break;
+      }
+    }
+    if (excluded) continue;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      *error = "cannot read " + path;
+      return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    std::string header_content;
+    if (EndsWith(path, ".cc") || EndsWith(path, ".cpp")) {
+      std::string header = path.substr(0, path.rfind('.')) + ".h";
+      std::ifstream header_in(header, std::ios::binary);
+      if (header_in) {
+        std::ostringstream header_buffer;
+        header_buffer << header_in.rdbuf();
+        header_content = header_buffer.str();
+      }
+    }
+    scans.push_back(ScanFile(path, buffer.str(), header_content));
+  }
+  if (timings != nullptr) {
+    timings->push_back({"scan", MsSince(start), scans.size()});
+  }
+
+  std::vector<Violation> found;
+
+  start = std::chrono::steady_clock::now();
+  std::set<std::pair<std::string, int>> per_file_flagged;
+  for (const FileScan& scan : scans) {
+    for (Violation& violation : CheckPerFileRules(scan)) {
+      if (violation.rule == "raw-random" ||
+          violation.rule == "unordered-order") {
+        per_file_flagged.emplace(violation.file, violation.line);
+      }
+      found.push_back(std::move(violation));
+    }
+  }
+  if (timings != nullptr) {
+    timings->push_back({"per-file", MsSince(start), scans.size()});
+  }
+
+  if (!options.layers_file.empty()) {
+    start = std::chrono::steady_clock::now();
+    LayerGraph graph;
+    if (!LoadLayerGraph(options.layers_file, &graph, error)) return false;
+    std::vector<Violation> layering = CheckLayering(scans, graph);
+    found.insert(found.end(),
+                 std::make_move_iterator(layering.begin()),
+                 std::make_move_iterator(layering.end()));
+    if (timings != nullptr) {
+      timings->push_back({"layering", MsSince(start), scans.size()});
+    }
+  }
+
+  start = std::chrono::steady_clock::now();
+  std::vector<Violation> lock_order = CheckLockOrder(scans);
+  found.insert(found.end(), std::make_move_iterator(lock_order.begin()),
+               std::make_move_iterator(lock_order.end()));
+  if (timings != nullptr) {
+    timings->push_back({"lock-order", MsSince(start), scans.size()});
+  }
+
+  start = std::chrono::steady_clock::now();
+  std::vector<Violation> taint =
+      CheckDeterminismTaint(scans, per_file_flagged);
+  found.insert(found.end(), std::make_move_iterator(taint.begin()),
+               std::make_move_iterator(taint.end()));
+  if (timings != nullptr) {
+    timings->push_back({"determinism-taint", MsSince(start), scans.size()});
+  }
+
+  std::sort(found.begin(), found.end(), ViolationLess);
+  violations->insert(violations->end(),
+                     std::make_move_iterator(found.begin()),
+                     std::make_move_iterator(found.end()));
+  return true;
+}
+
+}  // namespace gpuperf::lint

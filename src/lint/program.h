@@ -1,0 +1,80 @@
+#ifndef GPUPERF_LINT_PROGRAM_H_
+#define GPUPERF_LINT_PROGRAM_H_
+
+/**
+ * @file
+ * Whole-program analysis passes for gpuperf_lint.
+ *
+ * The per-file rules (lint.h) catch local policy violations; the passes
+ * here enforce the structural invariants that only exist across
+ * translation units. All passes share one tree scan — every file is
+ * read and lexed exactly once — so the whole tree stays under the one
+ * second budget.
+ *
+ *  - `layering`          the module `#include` graph must match the DAG
+ *                        declared in src/lint/layers.txt: no undeclared
+ *                        module, no undeclared edge, no cycle. Reported
+ *                        with the include chain (and the dependency
+ *                        cycle the edge would close, when there is one).
+ *  - `lock-order`        scope-tracks MutexLock / SharedMutexLock /
+ *                        SharedReaderLock nesting in every TU, keys
+ *                        locks by member name, and assembles one global
+ *                        lock-acquisition graph; a cycle is a potential
+ *                        deadlock and is reported with a witness path
+ *                        for every direction. Two instances of the same
+ *                        lock acquired in data-dependent order (the
+ *                        `a.mu_` / `b.mu_` swap deadlock) report too.
+ *  - `determinism-taint` functions that iterate unordered containers or
+ *                        consume unseeded randomness (sources) must not
+ *                        call functions that write CSV/stdout/trace
+ *                        output (sinks), across files, through one
+ *                        level of call indirection.
+ */
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace gpuperf::lint {
+
+/** Wall-clock of one pass, for the --timings report. */
+struct PassTiming {
+  std::string pass;
+  double ms = 0;
+  std::size_t files = 0;  // files the pass looked at (0 if not per-file)
+};
+
+struct ProgramOptions {
+  /** Path of the declared layer DAG; empty skips the layering pass. */
+  std::string layers_file;
+  /**
+   * Directory components to skip entirely (e.g. "lint_fixtures", so the
+   * known-bad fixture corpus can live inside a linted tree).
+   */
+  std::vector<std::string> exclude_components;
+};
+
+/**
+ * Runs the per-file rules and every whole-program pass over all C++
+ * sources under `paths` (files or directories, deduplicated, visited in
+ * sorted order — output is byte-identical for any argument ordering).
+ * `timings` (optional) receives per-pass wall-clock. Fails (with
+ * `error`) on unreadable paths or a malformed layers file.
+ */
+bool LintProgram(const std::vector<std::string>& paths,
+                 const ProgramOptions& options,
+                 std::vector<Violation>* violations,
+                 std::vector<PassTiming>* timings, std::string* error);
+
+/**
+ * The module a path belongs to for layering purposes: the component
+ * after the last `src` component ("src/models/kw_model.cc" -> "models"),
+ * or a top-level consumer root ("tools", "tests", "bench", "examples").
+ * Empty when the path fits neither shape.
+ */
+std::string ModuleOfPath(const std::string& path);
+
+}  // namespace gpuperf::lint
+
+#endif  // GPUPERF_LINT_PROGRAM_H_

@@ -1,0 +1,130 @@
+#include "lint/sarif.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace gpuperf::lint {
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToSarif(const std::vector<Violation>& violations) {
+  // Rules actually present in this run, catalog entries first (in
+  // catalog order), then any synthetic rules (e.g. baseline-stale).
+  std::vector<std::string> rule_ids;
+  std::set<std::string> present;
+  for (const Violation& violation : violations) {
+    present.insert(violation.rule);
+  }
+  for (const RuleInfo& rule : Rules()) {
+    if (present.count(rule.id) > 0) {
+      rule_ids.push_back(rule.id);
+      present.erase(rule.id);
+    }
+  }
+  rule_ids.insert(rule_ids.end(), present.begin(), present.end());
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rule_ids.size(); ++i) {
+    rule_index[rule_ids[i]] = i;
+  }
+
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"gpuperf_lint\",\n"
+      << "          \"informationUri\": "
+         "\"https://example.invalid/gpuperf/lint\",\n"
+      << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rule_ids.size(); ++i) {
+    const RuleInfo* info = FindRule(rule_ids[i]);
+    out << "            {\n"
+        << "              \"id\": \"" << JsonEscape(rule_ids[i]) << "\"";
+    if (info != nullptr) {
+      out << ",\n"
+          << "              \"shortDescription\": { \"text\": \""
+          << JsonEscape(info->summary) << "\" },\n"
+          << "              \"help\": { \"text\": \""
+          << JsonEscape(std::string(info->rationale) +
+                        " Escape hatch: " + info->escape)
+          << "\" }";
+    }
+    out << "\n            }" << (i + 1 < rule_ids.size() ? "," : "")
+        << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& violation = violations[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << JsonEscape(violation.rule)
+        << "\",\n"
+        << "          \"ruleIndex\": " << rule_index.at(violation.rule)
+        << ",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": { \"text\": \""
+        << JsonEscape(violation.message) << "\" },\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": { \"uri\": \""
+        << JsonEscape(violation.file)
+        << "\", \"uriBaseId\": \"%SRCROOT%\" },\n"
+        << "                \"region\": { \"startLine\": "
+        << (violation.line > 0 ? violation.line : 1) << " }\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < violations.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace gpuperf::lint

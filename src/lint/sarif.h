@@ -1,0 +1,24 @@
+#ifndef GPUPERF_LINT_SARIF_H_
+#define GPUPERF_LINT_SARIF_H_
+
+/**
+ * @file
+ * SARIF 2.1.0 emission for gpuperf_lint, the interchange format GitHub
+ * code scanning ingests. One run, one `gpuperf_lint` tool entry; rule
+ * metadata (shortDescription, help) comes straight from the Rules()
+ * catalog so `--explain` and the code-scanning UI always agree.
+ */
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace gpuperf::lint {
+
+/** Serializes `violations` as a SARIF 2.1.0 log (pretty-printed JSON). */
+std::string ToSarif(const std::vector<Violation>& violations);
+
+}  // namespace gpuperf::lint
+
+#endif  // GPUPERF_LINT_SARIF_H_

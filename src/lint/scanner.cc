@@ -1,0 +1,307 @@
+#include "lint/scanner.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gpuperf::lint {
+namespace {
+
+/** Parses "... gpuperf-lint: allow(a, b) ..." out of one comment. */
+std::set<std::string> ParseAllowDirective(const std::string& comment) {
+  std::set<std::string> rules;
+  const std::string marker = "gpuperf-lint:";
+  std::size_t at = comment.find(marker);
+  if (at == std::string::npos) return rules;
+  at = comment.find("allow(", at + marker.size());
+  if (at == std::string::npos) return rules;
+  const std::size_t open = at + 5;  // index of '('
+  const std::size_t close = comment.find(')', open);
+  if (close == std::string::npos) return rules;
+  std::string rule;
+  for (std::size_t i = open + 1; i <= close; ++i) {
+    const char c = comment[i];
+    if (c == ',' || c == ')' || c == ' ') {
+      if (!rule.empty()) rules.insert(rule);
+      rule.clear();
+    } else {
+      rule += c;
+    }
+  }
+  return rules;
+}
+
+/**
+ * When content[i] is a '"' that opens a raw string, returns the index of
+ * the 'R' (which may carry an encoding prefix: R, LR, uR, UR, u8R);
+ * otherwise npos. The character before the full prefix must not be an
+ * identifier character, so `FooR"(x)"` stays an ordinary string.
+ */
+std::size_t RawStringPrefixStart(const std::string& content, std::size_t i) {
+  if (i == 0 || content[i - 1] != 'R') return std::string::npos;
+  std::size_t start = i - 1;  // the 'R'
+  if (start > 0) {
+    const char before = content[start - 1];
+    if (before == 'L' || before == 'u' || before == 'U') {
+      start -= 1;
+    } else if (before == '8' && start > 1 && content[start - 2] == 'u') {
+      start -= 2;
+    }
+  }
+  if (start > 0 && IsIdentChar(content[start - 1])) return std::string::npos;
+  return start;
+}
+
+}  // namespace
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+ScanResult ScanSource(const std::string& content) {
+  ScanResult result;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  std::string line;             // blanked current line
+  std::string comment;          // text of the current line comment
+  std::string raw_delimiter;    // of the active R"delim( ... )delim"
+  bool line_has_code = false;   // non-space code before any comment
+  int line_number = 1;
+
+  auto flush_line = [&] {
+    if (state == State::kLineComment) {
+      const std::set<std::string> rules = ParseAllowDirective(comment);
+      if (!rules.empty()) {
+        // A trailing comment guards its own line; a standalone comment
+        // line guards the next line.
+        const int target = line_has_code ? line_number : line_number + 1;
+        result.allow[target].insert(rules.begin(), rules.end());
+      }
+      comment.clear();
+      state = State::kCode;
+    }
+    // Strings never span lines (raw strings and block comments do).
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    result.code.push_back(line);
+    line.clear();
+    line_has_code = false;
+    ++line_number;
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          line += "  ";
+          ++i;
+        } else if (c == '"' &&
+                   RawStringPrefixStart(content, i) != std::string::npos) {
+          // R"delim( — capture the delimiter up to the '('. A delimiter
+          // is at most 16 characters and never contains parentheses,
+          // backslashes, or whitespace; bail to an ordinary string on
+          // malformed input so a stray R" cannot swallow the file.
+          raw_delimiter.clear();
+          std::size_t j = i + 1;
+          bool malformed = false;
+          while (j < content.size() && content[j] != '(') {
+            const char d = content[j];
+            if (d == ')' || d == '\\' || d == '"' ||
+                std::isspace(static_cast<unsigned char>(d)) != 0 ||
+                raw_delimiter.size() >= 16) {
+              malformed = true;
+              break;
+            }
+            raw_delimiter += d;
+            ++j;
+          }
+          if (malformed || j >= content.size()) {
+            state = State::kString;
+            line += ' ';
+          } else {
+            line += std::string(j - i + 1, ' ');
+            i = j;
+            state = State::kRawString;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          line += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          line += ' ';
+        } else {
+          line += c;
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            line_has_code = true;
+          }
+        }
+        break;
+      case State::kLineComment:
+        comment += c;
+        line += ' ';
+        break;
+      case State::kBlockComment:
+        line += ' ';
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          line += ' ';
+          ++i;
+        }
+        break;
+      case State::kString:
+        line += ' ';
+        if (c == '\\') {
+          line += ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        line += ' ';
+        if (c == '\\') {
+          line += ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString: {
+        // Close only on )delim" — compare in place.
+        const std::string close = ")" + raw_delimiter + "\"";
+        if (content.compare(i, close.size(), close) == 0) {
+          line += std::string(close.size(), ' ');
+          i += close.size() - 1;
+          state = State::kCode;
+        } else {
+          line += ' ';
+        }
+        break;
+      }
+    }
+  }
+  if (!line.empty() || state == State::kLineComment) flush_line();
+  return result;
+}
+
+FileScan ScanFile(const std::string& path, const std::string& content,
+                  const std::string& header_content) {
+  FileScan scan;
+  scan.path = path;
+
+  ScanResult result = ScanSource(content);
+  scan.allow = std::move(result.allow);
+  scan.joined = JoinLines(result.code, &scan.line_starts);
+
+  std::vector<std::size_t> header_starts;
+  scan.header_joined =
+      JoinLines(ScanSource(header_content).code, &header_starts);
+
+  // Includes come from the raw text: the target lives inside a string
+  // literal, which the blanked view erased.
+  int line_number = 1;
+  std::size_t begin = 0;
+  while (begin <= content.size()) {
+    std::size_t end = content.find('\n', begin);
+    if (end == std::string::npos) end = content.size();
+    std::size_t at = begin;
+    while (at < end && std::isspace(static_cast<unsigned char>(content[at]))) {
+      ++at;
+    }
+    if (at < end && content[at] == '#') {
+      at = SkipSpaces(content, at + 1);
+      const std::string kInclude = "include";
+      if (content.compare(at, kInclude.size(), kInclude) == 0) {
+        at = SkipSpaces(content, at + kInclude.size());
+        if (at < end && content[at] == '"') {
+          const std::size_t close = content.find('"', at + 1);
+          if (close != std::string::npos && close < end) {
+            scan.includes.push_back(
+                {content.substr(at + 1, close - at - 1), line_number});
+          }
+        }
+      }
+    }
+    begin = end + 1;
+    ++line_number;
+  }
+  return scan;
+}
+
+bool TokenAt(const std::string& code, std::size_t pos,
+             const std::string& token) {
+  if (code.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && IsIdentChar(code[pos - 1])) return false;
+  const std::size_t end = pos + token.size();
+  if (end < code.size() && IsIdentChar(code[end])) return false;
+  return true;
+}
+
+std::vector<std::size_t> FindToken(const std::string& code,
+                                   const std::string& token) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = code.find(token);
+  while (pos != std::string::npos) {
+    if (TokenAt(code, pos, token)) hits.push_back(pos);
+    pos = code.find(token, pos + 1);
+  }
+  return hits;
+}
+
+std::size_t SkipSpaces(const std::string& code, std::size_t pos) {
+  while (pos < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+bool NextNonSpaceIs(const std::string& code, std::size_t pos, char want) {
+  pos = SkipSpaces(code, pos);
+  return pos < code.size() && code[pos] == want;
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool HasDirComponent(const std::string& path, const std::string& component) {
+  std::size_t start = 0;
+  while (start < path.size()) {
+    std::size_t slash = path.find('/', start);
+    if (slash == std::string::npos) break;  // final component is the file
+    if (path.compare(start, slash - start, component) == 0) return true;
+    start = slash + 1;
+  }
+  return false;
+}
+
+int LineAt(const std::vector<std::size_t>& line_starts, std::size_t pos) {
+  const auto it =
+      std::upper_bound(line_starts.begin(), line_starts.end(), pos);
+  return static_cast<int>(it - line_starts.begin());
+}
+
+std::string JoinLines(const std::vector<std::string>& lines,
+                      std::vector<std::size_t>* line_starts) {
+  std::string joined;
+  for (const std::string& line : lines) {
+    line_starts->push_back(joined.size());
+    joined += line;
+    joined += '\n';
+  }
+  return joined;
+}
+
+}  // namespace gpuperf::lint

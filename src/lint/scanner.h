@@ -1,0 +1,93 @@
+#ifndef GPUPERF_LINT_SCANNER_H_
+#define GPUPERF_LINT_SCANNER_H_
+
+/**
+ * @file
+ * The shared lexical layer under every gpuperf_lint pass.
+ *
+ * One scan per file feeds both the per-file rules (lint.h) and the
+ * whole-program passes (program.h): comments, string literals (including
+ * raw strings with encoding prefixes), and char literals are blanked to
+ * spaces so rules only ever see code, line structure is preserved so
+ * reported line numbers match the original file, `gpuperf-lint:
+ * allow(...)` directives are collected, and `#include "..."` targets are
+ * recorded from the raw text (they live inside string literals, so the
+ * blanked view cannot see them).
+ */
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gpuperf::lint {
+
+/** Blanked view of one file plus its allow-directives. */
+struct ScanResult {
+  std::vector<std::string> code;               // blanked, split by line
+  std::map<int, std::set<std::string>> allow;  // 1-based line -> rule ids
+};
+
+/** Blanks comments/strings/chars; collects allow directives. */
+ScanResult ScanSource(const std::string& content);
+
+/**
+ * Everything every pass needs from one file, computed in a single scan:
+ * the blanked code (joined, with per-line start offsets), the allow map,
+ * the paired header's blanked code (for rules that span the
+ * interface/implementation split), and the quoted include targets.
+ */
+struct FileScan {
+  std::string path;  // as given by the caller (generic separators)
+  std::string joined;
+  std::vector<std::size_t> line_starts;
+  std::map<int, std::set<std::string>> allow;
+  std::string header_joined;
+
+  struct Include {
+    std::string target;  // the text between the quotes
+    int line = 0;        // 1-based
+  };
+  std::vector<Include> includes;
+};
+
+/** Scans `content` (and the paired `header_content`, may be empty). */
+FileScan ScanFile(const std::string& path, const std::string& content,
+                  const std::string& header_content);
+
+// --- Token helpers over blanked code ---------------------------------------
+
+bool IsIdentChar(char c);
+
+/** True when code[pos..] starts the whole-word `token`. */
+bool TokenAt(const std::string& code, std::size_t pos,
+             const std::string& token);
+
+/** All whole-word occurrences of `token` in `code`. */
+std::vector<std::size_t> FindToken(const std::string& code,
+                                   const std::string& token);
+
+std::size_t SkipSpaces(const std::string& code, std::size_t pos);
+
+/** True when the next non-space character after `pos` is `want`. */
+bool NextNonSpaceIs(const std::string& code, std::size_t pos, char want);
+
+bool EndsWith(const std::string& text, const std::string& suffix);
+
+/**
+ * True when a directory component of `path` is exactly `component`.
+ * Component comparison, not substring: "src/jobs/x.cc" must not match
+ * "obs".
+ */
+bool HasDirComponent(const std::string& path, const std::string& component);
+
+/** The 1-based line of offset `pos` in the joined blanked text. */
+int LineAt(const std::vector<std::size_t>& line_starts, std::size_t pos);
+
+/** Joins blanked lines and records each line's start offset. */
+std::string JoinLines(const std::vector<std::string>& lines,
+                      std::vector<std::size_t>* line_starts);
+
+}  // namespace gpuperf::lint
+
+#endif  // GPUPERF_LINT_SCANNER_H_

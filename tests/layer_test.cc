@@ -19,15 +19,18 @@ class LayerKindRoundTripTest : public ::testing::TestWithParam<LayerKind> {};
 
 TEST_P(LayerKindRoundTripTest, NameRoundTrips) {
   const LayerKind kind = GetParam();
-  EXPECT_EQ(LayerKindFromName(LayerKindName(kind)), kind);
+  LayerKind parsed = LayerKind::kDropout;
+  ASSERT_TRUE(TryLayerKindFromName(LayerKindName(kind), &parsed));
+  EXPECT_EQ(parsed, kind);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, LayerKindRoundTripTest,
                          ::testing::ValuesIn(kAllKinds));
 
-TEST(LayerKindDeathTest, UnknownNameIsFatal) {
-  EXPECT_EXIT(LayerKindFromName("Bogus"), ::testing::ExitedWithCode(1),
-              "unknown layer kind");
+TEST(LayerKindTest, UnknownNameIsRejected) {
+  LayerKind parsed = LayerKind::kDropout;
+  EXPECT_FALSE(TryLayerKindFromName("Bogus", &parsed));
+  EXPECT_EQ(parsed, LayerKind::kDropout);  // untouched on failure
 }
 
 TEST(LayerTest, InputElementsSumsAllInputs) {

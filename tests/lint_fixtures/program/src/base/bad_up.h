@@ -1,0 +1,7 @@
+// Fixture: layering — an upward include from the bottom layer. `base`
+// does not declare `top` as a dep, and `top -> base` already exists, so
+// this edge closes the cycle base -> top -> base. Expected violation:
+// line 5 (layering).
+#include "top/feature.h"
+
+int BaseCheatsUpward();

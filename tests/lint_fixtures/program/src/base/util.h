@@ -1,0 +1,2 @@
+// Fixture: the bottom layer — no dependencies, nothing to flag.
+int BaseUtil();

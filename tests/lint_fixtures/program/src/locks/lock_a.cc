@@ -1,0 +1,28 @@
+// Fixture: lock-order, first half of a two-lock cycle. This TU nests
+// alpha_mu_ -> beta_mu_; lock_b.cc nests the opposite way, closing a
+// cycle in the global acquisition graph. Expected violation: one
+// lock-order cycle report anchored at line 9 (the inner acquisition).
+struct Account;
+
+void TransferForward(Account& from, Account& to) {
+  MutexLock hold_alpha(from.alpha_mu_);
+  MutexLock hold_beta(to.beta_mu_);
+  (void)from;
+  (void)to;
+}
+
+void SingleLockIsFine(Account& account) {
+  MutexLock only(account.alpha_mu_);
+  (void)account;
+}
+
+void SequentialScopesAreFine(Account& account) {
+  {
+    MutexLock first(account.alpha_mu_);
+    (void)account;
+  }
+  {
+    MutexLock second(account.beta_mu_);
+    (void)account;
+  }
+}

@@ -1,0 +1,11 @@
+// Fixture: lock-order, second half of the two-lock cycle — this TU
+// nests beta_mu_ -> alpha_mu_, the reverse of lock_a.cc. The cycle is
+// reported once, anchored at its smallest witness (lock_a.cc).
+struct Account;
+
+void TransferReverse(Account& from, Account& to) {
+  MutexLock hold_beta(from.beta_mu_);
+  MutexLock hold_alpha(to.alpha_mu_);
+  (void)from;
+  (void)to;
+}

@@ -1,0 +1,24 @@
+// Fixture: lock-order, single-TU cases. Two instances of the same lock
+// member acquired in caller-controlled order (line 8), and a re-entrant
+// acquisition of one lock (line 14). Expected violations: lines 8, 14.
+struct Table;
+
+void MergeTables(Table& left, Table& right) {
+  MutexLock hold_left(left.mu_);
+  MutexLock hold_right(right.mu_);
+  (void)left;
+}
+
+void Reenter(Table& table) {
+  MutexLock outer(table.mu_);
+  MutexLock inner(table.mu_);
+  (void)table;
+}
+
+void AuditedSwap(Table& left, Table& right) {
+  MutexLock hold_left(left.mu_);
+  // Ordered by address at every call site, audited in review.
+  // gpuperf-lint: allow(lock-order)
+  MutexLock hold_right(right.mu_);
+  (void)left;
+}

@@ -1,0 +1,7 @@
+// Fixture: determinism-taint sink — a writer whose body touches stdout.
+// Clean on its own; it becomes a sink for callers in other files.
+#include <cstdio>
+
+void WriteRow(const char* name, double value) {
+  std::printf("%s,%f\n", name, value);
+}

@@ -1,0 +1,5 @@
+// Fixture: a legal downward include — `top: base` is declared in the
+// fixture layers.txt. Expected: no layering violation.
+#include "base/util.h"
+
+int TopFeature();

@@ -1,0 +1,15 @@
+// Fixture: raw string literals — their contents are data, not code, for
+// every encoding prefix and delimiter shape. Expected: zero violations.
+const char* plain = R"(std::mutex mu; Fatal("boom") rand() srand(7))";
+const char* delimited = R"gp(printf(" rand() )" still inside here)gp";
+const wchar_t* wide = LR"(std::random_device rd; time(nullptr))";
+const char* utf8 = u8R"(std::lock_guard<std::mutex> lock(mu);)";
+const char16_t* utf16 = uR"(std::atomic<int> counter{0};)";
+const char32_t* utf32 = UR"(registry->TryPromote("dir");)";
+const char* multi = R"(first line
+Fatal("still inside the raw string on line two")
+rand() on line three)";
+// An identifier merely ending in R must not start a raw string: the
+// parenthesis after it is plain code.
+int FactorR(int n);
+int user = FactorR(3);

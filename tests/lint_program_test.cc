@@ -1,0 +1,281 @@
+#include "lint/program.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/baseline.h"
+#include "lint/sarif.h"
+
+namespace gpuperf::lint {
+namespace {
+
+// The whole-program fixture tree (tests/lint_fixtures/program) plants
+// one violation per cross-file pass: an upward include edge, a two-lock
+// acquisition cycle split across TUs, and taint flows into a sink one
+// call away. These tests pin the exact reports.
+#ifndef GPUPERF_LINT_FIXTURE_DIR
+#error "GPUPERF_LINT_FIXTURE_DIR must be defined by the build"
+#endif
+const std::string kProgramDir =
+    std::string(GPUPERF_LINT_FIXTURE_DIR) + "/program";
+
+std::vector<Violation> LintProgramFixture(
+    std::vector<PassTiming>* timings = nullptr) {
+  ProgramOptions options;
+  options.layers_file = kProgramDir + "/layers.txt";
+  std::vector<Violation> violations;
+  std::string error;
+  EXPECT_TRUE(
+      LintProgram({kProgramDir}, options, &violations, timings, &error))
+      << error;
+  return violations;
+}
+
+std::string At(const std::string& relative, int line,
+               const std::string& rule) {
+  return kProgramDir + "/" + relative + ":" + std::to_string(line) + ": " +
+         rule;
+}
+
+std::vector<std::string> Prefixes(const std::vector<Violation>& violations) {
+  std::vector<std::string> lines;
+  for (const Violation& violation : violations) {
+    lines.push_back(violation.file + ":" + std::to_string(violation.line) +
+                    ": " + violation.rule);
+  }
+  return lines;
+}
+
+TEST(LintProgramTest, FixtureTreeTripsEveryPassExactly) {
+  const std::vector<Violation> violations = LintProgramFixture();
+  EXPECT_EQ(Prefixes(violations),
+            (std::vector<std::string>{
+                At("src/base/bad_up.h", 5, "layering"),
+                At("src/locks/lock_a.cc", 9, "lock-order"),
+                At("src/locks/lock_pair.cc", 8, "lock-order"),
+                At("src/locks/lock_pair.cc", 14, "lock-order"),
+                At("src/out/taint.cc", 11, "determinism-taint"),
+                At("src/out/taint.cc", 20, "determinism-taint"),
+            }));
+}
+
+TEST(LintProgramTest, LayeringReportsTheCycleTheEdgeCloses) {
+  const std::vector<Violation> violations = LintProgramFixture();
+  const auto it = std::find_if(
+      violations.begin(), violations.end(),
+      [](const Violation& v) { return v.rule == "layering"; });
+  ASSERT_NE(it, violations.end());
+  EXPECT_NE(it->message.find("\"top/feature.h\""), std::string::npos);
+  EXPECT_NE(it->message.find("base -> top -> base"), std::string::npos);
+}
+
+TEST(LintProgramTest, LockOrderCycleCarriesBothWitnessPaths) {
+  const std::vector<Violation> violations = LintProgramFixture();
+  const auto it = std::find_if(
+      violations.begin(), violations.end(), [](const Violation& v) {
+        return v.rule == "lock-order" &&
+               v.message.find("cycle") != std::string::npos;
+      });
+  ASSERT_NE(it, violations.end());
+  // Both directions of the cycle, each with its acquiring TU and line.
+  EXPECT_NE(it->message.find("'alpha_mu_' -> 'beta_mu_'"),
+            std::string::npos);
+  EXPECT_NE(it->message.find("'beta_mu_' -> 'alpha_mu_'"),
+            std::string::npos);
+  EXPECT_NE(it->message.find("lock_a.cc:9"), std::string::npos);
+  EXPECT_NE(it->message.find("lock_b.cc:8"), std::string::npos);
+}
+
+TEST(LintProgramTest, TaintNamesTheCrossFileSink) {
+  const std::vector<Violation> violations = LintProgramFixture();
+  for (const Violation& violation : violations) {
+    if (violation.rule != "determinism-taint") continue;
+    EXPECT_NE(violation.message.find("WriteRow()"), std::string::npos);
+    EXPECT_NE(violation.message.find("sink.cc:5"), std::string::npos);
+  }
+}
+
+TEST(LintProgramTest, OutputIsByteIdenticalAcrossRunsAndOrderings) {
+  ProgramOptions options;
+  options.layers_file = kProgramDir + "/layers.txt";
+  const std::vector<std::vector<std::string>> orderings = {
+      {kProgramDir},
+      {kProgramDir + "/src/out", kProgramDir},
+      {kProgramDir + "/src/locks", kProgramDir + "/src/base",
+       kProgramDir + "/src/out", kProgramDir + "/src/top", kProgramDir},
+  };
+  std::vector<std::string> reference;
+  for (const std::vector<std::string>& paths : orderings) {
+    std::vector<Violation> violations;
+    std::string error;
+    ASSERT_TRUE(LintProgram(paths, options, &violations, nullptr, &error))
+        << error;
+    std::vector<std::string> lines;
+    for (const Violation& violation : violations) {
+      lines.push_back(FormatViolation(violation));
+    }
+    if (reference.empty()) {
+      reference = lines;
+    } else {
+      EXPECT_EQ(lines, reference);
+    }
+  }
+  EXPECT_EQ(reference.size(), 6u);
+}
+
+TEST(LintProgramTest, EveryPassReportsTimingUnderTheBudget) {
+  std::vector<PassTiming> timings;
+  LintProgramFixture(&timings);
+  std::vector<std::string> passes;
+  for (const PassTiming& timing : timings) {
+    passes.push_back(timing.pass);
+    EXPECT_GE(timing.ms, 0.0) << timing.pass;
+    // The whole-tree budget is one second; a fixture tree of a few
+    // files must come in orders of magnitude under it.
+    EXPECT_LT(timing.ms, 1000.0) << timing.pass;
+  }
+  EXPECT_EQ(passes, (std::vector<std::string>{
+                        "scan", "per-file", "layering", "lock-order",
+                        "determinism-taint"}));
+}
+
+TEST(LintProgramTest, MissingLayersFileIsAnError) {
+  ProgramOptions options;
+  options.layers_file = kProgramDir + "/no_such_layers.txt";
+  std::vector<Violation> violations;
+  std::string error;
+  EXPECT_FALSE(
+      LintProgram({kProgramDir}, options, &violations, nullptr, &error));
+  EXPECT_NE(error.find("no_such_layers.txt"), std::string::npos);
+}
+
+TEST(LintProgramTest, ExcludeComponentSkipsSubtrees) {
+  ProgramOptions options;
+  options.layers_file = kProgramDir + "/layers.txt";
+  options.exclude_components = {"locks", "out"};
+  std::vector<Violation> violations;
+  std::string error;
+  ASSERT_TRUE(
+      LintProgram({kProgramDir}, options, &violations, nullptr, &error))
+      << error;
+  EXPECT_EQ(Prefixes(violations), (std::vector<std::string>{
+                                      At("src/base/bad_up.h", 5, "layering"),
+                                  }));
+}
+
+TEST(LintProgramTest, ModuleOfPathRules) {
+  EXPECT_EQ(ModuleOfPath("src/models/kw_model.cc"), "models");
+  EXPECT_EQ(ModuleOfPath("/abs/repo/src/common/status.h"), "common");
+  EXPECT_EQ(ModuleOfPath("tools/gpuperf_cli.cc"), "tools");
+  EXPECT_EQ(ModuleOfPath("tests/lint_test.cc"), "tests");
+  EXPECT_EQ(ModuleOfPath("bench/exp_common.cc"), "bench");
+  // The dir after the LAST `src` wins, so fixture trees nest cleanly.
+  EXPECT_EQ(ModuleOfPath("tests/lint_fixtures/program/src/base/util.h"),
+            "base");
+  // `src/<file>` has no module directory; nor does a bare file.
+  EXPECT_EQ(ModuleOfPath("src/version.h"), "");
+  EXPECT_EQ(ModuleOfPath("README.md"), "");
+}
+
+TEST(LintBaselineTest, SuppressesPinnedDebtInLineOrder) {
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(ParseBaseline("# comment\nrule-a src/f.cc 2\n", &baseline,
+                            &error))
+      << error;
+  const std::vector<Violation> violations = {
+      {"src/f.cc", 3, "rule-a", "first"},
+      {"src/f.cc", 8, "rule-a", "second"},
+      {"src/f.cc", 9, "rule-a", "third — beyond the pinned count"},
+      {"src/g.cc", 1, "rule-a", "other file, not pinned"},
+  };
+  const std::vector<Violation> remaining =
+      ApplyBaseline(violations, baseline, "baseline.txt");
+  ASSERT_EQ(remaining.size(), 2u);
+  EXPECT_EQ(remaining[0].line, 9);
+  EXPECT_EQ(remaining[1].file, "src/g.cc");
+}
+
+TEST(LintBaselineTest, StaleEntryFailsTheRatchet) {
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(
+      ParseBaseline("rule-a src/f.cc 3\n", &baseline, &error));
+  const std::vector<Violation> violations = {
+      {"src/f.cc", 3, "rule-a", "only one left"},
+  };
+  const std::vector<Violation> remaining =
+      ApplyBaseline(violations, baseline, "baseline.txt");
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].rule, "baseline-stale");
+  EXPECT_EQ(remaining[0].file, "baseline.txt");
+  EXPECT_NE(remaining[0].message.find("shrink"), std::string::npos);
+}
+
+TEST(LintBaselineTest, FullyRepaidEntryAlsoFails) {
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(
+      ParseBaseline("rule-a src/f.cc 1\n", &baseline, &error));
+  const std::vector<Violation> remaining =
+      ApplyBaseline({}, baseline, "baseline.txt");
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].rule, "baseline-stale");
+}
+
+TEST(LintBaselineTest, WriteThenApplyRoundTripsToClean) {
+  const std::vector<Violation> violations = {
+      {"src/f.cc", 3, "rule-a", "x"},
+      {"src/f.cc", 8, "rule-b", "y"},
+      {"src/g.cc", 1, "rule-a", "z"},
+  };
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(
+      ParseBaseline(WriteBaseline(violations), &baseline, &error))
+      << error;
+  EXPECT_TRUE(ApplyBaseline(violations, baseline, "b.txt").empty());
+}
+
+TEST(LintBaselineTest, MalformedLinesAreErrors) {
+  Baseline baseline;
+  std::string error;
+  EXPECT_FALSE(ParseBaseline("rule-a src/f.cc\n", &baseline, &error));
+  EXPECT_FALSE(ParseBaseline("rule-a src/f.cc zero\n", &baseline, &error));
+  EXPECT_FALSE(ParseBaseline("rule-a src/f.cc 0\n", &baseline, &error));
+  EXPECT_FALSE(ParseBaseline("rule-a src/f.cc 1 extra\n", &baseline,
+                             &error));
+  EXPECT_FALSE(ParseBaseline("rule-a f.cc 1\nrule-a f.cc 2\n", &baseline,
+                             &error));  // duplicate entry
+}
+
+TEST(LintSarifTest, EmitsRuleMetadataAndLocations) {
+  const std::vector<Violation> violations = {
+      {"src/f.cc", 12, "layering",
+       "include of \"x.h\" breaks the declared DAG"},
+  };
+  const std::string sarif = ToSarif(violations);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"gpuperf_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"layering\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/f.cc\""), std::string::npos);
+  // The quote inside the message must arrive JSON-escaped.
+  EXPECT_NE(sarif.find("include of \\\"x.h\\\""), std::string::npos);
+  // Rule metadata comes from the Rules() catalog.
+  const RuleInfo* info = FindRule("layering");
+  ASSERT_NE(info, nullptr);
+  EXPECT_NE(sarif.find(info->summary), std::string::npos);
+}
+
+TEST(LintSarifTest, EmptyRunIsValidAndStable) {
+  const std::string sarif = ToSarif({});
+  EXPECT_NE(sarif.find("\"results\": ["), std::string::npos);
+  EXPECT_EQ(ToSarif({}), sarif);
+}
+
+}  // namespace
+}  // namespace gpuperf::lint

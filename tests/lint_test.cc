@@ -113,9 +113,38 @@ TEST(LintTest, WholeFixtureDirectoryIsDeterministic) {
   for (std::size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(FormatViolation(first[i]), FormatViolation(second[i]));
   }
-  // 4 + 1 + 2 + 4 + 4 + 1 + 3 known-bad findings, none from the allow
-  // fixture.
+  // 4 + 1 + 2 + 4 + 4 + 1 + 3 known-bad findings; the allow, raw-string,
+  // and whole-program fixtures are all clean under the per-file rules.
   EXPECT_EQ(first.size(), 19u);
+}
+
+TEST(LintTest, OutputIsByteIdenticalForAnyPathOrdering) {
+  // The same tree reached via different argument orders — and with a
+  // file repeated both directly and through its directory — must
+  // produce one identical, deduplicated report.
+  const std::string file =
+      std::string(kFixtureDir) + "/raw_random_bad.cc";
+  const std::vector<std::vector<std::string>> orderings = {
+      {kFixtureDir},
+      {file, kFixtureDir},
+      {kFixtureDir, file, file},
+  };
+  std::vector<std::string> reference;
+  for (const std::vector<std::string>& paths : orderings) {
+    std::vector<Violation> violations;
+    std::string error;
+    ASSERT_TRUE(LintPaths(paths, &violations, &error)) << error;
+    std::vector<std::string> lines;
+    for (const Violation& violation : violations) {
+      lines.push_back(FormatViolation(violation));
+    }
+    if (reference.empty()) {
+      reference = lines;
+    } else {
+      EXPECT_EQ(lines, reference);
+    }
+  }
+  EXPECT_EQ(reference.size(), 19u);
 }
 
 TEST(LintTest, FormatIsMachineReadable) {
@@ -125,9 +154,20 @@ TEST(LintTest, FormatIsMachineReadable) {
 
 TEST(LintTest, RuleNamesAreStable) {
   EXPECT_EQ(RuleNames(),
-            (std::vector<std::string>{"raw-random", "fatal-in-lib",
-                                      "unordered-order", "raw-mutex",
-                                      "raw-counter", "bundle-lifecycle"}));
+            (std::vector<std::string>{
+                "raw-random", "fatal-in-lib", "unordered-order", "raw-mutex",
+                "raw-counter", "bundle-lifecycle", "layering", "lock-order",
+                "determinism-taint"}));
+}
+
+TEST(LintTest, EveryRuleHasCatalogMetadata) {
+  for (const RuleInfo& rule : Rules()) {
+    EXPECT_EQ(FindRule(rule.id), &rule);
+    EXPECT_FALSE(std::string(rule.summary).empty()) << rule.id;
+    EXPECT_FALSE(std::string(rule.rationale).empty()) << rule.id;
+    EXPECT_FALSE(std::string(rule.escape).empty()) << rule.id;
+  }
+  EXPECT_EQ(FindRule("no-such-rule"), nullptr);
 }
 
 TEST(LintTest, StringsAndCommentsAreInvisible) {
@@ -136,6 +176,82 @@ TEST(LintTest, StringsAndCommentsAreInvisible) {
       "// Fatal( rand() std::random_device\n"
       "/* std::lock_guard<std::mutex> lock(mu); */\n"
       "const char* raw = R\"(Fatal(\"boom\") std::mutex)\";\n";
+  EXPECT_TRUE(LintContent("probe.cc", code).empty());
+}
+
+TEST(LintTest, RawStringFixtureIsClean) {
+  EXPECT_EQ(LintFixture("raw_string_ok.cc"), std::vector<std::string>{});
+}
+
+TEST(LintTest, CodeAfterRawStringIsLive) {
+  // The lexer must resume at the closing )delim" — a violation right
+  // after the literal proves the rest of the line is code again.
+  const std::string code =
+      "const char* a = R\"(rand() in here is data)\"; int b = rand();\n";
+  const std::vector<Violation> violations = LintContent("probe.cc", code);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "raw-random");
+  EXPECT_EQ(violations[0].line, 1);
+}
+
+TEST(LintTest, RawStringEncodingPrefixesAreData) {
+  const std::string code =
+      "const wchar_t* a = LR\"(std::mutex mu; rand())\";\n"
+      "const char* b = u8R\"(Fatal(\"boom\") srand(7))\";\n"
+      "const char16_t* c = uR\"(std::random_device rd;)\";\n"
+      "const char32_t* d = UR\"(time(nullptr))\";\n";
+  EXPECT_TRUE(LintContent("src/models/probe.cc", code).empty());
+}
+
+TEST(LintTest, RawStringCustomDelimiterHonored) {
+  // `)"` inside the literal must not close it — only `)gp"` does; the
+  // rand() after the real close must still be seen as code.
+  const std::string code =
+      "const char* a = R\"gp(quote )\" not the end)gp\"; int b = rand();\n";
+  const std::vector<Violation> violations = LintContent("probe.cc", code);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "raw-random");
+}
+
+TEST(LintTest, IdentifierEndingInRIsNotARawStringPrefix) {
+  // `FooR"(a)b"` is an identifier then an ordinary string (a user
+  // literal suffix shape) — misread as a raw string, the lexer would
+  // hunt for `)"`, swallow the rest of the line, and hide the rand().
+  const std::string code =
+      "const char* x = FooR\"(a)b\"; int y = rand();\n";
+  const std::vector<Violation> violations = LintContent("probe.cc", code);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "raw-random");
+}
+
+TEST(LintTest, MalformedRawDelimiterFallsBackToOrdinaryString) {
+  // A "delimiter" with spaces is invalid; the lexer must degrade to an
+  // ordinary string instead of scanning for an impossible close.
+  const std::string code =
+      "const char* s = R\"not a valid delimiter(x)\";\n"
+      "int b = rand();\n";
+  const std::vector<Violation> violations = LintContent("probe.cc", code);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].line, 2);
+}
+
+TEST(LintTest, MultiLineRawStringStaysData) {
+  const std::string code =
+      "const char* s = R\"(first\n"
+      "Fatal(\"second line is still data\")\n"
+      "rand() on the third)\";\n"
+      "int live = rand();\n";
+  const std::vector<Violation> violations = LintContent("probe.cc", code);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].line, 4);
+}
+
+TEST(LintTest, AllowDirectiveAfterRawStringStillParses) {
+  // A raw string earlier on the line must not eat the trailing allow
+  // comment (this breaks if the lexer loses sync at the close).
+  const std::string code =
+      "const char* s = R\"(data)\"; int b = rand();  "
+      "// gpuperf-lint: allow(raw-random)\n";
   EXPECT_TRUE(LintContent("probe.cc", code).empty());
 }
 

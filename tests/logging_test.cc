@@ -73,6 +73,7 @@ TEST(CheckDeathTest, ComparisonMacrosAbortOnViolation) {
 }
 
 TEST(FatalDeathTest, FatalExitsWithStatusOne) {
+  // This is the test of Fatal itself. gpuperf-lint: allow(fatal-in-lib)
   EXPECT_EXIT(Fatal("bad config"), ::testing::ExitedWithCode(1),
               "bad config");
 }

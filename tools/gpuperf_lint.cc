@@ -1,48 +1,207 @@
 // gpuperf_lint — project-invariant linter (see src/lint/lint.h for the
-// rule catalog). Tier 0 of scripts/verify.sh and CI.
+// rule catalog, src/lint/program.h for the whole-program passes). Tier 0
+// of scripts/verify.sh and CI.
 //
-//   gpuperf_lint <file-or-dir>...   lint sources, report violations
-//   gpuperf_lint --list-rules       print the rule ids, one per line
+//   gpuperf_lint [options] <file-or-dir>...
 //
-// Output: one `file:line: rule: message` line per violation on stdout.
-// Exit 0 when clean, 1 on violations, 2 on usage or I/O errors.
+//   --list-rules            print the rule ids, one per line
+//   --explain <rule>        print a rule's rationale and escape hatch
+//   --layers=<file>         layer DAG for the layering pass
+//                           (default: src/lint/layers.txt if it exists)
+//   --no-layers             skip the layering pass entirely
+//   --exclude=<component>   skip files with this directory component
+//                           (repeatable; e.g. --exclude=lint_fixtures)
+//   --baseline=<file>       suppress pinned debt; stale entries fail
+//   --write-baseline=<file> write current violations as the new baseline
+//   --format=text|sarif     report format (default text)
+//   --sarif-out=<file>      also write a SARIF log to <file>
+//   --timings               print per-pass wall-clock to stderr
+//
+// Text output: one `file:line: rule: message` line per violation on
+// stdout, byte-identical for any path argument ordering. Exit 0 when
+// clean, 1 on violations, 2 on usage or I/O errors.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "lint/baseline.h"
 #include "lint/lint.h"
+#include "lint/program.h"
+#include "lint/sarif.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: gpuperf_lint [--list-rules] [--explain <rule>]\n"
+    "                    [--layers=<file>|--no-layers]"
+    " [--exclude=<component>]\n"
+    "                    [--baseline=<file>|--write-baseline=<file>]\n"
+    "                    [--format=text|sarif] [--sarif-out=<file>]"
+    " [--timings]\n"
+    "                    <file-or-dir>...\n";
+
+bool ConsumeValue(const std::string& arg, const char* flag,
+                  std::string* value) {
+  const std::string prefix = std::string(flag) + "=";
+  if (arg.compare(0, prefix.size(), prefix) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+int Explain(const std::string& rule_id) {
+  const gpuperf::lint::RuleInfo* info = gpuperf::lint::FindRule(rule_id);
+  if (info == nullptr) {
+    std::fprintf(stderr, "gpuperf_lint: unknown rule '%s' (see --list-rules)\n",
+                 rule_id.c_str());
+    return 2;
+  }
+  std::printf("%s — %s\n\nWhy: %s\n\nEscape hatch: %s\n", info->id,
+              info->summary, info->rationale, info->escape);
+  return 0;
+}
+
+bool FileExists(const std::string& path) {
+  return static_cast<bool>(std::ifstream(path));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  gpuperf::lint::ProgramOptions options;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string format = "text";
+  std::string sarif_out;
+  bool no_layers = false;
+  bool timings_requested = false;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::string value;
     if (arg == "--list-rules") {
       for (const std::string& rule : gpuperf::lint::RuleNames()) {
         std::printf("%s\n", rule.c_str());
       }
       return 0;
     }
+    if (arg == "--explain") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gpuperf_lint: --explain needs a rule id\n");
+        return 2;
+      }
+      return Explain(argv[i + 1]);
+    }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: gpuperf_lint [--list-rules] <file-or-dir>...\n");
+      std::printf("%s", kUsage);
       return 0;
+    }
+    if (arg == "--no-layers") {
+      no_layers = true;
+      continue;
+    }
+    if (arg == "--timings") {
+      timings_requested = true;
+      continue;
+    }
+    if (ConsumeValue(arg, "--layers", &options.layers_file)) continue;
+    if (ConsumeValue(arg, "--exclude", &value)) {
+      options.exclude_components.push_back(value);
+      continue;
+    }
+    if (ConsumeValue(arg, "--baseline", &baseline_path)) continue;
+    if (ConsumeValue(arg, "--write-baseline", &write_baseline_path)) {
+      continue;
+    }
+    if (ConsumeValue(arg, "--format", &format)) {
+      if (format != "text" && format != "sarif") {
+        std::fprintf(stderr, "gpuperf_lint: unknown format '%s'\n",
+                     format.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (ConsumeValue(arg, "--sarif-out", &sarif_out)) continue;
+    if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      std::fprintf(stderr, "gpuperf_lint: unknown flag %s\n%s", arg.c_str(),
+                   kUsage);
+      return 2;
     }
     paths.push_back(arg);
   }
   if (paths.empty()) {
-    std::fprintf(stderr,
-                 "usage: gpuperf_lint [--list-rules] <file-or-dir>...\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
+  if (!baseline_path.empty() && !write_baseline_path.empty()) {
+    std::fprintf(stderr,
+                 "gpuperf_lint: --baseline and --write-baseline are "
+                 "mutually exclusive\n");
+    return 2;
+  }
+  if (options.layers_file.empty() && !no_layers &&
+      FileExists("src/lint/layers.txt")) {
+    options.layers_file = "src/lint/layers.txt";
+  }
+  if (no_layers) options.layers_file.clear();
 
   std::vector<gpuperf::lint::Violation> violations;
+  std::vector<gpuperf::lint::PassTiming> timings;
   std::string error;
-  if (!gpuperf::lint::LintPaths(paths, &violations, &error)) {
+  if (!gpuperf::lint::LintProgram(paths, options, &violations, &timings,
+                                  &error)) {
     std::fprintf(stderr, "gpuperf_lint: %s\n", error.c_str());
     return 2;
   }
-  for (const gpuperf::lint::Violation& violation : violations) {
-    std::printf("%s\n", gpuperf::lint::FormatViolation(violation).c_str());
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "gpuperf_lint: cannot write %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    out << gpuperf::lint::WriteBaseline(violations);
+    std::fprintf(stderr, "gpuperf_lint: wrote baseline (%zu violations)\n",
+                 violations.size());
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    gpuperf::lint::Baseline baseline;
+    if (!gpuperf::lint::LoadBaseline(baseline_path, &baseline, &error)) {
+      std::fprintf(stderr, "gpuperf_lint: %s\n", error.c_str());
+      return 2;
+    }
+    violations =
+        gpuperf::lint::ApplyBaseline(violations, baseline, baseline_path);
+  }
+
+  if (timings_requested) {
+    for (const gpuperf::lint::PassTiming& timing : timings) {
+      std::fprintf(stderr, "gpuperf_lint: pass %-18s %8.2f ms (%zu files)\n",
+                   timing.pass.c_str(), timing.ms, timing.files);
+    }
+  }
+
+  if (!sarif_out.empty()) {
+    std::ofstream out(sarif_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "gpuperf_lint: cannot write %s\n",
+                   sarif_out.c_str());
+      return 2;
+    }
+    out << gpuperf::lint::ToSarif(violations);
+  }
+  if (format == "sarif") {
+    std::printf("%s", gpuperf::lint::ToSarif(violations).c_str());
+  } else {
+    for (const gpuperf::lint::Violation& violation : violations) {
+      std::printf("%s\n",
+                  gpuperf::lint::FormatViolation(violation).c_str());
+    }
   }
   return violations.empty() ? 0 : 1;
 }
