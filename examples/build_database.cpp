@@ -58,7 +58,12 @@ int main(int argc, char** argv) {
   models::KwModel kw;
   kw.Train(data, dataset::SplitByNetwork(data, 0.15, 42));
   std::filesystem::create_directories(out + "/model");
-  models::ModelIo::SaveKw(kw, out + "/model");
+  if (Status saved = models::ModelIo::SaveKw(kw, out + "/model");
+      !saved.ok()) {
+    std::fprintf(stderr, "saving the bundle failed: %s\n",
+                 saved.message().c_str());
+    return 1;
+  }
   std::printf("model: %d kernels -> %d regressions on A100 -> %s/model\n",
               kw.KernelCount("A100"), kw.ClusterCount("A100"), out.c_str());
 

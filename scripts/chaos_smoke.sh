@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Gray-failure resilience smoke check, both halves of the story:
+#
+#  1. Chaos sweep: `gpuperf chaos` runs every scenario x policy cell,
+#     checks its own invariants (arrivals accounting, availability
+#     floor, retry-budget bound, breaker re-close), and must produce a
+#     bit-identical table for any --jobs value; the metrics + trace
+#     artifacts must land.
+#  2. Crash-consistent bundles: every interrupted-swap shape SaveKw()
+#     can leave behind (staged sidecar, torn staging, displaced old
+#     generation) must recover to exactly one committed generation —
+#     bundle-check goes through LoadKwRecovering(), so a pass means the
+#     bundle loaded, validated, and served canary predictions.
+#
+# Usage: scripts/chaos_smoke.sh <path-to-gpuperf-binary>
+set -euo pipefail
+
+GPUPERF="${1:?usage: chaos_smoke.sh <path-to-gpuperf-binary>}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+# --- 1. the chaos sweep holds its invariants, deterministically -------
+
+run_chaos() {  # run_chaos <jobs> <table-out>
+  "$GPUPERF" chaos --pool "A40,TITAN RTX" --networks resnet18 \
+    --batch 16 --rate 40 --duration 3 --policy least-outstanding \
+    --runs 2 --jobs "$1" \
+    --metrics-out "$OUT/chaos_metrics_$1.csv" \
+    --trace-out "$OUT/chaos_trace_$1.json" >"$2"
+}
+
+run_chaos 1 "$OUT/chaos_jobs1.txt"
+run_chaos 7 "$OUT/chaos_jobs7.txt"
+
+grep -q 'all invariants held' "$OUT/chaos_jobs1.txt" \
+  || { echo "chaos_smoke: sweep did not report its invariants held"; \
+       cat "$OUT/chaos_jobs1.txt"; exit 1; }
+cmp -s "$OUT/chaos_jobs1.txt" "$OUT/chaos_jobs7.txt" \
+  || { echo "chaos_smoke: chaos table differs between --jobs 1 and 7"; \
+       diff "$OUT/chaos_jobs1.txt" "$OUT/chaos_jobs7.txt" || true; exit 1; }
+for artifact in chaos_metrics_1.csv chaos_trace_1.json; do
+  [ -s "$OUT/$artifact" ] \
+    || { echo "chaos_smoke: $artifact is missing or empty"; exit 1; }
+done
+# The resilience counters surface in the snapshot, and the gray
+# scenario actually exercised hedging.
+grep -q '^gpuperf_serving_hedges_issued,' "$OUT/chaos_metrics_1.csv" \
+  || { echo "chaos_smoke: metrics snapshot lacks hedge counters"; exit 1; }
+
+# An impossible availability floor must fail closed: exit 1 and a
+# one-line located error naming the first violating cell.
+if "$GPUPERF" chaos --pool A40 --networks resnet18 --batch 16 --rate 40 \
+    --duration 3 --scenarios outage --policy least-outstanding \
+    --min-avail 1 >"$OUT/violation.txt" 2>"$OUT/violation.err"; then
+  echo "chaos_smoke: --min-avail 1 should have tripped the invariant"
+  exit 1
+fi
+grep -q 'chaos invariant violated: scenario=outage' "$OUT/violation.err" \
+  || { echo "chaos_smoke: violation error line missing or unlocated"; \
+       cat "$OUT/violation.err"; exit 1; }
+
+# --- 2. every interrupted bundle swap recovers to one generation ------
+
+"$GPUPERF" dataset --out "$OUT/data" --gpus "A40,TITAN RTX" \
+  --batch 16 --stride 16 >/dev/null
+"$GPUPERF" train --dataset "$OUT/data" --out "$OUT/model" >/dev/null
+
+check_recovers() {  # check_recovers <crash-shape description>
+  "$GPUPERF" bundle-check --candidate "$OUT/model" \
+    --networks resnet18 --gpus A40 >/dev/null \
+    || { echo "chaos_smoke: recovery failed after $1"; exit 1; }
+  for sidecar in "$OUT/model.saving" "$OUT/model.stale"; do
+    [ ! -e "$sidecar" ] \
+      || { echo "chaos_smoke: $1 left sidecar $sidecar behind"; exit 1; }
+  done
+  [ -f "$OUT/model/manifest.csv" ] \
+    || { echo "chaos_smoke: no committed generation after $1"; exit 1; }
+}
+
+# Crash after staging, before the swap: full .saving next to the old dir.
+cp -r "$OUT/model" "$OUT/model.saving"
+check_recovers "a fully-staged sidecar"
+
+# Crash mid-staging: torn manifest (its last bytes never made it).
+cp -r "$OUT/model" "$OUT/model.saving"
+head -c -7 "$OUT/model/manifest.csv" > "$OUT/model.saving/manifest.csv"
+check_recovers "a torn staging manifest"
+
+# Crash mid-swap: old generation displaced to .stale, staging not yet
+# renamed in — the only shape with no committed dir at all.
+cp -r "$OUT/model" "$OUT/model.saving"
+mv "$OUT/model" "$OUT/model.stale"
+check_recovers "an interrupted rename swap"
+
+# Crash after the swap, before cleanup: committed dir plus stale copy.
+cp -r "$OUT/model" "$OUT/model.stale"
+check_recovers "a leftover stale generation"
+
+echo "chaos_smoke: OK"

@@ -57,6 +57,10 @@ scripts/perf_gate.sh "$BUILD"
 # The self-healing lifecycle end to end: injected drift must trip the
 # monitor, refit, promote through shadow + canary, and heal the residual.
 scripts/drift_smoke.sh "./$BUILD/tools/gpuperf"
+# Gray-failure resilience end to end: the chaos sweep holds its
+# invariants bit-identically across --jobs, and every interrupted
+# bundle-swap shape recovers to exactly one generation.
+scripts/chaos_smoke.sh "./$BUILD/tools/gpuperf"
 
 echo "== tier 2: concurrency tests under ThreadSanitizer =="
 TSAN_BUILD="${BUILD}-tsan"
@@ -64,7 +68,8 @@ cmake -B "$TSAN_BUILD" -S . -DGPUPERF_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j --target \
   thread_pool_test parallel_build_test lowering_cache_test \
   bundle_registry_test metrics_registry_test span_tracer_test \
-  prediction_plan_test drift_monitor_test refit_test self_healing_test
+  prediction_plan_test drift_monitor_test refit_test self_healing_test \
+  serving_test fault_injection_test
 "./$TSAN_BUILD/tests/thread_pool_test"
 "./$TSAN_BUILD/tests/parallel_build_test"
 "./$TSAN_BUILD/tests/lowering_cache_test"
@@ -81,6 +86,10 @@ cmake --build "$TSAN_BUILD" -j --target \
 "./$TSAN_BUILD/tests/drift_monitor_test"
 "./$TSAN_BUILD/tests/refit_test"
 "./$TSAN_BUILD/tests/self_healing_test"
+# Chaos plans + hedged dispatch across the parallel serving grid: the
+# hedge/retry/breaker paths must be data-race-free at any --jobs.
+"./$TSAN_BUILD/tests/serving_test"
+"./$TSAN_BUILD/tests/fault_injection_test"
 
 echo "== tier 3: robustness tests under ASan+UBSan =="
 # The error-path tests exercise corrupt bundles, malformed CSVs, and

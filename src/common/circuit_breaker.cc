@@ -115,6 +115,14 @@ void CircuitBreaker::OnFailure(double now_us) {
   }
 }
 
+void CircuitBreaker::OnCancel(double now_us) {
+  if (!enabled()) return;
+  Advance(now_us);
+  if (state_ == BreakerState::kHalfOpen && probes_in_flight_ > 0) {
+    --probes_in_flight_;
+  }
+}
+
 BreakerState CircuitBreaker::StateAt(double now_us) {
   Advance(now_us);
   return state_;

@@ -73,6 +73,14 @@ class CircuitBreaker {
   /** A job on the resource failed at `now_us`. */
   void OnFailure(double now_us);
 
+  /**
+   * A dispatched job was cancelled before finishing (a hedge loser):
+   * releases the half-open probe slot the dispatch claimed without
+   * voting success or failure, so a cancelled probe can never wedge a
+   * half-open breaker.
+   */
+  void OnCancel(double now_us);
+
   /** The state after applying any due cooldown expiry at `now_us`. */
   BreakerState StateAt(double now_us);
 

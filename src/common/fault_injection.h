@@ -32,6 +32,15 @@ struct DownInterval {
   double up_us = 0;
 };
 
+/** One gray-failure episode: service on the resource runs `factor`
+ *  times slower in [start_us, end_us). Factors from overlapping
+ *  episodes (e.g. a slow GPU inside a slow rack) multiply. */
+struct SlowInterval {
+  double start_us = 0;
+  double end_us = 0;
+  double factor = 1;  // > 1
+};
+
 /** The precomputed failure/recovery timeline of a resource pool. */
 class FaultPlan {
  public:
@@ -78,6 +87,85 @@ class FaultPlan {
  private:
   std::vector<std::vector<DownInterval>> down_;
   double horizon_us_ = 0;
+};
+
+/**
+ * One level of the failure hierarchy (host or rack). A domain event
+ * hits every member GPU at once: with factor == 0 it fells them (a
+ * correlated outage), with factor > 1 it slows them (a correlated gray
+ * failure). `size` members per domain; 0 disables the level.
+ */
+struct ChaosDomainConfig {
+  std::size_t size = 0;        // members per domain (0 = level disabled)
+  double mtbf_s = 0;           // mean time between domain events (0 = none)
+  double mttr_s = 2;           // mean event duration (0 = zero-length blip)
+  double factor = 0;           // 0 = outage; > 1 = slowdown multiplier
+  double first_event_at_s = -1;  // >= 0 pins the first event (tests, replay)
+};
+
+/** Knobs of a chaos plan; every channel defaults to off. */
+struct ChaosPlanConfig {
+  std::uint64_t seed = 1;
+  // Gray failures: per-GPU multiplicative slowdown episodes.
+  double gray_mtbf_s = 0;    // mean time between episodes per GPU (0 = none)
+  double gray_mttr_s = 5;    // mean episode duration
+  double gray_factor = 3;    // service-time multiplier while gray (> 1)
+  // Flapping: bursts of short outage blips on a single GPU.
+  double flap_mtbf_s = 0;    // mean time between bursts per GPU (0 = none)
+  int flap_count = 5;        // blips per burst
+  double flap_period_s = 0.2;  // start-to-start spacing inside a burst
+  double flap_down_s = 0.05;   // length of each blip
+  // Hierarchical fault domains: `host.size` GPUs per host,
+  // `rack.size` hosts per rack.
+  ChaosDomainConfig host;
+  ChaosDomainConfig rack;
+};
+
+/** True when any chaos channel (gray, flap, host, rack) is active. */
+bool ChaosConfigEnabled(const ChaosPlanConfig& config);
+
+/**
+ * A composed, fully precomputed chaos timeline for a GPU pool: binary
+ * outages (base FaultPlan + flap blips + outage-domain events, merged
+ * per GPU) plus multiplicative gray slowdowns (per-GPU episodes and
+ * slowdown-domain events, overlaps multiply). Like FaultPlan, every
+ * draw comes from a per-channel stream keyed on (seed, channel, index),
+ * so the timeline is bit-identical across runs, platforms, and thread
+ * counts, and adding a channel never perturbs the others. Consumers
+ * query `outage_plan()` wherever they used a FaultPlan and scale
+ * service times by `SlowdownAt(gpu, dispatch_time)`.
+ */
+class ChaosPlan {
+ public:
+  /** Empty plan: no outages, SlowdownAt() == 1 everywhere. */
+  ChaosPlan() = default;
+
+  /**
+   * Builds the composed timeline for `gpus` GPUs over [0, horizon_us).
+   * `base` contributes pre-existing outages (e.g. the serving layer's
+   * uncorrelated MTBF/MTTR plan); pass nullptr for none.
+   */
+  ChaosPlan(std::size_t gpus, double horizon_us,
+            const ChaosPlanConfig& config, const FaultPlan* base);
+
+  std::size_t resources() const { return outage_plan_.resources(); }
+  double horizon_us() const { return outage_plan_.horizon_us(); }
+
+  /** The merged binary-outage timeline (always `gpus` resources). */
+  const FaultPlan& outage_plan() const { return outage_plan_; }
+
+  /** Gray episodes of `gpu`, sorted by start_us (may overlap). */
+  const std::vector<SlowInterval>& Slowdowns(std::size_t gpu) const;
+
+  /** Product of the factors of every episode containing `time_us`. */
+  double SlowdownAt(std::size_t gpu, double time_us) const;
+
+  /** True if no channel produced any outage or slowdown. */
+  bool empty() const;
+
+ private:
+  FaultPlan outage_plan_;
+  std::vector<std::vector<SlowInterval>> slow_;
 };
 
 }  // namespace gpuperf

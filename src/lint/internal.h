@@ -29,6 +29,24 @@ std::vector<std::pair<int, std::string>> UnorderedIterationSites(
 std::set<std::string> UnorderedNamesIn(const std::string& joined);
 
 /**
+ * True when `path` is outside the wall-clock rule's scope: not under a
+ * src/ directory component, or on the audited allowlist in lint.cc
+ * (logging timestamps, the linter's own pass timings, the PKA
+ * baseline's latency measurement).
+ */
+bool WallClockExempt(const std::string& path);
+
+/**
+ * Every `system_clock::now()` / `steady_clock::now()` read in
+ * joined[begin, end): (1-based line, clock name) pairs. The building
+ * block of both `wall-clock` (whole file) and `determinism-taint` (one
+ * function body).
+ */
+std::vector<std::pair<int, std::string>> WallClockReadSites(
+    const std::string& joined, std::size_t begin, std::size_t end,
+    const std::vector<std::size_t>& line_starts);
+
+/**
  * Expands `paths` (files or directories, walked recursively) into the
  * deduplicated, sorted list of C++ sources underneath — the one tree
  * walk every caller shares. Fails (with `error`) on an unreadable path.

@@ -29,6 +29,19 @@ constexpr char kRuleUnorderedOrder[] = "unordered-order";
 constexpr char kRuleRawMutex[] = "raw-mutex";
 constexpr char kRuleRawCounter[] = "raw-counter";
 constexpr char kRuleBundleLifecycle[] = "bundle-lifecycle";
+constexpr char kRuleWallClock[] = "wall-clock";
+
+/**
+ * The audited wall-clock readers. Each entry is a file whose clock use
+ * was reviewed and cannot influence results: logging stamps lines with
+ * real time, the linter times its own passes for --timings, and the PKA
+ * baseline measures its own fitting latency. This list may only shrink.
+ */
+const char* const kWallClockAllowlist[] = {
+    "src/common/logging.cc",
+    "src/lint/program.cc",
+    "src/baselines/pka.cc",
+};
 
 /**
  * Files where `Fatal(` is sanctioned: the legacy convenience APIs that
@@ -302,6 +315,31 @@ std::set<std::string> CollectUnorderedNames(const std::string& joined) {
   return names;
 }
 
+/**
+ * Results must not depend on when or how fast the host ran: a
+ * system_clock/steady_clock ::now() read in src/ is the time-shaped
+ * twin of the randomness raw-random bans. Timeouts and pacing belong to
+ * sim time; real measurement loops live on the audited allowlist.
+ */
+std::vector<Finding> CheckWallClock(const std::string& path,
+                                    const std::string& joined,
+                                    const std::vector<std::size_t>&
+                                        line_starts) {
+  std::vector<Finding> findings;
+  if (WallClockExempt(path)) return findings;
+  for (const auto& [line, clock] :
+       WallClockReadSites(joined, 0, joined.size(), line_starts)) {
+    findings.push_back(
+        {line,
+         "wall-clock read '" + clock +
+             "::now()' in deterministic library code: results must not "
+             "depend on real time; use sim time or a caller-supplied "
+             "timestamp, or add the file to the audited allowlist in "
+             "src/lint/lint.cc"});
+  }
+  return findings;
+}
+
 /** True when the file produces ordered output (CSV, stdout, files). */
 bool HasOutputContext(const std::string& joined) {
   for (const char* token : {"printf", "fprintf", "cout", "ofstream",
@@ -403,6 +441,40 @@ std::set<std::string> UnorderedNamesIn(const std::string& joined) {
   return CollectUnorderedNames(joined);
 }
 
+bool WallClockExempt(const std::string& path) {
+  if (!HasDirComponent(path, "src")) return true;
+  for (const char* entry : kWallClockAllowlist) {
+    if (EndsWith(path, entry)) return true;
+  }
+  return false;
+}
+
+// Shared with the determinism-taint pass (program.cc), which applies the
+// same ::now() detection inside individual function bodies.
+std::vector<std::pair<int, std::string>> WallClockReadSites(
+    const std::string& joined, std::size_t begin, std::size_t end,
+    const std::vector<std::size_t>& line_starts) {
+  std::vector<std::pair<int, std::string>> sites;
+  for (const char* clock : {"steady_clock", "system_clock"}) {
+    for (std::size_t pos : FindToken(joined, clock)) {
+      if (pos < begin || pos >= end) continue;
+      std::size_t at =
+          SkipSpaces(joined, pos + std::string(clock).size());
+      if (at + 1 >= joined.size() || joined[at] != ':' ||
+          joined[at + 1] != ':') {
+        continue;
+      }
+      at = SkipSpaces(joined, at + 2);
+      if (joined.compare(at, 3, "now") != 0) continue;
+      if (at + 3 < joined.size() && IsIdentChar(joined[at + 3])) continue;
+      if (!NextNonSpaceIs(joined, at + 3, '(')) continue;
+      sites.emplace_back(LineAt(line_starts, pos), clock);
+    }
+  }
+  std::sort(sites.begin(), sites.end());
+  return sites;
+}
+
 std::string FormatViolation(const Violation& violation) {
   std::ostringstream out;
   out << violation.file << ":" << violation.line << ": " << violation.rule
@@ -465,6 +537,18 @@ const std::vector<RuleInfo>& Rules() {
        "them directly.",
        "Route through models::LifecycleController (models/refit.h), or "
        "annotate gpuperf-lint: allow(bundle-lifecycle) with the reason."},
+      {kRuleWallClock,
+       "wall-clock ::now() reads are banned in src/ outside the allowlist",
+       "system_clock::now() and steady_clock::now() make results depend "
+       "on when and how fast the host ran — the time-shaped twin of the "
+       "nondeterminism raw-random bans. Simulation, serving, and models "
+       "advance sim time only; the audited allowlist in src/lint/lint.cc "
+       "covers logging timestamps, the linter's own --timings pass, and "
+       "the PKA baseline's latency measurement, and may only shrink.",
+       "Thread sim time or a caller-supplied timestamp through instead; "
+       "a genuine new measurement loop adds its file to the allowlist "
+       "with a review justification, or annotates gpuperf-lint: "
+       "allow(wall-clock)."},
       {"layering",
        "the include graph must match the declared module DAG",
        "src/lint/layers.txt declares which modules each module may "
@@ -551,6 +635,9 @@ std::vector<Violation> CheckPerFileRules(const FileScan& scan) {
   }
   for (Finding& f : CheckBundleLifecycle(scan.path, joined, line_starts)) {
     all.emplace_back(kRuleBundleLifecycle, std::move(f));
+  }
+  for (Finding& f : CheckWallClock(scan.path, joined, line_starts)) {
+    all.emplace_back(kRuleWallClock, std::move(f));
   }
 
   std::vector<Violation> violations;

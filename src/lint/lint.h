@@ -36,6 +36,11 @@
  *                    bool, pointers, or function pointers are fine.
  *  - `bundle-lifecycle` member `TryPromote()`/`Rollback()` calls outside
  *                    models/ and the CLI bypass the lifecycle audit trail.
+ *  - `wall-clock`    `system_clock::now()` / `steady_clock::now()` reads
+ *                    in src/ outside the audited allowlist (logging
+ *                    timestamps, the linter's own --timings, the PKA
+ *                    baseline): results must not depend on when or how
+ *                    fast the host ran; use sim time instead.
  *
  * Whole-program passes (program.h; the same ids appear in reports):
  *  - `layering`      the `#include` graph must match the module DAG
@@ -44,9 +49,10 @@
  *  - `lock-order`    MutexLock/SharedMutexLock/SharedReaderLock nestings
  *                    across all TUs must form an acyclic global
  *                    acquisition order (cycles are potential deadlocks).
- *  - `determinism-taint` unordered-container iteration and unseeded
- *                    randomness must not reach a CSV/stdout/trace writer,
- *                    even through one level of call indirection.
+ *  - `determinism-taint` unordered-container iteration, unseeded
+ *                    randomness, and wall-clock reads must not reach a
+ *                    CSV/stdout/trace writer, even through one level of
+ *                    call indirection.
  *
  * Escape hatch: `// gpuperf-lint: allow(rule-a, rule-b)` suppresses the
  * listed rules on its own line, or on the next line when the comment

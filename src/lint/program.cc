@@ -788,6 +788,20 @@ std::vector<Violation> CheckDeterminismTaint(
                  " reached from this function; thread a seeded Rng "
                  "through instead"});
       }
+      if (!WallClockExempt(file.path)) {
+        for (const auto& [line, clock] :
+             WallClockReadSites(file.joined, def.body_begin, def.body_end,
+                                file.line_starts)) {
+          if (per_file_flagged.count({file.path, line}) > 0) continue;
+          if (IsAllowed(file, line, kRuleDeterminismTaint)) continue;
+          violations.push_back(
+              {file.path, line, kRuleDeterminismTaint,
+               "wall-clock read '" + clock + "::now()' taints output sink '" +
+                   sink_location +
+                   " reached from this function; use sim time or a "
+                   "caller-supplied timestamp instead"});
+        }
+      }
     }
   }
   return violations;
@@ -872,7 +886,8 @@ bool LintProgram(const std::vector<std::string>& paths,
   for (const FileScan& scan : scans) {
     for (Violation& violation : CheckPerFileRules(scan)) {
       if (violation.rule == "raw-random" ||
-          violation.rule == "unordered-order") {
+          violation.rule == "unordered-order" ||
+          violation.rule == "wall-clock") {
         per_file_flagged.emplace(violation.file, violation.line);
       }
       found.push_back(std::move(violation));

@@ -90,8 +90,10 @@ Status BundleRegistry::RunCanary(const KwModel& candidate,
 Status BundleRegistry::TryPromote(const std::string& directory,
                                   const CanaryOptions& options) {
   // Load and canary outside any lock: the current generation keeps
-  // serving readers while the candidate is validated.
-  StatusOr<KwModel> loaded = ModelIo::LoadKw(directory);
+  // serving readers while the candidate is validated. The recovering
+  // load first resolves any save that crashed mid-swap in `directory`,
+  // so a candidate is always exactly one generation, never a hybrid.
+  StatusOr<KwModel> loaded = ModelIo::LoadKwRecovering(directory);
   if (!loaded.ok()) {
     BundleMetrics::Get().rejections.Increment();
     LogDebug("bundle rejected", {{"directory", directory},

@@ -69,10 +69,12 @@ class BundleRegistry {
   BundleRegistry& operator=(const BundleRegistry&) = delete;
 
   /**
-   * Validates the bundle in `directory` (integrity, then canary) and
-   * atomically promotes it to the serving generation. On any failure
-   * the registry is untouched — the previous generation keeps serving —
-   * and the Status names the offending file/field or probe.
+   * Validates the bundle in `directory` (crash recovery, then
+   * integrity, then canary) and atomically promotes it to the serving
+   * generation. A save that crashed mid-swap in `directory` is resolved
+   * to exactly one generation first. On any failure the registry is
+   * untouched — the previous generation keeps serving — and the Status
+   * names the offending file/field or probe.
    */
   [[nodiscard]] Status TryPromote(const std::string& directory,
                                   const CanaryOptions& options);

@@ -1,8 +1,11 @@
 #include "models/model_io.h"
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
+#include <system_error>
 #include <utility>
 
 #include "common/csv.h"
@@ -72,63 +75,182 @@ StatusOr<CsvTable> LoadBundleFile(
   return table;
 }
 
+/** Renders rows to an in-memory CSV with the same escaping as CsvWriter. */
+class CsvBuffer {
+ public:
+  void WriteRow(const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i != 0) content_ += ',';
+      content_ += CsvEscape(fields[i]);
+    }
+    content_ += '\n';
+    ++rows_;
+  }
+
+  /** Data rows written so far (the header row is not counted). */
+  long long data_rows() const { return rows_ - 1; }
+
+  std::string Take() { return std::move(content_); }
+
+ private:
+  std::string content_;
+  long long rows_ = 0;
+};
+
+Status FsError(const std::string& what, const std::error_code& ec) {
+  return InternalError(what + ": " + ec.message());
+}
+
 }  // namespace
 
-void ModelIo::SaveKw(const KwModel& model, const std::string& directory) {
+std::vector<BundleFilePlan> ModelIo::PlanKwSave(const KwModel& model) {
+  std::vector<BundleFilePlan> plan;
+  std::vector<long long> data_rows;
   {
-    CsvWriter writer(directory + "/kernel_models.csv");
-    writer.WriteRow({"gpu", "kernel", "driver", "slope", "intercept",
-                     "cluster_id", "solo_r2"});
+    CsvBuffer csv;
+    csv.WriteRow({"gpu", "kernel", "driver", "slope", "intercept",
+                  "cluster_id", "solo_r2"});
     for (const auto& [gpu, kernels] : model.per_gpu_) {
       for (const auto& [name, km] : kernels) {
-        writer.WriteRow({gpu, name, gpuexec::CostDriverName(km.driver),
-                         Format("%.12g", km.fit.slope),
-                         Format("%.12g", km.fit.intercept),
-                         Format("%d", km.cluster_id),
-                         Format("%.8g", km.solo_r2)});
+        csv.WriteRow({gpu, name, gpuexec::CostDriverName(km.driver),
+                      Format("%.12g", km.fit.slope),
+                      Format("%.12g", km.fit.intercept),
+                      Format("%d", km.cluster_id),
+                      Format("%.8g", km.solo_r2)});
       }
     }
+    data_rows.push_back(csv.data_rows());
+    plan.push_back({"kernel_models.csv", csv.Take()});
   }
   {
-    CsvWriter writer(directory + "/mapping_table.csv");
-    writer.WriteRow({"signature", "kernels"});
+    CsvBuffer csv;
+    csv.WriteRow({"signature", "kernels"});
     for (const auto& [signature, names] : model.mapping_) {
-      writer.WriteRow({signature, Join(names, ";")});
+      csv.WriteRow({signature, Join(names, ";")});
     }
+    data_rows.push_back(csv.data_rows());
+    plan.push_back({"mapping_table.csv", csv.Take()});
   }
   {
-    CsvWriter writer(directory + "/calibration.csv");
-    writer.WriteRow({"gpu", "factor"});
+    CsvBuffer csv;
+    csv.WriteRow({"gpu", "factor"});
     for (const auto& [gpu, factor] : model.calibration_) {
-      writer.WriteRow({gpu, Format("%.12g", factor)});
+      csv.WriteRow({gpu, Format("%.12g", factor)});
     }
+    data_rows.push_back(csv.data_rows());
+    plan.push_back({"calibration.csv", csv.Take()});
   }
   {
-    CsvWriter writer(directory + "/layer_fallback.csv");
-    writer.WriteRow({"gpu", "layer_kind", "slope", "intercept"});
+    CsvBuffer csv;
+    csv.WriteRow({"gpu", "layer_kind", "slope", "intercept"});
     for (const auto& [key, fit] : model.lw_fallback_.fits()) {
-      writer.WriteRow({key.first, dnn::LayerKindName(key.second),
-                       Format("%.12g", fit.slope),
-                       Format("%.12g", fit.intercept)});
+      csv.WriteRow({key.first, dnn::LayerKindName(key.second),
+                    Format("%.12g", fit.slope),
+                    Format("%.12g", fit.intercept)});
     }
+    data_rows.push_back(csv.data_rows());
+    plan.push_back({"layer_fallback.csv", csv.Take()});
   }
   {
-    // The manifest is written last so an interrupted save never yields a
-    // bundle that checks out.
-    CsvWriter writer(directory + "/manifest.csv");
-    writer.WriteRow({"bundle_version", "file", "checksum", "rows"});
-    for (const char* file : kBundleFiles) {
-      StatusOr<std::string> content =
-          ReadFileToString(directory + "/" + std::string(file));
-      GP_CHECK(content.ok()) << "re-reading just-written bundle file: "
-                             << content.status().ToString();
-      StatusOr<CsvTable> table = ParseCsv(*content, file);
-      GP_CHECK(table.ok()) << table.status().ToString();
-      writer.WriteRow({Format("%d", kKwBundleVersion), file,
-                       ContentChecksum(*content),
-                       Format("%zu", table->rows.size())});
+    // The manifest is planned (and written) last so a save interrupted
+    // anywhere earlier never yields a bundle that checks out.
+    CsvBuffer csv;
+    csv.WriteRow({"bundle_version", "file", "checksum", "rows"});
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      csv.WriteRow({Format("%d", kKwBundleVersion), plan[i].name,
+                    ContentChecksum(plan[i].content),
+                    Format("%lld", data_rows[i])});
+    }
+    plan.push_back({"manifest.csv", csv.Take()});
+  }
+  return plan;
+}
+
+Status ModelIo::SaveKw(const KwModel& model, const std::string& directory) {
+  namespace fs = std::filesystem;
+  const fs::path dir(directory);
+  const fs::path staging(directory + kBundleSavingSuffix);
+  const fs::path stale(directory + kBundleStaleSuffix);
+  std::error_code ec;
+
+  // Stage the whole next generation beside the live bundle.
+  fs::remove_all(staging, ec);
+  if (ec) return FsError("removing stale staging dir " + staging.string(), ec);
+  fs::create_directories(staging, ec);
+  if (ec) return FsError("creating staging dir " + staging.string(), ec);
+  for (const BundleFilePlan& file : PlanKwSave(model)) {
+    const fs::path path = staging / file.name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(file.content.data(),
+              static_cast<std::streamsize>(file.content.size()));
+    out.close();
+    if (!out) return DataLossError(path.string() + ": write failed");
+  }
+
+  // Commit with renames only; a crash between any two steps leaves a
+  // state LoadKwRecovering() resolves to exactly one generation.
+  fs::remove_all(stale, ec);
+  if (ec) return FsError("removing stale dir " + stale.string(), ec);
+  if (fs::exists(dir, ec)) {
+    fs::rename(dir, stale, ec);
+    if (ec) {
+      return FsError("renaming " + dir.string() + " -> " + stale.string(), ec);
     }
   }
+  fs::rename(staging, dir, ec);
+  if (ec) {
+    return FsError("renaming " + staging.string() + " -> " + dir.string(), ec);
+  }
+  fs::remove_all(stale, ec);
+  if (ec) return FsError("removing stale dir " + stale.string(), ec);
+  return Status::Ok();
+}
+
+StatusOr<KwModel> ModelIo::LoadKwRecovering(const std::string& directory) {
+  namespace fs = std::filesystem;
+  const std::string staging = directory + kBundleSavingSuffix;
+  const std::string stale = directory + kBundleStaleSuffix;
+  std::error_code ec;
+
+  StatusOr<KwModel> committed = LoadKw(directory);
+  if (committed.ok()) {
+    // The committed generation wins; sidecars from an interrupted save
+    // (an unswapped candidate or an unremoved predecessor) are dropped.
+    fs::remove_all(staging, ec);
+    fs::remove_all(stale, ec);
+    return committed;
+  }
+
+  StatusOr<KwModel> staged = LoadKw(staging);
+  if (staged.ok()) {
+    // The save had fully staged the new generation but crashed mid-swap:
+    // finish the commit it started.
+    fs::remove_all(directory, ec);
+    if (ec) return FsError("removing partial bundle " + directory, ec);
+    fs::rename(staging, directory, ec);
+    if (ec) return FsError("renaming " + staging + " -> " + directory, ec);
+    fs::remove_all(stale, ec);
+    if (ec) return FsError("removing stale dir " + stale, ec);
+    return staged;
+  }
+
+  StatusOr<KwModel> previous = LoadKw(stale);
+  if (previous.ok()) {
+    // Crash after the old generation moved aside but before the staging
+    // dir was complete: unwind to the old generation.
+    fs::remove_all(directory, ec);
+    if (ec) return FsError("removing partial bundle " + directory, ec);
+    fs::remove_all(staging, ec);
+    if (ec) return FsError("removing partial staging dir " + staging, ec);
+    fs::rename(stale, directory, ec);
+    if (ec) return FsError("renaming " + stale + " -> " + directory, ec);
+    return previous;
+  }
+
+  return Status(committed.status())
+      .Annotate("no recoverable generation (also checked the '" +
+                std::string(kBundleSavingSuffix) + "' and '" +
+                std::string(kBundleStaleSuffix) + "' sidecars)");
 }
 
 StatusOr<KwModel> ModelIo::LoadKw(const std::string& directory) {

@@ -17,9 +17,18 @@
  * file, checksum mismatch, non-finite coefficient, duplicate key, missing
  * fallback row — comes back as a Status naming the file, line, and field,
  * never a process abort.
+ *
+ * Saves are crash-consistent: the bundle is fully staged into a
+ * `<dir>.saving` sidecar (manifest written last) and committed with a
+ * rename swap through `<dir>.stale`, so a process killed at any byte of
+ * any write — or between any two renames — leaves either the old or the
+ * new generation recoverable, never a hybrid. LoadKwRecovering() is the
+ * matching read side: it finishes or unwinds an interrupted swap before
+ * loading.
  */
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "models/kw_model.h"
@@ -29,11 +38,38 @@ namespace gpuperf::models {
 /** Version written into manifest.csv; bump on layout changes. */
 inline constexpr int kKwBundleVersion = 2;
 
+/** Sidecar holding the fully-staged next generation during SaveKw(). */
+inline constexpr const char* kBundleSavingSuffix = ".saving";
+
+/** Sidecar holding the displaced previous generation mid-swap. */
+inline constexpr const char* kBundleStaleSuffix = ".stale";
+
+/** One file of a bundle save: name inside the directory plus full bytes. */
+struct BundleFilePlan {
+  std::string name;
+  std::string content;
+};
+
 /** Saves/loads trained KW models as CSV bundles. */
 class ModelIo {
  public:
-  /** Writes `model` into `directory` (must exist). */
-  static void SaveKw(const KwModel& model, const std::string& directory);
+  /**
+   * Renders `model` as the ordered list of files SaveKw() writes —
+   * manifest.csv strictly last — without touching the filesystem. The
+   * crash-point harness truncates this plan at every byte boundary; any
+   * prefix of it must be unloadable (the manifest is absent or stale).
+   */
+  static std::vector<BundleFilePlan> PlanKwSave(const KwModel& model);
+
+  /**
+   * Crash-consistently writes `model` as the bundle at `directory`
+   * (created if absent, replaced atomically if present). The plan is
+   * staged into `directory`.saving, then committed by renaming the old
+   * generation to `directory`.stale, the staging dir to `directory`,
+   * and finally removing the stale copy.
+   */
+  [[nodiscard]] static Status SaveKw(const KwModel& model,
+                                     const std::string& directory);
 
   /**
    * Reads and validates a model bundle written by SaveKw(). All errors
@@ -41,6 +77,17 @@ class ModelIo {
    * location exists.
    */
   [[nodiscard]] static StatusOr<KwModel> LoadKw(const std::string& directory);
+
+  /**
+   * LoadKw() plus crash recovery: prefers a valid `directory`; failing
+   * that, completes an interrupted swap from a fully-staged
+   * `directory`.saving; failing that, restores `directory`.stale. Always
+   * yields exactly one committed generation (old or new) and cleans the
+   * sidecars, or reports the original load error when nothing is
+   * recoverable.
+   */
+  [[nodiscard]] static StatusOr<KwModel> LoadKwRecovering(
+      const std::string& directory);
 };
 
 }  // namespace gpuperf::models

@@ -99,7 +99,9 @@ StatusOr<RefitResult> RefitTrippedClusters(const std::string& serving_dir,
   if (tripped.empty()) {
     return InvalidArgumentError("refit called with no tripped pairs");
   }
-  StatusOr<KwModel> loaded = ModelIo::LoadKw(serving_dir);
+  // Recovering load: the serving dir is exactly the bundle promotions
+  // overwrite, so a crashed save must resolve before refitting on it.
+  StatusOr<KwModel> loaded = ModelIo::LoadKwRecovering(serving_dir);
   if (!loaded.ok()) return loaded.status();
   KwModel& model = *loaded;
 
@@ -132,7 +134,7 @@ StatusOr<RefitResult> RefitTrippedClusters(const std::string& serving_dir,
     return UnavailableError("cannot create candidate directory " +
                             candidate_dir + ": " + ec.message());
   }
-  ModelIo::SaveKw(model, candidate_dir);
+  GP_RETURN_IF_ERROR(ModelIo::SaveKw(model, candidate_dir));
   LogInfo("refit candidate saved",
           {{"dir", candidate_dir},
            {"clusters", Format("%zu", result.refit.size())}});

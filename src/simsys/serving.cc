@@ -36,6 +36,9 @@ struct ServingMetrics {
   obs::Counter& retries;
   obs::Counter& breaker_opens;
   obs::Counter& deadline_misses;
+  obs::Counter& hedges_issued;
+  obs::Counter& hedges_won;
+  obs::Counter& retries_suppressed;
   obs::Histogram& latency_ms;
 
   static ServingMetrics& Get() {
@@ -53,6 +56,9 @@ struct ServingMetrics {
           registry.counter("gpuperf_serving_retries"),
           registry.counter("gpuperf_serving_breaker_opens"),
           registry.counter("gpuperf_serving_deadline_misses"),
+          registry.counter("gpuperf_serving_hedges_issued"),
+          registry.counter("gpuperf_serving_hedges_won"),
+          registry.counter("gpuperf_serving_retries_suppressed"),
           registry.histogram("gpuperf_serving_latency_ms",
                              {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000})};
     }();
@@ -76,6 +82,12 @@ void RecordSimulation(const ServingResult& result,
       static_cast<std::uint64_t>(result.breaker_opens));
   metrics.deadline_misses.Increment(
       static_cast<std::uint64_t>(result.deadline_misses));
+  metrics.hedges_issued.Increment(
+      static_cast<std::uint64_t>(result.hedges_issued));
+  metrics.hedges_won.Increment(
+      static_cast<std::uint64_t>(result.hedges_won));
+  metrics.retries_suppressed.Increment(
+      static_cast<std::uint64_t>(result.retries_suppressed));
   for (double latency : latencies_ms) metrics.latency_ms.Observe(latency);
 }
 
@@ -104,6 +116,9 @@ void ResetServingCounters() {
   metrics.retries.Reset();
   metrics.breaker_opens.Reset();
   metrics.deadline_misses.Reset();
+  metrics.hedges_issued.Reset();
+  metrics.hedges_won.Reset();
+  metrics.retries_suppressed.Reset();
   metrics.latency_ms.Reset();
 }
 
@@ -146,6 +161,16 @@ struct Sim {
   std::vector<ServingObservation> observations;  // record_observations only
   int round_robin_next = 0;
 
+  // Gray-failure resilience state. `chaos` is borrowed (nullptr = no
+  // chaos); `retry_tokens` is the per-simulation retry token bucket;
+  // `observed_service_us` feeds the adaptive detection timeout.
+  const ChaosPlan* chaos = nullptr;
+  double retry_tokens = 0;
+  std::vector<double> observed_service_us;
+  int hedges_issued = 0;
+  int hedges_won = 0;
+  int retries_suppressed = 0;
+
   // Optional sim-time lifecycle recording; null = tracing off. Track 0
   // is the dispatcher (shed/drop/retry instants), track g+1 is GPU g
   // (queue-wait and service spans). Purely observational: no branch in
@@ -174,6 +199,26 @@ struct Sim {
         gpu_busy(gpus_in, 0.0),
         breakers(gpus_in, CircuitBreaker(config_in.breaker)) {}
 
+  /**
+   * Failure-detection delay: the fixed `retry.detect_timeout_ms`, or —
+   * once adaptive detection has enough completions to trust — the
+   * configured quantile of observed service times scaled by the
+   * multiplier, whichever is larger. Under gray failures the observed
+   * quantile tracks the real (slowed) service distribution, so healthy
+   * slow jobs are not misdetected as failures.
+   */
+  double DetectTimeoutMs() const {
+    const RetryPolicy& r = config.retry;
+    if (config.adaptive_detect_quantile <= 0 ||
+        observed_service_us.size() < 8) {
+      return r.detect_timeout_ms;
+    }
+    const double quantile_us = Percentile(
+        observed_service_us, config.adaptive_detect_quantile * 100);
+    return std::max(r.detect_timeout_ms,
+                    quantile_us * config.adaptive_detect_multiplier / 1e3);
+  }
+
   /** Delay before re-dispatching after the `attempt`-th failure (0-based):
    *  failure-detection timeout plus capped exponential backoff. */
   double RetryDelayUs(int attempt) const {
@@ -181,7 +226,7 @@ struct Sim {
     const double backoff_ms =
         std::min(r.backoff_base_ms * std::ldexp(1.0, attempt),
                  r.backoff_cap_ms);
-    return (r.detect_timeout_ms + backoff_ms) * 1e3;
+    return (DetectTimeoutMs() + backoff_ms) * 1e3;
   }
 
   /** Memory-bound time share of (job, gpu) for scoped drift events. */
@@ -198,6 +243,15 @@ struct Sim {
     return service * config.drift->FactorAt(target,
                                             config.time_origin_us + start,
                                             MemoryShare(job, target));
+  }
+
+  /** Drifted service time with the chaos slowdown sampled at `start`
+   *  applied for the leg's whole duration. */
+  double ServiceTime(std::size_t job, std::size_t target,
+                     double start) const {
+    double service = DriftedService(job, target, start);
+    if (chaos != nullptr) service *= chaos->SlowdownAt(target, start);
+    return service;
   }
 
   /** Least-outstanding among the up candidates. */
@@ -308,6 +362,20 @@ struct Sim {
       }
       return;
     }
+    if (config.retry_budget > 0 && retry_tokens < 1.0) {
+      // Token bucket empty: a mass failure has outrun the completions
+      // that refill it. Dropping here is what breaks the retry-storm
+      // metastable state — the drop is final, not deferred load.
+      ++retries_suppressed;
+      ++dropped;
+      if (tracer != nullptr) {
+        tracer->Instant(0, "drop", "retry", queue.NowUs(),
+                        TraceArgs(id, job, attempt) +
+                            ",\"reason\":\"retry-budget\"");
+      }
+      return;
+    }
+    if (config.retry_budget > 0) retry_tokens -= 1.0;
     ++retries;
     const double at = queue.NowUs() + RetryDelayUs(attempt);
     if (tracer != nullptr) {
@@ -370,7 +438,7 @@ struct Sim {
     breakers[target].OnDispatch(now);
 
     const double start = std::max(gpu_free[target], now);
-    const double service = DriftedService(job, target, start);
+    const double service = ServiceTime(job, target, start);
     if (!predicted.empty() && std::isfinite(predicted[job][target])) {
       gpu_predicted_free[target] =
           std::max(gpu_predicted_free[target], now) + predicted[job][target];
@@ -382,47 +450,179 @@ struct Sim {
                    TraceArgs(id, job, attempt));
     }
 
+    // One leg on `target`: either it completes at start + service, or
+    // the GPU fails under it mid-job (or while it is queued) and the
+    // partial work is wasted. Both outcomes are known now; committing
+    // the GPU timeline here keeps later dispatch decisions consistent.
     const DownInterval* outage =
         plan.FirstOutageIn(target, start, start + service);
-    if (outage != nullptr) {
-      // The GPU fails mid-job (or is queued into an outage): the partial
-      // work is wasted, the job retries elsewhere after detection.
-      const double fail = std::max(start, outage->down_us);
-      gpu_busy[target] += fail - start;
-      gpu_free[target] = fail;
-      if (tracer != nullptr) {
-        tracer->Span(
-            track, Format("job %zu", job), "service", start, fail,
-            TraceArgs(id, job, attempt) + ",\"outcome\":\"failed\"");
+    const bool fails = outage != nullptr;
+    const double leg_end =
+        fails ? std::max(start, outage->down_us) : start + service;
+    gpu_busy[target] += leg_end - start;
+    gpu_free[target] = leg_end;
+    if (tracer != nullptr) {
+      tracer->Span(track, Format("job %zu", job), "service", start, leg_end,
+                   TraceArgs(id, job, attempt) +
+                       (fails ? std::string(",\"outcome\":\"failed\"")
+                              : Format(",\"wait_us\":%.3f", start - now)));
+    }
+
+    // Hedged dispatch: if the job will still be running once it has
+    // exceeded its predicted time by the trigger factor, revisit it
+    // then — the dispatcher cannot tell "slow" from "dying", so it
+    // duplicates the work instead of guessing.
+    if (config.hedge_trigger_factor > 0 && !predicted.empty() &&
+        std::isfinite(predicted[job][target])) {
+      const double trigger =
+          start + predicted[job][target] * config.hedge_trigger_factor;
+      if (trigger < leg_end) {
+        queue.Schedule(trigger, [this, id, job, arrival, attempt, target,
+                                 start, service, leg_end, fails] {
+          HedgeCheck(id, job, arrival, attempt, target, start, service,
+                     leg_end, fails);
+        });
+        return;
       }
-      queue.Schedule(fail, [this, id, job, arrival, attempt, target] {
-        --gpu_outstanding[target];
-        const std::int64_t opens_before = breakers[target].opens();
-        breakers[target].OnFailure(queue.NowUs());
-        if (tracer != nullptr && breakers[target].opens() > opens_before) {
-          tracer->Instant(static_cast<int>(target) + 1, "breaker-open",
-                          "breaker", queue.NowUs(),
-                          TraceArgs(id, job, attempt));
-        }
-        RetryOrDrop(id, job, arrival, attempt);
-      });
+    }
+    if (fails) {
+      ScheduleLegFailure(id, job, arrival, attempt, target, leg_end,
+                         /*retry=*/true);
+    } else {
+      ScheduleLegCompletion(job, target, arrival, start, service, leg_end);
+    }
+  }
+
+  /**
+   * The hedge trigger fired while the primary leg is still running:
+   * duplicate the job onto a second GPU picked live right now (primary
+   * excluded; least-outstanding — the model already voted for the
+   * primary, the hedge buys diversity). First completion wins; the
+   * loser is cancelled and its unspent tail refunded. A hedge landing
+   * on a half-open breaker claims that breaker's probe slot exactly
+   * like a normal dispatch.
+   */
+  void HedgeCheck(std::size_t id, std::size_t job, double arrival,
+                  int attempt, std::size_t primary, double primary_start,
+                  double primary_service, double primary_end,
+                  bool primary_fails) {
+    const double now = queue.NowUs();
+    std::vector<std::size_t> candidates;
+    candidates.reserve(gpus);
+    for (std::size_t g = 0; g < gpus; ++g) {
+      if (g == primary) continue;
+      if (plan.IsDownAt(g, now) || !breakers[g].AllowsAt(now)) continue;
+      if (config.queue_cap > 0 && gpu_outstanding[g] >= config.queue_cap) {
+        continue;
+      }
+      candidates.push_back(g);
+    }
+    if (candidates.empty()) {
+      // No second GPU to hedge onto: the job continues unhedged.
+      if (primary_fails) {
+        ScheduleLegFailure(id, job, arrival, attempt, primary, primary_end,
+                           /*retry=*/true);
+      } else {
+        ScheduleLegCompletion(job, primary, arrival, primary_start,
+                              primary_service, primary_end);
+      }
       return;
     }
 
-    gpu_free[target] = start + service;
-    gpu_busy[target] += service;
+    const std::size_t hedge = LeastOutstanding(candidates);
+    ++hedges_issued;
+    breakers[hedge].OnDispatch(now);
+    ++gpu_outstanding[hedge];
+    const double hedge_start = std::max(gpu_free[hedge], now);
+    const double hedge_service = ServiceTime(job, hedge, hedge_start);
+    const DownInterval* outage =
+        plan.FirstOutageIn(hedge, hedge_start, hedge_start + hedge_service);
+    const bool hedge_fails = outage != nullptr;
+    const double hedge_end = hedge_fails
+                                 ? std::max(hedge_start, outage->down_us)
+                                 : hedge_start + hedge_service;
+    gpu_busy[hedge] += hedge_end - hedge_start;
+    gpu_free[hedge] = hedge_end;
     if (tracer != nullptr) {
-      tracer->Span(track, Format("job %zu", job), "service", start,
-                   start + service,
+      tracer->Span(static_cast<int>(hedge) + 1, Format("job %zu", job),
+                   "hedge", hedge_start, hedge_end,
                    TraceArgs(id, job, attempt) +
-                       Format(",\"wait_us\":%.3f", start - now));
+                       (hedge_fails ? ",\"outcome\":\"failed\"" : ""));
     }
-    queue.Schedule(gpu_free[target], [this, arrival, target, job, start,
-                                      service] {
+
+    if (primary_fails && hedge_fails) {
+      // Both legs die; the later failure carries the retry so the job
+      // is re-dispatched exactly once.
+      const bool primary_last = primary_end >= hedge_end;
+      ScheduleLegFailure(id, job, arrival, attempt, primary, primary_end,
+                         /*retry=*/primary_last);
+      ScheduleLegFailure(id, job, arrival, attempt, hedge, hedge_end,
+                         /*retry=*/!primary_last);
+      return;
+    }
+    if (primary_fails) {
+      // The hedge saves the job: the primary's failure still feeds its
+      // breaker, but no retry is needed.
+      ++hedges_won;
+      ScheduleLegFailure(id, job, arrival, attempt, primary, primary_end,
+                         /*retry=*/false);
+      ScheduleLegCompletion(job, hedge, arrival, hedge_start, hedge_service,
+                            hedge_end);
+      return;
+    }
+    if (hedge_fails) {
+      ScheduleLegFailure(id, job, arrival, attempt, hedge, hedge_end,
+                         /*retry=*/false);
+      ScheduleLegCompletion(job, primary, arrival, primary_start,
+                            primary_service, primary_end);
+      return;
+    }
+    if (hedge_end < primary_end) {
+      ++hedges_won;
+      ScheduleLegCompletion(job, hedge, arrival, hedge_start, hedge_service,
+                            hedge_end);
+      ScheduleLegCancel(id, job, attempt, primary, primary_start,
+                        primary_end, hedge_end);
+    } else {
+      ScheduleLegCompletion(job, primary, arrival, primary_start,
+                            primary_service, primary_end);
+      ScheduleLegCancel(id, job, attempt, hedge, hedge_start, hedge_end,
+                        primary_end);
+    }
+  }
+
+  /** Schedules one leg's failure bookkeeping at `fail_at`; when `retry`
+   *  is set the job re-enters the retry path (no leg survived). */
+  void ScheduleLegFailure(std::size_t id, std::size_t job, double arrival,
+                          int attempt, std::size_t gpu, double fail_at,
+                          bool retry) {
+    queue.Schedule(fail_at, [this, id, job, arrival, attempt, gpu, retry] {
+      --gpu_outstanding[gpu];
+      const std::int64_t opens_before = breakers[gpu].opens();
+      breakers[gpu].OnFailure(queue.NowUs());
+      if (tracer != nullptr && breakers[gpu].opens() > opens_before) {
+        tracer->Instant(static_cast<int>(gpu) + 1, "breaker-open",
+                        "breaker", queue.NowUs(),
+                        TraceArgs(id, job, attempt));
+      }
+      if (retry) RetryOrDrop(id, job, arrival, attempt);
+    });
+  }
+
+  /** Schedules the winning leg's completion bookkeeping at `leg_end`. */
+  void ScheduleLegCompletion(std::size_t job, std::size_t gpu,
+                             double arrival, double leg_start,
+                             double service, double leg_end) {
+    queue.Schedule(leg_end, [this, job, gpu, arrival, leg_start, service] {
       const double latency_ms = (queue.NowUs() - arrival) / 1e3;
       latencies_ms.push_back(latency_ms);
-      --gpu_outstanding[target];
-      breakers[target].OnSuccess(queue.NowUs());
+      --gpu_outstanding[gpu];
+      breakers[gpu].OnSuccess(queue.NowUs());
+      observed_service_us.push_back(service);
+      if (config.retry_budget > 0) {
+        retry_tokens = std::min(config.retry_budget_burst,
+                                retry_tokens + config.retry_budget);
+      }
       if (config.slo_ms > 0 && latency_ms > config.slo_ms) {
         ++deadline_misses;
       } else {
@@ -430,11 +630,38 @@ struct Sim {
       }
       if (config.record_observations) {
         const double predicted_us =
-            !predicted.empty() && std::isfinite(predicted[job][target])
-                ? predicted[job][target]
+            !predicted.empty() && std::isfinite(predicted[job][gpu])
+                ? predicted[job][gpu]
                 : std::numeric_limits<double>::quiet_NaN();
-        observations.push_back({job, target, config.time_origin_us + start,
+        observations.push_back({job, gpu, config.time_origin_us + leg_start,
                                 service, predicted_us});
+      }
+    });
+  }
+
+  /**
+   * Cancels the losing leg at `at` (the winner's completion time). The
+   * unspent tail is refunded only when nothing queued behind the leg —
+   * `gpu_free` still equals the leg's end — otherwise the capacity is
+   * already committed and the leg just runs out. The breaker sees a
+   * cancellation, not a verdict: a cancelled half-open probe releases
+   * its slot instead of wedging the breaker.
+   */
+  void ScheduleLegCancel(std::size_t id, std::size_t job, int attempt,
+                         std::size_t gpu, double leg_start, double leg_end,
+                         double at) {
+    queue.Schedule(at, [this, id, job, attempt, gpu, leg_start, leg_end] {
+      const double now = queue.NowUs();
+      if (gpu_free[gpu] == leg_end) {
+        const double stop = std::clamp(now, leg_start, leg_end);
+        gpu_busy[gpu] -= leg_end - stop;
+        gpu_free[gpu] = stop;
+      }
+      --gpu_outstanding[gpu];
+      breakers[gpu].OnCancel(now);
+      if (tracer != nullptr) {
+        tracer->Instant(static_cast<int>(gpu) + 1, "hedge-cancel", "hedge",
+                        now, TraceArgs(id, job, attempt));
       }
     });
   }
@@ -589,6 +816,104 @@ Status ValidateInputs(const std::vector<std::vector<double>>& true_service_us,
         "slo_ms = %g must be non-negative and finite (0 disables the SLO)",
         config.slo_ms));
   }
+  if (!std::isfinite(config.hedge_trigger_factor) ||
+      config.hedge_trigger_factor < 0) {
+    return InvalidArgumentError(Format(
+        "hedge_trigger_factor = %g must be non-negative and finite (0 "
+        "disables hedging)",
+        config.hedge_trigger_factor));
+  }
+  if (!std::isfinite(config.retry_budget) || config.retry_budget < 0) {
+    return InvalidArgumentError(Format(
+        "retry_budget = %g must be non-negative and finite (0 disables "
+        "the retry budget)",
+        config.retry_budget));
+  }
+  if (config.retry_budget > 0 &&
+      (!std::isfinite(config.retry_budget_burst) ||
+       config.retry_budget_burst < 1)) {
+    return InvalidArgumentError(Format(
+        "retry_budget_burst = %g must be >= 1 and finite when the retry "
+        "budget is enabled",
+        config.retry_budget_burst));
+  }
+  if (!std::isfinite(config.adaptive_detect_quantile) ||
+      config.adaptive_detect_quantile < 0 ||
+      config.adaptive_detect_quantile > 1) {
+    return InvalidArgumentError(Format(
+        "adaptive_detect_quantile = %g must be in [0, 1] (0 disables "
+        "adaptive detection)",
+        config.adaptive_detect_quantile));
+  }
+  if (config.adaptive_detect_quantile > 0 &&
+      (!std::isfinite(config.adaptive_detect_multiplier) ||
+       config.adaptive_detect_multiplier <= 0)) {
+    return InvalidArgumentError(Format(
+        "adaptive_detect_multiplier = %g must be positive and finite",
+        config.adaptive_detect_multiplier));
+  }
+  const ChaosPlanConfig& chaos = config.chaos;
+  if (!std::isfinite(chaos.gray_mtbf_s) || chaos.gray_mtbf_s < 0) {
+    return InvalidArgumentError(Format(
+        "chaos.gray_mtbf_s = %g must be non-negative and finite",
+        chaos.gray_mtbf_s));
+  }
+  if (chaos.gray_mtbf_s > 0) {
+    if (!std::isfinite(chaos.gray_mttr_s) || chaos.gray_mttr_s < 0) {
+      return InvalidArgumentError(Format(
+          "chaos.gray_mttr_s = %g must be non-negative and finite",
+          chaos.gray_mttr_s));
+    }
+    if (!std::isfinite(chaos.gray_factor) || chaos.gray_factor <= 1) {
+      return InvalidArgumentError(Format(
+          "chaos.gray_factor = %g must be > 1 (a slowdown)",
+          chaos.gray_factor));
+    }
+  }
+  if (!std::isfinite(chaos.flap_mtbf_s) || chaos.flap_mtbf_s < 0) {
+    return InvalidArgumentError(Format(
+        "chaos.flap_mtbf_s = %g must be non-negative and finite",
+        chaos.flap_mtbf_s));
+  }
+  if (chaos.flap_mtbf_s > 0 &&
+      (chaos.flap_count < 1 || !std::isfinite(chaos.flap_period_s) ||
+       chaos.flap_period_s <= 0 || !std::isfinite(chaos.flap_down_s) ||
+       chaos.flap_down_s < 0)) {
+    return InvalidArgumentError(Format(
+        "chaos flap parameters (count %d, period %g s, down %g s) must be "
+        "count >= 1, period > 0, down >= 0",
+        chaos.flap_count, chaos.flap_period_s, chaos.flap_down_s));
+  }
+  const struct {
+    const char* name;
+    const ChaosDomainConfig& domain;
+  } levels[] = {{"host", chaos.host}, {"rack", chaos.rack}};
+  for (const auto& level : levels) {
+    const ChaosDomainConfig& d = level.domain;
+    if (!std::isfinite(d.mtbf_s) || d.mtbf_s < 0 ||
+        !std::isfinite(d.mttr_s) || d.mttr_s < 0) {
+      return InvalidArgumentError(Format(
+          "chaos.%s MTBF/MTTR (%g s / %g s) must be non-negative and "
+          "finite",
+          level.name, d.mtbf_s, d.mttr_s));
+    }
+    if (!std::isfinite(d.factor) || (d.factor != 0 && d.factor <= 1)) {
+      return InvalidArgumentError(Format(
+          "chaos.%s factor = %g must be 0 (outage) or > 1 (slowdown)",
+          level.name, d.factor));
+    }
+    if (d.first_event_at_s >= 0 && !std::isfinite(d.first_event_at_s)) {
+      return InvalidArgumentError(Format(
+          "chaos.%s first_event_at_s = %g must be finite", level.name,
+          d.first_event_at_s));
+    }
+  }
+  if (config.chaos_plan != nullptr &&
+      config.chaos_plan->resources() < gpus) {
+    return InvalidArgumentError(Format(
+        "chaos_plan covers %zu resources, pool has %zu GPUs",
+        config.chaos_plan->resources(), gpus));
+  }
   const BreakerPolicy& b = config.breaker;
   if (b.failure_threshold < 0) {
     return InvalidArgumentError(
@@ -626,10 +951,22 @@ StatusOr<ServingResult> SimulateServing(
   // before any breaker can trip, not just at result-recording time.
   ServingMetrics::Get();
 
+  FaultPlan base_plan = config.fault_plan != nullptr
+                            ? *config.fault_plan
+                            : FaultPlan(gpus, horizon_us, config.faults);
+  // Compose the chaos timeline on top of the base outage plan; the
+  // merged outages become the sim's plan and the slowdown timeline is
+  // queried per dispatch.
+  ChaosPlan chaos_local;
+  const ChaosPlan* chaos = config.chaos_plan;
+  if (chaos == nullptr && ChaosConfigEnabled(config.chaos)) {
+    chaos_local = ChaosPlan(gpus, horizon_us, config.chaos, &base_plan);
+    chaos = &chaos_local;
+  }
   Sim sim(true_service_us, predicted_service_us, config, gpus,
-          config.fault_plan != nullptr
-              ? *config.fault_plan
-              : FaultPlan(gpus, horizon_us, config.faults));
+          chaos != nullptr ? chaos->outage_plan() : std::move(base_plan));
+  sim.chaos = chaos;
+  sim.retry_tokens = config.retry_budget_burst;
   sim.tracer = tracer;
   if (tracer != nullptr) {
     tracer->SetTrackName(0, "dispatcher");
@@ -678,6 +1015,9 @@ StatusOr<ServingResult> SimulateServing(
           : 0.0;
   result.shed_on_admission = sim.shed;
   result.deadline_misses = sim.deadline_misses;
+  result.hedges_issued = sim.hedges_issued;
+  result.hedges_won = sim.hedges_won;
+  result.retries_suppressed = sim.retries_suppressed;
   for (std::size_t g = 0; g < gpus; ++g) {
     result.breaker_opens += static_cast<int>(sim.breakers[g].opens());
   }
@@ -696,6 +1036,9 @@ StatusOr<ServingResult> SimulateServing(
   for (std::size_t g = 0; g < gpus; ++g) {
     result.gpu_utilization.push_back(sim.gpu_busy[g] / end);
     result.gpu_availability.push_back(sim.plan.Availability(g));
+    if (sim.breakers[g].StateAt(end) == BreakerState::kOpen) {
+      ++result.breakers_open_at_end;
+    }
   }
   result.observations = std::move(sim.observations);
   RecordSimulation(result, sim.latencies_ms);
@@ -721,6 +1064,7 @@ std::vector<StatusOr<ServingResult>> SimulateServingGrid(
     config.policy = cells[i].policy;
     config.seed = cells[i].seed;
     config.faults.seed = cells[i].seed;
+    config.chaos.seed = cells[i].seed;
     results[i] =
         SimulateServing(true_service_us, predicted_service_us, job_mix,
                         config, trace_out != nullptr ? &tracers[i] : nullptr);

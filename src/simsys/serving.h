@@ -30,7 +30,24 @@
  *    from hammering a flapping GPU: after `breaker.failure_threshold`
  *    consecutive failures the GPU is excluded for a sim-time cooldown,
  *    then probed half-open before full traffic resumes.
- * All three are deterministic (sim-time driven), so results stay
+ *
+ * Gray-failure resilience (all off by default) hardens the pool against
+ * the failures that are *partial* rather than binary:
+ *  - a ChaosPlan (common/fault_injection.h) composes gray slowdowns,
+ *    flap bursts, and correlated host/rack domain events on top of the
+ *    uncorrelated fault plan; a job dispatched at time t runs at the
+ *    slowdown factor sampled at t for its whole service;
+ *  - hedged dispatch (`hedge_trigger_factor`): when a running job
+ *    exceeds its predicted time by the factor, a duplicate is issued to
+ *    a second GPU; the first completion wins and the loser is cancelled
+ *    (its unspent tail refunded when nothing queued behind it);
+ *  - retry budgets (`retry_budget`): a token bucket refilled by
+ *    completions bounds retries to burst + budget x completions, so a
+ *    mass failure cannot ignite a retry storm;
+ *  - adaptive failure detection (`adaptive_detect_quantile`): the
+ *    detection timeout follows a quantile of observed service times
+ *    instead of a fixed guess, with `retry.detect_timeout_ms` as floor.
+ * All mechanisms are deterministic (sim-time driven), so results stay
  * bit-identical across runs and `--jobs` values.
  */
 
@@ -102,6 +119,30 @@ struct ServingConfig {
   // Explicit fault plan override (tests and replay; borrowed). When
   // set, `faults` is ignored; the plan must cover the pool.
   const FaultPlan* fault_plan = nullptr;
+  // --- Gray-failure resilience; defaults keep every mechanism off and
+  // the off state byte-identical to the pre-chaos simulator.
+  // Issue a hedge to a second GPU when a job's elapsed time exceeds
+  // hedge_trigger_factor x its predicted time (0 = no hedging; needs
+  // finite predictions for the job).
+  double hedge_trigger_factor = 0;
+  // Retry token bucket: a retry spends one token, every completion
+  // refills `retry_budget` tokens (capped at `retry_budget_burst`,
+  // which is also the initial balance). An empty bucket suppresses the
+  // retry — the job drops instead of joining a retry storm. 0 = off.
+  double retry_budget = 0;
+  double retry_budget_burst = 10;
+  // Adaptive failure detection: once enough completions are observed,
+  // the detection timeout becomes adaptive_detect_multiplier x this
+  // quantile of observed service times, floored at
+  // retry.detect_timeout_ms. 0 disables (fixed timeout).
+  double adaptive_detect_quantile = 0;
+  double adaptive_detect_multiplier = 3;
+  // Chaos timeline composed on top of `faults` (the chaos seed follows
+  // the grid cell seed, like the fault seed). All channels default off.
+  ChaosPlanConfig chaos;
+  // Explicit chaos plan override (tests and replay; borrowed). When
+  // set, `chaos` is ignored; the plan must cover the pool.
+  const ChaosPlan* chaos_plan = nullptr;
 };
 
 /** One completed job, as the drift monitor sees it. */
@@ -124,6 +165,10 @@ struct ServingResult {
   int shed_on_admission = 0;  // rejected: queues full or deadline hopeless
   int deadline_misses = 0;    // completed, but later than the SLO
   int breaker_opens = 0;      // circuit-breaker trips across the pool
+  int hedges_issued = 0;      // duplicate dispatches for slow jobs
+  int hedges_won = 0;         // jobs delivered by the hedge leg
+  int retries_suppressed = 0;  // retries dropped by an empty token bucket
+  int breakers_open_at_end = 0;  // breakers still open when the sim ends
   // Completed-within-SLO fraction of all arrivals (shed and dropped jobs
   // count as misses; 1.0 when everything completed and slo_ms == 0).
   double slo_attainment = 0;

@@ -103,6 +103,46 @@ TEST(CircuitBreakerTest, StragglerResultsWhileOpenAreIgnored) {
   EXPECT_TRUE(breaker.AllowsAt(20 * kMs));  // cooldown from the trip, not 5
 }
 
+TEST(CircuitBreakerTest, HedgeOnHalfOpenBreakerCountsAsItsSingleProbe) {
+  // ISSUE 9 satellite: a hedge dispatched to a half-open breaker claims
+  // the breaker's single probe slot exactly like a normal dispatch...
+  CircuitBreaker breaker(Policy(1, /*cooldown_ms=*/10, /*probes=*/1));
+  breaker.OnFailure(0);
+  EXPECT_EQ(breaker.StateAt(11 * kMs), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowsAt(11 * kMs));
+  breaker.OnDispatch(11 * kMs);  // the hedge leg is the probe
+  EXPECT_FALSE(breaker.AllowsAt(12 * kMs));  // slot taken, no second probe
+  // ...and winning the hedge race is the probe success that closes it.
+  breaker.OnSuccess(13 * kMs);
+  EXPECT_EQ(breaker.StateAt(13 * kMs), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, CancelledHedgeProbeReleasesItsSlot) {
+  // The losing hedge leg is cancelled, not failed: the probe slot must
+  // come back (no wedged half-open breaker) without voting a verdict.
+  CircuitBreaker breaker(Policy(1, /*cooldown_ms=*/10, /*probes=*/1));
+  breaker.OnFailure(0);
+  EXPECT_EQ(breaker.StateAt(11 * kMs), BreakerState::kHalfOpen);
+  breaker.OnDispatch(11 * kMs);
+  EXPECT_FALSE(breaker.AllowsAt(12 * kMs));
+  breaker.OnCancel(12 * kMs);
+  EXPECT_EQ(breaker.StateAt(12 * kMs), BreakerState::kHalfOpen);  // no close
+  EXPECT_TRUE(breaker.AllowsAt(12 * kMs));  // but the slot is free again
+}
+
+TEST(CircuitBreakerTest, CancelWhileClosedOrOpenIsANoOp) {
+  CircuitBreaker breaker(Policy(2, /*cooldown_ms=*/10));
+  breaker.OnCancel(0);
+  EXPECT_EQ(breaker.StateAt(0), BreakerState::kClosed);
+  breaker.OnFailure(1);
+  breaker.OnCancel(2);  // must not clear the failure streak
+  breaker.OnFailure(3);
+  EXPECT_EQ(breaker.StateAt(4), BreakerState::kOpen);
+  breaker.OnCancel(5);
+  EXPECT_EQ(breaker.StateAt(5), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1);
+}
+
 TEST(CircuitBreakerTest, StateNamesAreStable) {
   EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
   EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");

@@ -273,6 +273,127 @@ TEST(CliTest, ServeSimWritesMetricsAndTraceFiles) {
   std::remove(trace.c_str());
 }
 
+TEST(CliTest, ServeSimRunsWithResilienceAndChaosFlagsEnabled) {
+  const CliResult r = RunCli(
+      "serve-sim --duration 2 --rate 60 --networks resnet18 --policy "
+      "least-outstanding --mtbf 1 --mttr 0.5 --breaker-failures 2 "
+      "--hedge-factor 1.5 --retry-budget 0.5 --retry-burst 5 "
+      "--adaptive-detect 0.95 --chaos-gray-mtbf 1 --chaos-gray-mttr 1 "
+      "--chaos-gray-factor 3 --chaos-host-size 2 --chaos-host-mtbf 2 "
+      "--chaos-host-mttr 0.3 --chaos-host-factor 0 --chaos-flap-mtbf 2");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("least-outstanding"), std::string::npos)
+      << r.output;
+}
+TEST(CliTest, ServeSimHelpListsTheResilienceAndChaosFlags) {
+  const CliResult r = RunCli("serve-sim --help");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* flag :
+       {"--hedge-factor", "--retry-budget", "--retry-burst",
+        "--adaptive-detect", "--chaos-gray-mtbf", "--chaos-flap-count",
+        "--chaos-host-size", "--chaos-rack-factor"}) {
+    EXPECT_NE(r.output.find(flag), std::string::npos)
+        << "help is missing " << flag << ":\n" << r.output;
+  }
+}
+
+TEST(CliTest, InvalidResilienceAndChaosFlagsExitOneWithOneLineErrors) {
+  const std::vector<BadInvocation> cases = {
+      {"serve-sim --hedge-factor -1",
+       "--hedge-factor must be a non-negative number"},
+      {"serve-sim --retry-budget nan",
+       "--retry-budget must be a non-negative number"},
+      {"serve-sim --retry-burst 0",
+       "--retry-burst must be a positive number"},
+      {"serve-sim --adaptive-detect 1.5",
+       "--adaptive-detect must be a quantile in [0, 1]"},
+      {"serve-sim --chaos-gray-mtbf -1",
+       "--chaos-gray-mtbf must be a non-negative number"},
+      {"serve-sim --chaos-flap-count 0",
+       "--chaos-flap-count must be an integer >= 1"},
+      {"serve-sim --chaos-flap-period 0",
+       "--chaos-flap-period must be a positive number"},
+      {"serve-sim --chaos-host-size -1",
+       "--chaos-host-size must be an integer >= 0"},
+      // Deep semantic checks surface from the simulator's input
+      // validation as one-line errors, never aborts.
+      {"serve-sim --duration 1 --chaos-gray-mtbf 1 --chaos-gray-factor "
+       "0.5", "chaos.gray_factor = 0.5 must be > 1"},
+      {"chaos --bogus 1", "unknown flag --bogus"},
+      {"chaos --scenarios bogus",
+       "--scenarios must be a comma-separated subset"},
+      {"chaos --min-avail 1.5", "--min-avail must be in [0, 1]"},
+      {"chaos --policy vibes", "--policy must be"},
+      {"chaos --pool NoSuchGpu", "unknown GPU 'NoSuchGpu'"},
+      {"chaos --rate 0", "--rate must be a positive number"},
+      {"chaos --runs 0", "--runs must be an integer >= 1"},
+  };
+  for (const BadInvocation& c : cases) {
+    SCOPED_TRACE(c.args);
+    const CliResult r = RunCli(c.args);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    ASSERT_FALSE(r.output.empty());
+    const std::string first_line =
+        r.output.substr(0, r.output.find('\n'));
+    EXPECT_NE(first_line.find(c.expected), std::string::npos)
+        << "first line: " << first_line;
+  }
+}
+
+TEST(CliTest, ChaosHelpListsItsFlags) {
+  const CliResult r = RunCli("chaos --help");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* flag :
+       {"--scenarios", "--policy", "--min-avail", "--hedge-factor",
+        "--retry-budget", "--adaptive-detect", "--breaker-failures",
+        "--metrics-out", "--trace-out"}) {
+    EXPECT_NE(r.output.find(flag), std::string::npos)
+        << "help is missing " << flag << ":\n" << r.output;
+  }
+}
+
+TEST(CliTest, ChaosSweepHoldsItsInvariantsAndPrintsTheTable) {
+  const CliResult r = RunCli(
+      "chaos --duration 3 --rate 40 --networks resnet18 "
+      "--policy least-outstanding");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* token : {"scenario", "outage", "gray", "domain", "flap",
+                            "suppr", "hedge", "open", "check", "OK",
+                            "all invariants held"}) {
+    EXPECT_NE(r.output.find(token), std::string::npos)
+        << "missing " << token << ":\n" << r.output;
+  }
+  EXPECT_EQ(r.output.find("FAIL"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, ChaosInvariantViolationExitsOneWithLocatedError) {
+  // An impossible availability floor forces a per-cell violation: the
+  // table still prints (with FAIL in the check column) and the process
+  // exits 1 with a one-line located error.
+  const CliResult r = RunCli(
+      "chaos --duration 2 --rate 40 --networks resnet18 "
+      "--scenarios outage --policy least-outstanding --min-avail 1");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("FAIL"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("chaos invariant violated: scenario=outage "
+                          "policy=least-outstanding seed=1:"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("below the --min-avail floor"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, ChaosTableIsBitIdenticalAcrossJobCounts) {
+  const std::string args =
+      "chaos --duration 2 --rate 40 --networks resnet18 "
+      "--scenarios gray,flap --policy least-outstanding --runs 2";
+  const CliResult serial = RunCli(args + " --jobs 1");
+  const CliResult parallel = RunCli(args + " --jobs 5");
+  EXPECT_EQ(serial.exit_code, 0) << serial.output;
+  EXPECT_EQ(parallel.exit_code, 0) << parallel.output;
+  EXPECT_EQ(serial.output, parallel.output);
+}
+
 TEST(CliTest, UnwritableMetricsOrTracePathExitsOneWithOneLineError) {
   const CliResult metrics = RunCli(
       "serve-sim --duration 1 --rate 80 --networks resnet18 "

@@ -177,6 +177,178 @@ TEST(FaultPlanTest, SubTickMtbfTerminatesAndStaysSorted) {
   EXPECT_LE(plan.Availability(0), 1.0);
 }
 
+ChaosPlanConfig GrayOnly(double mtbf_s, double mttr_s, double factor,
+                         std::uint64_t seed) {
+  ChaosPlanConfig config;
+  config.seed = seed;
+  config.gray_mtbf_s = mtbf_s;
+  config.gray_mttr_s = mttr_s;
+  config.gray_factor = factor;
+  return config;
+}
+
+TEST(ChaosPlanTest, EmptyConfigIsEmptyPlan) {
+  ChaosPlan plan(4, kHorizonUs, ChaosPlanConfig{}, nullptr);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.resources(), 4u);
+  for (std::size_t g = 0; g < 4; ++g) {
+    EXPECT_TRUE(plan.outage_plan().Outages(g).empty());
+    EXPECT_TRUE(plan.Slowdowns(g).empty());
+    EXPECT_DOUBLE_EQ(plan.SlowdownAt(g, kHorizonUs / 2), 1.0);
+  }
+}
+
+TEST(ChaosPlanTest, GrayEpisodesSlowWithoutOutaging) {
+  ChaosPlan plan(2, kHorizonUs, GrayOnly(5, 2, 3.0, 11), nullptr);
+  EXPECT_FALSE(plan.empty());
+  for (std::size_t g = 0; g < 2; ++g) {
+    EXPECT_TRUE(plan.outage_plan().Outages(g).empty());
+    const auto& slow = plan.Slowdowns(g);
+    ASSERT_FALSE(slow.empty());
+    for (const SlowInterval& s : slow) {
+      EXPECT_GT(s.end_us, s.start_us);
+      EXPECT_DOUBLE_EQ(s.factor, 3.0);
+    }
+    const SlowInterval& first = slow[0];
+    EXPECT_DOUBLE_EQ(plan.SlowdownAt(g, first.start_us / 2), 1.0);
+    EXPECT_DOUBLE_EQ(
+        plan.SlowdownAt(g, (first.start_us + first.end_us) / 2), 3.0);
+  }
+}
+
+TEST(ChaosPlanTest, SameSeedIsBitIdentical) {
+  ChaosPlanConfig config = GrayOnly(5, 2, 2.5, 42);
+  config.flap_mtbf_s = 10;
+  config.host.size = 2;
+  config.host.mtbf_s = 20;
+  ChaosPlan a(4, kHorizonUs, config, nullptr);
+  ChaosPlan b(4, kHorizonUs, config, nullptr);
+  for (std::size_t g = 0; g < 4; ++g) {
+    const auto& oa = a.outage_plan().Outages(g);
+    const auto& ob = b.outage_plan().Outages(g);
+    ASSERT_EQ(oa.size(), ob.size());
+    for (std::size_t i = 0; i < oa.size(); ++i) {
+      EXPECT_EQ(oa[i].down_us, ob[i].down_us);
+      EXPECT_EQ(oa[i].up_us, ob[i].up_us);
+    }
+    const auto& sa = a.Slowdowns(g);
+    const auto& sb = b.Slowdowns(g);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].start_us, sb[i].start_us);
+      EXPECT_EQ(sa[i].end_us, sb[i].end_us);
+      EXPECT_EQ(sa[i].factor, sb[i].factor);
+    }
+  }
+}
+
+TEST(ChaosPlanTest, FlapBurstsProduceShortSortedBlips) {
+  ChaosPlanConfig config;
+  config.seed = 7;
+  config.flap_mtbf_s = 5;
+  config.flap_count = 4;
+  config.flap_period_s = 0.2;
+  config.flap_down_s = 0.05;
+  ChaosPlan plan(1, kHorizonUs, config, nullptr);
+  const auto& outages = plan.outage_plan().Outages(0);
+  ASSERT_GE(outages.size(), 4u);
+  double previous_up = 0;
+  for (const DownInterval& o : outages) {
+    EXPECT_GE(o.down_us, previous_up);
+    EXPECT_NEAR(o.up_us - o.down_us, 0.05e6, 1e-6);
+    previous_up = o.up_us;
+  }
+}
+
+TEST(ChaosPlanTest, HostEventFellsAllMemberGpusTogether) {
+  ChaosPlanConfig config;
+  config.seed = 5;
+  config.host.size = 2;
+  config.host.mtbf_s = 10;
+  config.host.mttr_s = 1;
+  ChaosPlan plan(4, kHorizonUs, config, nullptr);
+  // GPUs 0,1 share host 0; GPUs 2,3 share host 1.
+  const auto& a = plan.outage_plan().Outages(0);
+  const auto& b = plan.outage_plan().Outages(1);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].down_us, b[i].down_us);
+    EXPECT_EQ(a[i].up_us, b[i].up_us);
+  }
+  // The other host's stream is independent, so its timeline differs.
+  const auto& c = plan.outage_plan().Outages(2);
+  ASSERT_FALSE(c.empty());
+  EXPECT_NE(a[0].down_us, c[0].down_us);
+}
+
+TEST(ChaosPlanTest, RackSlowdownComposesWithGrayEpisodes) {
+  ChaosPlanConfig config = GrayOnly(5, 5, 2.0, 3);
+  config.host.size = 2;
+  config.rack.size = 2;  // one rack of 4 GPUs
+  config.rack.mtbf_s = 8;
+  config.rack.mttr_s = 5;
+  config.rack.factor = 4.0;
+  ChaosPlan plan(4, kHorizonUs, config, nullptr);
+  bool saw_composed = false;
+  for (std::size_t g = 0; g < 4 && !saw_composed; ++g) {
+    for (double t = 0; t < kHorizonUs; t += kHorizonUs / 4096) {
+      const double factor = plan.SlowdownAt(g, t);
+      // Any overlap of a gray episode (2x) and the rack event (4x)
+      // multiplies; either alone never exceeds 4.
+      if (factor > 4.0) {
+        EXPECT_DOUBLE_EQ(factor, 8.0);
+        saw_composed = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_composed);
+}
+
+TEST(ChaosPlanTest, ComposesWithBaseFaultPlan) {
+  FaultPlan base(2, kHorizonUs, Config(5, 1, 17));
+  ChaosPlanConfig config;
+  config.seed = 17;
+  config.flap_mtbf_s = 10;
+  ChaosPlan plan(2, kHorizonUs, config, &base);
+  for (std::size_t g = 0; g < 2; ++g) {
+    // Composition can only add downtime, and every base outage is
+    // covered by some merged interval.
+    EXPECT_LE(plan.outage_plan().Availability(g), base.Availability(g));
+    for (const DownInterval& o : base.Outages(g)) {
+      const DownInterval* found = plan.outage_plan().FirstOutageIn(
+          g, o.down_us, std::max(o.up_us, o.down_us + 1e-9));
+      ASSERT_NE(found, nullptr);
+      EXPECT_LE(found->down_us, o.down_us);
+      EXPECT_GE(found->up_us, o.up_us);
+    }
+  }
+}
+
+TEST(ChaosPlanTest, DomainEventAtTimeZeroWithMttrZeroIsZeroLengthBlip) {
+  // Regression: a correlated domain event pinned at t=0 with MTTR=0
+  // must enter the timeline as a zero-length blip — not an interval
+  // that never repairs (which would hold breakers open forever).
+  ChaosPlanConfig config;
+  config.seed = 1;
+  config.host.size = 2;
+  config.host.mtbf_s = 0;  // only the pinned event
+  config.host.mttr_s = 0;
+  config.host.first_event_at_s = 0;
+  ChaosPlan plan(2, kHorizonUs, config, nullptr);
+  for (std::size_t g = 0; g < 2; ++g) {
+    const auto& outages = plan.outage_plan().Outages(g);
+    ASSERT_EQ(outages.size(), 1u);
+    EXPECT_DOUBLE_EQ(outages[0].down_us, 0.0);
+    EXPECT_DOUBLE_EQ(outages[0].up_us, 0.0);
+    // Instant repair: no time is actually "down" and full availability
+    // is preserved, exactly like the per-resource MTTR=0 blips above.
+    EXPECT_FALSE(plan.outage_plan().IsDownAt(g, 0.0));
+    EXPECT_DOUBLE_EQ(plan.outage_plan().Availability(g), 1.0);
+  }
+}
+
 TEST(FaultPlanTest, ExplicitPlanAllowsOutageAtTimeZero) {
   // A resource that is already down when the simulation starts.
   FaultPlan plan({{{0.0, 1'000.0}}, {}}, kHorizonUs);

@@ -1,7 +1,7 @@
 // Fixture: determinism-taint — sources reaching the WriteRow sink
 // (defined in sink.cc) through one level of call indirection. This file
 // never writes output directly, so the per-file rules stay quiet here.
-// Expected violations: lines 11 (hash-order iteration) and 20 (rand).
+// Expected violations: lines 11 (hash-order), 20 (rand), 37 (clock).
 #include <string>
 #include <unordered_map>
 
@@ -28,4 +28,12 @@ void AuditedDump(const std::unordered_map<std::string, double>& scores) {
     if (value > 0 && name > best) best = name;
   }
   WriteRow(best.c_str(), 1.0);
+}
+
+void StampRow() {
+  // The allow on the read does not launder the timestamp either; the
+  // taint pass still reports the flow into the sink.
+  // gpuperf-lint: allow(wall-clock)
+  const long stamp = std::chrono::steady_clock::now().time_since_epoch().count();
+  WriteRow("stamp", static_cast<double>(stamp));
 }

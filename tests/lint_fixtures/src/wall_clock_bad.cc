@@ -1,0 +1,13 @@
+// Fixture: wall-clock — ::now() reads in a src/-scoped file (this
+// fixture lives under lint_fixtures/src/ so the directory gate fires).
+// Expected violations: lines 7, 8; line 13 is allow-suppressed.
+#include <chrono>
+
+long ElapsedNs() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop = std::chrono::steady_clock::now();
+  return (stop - start).count();
+}
+
+// gpuperf-lint: allow(wall-clock)
+long Epoch() { return std::chrono::steady_clock::now().time_since_epoch().count(); }

@@ -91,6 +91,14 @@ TEST(LintTest, BundleLifecycleFixture) {
             }));
 }
 
+TEST(LintTest, WallClockFixture) {
+  EXPECT_EQ(LintFixture("src/wall_clock_bad.cc"),
+            (std::vector<std::string>{
+                Prefix("src/wall_clock_bad.cc", 7, "wall-clock"),
+                Prefix("src/wall_clock_bad.cc", 8, "wall-clock"),
+            }));
+}
+
 TEST(LintTest, SplitDeclarationUsesPairedHeader) {
   EXPECT_EQ(LintFixture("split_decl_bad.cc"),
             (std::vector<std::string>{
@@ -113,9 +121,10 @@ TEST(LintTest, WholeFixtureDirectoryIsDeterministic) {
   for (std::size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(FormatViolation(first[i]), FormatViolation(second[i]));
   }
-  // 4 + 1 + 2 + 4 + 4 + 1 + 3 known-bad findings; the allow, raw-string,
-  // and whole-program fixtures are all clean under the per-file rules.
-  EXPECT_EQ(first.size(), 19u);
+  // 4 + 1 + 2 + 4 + 4 + 1 + 3 + 2 known-bad findings; the allow,
+  // raw-string, and whole-program fixtures are all clean under the
+  // per-file rules.
+  EXPECT_EQ(first.size(), 21u);
 }
 
 TEST(LintTest, OutputIsByteIdenticalForAnyPathOrdering) {
@@ -144,7 +153,7 @@ TEST(LintTest, OutputIsByteIdenticalForAnyPathOrdering) {
       EXPECT_EQ(lines, reference);
     }
   }
-  EXPECT_EQ(reference.size(), 19u);
+  EXPECT_EQ(reference.size(), 21u);
 }
 
 TEST(LintTest, FormatIsMachineReadable) {
@@ -156,8 +165,8 @@ TEST(LintTest, RuleNamesAreStable) {
   EXPECT_EQ(RuleNames(),
             (std::vector<std::string>{
                 "raw-random", "fatal-in-lib", "unordered-order", "raw-mutex",
-                "raw-counter", "bundle-lifecycle", "layering", "lock-order",
-                "determinism-taint"}));
+                "raw-counter", "bundle-lifecycle", "wall-clock", "layering",
+                "lock-order", "determinism-taint"}));
 }
 
 TEST(LintTest, EveryRuleHasCatalogMetadata) {
@@ -349,6 +358,42 @@ TEST(LintTest, BundleLifecycleIgnoresFreeFunctions) {
       "void F() { Rollback(); }\n"
       "void G(R* r) { r->RollbackLog(); }\n";
   EXPECT_TRUE(LintContent("src/simsys/serving.cc", code).empty());
+}
+
+TEST(LintTest, WallClockScopeAndAllowlist) {
+  const std::string code =
+      "void F() { auto t = std::chrono::steady_clock::now(); }\n";
+  // The audited readers stay clean.
+  EXPECT_TRUE(LintContent("src/common/logging.cc", code).empty());
+  EXPECT_TRUE(LintContent("src/lint/program.cc", code).empty());
+  EXPECT_TRUE(LintContent("src/baselines/pka.cc", code).empty());
+  // Outside a src/ directory component the rule does not apply: leaf
+  // tools, tests, and benchmarks may time things.
+  EXPECT_TRUE(LintContent("tools/gpuperf_cli.cc", code).empty());
+  EXPECT_TRUE(LintContent("tests/probe_test.cc", code).empty());
+  EXPECT_TRUE(LintContent("bench/exp_probe.cc", code).empty());
+  // Everything else in src/ is flagged.
+  const std::vector<Violation> violations =
+      LintContent("src/simsys/serving.cc", code);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "wall-clock");
+}
+
+TEST(LintTest, WallClockMatchesQualifiedNowCallsOnly) {
+  // A ::now() split across whitespace is still a read...
+  const std::vector<Violation> spaced = LintContent(
+      "src/simsys/serving.cc",
+      "auto t = std::chrono::steady_clock::\n    now();\n");
+  ASSERT_EQ(spaced.size(), 1u);
+  EXPECT_EQ(spaced[0].rule, "wall-clock");
+  EXPECT_EQ(spaced[0].line, 1);
+  // ...but merely naming the clock type (aliases, time_points) is not,
+  // and now-prefixed members are different names.
+  EXPECT_TRUE(LintContent("src/simsys/serving.cc",
+                          "using Clock = std::chrono::steady_clock;\n"
+                          "Clock::time_point start;\n"
+                          "auto f = steady_clock::nowish();\n")
+                  .empty());
 }
 
 TEST(LintTest, MemberAccessNamedLikeClockIsNotFlagged) {

@@ -88,7 +88,7 @@ const std::string& GoldenBundle() {
     std::filesystem::create_directories(*dir);
     KwModel model;
     model.Train(SmallCampaign::Get().data(), SmallCampaign::Get().split());
-    ModelIo::SaveKw(model, *dir);
+    GP_CHECK(ModelIo::SaveKw(model, *dir).ok());
     return dir;
   }();
   return *kDir;
@@ -126,8 +126,7 @@ TEST(ModelIoTest, SaveLoadRoundTripPreservesPredictions) {
 
   const std::string dir =
       (std::filesystem::temp_directory_path() / "gpuperf_model_io").string();
-  std::filesystem::create_directories(dir);
-  ModelIo::SaveKw(original, dir);
+  ASSERT_TRUE(ModelIo::SaveKw(original, dir).ok());
   KwModel loaded = ModelIo::LoadKw(dir).value();
 
   const gpuexec::GpuSpec& a100 = gpuexec::GpuByName("A100");
@@ -148,8 +147,7 @@ TEST(ModelIoTest, RoundTripPreservesKernelModels) {
   const std::string dir =
       (std::filesystem::temp_directory_path() / "gpuperf_model_io2")
           .string();
-  std::filesystem::create_directories(dir);
-  ModelIo::SaveKw(original, dir);
+  ASSERT_TRUE(ModelIo::SaveKw(original, dir).ok());
   KwModel loaded = ModelIo::LoadKw(dir).value();
 
   const auto& original_kernels = original.KernelModels("A40");
@@ -418,6 +416,266 @@ TEST(ModelIoTest, RemanifestedUntouchedBundleStillLoads) {
   const std::string dir = ScratchBundle("sanity");
   Remanifest(dir);
   EXPECT_TRUE(ModelIo::LoadKw(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+// --- Crash-point injection harness. SaveKw() stages the bundle into
+// `<dir>.saving` (manifest last) and commits with renames through
+// `<dir>.stale`; the tests below materialize the exact on-disk state a
+// crash would leave at EVERY byte boundary of every staged file and at
+// every rename stage, then assert LoadKwRecovering() yields exactly the
+// old or the new generation — never a hybrid, never an abort.
+
+/**
+ * Loads a tiny, hand-crafted, valid single-kernel bundle. The crash
+ * sweep visits every byte boundary of every planned file, so the
+ * generations must be small — crash consistency is structural, not
+ * model-size dependent.
+ */
+KwModel TinyModel(double slope) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       Format("gpuperf_tiny_%d_%g", static_cast<int>(getpid()), slope))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  WriteAll(dir + "/kernel_models.csv",
+           "gpu,kernel,driver,slope,intercept,cluster_id,solo_r2\n" +
+               Format("A100,k1,input,%g,0.5,0,0.9\n", slope));
+  WriteAll(dir + "/mapping_table.csv", "signature,kernels\nsig1,k1\n");
+  WriteAll(dir + "/calibration.csv", "gpu,factor\nA100,1.25\n");
+  WriteAll(dir + "/layer_fallback.csv",
+           "gpu,layer_kind,slope,intercept\nA100,CONV,1,0\n");
+  Remanifest(dir);
+  KwModel model = ModelIo::LoadKw(dir).value();
+  std::filesystem::remove_all(dir);
+  return model;
+}
+
+/** Two distinguishable generations plus their write plans. */
+struct Generations {
+  KwModel old_model;
+  KwModel new_model;
+  std::vector<BundleFilePlan> old_plan;
+  std::vector<BundleFilePlan> new_plan;
+};
+
+const Generations& TwoGenerations() {
+  static const Generations* const kGen = [] {
+    auto* g = new Generations;
+    g->old_model = TinyModel(2.0);
+    g->new_model = TinyModel(3.0);
+    g->old_plan = ModelIo::PlanKwSave(g->old_model);
+    g->new_plan = ModelIo::PlanKwSave(g->new_model);
+    return g;
+  }();
+  return *kGen;
+}
+
+bool SamePlan(const std::vector<BundleFilePlan>& a,
+              const std::vector<BundleFilePlan>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].name != b[i].name || a[i].content != b[i].content) return false;
+  }
+  return true;
+}
+
+enum class Gen { kOld, kNew, kNeither };
+
+/** Which generation `model` is, by byte-identical re-serialization. */
+Gen Identify(const KwModel& model) {
+  const std::vector<BundleFilePlan> plan = ModelIo::PlanKwSave(model);
+  if (SamePlan(plan, TwoGenerations().old_plan)) return Gen::kOld;
+  if (SamePlan(plan, TwoGenerations().new_plan)) return Gen::kNew;
+  return Gen::kNeither;
+}
+
+/**
+ * Materializes a crashed staging write into `dir`: plan files before
+ * `full` are complete, file `full` is cut to its first `bytes` bytes,
+ * and later files were never started.
+ */
+void MaterializeTruncated(const std::string& dir,
+                          const std::vector<BundleFilePlan>& plan,
+                          std::size_t full, std::size_t bytes) {
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  for (std::size_t i = 0; i < full && i < plan.size(); ++i) {
+    WriteAll(dir + "/" + plan[i].name, plan[i].content);
+  }
+  if (full < plan.size()) {
+    WriteAll(dir + "/" + plan[full].name, plan[full].content.substr(0, bytes));
+  }
+}
+
+void MaterializeFull(const std::string& dir,
+                     const std::vector<BundleFilePlan>& plan) {
+  MaterializeTruncated(dir, plan, plan.size(), 0);
+}
+
+TEST(ModelIoCrashTest, GenerationsAreDistinguishable) {
+  const Generations& gen = TwoGenerations();
+  ASSERT_FALSE(SamePlan(gen.old_plan, gen.new_plan));
+  EXPECT_EQ(Identify(gen.old_model), Gen::kOld);
+  EXPECT_EQ(Identify(gen.new_model), Gen::kNew);
+}
+
+TEST(ModelIoCrashTest, PlanWritesManifestLastAndMatchesSavedBundle) {
+  const Generations& gen = TwoGenerations();
+  ASSERT_EQ(gen.old_plan.size(), 5u);
+  EXPECT_EQ(gen.old_plan.back().name, "manifest.csv");
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gpuperf_plan_match")
+          .string();
+  ASSERT_TRUE(ModelIo::SaveKw(gen.old_model, dir).ok());
+  for (const BundleFilePlan& file : gen.old_plan) {
+    EXPECT_EQ(ReadAll(dir + "/" + file.name), file.content) << file.name;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelIoCrashTest, SaveOverExistingBundleCommitsAndLeavesNoSidecars) {
+  const Generations& gen = TwoGenerations();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gpuperf_crash_overwrite")
+          .string();
+  ASSERT_TRUE(ModelIo::SaveKw(gen.old_model, dir).ok());
+  ASSERT_TRUE(ModelIo::SaveKw(gen.new_model, dir).ok());
+  EXPECT_EQ(Identify(ModelIo::LoadKw(dir).value()), Gen::kNew);
+  EXPECT_FALSE(std::filesystem::exists(dir + kBundleSavingSuffix));
+  EXPECT_FALSE(std::filesystem::exists(dir + kBundleStaleSuffix));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelIoCrashTest, CrashAtEveryByteOfEveryStagedFileKeepsOldGeneration) {
+  const Generations& gen = TwoGenerations();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gpuperf_crash_bytes")
+          .string();
+  // The committed old generation; staging crashes must never damage it.
+  std::filesystem::remove_all(dir);
+  MaterializeFull(dir, gen.old_plan);
+  int states = 0;
+  for (std::size_t f = 0; f < gen.new_plan.size(); ++f) {
+    for (std::size_t b = 0; b <= gen.new_plan[f].content.size(); ++b) {
+      MaterializeTruncated(dir + kBundleSavingSuffix, gen.new_plan, f, b);
+      StatusOr<KwModel> recovered = ModelIo::LoadKwRecovering(dir);
+      ASSERT_TRUE(recovered.ok())
+          << "file " << f << " byte " << b << ": "
+          << recovered.status().ToString();
+      ASSERT_EQ(Identify(*recovered), Gen::kOld)
+          << "file " << f << " byte " << b
+          << ": recovery produced a hybrid or the uncommitted generation";
+      ASSERT_FALSE(std::filesystem::exists(dir + kBundleSavingSuffix));
+      ++states;
+    }
+  }
+  // A fully-staged-but-unswapped save also resolves to the committed old
+  // generation (the swap never began, so the save never happened).
+  MaterializeFull(dir + kBundleSavingSuffix, gen.new_plan);
+  StatusOr<KwModel> recovered = ModelIo::LoadKwRecovering(dir);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(Identify(*recovered), Gen::kOld);
+  EXPECT_FALSE(std::filesystem::exists(dir + kBundleSavingSuffix));
+  // Non-vacuity: the sweep covered every byte boundary of every file.
+  std::size_t total = 0;
+  for (const BundleFilePlan& file : gen.new_plan) {
+    total += file.content.size() + 1;
+  }
+  EXPECT_EQ(states, static_cast<int>(total));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelIoCrashTest,
+     CrashDuringRestagingAfterMidSwapCrashRestoresOldGeneration) {
+  // A save crashed between rename(dir -> stale) and rename(staging ->
+  // dir); a SECOND save then started, cleared the staging dir, and
+  // crashed mid-write at every byte boundary. Only `.stale` holds a
+  // complete generation — recovery must unwind to it.
+  const Generations& gen = TwoGenerations();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gpuperf_crash_restage")
+          .string();
+  std::filesystem::remove_all(dir);
+  for (std::size_t f = 0; f < gen.new_plan.size(); ++f) {
+    const std::size_t size = gen.new_plan[f].content.size();
+    // Truncation points: empty, one byte, midpoint, all-but-one.
+    for (std::size_t b : std::vector<std::size_t>{
+             0, 1, size / 2, size > 0 ? size - 1 : 0}) {
+      MaterializeFull(dir + kBundleStaleSuffix, gen.old_plan);
+      MaterializeTruncated(dir + kBundleSavingSuffix, gen.new_plan, f, b);
+      StatusOr<KwModel> recovered = ModelIo::LoadKwRecovering(dir);
+      ASSERT_TRUE(recovered.ok())
+          << "file " << f << " byte " << b << ": "
+          << recovered.status().ToString();
+      // Either generation may win (a staging dir truncated by only its
+      // trailing newline still validates as the complete new bundle) —
+      // but the result must be exactly one of them, never a hybrid.
+      const Gen outcome = Identify(*recovered);
+      ASSERT_NE(outcome, Gen::kNeither)
+          << "file " << f << " byte " << b << ": recovery built a hybrid";
+      // The recovery re-commits that same generation in place.
+      EXPECT_EQ(Identify(ModelIo::LoadKw(dir).value()), outcome);
+      ASSERT_FALSE(std::filesystem::exists(dir + kBundleSavingSuffix));
+      ASSERT_FALSE(std::filesystem::exists(dir + kBundleStaleSuffix));
+      std::filesystem::remove_all(dir);
+    }
+  }
+}
+
+TEST(ModelIoCrashTest, EveryRenameStageCrashResolvesToExactlyOneGeneration) {
+  const Generations& gen = TwoGenerations();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gpuperf_crash_rename")
+          .string();
+  const std::string staging = dir + kBundleSavingSuffix;
+  const std::string stale = dir + kBundleStaleSuffix;
+
+  // Stage A — crash after rename(dir -> stale), before rename(staging ->
+  // dir): no committed dir, staging complete. Recovery finishes the swap:
+  // the NEW generation commits and the displaced old copy is dropped.
+  std::filesystem::remove_all(dir);
+  MaterializeFull(stale, gen.old_plan);
+  MaterializeFull(staging, gen.new_plan);
+  StatusOr<KwModel> recovered = ModelIo::LoadKwRecovering(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(Identify(*recovered), Gen::kNew);
+  EXPECT_EQ(Identify(ModelIo::LoadKw(dir).value()), Gen::kNew);
+  EXPECT_FALSE(std::filesystem::exists(staging));
+  EXPECT_FALSE(std::filesystem::exists(stale));
+
+  // Stage B — crash after rename(staging -> dir), before remove(stale):
+  // the new generation is committed; recovery only sweeps the leftover.
+  std::filesystem::remove_all(dir);
+  MaterializeFull(dir, gen.new_plan);
+  MaterializeFull(stale, gen.old_plan);
+  recovered = ModelIo::LoadKwRecovering(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(Identify(*recovered), Gen::kNew);
+  EXPECT_FALSE(std::filesystem::exists(stale));
+
+  // Stage C — first-ever save (nothing to displace) crashed mid-staging:
+  // there is no generation anywhere, and recovery must say so instead of
+  // fabricating one.
+  std::filesystem::remove_all(dir);
+  MaterializeTruncated(staging, gen.new_plan, 2, 4);
+  StatusOr<KwModel> nothing = ModelIo::LoadKwRecovering(dir);
+  ASSERT_FALSE(nothing.ok());
+  EXPECT_NE(nothing.status().message().find("no recoverable generation"),
+            std::string::npos)
+      << nothing.status().message();
+
+  // Stage D — first-ever save fully staged, crash before the commit
+  // rename: the staged generation is the only one; recovery commits it.
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(staging);
+  MaterializeFull(staging, gen.new_plan);
+  recovered = ModelIo::LoadKwRecovering(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(Identify(*recovered), Gen::kNew);
+  EXPECT_EQ(Identify(ModelIo::LoadKw(dir).value()), Gen::kNew);
+  EXPECT_FALSE(std::filesystem::exists(staging));
   std::filesystem::remove_all(dir);
 }
 

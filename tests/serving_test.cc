@@ -762,5 +762,225 @@ TEST(ServingTest, DriftedGridIsBitIdenticalAcrossJobCounts) {
   EXPECT_TRUE(slower_somewhere);
 }
 
+// --- Gray-failure resilience: chaos plans, hedging, retry budgets.
+
+TEST(ServingTest, HedgingRescuesJobsStuckOnAGrayGpu) {
+  // GPU 1 is secretly 50x slower than the model believes. Without
+  // hedging, every job routed there eats the full gray service time;
+  // with hedging, the duplicate lands on the healthy GPU and wins.
+  const std::vector<std::vector<double>> truth = {{1'000.0, 50'000.0}};
+  const std::vector<std::vector<double>> predicted = {{1'000.0, 1'000.0}};
+  ServingConfig config = Config(DispatchPolicy::kPredictedLeastLoad, 50, 10);
+  ServingResult unhedged =
+      SimulateServing(truth, predicted, {1}, config).value();
+  config.hedge_trigger_factor = 2;
+  ServingResult hedged =
+      SimulateServing(truth, predicted, {1}, config).value();
+  EXPECT_GT(hedged.hedges_issued, 0);
+  EXPECT_GT(hedged.hedges_won, 0);
+  EXPECT_LE(hedged.hedges_won, hedged.hedges_issued);
+  EXPECT_LT(hedged.p99_ms, unhedged.p99_ms);
+  // Hedging changes latencies, never the conservation of jobs.
+  EXPECT_EQ(hedged.completed + hedged.dropped + hedged.shed_on_admission,
+            unhedged.completed + unhedged.dropped +
+                unhedged.shed_on_admission);
+}
+
+TEST(ServingTest, HedgingUnderFaultsKeepsAccounting) {
+  // Hedge legs interleaved with outages: failed primaries rescued by
+  // hedges, failed hedges absorbed by primaries, double failures
+  // retried exactly once — and every arrival still lands in exactly
+  // one of completed / dropped / shed.
+  ServingConfig config = OverloadConfig(DispatchPolicy::kPredictedLeastLoad);
+  config.hedge_trigger_factor = 1.5;
+  // Optimistic predictions (half of truth): real jobs overshoot their
+  // prediction, so the hedge trigger actually fires.
+  std::vector<std::vector<double>> optimistic = AffinityTimes();
+  for (auto& row : optimistic) {
+    for (double& v : row) v *= 0.5;
+  }
+  ResetServingCounters();
+  ServingResult result =
+      SimulateServing(AffinityTimes(), optimistic, {1, 1}, config).value();
+  ServingCounters counters = SnapshotServingCounters();
+  EXPECT_EQ(counters.jobs_arrived, counters.jobs_completed +
+                                       counters.jobs_dropped +
+                                       counters.jobs_shed);
+  ResetServingCounters();
+  EXPECT_GT(result.hedges_issued, 0);
+}
+
+TEST(ServingTest, RetryBudgetBoundsRetriesUnderMassFailure) {
+  // Sub-tick MTBF: GPUs fail continuously, the classic retry-storm
+  // trigger. The token bucket must cap retries at
+  // burst + budget x completions, with the excess suppressed.
+  ServingConfig config = FaultyConfig(DispatchPolicy::kLeastOutstanding,
+                                      /*mtbf_s=*/5e-7, /*mttr_s=*/5e-7,
+                                      /*rate=*/2000, /*duration=*/0.05);
+  ServingResult unbounded = RunAndCheckAccounting(config);
+  config.retry_budget = 0.1;
+  config.retry_budget_burst = 5;
+  ServingResult bounded = RunAndCheckAccounting(config);
+  EXPECT_GT(bounded.retries_suppressed, 0);
+  EXPECT_LT(bounded.retries, unbounded.retries);
+  EXPECT_LE(bounded.retries,
+            5 + static_cast<int>(0.1 * bounded.completed) + 1);
+  EXPECT_EQ(unbounded.retries_suppressed, 0);
+}
+
+TEST(ServingTest, AdaptiveDetectTimeoutIsDeterministic) {
+  // The adaptive timeout is derived from observed (sim-time) service
+  // quantiles only, so two identical runs must agree bit-for-bit.
+  ServingConfig config = FaultyConfig(DispatchPolicy::kLeastOutstanding, 2);
+  config.adaptive_detect_quantile = 0.95;
+  config.adaptive_detect_multiplier = 3;
+  ServingResult a = RunAndCheckAccounting(config);
+  ServingResult b = RunAndCheckAccounting(config);
+  EXPECT_GT(a.retries, 0);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_EQ(a.mean_ms, b.mean_ms);
+}
+
+TEST(ServingTest, ChaosGraySlowdownInflatesLatencyWithoutOutages) {
+  ServingConfig config = Config(DispatchPolicy::kLeastOutstanding, 100, 20);
+  ServingResult clean = RunAndCheckAccounting(config);
+  config.chaos.gray_mtbf_s = 3;
+  config.chaos.gray_mttr_s = 2;
+  config.chaos.gray_factor = 5;
+  ServingResult gray = RunAndCheckAccounting(config);
+  // Gray failures slow service without killing it: latency inflates,
+  // availability stays perfect, nothing is dropped to faults.
+  EXPECT_GT(gray.mean_ms, clean.mean_ms);
+  for (double a : gray.gpu_availability) EXPECT_DOUBLE_EQ(a, 1.0);
+  EXPECT_EQ(gray.retries, 0);
+}
+
+TEST(ServingTest, ChaosDomainOutageTakesCorrelatedGpusDown) {
+  ServingConfig config = Config(DispatchPolicy::kLeastOutstanding, 100, 20);
+  config.chaos.host.size = 2;
+  config.chaos.host.mtbf_s = 8;
+  config.chaos.host.mttr_s = 1;
+  ServingResult result = RunAndCheckAccounting(config);
+  // Both GPUs share one host, so their availability dips identically.
+  ASSERT_EQ(result.gpu_availability.size(), 2u);
+  EXPECT_LT(result.gpu_availability[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.gpu_availability[0], result.gpu_availability[1]);
+}
+
+TEST(ServingTest, DomainEventAtTimeZeroMttrZeroLeavesBreakersClosed) {
+  // Regression (ISSUE 9 satellite): a correlated domain event at t=0
+  // with MTTR=0 is a zero-length blip. It must not wedge breakers
+  // open — the pool serves normally and every breaker ends closed.
+  ServingConfig config = Config(DispatchPolicy::kLeastOutstanding, 100, 10);
+  config.chaos.host.size = 2;
+  config.chaos.host.mtbf_s = 0;
+  config.chaos.host.mttr_s = 0;
+  config.chaos.host.first_event_at_s = 0;
+  config.breaker.failure_threshold = 1;
+  config.breaker.cooldown_ms = 500;
+  ServingResult result = RunAndCheckAccounting(config);
+  EXPECT_GT(result.completed, 0);
+  EXPECT_EQ(result.dropped, 0);
+  EXPECT_EQ(result.breakers_open_at_end, 0);
+  for (double a : result.gpu_availability) EXPECT_DOUBLE_EQ(a, 1.0);
+}
+
+TEST(ServingTest, ResilienceKnobValidationNamesTheField) {
+  const std::vector<std::vector<double>> truth = AffinityTimes();
+  ServingConfig config = Config(DispatchPolicy::kLeastOutstanding);
+  config.hedge_trigger_factor = -1;
+  Status status =
+      SimulateServing(truth, truth, {1, 1}, config).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("hedge_trigger_factor"),
+            std::string::npos);
+
+  config = Config(DispatchPolicy::kLeastOutstanding);
+  config.retry_budget = 0.5;
+  config.retry_budget_burst = 0;
+  status = SimulateServing(truth, truth, {1, 1}, config).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("retry_budget_burst"), std::string::npos);
+
+  config = Config(DispatchPolicy::kLeastOutstanding);
+  config.adaptive_detect_quantile = 1.5;
+  status = SimulateServing(truth, truth, {1, 1}, config).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("adaptive_detect_quantile"),
+            std::string::npos);
+
+  config = Config(DispatchPolicy::kLeastOutstanding);
+  config.chaos.gray_mtbf_s = 5;
+  config.chaos.gray_factor = 0.5;
+  status = SimulateServing(truth, truth, {1, 1}, config).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("gray_factor"), std::string::npos);
+
+  config = Config(DispatchPolicy::kLeastOutstanding);
+  config.chaos.rack.size = 1;
+  config.chaos.rack.mtbf_s = 5;
+  config.chaos.rack.factor = -2;
+  status = SimulateServing(truth, truth, {1, 1}, config).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("rack factor"), std::string::npos);
+}
+
+TEST(ServingTest, ChaosGridWithHedgingIsBitIdenticalAcrossJobCounts) {
+  // The acceptance criterion: gray slowdowns, flaps, domain events,
+  // hedging, retry budgets, adaptive detection, and breakers all on —
+  // and every cell, including breaker state and hedge accounting,
+  // bit-identical for every --jobs value.
+  ServingConfig base = OverloadConfig(DispatchPolicy::kPredictedLeastLoad);
+  base.hedge_trigger_factor = 1.5;
+  base.retry_budget = 0.2;
+  base.retry_budget_burst = 5;
+  base.adaptive_detect_quantile = 0.9;
+  base.chaos.gray_mtbf_s = 4;
+  base.chaos.gray_mttr_s = 1;
+  base.chaos.gray_factor = 3;
+  base.chaos.flap_mtbf_s = 6;
+  base.chaos.host.size = 2;
+  base.chaos.host.mtbf_s = 10;
+  std::vector<ServingGridCell> cells;
+  for (DispatchPolicy policy :
+       {DispatchPolicy::kRoundRobin, DispatchPolicy::kLeastOutstanding,
+        DispatchPolicy::kPredictedLeastLoad}) {
+    for (std::uint64_t seed : {5u, 23u}) cells.push_back({policy, seed});
+  }
+  std::vector<StatusOr<ServingResult>> one = SimulateServingGrid(
+      AffinityTimes(), AffinityTimes(), {1, 1}, base, cells, 1);
+  for (int jobs : {2, 4}) {
+    std::vector<StatusOr<ServingResult>> many = SimulateServingGrid(
+        AffinityTimes(), AffinityTimes(), {1, 1}, base, cells, jobs);
+    ASSERT_EQ(many.size(), one.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+      ASSERT_TRUE(one[i].ok());
+      ASSERT_TRUE(many[i].ok());
+      EXPECT_EQ(one[i]->completed, many[i]->completed) << i;
+      EXPECT_EQ(one[i]->retries, many[i]->retries) << i;
+      EXPECT_EQ(one[i]->hedges_issued, many[i]->hedges_issued) << i;
+      EXPECT_EQ(one[i]->hedges_won, many[i]->hedges_won) << i;
+      EXPECT_EQ(one[i]->retries_suppressed, many[i]->retries_suppressed)
+          << i;
+      EXPECT_EQ(one[i]->breaker_opens, many[i]->breaker_opens) << i;
+      EXPECT_EQ(one[i]->breakers_open_at_end, many[i]->breakers_open_at_end)
+          << i;
+      EXPECT_EQ(one[i]->p99_ms, many[i]->p99_ms) << i;
+      EXPECT_EQ(one[i]->mean_ms, many[i]->mean_ms) << i;
+      EXPECT_EQ(one[i]->gpu_utilization, many[i]->gpu_utilization) << i;
+    }
+  }
+  // Non-vacuous: the hedge and breaker machinery actually ran.
+  int hedges = 0, opens = 0;
+  for (const StatusOr<ServingResult>& cell : one) {
+    hedges += cell->hedges_issued;
+    opens += cell->breaker_opens;
+  }
+  EXPECT_GT(hedges, 0);
+  EXPECT_GT(opens, 0);
+}
+
 }  // namespace
 }  // namespace gpuperf::simsys

@@ -68,7 +68,8 @@ const std::string& GoldenKwBundleDir() {
     std::filesystem::create_directories(*dir);
     models::KwModel model;
     model.Train(SmallCampaign::Get().data(), SmallCampaign::Get().split());
-    models::ModelIo::SaveKw(model, *dir);
+    const Status saved = models::ModelIo::SaveKw(model, *dir);
+    GP_CHECK(saved.ok()) << saved.ToString();
     return dir;
   }();
   return *kDir;

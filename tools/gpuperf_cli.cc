@@ -10,6 +10,7 @@
 //   gpuperf roofline <network> <gpu> [batch]
 //   gpuperf batch <network> <gpu>
 //   gpuperf serve-sim [options]           fault-tolerant serving simulation
+//   gpuperf chaos [options]               chaos-scenario sweep + invariants
 //   gpuperf bundle-check --candidate DIR  validate + canary a bundle
 //   gpuperf drift-report [options]        self-healing lifecycle report
 //
@@ -161,6 +162,35 @@ constexpr char kServeSimUsage[] =
     "                 probing (default 1000)\n"
     "  --breaker-probes N       probe dispatches allowed half-open\n"
     "                 (default 1)\n"
+    "  --hedge-factor F    issue a duplicate dispatch once a job's elapsed\n"
+    "                 time exceeds F x its predicted time; the first\n"
+    "                 completion wins (0 = no hedging; default 0)\n"
+    "  --retry-budget F    retry tokens refilled per completion; an empty\n"
+    "                 bucket suppresses the retry (0 = off; default 0)\n"
+    "  --retry-burst N     retry token-bucket cap and initial balance\n"
+    "                 (default 10)\n"
+    "  --adaptive-detect Q the failure-detection timeout follows this\n"
+    "                 quantile of observed service times (0 = fixed\n"
+    "                 timeout; default 0)\n"
+    "  --chaos-gray-mtbf S   mean seconds between gray-slowdown episodes\n"
+    "                 per GPU (0 = none; default 0)\n"
+    "  --chaos-gray-mttr S   mean episode length in seconds (default 5)\n"
+    "  --chaos-gray-factor F service-time multiplier while gray (default 3)\n"
+    "  --chaos-flap-mtbf S   mean seconds between flap bursts per GPU\n"
+    "                 (0 = none; default 0)\n"
+    "  --chaos-flap-count N  outage blips per burst (default 5)\n"
+    "  --chaos-flap-period S blip start-to-start seconds (default 0.2)\n"
+    "  --chaos-flap-down S   seconds each blip lasts (default 0.05)\n"
+    "  --chaos-host-size N   GPUs per host domain (0 = level off)\n"
+    "  --chaos-host-mtbf S   mean seconds between host-domain events\n"
+    "                 (default 0)\n"
+    "  --chaos-host-mttr S   mean event length in seconds (default 2)\n"
+    "  --chaos-host-factor F 0 = host outage; > 1 = host-wide slowdown\n"
+    "  --chaos-rack-size N   hosts per rack domain (0 = level off)\n"
+    "  --chaos-rack-mtbf S   mean seconds between rack-domain events\n"
+    "                 (default 0)\n"
+    "  --chaos-rack-mttr S   mean event length in seconds (default 2)\n"
+    "  --chaos-rack-factor F 0 = rack outage; > 1 = rack-wide slowdown\n"
     "  --drift-gpu NAME    inject one deterministic drift event on this\n"
     "                 pool GPU (service times drift by --drift-factor)\n"
     "  --drift-at S        sim-seconds when the event starts (default 0)\n"
@@ -206,6 +236,49 @@ constexpr char kDriftReportUsage[] =
     "  --drift-seed N     drift generation seed (default 1)\n"
     "  --metrics-out PATH write a gpuperf_* metrics snapshot at the end\n"
     "  --help             print this flag list and exit 0\n";
+constexpr char kChaosUsage[] =
+    "usage: gpuperf chaos [options]\n"
+    "  Sweeps seeded chaos scenarios against the gray-failure resilience\n"
+    "  stack (hedged dispatch, retry budgets, adaptive detection, circuit\n"
+    "  breakers) and checks per-cell invariants: arrivals accounting, an\n"
+    "  availability floor, the retry-budget bound, and breaker re-close\n"
+    "  after the fault heals. Scenarios: outage (uncorrelated binary\n"
+    "  failures), gray (4x service slowdowns), domain (correlated\n"
+    "  host-domain outages), flap (bursts of short outage blips).\n"
+    "  Dispatch predictions are the oracle's true times, so hedges fire\n"
+    "  exactly when chaos slows a job past the trigger. Any violation\n"
+    "  exits 1 with a one-line located error after the table.\n"
+    "  --pool A,B       GPU pool (default A40,TITAN RTX,V100,A100)\n"
+    "  --networks a,b   job types (default resnet18,resnet50)\n"
+    "  --batch N        per-request micro-batch size (default 16)\n"
+    "  --rate R         Poisson arrivals per second (default 80)\n"
+    "  --duration S     simulated seconds per cell; the scenario\n"
+    "                   MTBF/MTTR presets scale with it (default 10)\n"
+    "  --seed N         base seed; cell seeds are seed..seed+runs-1\n"
+    "                   (default 1)\n"
+    "  --runs N         seeds per scenario x policy (default 1)\n"
+    "  --jobs N         simulation threads; 0 = all hardware threads (the\n"
+    "                   table is bit-identical for every value)\n"
+    "  --scenarios a,b  subset of outage,gray,domain,flap (default all)\n"
+    "  --policy P       round-robin | least-outstanding |\n"
+    "                   predicted-least-load | all (default all)\n"
+    "  --retries N      re-dispatches before a job drops (default 3)\n"
+    "  --hedge-factor F   hedge once elapsed > F x predicted (default 1.5)\n"
+    "  --retry-budget F   retry tokens refilled per completion\n"
+    "                   (default 0.5)\n"
+    "  --retry-burst N    retry token-bucket cap (default 10)\n"
+    "  --adaptive-detect Q  detection-timeout quantile of observed\n"
+    "                   service times (default 0.99)\n"
+    "  --breaker-failures N consecutive failures that open a breaker\n"
+    "                   (default 3)\n"
+    "  --breaker-cooldown-ms MS open-state cooldown (default 500)\n"
+    "  --min-avail F    per-cell mean-availability floor in [0, 1]\n"
+    "                   (default 0.5)\n"
+    "  --metrics-out PATH  write a gpuperf_* metrics snapshot after the\n"
+    "                   sweep (.prom = Prometheus text, else CSV)\n"
+    "  --trace-out PATH    write a Chrome trace of every cell (scenarios\n"
+    "                   share cell process slots)\n"
+    "  --help           print this flag list and exit 0\n";
 constexpr char kBundleCheckUsage[] =
     "usage: gpuperf bundle-check --candidate DIR [options]\n"
     "  --candidate DIR  bundle to validate (required): integrity checks\n"
@@ -339,6 +412,160 @@ int CmdDataset(const Args& args) {
   return 0;
 }
 
+/** Parses one finite non-negative double flag (usage error otherwise). */
+int ParseNonNegativeFlag(const Args& args, const char* usage,
+                         const char* flag, const char* fallback,
+                         double* out) {
+  StatusOr<double> value = ParseFiniteDouble(args.Get(flag, fallback));
+  if (!value.ok() || *value < 0) {
+    return UsageError(usage, std::string("--") + flag +
+                                 " must be a non-negative number, got '" +
+                                 args.Get(flag, fallback) + "'");
+  }
+  *out = *value;
+  return 0;
+}
+
+/** Parses one finite strictly-positive double flag. */
+int ParsePositiveFlag(const Args& args, const char* usage, const char* flag,
+                      const char* fallback, double* out) {
+  StatusOr<double> value = ParseFiniteDouble(args.Get(flag, fallback));
+  if (!value.ok() || *value <= 0) {
+    return UsageError(usage, std::string("--") + flag +
+                                 " must be a positive number, got '" +
+                                 args.Get(flag, fallback) + "'");
+  }
+  *out = *value;
+  return 0;
+}
+
+/** Parses one integer flag bounded below by `min`. */
+int ParseCountFlag(const Args& args, const char* usage, const char* flag,
+                   const char* fallback, int min, int* out) {
+  StatusOr<int> value = ParseInt(args.Get(flag, fallback));
+  if (!value.ok() || *value < min) {
+    return UsageError(usage, std::string("--") + flag + " must be an integer"
+                                 " >= " + Format("%d", min) + ", got '" +
+                                 args.Get(flag, fallback) + "'");
+  }
+  *out = *value;
+  return 0;
+}
+
+/** Parses --policy into the list of dispatch policies to sweep. */
+int ParsePolicyFlag(const Args& args, const char* usage,
+                    std::vector<simsys::DispatchPolicy>* policies) {
+  const std::string policy_name = args.Get("policy", "all");
+  if (policy_name == "all") {
+    *policies = {simsys::DispatchPolicy::kRoundRobin,
+                 simsys::DispatchPolicy::kLeastOutstanding,
+                 simsys::DispatchPolicy::kPredictedLeastLoad};
+  } else if (policy_name == "round-robin") {
+    *policies = {simsys::DispatchPolicy::kRoundRobin};
+  } else if (policy_name == "least-outstanding") {
+    *policies = {simsys::DispatchPolicy::kLeastOutstanding};
+  } else if (policy_name == "predicted-least-load") {
+    *policies = {simsys::DispatchPolicy::kPredictedLeastLoad};
+  } else {
+    return UsageError(usage,
+                      "--policy must be round-robin, least-outstanding, "
+                      "predicted-least-load, or all; got '" + policy_name +
+                          "'");
+  }
+  return 0;
+}
+
+// The gray-failure resilience flags shared by serve-sim and chaos; the
+// caller chooses the defaults (serve-sim: everything off; chaos: the
+// full stack on).
+struct ResilienceDefaults {
+  const char* hedge_factor = "0";
+  const char* retry_budget = "0";
+  const char* retry_burst = "10";
+  const char* adaptive_detect = "0";
+};
+
+int ParseResilienceFlags(const Args& args, const char* usage,
+                         const ResilienceDefaults& defaults,
+                         simsys::ServingConfig* config) {
+  if (int rc = ParseNonNegativeFlag(args, usage, "hedge-factor",
+                                    defaults.hedge_factor,
+                                    &config->hedge_trigger_factor)) {
+    return rc;
+  }
+  if (int rc = ParseNonNegativeFlag(args, usage, "retry-budget",
+                                    defaults.retry_budget,
+                                    &config->retry_budget)) {
+    return rc;
+  }
+  if (int rc = ParsePositiveFlag(args, usage, "retry-burst",
+                                 defaults.retry_burst,
+                                 &config->retry_budget_burst)) {
+    return rc;
+  }
+  if (int rc = ParseNonNegativeFlag(args, usage, "adaptive-detect",
+                                    defaults.adaptive_detect,
+                                    &config->adaptive_detect_quantile)) {
+    return rc;
+  }
+  if (config->adaptive_detect_quantile > 1) {
+    return UsageError(usage, "--adaptive-detect must be a quantile in "
+                             "[0, 1], got '" +
+                                 args.Get("adaptive-detect",
+                                          defaults.adaptive_detect) + "'");
+  }
+  return 0;
+}
+
+/** The --chaos-* timeline flags (serve-sim only; chaos uses presets). */
+int ParseChaosFlags(const Args& args, const char* usage,
+                    simsys::ServingConfig* config) {
+  ChaosPlanConfig& chaos = config->chaos;
+  struct DoubleFlag {
+    const char* flag;
+    const char* fallback;
+    bool positive;  // strictly positive vs non-negative
+    double* out;
+  };
+  const DoubleFlag flags[] = {
+      {"chaos-gray-mtbf", "0", false, &chaos.gray_mtbf_s},
+      {"chaos-gray-mttr", "5", false, &chaos.gray_mttr_s},
+      {"chaos-gray-factor", "3", true, &chaos.gray_factor},
+      {"chaos-flap-mtbf", "0", false, &chaos.flap_mtbf_s},
+      {"chaos-flap-period", "0.2", true, &chaos.flap_period_s},
+      {"chaos-flap-down", "0.05", false, &chaos.flap_down_s},
+      {"chaos-host-mtbf", "0", false, &chaos.host.mtbf_s},
+      {"chaos-host-mttr", "2", false, &chaos.host.mttr_s},
+      {"chaos-host-factor", "0", false, &chaos.host.factor},
+      {"chaos-rack-mtbf", "0", false, &chaos.rack.mtbf_s},
+      {"chaos-rack-mttr", "2", false, &chaos.rack.mttr_s},
+      {"chaos-rack-factor", "0", false, &chaos.rack.factor},
+  };
+  for (const DoubleFlag& f : flags) {
+    const int rc =
+        f.positive
+            ? ParsePositiveFlag(args, usage, f.flag, f.fallback, f.out)
+            : ParseNonNegativeFlag(args, usage, f.flag, f.fallback, f.out);
+    if (rc != 0) return rc;
+  }
+  if (int rc = ParseCountFlag(args, usage, "chaos-flap-count", "5", 1,
+                              &chaos.flap_count)) {
+    return rc;
+  }
+  int host_size = 0, rack_size = 0;
+  if (int rc = ParseCountFlag(args, usage, "chaos-host-size", "0", 0,
+                              &host_size)) {
+    return rc;
+  }
+  if (int rc = ParseCountFlag(args, usage, "chaos-rack-size", "0", 0,
+                              &rack_size)) {
+    return rc;
+  }
+  chaos.host.size = static_cast<std::size_t>(host_size);
+  chaos.rack.size = static_cast<std::size_t>(rack_size);
+  return 0;
+}
+
 /** Parses the shared --test-fraction/--seed split flags. */
 int ParseSplitFlags(const Args& args, const char* usage, double* fraction,
                     std::uint64_t* seed) {
@@ -378,7 +605,9 @@ int CmdTrain(const Args& args) {
   models::KwModel kw;
   kw.Train(*data, split);
   std::filesystem::create_directories(out);
-  models::ModelIo::SaveKw(kw, out);
+  if (Status saved = models::ModelIo::SaveKw(kw, out); !saved.ok()) {
+    return UserError(saved);
+  }
   for (const std::string& gpu : kw.TrainedGpus()) {
     std::printf("%s: %d kernels -> %d models (calibration %.3f)\n",
                 gpu.c_str(), kw.KernelCount(gpu), kw.ClusterCount(gpu),
@@ -647,7 +876,13 @@ int CmdServeSim(const Args& args) {
       {"model", "pool", "networks", "batch", "rate", "duration", "seed",
        "policy", "mtbf", "mttr", "retries", "runs", "jobs", "queue-cap",
        "slo-ms", "breaker-failures", "breaker-cooldown-ms",
-       "breaker-probes", "metrics-out", "trace-out", "drift-gpu",
+       "breaker-probes", "hedge-factor", "retry-budget", "retry-burst",
+       "adaptive-detect", "chaos-gray-mtbf", "chaos-gray-mttr",
+       "chaos-gray-factor", "chaos-flap-mtbf", "chaos-flap-count",
+       "chaos-flap-period", "chaos-flap-down", "chaos-host-size",
+       "chaos-host-mtbf", "chaos-host-mttr", "chaos-host-factor",
+       "chaos-rack-size", "chaos-rack-mtbf", "chaos-rack-mttr",
+       "chaos-rack-factor", "metrics-out", "trace-out", "drift-gpu",
        "drift-at", "drift-ramp", "drift-factor", "drift-scope",
        "drift-rate", "drift-sigma", "drift-seed"});
   if (!unknown.empty()) {
@@ -768,23 +1003,7 @@ int CmdServeSim(const Args& args) {
   }
 
   std::vector<simsys::DispatchPolicy> policies;
-  const std::string policy_name = args.Get("policy", "all");
-  if (policy_name == "all") {
-    policies = {simsys::DispatchPolicy::kRoundRobin,
-                simsys::DispatchPolicy::kLeastOutstanding,
-                simsys::DispatchPolicy::kPredictedLeastLoad};
-  } else if (policy_name == "round-robin") {
-    policies = {simsys::DispatchPolicy::kRoundRobin};
-  } else if (policy_name == "least-outstanding") {
-    policies = {simsys::DispatchPolicy::kLeastOutstanding};
-  } else if (policy_name == "predicted-least-load") {
-    policies = {simsys::DispatchPolicy::kPredictedLeastLoad};
-  } else {
-    return UsageError(kServeSimUsage,
-                      "--policy must be round-robin, least-outstanding, "
-                      "predicted-least-load, or all; got '" + policy_name +
-                          "'");
-  }
+  if (int rc = ParsePolicyFlag(args, kServeSimUsage, &policies)) return rc;
 
   // --- Service-time matrices: truth from the hardware oracle, predictions
   // from the bundle (when given, loadable, and canary-clean). The bundle
@@ -847,6 +1066,13 @@ int CmdServeSim(const Args& args) {
   base_config.breaker.failure_threshold = *breaker_failures;
   base_config.breaker.cooldown_ms = *breaker_cooldown;
   base_config.breaker.half_open_probes = *breaker_probes;
+  if (int rc = ParseResilienceFlags(args, kServeSimUsage,
+                                    ResilienceDefaults{}, &base_config)) {
+    return rc;
+  }
+  if (int rc = ParseChaosFlags(args, kServeSimUsage, &base_config)) {
+    return rc;
+  }
   gpuexec::DriftSchedule drift;
   if (int rc = ParseDriftFlags(args, kServeSimUsage, pool, *duration, &drift)) {
     return rc;
@@ -896,6 +1122,329 @@ int CmdServeSim(const Args& args) {
         obs::MetricsRegistry::Global().WriteSnapshot(metrics_out);
     if (!written.ok()) return UserError(written);
   }
+  return 0;
+}
+
+// --- gpuperf chaos: scenario sweep + invariant checking -----------------
+
+/** One chaos scenario preset; its knobs scale with the simulated
+ *  duration so every preset produces multiple fault episodes per cell. */
+struct ChaosScenario {
+  const char* name;
+  void (*apply)(double duration_s, simsys::ServingConfig* config);
+};
+
+const ChaosScenario kChaosScenarios[] = {
+    {"outage",
+     [](double d, simsys::ServingConfig* c) {
+       c->faults.mtbf_s = d / 3;
+       c->faults.mttr_s = d / 10;
+     }},
+    {"gray",
+     [](double d, simsys::ServingConfig* c) {
+       c->chaos.gray_mtbf_s = d / 3;
+       c->chaos.gray_mttr_s = d / 5;
+       c->chaos.gray_factor = 4;
+     }},
+    {"domain",
+     [](double d, simsys::ServingConfig* c) {
+       c->chaos.host.size = 2;
+       c->chaos.host.mtbf_s = d;
+       c->chaos.host.mttr_s = d / 10;
+       c->chaos.host.factor = 0;
+     }},
+    {"flap",
+     [](double d, simsys::ServingConfig* c) {
+       c->chaos.flap_mtbf_s = d / 2;
+       c->chaos.flap_count = 5;
+       c->chaos.flap_period_s = 0.2;
+       c->chaos.flap_down_s = 0.05;
+     }},
+};
+
+/**
+ * Checks one cell's resilience invariants; returns "" when all hold,
+ * else a one-line description of the first violation. `config` must be
+ * the exact per-cell config the simulator saw (policy and seeds
+ * applied), because the breaker check reconstructs the cell's
+ * deterministic outage timeline from it.
+ */
+std::string CheckChaosCell(const simsys::ServingConfig& config,
+                           std::size_t pool_size,
+                           const simsys::ServingResult& r,
+                           double min_avail) {
+  if (r.hedges_won > r.hedges_issued) {
+    return Format("hedges_won %d > hedges_issued %d", r.hedges_won,
+                  r.hedges_issued);
+  }
+  // Availability floor: resilience must keep the pool serving even
+  // while the scenario injects faults.
+  double avail = 0;
+  for (double a : r.gpu_availability) avail += a;
+  avail /= static_cast<double>(r.gpu_availability.size());
+  if (avail < min_avail) {
+    return Format("mean availability %.3f below the --min-avail floor %.3f",
+                  avail, min_avail);
+  }
+  // Retry-budget bound: the token bucket structurally caps retries at
+  // burst + budget x completions, so a mass failure cannot ignite a
+  // retry storm.
+  if (config.retry_budget > 0) {
+    const double bound = config.retry_budget_burst +
+                         config.retry_budget * r.completed + 1e-9;
+    if (r.retries > bound) {
+      return Format("retries %d exceed the budget bound %.1f "
+                    "(burst %.0f + %.2f x %d completions)",
+                    r.retries, bound, config.retry_budget_burst,
+                    config.retry_budget, r.completed);
+    }
+  }
+  // Breaker re-close: a breaker may still be open at the horizon only
+  // on a GPU whose deterministic outage timeline has an outage near the
+  // end (failure detection, the cooldown, and a half-open probe all
+  // take time). Breakers open exclusively on outage-caused failures, so
+  // a stuck-open breaker on an outage-free tail means re-close broke.
+  if (config.breaker.failure_threshold > 0 && r.breakers_open_at_end > 0) {
+    const double horizon_us = config.duration_s * 1e6;
+    const double window_us = 2 * config.breaker.cooldown_ms * 1e3 + 2e6;
+    const FaultPlan base_plan(pool_size, horizon_us, config.faults);
+    ChaosPlan chaos;
+    const FaultPlan* outages = &base_plan;
+    if (ChaosConfigEnabled(config.chaos)) {
+      chaos = ChaosPlan(pool_size, horizon_us, config.chaos, &base_plan);
+      outages = &chaos.outage_plan();
+    }
+    int excused = 0;
+    for (std::size_t g = 0; g < pool_size; ++g) {
+      if (outages->FirstOutageIn(g, std::max(0.0, horizon_us - window_us),
+                                 horizon_us) != nullptr) {
+        ++excused;
+      }
+    }
+    if (r.breakers_open_at_end > excused) {
+      return Format("%d breaker(s) still open at the horizon but only %d "
+                    "GPU(s) had an outage in the final %.1f s — breakers "
+                    "failed to re-close after their fault healed",
+                    r.breakers_open_at_end, excused, window_us / 1e6);
+    }
+  }
+  return "";
+}
+
+int CmdChaos(const Args& args) {
+  if (WantsHelp(args, kChaosUsage)) return 0;
+  const std::string unknown = args.UnknownFlag(
+      {"pool", "networks", "batch", "rate", "duration", "seed", "runs",
+       "jobs", "scenarios", "policy", "retries", "hedge-factor",
+       "retry-budget", "retry-burst", "adaptive-detect",
+       "breaker-failures", "breaker-cooldown-ms", "min-avail",
+       "metrics-out", "trace-out"});
+  if (!unknown.empty()) {
+    return UsageError(kChaosUsage, "unknown flag --" + unknown);
+  }
+
+  std::vector<std::string> pool =
+      Split(args.Get("pool", "A40,TITAN RTX,V100,A100"), ',');
+  std::vector<const gpuexec::GpuSpec*> gpus;
+  for (const std::string& name : pool) {
+    const gpuexec::GpuSpec* gpu = gpuexec::FindGpu(name);
+    if (gpu == nullptr) {
+      return UserError("unknown GPU '" + name +
+                       "' (run `gpuperf gpus` for the list)");
+    }
+    gpus.push_back(gpu);
+  }
+  std::vector<dnn::Network> networks;
+  for (const std::string& name :
+       Split(args.Get("networks", "resnet18,resnet50"), ',')) {
+    StatusOr<dnn::Network> net = zoo::TryBuildByName(name);
+    if (!net.ok()) return UserError(net.status());
+    networks.push_back(std::move(net).value());
+  }
+
+  StatusOr<long long> batch = ParseInt64(args.Get("batch", "16"));
+  if (!batch.ok() || *batch < 1) {
+    return UsageError(kChaosUsage, "--batch must be a positive integer, "
+                                   "got '" + args.Get("batch", "16") + "'");
+  }
+  double rate = 0, duration = 0, min_avail = 0, breaker_cooldown = 0;
+  int seed = 0, runs = 0, jobs = 0, retries = 0, breaker_failures = 0;
+  if (int rc = ParsePositiveFlag(args, kChaosUsage, "rate", "80", &rate)) {
+    return rc;
+  }
+  if (int rc = ParsePositiveFlag(args, kChaosUsage, "duration", "10",
+                                 &duration)) {
+    return rc;
+  }
+  if (int rc = ParseCountFlag(args, kChaosUsage, "seed", "1", 0, &seed)) {
+    return rc;
+  }
+  if (int rc = ParseCountFlag(args, kChaosUsage, "runs", "1", 1, &runs)) {
+    return rc;
+  }
+  if (int rc = ParseCountFlag(args, kChaosUsage, "jobs", "0", 0, &jobs)) {
+    return rc;
+  }
+  if (int rc = ParseCountFlag(args, kChaosUsage, "retries", "3", 0,
+                              &retries)) {
+    return rc;
+  }
+  if (int rc = ParseCountFlag(args, kChaosUsage, "breaker-failures", "3", 0,
+                              &breaker_failures)) {
+    return rc;
+  }
+  if (int rc = ParseNonNegativeFlag(args, kChaosUsage,
+                                    "breaker-cooldown-ms", "500",
+                                    &breaker_cooldown)) {
+    return rc;
+  }
+  if (int rc = ParseNonNegativeFlag(args, kChaosUsage, "min-avail", "0.5",
+                                    &min_avail)) {
+    return rc;
+  }
+  if (min_avail > 1) {
+    return UsageError(kChaosUsage, "--min-avail must be in [0, 1], got '" +
+                                       args.Get("min-avail", "0.5") + "'");
+  }
+  std::vector<simsys::DispatchPolicy> policies;
+  if (int rc = ParsePolicyFlag(args, kChaosUsage, &policies)) return rc;
+  std::vector<const ChaosScenario*> scenarios;
+  for (const std::string& name :
+       Split(args.Get("scenarios", "outage,gray,domain,flap"), ',')) {
+    const ChaosScenario* found = nullptr;
+    for (const ChaosScenario& scenario : kChaosScenarios) {
+      if (name == scenario.name) found = &scenario;
+    }
+    if (found == nullptr) {
+      return UsageError(kChaosUsage,
+                        "--scenarios must be a comma-separated subset of "
+                        "outage,gray,domain,flap; got '" + name + "'");
+    }
+    scenarios.push_back(found);
+  }
+
+  // The resilience stack under test, shared by every scenario. The
+  // deep semantic checks (e.g. gray_factor > 1) live in the simulator's
+  // ValidateInputs and surface as one-line errors, never aborts.
+  simsys::ServingConfig resilient;
+  resilient.arrival_rate_per_s = rate;
+  resilient.duration_s = duration;
+  resilient.retry.max_retries = retries;
+  resilient.breaker.failure_threshold = breaker_failures;
+  resilient.breaker.cooldown_ms = breaker_cooldown;
+  const ResilienceDefaults chaos_defaults = {"1.5", "0.5", "10", "0.99"};
+  if (int rc = ParseResilienceFlags(args, kChaosUsage, chaos_defaults,
+                                    &resilient)) {
+    return rc;
+  }
+
+  // Truth from the hardware oracle; predictions are the same matrix —
+  // the oracle as its own predictor — so a hedge fires exactly when a
+  // chaos slowdown pushes a job past hedge_trigger_factor x truth.
+  gpuexec::HardwareOracle oracle;
+  gpuexec::Profiler profiler(oracle);
+  std::vector<std::vector<double>> truth;
+  for (const dnn::Network& network : networks) {
+    std::vector<double> t;
+    for (const gpuexec::GpuSpec* gpu : gpus) {
+      t.push_back(profiler.MeasureE2eUs(network, *gpu, *batch));
+    }
+    truth.push_back(std::move(t));
+  }
+  const std::vector<std::vector<double>>& predicted = truth;
+  const std::vector<double> mix(networks.size(), 1.0);
+
+  std::vector<simsys::ServingGridCell> cells;
+  for (simsys::DispatchPolicy policy : policies) {
+    for (int run = 0; run < runs; ++run) {
+      cells.push_back(simsys::ServingGridCell{
+          policy, static_cast<std::uint64_t>(seed) + run});
+    }
+  }
+
+  const std::string metrics_out = args.Get("metrics-out", "");
+  const std::string trace_out = args.Get("trace-out", "");
+  obs::ChromeTraceWriter trace_writer;
+  TextTable table;
+  table.SetHeader({"scenario", "policy", "seed", "p50 (ms)", "p99 (ms)",
+                   "done", "drop", "shed", "retry", "suppr", "hedge", "won",
+                   "trips", "open", "avail", "check"});
+  std::string violation;  // first invariant violation, already located
+  for (const ChaosScenario* scenario : scenarios) {
+    simsys::ServingConfig base_config = resilient;
+    scenario->apply(duration, &base_config);
+    const simsys::ServingCounters before = simsys::SnapshotServingCounters();
+    const std::vector<StatusOr<simsys::ServingResult>> grid =
+        simsys::SimulateServingGrid(
+            truth, predicted, mix, base_config, cells, jobs,
+            trace_out.empty() ? nullptr : &trace_writer);
+    long long sum_completed = 0, sum_dropped = 0, sum_shed = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (!grid[i].ok()) return UserError(grid[i].status());
+      const simsys::ServingResult& r = *grid[i];
+      sum_completed += r.completed;
+      sum_dropped += r.dropped;
+      sum_shed += r.shed_on_admission;
+      simsys::ServingConfig cell_config = base_config;
+      cell_config.policy = cells[i].policy;
+      cell_config.seed = cells[i].seed;
+      cell_config.faults.seed = cells[i].seed;
+      cell_config.chaos.seed = cells[i].seed;
+      const std::string failed =
+          CheckChaosCell(cell_config, pool.size(), r, min_avail);
+      double avail = 0;
+      for (double a : r.gpu_availability) avail += a;
+      avail /= static_cast<double>(r.gpu_availability.size());
+      table.AddRow({scenario->name,
+                    simsys::DispatchPolicyName(cells[i].policy),
+                    Format("%llu", (unsigned long long)cells[i].seed),
+                    Format("%.1f", r.p50_ms), Format("%.1f", r.p99_ms),
+                    Format("%d", r.completed), Format("%d", r.dropped),
+                    Format("%d", r.shed_on_admission),
+                    Format("%d", r.retries),
+                    Format("%d", r.retries_suppressed),
+                    Format("%d", r.hedges_issued),
+                    Format("%d", r.hedges_won),
+                    Format("%d", r.breaker_opens),
+                    Format("%d", r.breakers_open_at_end),
+                    Format("%.1f%%", 100 * avail),
+                    failed.empty() ? "OK" : "FAIL"});
+      if (!failed.empty() && violation.empty()) {
+        violation = Format(
+            "chaos invariant violated: scenario=%s policy=%s seed=%llu: %s",
+            scenario->name,
+            simsys::DispatchPolicyName(cells[i].policy).c_str(),
+            (unsigned long long)cells[i].seed, failed.c_str());
+      }
+    }
+    // Accounting identity, cross-checked against the process-wide
+    // serving counters: every arrival of this scenario's grid completed,
+    // dropped, or was shed — nothing vanished.
+    const simsys::ServingCounters after = simsys::SnapshotServingCounters();
+    const long long arrived =
+        static_cast<long long>(after.jobs_arrived - before.jobs_arrived);
+    if (arrived != sum_completed + sum_dropped + sum_shed &&
+        violation.empty()) {
+      violation = Format(
+          "chaos invariant violated: scenario=%s: %lld arrivals != "
+          "%lld completed + %lld dropped + %lld shed",
+          scenario->name, arrived, sum_completed, sum_dropped, sum_shed);
+    }
+  }
+  table.Print();
+  if (!trace_out.empty()) {
+    const Status written = trace_writer.WriteFile(trace_out);
+    if (!written.ok()) return UserError(written);
+  }
+  if (!metrics_out.empty()) {
+    const Status written =
+        obs::MetricsRegistry::Global().WriteSnapshot(metrics_out);
+    if (!written.ok()) return UserError(written);
+  }
+  if (!violation.empty()) return UserError(violation);
+  std::printf("chaos: all invariants held across %zu scenario(s) x %zu "
+              "cell(s)\n",
+              scenarios.size(), cells.size());
   return 0;
 }
 
@@ -1133,6 +1682,8 @@ void Usage() {
       "  serve-sim [--model DIR] [--mtbf S] [--mttr S] [--retries N]\n"
       "            [--queue-cap N] [--slo-ms MS] [--breaker-failures N]\n"
       "            [--jobs N] [...]            fault-tolerant serving sim\n"
+      "  chaos [--scenarios a,b] [--policy P] [--min-avail F]\n"
+      "            [...]                       chaos sweep + invariant check\n"
       "  bundle-check --candidate DIR [--baseline DIR] [--tolerance F]\n"
       "            [...]                       validate + canary a bundle\n"
       "  drift-report --model DIR [--drift-gpu NAME] [--epochs N]\n"
@@ -1162,6 +1713,7 @@ int main(int argc, char** argv) {
   if (command == "roofline") return CmdRoofline(args);
   if (command == "batch") return CmdBatch(args);
   if (command == "serve-sim") return CmdServeSim(args);
+  if (command == "chaos") return CmdChaos(args);
   if (command == "bundle-check") return CmdBundleCheck(args);
   if (command == "drift-report") return CmdDriftReport(args);
   std::fprintf(stderr, "gpuperf: unknown command '%s'\n", command.c_str());
