@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Observability smoke check: run a real serve-sim with --metrics-out and
-# --trace-out, then assert both artifacts are well-formed and the
-# accounting invariant holds (every arrival completed, dropped, or shed).
+# Observability smoke check: run a real serve-sim with --metrics-out,
+# --trace-out, and --timeline-out, then assert the artifacts are
+# well-formed, the accounting invariant holds (every arrival completed,
+# dropped, or shed), the flight-recorder timeline is monotone and
+# consistent with the final metrics snapshot, and timeline + trace are
+# byte-identical across --jobs values.
 #
 # Usage: scripts/obs_smoke.sh <path-to-gpuperf-binary>
+# Set OBS_SMOKE_ARTIFACT_DIR to keep the timeline CSV and Chrome trace
+# (CI uploads them as workflow artifacts).
 set -euo pipefail
 
 GPUPERF="${1:?usage: obs_smoke.sh <path-to-gpuperf-binary>}"
@@ -12,10 +17,12 @@ trap 'rm -rf "$OUT"' EXIT
 
 METRICS="$OUT/metrics.csv"
 TRACE="$OUT/trace.json"
+TIMELINE="$OUT/timeline.csv"
 
 "$GPUPERF" serve-sim --duration 2 --rate 150 --queue-cap 4 --slo-ms 50 \
-  --mtbf 3 --breaker-failures 2 --networks resnet18 \
-  --metrics-out "$METRICS" --trace-out "$TRACE" >/dev/null
+  --mtbf 3 --breaker-failures 2 --networks resnet18 --jobs 1 \
+  --metrics-out "$METRICS" --trace-out "$TRACE" \
+  --timeline-out "$TIMELINE" >/dev/null
 
 [ -s "$METRICS" ] || { echo "obs_smoke: empty metrics snapshot"; exit 1; }
 [ -s "$TRACE" ] || { echo "obs_smoke: empty trace"; exit 1; }
@@ -57,6 +64,80 @@ assert any(e['ph'] == 'X' for e in events), 'no complete spans'
 else
   grep -q '"traceEvents":\[' "$TRACE" \
     || { echo "obs_smoke: trace is not a trace document"; exit 1; }
+fi
+
+# --- Flight-recorder timeline ----------------------------------------------
+
+[ -s "$TIMELINE" ] || { echo "obs_smoke: empty timeline"; exit 1; }
+head -1 "$TIMELINE" | grep -q '^t_us,source,metric,kind,field,value$' \
+  || { echo "obs_smoke: bad timeline header"; exit 1; }
+
+# Sim time must be monotone within every source (cells append serially,
+# each cell's windows close in ascending order).
+awk -F, 'NR > 1 {
+    if ($2 in last && $1 + 0 < last[$2] + 0) {
+      printf "obs_smoke: timeline not monotone for %s: %s after %s\n",
+             $2, $1, last[$2]
+      exit 1
+    }
+    last[$2] = $1
+  }' "$TIMELINE"
+
+# Per-window counter deltas must sum to the counter totals — within
+# each (source, metric) against its last total row, and summed across
+# sources against the final registry snapshot of the same run.
+awk -F, '
+  FNR == 1 { next }
+  NR == FNR {
+    if ($4 == "counter" && $5 == "delta") deltas[$2 "," $3] += $6
+    if ($4 == "counter" && $5 == "total") totals[$2 "," $3] = $6
+    next
+  }
+  $2 == "counter" && $3 == "value" { registry[$1] = $4 }
+  END {
+    for (key in totals) {
+      if (deltas[key] + 0 != totals[key] + 0) {
+        printf "obs_smoke: deltas do not sum to total for %s: %d vs %d\n",
+               key, deltas[key], totals[key]
+        exit 1
+      }
+      split(key, parts, ",")
+      grand[parts[2]] += totals[key]
+      seen_metric[parts[2]] = 1
+    }
+    checked = 0
+    for (metric in seen_metric) {
+      if (metric in registry) {
+        ++checked
+        if (grand[metric] + 0 != registry[metric] + 0) {
+          printf "obs_smoke: timeline total %d != snapshot %d for %s\n",
+                 grand[metric], registry[metric], metric
+          exit 1
+        }
+      }
+    }
+    if (checked == 0) {
+      print "obs_smoke: no counter family shared by timeline and snapshot"
+      exit 1
+    }
+  }' "$TIMELINE" "$METRICS"
+
+# Determinism: the timeline and trace must be byte-identical for any
+# --jobs value (per-cell recorders, merged serially in cell order).
+"$GPUPERF" serve-sim --duration 2 --rate 150 --queue-cap 4 --slo-ms 50 \
+  --mtbf 3 --breaker-failures 2 --networks resnet18 --jobs 7 \
+  --trace-out "$OUT/trace_jobs7.json" \
+  --timeline-out "$OUT/timeline_jobs7.csv" >/dev/null
+cmp -s "$TIMELINE" "$OUT/timeline_jobs7.csv" \
+  || { echo "obs_smoke: timeline differs between --jobs 1 and --jobs 7"; \
+       exit 1; }
+cmp -s "$TRACE" "$OUT/trace_jobs7.json" \
+  || { echo "obs_smoke: trace differs between --jobs 1 and --jobs 7"; \
+       exit 1; }
+
+if [ -n "${OBS_SMOKE_ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$OBS_SMOKE_ARTIFACT_DIR"
+  cp "$TIMELINE" "$TRACE" "$OBS_SMOKE_ARTIFACT_DIR/"
 fi
 
 echo "obs_smoke: OK"

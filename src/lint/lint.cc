@@ -30,6 +30,7 @@ constexpr char kRuleRawMutex[] = "raw-mutex";
 constexpr char kRuleRawCounter[] = "raw-counter";
 constexpr char kRuleBundleLifecycle[] = "bundle-lifecycle";
 constexpr char kRuleWallClock[] = "wall-clock";
+constexpr char kRuleMetricName[] = "metric-name";
 
 /**
  * The audited wall-clock readers. Each entry is a file whose clock use
@@ -374,6 +375,70 @@ std::vector<Finding> CheckUnorderedOrder(const std::string& joined,
   return findings;
 }
 
+/** True when `name` matches gpuperf_<area>_<name> (lowercase + digits). */
+bool IsValidMetricName(const std::string& name) {
+  const std::string prefix = "gpuperf_";
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  // <area>: one or more [a-z0-9], then '_', then a nonempty tail of
+  // [a-z0-9_] that does not start with '_' (no empty area or name).
+  std::size_t i = prefix.size();
+  std::size_t area_len = 0;
+  while (i < name.size() &&
+         ((name[i] >= 'a' && name[i] <= 'z') ||
+          (name[i] >= '0' && name[i] <= '9'))) {
+    ++i;
+    ++area_len;
+  }
+  if (area_len == 0 || i >= name.size() || name[i] != '_') return false;
+  ++i;  // the area/name separator
+  if (i >= name.size()) return false;
+  for (std::size_t j = i; j < name.size(); ++j) {
+    const char c = name[j];
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) {
+      return false;
+    }
+  }
+  return name.back() != '_';
+}
+
+std::vector<Finding> CheckMetricName(const FileScan& scan) {
+  std::vector<Finding> findings;
+  const std::string& joined = scan.joined;
+  // Registration is always a member call on a MetricsRegistry:
+  // registry.counter("name", ...) / ->gauge(...) / .histogram(...).
+  for (const char* method : {"counter", "gauge", "histogram"}) {
+    for (std::size_t pos : FindToken(joined, method)) {
+      const bool member =
+          (pos > 0 && joined[pos - 1] == '.') ||
+          (pos > 1 && joined[pos - 2] == '-' && joined[pos - 1] == '>');
+      if (!member) continue;
+      std::size_t at = SkipSpaces(joined, pos + std::string(method).size());
+      if (at >= joined.size() || joined[at] != '(') continue;
+      // Blanking preserves offsets, so the first argument sits at the
+      // same position in the raw text; only literal first arguments are
+      // checkable (a variable may hold any name).
+      std::size_t quote = SkipSpaces(scan.raw, at + 1);
+      if (quote >= scan.raw.size() || scan.raw[quote] != '"') continue;
+      std::string literal;
+      std::size_t i = quote + 1;
+      while (i < scan.raw.size() && scan.raw[i] != '"' &&
+             scan.raw[i] != '\n') {
+        if (scan.raw[i] == '\\' && i + 1 < scan.raw.size()) ++i;
+        literal += scan.raw[i];
+        ++i;
+      }
+      if (i >= scan.raw.size() || scan.raw[i] != '"') continue;
+      if (IsValidMetricName(literal)) continue;
+      findings.push_back(
+          {LineAt(scan.line_starts, pos),
+           "metric name '" + literal + "' does not match gpuperf_<area>_"
+           "<name> (lowercase letters, digits, underscores); snapshots "
+           "sort and dashboards group by that convention"});
+    }
+  }
+  return findings;
+}
+
 }  // namespace
 
 // Shared with the determinism-taint pass (program.cc), which applies the
@@ -549,6 +614,20 @@ const std::vector<RuleInfo>& Rules() {
        "a genuine new measurement loop adds its file to the allowlist "
        "with a review justification, or annotates gpuperf-lint: "
        "allow(wall-clock)."},
+      {kRuleMetricName,
+       "registered metric names must match gpuperf_<area>_<name>",
+       "Every instrument registered in obs::MetricsRegistry lands in "
+       "--metrics-out snapshots, Prometheus exposition, and flight-"
+       "recorder timelines; snapshots sort by name and dashboards group "
+       "by the gpuperf_<area>_ prefix. A literal that breaks the "
+       "convention (uppercase, dashes, a missing area segment) scatters "
+       "its family across the sort order and escapes prefix-based "
+       "scrape configs. Only literal first arguments are checked — a "
+       "variable may legitimately hold any name.",
+       "Rename to gpuperf_<area>_<name> (lowercase letters, digits, "
+       "underscores), or gpuperf-lint: allow(metric-name) on a line "
+       "that deliberately registers a bad name (e.g. a test of the "
+       "validation itself)."},
       {"layering",
        "the include graph must match the declared module DAG",
        "src/lint/layers.txt declares which modules each module may "
@@ -638,6 +717,9 @@ std::vector<Violation> CheckPerFileRules(const FileScan& scan) {
   }
   for (Finding& f : CheckWallClock(scan.path, joined, line_starts)) {
     all.emplace_back(kRuleWallClock, std::move(f));
+  }
+  for (Finding& f : CheckMetricName(scan)) {
+    all.emplace_back(kRuleMetricName, std::move(f));
   }
 
   std::vector<Violation> violations;

@@ -41,6 +41,11 @@
  *                    timestamps, the linter's own --timings, the PKA
  *                    baseline): results must not depend on when or how
  *                    fast the host ran; use sim time instead.
+ *  - `metric-name`   string literals registered via a MetricsRegistry
+ *                    `counter(`/`gauge(`/`histogram(` member call must
+ *                    match `gpuperf_<area>_<name>` (lowercase letters,
+ *                    digits, underscores) so snapshots sort into families
+ *                    and prefix-based scrape configs see every metric.
  *
  * Whole-program passes (program.h; the same ids appear in reports):
  *  - `layering`      the `#include` graph must match the module DAG

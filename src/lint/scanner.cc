@@ -198,6 +198,7 @@ FileScan ScanFile(const std::string& path, const std::string& content,
                   const std::string& header_content) {
   FileScan scan;
   scan.path = path;
+  scan.raw = content;
 
   ScanResult result = ScanSource(content);
   scan.allow = std::move(result.allow);

@@ -40,6 +40,11 @@ ScanResult ScanSource(const std::string& content);
 struct FileScan {
   std::string path;  // as given by the caller (generic separators)
   std::string joined;
+  // The original unblanked text. Blanking is length-preserving within
+  // lines, so an offset into `joined` addresses the same character in
+  // `raw` — rules that must read a string literal's contents (e.g.
+  // metric-name) locate it in the blanked view and read it here.
+  std::string raw;
   std::vector<std::size_t> line_starts;
   std::map<int, std::set<std::string>> allow;
   std::string header_joined;

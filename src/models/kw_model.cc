@@ -482,7 +482,7 @@ void KwModel::CompileLayerInto(const dnn::Layer& layer,
   // EvalUs is bit-identical to the per-query path.
   if (sid < 0 || resolved_[gpu_idx][sid].use_lw) {
     // Layer-wise fallback: max(0, fit(FLOPs)), no calibration factor.
-    plan.BeginLayer(1.0, extra_scale);
+    plan.BeginLayer(1.0, extra_scale, layer.name);
     const regression::LinearFit* fit =
         lw_fallback_.FitFor(gpu_name, layer.kind);
     if (fit != nullptr) {
@@ -490,10 +490,10 @@ void KwModel::CompileLayerInto(const dnn::Layer& layer,
     }
     return;
   }
-  plan.BeginLayer(calibration_by_gpu_[gpu_idx], extra_scale);
+  plan.BeginLayer(calibration_by_gpu_[gpu_idx], extra_scale, layer.name);
   for (const ResolvedKernel& kernel : resolved_[gpu_idx][sid].kernels) {
     plan.AddTerm(gpuexec::PerSampleDriverValue(layer, kernel.driver),
-                 kernel.slope, kernel.intercept);
+                 kernel.slope, kernel.intercept, kernel.cluster_id);
   }
 }
 

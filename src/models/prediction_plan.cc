@@ -18,9 +18,12 @@ struct PlanMetrics {
     static PlanMetrics* const kMetrics = [] {
       obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
       return new PlanMetrics{
-          registry.counter("gpuperf_predictor_plan_compiles"),
-          registry.counter("gpuperf_predictor_plan_queries"),
-          registry.counter("gpuperf_predictor_plan_invalidations")};
+          registry.counter("gpuperf_predictor_plan_compiles",
+                           "Prediction plans compiled"),
+          registry.counter("gpuperf_predictor_plan_queries",
+                           "Batched plan evaluations"),
+          registry.counter("gpuperf_predictor_plan_invalidations",
+                           "Plans retired by refit or name reuse")};
     }();
     return *kMetrics;
   }
@@ -38,18 +41,21 @@ std::string SlotKeyString(const PlanCache::SlotKey& slot) {
 
 }  // namespace
 
-void PredictionPlan::BeginLayer(double scale_a, double scale_b) {
+void PredictionPlan::BeginLayer(double scale_a, double scale_b,
+                                std::string label) {
   layer_end_.push_back(static_cast<std::uint32_t>(value_.size()));
   scale_a_.push_back(scale_a);
   scale_b_.push_back(scale_b);
+  label_.push_back(std::move(label));
 }
 
 void PredictionPlan::AddTerm(std::int64_t per_sample_value, double slope,
-                             double intercept) {
+                             double intercept, int cluster_id) {
   GP_CHECK(!layer_end_.empty()) << "AddTerm before BeginLayer";
   value_.push_back(per_sample_value);
   slope_.push_back(slope);
   intercept_.push_back(intercept);
+  cluster_.push_back(cluster_id);
   layer_end_.back() = static_cast<std::uint32_t>(value_.size());
 }
 

@@ -68,14 +68,19 @@ class PredictionPlan {
    * layer-wise fallback terms), `scale_b` second (the IGKW
    * nearest-GPU bandwidth ratio; 1.0 otherwise). Multiplying by 1.0 is
    * an IEEE identity, so unused scales never perturb bit-equality.
+   * `label` is explain-only metadata (the layer's name; never read by
+   * the evaluation sweep).
    */
-  void BeginLayer(double scale_a, double scale_b);
+  void BeginLayer(double scale_a, double scale_b, std::string label = "");
 
   /**
    * Appends one `max(0, intercept + slope * (batch * per_sample_value))`
-   * term to the currently open layer.
+   * term to the currently open layer. `cluster_id` is explain-only
+   * metadata (the kernel cluster the fit came from; -1 for layer-wise
+   * fallback terms).
    */
-  void AddTerm(std::int64_t per_sample_value, double slope, double intercept);
+  void AddTerm(std::int64_t per_sample_value, double slope, double intercept,
+               int cluster_id = -1);
 
   /** Predicted end-to-end microseconds for one batch size. */
   double EvalUs(std::int64_t batch) const;
@@ -87,15 +92,32 @@ class PredictionPlan {
   std::size_t layer_count() const { return layer_end_.size(); }
   std::size_t term_count() const { return value_.size(); }
 
+  // --- Plan-walking accessors (models/explain.h decomposes a
+  // prediction by replaying EvalUs's exact op order through these).
+  std::uint32_t layer_end(std::size_t layer) const {
+    return layer_end_[layer];
+  }
+  double layer_scale_a(std::size_t layer) const { return scale_a_[layer]; }
+  double layer_scale_b(std::size_t layer) const { return scale_b_[layer]; }
+  const std::string& layer_label(std::size_t layer) const {
+    return label_[layer];
+  }
+  std::int64_t term_value(std::size_t term) const { return value_[term]; }
+  double term_slope(std::size_t term) const { return slope_[term]; }
+  double term_intercept(std::size_t term) const { return intercept_[term]; }
+  int term_cluster(std::size_t term) const { return cluster_[term]; }
+
  private:
   // Terms (SoA): per-sample cost-driver value and fitted line.
   std::vector<std::int64_t> value_;
   std::vector<double> slope_;
   std::vector<double> intercept_;
+  std::vector<int> cluster_;  // explain metadata; not read by EvalUs
   // Layers: exclusive end index into the term arrays plus both scales.
   std::vector<std::uint32_t> layer_end_;
   std::vector<double> scale_a_;
   std::vector<double> scale_b_;
+  std::vector<std::string> label_;  // explain metadata; not read by EvalUs
 };
 
 /**

@@ -75,6 +75,17 @@ void ChromeTraceWriter::AddInstant(const std::string& name,
       ts_us, args_json.c_str()));
 }
 
+void ChromeTraceWriter::AddCounter(const std::string& name,
+                                   const std::string& category, int pid,
+                                   double ts_us,
+                                   const std::string& args_json) {
+  events_.push_back(Format(
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"C\",\"pid\":%d,"
+      "\"tid\":0,\"ts\":%.3f,\"args\":{%s}}",
+      JsonEscape(name).c_str(), JsonEscape(category).c_str(), pid, ts_us,
+      args_json.c_str()));
+}
+
 void ChromeTraceWriter::AddMetadata(const std::string& key,
                                     const std::string& json_value) {
   metadata_.emplace_back(key, json_value);

@@ -48,6 +48,15 @@ class ChromeTraceWriter {
                   const std::string& args_json = "");
 
   /**
+   * A counter event (phase "C"): the values in `args_json` (e.g.
+   * `"\"delta\":3"`) render as a stacked counter track under `pid`.
+   * The flight recorder emits its timeline this way so counter tracks
+   * overlay the span tracks of the same grid cell.
+   */
+  void AddCounter(const std::string& name, const std::string& category,
+                  int pid, double ts_us, const std::string& args_json);
+
+  /**
    * A key in the document's trailing metadata object; `json_value` is
    * raw JSON (already quoted if a string). Keys render in insertion
    * order.

@@ -1,0 +1,269 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics_registry.h"
+
+namespace gpuperf::obs {
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(config) {
+  GP_CHECK_GT(config_.sample_period_us, 0)
+      << "flight recorder needs a positive sample period";
+  GP_CHECK_GT(config_.capacity, 0u)
+      << "flight recorder needs a nonzero frame capacity";
+}
+
+void FlightRecorder::Start(long long origin_us) {
+  if (started_) {
+    // Epoch continuation: re-anchor the window grid without clearing
+    // channels or frames, so one recorder spans many serving epochs.
+    // The previous epoch's final window may close past this origin
+    // (retries and hedges fire events beyond the horizon), so anchor at
+    // whichever is later — the timeline stays monotone either way.
+    last_tick_us_ = std::max(origin_us, last_tick_us_);
+    next_tick_us_ = last_tick_us_ + config_.sample_period_us;
+    return;
+  }
+  origin_us_ = origin_us;
+  last_tick_us_ = origin_us;
+  next_tick_us_ = origin_us + config_.sample_period_us;
+  started_ = true;
+}
+
+FlightRecorder::Channel& FlightRecorder::ChannelFor(const std::string& name,
+                                                    int kind) {
+  auto [it, inserted] = channels_.emplace(name, Channel{});
+  if (inserted) {
+    it->second.kind = kind;
+  } else {
+    GP_CHECK_EQ(it->second.kind, kind)
+        << "channel '" << name << "' already has a different kind";
+  }
+  return it->second;
+}
+
+void FlightRecorder::Count(const std::string& name, std::uint64_t n) {
+  Channel& channel = ChannelFor(name, FlightSample::kCounter);
+  channel.total += n;
+  channel.window_delta += n;
+}
+
+void FlightRecorder::SetGauge(const std::string& name, std::int64_t value) {
+  ChannelFor(name, FlightSample::kGauge).gauge = value;
+}
+
+void FlightRecorder::DefineSketch(const std::string& name,
+                                  const std::vector<double>& upper_bounds) {
+  GP_CHECK(!upper_bounds.empty())
+      << "sketch channel '" << name << "' needs at least one bucket";
+  Channel& channel = ChannelFor(name, FlightSample::kSketch);
+  if (channel.bounds.empty()) {
+    channel.bounds = upper_bounds;
+    channel.window.buckets.assign(upper_bounds.size() + 1, 0);
+  } else {
+    GP_CHECK(channel.bounds == upper_bounds)
+        << "sketch channel '" << name
+        << "' re-defined with different bounds";
+  }
+}
+
+void FlightRecorder::Observe(const std::string& name, double value) {
+  auto it = channels_.find(name);
+  GP_CHECK(it != channels_.end() && it->second.kind == FlightSample::kSketch &&
+           !it->second.bounds.empty())
+      << "sketch channel '" << name << "' must be defined before Observe";
+  Observe(SketchHandle(&it->second), value);
+}
+
+FlightRecorder::CounterHandle FlightRecorder::CounterChannel(
+    const std::string& name) {
+  return CounterHandle(&ChannelFor(name, FlightSample::kCounter));
+}
+
+FlightRecorder::GaugeHandle FlightRecorder::GaugeChannel(
+    const std::string& name) {
+  return GaugeHandle(&ChannelFor(name, FlightSample::kGauge));
+}
+
+FlightRecorder::SketchHandle FlightRecorder::SketchChannel(
+    const std::string& name, const std::vector<double>& upper_bounds) {
+  DefineSketch(name, upper_bounds);
+  return SketchHandle(&channels_.find(name)->second);
+}
+
+
+void FlightRecorder::Tick(long long t_us) {
+  GP_CHECK(started_) << "flight recorder must be started before ticking";
+  GP_CHECK_GT(t_us, last_tick_us_) << "windows must close in ascending order";
+  FlightFrame frame;
+  frame.t_us = t_us;
+  frame.window_us = t_us - last_tick_us_;
+  frame.samples.reserve(channels_.size());
+  for (auto& [name, channel] : channels_) {
+    FlightSample sample;
+    sample.channel = &name;
+    sample.kind = channel.kind;
+    if (channel.kind == FlightSample::kCounter) {
+      sample.counter_total = channel.total;
+      sample.counter_delta = channel.window_delta;
+      channel.window_delta = 0;
+    } else if (channel.kind == FlightSample::kGauge) {
+      sample.gauge_value = channel.gauge;
+    } else {
+      sample.window = channel.window;
+      channel.window.count = 0;
+      channel.window.sum_fp = 0;
+      channel.window.buckets.assign(channel.bounds.size() + 1, 0);
+    }
+    frame.samples.push_back(std::move(sample));
+  }
+  if (frames_.size() == config_.capacity) {
+    frames_.pop_front();
+    ++dropped_frames_;
+  }
+  frames_.push_back(std::move(frame));
+  last_tick_us_ = t_us;
+}
+
+void FlightRecorder::AdvanceSlow(long long t_us) {
+  GP_CHECK(started_) << "flight recorder must be started before advancing";
+  while (next_tick_us_ <= t_us) {
+    Tick(next_tick_us_);
+    next_tick_us_ += config_.sample_period_us;
+  }
+}
+
+void FlightRecorder::FinishAt(long long t_us) {
+  AdvanceTo(t_us);
+  if (last_tick_us_ < t_us) Tick(t_us);
+}
+
+void FlightRecorder::SampleRegistry(const MetricsRegistry& registry,
+                                    long long t_us) {
+  GP_CHECK(started_) << "flight recorder must be started before sampling";
+  for (const InstrumentSnapshot& inst : registry.Snapshot()) {
+    if (inst.kind == FlightSample::kCounter) {
+      Channel& channel = ChannelFor(inst.name, FlightSample::kCounter);
+      const std::uint64_t delta = inst.counter_value - channel.prev_total;
+      channel.total = inst.counter_value;
+      channel.window_delta += delta;
+      channel.prev_total = inst.counter_value;
+    } else if (inst.kind == FlightSample::kGauge) {
+      SetGauge(inst.name, inst.gauge_value);
+    } else {
+      DefineSketch(inst.name, inst.upper_bounds);
+      Channel& channel = channels_.find(inst.name)->second;
+      if (channel.prev_buckets.empty()) {
+        channel.prev_buckets.assign(inst.bucket_counts.size(), 0);
+      }
+      for (std::size_t i = 0; i < inst.bucket_counts.size(); ++i) {
+        const std::uint64_t delta =
+            inst.bucket_counts[i] - channel.prev_buckets[i];
+        channel.window.buckets[i] += delta;
+        channel.window.count += delta;
+        channel.prev_buckets[i] = inst.bucket_counts[i];
+      }
+      channel.window.sum_fp += inst.histogram_sum_fp - channel.prev_sum_fp;
+      channel.prev_sum_fp = inst.histogram_sum_fp;
+    }
+  }
+  Tick(t_us);
+}
+
+void FlightRecorder::AppendCsvRows(const std::string& source,
+                                   std::string* out) const {
+  for (const FlightFrame& frame : frames_) {
+    for (const FlightSample& sample : frame.samples) {
+      const char* t = source.c_str();
+      const char* m = sample.channel->c_str();
+      if (sample.kind == FlightSample::kCounter) {
+        *out += Format("%lld,%s,%s,counter,total,%llu\n", frame.t_us, t, m,
+                       (unsigned long long)sample.counter_total);
+        *out += Format("%lld,%s,%s,counter,delta,%llu\n", frame.t_us, t, m,
+                       (unsigned long long)sample.counter_delta);
+        const double rate = frame.window_us > 0
+                                ? static_cast<double>(sample.counter_delta) /
+                                      (static_cast<double>(frame.window_us) /
+                                       1e6)
+                                : 0.0;
+        *out += Format("%lld,%s,%s,counter,rate_per_s,%g\n", frame.t_us, t, m,
+                       rate);
+      } else if (sample.kind == FlightSample::kGauge) {
+        *out += Format("%lld,%s,%s,gauge,value,%lld\n", frame.t_us, t, m,
+                       (long long)sample.gauge_value);
+      } else {
+        const std::vector<double>& bounds =
+            channels_.at(*sample.channel).bounds;
+        *out += Format("%lld,%s,%s,sketch,count,%llu\n", frame.t_us, t, m,
+                       (unsigned long long)sample.window.count);
+        *out += Format("%lld,%s,%s,sketch,sum,%g\n", frame.t_us, t, m,
+                       WindowedSketch::WindowSum(sample.window));
+        for (double p : {50.0, 99.0}) {
+          const double q =
+              sample.window.count == 0
+                  ? 0.0
+                  : HistogramQuantile(bounds, sample.window.buckets, p);
+          *out += Format("%lld,%s,%s,sketch,p%.0f,%g\n", frame.t_us, t, m, p,
+                         q);
+        }
+      }
+    }
+  }
+}
+
+void FlightRecorder::AppendCounterEvents(ChromeTraceWriter* writer,
+                                         int pid) const {
+  for (const FlightFrame& frame : frames_) {
+    const double ts = static_cast<double>(frame.t_us);
+    for (const FlightSample& sample : frame.samples) {
+      std::string args;
+      if (sample.kind == FlightSample::kCounter) {
+        args = Format("\"delta\":%llu",
+                      (unsigned long long)sample.counter_delta);
+      } else if (sample.kind == FlightSample::kGauge) {
+        args = Format("\"value\":%lld", (long long)sample.gauge_value);
+      } else {
+        const std::vector<double>& bounds =
+            channels_.at(*sample.channel).bounds;
+        const double p99 =
+            sample.window.count == 0
+                ? 0.0
+                : HistogramQuantile(bounds, sample.window.buckets, 99.0);
+        args = Format("\"p99\":%g", p99);
+      }
+      writer->AddCounter(*sample.channel, "timeline", pid, ts, args);
+    }
+  }
+}
+
+void FlightTimeline::Append(const FlightRecorder& recorder,
+                            const std::string& source) {
+  recorder.AppendCsvRows(source, &rows_);
+}
+
+std::string FlightTimeline::Csv() const {
+  return "t_us,source,metric,kind,field,value\n" + rows_;
+}
+
+Status FlightTimeline::WriteCsv(const std::string& path) const {
+  const std::string csv = Csv();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return UnavailableError("cannot open timeline file: " + path);
+  }
+  const std::size_t written = std::fwrite(csv.data(), 1, csv.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != csv.size() || !closed) {
+    return UnavailableError("cannot write timeline file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace gpuperf::obs

@@ -1,0 +1,280 @@
+#ifndef GPUPERF_OBS_FLIGHT_RECORDER_H_
+#define GPUPERF_OBS_FLIGHT_RECORDER_H_
+
+/**
+ * @file
+ * Sim-time flight recorder: a bounded ring of per-window frames.
+ *
+ * A FlightRecorder owns a set of named channels — counters, gauges,
+ * and windowed quantile sketches — and closes them into frames at a
+ * configurable sim-time cadence. It never schedules events on the
+ * simulation's EventQueue: the owner advances it lazily (AdvanceTo
+ * before processing each event, FinishAt at the horizon), so an
+ * attached recorder cannot perturb same-timestamp event ordering and a
+ * detached one costs nothing on the hot path.
+ *
+ * Like SpanTracer, a recorder is NOT thread-safe by design: each grid
+ * cell owns one, and cells merge serially in cell order — timeline CSV
+ * and Chrome-trace counter events are byte-identical for every
+ * `--jobs` value (DESIGN.md §15).
+ *
+ * SampleRegistry() snapshots every instrument registered in a
+ * MetricsRegistry into channels (counter totals become per-window
+ * deltas, histogram buckets become sketch windows), for serial
+ * contexts — e.g. drift-report epochs — that want the process-wide
+ * registry on the timeline.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/windowed_sketch.h"
+
+namespace gpuperf::obs {
+
+class ChromeTraceWriter;
+class MetricsRegistry;
+
+struct FlightRecorderConfig {
+  // Window width in sim microseconds.
+  long long sample_period_us = 100000;
+  // Frames retained; older frames drop off the ring (counted).
+  std::size_t capacity = 4096;
+};
+
+/**
+ * One channel's value at a window close. `channel` points at the
+ * owning recorder's channel name (map keys are stable), so closing a
+ * window copies integers, not strings; frames must not outlive their
+ * recorder.
+ */
+struct FlightSample {
+  enum Kind { kCounter = 0, kGauge = 1, kSketch = 2 };
+  const std::string* channel = nullptr;
+  int kind = kCounter;
+  std::uint64_t counter_total = 0;  // cumulative at window close
+  std::uint64_t counter_delta = 0;  // events within the window
+  std::int64_t gauge_value = 0;     // level at window close
+  SketchWindow window;              // sketch contents of the window
+};
+
+/** One closed window: every channel sampled, sorted by channel name. */
+struct FlightFrame {
+  long long t_us = 0;       // window-close sim time (absolute)
+  long long window_us = 0;  // window width (final window may be partial)
+  std::vector<FlightSample> samples;
+};
+
+class FlightRecorder {
+ private:
+  struct Channel;
+
+ public:
+  /**
+   * Cached channel handles: the name lookup (a sorted-map find plus a
+   * std::string construction) is paid once at registration, and the
+   * per-event update is a pointer dereference — what lets a recorder
+   * ride every simulated event within the <5% overhead budget
+   * (bench_speed_obs BM_ServingRecorded). Handles stay valid for the
+   * recorder's lifetime (map nodes are stable) but must not outlive it.
+   */
+  class CounterHandle {
+   public:
+    CounterHandle() = default;
+
+   private:
+    friend class FlightRecorder;
+    explicit CounterHandle(Channel* channel) : channel_(channel) {}
+    Channel* channel_ = nullptr;
+  };
+  class GaugeHandle {
+   public:
+    GaugeHandle() = default;
+
+   private:
+    friend class FlightRecorder;
+    explicit GaugeHandle(Channel* channel) : channel_(channel) {}
+    Channel* channel_ = nullptr;
+  };
+  class SketchHandle {
+   public:
+    SketchHandle() = default;
+
+   private:
+    friend class FlightRecorder;
+    explicit SketchHandle(Channel* channel) : channel_(channel) {}
+    Channel* channel_ = nullptr;
+  };
+
+  explicit FlightRecorder(FlightRecorderConfig config = {});
+
+  /**
+   * Anchors the window grid at `origin_us`: the first window closes at
+   * origin + period. Must be called before the first Advance/Tick.
+   * Calling Start again re-anchors at max(origin, last window close) —
+   * back-to-back serving epochs sharing one recorder continue a single
+   * monotone timeline even when the previous epoch's events ran past
+   * its horizon, and counters stay cumulative across the restart.
+   */
+  void Start(long long origin_us);
+
+  /** Bumps counter channel `name` (created on first use). */
+  void Count(const std::string& name, std::uint64_t n = 1);
+
+  /** Sets gauge channel `name` (created on first use). */
+  void SetGauge(const std::string& name, std::int64_t value);
+
+  /** Declares sketch channel `name`; idempotent for equal bounds. */
+  void DefineSketch(const std::string& name,
+                    const std::vector<double>& upper_bounds);
+
+  /** Observes into sketch channel `name` (must be defined). */
+  void Observe(const std::string& name, double value);
+
+  /** Registers (or finds) the channel and returns its cached handle. */
+  CounterHandle CounterChannel(const std::string& name);
+  GaugeHandle GaugeChannel(const std::string& name);
+  /** Defines the sketch (idempotent for equal bounds) and returns it. */
+  SketchHandle SketchChannel(const std::string& name,
+                             const std::vector<double>& upper_bounds);
+
+  // Handle-based hot-path updates; semantics match the named forms.
+  // Defined in-class so the serving loop's per-event cost is a couple
+  // of inlined integer adds, not a cross-TU call.
+  void Count(CounterHandle handle, std::uint64_t n = 1) {
+    handle.channel_->total += n;
+    handle.channel_->window_delta += n;
+  }
+  void SetGauge(GaugeHandle handle, std::int64_t value) {
+    handle.channel_->gauge = value;
+  }
+  void Observe(SketchHandle handle, double value) {
+    Channel& channel = *handle.channel_;
+    std::size_t bucket = channel.bounds.size();  // overflow by default
+    for (std::size_t i = 0; i < channel.bounds.size(); ++i) {
+      if (value <= channel.bounds[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    ++channel.window.buckets[bucket];
+    ++channel.window.count;
+    // 2^-20 fixed point, as obs::Histogram.
+    channel.window.sum_fp += FixedPoint(value);
+  }
+
+  /**
+   * Closes every whole window with close time <= `t_us`. Call before
+   * applying an event at sim time `t_us`. The common case — the open
+   * window extends past `t_us` — is one inlined comparison.
+   */
+  void AdvanceTo(long long t_us) {
+    if (t_us < next_tick_us_) return;
+    AdvanceSlow(t_us);
+  }
+
+  /**
+   * Close time of the currently open window — the next `t_us` at which
+   * AdvanceTo would tick. Owners that drive an EventQueue can run
+   * events with earlier timestamps in bulk (EventQueue::RunUntil) and
+   * only consult the recorder at window boundaries.
+   */
+  long long next_close_us() const { return next_tick_us_; }
+
+  /**
+   * Closes remaining windows through `t_us`, including a final partial
+   * window when `t_us` is not on the window grid.
+   */
+  void FinishAt(long long t_us);
+
+  /**
+   * Folds one MetricsRegistry snapshot into the channels and closes a
+   * frame at `t_us`: counters and histogram buckets are differenced
+   * against the previous snapshot, gauges are sampled as-is. For
+   * serial, coarse-cadence callers (sampling takes the registry lock).
+   */
+  void SampleRegistry(const MetricsRegistry& registry, long long t_us);
+
+  const FlightRecorderConfig& config() const { return config_; }
+  const std::deque<FlightFrame>& frames() const { return frames_; }
+  /** Frames evicted from the full ring. */
+  std::uint64_t dropped_frames() const { return dropped_frames_; }
+
+  /**
+   * Appends timeline CSV rows (`t_us,source,metric,kind,field,value`)
+   * for every retained frame. Counter channels emit `total`, `delta`,
+   * and `rate_per_s`; gauges emit `value`; sketches emit `count`,
+   * `sum`, `p50`, and `p99`.
+   */
+  void AppendCsvRows(const std::string& source, std::string* out) const;
+
+  /**
+   * Appends one Chrome "C" (counter) event per channel per frame under
+   * `pid`, so counter tracks overlay the span tracks of the same cell.
+   */
+  void AppendCounterEvents(ChromeTraceWriter* writer, int pid) const;
+
+ private:
+  struct Channel {
+    int kind = FlightSample::kCounter;
+    std::uint64_t total = 0;         // counter: cumulative
+    std::uint64_t window_delta = 0;  // counter: open-window events
+    std::int64_t gauge = 0;
+    std::vector<double> bounds;  // sketch bounds
+    SketchWindow window;         // sketch: open window
+    // Previous registry snapshot (SampleRegistry differencing).
+    std::uint64_t prev_total = 0;
+    std::vector<std::uint64_t> prev_buckets;
+    std::int64_t prev_sum_fp = 0;
+  };
+
+  Channel& ChannelFor(const std::string& name, int kind);
+  /** Closes the open window into a frame stamped `t_us`. */
+  void Tick(long long t_us);
+  /** AdvanceTo's window-closing tail (out of the inlined fast path). */
+  void AdvanceSlow(long long t_us);
+  /** 2^-20 fixed point — obs::Histogram's sum representation. */
+  static std::int64_t FixedPoint(double value) {
+    return std::llround(value * 1048576.0);
+  }
+
+  FlightRecorderConfig config_;
+  std::map<std::string, Channel> channels_;  // sorted => deterministic
+  std::deque<FlightFrame> frames_;
+  std::uint64_t dropped_frames_ = 0;
+  long long origin_us_ = 0;
+  long long next_tick_us_ = 0;
+  long long last_tick_us_ = 0;
+  bool started_ = false;
+};
+
+/**
+ * Accumulates the merged timeline CSV across cells and scenarios. The
+ * caller appends recorders serially in a deterministic order; the
+ * resulting document is byte-identical across `--jobs`.
+ */
+class FlightTimeline {
+ public:
+  /** Appends `recorder`'s frames under the `source` label. */
+  void Append(const FlightRecorder& recorder, const std::string& source);
+
+  bool empty() const { return rows_.empty(); }
+
+  /** Header + accumulated rows. */
+  std::string Csv() const;
+
+  /** Writes Csv() to `path`; unwritable path is an Unavailable error. */
+  [[nodiscard]] Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::string rows_;
+};
+
+}  // namespace gpuperf::obs
+
+#endif  // GPUPERF_OBS_FLIGHT_RECORDER_H_

@@ -87,6 +87,7 @@ void Histogram::Reset() {
 struct MetricsRegistry::Entry {
   enum Kind { kCounter = 0, kGauge = 1, kHistogram = 2 };
   int kind = kCounter;
+  std::string help;  // `# HELP` text; first non-empty registration wins
   std::unique_ptr<Counter> counter;
   std::unique_ptr<Gauge> gauge;
   std::unique_ptr<Histogram> histogram;
@@ -103,7 +104,7 @@ MetricsRegistry::~MetricsRegistry() = default;
 
 MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(
     const std::string& name, int kind,
-    const std::vector<double>* upper_bounds) {
+    const std::vector<double>* upper_bounds, const std::string& help) {
   GP_CHECK(IsValidMetricName(name))
       << "metric name '" << name
       << "' must be lowercase [a-z0-9_] (convention: gpuperf_<area>_<name>)";
@@ -129,20 +130,24 @@ MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(
         << "metric '" << name << "' is already registered as a "
         << it->second->KindName();
   }
+  if (it->second->help.empty() && !help.empty()) it->second->help = help;
   return *it->second;
 }
 
-Counter& MetricsRegistry::counter(const std::string& name) {
-  return *FindOrCreate(name, Entry::kCounter, nullptr).counter;
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  return *FindOrCreate(name, Entry::kCounter, nullptr, help).counter;
 }
 
-Gauge& MetricsRegistry::gauge(const std::string& name) {
-  return *FindOrCreate(name, Entry::kGauge, nullptr).gauge;
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  return *FindOrCreate(name, Entry::kGauge, nullptr, help).gauge;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
-                                      std::vector<double> upper_bounds) {
-  Entry& entry = FindOrCreate(name, Entry::kHistogram, &upper_bounds);
+                                      std::vector<double> upper_bounds,
+                                      const std::string& help) {
+  Entry& entry = FindOrCreate(name, Entry::kHistogram, &upper_bounds, help);
   GP_CHECK(entry.histogram->upper_bounds() == upper_bounds)
       << "histogram '" << name
       << "' re-registered with different bucket bounds";
@@ -186,6 +191,10 @@ std::string MetricsRegistry::PrometheusSnapshot() const {
   std::string out;
   MutexLock lock(mu_);
   for (const auto& [name, entry] : entries_) {
+    // A family with no registered help text falls back to its own name
+    // so the exposition is always complete (and byte-deterministic).
+    const std::string& help = entry->help.empty() ? name : entry->help;
+    out += Format("# HELP %s %s\n", name.c_str(), help.c_str());
     out += Format("# TYPE %s %s\n", name.c_str(), entry->KindName());
     if (entry->kind == Entry::kCounter) {
       out += Format("%s %llu\n", name.c_str(),
@@ -212,6 +221,30 @@ std::string MetricsRegistry::PrometheusSnapshot() const {
       out += Format("%s_count %llu\n", name.c_str(),
                     (unsigned long long)h.Count());
     }
+  }
+  return out;
+}
+
+std::vector<InstrumentSnapshot> MetricsRegistry::Snapshot() const {
+  std::vector<InstrumentSnapshot> out;
+  MutexLock lock(mu_);
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    InstrumentSnapshot inst;
+    inst.name = name;
+    inst.kind = entry->kind;
+    if (entry->kind == Entry::kCounter) {
+      inst.counter_value = entry->counter->Value();
+    } else if (entry->kind == Entry::kGauge) {
+      inst.gauge_value = entry->gauge->Value();
+    } else {
+      const Histogram& h = *entry->histogram;
+      inst.upper_bounds = h.upper_bounds();
+      inst.bucket_counts = h.BucketCounts();
+      inst.histogram_count = h.Count();
+      inst.histogram_sum_fp = h.SumFp();
+    }
+    out.push_back(std::move(inst));
   }
   return out;
 }

@@ -111,6 +111,11 @@ class Histogram {
     return count_.load(std::memory_order_relaxed);
   }
   double Sum() const;
+  /** The raw fixed-point sum (2^-20 units) — integer, so snapshots can
+   * be differenced without floating-point drift. */
+  std::int64_t SumFp() const {
+    return sum_fp_.load(std::memory_order_relaxed);
+  }
   void Reset();
 
  private:
@@ -118,6 +123,24 @@ class Histogram {
   std::vector<std::atomic<std::uint64_t>> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::int64_t> sum_fp_{0};  // fixed-point, 2^-20 units
+};
+
+/**
+ * One instrument's state at a point in time — the machine-readable
+ * counterpart of the CSV/Prometheus text snapshots, consumed by the
+ * flight recorder to difference successive registry states into
+ * per-window deltas. Kinds match FlightSample: 0 counter, 1 gauge,
+ * 2 histogram.
+ */
+struct InstrumentSnapshot {
+  std::string name;
+  int kind = 0;
+  std::uint64_t counter_value = 0;
+  std::int64_t gauge_value = 0;
+  std::vector<double> upper_bounds;           // histogram only
+  std::vector<std::uint64_t> bucket_counts;   // incl. +Inf overflow
+  std::uint64_t histogram_count = 0;
+  std::int64_t histogram_sum_fp = 0;          // 2^-20 fixed point
 };
 
 /**
@@ -135,10 +158,14 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  // `help` is the Prometheus `# HELP` text; the first registration to
+  // supply a non-empty string wins, later strings are ignored (the
+  // exported bytes must not depend on call order beyond that).
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
   Histogram& histogram(const std::string& name,
-                       std::vector<double> upper_bounds);
+                       std::vector<double> upper_bounds,
+                       const std::string& help = "");
 
   /**
    * Deterministic CSV snapshot, families sorted by name. Columns:
@@ -148,8 +175,17 @@ class MetricsRegistry {
    */
   std::string CsvSnapshot() const;
 
-  /** Prometheus text exposition format, families sorted by name. */
+  /**
+   * Prometheus text exposition format, families sorted by name: each
+   * family emits `# HELP` (the registered help text, or the metric
+   * name when none was given) and `# TYPE` lines, then the values —
+   * histograms use the conventional `_bucket{le=...}`/`_sum`/`_count`
+   * series with cumulative buckets.
+   */
   std::string PrometheusSnapshot() const;
+
+  /** Every instrument's current state, sorted by name. */
+  std::vector<InstrumentSnapshot> Snapshot() const;
 
   /**
    * Writes a snapshot to `path`: Prometheus text when the path ends in
@@ -172,7 +208,8 @@ class MetricsRegistry {
    * registrations and snapshots never see a half-built entry.
    */
   Entry& FindOrCreate(const std::string& name, int kind,
-                      const std::vector<double>* upper_bounds);
+                      const std::vector<double>* upper_bounds,
+                      const std::string& help);
 
   mutable Mutex mu_;
   std::map<std::string, std::unique_ptr<Entry>> entries_ GP_GUARDED_BY(mu_);

@@ -1,0 +1,79 @@
+#include "obs/windowed_sketch.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace gpuperf::obs {
+namespace {
+
+// Fixed-point scale of SketchWindow::sum_fp (2^20) — matches
+// obs::Histogram so windowed and cumulative sums agree bit-for-bit.
+constexpr double kSumScale = 1048576.0;
+
+}  // namespace
+
+WindowedSketch::WindowedSketch(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  GP_CHECK(!upper_bounds_.empty()) << "sketch needs at least one bucket";
+  for (std::size_t i = 0; i < upper_bounds_.size(); ++i) {
+    GP_CHECK(std::isfinite(upper_bounds_[i]))
+        << "sketch bound " << i << " is not finite";
+    if (i > 0) {
+      GP_CHECK_LT(upper_bounds_[i - 1], upper_bounds_[i])
+          << "sketch bounds must be strictly ascending";
+    }
+  }
+  window_.buckets.assign(upper_bounds_.size() + 1, 0);
+}
+
+void WindowedSketch::Observe(double value) {
+  GP_CHECK(std::isfinite(value))
+      << "sketch observation must be finite, got " << value;
+  std::size_t bucket = upper_bounds_.size();  // overflow by default
+  for (std::size_t i = 0; i < upper_bounds_.size(); ++i) {
+    if (value <= upper_bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++window_.buckets[bucket];
+  ++window_.count;
+  window_.sum_fp += std::llround(value * kSumScale);
+}
+
+SketchWindow WindowedSketch::TakeWindow() {
+  SketchWindow taken = window_;
+  window_.count = 0;
+  window_.sum_fp = 0;
+  window_.buckets.assign(upper_bounds_.size() + 1, 0);
+  return taken;
+}
+
+SketchWindow WindowedSketch::Merge(const SketchWindow& a,
+                                   const SketchWindow& b) {
+  GP_CHECK_EQ(a.buckets.size(), b.buckets.size())
+      << "cannot merge windows from sketches with different bounds";
+  SketchWindow merged = a;
+  merged.count += b.count;
+  merged.sum_fp += b.sum_fp;
+  for (std::size_t i = 0; i < merged.buckets.size(); ++i) {
+    merged.buckets[i] += b.buckets[i];
+  }
+  return merged;
+}
+
+double WindowedSketch::WindowSum(const SketchWindow& window) {
+  return static_cast<double>(window.sum_fp) / kSumScale;
+}
+
+double WindowedSketch::WindowQuantile(const SketchWindow& window,
+                                      double p) const {
+  GP_CHECK_EQ(window.buckets.size(), upper_bounds_.size() + 1)
+      << "window does not match this sketch's bounds";
+  if (window.count == 0) return 0.0;
+  return HistogramQuantile(upper_bounds_, window.buckets, p);
+}
+
+}  // namespace gpuperf::obs

@@ -1,0 +1,85 @@
+#ifndef GPUPERF_OBS_WINDOWED_SKETCH_H_
+#define GPUPERF_OBS_WINDOWED_SKETCH_H_
+
+/**
+ * @file
+ * Windowed quantile sketches: fixed-bucket histograms whose contents
+ * are harvested per time window instead of accumulating forever.
+ *
+ * A `WindowedSketch` shares the bucket semantics of obs::Histogram
+ * (bucket i counts observations with upper_bounds[i-1] < v <=
+ * upper_bounds[i]; a final +Inf overflow bucket) but is deliberately
+ * NOT thread-safe: the intended owner is one simulation grid cell,
+ * whose windows are merged serially in cell order afterwards — the
+ * same pattern SpanTracer uses to keep traces byte-identical across
+ * `--jobs`.
+ *
+ * A closed window (`SketchWindow`) is plain integer state: per-bucket
+ * counts, a total count, and a sum held in the registry's 2^-20
+ * fixed-point units. Merging two windows is element-wise integer
+ * addition — associative and commutative — so merge(A, B) and
+ * merge(B, A) are byte-identical, and any merge tree over the same
+ * windows yields the same bytes (DESIGN.md §15).
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace gpuperf::obs {
+
+/** One closed observation window. Plain data; integer-only state. */
+struct SketchWindow {
+  std::uint64_t count = 0;
+  // Sum of observed values in 2^-20 fixed-point units (the same scale
+  // obs::Histogram uses), so window merges stay integer adds.
+  std::int64_t sum_fp = 0;
+  // Per-bucket counts; entry upper_bounds.size() is the +Inf overflow.
+  std::vector<std::uint64_t> buckets;
+
+  bool operator==(const SketchWindow& other) const {
+    return count == other.count && sum_fp == other.sum_fp &&
+           buckets == other.buckets;
+  }
+};
+
+/** Accumulates observations into the current window. Single-threaded. */
+class WindowedSketch {
+ public:
+  /** `upper_bounds` must be finite, strictly ascending, non-empty. */
+  explicit WindowedSketch(std::vector<double> upper_bounds);
+
+  /** Records one finite observation into the open window. */
+  void Observe(double value);
+
+  /** Closes the open window: returns its contents and starts a fresh one. */
+  SketchWindow TakeWindow();
+
+  /** The open (not yet taken) window. */
+  const SketchWindow& current() const { return window_; }
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+
+  /**
+   * Element-wise integer merge. Both windows must have the same bucket
+   * count (i.e. come from sketches with identical bounds); associative
+   * and commutative, so the merged bytes do not depend on order.
+   */
+  static SketchWindow Merge(const SketchWindow& a, const SketchWindow& b);
+
+  /** The window's sum in natural units (fixed-point decoded). */
+  static double WindowSum(const SketchWindow& window);
+
+  /**
+   * Interpolated quantile of one window against this sketch's bounds;
+   * `p` in [0, 100]. An empty window yields 0.
+   */
+  double WindowQuantile(const SketchWindow& window, double p) const;
+
+ private:
+  std::vector<double> upper_bounds_;
+  SketchWindow window_;
+};
+
+}  // namespace gpuperf::obs
+
+#endif  // GPUPERF_OBS_WINDOWED_SKETCH_H_

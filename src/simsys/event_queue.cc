@@ -16,19 +16,14 @@ void EventQueue::ScheduleAfter(double delay_us, Callback callback) {
   Schedule(now_us_ + delay_us, std::move(callback));
 }
 
-bool EventQueue::RunOne() {
-  if (queue_.empty()) return false;
-  // The callback is moved out before firing so it may schedule new events.
-  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
-  now_us_ = entry.time_us;
-  ++fired_count_;
-  entry.callback();
-  return true;
-}
-
 void EventQueue::Run() {
   while (RunOne()) {
+  }
+}
+
+void EventQueue::RunUntil(double t_us) {
+  while (!queue_.empty() && queue_.top().time_us < t_us) {
+    RunOne();
   }
 }
 

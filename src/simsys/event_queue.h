@@ -29,11 +29,50 @@ class EventQueue {
   /** Current simulated time (the timestamp of the last fired event). */
   double NowUs() const { return now_us_; }
 
-  /** Fires the next event; returns false if the queue is empty. */
-  bool RunOne();
+  /** True when no events remain. */
+  bool empty() const { return queue_.empty(); }
+
+  /**
+   * Timestamp of the next event without firing it (queue must not be
+   * empty). Lets the flight recorder close sample windows *before* an
+   * event executes, without scheduling events of its own — inserted
+   * events would shift sequence numbers and could reorder
+   * same-timestamp callbacks.
+   */
+  double NextTimeUs() const { return queue_.top().time_us; }
+
+  /**
+   * Fires the next event; returns false if the queue is empty. Defined
+   * in-class: serving's recorded path drives the queue one event at a
+   * time (AdvanceTo between events), and a cross-TU call per event
+   * would show up against the recorder's overhead budget.
+   */
+  bool RunOne() {
+    if (queue_.empty()) return false;
+    // The callback is moved out before firing so it may schedule new
+    // events.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_us_ = entry.time_us;
+    ++fired_count_;
+    entry.callback();
+    return true;
+  }
 
   /** Runs until no events remain. */
   void Run();
+
+  /**
+   * Fires events with timestamps strictly before `t_us`, then returns
+   * (with the first event at or past `t_us` still queued). Lets the
+   * flight recorder run the queue in window-sized chunks: the per-event
+   * cost over Run() is one timestamp comparison, and window closes
+   * happen between chunks instead of being checked before every event.
+   * Out-of-line like Run() on purpose — the event loop is hot enough
+   * that its code placement is measurable, and compiling both loops in
+   * the same translation unit keeps them on equal footing.
+   */
+  void RunUntil(double t_us);
 
   /** Events fired so far (statistics). */
   std::int64_t fired_count() const { return fired_count_; }

@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "gpuexec/oracle.h"
 #include "obs/breaker_metrics.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/span_tracer.h"
 #include "simsys/event_queue.h"
@@ -20,6 +21,23 @@
 namespace gpuperf::simsys {
 
 namespace {
+
+// Flight-recorder channel names mirror the gpuperf_serving_* registry
+// families bumped in RecordSimulation, so summing a channel's
+// per-window deltas across every cell reproduces the final registry
+// snapshot totals (the obs smoke asserts exactly this).
+constexpr char kChCompleted[] = "gpuperf_serving_jobs_completed";
+constexpr char kChDropped[] = "gpuperf_serving_jobs_dropped";
+constexpr char kChShed[] = "gpuperf_serving_jobs_shed";
+constexpr char kChRetries[] = "gpuperf_serving_retries";
+constexpr char kChRetriesSuppressed[] = "gpuperf_serving_retries_suppressed";
+constexpr char kChBreakerOpens[] = "gpuperf_serving_breaker_opens";
+constexpr char kChDeadlineMisses[] = "gpuperf_serving_deadline_misses";
+constexpr char kChHedgesIssued[] = "gpuperf_serving_hedges_issued";
+constexpr char kChHedgesWon[] = "gpuperf_serving_hedges_won";
+constexpr char kChQueueDepth[] = "gpuperf_serving_queue_depth";
+constexpr char kChLatencyMs[] = "gpuperf_serving_latency_ms";
+constexpr char kChResidualPct[] = "gpuperf_serving_residual_pct";
 
 /**
  * The serving module's registry instruments, resolved once (name
@@ -48,19 +66,31 @@ struct ServingMetrics {
       obs::InstallBreakerMetrics();
       obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
       return new ServingMetrics{
-          registry.counter("gpuperf_serving_simulations"),
-          registry.counter("gpuperf_serving_jobs_arrived"),
-          registry.counter("gpuperf_serving_jobs_completed"),
-          registry.counter("gpuperf_serving_jobs_dropped"),
-          registry.counter("gpuperf_serving_jobs_shed"),
-          registry.counter("gpuperf_serving_retries"),
-          registry.counter("gpuperf_serving_breaker_opens"),
-          registry.counter("gpuperf_serving_deadline_misses"),
-          registry.counter("gpuperf_serving_hedges_issued"),
-          registry.counter("gpuperf_serving_hedges_won"),
-          registry.counter("gpuperf_serving_retries_suppressed"),
+          registry.counter("gpuperf_serving_simulations",
+                           "Successful SimulateServing returns"),
+          registry.counter("gpuperf_serving_jobs_arrived",
+                           "Arrivals (completed + dropped + shed)"),
+          registry.counter("gpuperf_serving_jobs_completed",
+                           "Jobs served to completion"),
+          registry.counter("gpuperf_serving_jobs_dropped",
+                           "Jobs abandoned after the retry budget"),
+          registry.counter("gpuperf_serving_jobs_shed",
+                           "Admission-control rejections"),
+          registry.counter("gpuperf_serving_retries",
+                           "Re-dispatches caused by GPU failures"),
+          registry.counter("gpuperf_serving_breaker_opens",
+                           "Circuit-breaker trips across the pool"),
+          registry.counter("gpuperf_serving_deadline_misses",
+                           "Completions later than the SLO"),
+          registry.counter("gpuperf_serving_hedges_issued",
+                           "Duplicate dispatches for slow jobs"),
+          registry.counter("gpuperf_serving_hedges_won",
+                           "Jobs delivered by the hedge leg"),
+          registry.counter("gpuperf_serving_retries_suppressed",
+                           "Retries dropped by an empty token bucket"),
           registry.histogram("gpuperf_serving_latency_ms",
-                             {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000})};
+                             {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000},
+                             "End-to-end job latency in milliseconds")};
     }();
     return *kMetrics;
   }
@@ -176,6 +206,24 @@ struct Sim {
   // (queue-wait and service spans). Purely observational: no branch in
   // the simulation ever reads tracer state.
   obs::SpanTracer* tracer = nullptr;
+
+  // Optional sim-time flight recording; null = off. Event handlers bump
+  // counters/gauges/sketches here; windows close lazily in the run
+  // loop. Purely observational, like `tracer`.
+  obs::FlightRecorder* recorder = nullptr;
+  // Cached channel handles (valid while `recorder` is): per-event
+  // updates must not pay the by-name map lookup (bench_speed_obs).
+  obs::FlightRecorder::CounterHandle ch_completed, ch_dropped, ch_shed,
+      ch_retries, ch_retries_suppressed, ch_breaker_opens,
+      ch_deadline_misses, ch_hedges_issued, ch_hedges_won;
+  obs::FlightRecorder::GaugeHandle ch_queue_depth;
+  obs::FlightRecorder::SketchHandle ch_latency_ms, ch_residual_pct;
+  int outstanding_total = 0;  // sum of gpu_outstanding (queue-depth gauge)
+
+  /** Publishes the pool-wide queue depth to the recorder gauge. */
+  void RecordQueueDepth() {
+    recorder->SetGauge(ch_queue_depth, outstanding_total);
+  }
 
   int retries = 0;
   int dropped = 0;
@@ -356,6 +404,7 @@ struct Sim {
                    int attempt) {
     if (attempt >= config.retry.max_retries) {
       ++dropped;
+      if (recorder != nullptr) recorder->Count(ch_dropped);
       if (tracer != nullptr) {
         tracer->Instant(0, "drop", "retry", queue.NowUs(),
                         TraceArgs(id, job, attempt));
@@ -368,6 +417,10 @@ struct Sim {
       // metastable state — the drop is final, not deferred load.
       ++retries_suppressed;
       ++dropped;
+      if (recorder != nullptr) {
+        recorder->Count(ch_retries_suppressed);
+        recorder->Count(ch_dropped);
+      }
       if (tracer != nullptr) {
         tracer->Instant(0, "drop", "retry", queue.NowUs(),
                         TraceArgs(id, job, attempt) +
@@ -377,6 +430,7 @@ struct Sim {
     }
     if (config.retry_budget > 0) retry_tokens -= 1.0;
     ++retries;
+    if (recorder != nullptr) recorder->Count(ch_retries);
     const double at = queue.NowUs() + RetryDelayUs(attempt);
     if (tracer != nullptr) {
       tracer->Instant(
@@ -402,6 +456,7 @@ struct Sim {
         // Admission control: every live queue is at capacity. Shedding
         // now is cheaper than queueing into a deadline miss.
         ++shed;
+        if (recorder != nullptr) recorder->Count(ch_shed);
         if (tracer != nullptr) {
           tracer->Instant(0, "shed", "admission", queue.NowUs(),
                           TraceArgs(id, job, attempt) +
@@ -424,6 +479,7 @@ struct Sim {
           1e3;
       if (predicted_latency_ms > config.slo_ms) {
         ++shed;
+        if (recorder != nullptr) recorder->Count(ch_shed);
         if (tracer != nullptr) {
           tracer->Instant(0, "shed", "admission", now,
                           TraceArgs(id, job, attempt) +
@@ -444,6 +500,8 @@ struct Sim {
           std::max(gpu_predicted_free[target], now) + predicted[job][target];
     }
     ++gpu_outstanding[target];
+    ++outstanding_total;
+    if (recorder != nullptr) RecordQueueDepth();
     const int track = static_cast<int>(target) + 1;
     if (tracer != nullptr && start > now) {
       tracer->Span(track, "queued", "queue", now, start,
@@ -531,8 +589,11 @@ struct Sim {
 
     const std::size_t hedge = LeastOutstanding(candidates);
     ++hedges_issued;
+    if (recorder != nullptr) recorder->Count(ch_hedges_issued);
     breakers[hedge].OnDispatch(now);
     ++gpu_outstanding[hedge];
+    ++outstanding_total;
+    if (recorder != nullptr) RecordQueueDepth();
     const double hedge_start = std::max(gpu_free[hedge], now);
     const double hedge_service = ServiceTime(job, hedge, hedge_start);
     const DownInterval* outage =
@@ -564,6 +625,7 @@ struct Sim {
       // The hedge saves the job: the primary's failure still feeds its
       // breaker, but no retry is needed.
       ++hedges_won;
+      if (recorder != nullptr) recorder->Count(ch_hedges_won);
       ScheduleLegFailure(id, job, arrival, attempt, primary, primary_end,
                          /*retry=*/false);
       ScheduleLegCompletion(job, hedge, arrival, hedge_start, hedge_service,
@@ -579,6 +641,7 @@ struct Sim {
     }
     if (hedge_end < primary_end) {
       ++hedges_won;
+      if (recorder != nullptr) recorder->Count(ch_hedges_won);
       ScheduleLegCompletion(job, hedge, arrival, hedge_start, hedge_service,
                             hedge_end);
       ScheduleLegCancel(id, job, attempt, primary, primary_start,
@@ -598,12 +661,17 @@ struct Sim {
                           bool retry) {
     queue.Schedule(fail_at, [this, id, job, arrival, attempt, gpu, retry] {
       --gpu_outstanding[gpu];
+      --outstanding_total;
+      if (recorder != nullptr) RecordQueueDepth();
       const std::int64_t opens_before = breakers[gpu].opens();
       breakers[gpu].OnFailure(queue.NowUs());
-      if (tracer != nullptr && breakers[gpu].opens() > opens_before) {
-        tracer->Instant(static_cast<int>(gpu) + 1, "breaker-open",
-                        "breaker", queue.NowUs(),
-                        TraceArgs(id, job, attempt));
+      if (breakers[gpu].opens() > opens_before) {
+        if (recorder != nullptr) recorder->Count(ch_breaker_opens);
+        if (tracer != nullptr) {
+          tracer->Instant(static_cast<int>(gpu) + 1, "breaker-open",
+                          "breaker", queue.NowUs(),
+                          TraceArgs(id, job, attempt));
+        }
       }
       if (retry) RetryOrDrop(id, job, arrival, attempt);
     });
@@ -617,14 +685,29 @@ struct Sim {
       const double latency_ms = (queue.NowUs() - arrival) / 1e3;
       latencies_ms.push_back(latency_ms);
       --gpu_outstanding[gpu];
+      --outstanding_total;
       breakers[gpu].OnSuccess(queue.NowUs());
       observed_service_us.push_back(service);
+      if (recorder != nullptr) {
+        RecordQueueDepth();
+        recorder->Count(ch_completed);
+        recorder->Observe(ch_latency_ms, latency_ms);
+        if (!predicted.empty() && std::isfinite(predicted[job][gpu]) &&
+            predicted[job][gpu] > 0) {
+          // Per-completion residual: the signal the drift monitor and
+          // `gpuperf explain` attribution both key on.
+          recorder->Observe(ch_residual_pct,
+                            std::abs(service - predicted[job][gpu]) /
+                                predicted[job][gpu] * 100.0);
+        }
+      }
       if (config.retry_budget > 0) {
         retry_tokens = std::min(config.retry_budget_burst,
                                 retry_tokens + config.retry_budget);
       }
       if (config.slo_ms > 0 && latency_ms > config.slo_ms) {
         ++deadline_misses;
+        if (recorder != nullptr) recorder->Count(ch_deadline_misses);
       } else {
         ++completed_within_slo;
       }
@@ -658,6 +741,8 @@ struct Sim {
         gpu_free[gpu] = stop;
       }
       --gpu_outstanding[gpu];
+      --outstanding_total;
+      if (recorder != nullptr) RecordQueueDepth();
       breakers[gpu].OnCancel(now);
       if (tracer != nullptr) {
         tracer->Instant(static_cast<int>(gpu) + 1, "hedge-cancel", "hedge",
@@ -968,6 +1053,31 @@ StatusOr<ServingResult> SimulateServing(
   sim.chaos = chaos;
   sim.retry_tokens = config.retry_budget_burst;
   sim.tracer = tracer;
+  sim.recorder = config.recorder;
+  const long long origin_ll = std::llround(config.time_origin_us);
+  if (sim.recorder != nullptr) {
+    obs::FlightRecorder& rec = *sim.recorder;
+    rec.Start(origin_ll);
+    // Registering every channel up front serves double duty: each frame
+    // carries the full, stable channel set from the first window on (a
+    // no-op on later epochs), and the cached handles keep the by-name
+    // map lookup off the per-event hot path.
+    sim.ch_completed = rec.CounterChannel(kChCompleted);
+    sim.ch_dropped = rec.CounterChannel(kChDropped);
+    sim.ch_shed = rec.CounterChannel(kChShed);
+    sim.ch_retries = rec.CounterChannel(kChRetries);
+    sim.ch_retries_suppressed = rec.CounterChannel(kChRetriesSuppressed);
+    sim.ch_breaker_opens = rec.CounterChannel(kChBreakerOpens);
+    sim.ch_deadline_misses = rec.CounterChannel(kChDeadlineMisses);
+    sim.ch_hedges_issued = rec.CounterChannel(kChHedgesIssued);
+    sim.ch_hedges_won = rec.CounterChannel(kChHedgesWon);
+    sim.ch_queue_depth = rec.GaugeChannel(kChQueueDepth);
+    rec.SetGauge(sim.ch_queue_depth, 0);
+    sim.ch_latency_ms = rec.SketchChannel(
+        kChLatencyMs, {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
+    sim.ch_residual_pct =
+        rec.SketchChannel(kChResidualPct, {1, 2, 5, 10, 20, 50, 100});
+  }
   if (tracer != nullptr) {
     tracer->SetTrackName(0, "dispatcher");
     for (std::size_t g = 0; g < gpus; ++g) {
@@ -1001,7 +1111,31 @@ StatusOr<ServingResult> SimulateServing(
       sim.Dispatch(id, job, arrival, /*attempt=*/0);
     });
   }
-  sim.queue.Run();
+  if (sim.recorder == nullptr) {
+    sim.queue.Run();
+  } else {
+    // Lazy window advancement: run every event with a (floored)
+    // timestamp inside the open window in one tight chunk, close the
+    // due windows at the boundary, repeat. An event at queue time t
+    // ticks the recorder iff origin + floor(t) >= next close, i.e.
+    // t >= next_close - origin, so RunUntil's strict `<` fires exactly
+    // the events that must precede the close. The recorder never
+    // schedules events of its own, so EventQueue sequence numbers —
+    // and therefore same-timestamp ordering and the simulation
+    // result — are untouched.
+    while (!sim.queue.empty()) {
+      sim.queue.RunUntil(
+          static_cast<double>(sim.recorder->next_close_us() - origin_ll));
+      if (sim.queue.empty()) break;
+      sim.recorder->AdvanceTo(
+          origin_ll +
+          static_cast<long long>(std::floor(sim.queue.NextTimeUs())));
+    }
+    sim.recorder->FinishAt(
+        origin_ll +
+        std::max(std::llround(horizon_us),
+                 static_cast<long long>(std::ceil(sim.queue.NowUs()))));
+  }
 
   ServingResult result;
   result.completed = static_cast<int>(sim.latencies_ms.size());
@@ -1050,14 +1184,21 @@ std::vector<StatusOr<ServingResult>> SimulateServingGrid(
     const std::vector<std::vector<double>>& predicted_service_us,
     const std::vector<double>& job_mix, const ServingConfig& base_config,
     const std::vector<ServingGridCell>& cells, int jobs,
-    obs::ChromeTraceWriter* trace_out) {
+    obs::ChromeTraceWriter* trace_out, obs::FlightTimeline* timeline_out) {
   std::vector<StatusOr<ServingResult>> results(
       cells.size(), InternalError("simulation did not run"));
-  // Per-cell tracers recorded in parallel, merged serially below — the
-  // same pre-sized-slot pattern as `results`, so the trace bytes never
-  // depend on `jobs`.
+  // Per-cell tracers and flight recorders, recorded in parallel and
+  // merged serially below — the same pre-sized-slot pattern as
+  // `results`, so trace and timeline bytes never depend on `jobs`.
   std::vector<obs::SpanTracer> tracers(
       trace_out != nullptr ? cells.size() : 0);
+  std::vector<obs::FlightRecorder> recorders;
+  if (timeline_out != nullptr) {
+    recorders.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      recorders.emplace_back(base_config.recorder_config);
+    }
+  }
   ThreadPool pool(jobs);
   pool.ParallelFor(cells.size(), [&](std::size_t i) {
     ServingConfig config = base_config;
@@ -1065,16 +1206,25 @@ std::vector<StatusOr<ServingResult>> SimulateServingGrid(
     config.seed = cells[i].seed;
     config.faults.seed = cells[i].seed;
     config.chaos.seed = cells[i].seed;
+    config.recorder = timeline_out != nullptr ? &recorders[i] : nullptr;
     results[i] =
         SimulateServing(true_service_us, predicted_service_us, job_mix,
                         config, trace_out != nullptr ? &tracers[i] : nullptr);
   });
-  for (std::size_t i = 0; i < tracers.size(); ++i) {
-    tracers[i].AppendTo(
-        trace_out, static_cast<int>(i) + 1,
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string label =
         Format("cell %zu: %s seed %llu", i,
                DispatchPolicyName(cells[i].policy).c_str(),
-               (unsigned long long)cells[i].seed));
+               (unsigned long long)cells[i].seed);
+    if (trace_out != nullptr) {
+      tracers[i].AppendTo(trace_out, static_cast<int>(i) + 1, label);
+    }
+    if (timeline_out != nullptr) {
+      timeline_out->Append(recorders[i], label);
+      if (trace_out != nullptr) {
+        recorders[i].AppendCounterEvents(trace_out, static_cast<int>(i) + 1);
+      }
+    }
   }
   return results;
 }

@@ -58,6 +58,7 @@
 #include "common/circuit_breaker.h"
 #include "common/fault_injection.h"
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 
 namespace gpuperf::gpuexec {
 class DriftSchedule;
@@ -143,6 +144,19 @@ struct ServingConfig {
   // Explicit chaos plan override (tests and replay; borrowed). When
   // set, `chaos` is ignored; the plan must cover the pool.
   const ChaosPlan* chaos_plan = nullptr;
+  // --- Sim-time flight recording (DESIGN.md §15); nullptr keeps the
+  // hot path untouched. When set, the simulator advances the recorder
+  // lazily between events (never scheduling events of its own, so
+  // results are bit-identical with and without a recorder): counters
+  // for completions/drops/sheds/retries/hedges/breaker opens, a queue
+  // depth gauge, and windowed latency/residual sketches, all stamped
+  // at `time_origin_us` + sim time so back-to-back epochs form one
+  // monotone timeline. The recorder is borrowed and single-threaded —
+  // one per simulation (or per grid cell).
+  obs::FlightRecorder* recorder = nullptr;
+  // Window cadence/capacity for the per-cell recorders
+  // SimulateServingGrid creates when given a timeline sink.
+  obs::FlightRecorderConfig recorder_config;
 };
 
 /** One completed job, as the drift monitor sees it. */
@@ -231,13 +245,22 @@ struct ServingGridCell {
  * in cell order after the parallel loop (cell i = trace process i+1),
  * so the exported Chrome-trace JSON is bit-identical for every `jobs`
  * value.
+ *
+ * When `timeline_out` is non-null, each cell additionally records into
+ * its own obs::FlightRecorder (cadence from
+ * base_config.recorder_config) and the recorders merge into
+ * `timeline_out` serially in cell order — and, when `trace_out` is
+ * also set, as Chrome counter events under the cell's trace process —
+ * so timeline CSV and trace bytes are bit-identical for every `jobs`
+ * value.
  */
 [[nodiscard]] std::vector<StatusOr<ServingResult>> SimulateServingGrid(
     const std::vector<std::vector<double>>& true_service_us,
     const std::vector<std::vector<double>>& predicted_service_us,
     const std::vector<double>& job_mix, const ServingConfig& base_config,
     const std::vector<ServingGridCell>& cells, int jobs,
-    obs::ChromeTraceWriter* trace_out = nullptr);
+    obs::ChromeTraceWriter* trace_out = nullptr,
+    obs::FlightTimeline* timeline_out = nullptr);
 
 /**
  * Cumulative process-wide serving observability counters, aggregated

@@ -266,7 +266,9 @@ TEST(CliTest, ServeSimWritesMetricsAndTraceFiles) {
       "serve-sim --duration 1 --rate 80 --networks resnet18 "
       "--metrics-out \"" + prom + "\"");
   EXPECT_EQ(r2.exit_code, 0) << r2.output;
-  EXPECT_EQ(ReadFileOrEmpty(prom).rfind("# TYPE ", 0), 0u);
+  const std::string prom_text = ReadFileOrEmpty(prom);
+  EXPECT_EQ(prom_text.rfind("# HELP ", 0), 0u);
+  EXPECT_NE(prom_text.find("# TYPE "), std::string::npos);
 
   std::remove(metrics.c_str());
   std::remove(prom.c_str());

@@ -1,0 +1,20 @@
+// Fixture: metric-name — names registered through a MetricsRegistry
+// member call must match gpuperf_<area>_<name>. Expected violations:
+// lines 9, 10, 11, 12, 13; conforming names, non-literal arguments,
+// free functions, and the allow()ed registration are all legal.
+#include <string>
+
+struct Registry;
+void Register(Registry& registry, Registry* remote, const std::string& d) {
+  registry.counter("events");
+  registry.gauge("Gpuperf_Queue_Depth");
+  remote->histogram("gpuperf-serving-latency");
+  registry.counter("gpuperf_jobs_");
+  registry.gauge("gpuperf_");
+  registry.counter("gpuperf_serving_jobs_completed");
+  registry.gauge("gpuperf_obs_queue_depth");
+  remote->histogram("gpuperf_serving_latency_ms");
+  registry.counter(d);
+  counter("free function, not a registry member call");
+  registry.counter("deliberately bad");  // gpuperf-lint: allow(metric-name)
+}

@@ -91,6 +91,17 @@ TEST(LintTest, BundleLifecycleFixture) {
             }));
 }
 
+TEST(LintTest, MetricNameFixture) {
+  EXPECT_EQ(LintFixture("metric_name_bad.cc"),
+            (std::vector<std::string>{
+                Prefix("metric_name_bad.cc", 9, "metric-name"),
+                Prefix("metric_name_bad.cc", 10, "metric-name"),
+                Prefix("metric_name_bad.cc", 11, "metric-name"),
+                Prefix("metric_name_bad.cc", 12, "metric-name"),
+                Prefix("metric_name_bad.cc", 13, "metric-name"),
+            }));
+}
+
 TEST(LintTest, WallClockFixture) {
   EXPECT_EQ(LintFixture("src/wall_clock_bad.cc"),
             (std::vector<std::string>{
@@ -121,10 +132,10 @@ TEST(LintTest, WholeFixtureDirectoryIsDeterministic) {
   for (std::size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(FormatViolation(first[i]), FormatViolation(second[i]));
   }
-  // 4 + 1 + 2 + 4 + 4 + 1 + 3 + 2 known-bad findings; the allow,
+  // 4 + 1 + 2 + 4 + 4 + 1 + 3 + 5 + 2 known-bad findings; the allow,
   // raw-string, and whole-program fixtures are all clean under the
   // per-file rules.
-  EXPECT_EQ(first.size(), 21u);
+  EXPECT_EQ(first.size(), 26u);
 }
 
 TEST(LintTest, OutputIsByteIdenticalForAnyPathOrdering) {
@@ -153,7 +164,7 @@ TEST(LintTest, OutputIsByteIdenticalForAnyPathOrdering) {
       EXPECT_EQ(lines, reference);
     }
   }
-  EXPECT_EQ(reference.size(), 21u);
+  EXPECT_EQ(reference.size(), 26u);
 }
 
 TEST(LintTest, FormatIsMachineReadable) {
@@ -165,8 +176,8 @@ TEST(LintTest, RuleNamesAreStable) {
   EXPECT_EQ(RuleNames(),
             (std::vector<std::string>{
                 "raw-random", "fatal-in-lib", "unordered-order", "raw-mutex",
-                "raw-counter", "bundle-lifecycle", "wall-clock", "layering",
-                "lock-order", "determinism-taint"}));
+                "raw-counter", "bundle-lifecycle", "wall-clock", "metric-name",
+                "layering", "lock-order", "determinism-taint"}));
 }
 
 TEST(LintTest, EveryRuleHasCatalogMetadata) {

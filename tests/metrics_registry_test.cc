@@ -150,23 +150,43 @@ TEST(MetricsRegistryTest, CsvSnapshotIsGoldenAndSorted) {
 
 TEST(MetricsRegistryTest, PrometheusSnapshotIsGoldenWithCumulativeBuckets) {
   MetricsRegistry registry;
-  registry.counter("gpuperf_test_events").Increment(3);
+  registry.counter("gpuperf_test_events", "Total events processed")
+      .Increment(3);
   registry.gauge("gpuperf_test_depth").Set(7);
-  Histogram& h = registry.histogram("gpuperf_test_latency_ms", {1.0, 10.0});
+  Histogram& h = registry.histogram("gpuperf_test_latency_ms", {1.0, 10.0},
+                                    "End-to-end latency in milliseconds");
   h.Observe(0.5);
   h.Observe(4.0);
   h.Observe(20.0);
+  // Every family leads with `# HELP` then `# TYPE`; a family with no
+  // registered help text falls back to its own name so scrapers always
+  // see both comment lines.
   EXPECT_EQ(registry.PrometheusSnapshot(),
+            "# HELP gpuperf_test_depth gpuperf_test_depth\n"
             "# TYPE gpuperf_test_depth gauge\n"
             "gpuperf_test_depth 7\n"
+            "# HELP gpuperf_test_events Total events processed\n"
             "# TYPE gpuperf_test_events counter\n"
             "gpuperf_test_events 3\n"
+            "# HELP gpuperf_test_latency_ms End-to-end latency in "
+            "milliseconds\n"
             "# TYPE gpuperf_test_latency_ms histogram\n"
             "gpuperf_test_latency_ms_bucket{le=\"1\"} 1\n"
             "gpuperf_test_latency_ms_bucket{le=\"10\"} 2\n"
             "gpuperf_test_latency_ms_bucket{le=\"+Inf\"} 3\n"
             "gpuperf_test_latency_ms_sum 24.5\n"
             "gpuperf_test_latency_ms_count 3\n");
+}
+
+TEST(MetricsRegistryTest, FirstNonEmptyHelpTextWins) {
+  MetricsRegistry registry;
+  registry.counter("gpuperf_test_events");  // no help yet
+  registry.counter("gpuperf_test_events", "First real help");
+  registry.counter("gpuperf_test_events", "Later help is ignored");
+  const std::string snapshot = registry.PrometheusSnapshot();
+  EXPECT_NE(snapshot.find("# HELP gpuperf_test_events First real help\n"),
+            std::string::npos);
+  EXPECT_EQ(snapshot.find("Later help"), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, ResetAllZeroesEveryInstrument) {

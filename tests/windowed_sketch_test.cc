@@ -1,0 +1,139 @@
+#include "obs/windowed_sketch.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gpuperf::obs {
+namespace {
+
+TEST(WindowedSketchTest, EmptyWindowIsAllZeroes) {
+  WindowedSketch sketch({1.0, 10.0});
+  const SketchWindow window = sketch.current();
+  EXPECT_EQ(window.count, 0u);
+  EXPECT_EQ(window.sum_fp, 0);
+  EXPECT_EQ(window.buckets, (std::vector<std::uint64_t>{0, 0, 0}));
+  EXPECT_EQ(WindowedSketch::WindowSum(window), 0.0);
+  // An empty window has no quantile to interpolate; the sketch pins it
+  // to 0 rather than guessing.
+  EXPECT_EQ(sketch.WindowQuantile(window, 50.0), 0.0);
+  EXPECT_EQ(sketch.WindowQuantile(window, 99.0), 0.0);
+}
+
+TEST(WindowedSketchTest, SingleSampleWindow) {
+  WindowedSketch sketch({1.0, 10.0, 100.0});
+  sketch.Observe(4.0);
+  const SketchWindow window = sketch.TakeWindow();
+  EXPECT_EQ(window.count, 1u);
+  EXPECT_EQ(window.buckets, (std::vector<std::uint64_t>{0, 1, 0, 0}));
+  EXPECT_EQ(WindowedSketch::WindowSum(window), 4.0);
+  // With one sample, every quantile lands in its bucket.
+  EXPECT_LE(sketch.WindowQuantile(window, 50.0), 10.0);
+  EXPECT_GT(sketch.WindowQuantile(window, 50.0), 1.0);
+}
+
+TEST(WindowedSketchTest, BoundaryValueUsesLeSemantics) {
+  // v <= bound lands in that bucket — exactly obs::Histogram's rule, so
+  // windowed and cumulative exports of the same stream agree.
+  WindowedSketch sketch({1.0, 10.0});
+  sketch.Observe(1.0);   // == first bound: bucket 0
+  sketch.Observe(10.0);  // == last bound: bucket 1
+  const SketchWindow window = sketch.TakeWindow();
+  EXPECT_EQ(window.buckets, (std::vector<std::uint64_t>{1, 1, 0}));
+}
+
+TEST(WindowedSketchTest, OverflowBucketCatchesEverythingAboveLastBound) {
+  WindowedSketch sketch({1.0, 10.0});
+  sketch.Observe(10.0001);
+  sketch.Observe(1e12);
+  const SketchWindow window = sketch.TakeWindow();
+  EXPECT_EQ(window.buckets, (std::vector<std::uint64_t>{0, 0, 2}));
+  EXPECT_EQ(window.count, 2u);
+  // p99 of an all-overflow window clamps to the last finite bound (the
+  // +Inf bucket has no finite upper edge to interpolate into).
+  EXPECT_EQ(sketch.WindowQuantile(window, 99.0), 10.0);
+}
+
+TEST(WindowedSketchTest, TakeWindowStartsAFreshWindow) {
+  WindowedSketch sketch({1.0});
+  sketch.Observe(0.5);
+  const SketchWindow first = sketch.TakeWindow();
+  EXPECT_EQ(first.count, 1u);
+  const SketchWindow second = sketch.TakeWindow();
+  EXPECT_EQ(second.count, 0u);
+  EXPECT_EQ(second.sum_fp, 0);
+  EXPECT_EQ(second.buckets, (std::vector<std::uint64_t>{0, 0}));
+}
+
+TEST(WindowedSketchTest, MergeIsCommutativeByteForByte) {
+  WindowedSketch sa({1.0, 10.0}), sb({1.0, 10.0});
+  sa.Observe(0.5);
+  sa.Observe(4.0);
+  sb.Observe(20.0);
+  sb.Observe(0.25);
+  const SketchWindow a = sa.TakeWindow();
+  const SketchWindow b = sb.TakeWindow();
+  // Integer state + element-wise adds: merge(A,B) and merge(B,A) are
+  // the same bytes, not merely numerically close.
+  EXPECT_TRUE(WindowedSketch::Merge(a, b) == WindowedSketch::Merge(b, a));
+}
+
+TEST(WindowedSketchTest, MergeIsAssociativeByteForByte) {
+  WindowedSketch s({1.0, 10.0});
+  std::vector<SketchWindow> windows;
+  for (double v : {0.5, 4.0, 20.0}) {
+    s.Observe(v);
+    windows.push_back(s.TakeWindow());
+  }
+  const SketchWindow left = WindowedSketch::Merge(
+      WindowedSketch::Merge(windows[0], windows[1]), windows[2]);
+  const SketchWindow right = WindowedSketch::Merge(
+      windows[0], WindowedSketch::Merge(windows[1], windows[2]));
+  EXPECT_TRUE(left == right);
+  EXPECT_EQ(left.count, 3u);
+  EXPECT_EQ(left.buckets, (std::vector<std::uint64_t>{1, 1, 1}));
+}
+
+TEST(WindowedSketchTest, MergeWithEmptyIsIdentity) {
+  WindowedSketch s({1.0});
+  s.Observe(0.5);
+  const SketchWindow a = s.TakeWindow();
+  const SketchWindow empty = s.TakeWindow();
+  EXPECT_TRUE(WindowedSketch::Merge(a, empty) == a);
+  EXPECT_TRUE(WindowedSketch::Merge(empty, a) == a);
+}
+
+TEST(WindowedSketchTest, FixedPointSumIsOrderIndependent) {
+  // Values on the 2^-20 grid accumulate exactly; any observation order
+  // yields the same sum_fp integer.
+  WindowedSketch forward({100.0}), backward({100.0});
+  const std::vector<double> values = {0.25, 1.5, 3.75, 90.0625};
+  for (double v : values) forward.Observe(v);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    backward.Observe(*it);
+  }
+  const SketchWindow f = forward.TakeWindow();
+  const SketchWindow b = backward.TakeWindow();
+  EXPECT_EQ(f.sum_fp, b.sum_fp);
+  EXPECT_EQ(WindowedSketch::WindowSum(f), 95.5625);
+}
+
+TEST(WindowedSketchDeathTest, RejectsBadBoundsAndObservations) {
+  EXPECT_DEATH(WindowedSketch({}), "at least one bucket");
+  EXPECT_DEATH(WindowedSketch({2.0, 1.0}), "strictly ascending");
+  EXPECT_DEATH(WindowedSketch({1.0 / 0.0}), "not finite");
+  WindowedSketch sketch({1.0});
+  EXPECT_DEATH(sketch.Observe(std::nan("")), "must be finite");
+}
+
+TEST(WindowedSketchDeathTest, MergeRejectsMismatchedBounds) {
+  WindowedSketch two({1.0, 2.0}), one({1.0});
+  const SketchWindow a = two.TakeWindow();
+  const SketchWindow b = one.TakeWindow();
+  EXPECT_DEATH(WindowedSketch::Merge(a, b), "different bounds");
+}
+
+}  // namespace
+}  // namespace gpuperf::obs

@@ -13,6 +13,9 @@
 //   gpuperf chaos [options]               chaos-scenario sweep + invariants
 //   gpuperf bundle-check --candidate DIR  validate + canary a bundle
 //   gpuperf drift-report [options]        self-healing lifecycle report
+//   gpuperf timeline --in PATH [options]  render a flight-recorder timeline
+//   gpuperf explain --model DIR --network N --gpu G --batch B
+//                                         decompose a prediction
 //
 // Error-handling contract: anything a user can cause from the command
 // line — a typo'd network, a corrupt bundle, a malformed flag value — is
@@ -30,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "common/ascii_plot.h"
+#include "common/csv.h"
 #include "common/logging.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -42,12 +47,14 @@
 #include "gpuexec/profiler.h"
 #include "gpuexec/roofline.h"
 #include "models/e2e_model.h"
+#include "models/explain.h"
 #include "models/kw_model.h"
 #include "models/lw_model.h"
 #include "models/bundle_registry.h"
 #include "models/model_io.h"
 #include "models/refit.h"
 #include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "simsys/self_healing.h"
 #include "simsys/serving.h"
@@ -208,6 +215,13 @@ constexpr char kServeSimUsage[] =
     "                 grid (.prom = Prometheus text, else CSV)\n"
     "  --trace-out PATH    write a Chrome trace (chrome://tracing /\n"
     "                 ui.perfetto.dev) of every job's lifecycle\n"
+    "  --timeline-out PATH write the flight-recorder timeline CSV (render\n"
+    "                 it with `gpuperf timeline --in PATH`); with\n"
+    "                 --trace-out the counter tracks also join the trace\n"
+    "  --timeline-period-ms MS  flight-recorder window width in simulated\n"
+    "                 milliseconds (default 100)\n"
+    "  --observations-out PATH  write the (network, GPU) observed service\n"
+    "                 times as CSV for `gpuperf explain --observations`\n"
     "  --help         print this flag list and exit 0\n";
 constexpr char kDriftReportUsage[] =
     "usage: gpuperf drift-report --model DIR [options]\n"
@@ -235,6 +249,9 @@ constexpr char kDriftReportUsage[] =
     "  --drift-sigma F    log-normal factor spread (default 0.12)\n"
     "  --drift-seed N     drift generation seed (default 1)\n"
     "  --metrics-out PATH write a gpuperf_* metrics snapshot at the end\n"
+    "  --timeline-out PATH  write the cross-epoch flight-recorder timeline\n"
+    "                     CSV (one continuous monotone timeline; epochs\n"
+    "                     re-anchor the window grid)\n"
     "  --help             print this flag list and exit 0\n";
 constexpr char kChaosUsage[] =
     "usage: gpuperf chaos [options]\n"
@@ -278,6 +295,9 @@ constexpr char kChaosUsage[] =
     "                   sweep (.prom = Prometheus text, else CSV)\n"
     "  --trace-out PATH    write a Chrome trace of every cell (scenarios\n"
     "                   share cell process slots)\n"
+    "  --timeline-out PATH write the flight-recorder timeline CSV across\n"
+    "                   every scenario's cells (scenarios share cell\n"
+    "                   labels; rows stay in scenario order)\n"
     "  --help           print this flag list and exit 0\n";
 constexpr char kBundleCheckUsage[] =
     "usage: gpuperf bundle-check --candidate DIR [options]\n"
@@ -294,6 +314,38 @@ constexpr char kBundleCheckUsage[] =
     "  --tolerance F    max relative drift vs the baseline, e.g. 0.5 = 50%\n"
     "                   (default 0.5)\n"
     "  --help           print this flag list and exit 0\n";
+constexpr char kTimelineUsage[] =
+    "usage: gpuperf timeline --in PATH [options]\n"
+    "  Renders a flight-recorder timeline CSV (written by serve-sim,\n"
+    "  chaos, or drift-report via --timeline-out). Without --metric it\n"
+    "  prints one summary row per (source, metric); with --metric it\n"
+    "  prints the metric's full time series, one column per field.\n"
+    "  --in PATH      timeline CSV (required)\n"
+    "  --metric M     exact metric name (e.g. gpuperf_serving_latency_ms)\n"
+    "  --source S     only rows of this source (e.g. 'cell 0: ...')\n"
+    "  --field F      series field for --ascii (default: delta for\n"
+    "                 counters, value for gauges, p99 for sketches)\n"
+    "  --ascii        plot the metric over sim time instead of a table\n"
+    "  --width N      plot columns for --ascii (default 72)\n"
+    "  --help         print this flag list and exit 0\n";
+constexpr char kExplainUsage[] =
+    "usage: gpuperf explain --model DIR --network N --gpu G --batch B "
+    "[options]\n"
+    "  Decomposes a KW prediction into per-layer, per-cluster, and\n"
+    "  per-term contributions by walking the compiled prediction plan in\n"
+    "  the evaluator's exact accumulation order: the layer contributions\n"
+    "  sum bit-for-bit to the `gpuperf predict` value. With an\n"
+    "  observations CSV it also attributes the observed-minus-predicted\n"
+    "  residual across kernel clusters by prediction share.\n"
+    "  --model DIR    model bundle directory from `gpuperf train`\n"
+    "  --network N    zoo network name\n"
+    "  --gpu G        GPU name (run `gpuperf gpus` for the list)\n"
+    "  --batch B      batch size (positive integer)\n"
+    "  --layer NAME   also print the per-term breakdown of this layer\n"
+    "  --top K        rows in the per-layer table (default 10)\n"
+    "  --observations PATH  CSV with network,gpu,batch,observed_us rows\n"
+    "                 (serve-sim --observations-out writes one)\n"
+    "  --help         print this flag list and exit 0\n";
 
 /** A user mistake: one actionable line + the subcommand's flag list. */
 int UsageError(const char* usage, const std::string& message) {
@@ -882,7 +934,8 @@ int CmdServeSim(const Args& args) {
        "chaos-flap-period", "chaos-flap-down", "chaos-host-size",
        "chaos-host-mtbf", "chaos-host-mttr", "chaos-host-factor",
        "chaos-rack-size", "chaos-rack-mtbf", "chaos-rack-mttr",
-       "chaos-rack-factor", "metrics-out", "trace-out", "drift-gpu",
+       "chaos-rack-factor", "metrics-out", "trace-out", "timeline-out",
+       "timeline-period-ms", "observations-out", "drift-gpu",
        "drift-at", "drift-ramp", "drift-factor", "drift-scope",
        "drift-rate", "drift-sigma", "drift-seed"});
   if (!unknown.empty()) {
@@ -1081,11 +1134,22 @@ int CmdServeSim(const Args& args) {
 
   const std::string metrics_out = args.Get("metrics-out", "");
   const std::string trace_out = args.Get("trace-out", "");
+  const std::string timeline_out = args.Get("timeline-out", "");
+  const std::string observations_out = args.Get("observations-out", "");
+  double timeline_period_ms = 0;
+  if (int rc = ParsePositiveFlag(args, kServeSimUsage, "timeline-period-ms",
+                                 "100", &timeline_period_ms)) {
+    return rc;
+  }
+  base_config.recorder_config.sample_period_us =
+      static_cast<long long>(timeline_period_ms * 1e3);
   obs::ChromeTraceWriter trace_writer;
+  obs::FlightTimeline timeline;
   const std::vector<StatusOr<simsys::ServingResult>> grid =
       simsys::SimulateServingGrid(truth, predicted, mix, base_config, cells,
                                   *jobs,
-                                  trace_out.empty() ? nullptr : &trace_writer);
+                                  trace_out.empty() ? nullptr : &trace_writer,
+                                  timeline_out.empty() ? nullptr : &timeline);
 
   TextTable table;
   table.SetHeader({"policy", "seed", "p50 (ms)", "p99 (ms)", "completed",
@@ -1116,6 +1180,26 @@ int CmdServeSim(const Args& args) {
   if (!trace_out.empty()) {
     const Status written = trace_writer.WriteFile(trace_out);
     if (!written.ok()) return UserError(written);
+  }
+  if (!timeline_out.empty()) {
+    const Status written = timeline.WriteCsv(timeline_out);
+    if (!written.ok()) return UserError(written);
+  }
+  if (!observations_out.empty()) {
+    // One row per (network, GPU): the oracle service time every cell
+    // used as truth, plus the model's prediction when a bundle loaded.
+    CsvWriter writer(observations_out);
+    writer.WriteRow({"network", "gpu", "batch", "observed_us",
+                     "predicted_us"});
+    for (std::size_t n = 0; n < networks.size(); ++n) {
+      for (std::size_t g = 0; g < gpus.size(); ++g) {
+        writer.WriteRow({networks[n].name(), gpus[g]->name,
+                         Format("%lld", (long long)*batch),
+                         Format("%.9g", truth[n][g]),
+                         predicted.empty() ? ""
+                                           : Format("%.9g", predicted[n][g])});
+      }
+    }
   }
   if (!metrics_out.empty()) {
     const Status written =
@@ -1238,7 +1322,7 @@ int CmdChaos(const Args& args) {
        "jobs", "scenarios", "policy", "retries", "hedge-factor",
        "retry-budget", "retry-burst", "adaptive-detect",
        "breaker-failures", "breaker-cooldown-ms", "min-avail",
-       "metrics-out", "trace-out"});
+       "metrics-out", "trace-out", "timeline-out"});
   if (!unknown.empty()) {
     return UsageError(kChaosUsage, "unknown flag --" + unknown);
   }
@@ -1364,7 +1448,9 @@ int CmdChaos(const Args& args) {
 
   const std::string metrics_out = args.Get("metrics-out", "");
   const std::string trace_out = args.Get("trace-out", "");
+  const std::string timeline_out = args.Get("timeline-out", "");
   obs::ChromeTraceWriter trace_writer;
+  obs::FlightTimeline timeline;
   TextTable table;
   table.SetHeader({"scenario", "policy", "seed", "p50 (ms)", "p99 (ms)",
                    "done", "drop", "shed", "retry", "suppr", "hedge", "won",
@@ -1377,7 +1463,8 @@ int CmdChaos(const Args& args) {
     const std::vector<StatusOr<simsys::ServingResult>> grid =
         simsys::SimulateServingGrid(
             truth, predicted, mix, base_config, cells, jobs,
-            trace_out.empty() ? nullptr : &trace_writer);
+            trace_out.empty() ? nullptr : &trace_writer,
+            timeline_out.empty() ? nullptr : &timeline);
     long long sum_completed = 0, sum_dropped = 0, sum_shed = 0;
     for (std::size_t i = 0; i < grid.size(); ++i) {
       if (!grid[i].ok()) return UserError(grid[i].status());
@@ -1434,6 +1521,10 @@ int CmdChaos(const Args& args) {
   table.Print();
   if (!trace_out.empty()) {
     const Status written = trace_writer.WriteFile(trace_out);
+    if (!written.ok()) return UserError(written);
+  }
+  if (!timeline_out.empty()) {
+    const Status written = timeline.WriteCsv(timeline_out);
     if (!written.ok()) return UserError(written);
   }
   if (!metrics_out.empty()) {
@@ -1514,7 +1605,7 @@ int CmdDriftReport(const Args& args) {
       {"model", "work-dir", "pool", "networks", "batch", "rate",
        "epoch-seconds", "epochs", "seed", "drift-gpu", "drift-at",
        "drift-ramp", "drift-factor", "drift-scope", "drift-rate",
-       "drift-sigma", "drift-seed", "metrics-out"});
+       "drift-sigma", "drift-seed", "metrics-out", "timeline-out"});
   if (!unknown.empty()) {
     return UsageError(kDriftReportUsage, "unknown flag --" + unknown);
   }
@@ -1614,6 +1705,13 @@ int CmdDriftReport(const Args& args) {
   if (!drift.empty()) config.serving.drift = &drift;
   config.epochs = *epochs;
   config.batch = *batch;
+  // One recorder spans every epoch: the lifecycle copies the serving
+  // config per epoch advancing time_origin_us, and the recorder
+  // re-anchors at each epoch's origin, so the timeline is one
+  // continuous monotone document across the whole lifecycle.
+  const std::string timeline_out = args.Get("timeline-out", "");
+  obs::FlightRecorder recorder;
+  if (!timeline_out.empty()) config.serving.recorder = &recorder;
 
   StatusOr<simsys::SelfHealingResult> result = simsys::RunSelfHealingServing(
       networks, gpus, truth, mix, &registry, &controller, config);
@@ -1657,11 +1755,390 @@ int CmdDriftReport(const Args& args) {
               (unsigned long long)result->counters.shadow_rejections,
               (unsigned long long)result->counters.canary_rejections);
 
+  if (!timeline_out.empty()) {
+    obs::FlightTimeline timeline;
+    timeline.Append(recorder, "self-healing");
+    const Status written = timeline.WriteCsv(timeline_out);
+    if (!written.ok()) return UserError(written);
+  }
   const std::string metrics_out = args.Get("metrics-out", "");
   if (!metrics_out.empty()) {
     const Status written =
         obs::MetricsRegistry::Global().WriteSnapshot(metrics_out);
     if (!written.ok()) return UserError(written);
+  }
+  return 0;
+}
+
+// --- gpuperf timeline: render a flight-recorder timeline CSV ------------
+
+/** The field summarized/plotted by default for each sample kind. */
+std::string DefaultTimelineField(const std::string& kind) {
+  if (kind == "counter") return "delta";
+  if (kind == "gauge") return "value";
+  return "p99";
+}
+
+int CmdTimeline(const Args& args) {
+  if (WantsHelp(args, kTimelineUsage)) return 0;
+  const std::string unknown = args.UnknownFlag(
+      {"in", "metric", "source", "field", "ascii", "width"});
+  if (!unknown.empty()) {
+    return UsageError(kTimelineUsage, "unknown flag --" + unknown);
+  }
+  const std::string in = args.Get("in", "");
+  if (in.empty()) return UsageError(kTimelineUsage, "--in PATH is required");
+  int width = 0;
+  if (int rc = ParseCountFlag(args, kTimelineUsage, "width", "72", 16,
+                              &width)) {
+    return rc;
+  }
+  StatusOr<CsvTable> parsed = TryReadCsv(in);
+  if (!parsed.ok()) return UserError(parsed.status());
+  const CsvTable& csv = *parsed;
+  std::size_t columns[6];
+  const char* names[6] = {"t_us", "source", "metric", "kind", "field",
+                          "value"};
+  for (int i = 0; i < 6; ++i) {
+    StatusOr<std::size_t> column = csv.FindColumn(names[i]);
+    if (!column.ok()) {
+      Status annotated = column.status();
+      return UserError(annotated.Annotate("not a flight-recorder timeline"));
+    }
+    columns[i] = *column;
+  }
+  const std::size_t c_t = columns[0], c_source = columns[1],
+                    c_metric = columns[2], c_kind = columns[3],
+                    c_field = columns[4], c_value = columns[5];
+  const std::string metric = args.Get("metric", "");
+  const std::string source = args.Get("source", "");
+
+  if (metric.empty()) {
+    // Summary mode: one row per (source, metric) over its default field.
+    struct Summary {
+      std::string kind;
+      std::size_t windows = 0;
+      double min = 0, max = 0, last = 0;
+    };
+    std::map<std::pair<std::string, std::string>, Summary> groups;
+    for (std::size_t i = 0; i < csv.rows.size(); ++i) {
+      const std::vector<std::string>& row = csv.rows[i];
+      if (!source.empty() && row[c_source] != source) continue;
+      if (row[c_field] != DefaultTimelineField(row[c_kind])) continue;
+      StatusOr<double> value = ParseFiniteDouble(row[c_value]);
+      if (!value.ok()) {
+        return UserError(csv.RowLocation(i) + ": non-numeric value '" +
+                         row[c_value] + "'");
+      }
+      Summary& s = groups[{row[c_source], row[c_metric]}];
+      if (s.windows == 0) {
+        s.min = s.max = *value;
+      } else {
+        s.min = std::min(s.min, *value);
+        s.max = std::max(s.max, *value);
+      }
+      s.kind = row[c_kind];
+      s.last = *value;
+      ++s.windows;
+    }
+    if (groups.empty()) {
+      return UserError("no timeline rows" +
+                       (source.empty() ? std::string()
+                                       : " for source '" + source + "'") +
+                       " in " + in);
+    }
+    TextTable table;
+    table.SetHeader({"source", "metric", "kind", "field", "windows", "min",
+                     "max", "last"});
+    for (const auto& [key, s] : groups) {
+      table.AddRow({key.first, key.second, s.kind,
+                    DefaultTimelineField(s.kind), Format("%zu", s.windows),
+                    Format("%g", s.min), Format("%g", s.max),
+                    Format("%g", s.last)});
+    }
+    table.Print();
+    return 0;
+  }
+
+  // Series mode: every (t_us, source) sample of one metric.
+  std::string kind;
+  std::vector<std::string> fields;  // first-appearance order
+  struct SeriesRow {
+    std::string t_us;
+    std::string source;
+    std::map<std::string, std::string> values;
+  };
+  std::vector<SeriesRow> series;
+  for (const std::vector<std::string>& row : csv.rows) {
+    if (row[c_metric] != metric) continue;
+    if (!source.empty() && row[c_source] != source) continue;
+    kind = row[c_kind];
+    bool seen = false;
+    for (const std::string& field : fields) seen |= field == row[c_field];
+    if (!seen) fields.push_back(row[c_field]);
+    if (series.empty() || series.back().t_us != row[c_t] ||
+        series.back().source != row[c_source]) {
+      series.push_back(SeriesRow{row[c_t], row[c_source], {}});
+    }
+    series.back().values[row[c_field]] = row[c_value];
+  }
+  if (series.empty()) {
+    return UserError("metric '" + metric + "' not found in " + in +
+                     " (run `gpuperf timeline --in " + in +
+                     "` for the list)");
+  }
+
+  if (args.Get("ascii", "0") == "1") {
+    const std::string field =
+        args.Get("field", DefaultTimelineField(kind));
+    // One plot series per source, sim time in seconds on the x axis.
+    std::map<std::string, PlotSeries> by_source;
+    for (const SeriesRow& row : series) {
+      auto it = row.values.find(field);
+      if (it == row.values.end()) {
+        return UserError("metric '" + metric + "' has no field '" + field +
+                         "'");
+      }
+      StatusOr<double> t = ParseFiniteDouble(row.t_us);
+      StatusOr<double> value = ParseFiniteDouble(it->second);
+      if (!t.ok() || !value.ok()) {
+        return UserError("non-numeric timeline row for metric '" + metric +
+                         "'");
+      }
+      PlotSeries& plot = by_source[row.source];
+      plot.label = row.source;
+      plot.x.push_back(*t / 1e6);
+      plot.y.push_back(*value);
+    }
+    std::vector<PlotSeries> plots;
+    for (auto& [name, plot] : by_source) {
+      (void)name;
+      plots.push_back(std::move(plot));
+    }
+    PlotOptions options;
+    options.width = width;
+    options.height = 12;
+    options.x_label = "sim time (s)";
+    options.y_label = field;
+    options.title = metric;
+    std::fputs(AsciiPlot(plots, options).c_str(), stdout);
+    return 0;
+  }
+
+  TextTable table;
+  std::vector<std::string> header = {"t_s", "source"};
+  for (const std::string& field : fields) header.push_back(field);
+  table.SetHeader(header);
+  for (const SeriesRow& row : series) {
+    StatusOr<double> t = ParseFiniteDouble(row.t_us);
+    std::vector<std::string> cells = {
+        t.ok() ? Format("%.3f", *t / 1e6) : row.t_us, row.source};
+    for (const std::string& field : fields) {
+      auto it = row.values.find(field);
+      cells.push_back(it == row.values.end() ? "" : it->second);
+    }
+    table.AddRow(cells);
+  }
+  table.Print();
+  return 0;
+}
+
+// --- gpuperf explain: prediction-error attribution ----------------------
+
+/** Cluster ids are small ints; -1 marks layer-wise fallback terms. */
+std::string ClusterName(int cluster_id) {
+  return cluster_id < 0 ? "lw-fallback" : Format("cluster %d", cluster_id);
+}
+
+int CmdExplain(const Args& args) {
+  if (WantsHelp(args, kExplainUsage)) return 0;
+  const std::string unknown = args.UnknownFlag(
+      {"model", "network", "gpu", "batch", "layer", "top", "observations"});
+  if (!unknown.empty()) {
+    return UsageError(kExplainUsage, "unknown flag --" + unknown);
+  }
+  const std::string model_dir = args.Get("model", "");
+  const std::string network_name = args.Get("network", "");
+  const std::string gpu_name = args.Get("gpu", "");
+  if (model_dir.empty() || network_name.empty() || gpu_name.empty() ||
+      args.flags.count("batch") == 0) {
+    return UsageError(kExplainUsage,
+                      "--model, --network, --gpu, and --batch are required");
+  }
+  StatusOr<long long> batch = ParseInt64(args.Get("batch", ""));
+  if (!batch.ok() || *batch < 1) {
+    return UsageError(kExplainUsage, "--batch must be a positive integer, "
+                                     "got '" + args.Get("batch", "") + "'");
+  }
+  int top = 0;
+  if (int rc = ParseCountFlag(args, kExplainUsage, "top", "10", 1, &top)) {
+    return rc;
+  }
+  StatusOr<models::KwModel> kw = models::ModelIo::LoadKw(model_dir);
+  if (!kw.ok()) return UserError(kw.status());
+  StatusOr<dnn::Network> net = zoo::TryBuildByName(network_name);
+  if (!net.ok()) return UserError(net.status());
+  const gpuexec::GpuSpec* gpu = gpuexec::FindGpu(gpu_name);
+  if (gpu == nullptr) {
+    return UserError("unknown GPU '" + gpu_name +
+                     "' (run `gpuperf gpus` for the list)");
+  }
+  if (!kw->CoverageFor(*net, gpu->name).gpu_trained) {
+    std::string trained;
+    for (const std::string& name : kw->TrainedGpus()) {
+      if (!trained.empty()) trained += ", ";
+      trained += name;
+    }
+    return UserError("model bundle is not trained for GPU '" + gpu->name +
+                     "' (trained: " + trained + ")");
+  }
+
+  const models::PredictionPlan* plan = kw->PlanFor(*net, *gpu);
+  const models::PredictionBreakdown breakdown =
+      models::ExplainPlan(*plan, *batch);
+  std::printf("%s @BS%lld on %s: predicted %.3f ms "
+              "(%zu layers, %zu terms, %zu clusters)\n\n",
+              net->name().c_str(), (long long)*batch, gpu->name.c_str(),
+              breakdown.total_us / 1e3, breakdown.layers.size(),
+              breakdown.terms.size(), breakdown.clusters.size());
+
+  // Top-K layers by contribution; ties break on plan order so the
+  // table is deterministic.
+  std::vector<const models::LayerContribution*> ranked;
+  for (const models::LayerContribution& layer : breakdown.layers) {
+    ranked.push_back(&layer);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const models::LayerContribution* a,
+               const models::LayerContribution* b) {
+              if (a->us != b->us) return a->us > b->us;
+              return a->index < b->index;
+            });
+  TextTable layers;
+  layers.SetHeader({"layer", "name", "ms", "share", "cumulative"});
+  double cumulative = 0;
+  for (std::size_t i = 0;
+       i < ranked.size() && i < static_cast<std::size_t>(top); ++i) {
+    cumulative += ranked[i]->share;
+    layers.AddRow({Format("%zu", ranked[i]->index),
+                   ranked[i]->label.empty() ? "(unnamed)" : ranked[i]->label,
+                   Format("%.4f", ranked[i]->us / 1e3),
+                   Format("%.1f%%", 100 * ranked[i]->share),
+                   Format("%.1f%%", 100 * cumulative)});
+  }
+  layers.Print();
+  if (ranked.size() > static_cast<std::size_t>(top)) {
+    std::printf("(%zu more layers; raise --top to see them)\n",
+                ranked.size() - static_cast<std::size_t>(top));
+  }
+
+  std::printf("\n");
+  TextTable clusters;
+  clusters.SetHeader({"cluster", "terms", "ms", "share"});
+  for (const models::ClusterContribution& cc : breakdown.clusters) {
+    clusters.AddRow({ClusterName(cc.cluster_id),
+                     Format("%llu", (unsigned long long)cc.terms),
+                     Format("%.4f", cc.us / 1e3),
+                     Format("%.1f%%", 100 * cc.share)});
+  }
+  clusters.Print();
+
+  const std::string layer_name = args.Get("layer", "");
+  if (!layer_name.empty()) {
+    TextTable terms;
+    terms.SetHeader({"layer", "term", "cluster", "raw ms", "scaled ms",
+                     "share"});
+    bool found = false;
+    for (std::size_t t = 0; t < breakdown.terms.size(); ++t) {
+      const models::TermContribution& tc = breakdown.terms[t];
+      if (tc.layer_label != layer_name) continue;
+      found = true;
+      terms.AddRow({Format("%zu", tc.layer), Format("%zu", t),
+                    ClusterName(tc.cluster_id),
+                    Format("%.4f", tc.raw_us / 1e3),
+                    Format("%.4f", tc.scaled_us / 1e3),
+                    Format("%.1f%%",
+                           100 * (breakdown.total_us != 0
+                                      ? tc.scaled_us / breakdown.total_us
+                                      : 0.0))});
+    }
+    if (!found) {
+      return UserError("network '" + net->name() + "' has no layer named '" +
+                       layer_name + "' (run `gpuperf show " + net->name() +
+                       "`)");
+    }
+    std::printf("\n");
+    terms.Print();
+  }
+
+  const std::string observations = args.Get("observations", "");
+  if (!observations.empty()) {
+    StatusOr<CsvTable> parsed = TryReadCsv(observations);
+    if (!parsed.ok()) return UserError(parsed.status());
+    const CsvTable& csv = *parsed;
+    StatusOr<std::size_t> c_network = csv.FindColumn("network");
+    StatusOr<std::size_t> c_gpu = csv.FindColumn("gpu");
+    StatusOr<std::size_t> c_batch = csv.FindColumn("batch");
+    StatusOr<std::size_t> c_observed = csv.FindColumn("observed_us");
+    if (!c_network.ok()) return UserError(c_network.status());
+    if (!c_gpu.ok()) return UserError(c_gpu.status());
+    if (!c_batch.ok()) return UserError(c_batch.status());
+    if (!c_observed.ok()) return UserError(c_observed.status());
+    double observed_sum = 0;
+    std::size_t matched = 0;
+    for (std::size_t i = 0; i < csv.rows.size(); ++i) {
+      const std::vector<std::string>& row = csv.rows[i];
+      if (row[*c_network] != net->name() || row[*c_gpu] != gpu->name ||
+          row[*c_batch] != Format("%lld", (long long)*batch)) {
+        continue;
+      }
+      StatusOr<double> observed = ParseFiniteDouble(row[*c_observed]);
+      if (!observed.ok()) {
+        return UserError(csv.RowLocation(i) + ": non-numeric observed_us '" +
+                         row[*c_observed] + "'");
+      }
+      observed_sum += *observed;
+      ++matched;
+    }
+    if (matched == 0) {
+      return UserError(Format("no observation rows for %s on %s @BS%lld in ",
+                              net->name().c_str(), gpu->name.c_str(),
+                              (long long)*batch) +
+                       observations);
+    }
+    const double observed_us = observed_sum / static_cast<double>(matched);
+    const double residual_us = observed_us - breakdown.total_us;
+    std::printf("\nobserved %.3f ms (%zu row(s)), predicted %.3f ms, "
+                "residual %+.3f ms (%+.1f%%)\n",
+                observed_us / 1e3, matched, breakdown.total_us / 1e3,
+                residual_us / 1e3,
+                breakdown.total_us != 0
+                    ? 100 * residual_us / breakdown.total_us
+                    : 0.0);
+    const std::vector<models::ResidualAttribution> attributed =
+        models::AttributeResiduals(breakdown, observed_us);
+    // Largest |residual slice| first; ties break on cluster id.
+    std::vector<const models::ResidualAttribution*> order;
+    for (const models::ResidualAttribution& ra : attributed) {
+      order.push_back(&ra);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const models::ResidualAttribution* a,
+                 const models::ResidualAttribution* b) {
+                const double am = std::abs(a->residual_us);
+                const double bm = std::abs(b->residual_us);
+                if (am != bm) return am > bm;
+                return a->cluster_id < b->cluster_id;
+              });
+    TextTable attribution;
+    attribution.SetHeader({"cluster", "share", "residual ms"});
+    for (std::size_t i = 0;
+         i < order.size() && i < static_cast<std::size_t>(top); ++i) {
+      attribution.AddRow({ClusterName(order[i]->cluster_id),
+                          Format("%.1f%%", 100 * order[i]->share),
+                          Format("%+.4f", order[i]->residual_us / 1e3)});
+    }
+    attribution.Print();
   }
   return 0;
 }
@@ -1688,6 +2165,10 @@ void Usage() {
       "            [...]                       validate + canary a bundle\n"
       "  drift-report --model DIR [--drift-gpu NAME] [--epochs N]\n"
       "            [...]                       self-healing lifecycle report\n"
+      "  timeline --in PATH [--metric M] [--ascii]\n"
+      "            [...]                       render a timeline CSV\n"
+      "  explain --model DIR --network N --gpu G --batch B\n"
+      "            [--observations CSV] [...]  decompose a prediction\n"
       "run `gpuperf <command> --help` semantics: any usage mistake prints\n"
       "the command's full flag list\n",
       stderr);
@@ -1716,6 +2197,8 @@ int main(int argc, char** argv) {
   if (command == "chaos") return CmdChaos(args);
   if (command == "bundle-check") return CmdBundleCheck(args);
   if (command == "drift-report") return CmdDriftReport(args);
+  if (command == "timeline") return CmdTimeline(args);
+  if (command == "explain") return CmdExplain(args);
   std::fprintf(stderr, "gpuperf: unknown command '%s'\n", command.c_str());
   Usage();
   return 1;
